@@ -1,0 +1,53 @@
+// Ablation: bitmap scale m/n. The paper's analysis (Prop. 1) picks
+// m = n·√w to balance the two steps; this sweep measures end-to-end time
+// around that optimum, plus memory, validating the choice on this host
+// (on bandwidth-starved machines the optimum shifts toward smaller m).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/datagen.h"
+#include "fesia/fesia.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace fesia;
+  using namespace fesia::bench;
+  PrintBanner(
+      "Ablation — bitmap scale m/n (paper Prop. 1: optimum m = n*sqrt(w))",
+      "m too small -> step 2 blows up in false positives; m too large -> "
+      "step 1 scans a huge bitmap; sqrt(w) balances the two");
+
+  const size_t kN = ScaleParam(1000000, 1000000);
+  datagen::SetPair pair = datagen::PairWithSelectivity(kN, kN, 0.01, 3);
+
+  TablePrinter table("FESIA end-to-end (n = 1M, selectivity 1%)");
+  table.SetHeader({"m/n (pre-round)", "bitmap KB", "memory MB", "cycles (M)",
+                   "step1 (M)", "step2 (M)", "matched segs"});
+  for (double scale : {1.0, 2.0, 4.0, 8.0, 16.0, 22.6, 32.0, 64.0}) {
+    FesiaParams p;
+    p.bitmap_scale = scale;
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    volatile size_t sink = 0;
+    double cycles = MedianCycles([&] { sink = IntersectCount(fa, fb); }, 7);
+    IntersectBreakdown bd;
+    std::vector<double> s1, s2;
+    for (int rep = 0; rep < 5; ++rep) {
+      IntersectCountInstrumented(fa, fb, &bd);
+      s1.push_back(static_cast<double>(bd.step1_cycles));
+      s2.push_back(static_cast<double>(bd.step2_cycles));
+    }
+    (void)sink;
+    table.AddRow({Fmt(scale, 1), Fmt(fa.bitmap_bits() / 8.0 / 1024, 0),
+                  Fmt(static_cast<double>(fa.ComputeStats().memory_bytes) /
+                          1e6,
+                      1),
+                  Fmt(cycles / 1e6, 2), Fmt(Summarize(s1).median / 1e6, 2),
+                  Fmt(Summarize(s2).median / 1e6, 2),
+                  std::to_string(bd.matched_segments)});
+    std::printf("  measured scale=%.1f\n", scale);
+  }
+  table.Print();
+  return 0;
+}

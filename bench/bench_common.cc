@@ -1,0 +1,61 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table_printer.h"
+
+namespace fesia::bench {
+
+void PrintBanner(const std::string& title, const std::string& paper_claim) {
+  // Benches are usually tee'd to a file; line buffering keeps progress
+  // lines visible as they happen.
+  std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("host: %s\n", CpuBrandString().c_str());
+  std::printf("simd: widest available = %s, tsc ~ %.2f GHz\n",
+              SimdLevelName(DetectSimdLevel()), TscHz() / 1e9);
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+  std::fflush(stdout);
+}
+
+double MedianCycles(const std::function<void()>& fn, int reps) {
+  fn();  // warmup
+  std::vector<double> samples;
+  samples.reserve(reps);
+  CycleTimer timer;
+  for (int i = 0; i < reps; ++i) {
+    timer.Start();
+    fn();
+    samples.push_back(static_cast<double>(timer.Stop()));
+  }
+  return Summarize(samples).median;
+}
+
+double MedianSeconds(const std::function<void()>& fn, int reps) {
+  fn();  // warmup
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    samples.push_back(timer.Seconds());
+  }
+  return Summarize(samples).median;
+}
+
+bool HostSupports(SimdLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(DetectSimdLevel());
+}
+
+std::string Fmt(double v, int digits) { return TablePrinter::Fmt(v, digits); }
+
+size_t ScaleParam(size_t quick, size_t full) {
+  const char* env = std::getenv("FESIA_BENCH_FULL");
+  return (env != nullptr && env[0] == '1') ? full : quick;
+}
+
+}  // namespace fesia::bench

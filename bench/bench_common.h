@@ -1,0 +1,42 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary prints (a) an environment banner, (b) the paper's expectation
+// for the figure it regenerates, and (c) a table with the measured series,
+// so bench output can be read side-by-side with the paper (EXPERIMENTS.md
+// records the comparison).
+#ifndef FESIA_BENCH_BENCH_COMMON_H_
+#define FESIA_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/cpu.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace fesia::bench {
+
+/// Prints the figure/table banner: title, host CPU, SIMD levels, TSC rate.
+void PrintBanner(const std::string& title, const std::string& paper_claim);
+
+/// Median elapsed cycles of `fn` over `reps` timed runs (after one warmup).
+double MedianCycles(const std::function<void()>& fn, int reps = 5);
+
+/// Median elapsed seconds of `fn` over `reps` timed runs (after one warmup).
+double MedianSeconds(const std::function<void()>& fn, int reps = 3);
+
+/// True when this host can execute `level`.
+bool HostSupports(SimdLevel level);
+
+/// "12.34" style fixed formatting (forwarder to TablePrinter::Fmt).
+std::string Fmt(double v, int digits = 2);
+
+/// Reads scale overrides: returns `full` when env FESIA_BENCH_FULL=1, else
+/// `quick`. Benches default to sizes that finish in tens of seconds.
+size_t ScaleParam(size_t quick, size_t full);
+
+}  // namespace fesia::bench
+
+#endif  // FESIA_BENCH_BENCH_COMMON_H_

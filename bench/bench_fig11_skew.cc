@@ -1,0 +1,59 @@
+// Fig. 11: speedup over Scalar at varying skew n1/n2 with n2 = 32K fixed,
+// including both FESIA strategies (merge and hash). The paper's crossover:
+// FESIAhash wins below skew ~1/4, FESIAmerge above.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/datagen.h"
+#include "pair_bench.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace fesia;
+  using namespace fesia::bench;
+  PrintBanner(
+      "Fig. 11 — Speedup vs skew (n1/n2, n2 = 32K, selectivity 0.1)",
+      "small skew: FESIAhash best (2-3x over SIMDGalloping, which beats the "
+      "SIMD merge methods); skew > 1/4: FESIAmerge takes over as the best");
+
+  const size_t kN2 = ScaleParam(32768, 32768);
+  std::vector<size_t> n1s;
+  for (size_t n1 = kN2 / 32; n1 <= kN2; n1 *= 2) n1s.push_back(n1);
+
+  std::vector<SimdLevel> widest = {FesiaBenchLevels().back()};
+  TablePrinter table("speedup over Scalar");
+  bool header_set = false;
+  for (size_t n1 : n1s) {
+    datagen::SetPair pair =
+        datagen::PairWithSelectivity(n1, kN2, 0.1, /*seed=*/n1);
+    auto timings = TimePairAllMethods(pair.a, pair.b, widest,
+                                      /*include_fesia_hash=*/true,
+                                      /*reps=*/9);
+    double scalar_cycles = 0;
+    for (const auto& t : timings) {
+      if (t.name == "Scalar") scalar_cycles = t.cycles;
+    }
+    if (!header_set) {
+      std::vector<std::string> header = {"Skew n1/n2"};
+      for (const auto& t : timings) {
+        // FESIA<level> is the merge strategy in this figure's terms.
+        header.push_back(t.name.rfind("FESIA", 0) == 0 &&
+                                 t.name != "FESIAhash"
+                             ? "FESIAmerge"
+                             : t.name);
+      }
+      table.SetHeader(header);
+      header_set = true;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zuK/32K", n1 / 1024);
+    std::vector<std::string> row = {label};
+    for (const auto& t : timings) {
+      row.push_back(TablePrinter::Speedup(scalar_cycles / t.cycles));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 14: time split between step 1 (bitmap AND + extraction) and step 2
+// (segment kernels) as the bitmap size m and the segment width s vary.
+// Input: 200 kB sets (51200 x uint32), selectivity 0 — every surviving
+// segment is a false positive, isolating the filtering trade-off.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/datagen.h"
+#include "fesia/fesia.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace fesia;
+  using namespace fesia::bench;
+  PrintBanner(
+      "Fig. 14 — Step 1 / step 2 breakdown vs bitmap size m and segment "
+      "width s",
+      "growing m shrinks step 2 (fewer false positives) but grows step 1 "
+      "linearly; smaller s means more segments -> more step-1 time, less "
+      "step-2 time");
+
+  const size_t kN = ScaleParam(51200, 51200);  // 200 kB of uint32 keys
+  datagen::SetPair pair = datagen::PairWithSelectivity(kN, kN, 0.0, 14);
+
+  TablePrinter table("median cycles per intersection (n = 51200, r = 0)");
+  table.SetHeader({"m/n", "s(bits)", "step1 Kcyc", "step2 Kcyc",
+                   "total Kcyc", "matched segs"});
+  for (double scale : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    for (int s : {8, 16, 32}) {
+      FesiaParams p;
+      p.bitmap_scale = scale;
+      p.segment_bits = s;
+      FesiaSet fa = FesiaSet::Build(pair.a, p);
+      FesiaSet fb = FesiaSet::Build(pair.b, p);
+      // Median over repetitions of the instrumented pipeline.
+      std::vector<double> s1, s2;
+      IntersectBreakdown bd;
+      for (int rep = 0; rep < 7; ++rep) {
+        IntersectCountInstrumented(fa, fb, &bd);
+        s1.push_back(static_cast<double>(bd.step1_cycles));
+        s2.push_back(static_cast<double>(bd.step2_cycles));
+      }
+      double m1 = Summarize(s1).median;
+      double m2 = Summarize(s2).median;
+      table.AddRow({Fmt(scale, 0), std::to_string(s), Fmt(m1 / 1e3, 1),
+                    Fmt(m2 / 1e3, 1), Fmt((m1 + m2) / 1e3, 1),
+                    std::to_string(bd.matched_segments)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig. 4: speedups of specialized SSE kernels over the general SSE kernel.
+#include "kernel_bench.h"
+
+int main() {
+  return fesia::bench::RunKernelFigure(
+      fesia::SimdLevel::kSse,
+      "Fig. 4 — Speedups of SSE kernels (specialized vs general)",
+      "specialized SSE kernels are up to 70% faster (~1.7x) than the "
+      "general SIMD intersection, sizes 1x1..7x7",
+      /*print_stride=*/1);
+}

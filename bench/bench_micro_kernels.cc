@@ -1,0 +1,83 @@
+// Google-benchmark microbenchmarks of the core primitives: pairwise FESIA
+// count vs each baseline at a fixed workload, and the per-call cost of the
+// FESIA build. Complements the figure harnesses with ns/op-style numbers.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/registry.h"
+#include "datagen/datagen.h"
+#include "fesia/fesia.h"
+
+namespace {
+
+using fesia::FesiaParams;
+using fesia::FesiaSet;
+using fesia::SimdLevel;
+
+const fesia::datagen::SetPair& SharedPair() {
+  static const auto* pair = new fesia::datagen::SetPair(
+      fesia::datagen::PairWithSelectivity(100000, 100000, 0.01, 77));
+  return *pair;
+}
+
+void BM_Baseline(benchmark::State& state, const char* name) {
+  const auto& pair = SharedPair();
+  const auto* method = fesia::baselines::FindBaseline(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method->fn(pair.a.data(), pair.a.size(),
+                                        pair.b.data(), pair.b.size()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pair.a.size() * 2));
+}
+BENCHMARK_CAPTURE(BM_Baseline, scalar, "Scalar");
+BENCHMARK_CAPTURE(BM_Baseline, shuffling, "Shuffling");
+BENCHMARK_CAPTURE(BM_Baseline, bmiss, "BMiss");
+BENCHMARK_CAPTURE(BM_Baseline, simd_galloping, "SIMDGalloping");
+
+void BM_FesiaCount(benchmark::State& state, SimdLevel level) {
+  if (static_cast<int>(level) >
+      static_cast<int>(fesia::DetectSimdLevel())) {
+    state.SkipWithError("level unsupported on this host");
+    return;
+  }
+  const auto& pair = SharedPair();
+  FesiaParams p;
+  p.simd_level = level;
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b, p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fesia::IntersectCount(fa, fb, level));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pair.a.size() * 2));
+}
+BENCHMARK_CAPTURE(BM_FesiaCount, scalar, SimdLevel::kScalar);
+BENCHMARK_CAPTURE(BM_FesiaCount, sse, SimdLevel::kSse);
+BENCHMARK_CAPTURE(BM_FesiaCount, avx2, SimdLevel::kAvx2);
+BENCHMARK_CAPTURE(BM_FesiaCount, avx512, SimdLevel::kAvx512);
+
+void BM_FesiaBuild(benchmark::State& state) {
+  const auto& pair = SharedPair();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FesiaSet::Build(pair.a));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pair.a.size()));
+}
+BENCHMARK(BM_FesiaBuild);
+
+void BM_FesiaHash(benchmark::State& state) {
+  auto pair = fesia::datagen::PairWithSelectivity(2000, 200000, 0.3, 5);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fesia::IntersectCountHash(fa, fb));
+  }
+}
+BENCHMARK(BM_FesiaHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+#include "kernel_bench.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fesia/backends.h"
+#include "fesia/kernels.h"
+#include "util/aligned_buffer.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace fesia::bench {
+namespace {
+
+constexpr uint32_t kPairs = 2048;  // segment pairs timed per size pair
+constexpr uint32_t kSlot = 48;     // elements reserved per run (> 2V + V)
+
+// Fills `buf` with kPairs sentinel-padded sorted runs of `size` elements.
+void FillRuns(AlignedBuffer<uint32_t>* buf, uint32_t size, uint64_t seed) {
+  buf->Reset(kPairs * kSlot, /*pad_elements=*/32);
+  for (size_t i = 0; i < buf->padded_size(); ++i) {
+    (*buf)[i] = 0xFFFFFFFFu;
+  }
+  Rng rng(seed);
+  std::vector<uint32_t> run;
+  for (uint32_t p = 0; p < kPairs; ++p) {
+    run.clear();
+    while (run.size() < size) {
+      run.push_back(rng.Next32() & 0x0FFFFFFFu);
+      std::sort(run.begin(), run.end());
+      run.erase(std::unique(run.begin(), run.end()), run.end());
+    }
+    std::copy(run.begin(), run.end(), buf->data() + p * kSlot);
+  }
+}
+
+double CyclesPerPair(internal::SegKernelFn fn, const uint32_t* a,
+                     const uint32_t* b) {
+  uint64_t sink = 0;
+  double cycles = MedianCycles(
+      [&] {
+        uint64_t sum = 0;
+        for (uint32_t p = 0; p < kPairs; ++p) {
+          sum += fn(a + p * kSlot, b + p * kSlot);
+        }
+        sink += sum;
+      },
+      5);
+  DoNotOptimize(sink);
+  return cycles / kPairs;
+}
+
+}  // namespace
+
+int RunKernelFigure(SimdLevel level, const char* title,
+                    const char* paper_claim, int print_stride) {
+  PrintBanner(title, paper_claim);
+  if (!HostSupports(level)) {
+    std::printf("SKIPPED: host does not support %s\n", SimdLevelName(level));
+    return 1;
+  }
+  const internal::Backend& backend = internal::GetBackend(level);
+  // Guarded table on both sides: the general kernel reads the sentinel
+  // padding by construction, so both variants must mask it; using the same
+  // table for both keeps the comparison apples-to-apples.
+  const internal::KernelTable& kt = backend.kernels(true);
+  const uint32_t v = static_cast<uint32_t>(kt.lanes);
+  const uint32_t max_size = static_cast<uint32_t>(kt.max_size);
+
+  auto round_up = [v](uint32_t s) { return (s + v - 1) / v * v; };
+
+  TablePrinter table("speedup of specialized kernel over general " +
+                     std::to_string(v) + "-lane kernel (rows Sa, cols Sb)");
+  std::vector<std::string> header = {"Sa\\Sb"};
+  for (uint32_t sb = 1; sb <= max_size; sb += print_stride) {
+    header.push_back(std::to_string(sb));
+  }
+  table.SetHeader(header);
+
+  AlignedBuffer<uint32_t> bufa;
+  AlignedBuffer<uint32_t> bufb;
+  double min_speedup = 1e30, max_speedup = 0, sum_speedup = 0;
+  int cells = 0;
+  for (uint32_t sa = 1; sa <= max_size; sa += print_stride) {
+    FillRuns(&bufa, sa, 1000 + sa);
+    std::vector<std::string> row = {std::to_string(sa)};
+    for (uint32_t sb = 1; sb <= max_size; sb += print_stride) {
+      FillRuns(&bufb, sb, 2000 + sb);
+      double spec = CyclesPerPair(kt.At(sa, sb), bufa.data(), bufb.data());
+      double gen = CyclesPerPair(kt.At(round_up(sa), round_up(sb)),
+                                 bufa.data(), bufb.data());
+      double speedup = gen / spec;
+      row.push_back(Fmt(speedup, 2));
+      min_speedup = std::min(min_speedup, speedup);
+      max_speedup = std::max(max_speedup, speedup);
+      sum_speedup += speedup;
+      ++cells;
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "summary: specialized vs general speedup: min %.2fx, avg %.2fx, "
+      "max %.2fx over %d size pairs\n",
+      min_speedup, sum_speedup / cells, max_speedup, cells);
+  return 0;
+}
+
+}  // namespace fesia::bench

@@ -1,0 +1,18 @@
+// Shared driver for the specialized-vs-general kernel figures (Figs. 4-6).
+#ifndef FESIA_BENCH_KERNEL_BENCH_H_
+#define FESIA_BENCH_KERNEL_BENCH_H_
+
+#include "util/cpu.h"
+
+namespace fesia::bench {
+
+/// Benchmarks every (Sa, Sb) specialized kernel at `level` against the
+/// general vector-rounded kernel on the same data and prints the speedup
+/// matrix (rows/cols subsampled by `print_stride`). Returns 0, or 1 if the
+/// host lacks `level`.
+int RunKernelFigure(SimdLevel level, const char* title,
+                    const char* paper_claim, int print_stride);
+
+}  // namespace fesia::bench
+
+#endif  // FESIA_BENCH_KERNEL_BENCH_H_

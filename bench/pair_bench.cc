@@ -1,0 +1,57 @@
+#include "pair_bench.h"
+
+#include <string>
+
+#include "baselines/registry.h"
+#include "bench_common.h"
+#include "fesia/fesia.h"
+#include "util/timer.h"
+
+namespace fesia::bench {
+
+std::vector<SimdLevel> FesiaBenchLevels() {
+  std::vector<SimdLevel> levels;
+  for (SimdLevel level :
+       {SimdLevel::kSse, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (HostSupports(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+std::vector<MethodTiming> TimePairAllMethods(
+    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+    const std::vector<SimdLevel>& fesia_levels, bool include_fesia_hash,
+    int reps) {
+  std::vector<MethodTiming> out;
+  volatile size_t sink = 0;
+  for (const auto& m : baselines::AllBaselines()) {
+    if (m.name == "Hash") continue;  // not part of the paper's figure set
+    double cycles = MedianCycles(
+        [&] { sink = m.fn(a.data(), a.size(), b.data(), b.size()); }, reps);
+    out.push_back({m.name, cycles});
+  }
+  for (SimdLevel level : fesia_levels) {
+    FesiaParams p;
+    p.simd_level = level;
+    FesiaSet fa = FesiaSet::Build(a, p);
+    FesiaSet fb = FesiaSet::Build(b, p);
+    double cycles =
+        MedianCycles([&] { sink = IntersectCount(fa, fb, level); }, reps);
+    out.push_back(
+        {std::string("FESIA") + SimdLevelName(level), cycles});
+  }
+  if (include_fesia_hash && !fesia_levels.empty()) {
+    SimdLevel level = fesia_levels.back();
+    FesiaParams p;
+    p.simd_level = level;
+    FesiaSet fa = FesiaSet::Build(a, p);
+    FesiaSet fb = FesiaSet::Build(b, p);
+    double cycles =
+        MedianCycles([&] { sink = IntersectCountHash(fa, fb, level); }, reps);
+    out.push_back({"FESIAhash", cycles});
+  }
+  (void)sink;
+  return out;
+}
+
+}  // namespace fesia::bench

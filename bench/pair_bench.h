@@ -1,0 +1,34 @@
+// Shared driver for the pairwise method-comparison figures (Figs. 7-9, 11).
+#ifndef FESIA_BENCH_PAIR_BENCH_H_
+#define FESIA_BENCH_PAIR_BENCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/cpu.h"
+
+namespace fesia::bench {
+
+/// One method's time on one input pair.
+struct MethodTiming {
+  std::string name;
+  double cycles;
+};
+
+/// Times every baseline from the registry plus FESIA at each requested SIMD
+/// level (and optionally FESIAhash at the widest level) on the pair (a, b).
+/// FESIA structures are built outside the timed region (the paper excludes
+/// construction, Sec. VII-A).
+std::vector<MethodTiming> TimePairAllMethods(
+    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+    const std::vector<SimdLevel>& fesia_levels, bool include_fesia_hash,
+    int reps);
+
+/// SIMD levels to benchmark FESIA at on this host (subset of
+/// {sse, avx2, avx512}).
+std::vector<SimdLevel> FesiaBenchLevels();
+
+}  // namespace fesia::bench
+
+#endif  // FESIA_BENCH_PAIR_BENCH_H_

@@ -1,0 +1,41 @@
+# End-to-end smoke test of fesia_cli: generate -> encode -> info ->
+# intersect with FESIA and a baseline, then verify both report the same
+# intersection size.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_cli out_var)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fesia_cli ${ARGN} failed (${rc}): ${out}${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_cli(out generate-pair --n1 20000 --n2 50000 --selectivity 0.25
+        --seed 9 --out-a ${WORK_DIR}/a.bin --out-b ${WORK_DIR}/b.bin)
+run_cli(out encode --in ${WORK_DIR}/a.bin --out ${WORK_DIR}/a.fesia)
+run_cli(out info --in ${WORK_DIR}/a.fesia)
+if(NOT out MATCHES "keys: *20000")
+  message(FATAL_ERROR "info did not report 20000 keys: ${out}")
+endif()
+
+run_cli(fesia_out intersect --a ${WORK_DIR}/a.fesia --b ${WORK_DIR}/b.bin
+        --method fesia --reps 1)
+run_cli(scalar_out intersect --a ${WORK_DIR}/a.bin --b ${WORK_DIR}/b.bin
+        --method Scalar --reps 1)
+
+string(REGEX MATCH "∩ B\\| = ([0-9]+)" _ "${fesia_out}")
+set(fesia_count ${CMAKE_MATCH_1})
+string(REGEX MATCH "∩ B\\| = ([0-9]+)" _ "${scalar_out}")
+set(scalar_count ${CMAKE_MATCH_1})
+if(NOT fesia_count STREQUAL scalar_count)
+  message(FATAL_ERROR
+          "count mismatch: fesia=${fesia_count} scalar=${scalar_count}")
+endif()
+if(NOT fesia_count STREQUAL "5000")
+  message(FATAL_ERROR "expected 5000 common keys, got ${fesia_count}")
+endif()
+message(STATUS "cli smoke ok: ${fesia_count} common keys")

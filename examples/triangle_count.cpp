@@ -1,0 +1,55 @@
+// Triangle counting on a power-law graph — the graph-analytics workload of
+// Fig. 13. Adjacency-list intersections dominate; FESIA prunes them with
+// per-vertex segmented bitmaps.
+//
+//   ./examples/triangle_count
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "graph/generators.h"
+#include "graph/triangle.h"
+#include "util/timer.h"
+
+int main() {
+  fesia::graph::RmatParams rp;
+  rp.num_nodes = 1 << 17;
+  rp.num_edges = 16ull << 17;
+  std::printf("generating RMAT graph (%u nodes, %llu edges)...\n",
+              rp.num_nodes,
+              static_cast<unsigned long long>(rp.num_edges));
+  fesia::graph::Graph g = fesia::graph::GenerateRmatGraph(rp);
+  fesia::graph::Graph dag = g.DegreeOrientedDag();
+  std::printf("after dedup: %llu undirected edges, max degree %u\n",
+              static_cast<unsigned long long>(g.num_edges()), g.MaxDegree());
+
+  fesia::WallTimer timer;
+  uint64_t scalar_count = fesia::graph::CountTriangles(
+      dag, fesia::baselines::FindBaseline("Scalar")->fn);
+  std::printf("%-18s %12llu triangles  %8.3f s\n", "Scalar merge",
+              static_cast<unsigned long long>(scalar_count), timer.Seconds());
+
+  timer.Restart();
+  uint64_t shuffling_count = fesia::graph::CountTriangles(
+      dag, fesia::baselines::FindBaseline("Shuffling")->fn);
+  std::printf("%-18s %12llu triangles  %8.3f s\n", "SIMD shuffling",
+              static_cast<unsigned long long>(shuffling_count),
+              timer.Seconds());
+
+  fesia::graph::FesiaTriangleCounter counter(&dag, fesia::FesiaParams{});
+  std::printf("FESIA construction: %.3f s, %.1f MB\n",
+              counter.construction_seconds(),
+              static_cast<double>(counter.memory_bytes()) / 1e6);
+  timer.Restart();
+  uint64_t fesia_count = counter.Count();
+  std::printf("%-18s %12llu triangles  %8.3f s\n", "FESIA",
+              static_cast<unsigned long long>(fesia_count), timer.Seconds());
+
+  timer.Restart();
+  uint64_t fesia_mt = counter.Count(fesia::SimdLevel::kAuto, 4);
+  std::printf("%-18s %12llu triangles  %8.3f s\n", "FESIA (4 threads)",
+              static_cast<unsigned long long>(fesia_mt), timer.Seconds());
+  return scalar_count == fesia_count && fesia_count == shuffling_count &&
+                 fesia_mt == fesia_count
+             ? 0
+             : 1;
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Plot FESIA benchmark output.
+
+Run the benches in CSV mode and feed the files to this script:
+
+    FESIA_TABLE_FORMAT=csv ./build/bench/bench_fig7_varying_size > fig7.csv
+    python3 scripts/plot_results.py fig7.csv fig8.csv ...
+
+Each CSV produced by util/table_printer.cc holds one table: an optional
+"# title" line, a header row, then data rows whose first column is the
+x-axis label. Numeric columns become one line series each ("3.42x" speedup
+suffixes are stripped). One PNG is written next to each input file.
+
+matplotlib is optional; without it the script prints the parsed series so
+the data is still usable.
+"""
+
+import csv
+import pathlib
+import re
+import sys
+
+
+def parse_table(path):
+    title = pathlib.Path(path).stem
+    header, rows = None, []
+    with open(path, newline="", encoding="utf-8") as fh:
+        for record in csv.reader(
+            line for line in fh if not line.startswith("====")
+        ):
+            if not record:
+                continue
+            if record[0].startswith("#"):
+                title = record[0].lstrip("# ").strip()
+                continue
+            if header is None:
+                header = record
+            else:
+                rows.append(record)
+    return title, header, rows
+
+
+def to_number(cell):
+    match = re.fullmatch(r"(-?[0-9.]+)x?%?", cell.strip())
+    return float(match.group(1)) if match else None
+
+
+def series_from(header, rows):
+    xs = [row[0] for row in rows]
+    series = {}
+    for col in range(1, len(header)):
+        values = [to_number(row[col]) if col < len(row) else None
+                  for row in rows]
+        if all(v is not None for v in values):
+            series[header[col]] = values
+    return xs, series
+
+
+def main(paths):
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib not available; printing parsed series instead")
+
+    for path in paths:
+        title, header, rows = parse_table(path)
+        if not header or not rows:
+            print(f"{path}: no table found, skipping")
+            continue
+        xs, series = series_from(header, rows)
+        if not series:
+            print(f"{path}: no numeric columns, skipping")
+            continue
+        if plt is None:
+            print(f"== {title} ==")
+            print("x:", xs)
+            for name, values in series.items():
+                print(f"{name}: {values}")
+            continue
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for name, values in series.items():
+            ax.plot(range(len(xs)), values, marker="o", label=name)
+        ax.set_xticks(range(len(xs)))
+        ax.set_xticklabels(xs, rotation=30, ha="right")
+        ax.set_title(title)
+        ax.set_xlabel(header[0])
+        ax.legend(fontsize=8)
+        ax.grid(True, alpha=0.3)
+        out = pathlib.Path(path).with_suffix(".png")
+        fig.tight_layout()
+        fig.savefig(out, dpi=130)
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    main(sys.argv[1:])

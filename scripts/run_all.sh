@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full verification sweep: build, tests, every benchmark.
+# Produces test_output.txt and bench_output.txt at the repo root.
+set -u
+cd "$(dirname "$0")/.."
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

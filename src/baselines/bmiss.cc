@@ -1,0 +1,108 @@
+#include "baselines/bmiss.h"
+
+#include <immintrin.h>
+
+#include <vector>
+
+namespace fesia::baselines {
+namespace {
+
+// A candidate block pair whose partial keys matched; verified later.
+struct Candidate {
+  uint32_t a_pos;  // start of the A block
+  uint32_t b_pos;  // start of the B block
+};
+
+// Packs the low 16 bits of the four 32-bit lanes of `v` into the low 64 bits.
+inline __m128i PackLow16(__m128i v) {
+  const __m128i kShuffle =
+      _mm_setr_epi8(0, 1, 4, 5, 8, 9, 12, 13, static_cast<char>(0x80),
+                    static_cast<char>(0x80), static_cast<char>(0x80),
+                    static_cast<char>(0x80), static_cast<char>(0x80),
+                    static_cast<char>(0x80), static_cast<char>(0x80),
+                    static_cast<char>(0x80));
+  return _mm_shuffle_epi8(v, kShuffle);
+}
+
+// True iff any of the 16 (a_lane, b_lane) pairs have equal low-16-bit keys.
+inline bool PartialKeysCollide(__m128i va, __m128i vb) {
+  __m128i pa = PackLow16(va);  // 4 x u16 in lanes 0..3
+  __m128i pb = PackLow16(vb);
+  // Duplicate the packed quads so one 8x16-bit compare covers two rotations.
+  __m128i pa2 = _mm_unpacklo_epi64(pa, pa);
+  __m128i pb01 = _mm_unpacklo_epi64(
+      pb, _mm_shufflelo_epi16(pb, _MM_SHUFFLE(0, 3, 2, 1)));
+  __m128i pb23 = _mm_unpacklo_epi64(
+      _mm_shufflelo_epi16(pb, _MM_SHUFFLE(1, 0, 3, 2)),
+      _mm_shufflelo_epi16(pb, _MM_SHUFFLE(2, 1, 0, 3)));
+  __m128i eq = _mm_or_si128(_mm_cmpeq_epi16(pa2, pb01),
+                            _mm_cmpeq_epi16(pa2, pb23));
+  return _mm_movemask_epi8(eq) != 0;
+}
+
+template <typename Emit>
+size_t BMissImpl(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                 Emit emit) {
+  size_t i = 0, j = 0;
+  size_t na4 = na & ~size_t{3};
+  size_t nb4 = nb & ~size_t{3};
+  std::vector<Candidate> queue;
+  queue.reserve(256);
+
+  while (i < na4 && j < nb4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    if (PartialKeysCollide(va, vb)) {
+      queue.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+    }
+    uint32_t amax = a[i + 3];
+    uint32_t bmax = b[j + 3];
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+
+  // Verification pass: full-key merge inside each queued 4x4 block pair.
+  // The queue decouples this (branchy) work from the streaming loop above.
+  size_t r = 0;
+  for (const Candidate& c : queue) {
+    const uint32_t* pa = a + c.a_pos;
+    const uint32_t* pb = b + c.b_pos;
+    for (int x = 0; x < 4; ++x) {
+      for (int y = 0; y < 4; ++y) {
+        if (pa[x] == pb[y]) {
+          emit(pa[x]);
+          ++r;
+        }
+      }
+    }
+  }
+  // Scalar tail merge for the remaining (< 4-element) fringes.
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      emit(a[i]);
+      ++r;
+      ++i;
+      ++j;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+size_t BMiss(const uint32_t* a, size_t na, const uint32_t* b, size_t nb) {
+  return BMissImpl(a, na, b, nb, [](uint32_t) {});
+}
+
+size_t BMissInto(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                 uint32_t* out) {
+  size_t k = 0;
+  size_t r = BMissImpl(a, na, b, nb, [&](uint32_t v) { out[k++] = v; });
+  return r;
+}
+
+}  // namespace fesia::baselines

@@ -1,0 +1,31 @@
+// BMiss block-based intersection (Inoue, Ohara, Taura; PVLDB 2014).
+//
+// BMiss attacks the branch mispredictions of merge intersection in two ways:
+// (1) the main loop compares fixed-size blocks all-pairs with SIMD on
+// *partial keys* (the low 16 bits), which is branch-free, and (2) candidate
+// hits are appended to a small queue and verified against the full 32-bit
+// keys in a separate pass, so the unpredictable "is it a real match?" branch
+// never sits on the critical path of pointer advancement.
+//
+// This implementation follows the paper's SIMD (non-STTNI) variant with
+// block size 4. Partial-key equality can produce false positives; the
+// verification pass makes the result exact.
+#ifndef FESIA_BASELINES_BMISS_H_
+#define FESIA_BASELINES_BMISS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fesia::baselines {
+
+/// BMiss intersection; returns the intersection size.
+size_t BMiss(const uint32_t* a, size_t na, const uint32_t* b, size_t nb);
+
+/// BMiss intersection materializing the result into `out` (room for
+/// min(na, nb) values required). Returns the intersection size.
+size_t BMissInto(const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+                 uint32_t* out);
+
+}  // namespace fesia::baselines
+
+#endif  // FESIA_BASELINES_BMISS_H_

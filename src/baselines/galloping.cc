@@ -1,0 +1,67 @@
+#include "baselines/galloping.h"
+
+#include <algorithm>
+
+namespace fesia::baselines {
+
+size_t GallopLowerBound(const uint32_t* b, size_t nb, size_t hint,
+                        uint32_t key) {
+  if (hint >= nb) return nb;
+  // Doubling phase: find a bracket [lo, hi) with b[lo-1] < key <= b[hi-1].
+  size_t step = 1;
+  size_t lo = hint;
+  size_t hi = hint;
+  while (hi < nb && b[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+    if (hi > nb) {
+      hi = nb;
+      break;
+    }
+  }
+  hi = std::min(hi + 1, nb);
+  // Binary phase inside the bracket.
+  const uint32_t* first =
+      std::lower_bound(b + lo, b + hi, key);
+  return static_cast<size_t>(first - b);
+}
+
+namespace {
+
+template <typename Emit>
+size_t GallopIntersect(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb, Emit emit) {
+  if (na > nb) {
+    // Drive with the smaller side; re-dispatch with swapped arguments.
+    return GallopIntersect(b, nb, a, na, emit);
+  }
+  size_t pos = 0;
+  size_t r = 0;
+  for (size_t i = 0; i < na; ++i) {
+    uint32_t key = a[i];
+    pos = GallopLowerBound(b, nb, pos, key);
+    if (pos == nb) break;
+    if (b[pos] == key) {
+      emit(key);
+      ++r;
+      ++pos;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+size_t ScalarGalloping(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb) {
+  return GallopIntersect(a, na, b, nb, [](uint32_t) {});
+}
+
+size_t ScalarGallopingInto(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, uint32_t* out) {
+  size_t k = 0;
+  return GallopIntersect(a, na, b, nb, [&](uint32_t v) { out[k++] = v; });
+}
+
+}  // namespace fesia::baselines

@@ -1,0 +1,31 @@
+// Scalar galloping (exponential / binary search) intersection.
+//
+// Bentley-Yao unbounded search: for each element of the smaller set, gallop
+// through the larger set in doubling strides, then binary-search the final
+// bracket. O(n1 log n2); the method of choice when n1 << n2.
+#ifndef FESIA_BASELINES_GALLOPING_H_
+#define FESIA_BASELINES_GALLOPING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fesia::baselines {
+
+/// Galloping intersection; sides are swapped internally so the smaller set
+/// drives the search. Returns the intersection size.
+size_t ScalarGalloping(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb);
+
+/// Galloping intersection materializing the result into `out`
+/// (room for min(na, nb) values required). Returns the intersection size.
+size_t ScalarGallopingInto(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, uint32_t* out);
+
+/// Index of the first element in sorted [b, b+nb) that is >= key, found by
+/// galloping from `hint`. Exposed for reuse by the SIMD galloping variant.
+size_t GallopLowerBound(const uint32_t* b, size_t nb, size_t hint,
+                        uint32_t key);
+
+}  // namespace fesia::baselines
+
+#endif  // FESIA_BASELINES_GALLOPING_H_

@@ -1,0 +1,60 @@
+#include "baselines/hash_intersect.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace fesia::baselines {
+namespace {
+
+constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+
+// Fibonacci hashing: multiply by 2^32/phi and keep the top bits.
+inline uint32_t HashKey(uint32_t key, uint32_t mask, int shift) {
+  return (key * 2654435769u >> shift) & mask;
+}
+
+}  // namespace
+
+HashSet32::HashSet32(const uint32_t* keys, size_t n) {
+  size_t cap = RoundUpPow2(std::max<size_t>(2, n * 2));
+  slots_.assign(cap, kEmpty);
+  mask_ = static_cast<uint32_t>(cap - 1);
+  int shift = 32 - Log2Pow2(cap);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t key = keys[i];
+    uint32_t pos = HashKey(key, mask_, shift);
+    while (slots_[pos] != kEmpty) {
+      if (slots_[pos] == key) break;  // duplicate input key
+      pos = (pos + 1) & mask_;
+    }
+    slots_[pos] = key;
+  }
+}
+
+bool HashSet32::Contains(uint32_t key) const {
+  int shift = 32 - Log2Pow2(slots_.size());
+  uint32_t pos = HashKey(key, mask_, shift);
+  while (true) {
+    uint32_t v = slots_[pos];
+    if (v == key) return true;
+    if (v == kEmpty) return false;
+    pos = (pos + 1) & mask_;
+  }
+}
+
+size_t HashIntersect(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb) {
+  if (na > nb) return HashIntersect(b, nb, a, na);
+  HashSet32 table(a, na);
+  return HashProbeCount(table, b, nb);
+}
+
+size_t HashProbeCount(const HashSet32& table, const uint32_t* probe,
+                      size_t n) {
+  size_t r = 0;
+  for (size_t i = 0; i < n; ++i) r += table.Contains(probe[i]);
+  return r;
+}
+
+}  // namespace fesia::baselines

@@ -1,0 +1,44 @@
+// Hash-based set intersection (paper Sec. II-A).
+//
+// Builds an open-addressing table from the smaller set and probes it with
+// every element of the larger set: O(min(n1, n2)) expected probes plus the
+// build. This is the classical winner under extreme skew and the baseline
+// FESIAhash is designed to match asymptotically.
+#ifndef FESIA_BASELINES_HASH_INTERSECT_H_
+#define FESIA_BASELINES_HASH_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fesia::baselines {
+
+/// Linear-probing hash set of uint32_t keys, reusable across queries.
+/// Key 0xFFFFFFFF is reserved as the empty slot marker.
+class HashSet32 {
+ public:
+  /// Builds a table over [keys, keys + n) at ~50% load factor.
+  HashSet32(const uint32_t* keys, size_t n);
+
+  /// True iff `key` was inserted at build time.
+  bool Contains(uint32_t key) const;
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<uint32_t> slots_;
+  uint32_t mask_ = 0;
+};
+
+/// One-shot hash intersection: builds a table from the smaller input, probes
+/// with the larger. Returns the intersection size.
+size_t HashIntersect(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb);
+
+/// Probe-only intersection against a prebuilt table; counts elements of
+/// [probe, probe + n) present in `table`.
+size_t HashProbeCount(const HashSet32& table, const uint32_t* probe, size_t n);
+
+}  // namespace fesia::baselines
+
+#endif  // FESIA_BASELINES_HASH_INTERSECT_H_

@@ -1,0 +1,75 @@
+#include "baselines/hiera.h"
+
+#include <nmmintrin.h>
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace fesia::baselines {
+
+HieraSet::HieraSet(std::span<const uint32_t> sorted) : size_(sorted.size()) {
+  lows_.Reset(sorted.size(), /*pad_elements=*/16);
+  size_t i = 0;
+  while (i < sorted.size()) {
+    uint16_t high = static_cast<uint16_t>(sorted[i] >> 16);
+    uint32_t begin = static_cast<uint32_t>(i);
+    while (i < sorted.size() &&
+           static_cast<uint16_t>(sorted[i] >> 16) == high) {
+      lows_[i] = static_cast<uint16_t>(sorted[i] & 0xFFFF);
+      ++i;
+    }
+    buckets_.push_back({high, begin, static_cast<uint32_t>(i) - begin});
+  }
+}
+
+size_t SttniIntersect16(const uint16_t* a, size_t na, const uint16_t* b,
+                        size_t nb) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < na && j < nb) {
+    int la = static_cast<int>(std::min<size_t>(8, na - i));
+    int lb = static_cast<int>(std::min<size_t>(8, nb - j));
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    // Bit k of the result is set iff vb[k] equals ANY element of va
+    // (PCMPESTRM with unsigned-word, equal-any, bit-mask mode).
+    __m128i res = _mm_cmpestrm(
+        va, la, vb, lb,
+        _SIDD_UWORD_OPS | _SIDD_CMP_EQUAL_ANY | _SIDD_BIT_MASK);
+    count += static_cast<size_t>(
+        _mm_popcnt_u32(static_cast<unsigned>(_mm_cvtsi128_si32(res))));
+    uint16_t amax = a[i + static_cast<size_t>(la) - 1];
+    uint16_t bmax = b[j + static_cast<size_t>(lb) - 1];
+    if (amax <= bmax) i += static_cast<size_t>(la);
+    if (bmax <= amax) j += static_cast<size_t>(lb);
+  }
+  return count;
+}
+
+size_t HieraIntersect(const HieraSet& a, const HieraSet& b) {
+  const auto& ba = a.buckets();
+  const auto& bb = b.buckets();
+  size_t i = 0, j = 0, count = 0;
+  while (i < ba.size() && j < bb.size()) {
+    if (ba[i].high < bb[j].high) {
+      ++i;
+    } else if (ba[i].high > bb[j].high) {
+      ++j;
+    } else {
+      count += SttniIntersect16(a.lows() + ba[i].begin, ba[i].length,
+                                b.lows() + bb[j].begin, bb[j].length);
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t HieraOneShot(const uint32_t* a, size_t na, const uint32_t* b,
+                    size_t nb) {
+  HieraSet ha(std::span<const uint32_t>(a, na));
+  HieraSet hb(std::span<const uint32_t>(b, nb));
+  return HieraIntersect(ha, hb);
+}
+
+}  // namespace fesia::baselines

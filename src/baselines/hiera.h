@@ -1,0 +1,64 @@
+// Hiera: hierarchical STTNI-based intersection (Schlegel, Willhalm, Lehner;
+// ADMS 2011) — the remaining method from the paper's Table I.
+//
+// 32-bit keys are bucketed by their high 16 bits (contiguous runs of a
+// sorted list); matching buckets intersect their low-16-bit arrays with the
+// SSE4.2 string-comparison instruction PCMPESTRM, which performs an 8x8
+// all-pairs 16-bit equality comparison in one instruction.
+//
+// As the paper notes, Hiera's effectiveness depends on the data
+// distribution (sparse keys degrade it to scalar-ish behavior) and it
+// requires STTNI, which is why the paper documents but does not benchmark
+// it; we implement it for completeness and expose it both as an offline
+// structure (its natural form) and as a one-shot adapter.
+#ifndef FESIA_BASELINES_HIERA_H_
+#define FESIA_BASELINES_HIERA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace fesia::baselines {
+
+/// Offline hierarchical layout of one sorted, duplicate-free set.
+class HieraSet {
+ public:
+  /// `sorted` must be ascending and duplicate-free.
+  explicit HieraSet(std::span<const uint32_t> sorted);
+
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  struct Bucket {
+    uint16_t high;    // common high 16 bits
+    uint32_t begin;   // offset into lows()
+    uint32_t length;  // number of keys in this bucket
+  };
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  const uint16_t* lows() const { return lows_.data(); }
+
+ private:
+  size_t size_ = 0;
+  std::vector<Bucket> buckets_;
+  AlignedBuffer<uint16_t> lows_;  // low 16 bits, bucket by bucket, padded
+};
+
+/// Intersection size of two hierarchical sets.
+size_t HieraIntersect(const HieraSet& a, const HieraSet& b);
+
+/// One-shot adapter matching the registry signature; includes the layout
+/// conversion in its cost (documented — Hiera assumes an offline layout).
+size_t HieraOneShot(const uint32_t* a, size_t na, const uint32_t* b,
+                    size_t nb);
+
+/// STTNI kernel on two sorted, duplicate-free 16-bit runs. Both runs must
+/// be safely over-readable to a 16-byte boundary (AlignedBuffer padding).
+size_t SttniIntersect16(const uint16_t* a, size_t na, const uint16_t* b,
+                        size_t nb);
+
+}  // namespace fesia::baselines
+
+#endif  // FESIA_BASELINES_HIERA_H_

@@ -1,0 +1,80 @@
+#include "baselines/kway.h"
+
+#include <algorithm>
+
+#include "baselines/galloping.h"
+#include "baselines/scalar_merge.h"
+#include "baselines/shuffling.h"
+
+namespace fesia::baselines {
+namespace {
+
+// Orders set indices by ascending size; intersecting smallest-first keeps
+// every intermediate result as small as possible.
+std::vector<size_t> BySize(std::span<const SetView> sets) {
+  std::vector<size_t> order(sets.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return sets[x].size < sets[y].size; });
+  return order;
+}
+
+template <typename PairInto>
+std::vector<uint32_t> CascadeInto(std::span<const SetView> sets,
+                                  PairInto pair_into) {
+  if (sets.empty()) return {};
+  std::vector<size_t> order = BySize(sets);
+  const SetView& first = sets[order[0]];
+  std::vector<uint32_t> acc(first.data, first.data + first.size);
+  std::vector<uint32_t> tmp;
+  for (size_t s = 1; s < order.size() && !acc.empty(); ++s) {
+    const SetView& next = sets[order[s]];
+    tmp.resize(std::min(acc.size(), next.size));
+    size_t r = pair_into(acc.data(), acc.size(), next.data, next.size,
+                         tmp.data());
+    tmp.resize(r);
+    acc.swap(tmp);
+  }
+  return acc;
+}
+
+}  // namespace
+
+size_t KWayMerge(std::span<const SetView> sets) {
+  return CascadeInto(sets, ScalarMergeInto).size();
+}
+
+std::vector<uint32_t> KWayMergeInto(std::span<const SetView> sets) {
+  return CascadeInto(sets, ScalarMergeInto);
+}
+
+size_t KWayGalloping(std::span<const SetView> sets) {
+  if (sets.empty()) return 0;
+  std::vector<size_t> order = BySize(sets);
+  const SetView& anchor = sets[order[0]];
+  // Per-set galloping cursors; anchor elements ascend, so cursors only move
+  // forward.
+  std::vector<size_t> pos(sets.size(), 0);
+  size_t r = 0;
+  for (size_t i = 0; i < anchor.size; ++i) {
+    uint32_t key = anchor.data[i];
+    bool in_all = true;
+    for (size_t s = 1; s < order.size(); ++s) {
+      const SetView& sv = sets[order[s]];
+      size_t p = GallopLowerBound(sv.data, sv.size, pos[s], key);
+      pos[s] = p;
+      if (p == sv.size || sv.data[p] != key) {
+        in_all = false;
+        break;
+      }
+    }
+    r += in_all;
+  }
+  return r;
+}
+
+size_t KWayShuffling(std::span<const SetView> sets) {
+  return CascadeInto(sets, ShufflingInto).size();
+}
+
+}  // namespace fesia::baselines

@@ -1,0 +1,38 @@
+// Reference k-way intersection baselines (paper Table I, Fig. 10).
+//
+// Two strategies: (1) cascaded pairwise merge, cost n1 + n2 + ... + nk, and
+// (2) anchored galloping, which looks every element of the smallest set up
+// in all other sets, cost n1 (log n2 + ... + log nk).
+#ifndef FESIA_BASELINES_KWAY_H_
+#define FESIA_BASELINES_KWAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fesia::baselines {
+
+/// A non-owning view of one sorted input set.
+struct SetView {
+  const uint32_t* data = nullptr;
+  size_t size = 0;
+};
+
+/// Cascaded merge: intersects sets pairwise in the given order.
+/// Returns the k-way intersection size.
+size_t KWayMerge(std::span<const SetView> sets);
+
+/// Cascaded merge materializing the result.
+std::vector<uint32_t> KWayMergeInto(std::span<const SetView> sets);
+
+/// Anchored galloping: each element of the smallest set is binary-searched
+/// in every other set. Returns the k-way intersection size.
+size_t KWayGalloping(std::span<const SetView> sets);
+
+/// Cascaded SIMD shuffling merge (SSE), the vector analogue of KWayMerge.
+size_t KWayShuffling(std::span<const SetView> sets);
+
+}  // namespace fesia::baselines
+
+#endif  // FESIA_BASELINES_KWAY_H_

@@ -1,0 +1,31 @@
+#include "baselines/registry.h"
+
+#include "baselines/bmiss.h"
+#include "baselines/galloping.h"
+#include "baselines/hash_intersect.h"
+#include "baselines/scalar_merge.h"
+#include "baselines/shuffling.h"
+#include "baselines/simd_galloping.h"
+
+namespace fesia::baselines {
+
+const std::vector<Method>& AllBaselines() {
+  static const std::vector<Method>& methods = *new std::vector<Method>{
+      {"Scalar", &ScalarMergeBranchless, false},
+      {"ScalarGalloping", &ScalarGalloping, false},
+      {"Shuffling", &Shuffling, true},
+      {"BMiss", &BMiss, true},
+      {"SIMDGalloping", &SimdGalloping, true},
+      {"Hash", &HashIntersect, false},
+  };
+  return methods;
+}
+
+const Method* FindBaseline(const std::string& name) {
+  for (const Method& m : AllBaselines()) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace fesia::baselines

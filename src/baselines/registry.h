@@ -1,0 +1,35 @@
+// Named registry of pairwise intersection methods.
+//
+// The benchmark harness and the integration tests iterate over every method
+// by name so each paper figure reports the same competitor set.
+#ifndef FESIA_BASELINES_REGISTRY_H_
+#define FESIA_BASELINES_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fesia::baselines {
+
+/// Pairwise count-only intersection signature shared by all baselines.
+using IntersectCountFn = size_t (*)(const uint32_t* a, size_t na,
+                                    const uint32_t* b, size_t nb);
+
+/// One registered method.
+struct Method {
+  std::string name;
+  IntersectCountFn fn;
+  bool uses_simd;
+};
+
+/// All baseline methods, in the order the paper lists them
+/// (Scalar, ScalarGalloping, Shuffling, BMiss, SIMDGalloping, Hash).
+const std::vector<Method>& AllBaselines();
+
+/// Looks a method up by name; returns nullptr when absent.
+const Method* FindBaseline(const std::string& name);
+
+}  // namespace fesia::baselines
+
+#endif  // FESIA_BASELINES_REGISTRY_H_

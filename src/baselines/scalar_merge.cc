@@ -1,0 +1,54 @@
+#include "baselines/scalar_merge.h"
+
+namespace fesia::baselines {
+
+size_t ScalarMerge(const uint32_t* a, size_t na, const uint32_t* b,
+                   size_t nb) {
+  size_t i = 0, j = 0, r = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+      ++r;
+    }
+  }
+  return r;
+}
+
+size_t ScalarMergeBranchless(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb) {
+  size_t i = 0, j = 0, r = 0;
+  while (i < na && j < nb) {
+    uint32_t va = a[i];
+    uint32_t vb = b[j];
+    // All three updates compile to flag-setting compares + conditional
+    // increments (setcc/cmov); the loop has a single, well-predicted branch.
+    r += (va == vb);
+    i += (va <= vb);
+    j += (vb <= va);
+  }
+  return r;
+}
+
+size_t ScalarMergeInto(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb, uint32_t* out) {
+  size_t i = 0, j = 0, r = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out[r++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return r;
+}
+
+}  // namespace fesia::baselines

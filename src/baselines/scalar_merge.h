@@ -1,0 +1,28 @@
+// Scalar merge-based set intersection (paper Listing 1).
+//
+// Two variants: the textbook branching merge, and the branchless variant the
+// paper actually benchmarks as "Scalar" (conditional moves instead of
+// if/else, eliminating the mispredicted element-comparison branch).
+#ifndef FESIA_BASELINES_SCALAR_MERGE_H_
+#define FESIA_BASELINES_SCALAR_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fesia::baselines {
+
+/// Branching merge intersection; returns the intersection size.
+size_t ScalarMerge(const uint32_t* a, size_t na, const uint32_t* b, size_t nb);
+
+/// Branchless (cmov) merge intersection; returns the intersection size.
+size_t ScalarMergeBranchless(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb);
+
+/// Branching merge that also writes the common elements to `out` (which must
+/// have room for min(na, nb) values). Returns the intersection size.
+size_t ScalarMergeInto(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb, uint32_t* out);
+
+}  // namespace fesia::baselines
+
+#endif  // FESIA_BASELINES_SCALAR_MERGE_H_

@@ -1,0 +1,70 @@
+#include "baselines/shuffling.h"
+
+#include <immintrin.h>
+
+#include "baselines/scalar_merge.h"
+#include "util/bits.h"
+
+namespace fesia::baselines {
+namespace {
+
+// OR of the equality masks of `va` against all four rotations of `vb`:
+// lane L of the result is all-ones iff a[L] occurs anywhere in the b block.
+inline __m128i AllPairsEq(__m128i va, __m128i vb) {
+  __m128i rot1 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+  __m128i rot2 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+  __m128i rot3 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+  __m128i cmp = _mm_cmpeq_epi32(va, vb);
+  cmp = _mm_or_si128(cmp, _mm_cmpeq_epi32(va, rot1));
+  cmp = _mm_or_si128(cmp, _mm_cmpeq_epi32(va, rot2));
+  cmp = _mm_or_si128(cmp, _mm_cmpeq_epi32(va, rot3));
+  return cmp;
+}
+
+}  // namespace
+
+size_t Shuffling(const uint32_t* a, size_t na, const uint32_t* b, size_t nb) {
+  size_t i = 0, j = 0, r = 0;
+  size_t na4 = na & ~size_t{3};
+  size_t nb4 = nb & ~size_t{3};
+  while (i < na4 && j < nb4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i cmp = AllPairsEq(va, vb);
+    r += static_cast<size_t>(
+        PopCount64(static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(cmp)))));
+    uint32_t amax = a[i + 3];
+    uint32_t bmax = b[j + 3];
+    // Advance the block(s) whose maximum is not larger; branch-free.
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+  // Scalar tail merge for the remaining (< 4-element) fringes.
+  return r + ScalarMergeBranchless(a + i, na - i, b + j, nb - j);
+}
+
+size_t ShufflingInto(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb, uint32_t* out) {
+  size_t i = 0, j = 0, r = 0;
+  size_t na4 = na & ~size_t{3};
+  size_t nb4 = nb & ~size_t{3};
+  while (i < na4 && j < nb4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i cmp = AllPairsEq(va, vb);
+    uint32_t mask =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(cmp)));
+    while (mask != 0) {
+      int lane = CountTrailingZeros64(mask);
+      out[r++] = a[i + static_cast<size_t>(lane)];
+      mask &= mask - 1;
+    }
+    uint32_t amax = a[i + 3];
+    uint32_t bmax = b[j + 3];
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+  return r + ScalarMergeInto(a + i, na - i, b + j, nb - j, out + r);
+}
+
+}  // namespace fesia::baselines

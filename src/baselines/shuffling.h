@@ -1,0 +1,25 @@
+// SSE "shuffling" intersection (Katsov 2012; Schlegel et al. 2011).
+//
+// The classic vectorized merge: load one 4-element block from each side,
+// compare all 16 pairs using the block and its three lane rotations, count
+// matches with movemask+popcnt, and advance the block whose maximum is
+// smaller. This is the "Shuffling" method benchmarked by the paper.
+#ifndef FESIA_BASELINES_SHUFFLING_H_
+#define FESIA_BASELINES_SHUFFLING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fesia::baselines {
+
+/// Shuffling intersection; returns the intersection size.
+size_t Shuffling(const uint32_t* a, size_t na, const uint32_t* b, size_t nb);
+
+/// Shuffling intersection materializing the common elements into `out`
+/// (room for min(na, nb) values required). Returns the intersection size.
+size_t ShufflingInto(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb, uint32_t* out);
+
+}  // namespace fesia::baselines
+
+#endif  // FESIA_BASELINES_SHUFFLING_H_

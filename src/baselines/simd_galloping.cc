@@ -1,0 +1,97 @@
+#include "baselines/simd_galloping.h"
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace fesia::baselines {
+namespace {
+
+// Window probed with SIMD once galloping has bracketed the key:
+// four 128-bit vectors = 16 candidate elements.
+constexpr size_t kWindow = 16;
+
+// True iff `key` occurs in the 16-element window starting at `w`.
+// The window must be fully in bounds.
+inline bool SimdProbe16(const uint32_t* w, uint32_t key) {
+  __m128i vkey = _mm_set1_epi32(static_cast<int>(key));
+  __m128i c0 = _mm_cmpeq_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(w)), vkey);
+  __m128i c1 = _mm_cmpeq_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + 4)), vkey);
+  __m128i c2 = _mm_cmpeq_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + 8)), vkey);
+  __m128i c3 = _mm_cmpeq_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + 12)), vkey);
+  __m128i any = _mm_or_si128(_mm_or_si128(c0, c1), _mm_or_si128(c2, c3));
+  return _mm_movemask_epi8(any) != 0;
+}
+
+template <typename Emit>
+size_t SimdGallopImpl(const uint32_t* a, size_t na, const uint32_t* b,
+                      size_t nb, Emit emit) {
+  if (na > nb) return SimdGallopImpl(b, nb, a, na, emit);
+  size_t r = 0;
+  size_t block = 0;  // current window index in b (units of kWindow)
+  size_t num_blocks = nb / kWindow;
+  for (size_t i = 0; i < na; ++i) {
+    uint32_t key = a[i];
+    // Gallop in window units: find the first window whose max is >= key.
+    if (block < num_blocks && b[block * kWindow + kWindow - 1] < key) {
+      size_t step = 1;
+      size_t lo = block + 1;
+      size_t hi = block + 1;
+      while (hi < num_blocks && b[hi * kWindow + kWindow - 1] < key) {
+        lo = hi + 1;
+        hi += step;
+        step *= 2;
+        if (hi > num_blocks) {
+          hi = num_blocks;
+          break;
+        }
+      }
+      // Binary search among windows [lo, hi] for the first max >= key.
+      size_t left = lo;
+      size_t right = std::min(hi + 1, num_blocks);
+      while (left < right) {
+        size_t mid = left + (right - left) / 2;
+        if (b[mid * kWindow + kWindow - 1] < key) {
+          left = mid + 1;
+        } else {
+          right = mid;
+        }
+      }
+      block = left;
+    }
+    if (block >= num_blocks) {
+      // Tail region (< kWindow elements): scalar binary search.
+      const uint32_t* base = b + num_blocks * kWindow;
+      size_t tail = nb - num_blocks * kWindow;
+      if (std::binary_search(base, base + tail, key)) {
+        emit(key);
+        ++r;
+      }
+      continue;
+    }
+    if (SimdProbe16(b + block * kWindow, key)) {
+      emit(key);
+      ++r;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+size_t SimdGalloping(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb) {
+  return SimdGallopImpl(a, na, b, nb, [](uint32_t) {});
+}
+
+size_t SimdGallopingInto(const uint32_t* a, size_t na, const uint32_t* b,
+                         size_t nb, uint32_t* out) {
+  size_t k = 0;
+  return SimdGallopImpl(a, na, b, nb, [&](uint32_t v) { out[k++] = v; });
+}
+
+}  // namespace fesia::baselines

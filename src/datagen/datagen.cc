@@ -1,0 +1,172 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace fesia::datagen {
+namespace {
+
+// Largest value generators may emit. 0xFFFFFFFF is reserved: the FESIA
+// reordered-set padding sentinel must never collide with a real element.
+constexpr uint64_t kMaxValue = 0xFFFFFFFEull;
+
+// Draws `n` distinct values in [0, universe) into a sorted vector.
+std::vector<uint32_t> DistinctSample(size_t n, uint64_t universe, Rng& rng) {
+  std::vector<uint32_t> out;
+  if (n == 0) return out;
+
+  // Dense samples (more than half the universe): enumerate the universe and
+  // take a random n-subset via partial Fisher-Yates. Rejection sampling
+  // would degenerate into a coupon-collector here.
+  if (universe < 2 * static_cast<uint64_t>(n)) {
+    out.resize(universe);
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<uint32_t>(i);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      size_t j = i + rng.Below(out.size() - i);
+      std::swap(out[i], out[j]);
+    }
+    out.resize(n);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // Sparse samples: oversample proportionally to the expected collision
+  // rate, dedupe, top up. With fill <= 1/2 each round at least halves the
+  // deficit, so O(log n) rounds suffice.
+  out.reserve(n + n / 2 + 16);
+  size_t target = n;
+  while (out.size() < target) {
+    size_t need = target - out.size();
+    double hit_rate =
+        1.0 - static_cast<double>(out.size()) / static_cast<double>(universe);
+    size_t draw =
+        static_cast<size_t>(static_cast<double>(need) / hit_rate) +
+        need / 4 + 16;
+    for (size_t i = 0; i < draw; ++i) {
+      out.push_back(static_cast<uint32_t>(rng.Below(universe)));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  // Trim the excess uniformly: keep a random subset of the right size
+  // (Fisher-Yates shuffle, truncate, re-sort) so the kept sample stays
+  // uniform over the universe.
+  if (out.size() > target) {
+    for (size_t i = out.size(); i > 1; --i) {
+      std::swap(out[i - 1], out[rng.Below(i)]);
+    }
+    out.resize(target);
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint32_t> SortedUniform(size_t n, uint64_t universe,
+                                    uint64_t seed) {
+  universe = std::min(universe, kMaxValue + 1);
+  if (universe < n) universe = n;  // degenerate: dense range
+  Rng rng(seed);
+  return DistinctSample(n, universe, rng);
+}
+
+SetPair PairWithSelectivity(size_t n1, size_t n2, double selectivity,
+                            uint64_t seed, uint64_t universe) {
+  if (universe == 0) universe = 8ull * (n1 + n2) + 64;
+  universe = std::min(universe, kMaxValue + 1);
+  size_t n_min = std::min(n1, n2);
+  size_t r = static_cast<size_t>(
+      std::llround(selectivity * static_cast<double>(n_min)));
+  r = std::min(r, n_min);
+
+  // Draw one big pool of distinct values, then split it into (shared,
+  // a-only, b-only). The split keeps each final set uniform over the
+  // universe while pinning the intersection size exactly.
+  size_t pool_size = r + (n1 - r) + (n2 - r);
+  if (universe < pool_size) universe = pool_size;
+  Rng rng(seed);
+  std::vector<uint32_t> pool = DistinctSample(pool_size, universe, rng);
+  // Fisher-Yates shuffle so the assignment to the three groups is random.
+  for (size_t i = pool.size(); i > 1; --i) {
+    size_t j = rng.Below(i);
+    std::swap(pool[i - 1], pool[j]);
+  }
+
+  SetPair out;
+  out.intersection_size = r;
+  out.a.assign(pool.begin(), pool.begin() + static_cast<ptrdiff_t>(n1));
+  out.b.assign(pool.begin(), pool.begin() + static_cast<ptrdiff_t>(r));
+  out.b.insert(out.b.end(), pool.begin() + static_cast<ptrdiff_t>(n1),
+               pool.end());
+  std::sort(out.a.begin(), out.a.end());
+  std::sort(out.b.begin(), out.b.end());
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> KSetsWithDensity(size_t k, size_t n,
+                                                    double density,
+                                                    uint64_t seed) {
+  if (density <= 0) density = 1e-6;
+  if (density > 1) density = 1;
+  uint64_t universe = static_cast<uint64_t>(
+      std::llround(static_cast<double>(n) / density));
+  universe = std::max<uint64_t>(universe, n);
+  universe = std::min(universe, kMaxValue + 1);
+  std::vector<std::vector<uint32_t>> sets;
+  sets.reserve(k);
+  Rng rng(seed);
+  for (size_t i = 0; i < k; ++i) {
+    sets.push_back(DistinctSample(n, universe, rng));
+  }
+  return sets;
+}
+
+size_t ReferenceIntersectionSize(const std::vector<uint32_t>& a,
+                                 const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, r = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+      ++r;
+    }
+  }
+  return r;
+}
+
+std::vector<uint32_t> ReferenceIntersection(
+    const std::vector<std::vector<uint32_t>>& sets) {
+  if (sets.empty()) return {};
+  std::vector<uint32_t> acc = sets[0];
+  for (size_t s = 1; s < sets.size() && !acc.empty(); ++s) {
+    std::vector<uint32_t> next;
+    next.reserve(acc.size());
+    size_t i = 0, j = 0;
+    const std::vector<uint32_t>& other = sets[s];
+    while (i < acc.size() && j < other.size()) {
+      if (acc[i] < other[j]) {
+        ++i;
+      } else if (acc[i] > other[j]) {
+        ++j;
+      } else {
+        next.push_back(acc[i]);
+        ++i;
+        ++j;
+      }
+    }
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+}  // namespace fesia::datagen

@@ -1,0 +1,51 @@
+// Synthetic set generators for the paper's evaluation axes.
+//
+// The evaluation (paper Sec. VII) controls three knobs: input size (n),
+// selectivity (r/n), and skew (n1/n2); the k-way experiment additionally
+// controls density (n / universe). Each generator here fixes one knob
+// exactly so experiment sweeps are noise-free and reproducible.
+#ifndef FESIA_DATAGEN_DATAGEN_H_
+#define FESIA_DATAGEN_DATAGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fesia::datagen {
+
+/// A generated pair of sorted duplicate-free sets whose exact intersection
+/// size is known by construction.
+struct SetPair {
+  std::vector<uint32_t> a;
+  std::vector<uint32_t> b;
+  size_t intersection_size = 0;
+};
+
+/// Sorted, duplicate-free uniform sample of `n` values from [0, universe).
+/// `universe` must be >= n. Deterministic in `seed`.
+std::vector<uint32_t> SortedUniform(size_t n, uint64_t universe, uint64_t seed);
+
+/// Pair with |a| = n1, |b| = n2 and |a ∩ b| = round(selectivity * min(n1,n2)),
+/// exactly. Values are uniform over [0, universe); universe = 0 picks
+/// 8 * (n1 + n2) (clamped to fit in uint32_t minus the sentinel value).
+SetPair PairWithSelectivity(size_t n1, size_t n2, double selectivity,
+                            uint64_t seed, uint64_t universe = 0);
+
+/// `k` independent sorted samples of size `n` with the given density
+/// (n / universe). Intersection size emerges naturally: E[r] ≈ n·density^(k-1),
+/// matching the Fig. 10 workload.
+std::vector<std::vector<uint32_t>> KSetsWithDensity(size_t k, size_t n,
+                                                    double density,
+                                                    uint64_t seed);
+
+/// Exact intersection size of two sorted duplicate-free sets (reference).
+size_t ReferenceIntersectionSize(const std::vector<uint32_t>& a,
+                                 const std::vector<uint32_t>& b);
+
+/// Exact intersection of k sorted duplicate-free sets (reference).
+std::vector<uint32_t> ReferenceIntersection(
+    const std::vector<std::vector<uint32_t>>& sets);
+
+}  // namespace fesia::datagen
+
+#endif  // FESIA_DATAGEN_DATAGEN_H_

@@ -1,0 +1,33 @@
+#include "datagen/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fesia::datagen {
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta) : theta_(theta) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = acc;
+  }
+  double norm = 1.0 / acc;
+  for (double& v : cdf_) v *= norm;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t i) const {
+  if (i >= cdf_.size()) return 0;
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace fesia::datagen

@@ -1,0 +1,41 @@
+// Zipf-distributed sampling for the inverted-index workload.
+//
+// The paper's database-query experiment (Fig. 12) uses WebDocs, a web-crawl
+// itemset collection whose item frequencies are heavy-tailed. Our stand-in
+// corpus draws term frequencies from a Zipf distribution, the standard model
+// for that shape.
+#ifndef FESIA_DATAGEN_ZIPF_H_
+#define FESIA_DATAGEN_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fesia::datagen {
+
+/// Samples ranks in [0, n) with P(rank = i) proportional to 1/(i+1)^theta.
+/// Uses a precomputed CDF with binary search: exact, O(log n) per draw.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `theta` >= 0 (0 degenerates to uniform).
+  ZipfDistribution(size_t n, double theta);
+
+  /// Draws one rank.
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank i.
+  double Pmf(size_t i) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace fesia::datagen
+
+#endif  // FESIA_DATAGEN_ZIPF_H_

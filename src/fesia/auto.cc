@@ -1,0 +1,26 @@
+#include "fesia/auto.h"
+
+#include <algorithm>
+
+#include "fesia/intersect.h"
+#include "fesia/intersect_hash.h"
+
+namespace fesia {
+
+IntersectStrategy ChooseStrategy(const FesiaSet& a, const FesiaSet& b) {
+  double small = static_cast<double>(std::min(a.size(), b.size()));
+  double large = static_cast<double>(std::max<uint32_t>(
+      1, std::max(a.size(), b.size())));
+  return (small / large) < kHashStrategySkewThreshold
+             ? IntersectStrategy::kHash
+             : IntersectStrategy::kMerge;
+}
+
+size_t IntersectCountAuto(const FesiaSet& a, const FesiaSet& b,
+                          SimdLevel level) {
+  return ChooseStrategy(a, b) == IntersectStrategy::kHash
+             ? IntersectCountHash(a, b, level)
+             : IntersectCount(a, b, level);
+}
+
+}  // namespace fesia

@@ -1,0 +1,35 @@
+// Automatic strategy selection between FESIAmerge and FESIAhash.
+//
+// Fig. 11 of the paper: the bitmap (merge) strategy wins when the inputs
+// have similar sizes; the hash strategy wins under heavy skew, with the
+// crossover at a size ratio of about 1/4. IntersectCountAuto applies that
+// threshold.
+#ifndef FESIA_FESIA_AUTO_H_
+#define FESIA_FESIA_AUTO_H_
+
+#include <cstddef>
+
+#include "fesia/fesia_set.h"
+#include "util/cpu.h"
+
+namespace fesia {
+
+/// The two pairwise execution strategies.
+enum class IntersectStrategy {
+  kMerge,  // bitmap-driven two-step pipeline (FESIAmerge)
+  kHash,   // element-probe pipeline (FESIAhash)
+};
+
+/// Skew ratio min(n1,n2)/max(n1,n2) below which the hash strategy is chosen.
+inline constexpr double kHashStrategySkewThreshold = 0.25;
+
+/// Strategy the auto dispatcher would pick for this pair.
+IntersectStrategy ChooseStrategy(const FesiaSet& a, const FesiaSet& b);
+
+/// Intersection size using the automatically chosen strategy.
+size_t IntersectCountAuto(const FesiaSet& a, const FesiaSet& b,
+                          SimdLevel level = SimdLevel::kAuto);
+
+}  // namespace fesia
+
+#endif  // FESIA_FESIA_AUTO_H_

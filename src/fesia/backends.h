@@ -1,0 +1,99 @@
+// Internal per-ISA backend interface.
+//
+// Each SIMD level implements the same five entry points in its own
+// translation unit (compiled with matching -m flags); GetBackend() returns
+// the function table for a resolved level. Public APIs in intersect.h,
+// parallel.h, intersect_hash.h and intersect_kway.h route through this.
+#ifndef FESIA_FESIA_BACKENDS_H_
+#define FESIA_FESIA_BACKENDS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fesia/fesia_set.h"
+#include "fesia/intersect.h"
+#include "fesia/kernels.h"
+#include "util/cpu.h"
+
+namespace fesia::internal {
+
+/// Function table of one ISA backend.
+struct Backend {
+  SimdLevel level;
+
+  /// Full two-step pairwise intersection count.
+  uint64_t (*count)(const FesiaSet& a, const FesiaSet& b);
+
+  /// Count restricted to segments [seg_begin, seg_end) of whichever input
+  /// has more segments; the range must be aligned to SegmentChunk(level,
+  /// segment_bits). Used by the multicore extension.
+  uint64_t (*count_range)(const FesiaSet& a, const FesiaSet& b,
+                          uint32_t seg_begin, uint32_t seg_end);
+
+  /// Materializing intersection; `out` needs room for min(|a|, |b|) + 1
+  /// values. Returns the intersection size.
+  size_t (*into)(const FesiaSet& a, const FesiaSet& b, uint32_t* out);
+
+  /// Materializing intersection over a segment slice (same range contract
+  /// as count_range); `out` needs room for min(|a|, |b|) + 1 values.
+  size_t (*into_range)(const FesiaSet& a, const FesiaSet& b,
+                       uint32_t seg_begin, uint32_t seg_end, uint32_t* out);
+
+  /// Count with step-1/step-2 cycle split.
+  uint64_t (*count_instrumented)(const FesiaSet& a, const FesiaSet& b,
+                                 IntersectBreakdown* breakdown);
+
+  /// Kernel jump table at this level (guarded = sentinel-masking variant).
+  const KernelTable& (*kernels)(bool guarded);
+
+  /// Runtime-size materializing run intersection (sentinel-aware);
+  /// `out` needs room for min(sa, sb) + 1 values.
+  size_t (*segment_into)(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                         uint32_t sb, uint32_t* out);
+
+  /// Membership probe of one segment run (FESIAhash primitive).
+  bool (*probe_run)(const uint32_t* run, uint32_t len, uint32_t key);
+};
+
+/// Backend for a SIMD level; kAuto and unsupported levels resolve via
+/// ResolveSimdLevel.
+const Backend& GetBackend(SimdLevel level);
+
+/// Segment-range alignment required by count_range: the number of segments
+/// one bitmap chunk covers at this level and segment width.
+uint32_t SegmentChunk(SimdLevel level, int segment_bits);
+
+// Per-ISA entry points (implemented in bitmap_intersect_<level>.cc).
+#define FESIA_DECLARE_BACKEND(ns)                                           \
+  namespace ns {                                                            \
+  uint64_t IntersectCount(const FesiaSet& a, const FesiaSet& b);            \
+  uint64_t IntersectCountRange(const FesiaSet& a, const FesiaSet& b,        \
+                               uint32_t seg_begin, uint32_t seg_end);       \
+  size_t IntersectInto(const FesiaSet& a, const FesiaSet& b,                \
+                       uint32_t* out);                                      \
+  size_t IntersectIntoRange(const FesiaSet& a, const FesiaSet& b,           \
+                            uint32_t seg_begin, uint32_t seg_end,           \
+                            uint32_t* out);                                 \
+  uint64_t IntersectCountInstrumented(const FesiaSet& a, const FesiaSet& b, \
+                                      IntersectBreakdown* breakdown);       \
+  }
+
+FESIA_DECLARE_BACKEND(scalar)
+FESIA_DECLARE_BACKEND(sse)
+FESIA_DECLARE_BACKEND(avx2)
+FESIA_DECLARE_BACKEND(avx512)
+
+#undef FESIA_DECLARE_BACKEND
+
+// The scalar backend has no SIMD kernel table; these satisfy the Backend
+// interface with the sentinel-aware scalar primitives.
+namespace scalar {
+const KernelTable& Kernels(bool guarded);
+size_t SegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                   uint32_t sb, uint32_t* out);
+bool ProbeRun(const uint32_t* run, uint32_t len, uint32_t key);
+}  // namespace scalar
+
+}  // namespace fesia::internal
+
+#endif  // FESIA_FESIA_BACKENDS_H_

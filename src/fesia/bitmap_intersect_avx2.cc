@@ -1,0 +1,66 @@
+// AVX2 backend: 256-bit bitmap chunks.
+#include <immintrin.h>
+
+#include "fesia/backends.h"
+#include "fesia/intersect_impl.h"
+
+namespace fesia::internal {
+namespace avx2 {
+namespace {
+
+struct Avx2BitmapOps {
+  static constexpr int kChunkBits = 256;
+
+  template <int S>
+  static uint64_t NonZeroMask(const uint64_t* a, const uint64_t* b) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    __m256i vand = _mm256_and_si256(va, vb);
+    __m256i zero = _mm256_setzero_si256();
+    if constexpr (S == 8) {
+      uint32_t z = static_cast<uint32_t>(
+          _mm256_movemask_epi8(_mm256_cmpeq_epi8(vand, zero)));
+      return ~static_cast<uint64_t>(z) & 0xFFFFFFFFull;
+    } else if constexpr (S == 16) {
+      // movemask gives 2 identical bits per 16-bit lane; keep the odd ones.
+      uint32_t z = static_cast<uint32_t>(
+          _mm256_movemask_epi8(_mm256_cmpeq_epi16(vand, zero)));
+      uint32_t per_lane = _pext_u32(z, 0xAAAAAAAAu);
+      return (~per_lane) & 0xFFFFu;
+    } else {
+      static_assert(S == 32);
+      uint32_t z = static_cast<uint32_t>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(vand, zero))));
+      return (~z) & 0xFFu;
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t IntersectCount(const FesiaSet& a, const FesiaSet& b) {
+  return EntryCount<Avx2BitmapOps>(a, b, &Kernels);
+}
+
+uint64_t IntersectCountRange(const FesiaSet& a, const FesiaSet& b,
+                             uint32_t seg_begin, uint32_t seg_end) {
+  return EntryCountRange<Avx2BitmapOps>(a, b, seg_begin, seg_end, &Kernels);
+}
+
+size_t IntersectInto(const FesiaSet& a, const FesiaSet& b, uint32_t* out) {
+  return EntryInto<Avx2BitmapOps>(a, b, out, &SegmentInto);
+}
+
+size_t IntersectIntoRange(const FesiaSet& a, const FesiaSet& b,
+                          uint32_t seg_begin, uint32_t seg_end,
+                          uint32_t* out) {
+  return EntryIntoRange<Avx2BitmapOps>(a, b, seg_begin, seg_end, out, &SegmentInto);
+}
+
+uint64_t IntersectCountInstrumented(const FesiaSet& a, const FesiaSet& b,
+                                    IntersectBreakdown* breakdown) {
+  return EntryCountInstrumented<Avx2BitmapOps>(a, b, breakdown, &Kernels);
+}
+
+}  // namespace avx2
+}  // namespace fesia::internal

@@ -1,0 +1,58 @@
+// AVX-512 backend: 512-bit bitmap chunks. vptestm produces the non-zero
+// segment mask in a single instruction per chunk.
+#include <immintrin.h>
+
+#include "fesia/backends.h"
+#include "fesia/intersect_impl.h"
+
+namespace fesia::internal {
+namespace avx512 {
+namespace {
+
+struct Avx512BitmapOps {
+  static constexpr int kChunkBits = 512;
+
+  template <int S>
+  static uint64_t NonZeroMask(const uint64_t* a, const uint64_t* b) {
+    __m512i va = _mm512_loadu_si512(a);
+    __m512i vb = _mm512_loadu_si512(b);
+    __m512i vand = _mm512_and_si512(va, vb);
+    if constexpr (S == 8) {
+      return _mm512_test_epi8_mask(vand, vand);
+    } else if constexpr (S == 16) {
+      return _mm512_test_epi16_mask(vand, vand);
+    } else {
+      static_assert(S == 32);
+      return _mm512_test_epi32_mask(vand, vand);
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t IntersectCount(const FesiaSet& a, const FesiaSet& b) {
+  return EntryCount<Avx512BitmapOps>(a, b, &Kernels);
+}
+
+uint64_t IntersectCountRange(const FesiaSet& a, const FesiaSet& b,
+                             uint32_t seg_begin, uint32_t seg_end) {
+  return EntryCountRange<Avx512BitmapOps>(a, b, seg_begin, seg_end, &Kernels);
+}
+
+size_t IntersectInto(const FesiaSet& a, const FesiaSet& b, uint32_t* out) {
+  return EntryInto<Avx512BitmapOps>(a, b, out, &SegmentInto);
+}
+
+size_t IntersectIntoRange(const FesiaSet& a, const FesiaSet& b,
+                          uint32_t seg_begin, uint32_t seg_end,
+                          uint32_t* out) {
+  return EntryIntoRange<Avx512BitmapOps>(a, b, seg_begin, seg_end, out, &SegmentInto);
+}
+
+uint64_t IntersectCountInstrumented(const FesiaSet& a, const FesiaSet& b,
+                                    IntersectBreakdown* breakdown) {
+  return EntryCountInstrumented<Avx512BitmapOps>(a, b, breakdown, &Kernels);
+}
+
+}  // namespace avx512
+}  // namespace fesia::internal

@@ -1,0 +1,74 @@
+// Portable scalar backend: 64-bit-word bitmap chunks, scalar segment merges.
+// This is the correctness reference the SIMD backends are tested against.
+#include "fesia/backends.h"
+#include "fesia/intersect_impl.h"
+
+namespace fesia::internal {
+namespace scalar {
+namespace {
+
+struct ScalarBitmapOps {
+  static constexpr int kChunkBits = 64;
+
+  template <int S>
+  static uint64_t NonZeroMask(const uint64_t* a, const uint64_t* b) {
+    uint64_t word = *a & *b;
+    if (word == 0) return 0;
+    constexpr int kSegs = 64 / S;
+    constexpr uint64_t kSegMask =
+        S == 64 ? ~uint64_t{0} : ((uint64_t{1} << S) - 1);
+    uint64_t mask = 0;
+    for (int g = 0; g < kSegs; ++g) {
+      if (((word >> (g * S)) & kSegMask) != 0) mask |= uint64_t{1} << g;
+    }
+    return mask;
+  }
+};
+
+// The scalar backend has no specialized kernels: a zero-size-only table
+// forces every surviving segment through the scalar fallback merge.
+uint32_t ZeroKernel(const uint32_t*, const uint32_t*) { return 0; }
+constexpr SegKernelFn kScalarFns[1] = {&ZeroKernel};
+
+}  // namespace
+
+const KernelTable& Kernels(bool /*guarded*/) {
+  static constexpr KernelTable kTable{0, 1, kScalarFns};
+  return kTable;
+}
+
+size_t SegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                   uint32_t sb, uint32_t* out) {
+  return ScalarSegmentInto(a, sa, b, sb, out);
+}
+
+bool ProbeRun(const uint32_t* run, uint32_t len, uint32_t key) {
+  return ScalarProbeRun(run, len, key);
+}
+
+uint64_t IntersectCount(const FesiaSet& a, const FesiaSet& b) {
+  return EntryCount<ScalarBitmapOps>(a, b, &Kernels);
+}
+
+uint64_t IntersectCountRange(const FesiaSet& a, const FesiaSet& b,
+                             uint32_t seg_begin, uint32_t seg_end) {
+  return EntryCountRange<ScalarBitmapOps>(a, b, seg_begin, seg_end, &Kernels);
+}
+
+size_t IntersectInto(const FesiaSet& a, const FesiaSet& b, uint32_t* out) {
+  return EntryInto<ScalarBitmapOps>(a, b, out, &ScalarSegmentInto);
+}
+
+size_t IntersectIntoRange(const FesiaSet& a, const FesiaSet& b,
+                          uint32_t seg_begin, uint32_t seg_end,
+                          uint32_t* out) {
+  return EntryIntoRange<ScalarBitmapOps>(a, b, seg_begin, seg_end, out, &ScalarSegmentInto);
+}
+
+uint64_t IntersectCountInstrumented(const FesiaSet& a, const FesiaSet& b,
+                                    IntersectBreakdown* breakdown) {
+  return EntryCountInstrumented<ScalarBitmapOps>(a, b, breakdown, &Kernels);
+}
+
+}  // namespace scalar
+}  // namespace fesia::internal

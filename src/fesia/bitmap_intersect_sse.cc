@@ -1,0 +1,67 @@
+// SSE backend: 128-bit bitmap chunks.
+#include <immintrin.h>
+
+#include "fesia/backends.h"
+#include "fesia/intersect_impl.h"
+
+namespace fesia::internal {
+namespace sse {
+namespace {
+
+struct SseBitmapOps {
+  static constexpr int kChunkBits = 128;
+
+  template <int S>
+  static uint64_t NonZeroMask(const uint64_t* a, const uint64_t* b) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+    __m128i vand = _mm_and_si128(va, vb);
+    __m128i zero = _mm_setzero_si128();
+    if constexpr (S == 8) {
+      // One bit per byte lane: movemask over "lane == 0", then invert.
+      uint32_t z = static_cast<uint32_t>(
+          _mm_movemask_epi8(_mm_cmpeq_epi8(vand, zero)));
+      return (~z) & 0xFFFFu;
+    } else if constexpr (S == 16) {
+      // pack 16-bit compare results to bytes, then movemask: 8 bits.
+      __m128i eq16 = _mm_cmpeq_epi16(vand, zero);
+      uint32_t z = static_cast<uint32_t>(
+          _mm_movemask_epi8(_mm_packs_epi16(eq16, zero)));
+      return (~z) & 0xFFu;
+    } else {
+      static_assert(S == 32);
+      uint32_t z = static_cast<uint32_t>(
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(vand, zero))));
+      return (~z) & 0xFu;
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t IntersectCount(const FesiaSet& a, const FesiaSet& b) {
+  return EntryCount<SseBitmapOps>(a, b, &Kernels);
+}
+
+uint64_t IntersectCountRange(const FesiaSet& a, const FesiaSet& b,
+                             uint32_t seg_begin, uint32_t seg_end) {
+  return EntryCountRange<SseBitmapOps>(a, b, seg_begin, seg_end, &Kernels);
+}
+
+size_t IntersectInto(const FesiaSet& a, const FesiaSet& b, uint32_t* out) {
+  return EntryInto<SseBitmapOps>(a, b, out, &SegmentInto);
+}
+
+size_t IntersectIntoRange(const FesiaSet& a, const FesiaSet& b,
+                          uint32_t seg_begin, uint32_t seg_end,
+                          uint32_t* out) {
+  return EntryIntoRange<SseBitmapOps>(a, b, seg_begin, seg_end, out, &SegmentInto);
+}
+
+uint64_t IntersectCountInstrumented(const FesiaSet& a, const FesiaSet& b,
+                                    IntersectBreakdown* breakdown) {
+  return EntryCountInstrumented<SseBitmapOps>(a, b, breakdown, &Kernels);
+}
+
+}  // namespace sse
+}  // namespace fesia::internal

@@ -1,0 +1,20 @@
+// Umbrella header: the complete public FESIA API.
+//
+// Quick start:
+//   #include "fesia/fesia.h"
+//   std::vector<uint32_t> a = ..., b = ...;          // any order, any dupes
+//   fesia::FesiaSet fa = fesia::FesiaSet::Build(a);  // offline, O(n log n)
+//   fesia::FesiaSet fb = fesia::FesiaSet::Build(b);
+//   size_t r = fesia::IntersectCount(fa, fb);        // online, O(n/√w + r)
+#ifndef FESIA_FESIA_FESIA_H_
+#define FESIA_FESIA_FESIA_H_
+
+#include "fesia/auto.h"
+#include "fesia/fesia_set.h"
+#include "fesia/intersect.h"
+#include "fesia/intersect_hash.h"
+#include "fesia/intersect_kway.h"
+#include "fesia/parallel.h"
+#include "util/cpu.h"
+
+#endif  // FESIA_FESIA_FESIA_H_

@@ -1,0 +1,134 @@
+#include "fesia/fesia_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fesia/hashing.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace fesia {
+namespace {
+
+// Default bitmap_scale: the paper's optimum m = n·√w for SIMD width w bits.
+double DefaultScale(SimdLevel level) {
+  return std::sqrt(static_cast<double>(SimdWidthBits(ResolveSimdLevel(level))));
+}
+
+uint32_t ChooseBitmapBits(size_t n, const FesiaParams& params) {
+  double scale = params.bitmap_scale > 0 ? params.bitmap_scale
+                                         : DefaultScale(params.simd_level);
+  double target = scale * static_cast<double>(n);
+  // At least one full 512-bit vector of bitmap so every ISA's chunked loop
+  // has no sub-chunk special case, and at least one segment.
+  uint64_t bits = RoundUpPow2(static_cast<uint64_t>(std::llround(
+      std::max(target, 512.0))));
+  FESIA_CHECK(bits <= (uint64_t{1} << 31));
+  return static_cast<uint32_t>(bits);
+}
+
+}  // namespace
+
+FesiaSet FesiaSet::Build(std::span<const uint32_t> elements,
+                         const FesiaParams& params) {
+  FESIA_CHECK(params.segment_bits == 8 || params.segment_bits == 16 ||
+              params.segment_bits == 32);
+  FESIA_CHECK(params.kernel_stride == 1 || params.kernel_stride == 2 ||
+              params.kernel_stride == 4 || params.kernel_stride == 8);
+
+  // Sort + dedupe (and drop reserved sentinel values).
+  std::vector<uint32_t> sorted(elements.begin(), elements.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  while (!sorted.empty() && sorted.back() == kSentinel) sorted.pop_back();
+
+  FesiaSet set;
+  set.n_ = static_cast<uint32_t>(sorted.size());
+  set.segment_bits_ = params.segment_bits;
+  set.kernel_stride_ = params.kernel_stride;
+  set.params_ = params;
+  set.bitmap_bits_ = ChooseBitmapBits(sorted.size(), params);
+
+  const uint32_t m_mask = set.bitmap_bits_ - 1;
+  const uint32_t s = static_cast<uint32_t>(params.segment_bits);
+  const uint32_t num_segments = set.bitmap_bits_ / s;
+  const uint32_t stride = static_cast<uint32_t>(params.kernel_stride);
+
+  // Pass 1: per-segment exact sizes + bitmap bits.
+  set.bitmap_.Reset(CeilDiv(set.bitmap_bits_, 64));
+  std::vector<uint32_t> seg_size(num_segments, 0);
+  for (uint32_t v : sorted) {
+    uint32_t bit = HashToBit(v, m_mask);
+    set.bitmap_[bit >> 6] |= uint64_t{1} << (bit & 63);
+    ++seg_size[bit / s];
+  }
+
+  // Pass 2: offsets over stride-padded sizes.
+  set.offsets_.assign(num_segments + 1, 0);
+  uint32_t total = 0;
+  for (uint32_t i = 0; i < num_segments; ++i) {
+    set.offsets_[i] = total;
+    uint32_t padded =
+        seg_size[i] == 0 ? 0 : CeilDiv(seg_size[i], stride) * stride;
+    total += padded;
+  }
+  set.offsets_[num_segments] = total;
+
+  // Pass 3: scatter elements into their runs; pad with sentinels. The
+  // buffer also carries a sentinel tail of two full vectors so any kernel
+  // may load a whole register starting at the last element.
+  set.reordered_.Reset(total, /*pad_elements=*/32);
+  for (uint32_t i = 0; i < set.reordered_.padded_size(); ++i) {
+    set.reordered_[i] = kSentinel;
+  }
+  std::vector<uint32_t> cursor(num_segments);
+  for (uint32_t i = 0; i < num_segments; ++i) cursor[i] = set.offsets_[i];
+  for (uint32_t v : sorted) {
+    uint32_t seg = HashToBit(v, m_mask) / s;
+    set.reordered_[cursor[seg]++] = v;
+  }
+  // Elements within a segment arrive in globally sorted order (the input is
+  // sorted and scatter is stable), so each run is already ascending.
+  return set;
+}
+
+bool FesiaSet::Contains(uint32_t value) const {
+  if (n_ == 0 || value == kSentinel) return false;
+  uint32_t bit = HashToBit(value, bitmap_bits_ - 1);
+  if (!TestBit(bit)) return false;
+  uint32_t seg = bit / static_cast<uint32_t>(segment_bits_);
+  const uint32_t* run = SegmentData(seg);
+  uint32_t len = SegmentSize(seg);
+  for (uint32_t i = 0; i < len; ++i) {
+    if (run[i] == value) return true;
+    if (run[i] > value) return false;  // runs are ascending; sentinel is max
+  }
+  return false;
+}
+
+std::vector<uint32_t> FesiaSet::ToSortedVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(n_);
+  for (uint32_t i = 0; i < reordered_size(); ++i) {
+    if (reordered_[i] != kSentinel) out.push_back(reordered_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+FesiaSet::Stats FesiaSet::ComputeStats() const {
+  Stats st;
+  uint32_t n_seg = num_segments();
+  for (uint32_t i = 0; i < n_seg; ++i) {
+    uint32_t sz = SegmentSize(i);
+    if (sz > 0) ++st.nonempty_segments;
+    st.max_segment_size = std::max(st.max_segment_size, sz);
+  }
+  st.padded_elements = reordered_size() - n_;
+  st.memory_bytes = bitmap_.size() * sizeof(uint64_t) +
+                    offsets_.size() * sizeof(uint32_t) +
+                    reordered_.padded_size() * sizeof(uint32_t);
+  return st;
+}
+
+}  // namespace fesia

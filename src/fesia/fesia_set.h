@@ -1,0 +1,145 @@
+// The segmented-bitmap set representation (paper Sec. III-B, Fig. 1).
+//
+// A FesiaSet encodes a sorted, duplicate-free set of 32-bit values as:
+//   bitmap    — m bits; bit h(x) is set for every element x,
+//   offsets   — (m/s + 1) prefix sums: where each segment's element run
+//               starts inside `reordered` (per-segment sizes are the deltas),
+//   reordered — every element, grouped by segment, ascending inside each
+//               segment, padded so SIMD kernels may over-read safely.
+//
+// m is a power of two (paper Sec. III-C), chosen as roughly
+// bitmap_scale * n and rounded up, with bitmap_scale defaulting to √w for
+// the resolved SIMD width w — the paper's optimum m = n·√w.
+#ifndef FESIA_FESIA_FESIA_SET_H_
+#define FESIA_FESIA_FESIA_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/cpu.h"
+
+namespace fesia {
+
+/// Build-time parameters of the segmented bitmap.
+struct FesiaParams {
+  /// Segment width s in bits: 8, 16, or 32. Smaller segments mean more,
+  /// smaller segment lists (cheaper step 2, costlier step 1); see Fig. 14.
+  int segment_bits = 16;
+
+  /// Bitmap bits per element before power-of-two rounding; <= 0 selects the
+  /// paper's optimum √w for the resolved `simd_level` width w.
+  double bitmap_scale = 0.0;
+
+  /// Kernel-table sampling stride (1, 2, 4, or 8). Strides > 1 pad each
+  /// segment's element run with sentinels up to the next stride multiple so
+  /// that only kernels at sampled sizes are ever dispatched (paper Sec. VI,
+  /// Table II).
+  int kernel_stride = 1;
+
+  /// ISA level used (a) to resolve the default bitmap_scale and (b) by
+  /// intersection calls that take their level from the build parameters.
+  SimdLevel simd_level = SimdLevel::kAuto;
+};
+
+/// Immutable segmented-bitmap representation of one set.
+class FesiaSet {
+ public:
+  /// Reserved padding value; elements must be < kSentinel.
+  static constexpr uint32_t kSentinel = 0xFFFFFFFFu;
+
+  /// Builds the representation. `elements` need not be sorted; duplicates
+  /// and kSentinel values are dropped. O(n log n).
+  static FesiaSet Build(std::span<const uint32_t> elements,
+                        const FesiaParams& params = {});
+
+  FesiaSet() = default;
+  FesiaSet(const FesiaSet&) = default;
+  FesiaSet& operator=(const FesiaSet&) = default;
+  FesiaSet(FesiaSet&&) noexcept = default;
+  FesiaSet& operator=(FesiaSet&&) noexcept = default;
+
+  /// Number of distinct elements stored.
+  uint32_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Bitmap size m in bits (a power of two, >= segment_bits()).
+  uint32_t bitmap_bits() const { return bitmap_bits_; }
+  /// Segment width s in bits.
+  int segment_bits() const { return segment_bits_; }
+  /// Number of segments N = m / s.
+  uint32_t num_segments() const { return bitmap_bits_ / segment_bits_; }
+  /// Stride the reordered runs were padded to (1 = exact sizes).
+  int kernel_stride() const { return kernel_stride_; }
+  /// Parameters the set was built with.
+  const FesiaParams& params() const { return params_; }
+
+  /// Bitmap storage as 64-bit words (num_segments * s / 64 words, rounded up,
+  /// vector-aligned and zero-padded).
+  const uint64_t* bitmap_words() const { return bitmap_.data(); }
+  size_t bitmap_word_count() const { return bitmap_.size(); }
+
+  /// Prefix offsets into reordered(): num_segments() + 1 entries.
+  const uint32_t* offsets() const { return offsets_.data(); }
+  /// Elements grouped by segment (plus sentinel padding).
+  const uint32_t* reordered() const { return reordered_.data(); }
+  /// Length of the reordered array including stride padding (excludes the
+  /// vector-safety tail).
+  uint32_t reordered_size() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+  /// Stored (possibly stride-padded) size of segment `seg`.
+  uint32_t SegmentSize(uint32_t seg) const {
+    return offsets_[seg + 1] - offsets_[seg];
+  }
+  /// Start of segment `seg`'s run inside reordered().
+  const uint32_t* SegmentData(uint32_t seg) const {
+    return reordered_.data() + offsets_[seg];
+  }
+
+  /// True iff bit `pos` of the bitmap is set.
+  bool TestBit(uint32_t pos) const {
+    return (bitmap_[pos >> 6] >> (pos & 63)) & 1;
+  }
+
+  /// Membership test: bitmap probe, then a scan of one segment run.
+  /// O(1) expected — this is the primitive FESIAhash builds on.
+  bool Contains(uint32_t value) const;
+
+  /// Copies the elements out in fully sorted order (drops padding).
+  std::vector<uint32_t> ToSortedVector() const;
+
+  /// Serializes the structure to a portable little-endian byte buffer.
+  /// The offline phase (paper Sec. III-A) is the expensive part; persisting
+  /// it lets services build once and map/load at query time.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs a set from Serialize() output. Returns false (leaving
+  /// `out` untouched) on malformed or version-mismatched input.
+  static bool Deserialize(std::span<const uint8_t> bytes, FesiaSet* out);
+
+  /// Diagnostics used by tests and benches.
+  struct Stats {
+    uint32_t nonempty_segments = 0;
+    uint32_t max_segment_size = 0;
+    uint32_t padded_elements = 0;  // sentinel slots added by kernel_stride
+    size_t memory_bytes = 0;       // bitmap + offsets + reordered
+  };
+  Stats ComputeStats() const;
+
+ private:
+  uint32_t n_ = 0;
+  uint32_t bitmap_bits_ = 0;
+  int segment_bits_ = 16;
+  int kernel_stride_ = 1;
+  FesiaParams params_;
+  AlignedBuffer<uint64_t> bitmap_;
+  std::vector<uint32_t> offsets_;
+  AlignedBuffer<uint32_t> reordered_;
+};
+
+}  // namespace fesia
+
+#endif  // FESIA_FESIA_FESIA_SET_H_

@@ -1,0 +1,37 @@
+// The universal hash mapping elements to bitmap bit positions.
+//
+// Requirements (paper Sec. III-B/C):
+//  * near-uniform spread, so the false-positive analysis E[IFP] ≈ n²/2m holds;
+//  * *prefix compatibility* across power-of-two bitmap sizes: when m2 | m1,
+//    h_{m2}(x) == h_{m1}(x) mod m2. This is what lets a segment i of the
+//    larger bitmap pair with segment (i mod N2) of the smaller one.
+//
+// We take the low bits of a fixed 32-bit bijective mixer (the MurmurHash3
+// finalizer): masking with (m-1) trivially satisfies prefix compatibility,
+// and fmix32 has full avalanche so low bits are well distributed.
+#ifndef FESIA_FESIA_HASHING_H_
+#define FESIA_FESIA_HASHING_H_
+
+#include <cstdint>
+
+namespace fesia {
+
+/// MurmurHash3 32-bit finalizer: a bijection on uint32 with full avalanche.
+constexpr uint32_t Fmix32(uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85EBCA6Bu;
+  h ^= h >> 13;
+  h *= 0xC2B2AE35u;
+  h ^= h >> 16;
+  return h;
+}
+
+/// Bit position of element `x` in a bitmap of `m` bits (m a power of two,
+/// mask = m - 1).
+constexpr uint32_t HashToBit(uint32_t x, uint32_t bitmap_mask) {
+  return Fmix32(x) & bitmap_mask;
+}
+
+}  // namespace fesia
+
+#endif  // FESIA_FESIA_HASHING_H_

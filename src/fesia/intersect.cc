@@ -1,0 +1,79 @@
+#include "fesia/intersect.h"
+
+#include <algorithm>
+
+#include "fesia/backends.h"
+#include "util/check.h"
+
+namespace fesia {
+namespace internal {
+
+const Backend& GetBackend(SimdLevel level) {
+  static const Backend kBackends[] = {
+      {SimdLevel::kScalar, &scalar::IntersectCount,
+       &scalar::IntersectCountRange, &scalar::IntersectInto,
+       &scalar::IntersectIntoRange, &scalar::IntersectCountInstrumented,
+       &scalar::Kernels, &scalar::SegmentInto, &scalar::ProbeRun},
+      {SimdLevel::kSse, &sse::IntersectCount, &sse::IntersectCountRange,
+       &sse::IntersectInto, &sse::IntersectIntoRange,
+       &sse::IntersectCountInstrumented, &sse::Kernels, &sse::SegmentInto,
+       &sse::ProbeRun},
+      {SimdLevel::kAvx2, &avx2::IntersectCount, &avx2::IntersectCountRange,
+       &avx2::IntersectInto, &avx2::IntersectIntoRange,
+       &avx2::IntersectCountInstrumented, &avx2::Kernels, &avx2::SegmentInto,
+       &avx2::ProbeRun},
+      {SimdLevel::kAvx512, &avx512::IntersectCount,
+       &avx512::IntersectCountRange, &avx512::IntersectInto,
+       &avx512::IntersectIntoRange, &avx512::IntersectCountInstrumented,
+       &avx512::Kernels, &avx512::SegmentInto, &avx512::ProbeRun},
+  };
+  SimdLevel resolved = ResolveSimdLevel(level);
+  return kBackends[static_cast<int>(resolved)];
+}
+
+uint32_t SegmentChunk(SimdLevel level, int segment_bits) {
+  int chunk_bits = 64;
+  switch (ResolveSimdLevel(level)) {
+    case SimdLevel::kScalar:
+      chunk_bits = 64;
+      break;
+    case SimdLevel::kSse:
+      chunk_bits = 128;
+      break;
+    case SimdLevel::kAvx2:
+      chunk_bits = 256;
+      break;
+    default:
+      chunk_bits = 512;
+      break;
+  }
+  return static_cast<uint32_t>(chunk_bits / segment_bits);
+}
+
+}  // namespace internal
+
+size_t IntersectCount(const FesiaSet& a, const FesiaSet& b, SimdLevel level) {
+  return internal::GetBackend(level).count(a, b);
+}
+
+size_t IntersectInto(const FesiaSet& a, const FesiaSet& b,
+                     std::vector<uint32_t>* out, bool sort_output,
+                     SimdLevel level) {
+  FESIA_CHECK(out != nullptr);
+  // +1: the branchless segment emitters may write one slot past the final
+  // count before discarding a non-match.
+  out->resize(std::min(a.size(), b.size()) + 1);
+  size_t r = internal::GetBackend(level).into(a, b, out->data());
+  out->resize(r);
+  if (sort_output) std::sort(out->begin(), out->end());
+  return r;
+}
+
+size_t IntersectCountInstrumented(const FesiaSet& a, const FesiaSet& b,
+                                  IntersectBreakdown* breakdown,
+                                  SimdLevel level) {
+  FESIA_CHECK(breakdown != nullptr);
+  return internal::GetBackend(level).count_instrumented(a, b, breakdown);
+}
+
+}  // namespace fesia

@@ -1,0 +1,45 @@
+// Public pairwise FESIA intersection API (paper Sec. III-C, IV, V).
+//
+// All functions require both sets to have been built with the same
+// segment_bits. Bitmap sizes may differ (they are powers of two; segments of
+// the larger bitmap pair with segments of the smaller one modulo its size).
+#ifndef FESIA_FESIA_INTERSECT_H_
+#define FESIA_FESIA_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fesia/fesia_set.h"
+#include "util/cpu.h"
+
+namespace fesia {
+
+/// Step-1 / step-2 timing split of one intersection (Fig. 14).
+struct IntersectBreakdown {
+  uint64_t step1_cycles = 0;       // bitmap AND + segment index extraction
+  uint64_t step2_cycles = 0;       // segment-level kernels
+  uint64_t matched_segments = 0;   // surviving segment pairs (true + false +)
+  uint64_t result = 0;             // intersection size
+};
+
+/// Intersection size |a ∩ b| via the two-step FESIA pipeline.
+/// `level` picks the SIMD backend; kAuto resolves to the widest available.
+size_t IntersectCount(const FesiaSet& a, const FesiaSet& b,
+                      SimdLevel level = SimdLevel::kAuto);
+
+/// Materializes a ∩ b into `out` (overwritten). Elements are emitted in
+/// segment-hash order; pass sort_output = true for ascending order.
+/// Returns the intersection size.
+size_t IntersectInto(const FesiaSet& a, const FesiaSet& b,
+                     std::vector<uint32_t>* out, bool sort_output = true,
+                     SimdLevel level = SimdLevel::kAuto);
+
+/// IntersectCount with per-step cycle accounting (fills `breakdown`).
+size_t IntersectCountInstrumented(const FesiaSet& a, const FesiaSet& b,
+                                  IntersectBreakdown* breakdown,
+                                  SimdLevel level = SimdLevel::kAuto);
+
+}  // namespace fesia
+
+#endif  // FESIA_FESIA_INTERSECT_H_

@@ -1,0 +1,58 @@
+#include "fesia/intersect_hash.h"
+
+#include <algorithm>
+
+#include "fesia/backends.h"
+#include "fesia/hashing.h"
+#include "util/check.h"
+
+namespace fesia {
+namespace {
+
+template <typename Emit>
+size_t HashIntersectImpl(const FesiaSet& a, const FesiaSet& b,
+                         SimdLevel level, Emit emit) {
+  const FesiaSet& small = a.size() <= b.size() ? a : b;
+  const FesiaSet& large = a.size() <= b.size() ? b : a;
+  if (small.empty() || large.empty()) return 0;
+
+  const internal::Backend& backend = internal::GetBackend(level);
+  const uint32_t m_mask = large.bitmap_bits() - 1;
+  const uint32_t s = static_cast<uint32_t>(large.segment_bits());
+  const uint32_t* elems = small.reordered();
+  const uint32_t n = small.reordered_size();
+  size_t r = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t v = elems[i];
+    if (v == FesiaSet::kSentinel) continue;  // stride padding slot
+    uint32_t bit = HashToBit(v, m_mask);
+    if (!large.TestBit(bit)) continue;
+    uint32_t seg = bit / s;
+    if (backend.probe_run(large.SegmentData(seg), large.SegmentSize(seg),
+                          v)) {
+      emit(v);
+      ++r;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+size_t IntersectCountHash(const FesiaSet& a, const FesiaSet& b,
+                          SimdLevel level) {
+  return HashIntersectImpl(a, b, level, [](uint32_t) {});
+}
+
+size_t IntersectIntoHash(const FesiaSet& a, const FesiaSet& b,
+                         std::vector<uint32_t>* out, bool sort_output,
+                         SimdLevel level) {
+  FESIA_CHECK(out != nullptr);
+  out->clear();
+  size_t r = HashIntersectImpl(a, b, level,
+                               [out](uint32_t v) { out->push_back(v); });
+  if (sort_output) std::sort(out->begin(), out->end());
+  return r;
+}
+
+}  // namespace fesia

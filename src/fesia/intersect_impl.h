@@ -1,0 +1,326 @@
+// Shared two-step intersection pipeline, templated on a per-ISA bitmap
+// policy. Included ONLY by the bitmap_intersect_*.cc translation units.
+//
+// The policy BOps supplies:
+//   static constexpr int kChunkBits;   // bitmap bits ANDed per iteration
+//   template <int S>
+//   static uint64_t NonZeroMask(const uint64_t* a, const uint64_t* b);
+//     // AND one chunk of both bitmaps and return a bitmask with one bit per
+//     // S-bit segment lane that is non-zero (paper Sec. IV steps 1-3).
+//
+// The pipeline walks the larger bitmap chunk by chunk; the smaller bitmap
+// wraps (segment i pairs with segment i mod N_small, paper Sec. III-C).
+// Surviving segment indices are extracted with tzcnt and dispatched through
+// the kernel jump table (paper Sec. V-A); runs larger than the table fall
+// back to a sentinel-aware scalar merge.
+#ifndef FESIA_FESIA_INTERSECT_IMPL_H_
+#define FESIA_FESIA_INTERSECT_IMPL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fesia/fesia_set.h"
+#include "fesia/intersect.h"
+#include "fesia/kernels.h"
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace fesia::internal {
+
+template <typename BOps>
+struct Pipeline {
+  // Orders the pair as (more segments, fewer segments).
+  static void OrderBySegments(const FesiaSet& a, const FesiaSet& b,
+                              const FesiaSet** big, const FesiaSet** small) {
+    if (a.num_segments() >= b.num_segments()) {
+      *big = &a;
+      *small = &b;
+    } else {
+      *big = &b;
+      *small = &a;
+    }
+  }
+
+  static bool Compatible(const FesiaSet& a, const FesiaSet& b) {
+    return a.segment_bits() == b.segment_bits();
+  }
+
+  // Alias-hazard guard for pairs with different bitmap sizes. A kernel may
+  // over-read whole vectors from the bigger set's run; those lanes belong to
+  // LATER segments of the big set. With equal bitmap sizes a later segment
+  // can never pair with the same small segment again, so a lane value equal
+  // to a broadcast element is impossible. With different sizes, segment
+  // as + k*N_small aliases back onto the same small segment, and a real
+  // element there may legitimately equal a broadcast element (it would then
+  // be double-counted there and at its home segment). The kernel's big-side
+  // loads never extend past offa[as] + roundup(sa, lanes), so the dispatch
+  // is safe iff that window ends before segment as + N_small begins.
+  static bool DispatchSafe(bool same_m, const uint32_t* offa, uint32_t as,
+                           uint32_t sa, uint32_t nsmall_segs,
+                           uint32_t nbig_segs, uint32_t lanes) {
+    if (same_m) return true;
+    uint32_t alias_seg = as + nsmall_segs;
+    if (alias_seg >= nbig_segs) return true;  // window ends in the tail pad
+    uint32_t load_end = offa[as] + ((sa + lanes - 1) / lanes) * lanes;
+    return offa[alias_seg] >= load_end;
+  }
+
+  template <int S>
+  static uint64_t CountRange(const FesiaSet& big, const FesiaSet& small,
+                             uint32_t seg_begin, uint32_t seg_end,
+                             const KernelTable& kt) {
+    constexpr uint32_t kSegsPerChunk = BOps::kChunkBits / S;
+    const uint64_t* wa = big.bitmap_words();
+    const uint64_t* wb = small.bitmap_words();
+    const uint32_t nb_mask = small.num_segments() - 1;
+    const uint32_t nbig_segs = big.num_segments();
+    const bool same_m = small.num_segments() == nbig_segs;
+    const uint32_t lanes = static_cast<uint32_t>(kt.lanes);
+    const uint32_t* offa = big.offsets();
+    const uint32_t* offb = small.offsets();
+    const uint32_t* ra = big.reordered();
+    const uint32_t* rb = small.reordered();
+    const uint32_t kmax = static_cast<uint32_t>(kt.max_size);
+
+    uint64_t count = 0;
+    for (uint32_t seg0 = seg_begin; seg0 < seg_end; seg0 += kSegsPerChunk) {
+      uint32_t bseg0 = seg0 & nb_mask;
+      uint64_t mask = BOps::template NonZeroMask<S>(
+          wa + static_cast<size_t>(seg0) * S / 64,
+          wb + static_cast<size_t>(bseg0) * S / 64);
+      while (mask != 0) {
+        uint32_t t = static_cast<uint32_t>(CountTrailingZeros64(mask));
+        mask = ClearLowestBit(mask);
+        uint32_t as = seg0 + t;
+        uint32_t bs = bseg0 + t;
+        uint32_t sa = offa[as + 1] - offa[as];
+        uint32_t sb = offb[bs + 1] - offb[bs];
+        const uint32_t* pa = ra + offa[as];
+        const uint32_t* pb = rb + offb[bs];
+        if (sa <= kmax && sb <= kmax &&
+            DispatchSafe(same_m, offa, as, sa, nb_mask + 1, nbig_segs,
+                         lanes)) {
+          count += kt.At(sa, sb)(pa, pb);
+        } else {
+          count += ScalarSegmentCount(pa, sa, pb, sb);
+        }
+      }
+    }
+    return count;
+  }
+
+  template <int S>
+  static size_t IntoRange(const FesiaSet& big, const FesiaSet& small,
+                          uint32_t seg_begin, uint32_t seg_end, uint32_t* out,
+                          size_t (*seg_into)(const uint32_t*, uint32_t,
+                                             const uint32_t*, uint32_t,
+                                             uint32_t*)) {
+    constexpr uint32_t kSegsPerChunk = BOps::kChunkBits / S;
+    const uint64_t* wa = big.bitmap_words();
+    const uint64_t* wb = small.bitmap_words();
+    const uint32_t nb_mask = small.num_segments() - 1;
+    const uint32_t* offa = big.offsets();
+    const uint32_t* offb = small.offsets();
+    const uint32_t* ra = big.reordered();
+    const uint32_t* rb = small.reordered();
+
+    size_t produced = 0;
+    for (uint32_t seg0 = seg_begin; seg0 < seg_end; seg0 += kSegsPerChunk) {
+      uint32_t bseg0 = seg0 & nb_mask;
+      uint64_t mask = BOps::template NonZeroMask<S>(
+          wa + static_cast<size_t>(seg0) * S / 64,
+          wb + static_cast<size_t>(bseg0) * S / 64);
+      while (mask != 0) {
+        uint32_t t = static_cast<uint32_t>(CountTrailingZeros64(mask));
+        mask = ClearLowestBit(mask);
+        uint32_t as = seg0 + t;
+        uint32_t bs = bseg0 + t;
+        produced += seg_into(ra + offa[as], offa[as + 1] - offa[as],
+                             rb + offb[bs], offb[bs + 1] - offb[bs],
+                             out + produced);
+      }
+    }
+    return produced;
+  }
+
+  template <int S>
+  static uint64_t CountInstrumented(const FesiaSet& big,
+                                    const FesiaSet& small,
+                                    const KernelTable& kt,
+                                    IntersectBreakdown* bd) {
+    constexpr uint32_t kSegsPerChunk = BOps::kChunkBits / S;
+    const uint64_t* wa = big.bitmap_words();
+    const uint64_t* wb = small.bitmap_words();
+    const uint32_t nb_mask = small.num_segments() - 1;
+    const uint32_t* offa = big.offsets();
+    const uint32_t* offb = small.offsets();
+    const uint32_t* ra = big.reordered();
+    const uint32_t* rb = small.reordered();
+    const uint32_t kmax = static_cast<uint32_t>(kt.max_size);
+    const uint32_t seg_end = big.num_segments();
+
+    // Step 1: bitmap AND + index extraction, materialized for timing.
+    std::vector<uint32_t> matched;
+    matched.reserve(256);
+    CycleTimer timer;
+    timer.Start();
+    for (uint32_t seg0 = 0; seg0 < seg_end; seg0 += kSegsPerChunk) {
+      uint32_t bseg0 = seg0 & nb_mask;
+      uint64_t mask = BOps::template NonZeroMask<S>(
+          wa + static_cast<size_t>(seg0) * S / 64,
+          wb + static_cast<size_t>(bseg0) * S / 64);
+      while (mask != 0) {
+        uint32_t t = static_cast<uint32_t>(CountTrailingZeros64(mask));
+        mask = ClearLowestBit(mask);
+        matched.push_back(seg0 + t);
+      }
+    }
+    bd->step1_cycles = timer.Stop();
+    bd->matched_segments = matched.size();
+
+    // Step 2: segment-level kernels.
+    const bool same_m = small.num_segments() == big.num_segments();
+    const uint32_t lanes = static_cast<uint32_t>(kt.lanes);
+    uint64_t count = 0;
+    timer.Start();
+    for (uint32_t as : matched) {
+      uint32_t bs = as & nb_mask;
+      uint32_t sa = offa[as + 1] - offa[as];
+      uint32_t sb = offb[bs + 1] - offb[bs];
+      const uint32_t* pa = ra + offa[as];
+      const uint32_t* pb = rb + offb[bs];
+      if (sa <= kmax && sb <= kmax &&
+          DispatchSafe(same_m, offa, as, sa, nb_mask + 1, seg_end,
+                       lanes)) {
+        count += kt.At(sa, sb)(pa, pb);
+      } else {
+        count += ScalarSegmentCount(pa, sa, pb, sb);
+      }
+    }
+    bd->step2_cycles = timer.Stop();
+    bd->result = count;
+    return count;
+  }
+};
+
+/// Shared entry logic: validates inputs, orders the pair, picks the kernel
+/// table, and runs the pipeline at the pair's segment width.
+template <typename BOps>
+uint64_t EntryCount(const FesiaSet& a, const FesiaSet& b,
+                    const KernelTable& (*kernels)(bool)) {
+  using P = Pipeline<BOps>;
+  FESIA_CHECK(P::Compatible(a, b));
+  if (a.empty() || b.empty()) return 0;
+  const FesiaSet* big;
+  const FesiaSet* small;
+  P::OrderBySegments(a, b, &big, &small);
+  const KernelTable& kt =
+      kernels(a.kernel_stride() > 1 || b.kernel_stride() > 1);
+  switch (a.segment_bits()) {
+    case 8:
+      return P::template CountRange<8>(*big, *small, 0, big->num_segments(),
+                                       kt);
+    case 16:
+      return P::template CountRange<16>(*big, *small, 0, big->num_segments(),
+                                        kt);
+    default:
+      return P::template CountRange<32>(*big, *small, 0, big->num_segments(),
+                                        kt);
+  }
+}
+
+template <typename BOps>
+uint64_t EntryCountRange(const FesiaSet& a, const FesiaSet& b,
+                         uint32_t seg_begin, uint32_t seg_end,
+                         const KernelTable& (*kernels)(bool)) {
+  using P = Pipeline<BOps>;
+  FESIA_CHECK(P::Compatible(a, b));
+  if (a.empty() || b.empty()) return 0;
+  const FesiaSet* big;
+  const FesiaSet* small;
+  P::OrderBySegments(a, b, &big, &small);
+  seg_end = std::min(seg_end, big->num_segments());
+  if (seg_begin >= seg_end) return 0;
+  const uint32_t chunk =
+      static_cast<uint32_t>(BOps::kChunkBits / a.segment_bits());
+  FESIA_CHECK(seg_begin % chunk == 0);
+  FESIA_CHECK(seg_end % chunk == 0 || seg_end == big->num_segments());
+  const KernelTable& kt =
+      kernels(a.kernel_stride() > 1 || b.kernel_stride() > 1);
+  switch (a.segment_bits()) {
+    case 8:
+      return P::template CountRange<8>(*big, *small, seg_begin, seg_end, kt);
+    case 16:
+      return P::template CountRange<16>(*big, *small, seg_begin, seg_end, kt);
+    default:
+      return P::template CountRange<32>(*big, *small, seg_begin, seg_end, kt);
+  }
+}
+
+template <typename BOps>
+size_t EntryIntoRange(const FesiaSet& a, const FesiaSet& b,
+                      uint32_t seg_begin, uint32_t seg_end, uint32_t* out,
+                      size_t (*seg_into)(const uint32_t*, uint32_t,
+                                         const uint32_t*, uint32_t,
+                                         uint32_t*)) {
+  using P = Pipeline<BOps>;
+  FESIA_CHECK(P::Compatible(a, b));
+  if (a.empty() || b.empty()) return 0;
+  const FesiaSet* big;
+  const FesiaSet* small;
+  P::OrderBySegments(a, b, &big, &small);
+  seg_end = std::min(seg_end, big->num_segments());
+  if (seg_begin >= seg_end) return 0;
+  const uint32_t chunk =
+      static_cast<uint32_t>(BOps::kChunkBits / a.segment_bits());
+  FESIA_CHECK(seg_begin % chunk == 0);
+  FESIA_CHECK(seg_end % chunk == 0 || seg_end == big->num_segments());
+  switch (a.segment_bits()) {
+    case 8:
+      return P::template IntoRange<8>(*big, *small, seg_begin, seg_end, out,
+                                      seg_into);
+    case 16:
+      return P::template IntoRange<16>(*big, *small, seg_begin, seg_end, out,
+                                       seg_into);
+    default:
+      return P::template IntoRange<32>(*big, *small, seg_begin, seg_end, out,
+                                       seg_into);
+  }
+}
+
+template <typename BOps>
+size_t EntryInto(const FesiaSet& a, const FesiaSet& b, uint32_t* out,
+                 size_t (*seg_into)(const uint32_t*, uint32_t,
+                                    const uint32_t*, uint32_t, uint32_t*)) {
+  uint32_t total = std::max(a.num_segments(), b.num_segments());
+  return EntryIntoRange<BOps>(a, b, 0, total, out, seg_into);
+}
+
+template <typename BOps>
+uint64_t EntryCountInstrumented(const FesiaSet& a, const FesiaSet& b,
+                                IntersectBreakdown* bd,
+                                const KernelTable& (*kernels)(bool)) {
+  using P = Pipeline<BOps>;
+  FESIA_CHECK(P::Compatible(a, b));
+  *bd = IntersectBreakdown{};
+  if (a.empty() || b.empty()) return 0;
+  const FesiaSet* big;
+  const FesiaSet* small;
+  P::OrderBySegments(a, b, &big, &small);
+  const KernelTable& kt =
+      kernels(a.kernel_stride() > 1 || b.kernel_stride() > 1);
+  switch (a.segment_bits()) {
+    case 8:
+      return P::template CountInstrumented<8>(*big, *small, kt, bd);
+    case 16:
+      return P::template CountInstrumented<16>(*big, *small, kt, bd);
+    default:
+      return P::template CountInstrumented<32>(*big, *small, kt, bd);
+  }
+}
+
+}  // namespace fesia::internal
+
+#endif  // FESIA_FESIA_INTERSECT_IMPL_H_

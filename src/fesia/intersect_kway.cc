@@ -1,0 +1,180 @@
+#include "fesia/intersect_kway.h"
+
+#include <algorithm>
+
+#include "fesia/backends.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace fesia {
+namespace {
+
+// Step-2 k-way intersection over one surviving segment.
+//
+// Fast path: with the paper's default m = n·√w almost every surviving run
+// holds only a couple of elements, so the cheapest k-way "kernel" drives
+// with the smallest run and probes every other run per element — no
+// scratch buffers, no cascading. Long runs fall back to a materializing
+// cascade (run ∩ run -> scratch -> ∩ next run ...).
+inline constexpr uint32_t kKWayProbeDriverMax = 8;
+
+template <typename Emit>
+size_t ProbeSegment(std::span<const FesiaSet* const> sets, uint32_t base_seg,
+                    size_t driver, const internal::Backend& backend,
+                    Emit emit) {
+  const FesiaSet& d = *sets[driver];
+  uint32_t dseg = base_seg & (d.num_segments() - 1);
+  const uint32_t* run = d.SegmentData(dseg);
+  uint32_t len = d.SegmentSize(dseg);
+  size_t count = 0;
+  for (uint32_t i = 0; i < len; ++i) {
+    uint32_t v = run[i];
+    if (v == FesiaSet::kSentinel) break;  // stride padding; runs ascend
+    bool in_all = true;
+    for (size_t s = 0; s < sets.size(); ++s) {
+      if (s == driver) continue;
+      const FesiaSet& sk = *sets[s];
+      uint32_t segk = base_seg & (sk.num_segments() - 1);
+      if (!backend.probe_run(sk.SegmentData(segk), sk.SegmentSize(segk),
+                             v)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) {
+      emit(v);
+      ++count;
+    }
+  }
+  return count;
+}
+
+template <typename Emit>
+size_t CascadeSegment(std::span<const FesiaSet* const> sets,
+                      uint32_t base_seg, const internal::Backend& backend,
+                      std::vector<uint32_t>* scratch_a,
+                      std::vector<uint32_t>* scratch_b, Emit emit) {
+  // Pick the smallest run as the driver.
+  size_t driver = 0;
+  uint32_t min_size = 0xFFFFFFFFu;
+  for (size_t s = 0; s < sets.size(); ++s) {
+    const FesiaSet& sk = *sets[s];
+    uint32_t sz = sk.SegmentSize(base_seg & (sk.num_segments() - 1));
+    if (sz < min_size) {
+      min_size = sz;
+      driver = s;
+    }
+  }
+  if (min_size == 0) return 0;
+  if (min_size <= kKWayProbeDriverMax) {
+    return ProbeSegment(sets, base_seg, driver, backend, emit);
+  }
+
+  const FesiaSet& s0 = *sets[0];
+  const FesiaSet& s1 = *sets[1];
+  uint32_t seg0 = base_seg & (s0.num_segments() - 1);
+  uint32_t seg1 = base_seg & (s1.num_segments() - 1);
+  uint32_t cap = std::min(s0.SegmentSize(seg0), s1.SegmentSize(seg1));
+  scratch_a->resize(cap + 1);
+  size_t len =
+      backend.segment_into(s0.SegmentData(seg0), s0.SegmentSize(seg0),
+                           s1.SegmentData(seg1), s1.SegmentSize(seg1),
+                           scratch_a->data());
+  for (size_t k = 2; k < sets.size() && len > 0; ++k) {
+    const FesiaSet& sk = *sets[k];
+    uint32_t segk = base_seg & (sk.num_segments() - 1);
+    scratch_b->resize(len + 1);
+    len = backend.segment_into(scratch_a->data(),
+                               static_cast<uint32_t>(len),
+                               sk.SegmentData(segk), sk.SegmentSize(segk),
+                               scratch_b->data());
+    scratch_a->swap(*scratch_b);
+  }
+  for (size_t i = 0; i < len; ++i) emit((*scratch_a)[i]);
+  return len;
+}
+
+template <typename Emit>
+size_t KWayImpl(std::span<const FesiaSet* const> sets, SimdLevel level,
+                Emit emit) {
+  if (sets.empty()) return 0;
+  for (const FesiaSet* s : sets) {
+    FESIA_CHECK(s != nullptr);
+    FESIA_CHECK(s->segment_bits() == sets[0]->segment_bits());
+    if (s->empty()) return 0;
+  }
+  if (sets.size() == 1) {
+    for (uint32_t i = 0; i < sets[0]->reordered_size(); ++i) {
+      uint32_t v = sets[0]->reordered()[i];
+      if (v != FesiaSet::kSentinel) emit(v);
+    }
+    return sets[0]->size();
+  }
+
+  const internal::Backend& backend = internal::GetBackend(level);
+  const uint32_t s = static_cast<uint32_t>(sets[0]->segment_bits());
+
+  // Step 1 (paper Sec. VI): AND all k bitmaps. We materialize the combined
+  // bitmap over the largest input's segment space first — each equal-size
+  // AND pass is a straight-line loop the compiler vectorizes to full-width
+  // SIMD — and wrap smaller bitmaps word-wise (a word always covers whole
+  // segments: s >= 8 divides 64 and bitmaps are at least 512 bits).
+  const FesiaSet* base = sets[0];
+  for (const FesiaSet* set : sets) {
+    if (set->num_segments() > base->num_segments()) base = set;
+  }
+  const size_t num_words = base->bitmap_bits() / 64;
+  std::vector<uint64_t> and_words(base->bitmap_words(),
+                                  base->bitmap_words() + num_words);
+  for (const FesiaSet* set : sets) {
+    if (set == base) continue;
+    const uint64_t* words = set->bitmap_words();
+    const size_t set_words = set->bitmap_bits() / 64;
+    if (set_words == num_words) {
+      for (size_t w = 0; w < num_words; ++w) and_words[w] &= words[w];
+    } else {
+      const size_t wrap_mask = set_words - 1;
+      for (size_t w = 0; w < num_words; ++w) {
+        and_words[w] &= words[w & wrap_mask];
+      }
+    }
+  }
+
+  // Step 2: extract surviving segments and intersect their runs.
+  const uint32_t segs_per_word = 64 / s;
+  const uint64_t seg_mask = s == 64 ? ~uint64_t{0} : (uint64_t{1} << s) - 1;
+  std::vector<uint32_t> scratch_a;
+  std::vector<uint32_t> scratch_b;
+  size_t total = 0;
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t word = and_words[w];
+    if (word == 0) continue;
+    for (uint32_t g = 0; g < segs_per_word; ++g) {
+      if (((word >> (g * s)) & seg_mask) == 0) continue;
+      uint32_t base_seg = static_cast<uint32_t>(w) * segs_per_word + g;
+      total += CascadeSegment(sets, base_seg, backend, &scratch_a,
+                              &scratch_b, emit);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+size_t IntersectCountKWay(std::span<const FesiaSet* const> sets,
+                          SimdLevel level) {
+  return KWayImpl(sets, level, [](uint32_t) {});
+}
+
+size_t IntersectIntoKWay(std::span<const FesiaSet* const> sets,
+                         std::vector<uint32_t>* out, bool sort_output,
+                         SimdLevel level) {
+  FESIA_CHECK(out != nullptr);
+  out->clear();
+  size_t r =
+      KWayImpl(sets, level, [out](uint32_t v) { out->push_back(v); });
+  if (sort_output) std::sort(out->begin(), out->end());
+  return r;
+}
+
+}  // namespace fesia

@@ -1,0 +1,33 @@
+// k-way FESIA intersection (paper Sec. VI, Proposition 2).
+//
+// Step 1 ANDs all k bitmaps (segments of larger bitmaps wrap onto smaller
+// ones); only segments whose AND survives across every set reach step 2,
+// where the per-segment runs are intersected by a cascade of SIMD run
+// intersections. Expected cost O(kn/√w + r): the expensive k-way element
+// comparisons run only on segments that pass the k-way bitmap filter.
+#ifndef FESIA_FESIA_INTERSECT_KWAY_H_
+#define FESIA_FESIA_INTERSECT_KWAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fesia/fesia_set.h"
+#include "util/cpu.h"
+
+namespace fesia {
+
+/// Size of the k-way intersection. All sets must share segment_bits.
+/// k = 0 yields 0; k = 1 yields the set's size.
+size_t IntersectCountKWay(std::span<const FesiaSet* const> sets,
+                          SimdLevel level = SimdLevel::kAuto);
+
+/// Materializing k-way intersection, ascending when sort_output is set.
+size_t IntersectIntoKWay(std::span<const FesiaSet* const> sets,
+                         std::vector<uint32_t>* out, bool sort_output = true,
+                         SimdLevel level = SimdLevel::kAuto);
+
+}  // namespace fesia
+
+#endif  // FESIA_FESIA_INTERSECT_KWAY_H_

@@ -1,0 +1,83 @@
+// Specialized segment-intersection kernels (paper Sec. V).
+//
+// After the bitmap step, FESIA intersects many tiny sorted runs (one pair
+// per surviving segment). A *kernel* is a fully-unrolled SIMD intersection
+// function for one exact size pair (Sa, Sb); kernels live in a jump table
+// indexed by the pair so dispatch is a single indirect call (paper Listing 2).
+//
+// Each ISA level exposes two jump tables:
+//  * unguarded — assumes both runs hold only real elements (stride-1 builds);
+//  * guarded   — additionally masks out padding-sentinel lanes, required
+//    when either set was built with kernel_stride > 1, because then both
+//    runs may end in 0xFFFFFFFF sentinels that would otherwise match each
+//    other.
+//
+// Both tables cover sizes 0..2V per side (V = 32-bit lanes per vector);
+// larger runs fall back to ScalarSegmentCount. The "general" kernel the
+// paper compares against in Figs. 4-6 is simply the table entry at the
+// vector-rounded size pair.
+#ifndef FESIA_FESIA_KERNELS_H_
+#define FESIA_FESIA_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fesia::internal {
+
+/// Counts common elements of the two runs the kernel was specialized for.
+/// Sizes are compile-time properties of the kernel; only pointers pass.
+using SegKernelFn = uint32_t (*)(const uint32_t* a, const uint32_t* b);
+
+/// One jump table: (max_size + 1)² kernels, row-major by the first size.
+struct KernelTable {
+  int max_size;            // kernels exist for sizes 0..max_size per side
+  int lanes;               // V: 32-bit lanes per vector at this ISA level
+  const SegKernelFn* fns;  // (max_size + 1)² entries
+
+  SegKernelFn At(uint32_t sa, uint32_t sb) const {
+    return fns[sa * static_cast<uint32_t>(max_size + 1) + sb];
+  }
+  size_t num_entries() const {
+    return static_cast<size_t>(max_size + 1) * static_cast<size_t>(max_size + 1);
+  }
+};
+
+/// Sentinel-aware scalar merge over two runs; the fallback for runs larger
+/// than the kernel table and the reference the kernels are tested against.
+uint32_t ScalarSegmentCount(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                            uint32_t sb);
+
+/// Sentinel-aware materializing scalar merge. Returns the match count.
+size_t ScalarSegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                         uint32_t sb, uint32_t* out);
+
+/// Sentinel-aware scalar membership probe of a run.
+bool ScalarProbeRun(const uint32_t* run, uint32_t len, uint32_t key);
+
+// Per-ISA kernel tables and runtime-size segment helpers. Every function is
+// compiled in its own translation unit with the matching -m flags; callers
+// must consult util/cpu.h before invoking a level the host lacks.
+namespace sse {
+const KernelTable& Kernels(bool guarded);
+size_t SegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                   uint32_t sb, uint32_t* out);
+bool ProbeRun(const uint32_t* run, uint32_t len, uint32_t key);
+}  // namespace sse
+
+namespace avx2 {
+const KernelTable& Kernels(bool guarded);
+size_t SegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                   uint32_t sb, uint32_t* out);
+bool ProbeRun(const uint32_t* run, uint32_t len, uint32_t key);
+}  // namespace avx2
+
+namespace avx512 {
+const KernelTable& Kernels(bool guarded);
+size_t SegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                   uint32_t sb, uint32_t* out);
+bool ProbeRun(const uint32_t* run, uint32_t len, uint32_t key);
+}  // namespace avx512
+
+}  // namespace fesia::internal
+
+#endif  // FESIA_FESIA_KERNELS_H_

@@ -1,0 +1,116 @@
+// AVX2 (256-bit) kernel family: V = 8, table sizes 0..16.
+#include <immintrin.h>
+
+#include "fesia/kernels.h"
+#include "fesia/kernels_impl.h"
+
+namespace fesia::internal::avx2 {
+namespace {
+
+struct Avx2Ops {
+  static constexpr int kLanes = 8;
+  using Vec = __m256i;
+  using Cmp = __m256i;
+
+  static Vec Load(const uint32_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static Vec Broadcast(uint32_t v) {
+    return _mm256_set1_epi32(static_cast<int>(v));
+  }
+  static Cmp CmpEq(Vec a, Vec b) { return _mm256_cmpeq_epi32(a, b); }
+  static Cmp OrCmp(Cmp a, Cmp b) { return _mm256_or_si256(a, b); }
+  static Cmp EmptyCmp() { return _mm256_setzero_si256(); }
+  static Cmp AndNotCmp(Cmp mask, Cmp v) {
+    return _mm256_andnot_si256(mask, v);
+  }
+  static uint32_t CountCmp(Cmp m) {
+    return static_cast<uint32_t>(_mm_popcnt_u32(
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(m)))));
+  }
+};
+
+using Gen = KernelGen<Avx2Ops>;
+constexpr auto kUnguarded = Gen::MakeTable<false>();
+constexpr auto kGuarded = Gen::MakeTable<true>();
+
+}  // namespace
+
+const KernelTable& Kernels(bool guarded) {
+  static constexpr KernelTable kTableUnguarded{Gen::kMaxSize, Gen::kV,
+                                               kUnguarded.data()};
+  static constexpr KernelTable kTableGuarded{Gen::kMaxSize, Gen::kV,
+                                             kGuarded.data()};
+  return guarded ? kTableGuarded : kTableUnguarded;
+}
+
+namespace {
+
+// kCompressPerm[m] lists the lane indices of the set bits of m (front-
+// packed); kPrefixMask[c] enables the first c store lanes. Together they
+// emulate AVX-512's vpcompressd on AVX2.
+struct CompressLuts {
+  alignas(32) uint32_t perm[256][8];
+  alignas(32) uint32_t prefix[9][8];
+};
+
+constexpr CompressLuts MakeCompressLuts() {
+  CompressLuts luts{};
+  for (int m = 0; m < 256; ++m) {
+    int k = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((m >> lane) & 1) luts.perm[m][k++] = static_cast<uint32_t>(lane);
+    }
+    for (; k < 8; ++k) luts.perm[m][k] = 0;
+  }
+  for (int c = 0; c <= 8; ++c) {
+    for (int lane = 0; lane < 8; ++lane) {
+      luts.prefix[c][lane] = lane < c ? 0xFFFFFFFFu : 0;
+    }
+  }
+  return luts;
+}
+
+constexpr CompressLuts kLuts = MakeCompressLuts();
+
+}  // namespace
+
+size_t SegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                   uint32_t sb, uint32_t* out) {
+  // Emit matched b lanes with a permute-based compress (front-pack the
+  // matched lanes, then masked-store exactly that many), the AVX2
+  // equivalent of the AVX-512 path's vpcompressd.
+  size_t k = 0;
+  const __m256i sentinel = _mm256_set1_epi32(-1);
+  for (uint32_t j = 0; j < sb; j += 8) {
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i acc = _mm256_setzero_si256();
+    for (uint32_t i = 0; i < sa; ++i) {
+      uint32_t v = a[i];
+      if (v == 0xFFFFFFFFu) break;  // stride padding; runs are ascending
+      acc = _mm256_or_si256(
+          acc, _mm256_cmpeq_epi32(_mm256_set1_epi32(static_cast<int>(v)),
+                                  vb));
+    }
+    acc = _mm256_andnot_si256(_mm256_cmpeq_epi32(sentinel, vb), acc);
+    auto mask = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(acc)));
+    if (mask == 0) continue;
+    int count = static_cast<int>(_mm_popcnt_u32(mask));
+    __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kLuts.perm[mask]));
+    __m256i packed = _mm256_permutevar8x32_epi32(vb, perm);
+    __m256i store_mask = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kLuts.prefix[count]));
+    _mm256_maskstore_epi32(reinterpret_cast<int*>(out + k), store_mask,
+                           packed);
+    k += static_cast<size_t>(count);
+  }
+  return k;
+}
+
+bool ProbeRun(const uint32_t* run, uint32_t len, uint32_t key) {
+  return Gen::ProbeRun(run, len, key);
+}
+
+}  // namespace fesia::internal::avx2

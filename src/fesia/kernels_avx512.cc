@@ -1,0 +1,79 @@
+// AVX-512 (512-bit) kernel family: V = 16, table sizes 0..32.
+//
+// Comparisons produce mask registers (__mmask16) directly, so the OR-reduce
+// and count steps run on masks instead of vectors.
+#include <immintrin.h>
+
+#include "fesia/kernels.h"
+#include "fesia/kernels_impl.h"
+
+namespace fesia::internal::avx512 {
+namespace {
+
+struct Avx512Ops {
+  static constexpr int kLanes = 16;
+  using Vec = __m512i;
+  using Cmp = __mmask16;
+
+  static Vec Load(const uint32_t* p) { return _mm512_loadu_si512(p); }
+  static Vec Broadcast(uint32_t v) {
+    return _mm512_set1_epi32(static_cast<int>(v));
+  }
+  static Cmp CmpEq(Vec a, Vec b) { return _mm512_cmpeq_epi32_mask(a, b); }
+  static Cmp OrCmp(Cmp a, Cmp b) { return static_cast<Cmp>(a | b); }
+  static Cmp EmptyCmp() { return 0; }
+  static Cmp AndNotCmp(Cmp mask, Cmp v) {
+    return static_cast<Cmp>(v & static_cast<Cmp>(~mask));
+  }
+  static uint32_t CountCmp(Cmp m) {
+    return static_cast<uint32_t>(_mm_popcnt_u32(m));
+  }
+};
+
+using Gen = KernelGen<Avx512Ops>;
+constexpr auto kUnguarded = Gen::MakeTable<false>();
+constexpr auto kGuarded = Gen::MakeTable<true>();
+
+}  // namespace
+
+const KernelTable& Kernels(bool guarded) {
+  static constexpr KernelTable kTableUnguarded{Gen::kMaxSize, Gen::kV,
+                                               kUnguarded.data()};
+  static constexpr KernelTable kTableGuarded{Gen::kMaxSize, Gen::kV,
+                                             kGuarded.data()};
+  return guarded ? kTableGuarded : kTableUnguarded;
+}
+
+size_t SegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                   uint32_t sb, uint32_t* out) {
+  // AVX-512 can emit matched elements directly with a masked compress
+  // store: accumulate the matched-lane mask per b vector, drop sentinel
+  // lanes, then compress the matched values out in one instruction.
+  // Matched lanes are ascending within a vector and across vectors, so the
+  // output stays sorted like the generic path's.
+  size_t k = 0;
+  const __m512i sentinel = _mm512_set1_epi32(-1);
+  for (uint32_t j = 0; j < sb; j += 16) {
+    __m512i vb = _mm512_loadu_si512(b + j);
+    __mmask16 acc = 0;
+    for (uint32_t i = 0; i < sa; ++i) {
+      uint32_t v = a[i];
+      if (v == 0xFFFFFFFFu) break;  // stride padding; runs are ascending
+      acc = static_cast<__mmask16>(
+          acc | _mm512_cmpeq_epi32_mask(
+                    _mm512_set1_epi32(static_cast<int>(v)), vb));
+    }
+    acc = static_cast<__mmask16>(
+        acc & static_cast<__mmask16>(
+                  ~_mm512_cmpeq_epi32_mask(sentinel, vb)));
+    _mm512_mask_compressstoreu_epi32(out + k, acc, vb);
+    k += _mm_popcnt_u32(acc);
+  }
+  return k;
+}
+
+bool ProbeRun(const uint32_t* run, uint32_t len, uint32_t key) {
+  return Gen::ProbeRun(run, len, key);
+}
+
+}  // namespace fesia::internal::avx512

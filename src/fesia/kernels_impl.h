@@ -1,0 +1,156 @@
+// Template machinery generating the specialized kernels for one ISA.
+//
+// This header is included ONLY by the per-ISA kernels_*.cc translation
+// units, each of which supplies an `Ops` policy wrapping its intrinsics and
+// is compiled with the matching -m flags. The same generator thus emits
+// SSE, AVX2, and AVX-512 kernel families from one specification, mirroring
+// the paper's macro-generated kernels.
+//
+// Kernel structure (paper Sec. V-C), for lane count V = Ops::kLanes:
+//  * small-by-small / small-by-large (Sa <= V or Sb <= V): broadcast each
+//    element of one side and compare against whole vectors of the other;
+//    the broadcast side is chosen by static cost comparison, which
+//    reproduces both the 2-by-7 and the 4-by-5 layouts of Fig. 3.
+//  * large-by-large (both > V): compare the leading V-by-V blocks, then
+//    recurse on the side whose leading block finished first (runtime branch
+//    on a[V-1] <= b[V-1], exactly the paper's 6-by-6 scheme); sortedness of
+//    the runs makes the skipped comparisons provably empty.
+//
+// Over-read safety: a kernel for (Sa, Sb) loads whole vectors from both
+// runs, so it may read elements beyond the run. Those lanes belong to later
+// segments; a value equal to a broadcast element would have hashed into the
+// *same* segment, so matches there are impossible and the count stays exact.
+// The only exception is padding sentinels matching each other, which the
+// guarded kernel variants mask out.
+#ifndef FESIA_FESIA_KERNELS_IMPL_H_
+#define FESIA_FESIA_KERNELS_IMPL_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "fesia/kernels.h"
+
+namespace fesia::internal {
+
+inline constexpr uint32_t kSentinelValue = 0xFFFFFFFFu;
+
+template <typename Ops>
+struct KernelGen {
+  static constexpr int kV = Ops::kLanes;
+  /// Tables cover sizes 0..2V so the vector-rounded "general" kernel of
+  /// Figs. 4-6 is also a table entry.
+  static constexpr int kMaxSize = 2 * kV;
+  static constexpr int kN = kMaxSize + 1;
+
+  using Vec = typename Ops::Vec;
+  using Cmp = typename Ops::Cmp;
+
+  /// All-pairs compare: broadcasts bcast[0..SBCAST) against the
+  /// ceil(SVEC / V) vectors starting at vecs, OR-combining equality masks
+  /// per vector, and counts matched vector-side lanes.
+  template <int SBCAST, int SVEC, bool kGuard>
+  static inline uint32_t BroadcastCompare(const uint32_t* bcast,
+                                          const uint32_t* vecs) {
+    constexpr int kNumVec = (SVEC + kV - 1) / kV;
+    Vec vb[kNumVec];
+    for (int v = 0; v < kNumVec; ++v) vb[v] = Ops::Load(vecs + v * kV);
+    Cmp acc[kNumVec];
+    for (int v = 0; v < kNumVec; ++v) acc[v] = Ops::EmptyCmp();
+    for (int i = 0; i < SBCAST; ++i) {
+      Vec va = Ops::Broadcast(bcast[i]);
+      for (int v = 0; v < kNumVec; ++v) {
+        acc[v] = Ops::OrCmp(acc[v], Ops::CmpEq(va, vb[v]));
+      }
+    }
+    uint32_t count = 0;
+    Vec sentinel = Ops::Broadcast(kSentinelValue);
+    for (int v = 0; v < kNumVec; ++v) {
+      Cmp m = acc[v];
+      if constexpr (kGuard) {
+        // Drop lanes whose *vector-side* value is the padding sentinel;
+        // they can only have matched a broadcast sentinel.
+        m = Ops::AndNotCmp(Ops::CmpEq(sentinel, vb[v]), m);
+      }
+      count += Ops::CountCmp(m);
+    }
+    return count;
+  }
+
+  /// The specialized kernel for exact sizes (SA, SB).
+  template <int SA, int SB, bool kGuard>
+  static uint32_t Kernel(const uint32_t* a, const uint32_t* b) {
+    if constexpr (SA == 0 || SB == 0) {
+      (void)a;
+      (void)b;
+      return 0;
+    } else if constexpr (SA > kV && SB > kV) {
+      // Large-by-large: leading V-by-V blocks, then recurse on the side
+      // whose block was exhausted first (paper Fig. 3, right).
+      uint32_t count = BroadcastCompare<kV, kV, kGuard>(a, b);
+      if (a[kV - 1] <= b[kV - 1]) {
+        count += Kernel<SA - kV, SB, kGuard>(a + kV, b);
+      } else {
+        count += Kernel<SA, SB - kV, kGuard>(a, b + kV);
+      }
+      return count;
+    } else {
+      // Pick the cheaper broadcast side: broadcasts cost one op per element,
+      // compares cost (broadcast count) x (vector count of the other side).
+      constexpr int kCostA = SA * ((SB + kV - 1) / kV);
+      constexpr int kCostB = SB * ((SA + kV - 1) / kV);
+      if constexpr (kCostA <= kCostB) {
+        return BroadcastCompare<SA, SB, kGuard>(a, b);
+      } else {
+        return BroadcastCompare<SB, SA, kGuard>(b, a);
+      }
+    }
+  }
+
+  template <bool kGuard, size_t... I>
+  static constexpr std::array<SegKernelFn, sizeof...(I)> MakeFns(
+      std::index_sequence<I...>) {
+    return {(&Kernel<static_cast<int>(I) / kN, static_cast<int>(I) % kN,
+                     kGuard>)...};
+  }
+
+  /// Dense (kN x kN) jump table of kernel pointers.
+  template <bool kGuard>
+  static constexpr std::array<SegKernelFn, kN * kN> MakeTable() {
+    return MakeFns<kGuard>(std::make_index_sequence<kN * kN>{});
+  }
+
+  /// Runtime-size materializing intersection of two runs; used by the
+  /// result-producing API and by k-way cascades. Sentinel-aware.
+  static size_t SegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                            uint32_t sb, uint32_t* out) {
+    size_t k = 0;
+    for (uint32_t i = 0; i < sa; ++i) {
+      uint32_t v = a[i];
+      if (v == kSentinelValue) break;  // padding starts; runs are ascending
+      Vec va = Ops::Broadcast(v);
+      Cmp any = Ops::EmptyCmp();
+      for (uint32_t j = 0; j < sb; j += static_cast<uint32_t>(kV)) {
+        any = Ops::OrCmp(any, Ops::CmpEq(va, Ops::Load(b + j)));
+      }
+      out[k] = v;
+      k += Ops::CountCmp(any) != 0 ? 1 : 0;
+    }
+    return k;
+  }
+
+  /// Runtime-size membership probe of one run (the FESIAhash primitive).
+  static bool ProbeRun(const uint32_t* run, uint32_t len, uint32_t key) {
+    Vec vkey = Ops::Broadcast(key);
+    for (uint32_t j = 0; j < len; j += static_cast<uint32_t>(kV)) {
+      if (Ops::CountCmp(Ops::CmpEq(vkey, Ops::Load(run + j))) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace fesia::internal
+
+#endif  // FESIA_FESIA_KERNELS_IMPL_H_

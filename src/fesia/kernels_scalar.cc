@@ -1,0 +1,64 @@
+// Sentinel-aware scalar segment primitives: the portable fallback for runs
+// exceeding the kernel tables and the reference implementation the SIMD
+// kernels are validated against.
+#include "fesia/kernels.h"
+
+namespace fesia::internal {
+namespace {
+
+constexpr uint32_t kSentinel = 0xFFFFFFFFu;
+
+}  // namespace
+
+uint32_t ScalarSegmentCount(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                            uint32_t sb) {
+  uint32_t i = 0, j = 0, r = 0;
+  while (i < sa && j < sb) {
+    uint32_t va = a[i];
+    uint32_t vb = b[j];
+    // Runs are ascending with sentinel padding at the end; once both sides
+    // reach padding there is nothing left to match.
+    if (va == kSentinel && vb == kSentinel) break;
+    if (va < vb) {
+      ++i;
+    } else if (va > vb) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+      ++r;
+    }
+  }
+  return r;
+}
+
+size_t ScalarSegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                         uint32_t sb, uint32_t* out) {
+  uint32_t i = 0, j = 0;
+  size_t r = 0;
+  while (i < sa && j < sb) {
+    uint32_t va = a[i];
+    uint32_t vb = b[j];
+    if (va == kSentinel && vb == kSentinel) break;
+    if (va < vb) {
+      ++i;
+    } else if (va > vb) {
+      ++j;
+    } else {
+      out[r++] = va;
+      ++i;
+      ++j;
+    }
+  }
+  return r;
+}
+
+bool ScalarProbeRun(const uint32_t* run, uint32_t len, uint32_t key) {
+  for (uint32_t i = 0; i < len; ++i) {
+    if (run[i] == key) return true;
+    if (run[i] > key) return false;  // ascending; sentinel sorts last
+  }
+  return false;
+}
+
+}  // namespace fesia::internal

@@ -1,0 +1,114 @@
+// SSE4.2 (128-bit) kernel family: V = 4, table sizes 0..8.
+#include <immintrin.h>
+
+#include "fesia/kernels.h"
+#include "fesia/kernels_impl.h"
+
+namespace fesia::internal::sse {
+namespace {
+
+struct SseOps {
+  static constexpr int kLanes = 4;
+  using Vec = __m128i;
+  using Cmp = __m128i;
+
+  static Vec Load(const uint32_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static Vec Broadcast(uint32_t v) {
+    return _mm_set1_epi32(static_cast<int>(v));
+  }
+  static Cmp CmpEq(Vec a, Vec b) { return _mm_cmpeq_epi32(a, b); }
+  static Cmp OrCmp(Cmp a, Cmp b) { return _mm_or_si128(a, b); }
+  static Cmp EmptyCmp() { return _mm_setzero_si128(); }
+  static Cmp AndNotCmp(Cmp mask, Cmp v) { return _mm_andnot_si128(mask, v); }
+  static uint32_t CountCmp(Cmp m) {
+    return static_cast<uint32_t>(
+        _mm_popcnt_u32(static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(m)))));
+  }
+};
+
+using Gen = KernelGen<SseOps>;
+constexpr auto kUnguarded = Gen::MakeTable<false>();
+constexpr auto kGuarded = Gen::MakeTable<true>();
+
+}  // namespace
+
+const KernelTable& Kernels(bool guarded) {
+  static constexpr KernelTable kTableUnguarded{Gen::kMaxSize, Gen::kV,
+                                               kUnguarded.data()};
+  static constexpr KernelTable kTableGuarded{Gen::kMaxSize, Gen::kV,
+                                             kGuarded.data()};
+  return guarded ? kTableGuarded : kTableUnguarded;
+}
+
+namespace {
+
+// Byte-shuffle LUT: kCompressShuffle[m] front-packs the 32-bit lanes whose
+// bit is set in m (pshufb-based compress for 4-lane vectors).
+struct SseCompressLut {
+  alignas(16) uint8_t shuffle[16][16];
+};
+
+constexpr SseCompressLut MakeSseCompressLut() {
+  SseCompressLut lut{};
+  for (int m = 0; m < 16; ++m) {
+    int k = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((m >> lane) & 1) {
+        for (int byte = 0; byte < 4; ++byte) {
+          lut.shuffle[m][4 * k + byte] = static_cast<uint8_t>(4 * lane + byte);
+        }
+        ++k;
+      }
+    }
+    for (; k < 4; ++k) {
+      for (int byte = 0; byte < 4; ++byte) {
+        lut.shuffle[m][4 * k + byte] = 0x80;  // zero the tail lanes
+      }
+    }
+  }
+  return lut;
+}
+
+constexpr SseCompressLut kSseLut = MakeSseCompressLut();
+
+}  // namespace
+
+size_t SegmentInto(const uint32_t* a, uint32_t sa, const uint32_t* b,
+                   uint32_t sb, uint32_t* out) {
+  // pshufb-based compress of matched b lanes (the SSE analogue of the
+  // AVX2/AVX-512 paths): front-pack matched lanes into a temporary, copy
+  // exactly the matched count out.
+  size_t k = 0;
+  const __m128i sentinel = _mm_set1_epi32(-1);
+  for (uint32_t j = 0; j < sb; j += 4) {
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i acc = _mm_setzero_si128();
+    for (uint32_t i = 0; i < sa; ++i) {
+      uint32_t v = a[i];
+      if (v == 0xFFFFFFFFu) break;  // stride padding; runs are ascending
+      acc = _mm_or_si128(
+          acc, _mm_cmpeq_epi32(_mm_set1_epi32(static_cast<int>(v)), vb));
+    }
+    acc = _mm_andnot_si128(_mm_cmpeq_epi32(sentinel, vb), acc);
+    auto mask = static_cast<uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(acc)));
+    if (mask == 0) continue;
+    __m128i packed = _mm_shuffle_epi8(
+        vb, _mm_load_si128(
+                reinterpret_cast<const __m128i*>(kSseLut.shuffle[mask])));
+    alignas(16) uint32_t tmp[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), packed);
+    uint32_t count = static_cast<uint32_t>(_mm_popcnt_u32(mask));
+    for (uint32_t c = 0; c < count; ++c) out[k + c] = tmp[c];
+    k += count;
+  }
+  return k;
+}
+
+bool ProbeRun(const uint32_t* run, uint32_t len, uint32_t key) {
+  return Gen::ProbeRun(run, len, key);
+}
+
+}  // namespace fesia::internal::sse

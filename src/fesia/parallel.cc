@@ -1,0 +1,76 @@
+#include "fesia/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "fesia/backends.h"
+#include "util/bits.h"
+#include "util/thread_pool.h"
+
+namespace fesia {
+
+size_t IntersectCountParallel(const FesiaSet& a, const FesiaSet& b,
+                              size_t num_threads, SimdLevel level) {
+  const internal::Backend& backend = internal::GetBackend(level);
+  if (num_threads <= 1 || a.empty() || b.empty()) {
+    return backend.count(a, b);
+  }
+  const uint32_t total_segs = std::max(a.num_segments(), b.num_segments());
+  const uint32_t chunk =
+      internal::SegmentChunk(backend.level, a.segment_bits());
+  const uint32_t num_chunks = total_segs / chunk;
+  num_threads = std::min(num_threads, static_cast<size_t>(num_chunks));
+  if (num_threads <= 1) return backend.count(a, b);
+
+  std::atomic<uint64_t> total{0};
+  ParallelFor(0, num_chunks, num_threads,
+              [&](size_t chunk_begin, size_t chunk_end, size_t /*t*/) {
+                uint64_t partial = backend.count_range(
+                    a, b, static_cast<uint32_t>(chunk_begin) * chunk,
+                    static_cast<uint32_t>(chunk_end) * chunk);
+                total.fetch_add(partial, std::memory_order_relaxed);
+              });
+  return total.load(std::memory_order_relaxed);
+}
+
+size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
+                             std::vector<uint32_t>* out, size_t num_threads,
+                             bool sort_output, SimdLevel level) {
+  const internal::Backend& backend = internal::GetBackend(level);
+  out->clear();
+  if (a.empty() || b.empty()) return 0;
+  const uint32_t total_segs = std::max(a.num_segments(), b.num_segments());
+  const uint32_t chunk =
+      internal::SegmentChunk(backend.level, a.segment_bits());
+  const uint32_t num_chunks = total_segs / chunk;
+  num_threads = std::min(num_threads, static_cast<size_t>(num_chunks));
+  if (num_threads <= 1) {
+    out->resize(std::min(a.size(), b.size()) + 1);
+    size_t r = backend.into(a, b, out->data());
+    out->resize(r);
+    if (sort_output) std::sort(out->begin(), out->end());
+    return r;
+  }
+
+  std::vector<std::vector<uint32_t>> slices(num_threads);
+  ParallelFor(0, num_chunks, num_threads,
+              [&](size_t chunk_begin, size_t chunk_end, size_t t) {
+                std::vector<uint32_t>& slice = slices[t];
+                slice.resize(std::min(a.size(), b.size()) + 1);
+                size_t r = backend.into_range(
+                    a, b, static_cast<uint32_t>(chunk_begin) * chunk,
+                    static_cast<uint32_t>(chunk_end) * chunk, slice.data());
+                slice.resize(r);
+              });
+  size_t total = 0;
+  for (const auto& slice : slices) total += slice.size();
+  out->reserve(total);
+  for (const auto& slice : slices) {
+    out->insert(out->end(), slice.begin(), slice.end());
+  }
+  if (sort_output) std::sort(out->begin(), out->end());
+  return out->size();
+}
+
+}  // namespace fesia

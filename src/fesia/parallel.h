@@ -1,0 +1,34 @@
+// Multicore pairwise intersection (paper Sec. VI "Multicore parallelism").
+//
+// There are no cross-segment dependencies in either step, so the segment
+// range is statically partitioned across threads; each thread runs the full
+// two-step pipeline on its slice and the partial counts are summed.
+#ifndef FESIA_FESIA_PARALLEL_H_
+#define FESIA_FESIA_PARALLEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fesia/fesia_set.h"
+#include "util/cpu.h"
+
+namespace fesia {
+
+/// Intersection size computed with `num_threads` worker threads
+/// (num_threads <= 1 degenerates to the sequential path).
+size_t IntersectCountParallel(const FesiaSet& a, const FesiaSet& b,
+                              size_t num_threads,
+                              SimdLevel level = SimdLevel::kAuto);
+
+/// Materializing parallel intersection: each thread fills a private buffer
+/// for its segment slice; slices are concatenated (segment order) and
+/// optionally sorted. Returns the intersection size.
+size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
+                             std::vector<uint32_t>* out, size_t num_threads,
+                             bool sort_output = true,
+                             SimdLevel level = SimdLevel::kAuto);
+
+}  // namespace fesia
+
+#endif  // FESIA_FESIA_PARALLEL_H_

@@ -1,0 +1,159 @@
+// FesiaSet serialization: a flat little-endian layout with a magic tag and
+// version so services can persist the offline phase.
+//
+// Layout (all integers little-endian):
+//   u64 magic "FESIASET"        u32 version
+//   u32 n                       u32 bitmap_bits
+//   u32 segment_bits            u32 kernel_stride
+//   f64 bitmap_scale            u32 simd_level
+//   u64 bitmap_word_count       u64 bitmap words...
+//   u64 offsets_count           u32 offsets...
+//   u64 reordered_count         u32 reordered elements...
+#include <cstring>
+#include <type_traits>
+
+#include "fesia/fesia_set.h"
+#include "util/bits.h"
+
+namespace fesia {
+namespace {
+
+constexpr uint64_t kMagic = 0x5445534149534546ull;  // "FESIASET" LE
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t pos = out_->size();
+    out_->resize(pos + sizeof(T));
+    std::memcpy(out_->data() + pos, &v, sizeof(T));
+  }
+
+  template <typename T>
+  void PutArray(const T* data, size_t count) {
+    Put<uint64_t>(count);
+    size_t pos = out_->size();
+    out_->resize(pos + count * sizeof(T));
+    std::memcpy(out_->data() + pos, data, count * sizeof(T));
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Get(T* v) {
+    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool GetArray(std::vector<T>* out, uint64_t max_count) {
+    uint64_t count = 0;
+    if (!Get(&count) || count > max_count) return false;
+    if (pos_ + count * sizeof(T) > bytes_.size()) return false;
+    out->resize(count);
+    std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> FesiaSet::Serialize() const {
+  std::vector<uint8_t> out;
+  Writer w(&out);
+  w.Put(kMagic);
+  w.Put(kVersion);
+  w.Put(n_);
+  w.Put(bitmap_bits_);
+  w.Put(static_cast<uint32_t>(segment_bits_));
+  w.Put(static_cast<uint32_t>(kernel_stride_));
+  w.Put(params_.bitmap_scale);
+  w.Put(static_cast<uint32_t>(params_.simd_level));
+  w.PutArray(bitmap_.data(), bitmap_.size());
+  w.PutArray(offsets_.data(), offsets_.size());
+  w.PutArray(reordered_.data(), reordered_size());
+  return out;
+}
+
+bool FesiaSet::Deserialize(std::span<const uint8_t> bytes, FesiaSet* out) {
+  Reader r(bytes);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!r.Get(&magic) || magic != kMagic) return false;
+  if (!r.Get(&version) || version != kVersion) return false;
+
+  FesiaSet set;
+  uint32_t segment_bits = 0, kernel_stride = 0, simd_level = 0;
+  if (!r.Get(&set.n_) || !r.Get(&set.bitmap_bits_) || !r.Get(&segment_bits) ||
+      !r.Get(&kernel_stride) || !r.Get(&set.params_.bitmap_scale) ||
+      !r.Get(&simd_level)) {
+    return false;
+  }
+  // Structural sanity: the invariants Build() guarantees.
+  if (!IsPow2(set.bitmap_bits_) || set.bitmap_bits_ < 512) return false;
+  if (segment_bits != 8 && segment_bits != 16 && segment_bits != 32) {
+    return false;
+  }
+  if (kernel_stride != 1 && kernel_stride != 2 && kernel_stride != 4 &&
+      kernel_stride != 8) {
+    return false;
+  }
+  set.segment_bits_ = static_cast<int>(segment_bits);
+  set.kernel_stride_ = static_cast<int>(kernel_stride);
+  set.params_.segment_bits = set.segment_bits_;
+  set.params_.kernel_stride = set.kernel_stride_;
+  set.params_.simd_level = static_cast<SimdLevel>(simd_level);
+
+  std::vector<uint64_t> bitmap_words;
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> reordered;
+  constexpr uint64_t kMaxWords = (uint64_t{1} << 31) / 64;
+  if (!r.GetArray(&bitmap_words, kMaxWords)) return false;
+  if (!r.GetArray(&offsets, uint64_t{1} << 32)) return false;
+  if (!r.GetArray(&reordered, uint64_t{1} << 32)) return false;
+  if (!r.AtEnd()) return false;
+
+  uint32_t num_segments = set.bitmap_bits_ / segment_bits;
+  if (bitmap_words.size() != CeilDiv(set.bitmap_bits_, 64)) return false;
+  if (offsets.size() != static_cast<size_t>(num_segments) + 1) return false;
+  if (offsets.front() != 0 || offsets.back() != reordered.size()) {
+    return false;
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+
+  set.bitmap_.Reset(bitmap_words.size());
+  std::memcpy(set.bitmap_.data(), bitmap_words.data(),
+              bitmap_words.size() * sizeof(uint64_t));
+  set.offsets_ = std::move(offsets);
+  set.reordered_.Reset(reordered.size(), /*pad_elements=*/32);
+  for (size_t i = 0; i < set.reordered_.padded_size(); ++i) {
+    set.reordered_[i] = kSentinel;
+  }
+  std::memcpy(set.reordered_.data(), reordered.data(),
+              reordered.size() * sizeof(uint32_t));
+  *out = std::move(set);
+  return true;
+}
+
+}  // namespace fesia

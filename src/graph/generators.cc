@@ -1,0 +1,83 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace fesia::graph {
+
+std::vector<Edge> GenerateRmatEdges(const RmatParams& params) {
+  uint32_t n = static_cast<uint32_t>(RoundUpPow2(params.num_nodes));
+  int levels = Log2Pow2(n);
+  Rng rng(params.seed);
+  std::vector<Edge> edges;
+  edges.reserve(params.num_edges);
+  for (uint64_t e = 0; e < params.num_edges; ++e) {
+    uint32_t u = 0, v = 0;
+    for (int l = 0; l < levels; ++l) {
+      double p = rng.NextDouble();
+      // Quadrant choice: a (top-left), b (top-right), c (bottom-left),
+      // d (bottom-right, the remainder).
+      int bit_u = 0, bit_v = 0;
+      if (p < params.a) {
+        // 0,0
+      } else if (p < params.a + params.b) {
+        bit_v = 1;
+      } else if (p < params.a + params.b + params.c) {
+        bit_u = 1;
+      } else {
+        bit_u = 1;
+        bit_v = 1;
+      }
+      u = (u << 1) | static_cast<uint32_t>(bit_u);
+      v = (v << 1) | static_cast<uint32_t>(bit_v);
+    }
+    edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+std::vector<Edge> GenerateUniformEdges(uint32_t num_nodes, uint64_t num_edges,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    edges.emplace_back(static_cast<uint32_t>(rng.Below(num_nodes)),
+                       static_cast<uint32_t>(rng.Below(num_nodes)));
+  }
+  return edges;
+}
+
+std::vector<Edge> GenerateBarabasiAlbertEdges(uint32_t num_nodes,
+                                              uint32_t edges_per_node,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  if (num_nodes < 2 || edges_per_node == 0) return edges;
+  edges.reserve(static_cast<size_t>(num_nodes) * edges_per_node);
+  // `targets` holds one entry per edge endpoint, so uniform sampling from
+  // it is degree-proportional sampling.
+  std::vector<uint32_t> targets;
+  targets.reserve(2 * edges.capacity());
+  targets.push_back(0);
+  for (uint32_t v = 1; v < num_nodes; ++v) {
+    uint32_t attach = std::min(edges_per_node, v);
+    for (uint32_t e = 0; e < attach; ++e) {
+      uint32_t u = targets[rng.Below(targets.size())];
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+    }
+    for (uint32_t e = 0; e < attach; ++e) targets.push_back(v);
+  }
+  return edges;
+}
+
+Graph GenerateRmatGraph(const RmatParams& params) {
+  std::vector<Edge> edges = GenerateRmatEdges(params);
+  uint32_t n = static_cast<uint32_t>(RoundUpPow2(params.num_nodes));
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace fesia::graph

@@ -1,0 +1,47 @@
+// Synthetic graph generators standing in for the SNAP datasets.
+//
+// RMAT (Chakrabarti et al. 2004) reproduces the skewed, community-like
+// degree distributions of the paper's citation and social graphs; see the
+// substitution notes in DESIGN.md.
+#ifndef FESIA_GRAPH_GENERATORS_H_
+#define FESIA_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fesia::graph {
+
+/// RMAT parameters. Defaults are the standard (0.57, 0.19, 0.19, 0.05).
+struct RmatParams {
+  uint32_t num_nodes = 1 << 20;  // rounded up to a power of two internally
+  uint64_t num_edges = 8 << 20;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  uint64_t seed = 7;
+};
+
+/// Generates an RMAT edge list (duplicates and self-loops included; the
+/// Graph builder removes them).
+std::vector<Edge> GenerateRmatEdges(const RmatParams& params);
+
+/// Uniform (Erdős–Rényi G(n, m)) edge list.
+std::vector<Edge> GenerateUniformEdges(uint32_t num_nodes, uint64_t num_edges,
+                                       uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_node` existing vertices with probability proportional to
+/// their degree. Produces the power-law degree tail of citation/social
+/// graphs with a guaranteed connected core.
+std::vector<Edge> GenerateBarabasiAlbertEdges(uint32_t num_nodes,
+                                              uint32_t edges_per_node,
+                                              uint64_t seed);
+
+/// Convenience: RMAT graph with sorted CSR adjacency.
+Graph GenerateRmatGraph(const RmatParams& params);
+
+}  // namespace fesia::graph
+
+#endif  // FESIA_GRAPH_GENERATORS_H_

@@ -1,0 +1,103 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fesia::graph {
+
+Graph Graph::FromEdges(uint32_t num_nodes, std::span<const Edge> edges) {
+  // Canonicalize: drop self-loops, order endpoints, dedupe.
+  std::vector<Edge> canon;
+  canon.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.first == e.second) continue;
+    FESIA_CHECK(e.first < num_nodes && e.second < num_nodes);
+    canon.emplace_back(std::min(e.first, e.second),
+                       std::max(e.first, e.second));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.num_edges_ = canon.size();
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (const Edge& e : canon) {
+    ++g.offsets_[e.first + 1];
+    ++g.offsets_[e.second + 1];
+  }
+  for (uint32_t v = 0; v < num_nodes; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.adj_.resize(2 * canon.size());
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : canon) {
+    g.adj_[cursor[e.first]++] = e.second;
+    g.adj_[cursor[e.second]++] = e.first;
+  }
+  // Each vertex's neighbors were appended in ascending canonical-edge order,
+  // which is not sorted per vertex; sort each list.
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    std::sort(g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
+              g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t max_deg = 0;
+  for (uint32_t v = 0; v < num_nodes_; ++v) {
+    max_deg = std::max(max_deg, Degree(v));
+  }
+  return max_deg;
+}
+
+std::vector<uint64_t> Graph::DegreeHistogramLog2() const {
+  std::vector<uint64_t> hist;
+  for (uint32_t v = 0; v < num_nodes_; ++v) {
+    uint32_t deg = Degree(v);
+    size_t bucket = 0;
+    while ((uint32_t{1} << (bucket + 1)) <= deg) ++bucket;
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+uint64_t Graph::CommonNeighborCount(uint32_t u, uint32_t v,
+                                    size_t (*fn)(const uint32_t*, size_t,
+                                                 const uint32_t*,
+                                                 size_t)) const {
+  auto nu = Neighbors(u);
+  auto nv = Neighbors(v);
+  return fn(nu.data(), nu.size(), nv.data(), nv.size());
+}
+
+Graph Graph::DegreeOrientedDag() const {
+  auto precedes = [this](uint32_t u, uint32_t v) {
+    uint32_t du = Degree(u);
+    uint32_t dv = Degree(v);
+    return du < dv || (du == dv && u < v);
+  };
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    for (uint32_t v : Neighbors(u)) {
+      if (precedes(u, v)) ++g.offsets_[u + 1];
+    }
+  }
+  for (uint32_t v = 0; v < num_nodes_; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.adj_.resize(g.offsets_[num_nodes_]);
+  g.num_edges_ = g.adj_.size();
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    for (uint32_t v : Neighbors(u)) {
+      if (precedes(u, v)) g.adj_[cursor[u]++] = v;
+    }
+  }
+  // Neighbor lists inherit sortedness from the source graph.
+  return g;
+}
+
+}  // namespace fesia::graph

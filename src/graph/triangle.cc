@@ -1,0 +1,63 @@
+#include "graph/triangle.h"
+
+#include <atomic>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace fesia::graph {
+
+uint64_t CountTriangles(const Graph& dag, baselines::IntersectCountFn fn) {
+  uint64_t total = 0;
+  for (uint32_t u = 0; u < dag.num_nodes(); ++u) {
+    auto nu = dag.Neighbors(u);
+    if (nu.size() < 1) continue;
+    for (uint32_t v : nu) {
+      auto nv = dag.Neighbors(v);
+      if (nv.empty()) continue;
+      total += fn(nu.data(), nu.size(), nv.data(), nv.size());
+    }
+  }
+  return total;
+}
+
+FesiaTriangleCounter::FesiaTriangleCounter(const Graph* dag,
+                                           const FesiaParams& params)
+    : dag_(dag) {
+  FESIA_CHECK(dag != nullptr);
+  WallTimer timer;
+  vertex_sets_.reserve(dag->num_nodes());
+  for (uint32_t v = 0; v < dag->num_nodes(); ++v) {
+    vertex_sets_.push_back(FesiaSet::Build(dag->Neighbors(v), params));
+    memory_bytes_ += vertex_sets_.back().ComputeStats().memory_bytes;
+  }
+  construction_seconds_ = timer.Seconds();
+}
+
+uint64_t FesiaTriangleCounter::Count(SimdLevel level,
+                                     size_t num_threads) const {
+  std::atomic<uint64_t> total{0};
+  const Graph& dag = *dag_;
+  ParallelFor(0, dag.num_nodes(), num_threads,
+              [&](size_t begin, size_t end, size_t /*t*/) {
+                uint64_t partial = 0;
+                for (size_t u = begin; u < end; ++u) {
+                  const FesiaSet& su = vertex_sets_[u];
+                  if (su.empty()) continue;
+                  for (uint32_t v :
+                       dag.Neighbors(static_cast<uint32_t>(u))) {
+                    const FesiaSet& sv = vertex_sets_[v];
+                    if (sv.empty()) continue;
+                    // Adjacency pairs in a degree-oriented DAG are often
+                    // heavily skewed; apply the paper's merge/hash strategy
+                    // selection per pair (Sec. VI).
+                    partial += IntersectCountAuto(su, sv, level);
+                  }
+                }
+                total.fetch_add(partial, std::memory_order_relaxed);
+              });
+  return total.load(std::memory_order_relaxed);
+}
+
+}  // namespace fesia::graph

@@ -1,0 +1,51 @@
+// Triangle counting with pluggable set-intersection backends
+// (the graph-analytics task of Fig. 13).
+//
+// Counting uses the degree-ordered orientation: every triangle {u, v, w}
+// appears exactly once as directed edges u->v, u->w, v->w, so the count is
+// the sum over DAG edges (u, v) of |N+(u) ∩ N+(v)|.
+#ifndef FESIA_GRAPH_TRIANGLE_H_
+#define FESIA_GRAPH_TRIANGLE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "baselines/registry.h"
+#include "fesia/fesia.h"
+#include "graph/graph.h"
+
+namespace fesia::graph {
+
+/// Triangle count using a pairwise count function over sorted adjacency
+/// spans. `dag` must be a degree-oriented DAG (see Graph::DegreeOrientedDag).
+uint64_t CountTriangles(const Graph& dag, baselines::IntersectCountFn fn);
+
+/// Triangle counting through FESIA: one segmented bitmap per out-adjacency
+/// list, built once (the construction cost reported in Table III), then one
+/// FESIA intersection per DAG edge, optionally across threads.
+class FesiaTriangleCounter {
+ public:
+  /// Builds per-vertex FESIA structures for `dag` (kept by pointer; must
+  /// outlive the counter).
+  FesiaTriangleCounter(const Graph* dag, const FesiaParams& params);
+
+  /// Seconds spent building all per-vertex structures.
+  double construction_seconds() const { return construction_seconds_; }
+
+  /// Bytes held by all per-vertex structures.
+  size_t memory_bytes() const { return memory_bytes_; }
+
+  /// Triangle count; vertices are partitioned across `num_threads`.
+  uint64_t Count(SimdLevel level = SimdLevel::kAuto,
+                 size_t num_threads = 1) const;
+
+ private:
+  const Graph* dag_;
+  std::vector<FesiaSet> vertex_sets_;
+  double construction_seconds_ = 0;
+  size_t memory_bytes_ = 0;
+};
+
+}  // namespace fesia::graph
+
+#endif  // FESIA_GRAPH_TRIANGLE_H_

@@ -1,0 +1,45 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/datagen.h"
+#include "datagen/zipf.h"
+
+namespace fesia::index {
+
+InvertedIndex InvertedIndex::BuildSynthetic(const CorpusParams& params) {
+  InvertedIndex idx;
+  idx.num_docs_ = params.num_docs;
+
+  // Target posting mass per term from the Zipf pmf over term ranks.
+  datagen::ZipfDistribution zipf(params.num_terms, params.zipf_theta);
+  double total_mass =
+      params.avg_terms_per_doc * static_cast<double>(params.num_docs);
+
+  idx.postings_.reserve(params.num_terms);
+  for (uint32_t t = 0; t < params.num_terms; ++t) {
+    auto len = static_cast<size_t>(std::llround(total_mass * zipf.Pmf(t)));
+    len = std::min<size_t>(len, params.num_docs);
+    if (len < params.min_posting_length) continue;
+    idx.postings_.push_back(datagen::SortedUniform(
+        len, params.num_docs, params.seed ^ (0x9E3779B97F4A7C15ull * (t + 1))));
+    idx.total_postings_ += len;
+  }
+  // Longest lists first (term rank 0 is the most frequent term).
+  std::sort(idx.postings_.begin(), idx.postings_.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return idx;
+}
+
+std::vector<uint32_t> InvertedIndex::TermsWithPostingLength(
+    size_t min_len, size_t max_len) const {
+  std::vector<uint32_t> terms;
+  for (uint32_t t = 0; t < num_terms(); ++t) {
+    size_t len = postings_[t].size();
+    if (len >= min_len && len <= max_len) terms.push_back(t);
+  }
+  return terms;
+}
+
+}  // namespace fesia::index

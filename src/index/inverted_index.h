@@ -1,0 +1,61 @@
+// Inverted-index substrate for the database-query task (paper Sec. VII-F).
+//
+// The paper evaluates on WebDocs, a 1.7M-document web crawl with 5.3M
+// distinct items and heavy-tailed item frequencies. We build the synthetic
+// stand-in described in DESIGN.md: posting-list lengths follow a Zipf
+// distribution over term ranks and each list is a uniform sample of the
+// document space, preserving the workload property Fig. 12 depends on
+// (low-selectivity conjunctive queries over skewed list lengths).
+#ifndef FESIA_INDEX_INVERTED_INDEX_H_
+#define FESIA_INDEX_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fesia::index {
+
+/// Knobs of the synthetic corpus.
+struct CorpusParams {
+  uint32_t num_docs = 200000;
+  uint32_t num_terms = 50000;
+  /// Zipf exponent of posting-list mass per term rank.
+  double zipf_theta = 1.0;
+  /// Average number of postings per document (total mass / num_docs).
+  double avg_terms_per_doc = 40.0;
+  /// Every posting list shorter than this is dropped (rare tail terms do
+  /// not participate in multi-keyword queries).
+  uint32_t min_posting_length = 4;
+  uint64_t seed = 42;
+};
+
+/// A term -> sorted posting-list (document id) map.
+class InvertedIndex {
+ public:
+  /// Builds a synthetic index; deterministic in params.seed.
+  static InvertedIndex BuildSynthetic(const CorpusParams& params);
+
+  uint32_t num_terms() const { return static_cast<uint32_t>(postings_.size()); }
+  uint32_t num_docs() const { return num_docs_; }
+  /// Total number of postings across all terms.
+  size_t total_postings() const { return total_postings_; }
+
+  /// Sorted, duplicate-free document ids containing `term`.
+  std::span<const uint32_t> Postings(uint32_t term) const {
+    return postings_[term];
+  }
+
+  /// Terms whose posting-list length lies in [min_len, max_len].
+  std::vector<uint32_t> TermsWithPostingLength(size_t min_len,
+                                               size_t max_len) const;
+
+ private:
+  uint32_t num_docs_ = 0;
+  size_t total_postings_ = 0;
+  std::vector<std::vector<uint32_t>> postings_;
+};
+
+}  // namespace fesia::index
+
+#endif  // FESIA_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,111 @@
+#include "index/query_engine.h"
+
+#include <algorithm>
+
+#include "baselines/bmiss.h"
+#include "baselines/galloping.h"
+#include "baselines/registry.h"
+#include "baselines/scalar_merge.h"
+#include "baselines/shuffling.h"
+#include "baselines/simd_galloping.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace fesia::index {
+namespace {
+
+using MaterializeFn = size_t (*)(const uint32_t*, size_t, const uint32_t*,
+                                 size_t, uint32_t*);
+
+MaterializeFn MaterializerFor(const std::string& method) {
+  if (method == "Scalar") return &baselines::ScalarMergeInto;
+  if (method == "ScalarGalloping") return &baselines::ScalarGallopingInto;
+  if (method == "Shuffling") return &baselines::ShufflingInto;
+  if (method == "BMiss") return &baselines::BMissInto;
+  if (method == "SIMDGalloping") return &baselines::SimdGallopingInto;
+  return nullptr;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const InvertedIndex* idx, const FesiaParams& params)
+    : idx_(idx) {
+  FESIA_CHECK(idx != nullptr);
+  WallTimer timer;
+  term_sets_.reserve(idx->num_terms());
+  for (uint32_t t = 0; t < idx->num_terms(); ++t) {
+    term_sets_.push_back(FesiaSet::Build(idx->Postings(t), params));
+  }
+  construction_seconds_ = timer.Seconds();
+}
+
+size_t QueryEngine::CountFesia(std::span<const uint32_t> terms,
+                               SimdLevel level) const {
+  if (terms.empty()) return 0;
+  if (terms.size() == 1) return term_sets_[terms[0]].size();
+  if (terms.size() == 2) {
+    return IntersectCountAuto(term_sets_[terms[0]], term_sets_[terms[1]],
+                              level);
+  }
+  std::vector<const FesiaSet*> sets;
+  sets.reserve(terms.size());
+  for (uint32_t t : terms) sets.push_back(&term_sets_[t]);
+  return IntersectCountKWay(sets, level);
+}
+
+size_t QueryEngine::CountBaseline(std::span<const uint32_t> terms,
+                                  const std::string& method) const {
+  if (terms.empty()) return 0;
+  if (terms.size() == 1) return idx_->Postings(terms[0]).size();
+
+  // Order by ascending posting length: smallest intermediate results.
+  std::vector<uint32_t> ordered(terms.begin(), terms.end());
+  std::sort(ordered.begin(), ordered.end(), [this](uint32_t a, uint32_t b) {
+    return idx_->Postings(a).size() < idx_->Postings(b).size();
+  });
+
+  if (ordered.size() == 2) {
+    const baselines::Method* m = baselines::FindBaseline(method);
+    FESIA_CHECK(m != nullptr);
+    auto pa = idx_->Postings(ordered[0]);
+    auto pb = idx_->Postings(ordered[1]);
+    return m->fn(pa.data(), pa.size(), pb.data(), pb.size());
+  }
+
+  MaterializeFn materialize = MaterializerFor(method);
+  FESIA_CHECK(materialize != nullptr);
+  auto first = idx_->Postings(ordered[0]);
+  std::vector<uint32_t> acc(first.begin(), first.end());
+  std::vector<uint32_t> tmp;
+  for (size_t i = 1; i < ordered.size() && !acc.empty(); ++i) {
+    auto next = idx_->Postings(ordered[i]);
+    tmp.resize(std::min(acc.size(), next.size()));
+    size_t r = materialize(acc.data(), acc.size(), next.data(), next.size(),
+                           tmp.data());
+    tmp.resize(r);
+    acc.swap(tmp);
+  }
+  return acc.size();
+}
+
+std::vector<uint32_t> QueryEngine::QueryFesia(std::span<const uint32_t> terms,
+                                              SimdLevel level) const {
+  std::vector<uint32_t> out;
+  if (terms.empty()) return out;
+  if (terms.size() == 1) {
+    auto p = idx_->Postings(terms[0]);
+    return std::vector<uint32_t>(p.begin(), p.end());
+  }
+  if (terms.size() == 2) {
+    IntersectInto(term_sets_[terms[0]], term_sets_[terms[1]], &out,
+                  /*sort_output=*/true, level);
+    return out;
+  }
+  std::vector<const FesiaSet*> sets;
+  sets.reserve(terms.size());
+  for (uint32_t t : terms) sets.push_back(&term_sets_[t]);
+  IntersectIntoKWay(sets, &out, /*sort_output=*/true, level);
+  return out;
+}
+
+}  // namespace fesia::index

@@ -1,0 +1,54 @@
+// Conjunctive (AND) query execution over an inverted index with a pluggable
+// intersection method — the database-query task of Fig. 12.
+#ifndef FESIA_INDEX_QUERY_ENGINE_H_
+#define FESIA_INDEX_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fesia/fesia.h"
+#include "index/inverted_index.h"
+
+namespace fesia::index {
+
+/// Executes multi-keyword AND queries. FESIA structures for every posting
+/// list are built once up front (the offline phase whose cost the paper
+/// reports as "construction time").
+class QueryEngine {
+ public:
+  /// Builds FESIA structures for all posting lists of `idx`, which must
+  /// outlive the engine.
+  QueryEngine(const InvertedIndex* idx, const FesiaParams& params);
+
+  /// Seconds spent building all FESIA structures.
+  double construction_seconds() const { return construction_seconds_; }
+
+  /// Number of documents containing every term, computed with FESIA
+  /// (pairwise auto strategy for 2 terms, k-way pipeline for more).
+  size_t CountFesia(std::span<const uint32_t> terms,
+                    SimdLevel level = SimdLevel::kAuto) const;
+
+  /// Same result via a named baseline from baselines::AllBaselines();
+  /// queries with 3+ terms cascade materializing pairwise intersections
+  /// smallest-list-first.
+  size_t CountBaseline(std::span<const uint32_t> terms,
+                       const std::string& method) const;
+
+  /// Result documents (ascending) via FESIA.
+  std::vector<uint32_t> QueryFesia(std::span<const uint32_t> terms,
+                                   SimdLevel level = SimdLevel::kAuto) const;
+
+  const FesiaSet& TermSet(uint32_t term) const { return term_sets_[term]; }
+
+ private:
+  const InvertedIndex* idx_;
+  std::vector<FesiaSet> term_sets_;
+  double construction_seconds_ = 0;
+};
+
+}  // namespace fesia::index
+
+#endif  // FESIA_INDEX_QUERY_ENGINE_H_

@@ -1,0 +1,71 @@
+#include "index/query_gen.h"
+
+#include <algorithm>
+
+#include "datagen/datagen.h"
+#include "util/rng.h"
+
+namespace fesia::index {
+
+size_t ReferenceQueryCount(const InvertedIndex& idx, const Query& query) {
+  if (query.empty()) return 0;
+  std::vector<std::vector<uint32_t>> lists;
+  lists.reserve(query.size());
+  for (uint32_t t : query) {
+    auto p = idx.Postings(t);
+    lists.emplace_back(p.begin(), p.end());
+  }
+  return datagen::ReferenceIntersection(lists).size();
+}
+
+std::vector<Query> LowSelectivityQueries(const InvertedIndex& idx,
+                                         size_t arity, size_t min_len,
+                                         size_t max_len, size_t count,
+                                         double max_selectivity,
+                                         uint64_t seed) {
+  std::vector<uint32_t> candidates =
+      idx.TermsWithPostingLength(min_len, max_len);
+  std::vector<Query> queries;
+  if (candidates.size() < arity) return queries;
+  Rng rng(seed);
+  size_t attempts = 0;
+  while (queries.size() < count && ++attempts < 200 * count) {
+    Query q;
+    while (q.size() < arity) {
+      uint32_t t = candidates[rng.Below(candidates.size())];
+      if (std::find(q.begin(), q.end(), t) == q.end()) q.push_back(t);
+    }
+    size_t min_list = idx.Postings(q[0]).size();
+    for (uint32_t t : q) min_list = std::min(min_list, idx.Postings(t).size());
+    if (static_cast<double>(ReferenceQueryCount(idx, q)) <=
+        max_selectivity * static_cast<double>(min_list)) {
+      queries.push_back(std::move(q));
+    }
+  }
+  return queries;
+}
+
+std::vector<Query> SkewedPairQueries(const InvertedIndex& idx,
+                                     size_t min_long_len, double skew,
+                                     size_t count, uint64_t seed) {
+  std::vector<uint32_t> longs =
+      idx.TermsWithPostingLength(min_long_len, ~size_t{0} >> 1);
+  std::vector<Query> queries;
+  if (longs.empty()) return queries;
+  Rng rng(seed);
+  size_t attempts = 0;
+  while (queries.size() < count && ++attempts < 200 * count) {
+    uint32_t tl = longs[rng.Below(longs.size())];
+    auto target = static_cast<size_t>(
+        skew * static_cast<double>(idx.Postings(tl).size()));
+    if (target < 2) continue;
+    std::vector<uint32_t> shorts =
+        idx.TermsWithPostingLength(target * 8 / 10, target * 12 / 10);
+    if (shorts.empty()) continue;
+    uint32_t ts = shorts[rng.Below(shorts.size())];
+    if (ts != tl) queries.push_back({tl, ts});
+  }
+  return queries;
+}
+
+}  // namespace fesia::index

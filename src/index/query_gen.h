@@ -1,0 +1,42 @@
+// Query-workload generation over an inverted index.
+//
+// The paper's database experiment controls the property that matters for
+// intersection methods — selectivity relative to the shortest posting list
+// — and the skew between list lengths. These generators produce exactly
+// those workloads (used by bench_fig12 and the index tests).
+#ifndef FESIA_INDEX_QUERY_GEN_H_
+#define FESIA_INDEX_QUERY_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace fesia::index {
+
+/// One conjunctive query: a list of term ids.
+using Query = std::vector<uint32_t>;
+
+/// Random `arity`-term queries whose terms have posting lengths within
+/// [min_len, max_len] and whose true result size is at most
+/// max_selectivity × (shortest list). Returns up to `count` queries
+/// (possibly fewer when the index cannot supply them).
+std::vector<Query> LowSelectivityQueries(const InvertedIndex& idx,
+                                         size_t arity, size_t min_len,
+                                         size_t max_len, size_t count,
+                                         double max_selectivity,
+                                         uint64_t seed);
+
+/// Random 2-term queries pairing a long posting list with one roughly
+/// `skew` times its length (within ±20%). Returns up to `count` queries.
+std::vector<Query> SkewedPairQueries(const InvertedIndex& idx,
+                                     size_t min_long_len, double skew,
+                                     size_t count, uint64_t seed);
+
+/// Exact result size of a conjunctive query (reference merge cascade).
+size_t ReferenceQueryCount(const InvertedIndex& idx, const Query& query);
+
+}  // namespace fesia::index
+
+#endif  // FESIA_INDEX_QUERY_GEN_H_

@@ -1,0 +1,23 @@
+#include "util/aligned_buffer.h"
+
+#include <cstdlib>
+
+namespace fesia {
+namespace internal {
+
+void* AllocateAligned(size_t bytes) {
+  if (bytes == 0) bytes = kVectorAlignment;
+  // Round the allocation itself up so the *end* of the buffer is also
+  // vector-aligned; together with zeroed tail padding this makes full-width
+  // loads at any in-range index safe.
+  size_t rounded = (bytes + kVectorAlignment - 1) & ~(kVectorAlignment - 1);
+  void* p = std::aligned_alloc(kVectorAlignment, rounded);
+  if (p == nullptr) std::abort();
+  std::memset(p, 0, rounded);
+  return p;
+}
+
+void FreeAligned(void* p) { std::free(p); }
+
+}  // namespace internal
+}  // namespace fesia

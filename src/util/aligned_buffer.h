@@ -1,0 +1,111 @@
+// A cache-line/vector aligned, zero-initialized flat buffer.
+//
+// FESIA's bitmap and reordered-element arrays are streamed with full-width
+// vector loads, so they must be (a) aligned to the widest vector register and
+// (b) padded so that a full vector load at the last valid element never
+// touches an unmapped page. AlignedBuffer centralizes both guarantees.
+#ifndef FESIA_UTIL_ALIGNED_BUFFER_H_
+#define FESIA_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+namespace fesia {
+
+/// Default alignment: one AVX-512 register / one cache line.
+inline constexpr size_t kVectorAlignment = 64;
+
+namespace internal {
+// Allocates `bytes` of zeroed storage aligned to kVectorAlignment.
+void* AllocateAligned(size_t bytes);
+void FreeAligned(void* p);
+}  // namespace internal
+
+/// Fixed-capacity aligned array of trivially-copyable T.
+///
+/// The buffer always over-allocates by `pad_elements` zeroed slots past
+/// size(), so SIMD code may load one full vector starting at any index
+/// < size() without faulting.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(size_t size, size_t pad_elements = kDefaultPad) {
+    Reset(size, pad_elements);
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) { CopyFrom(other); }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      internal::FreeAligned(data_);
+      data_ = nullptr;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        padded_size_(std::exchange(other.padded_size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      internal::FreeAligned(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      padded_size_ = std::exchange(other.padded_size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { internal::FreeAligned(data_); }
+
+  /// Re-allocates to `size` elements (all zero) plus `pad_elements` of
+  /// zeroed tail padding.
+  void Reset(size_t size, size_t pad_elements = kDefaultPad) {
+    internal::FreeAligned(data_);
+    size_ = size;
+    padded_size_ = size + pad_elements;
+    data_ = static_cast<T*>(internal::AllocateAligned(padded_size_ * sizeof(T)));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// Number of allocated elements including the zeroed tail padding.
+  size_t padded_size() const { return padded_size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  static constexpr size_t kDefaultPad = kVectorAlignment / sizeof(T);
+
+  void CopyFrom(const AlignedBuffer& other) {
+    size_ = other.size_;
+    padded_size_ = other.padded_size_;
+    if (other.data_ != nullptr) {
+      data_ =
+          static_cast<T*>(internal::AllocateAligned(padded_size_ * sizeof(T)));
+      std::memcpy(data_, other.data_, padded_size_ * sizeof(T));
+    }
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t padded_size_ = 0;
+};
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_ALIGNED_BUFFER_H_

@@ -1,0 +1,39 @@
+// Small bit-manipulation helpers shared across the library.
+#ifndef FESIA_UTIL_BITS_H_
+#define FESIA_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace fesia {
+
+/// Rounds `v` up to the next power of two. RoundUpPow2(0) == 1.
+constexpr uint64_t RoundUpPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  return uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+/// True iff `v` is a power of two (0 is not).
+constexpr bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr int Log2Pow2(uint64_t v) { return std::countr_zero(v); }
+
+/// Number of trailing zero bits; undefined for v == 0 at the hardware level,
+/// so we define it as 64 for convenience in extraction loops.
+constexpr int CountTrailingZeros64(uint64_t v) {
+  return v == 0 ? 64 : std::countr_zero(v);
+}
+
+/// Population count of a 64-bit word.
+constexpr int PopCount64(uint64_t v) { return std::popcount(v); }
+
+/// Clears the lowest set bit of `v`.
+constexpr uint64_t ClearLowestBit(uint64_t v) { return v & (v - 1); }
+
+/// Integer ceiling division.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_BITS_H_

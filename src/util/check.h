@@ -1,0 +1,20 @@
+// Minimal CHECK macros: invariant violations abort with a message.
+// The library does not use exceptions; programmer errors fail fast.
+#ifndef FESIA_UTIL_CHECK_H_
+#define FESIA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FESIA_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "FESIA_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define FESIA_DCHECK(cond) FESIA_CHECK(cond)
+
+#endif  // FESIA_UTIL_CHECK_H_

@@ -1,0 +1,91 @@
+#include "util/cpu.h"
+
+#include <cpuid.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace fesia {
+
+SimdLevel DetectSimdLevel() {
+  static const SimdLevel level = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512dq")) {
+      return SimdLevel::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi") &&
+        __builtin_cpu_supports("bmi2")) {
+      return SimdLevel::kAvx2;
+    }
+    if (__builtin_cpu_supports("sse4.2") &&
+        __builtin_cpu_supports("popcnt")) {
+      return SimdLevel::kSse;
+    }
+    return SimdLevel::kScalar;
+  }();
+  return level;
+}
+
+SimdLevel ResolveSimdLevel(SimdLevel requested) {
+  SimdLevel max = DetectSimdLevel();
+  if (requested == SimdLevel::kAuto) return max;
+  return static_cast<int>(requested) <= static_cast<int>(max) ? requested : max;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse:
+      return "sse";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+int SimdWidthBits(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return 64;
+    case SimdLevel::kSse:
+      return 128;
+    case SimdLevel::kAvx2:
+      return 256;
+    case SimdLevel::kAvx512:
+      return 512;
+    case SimdLevel::kAuto:
+      return SimdWidthBits(DetectSimdLevel());
+  }
+  return 64;
+}
+
+int SimdLanes32(SimdLevel level) { return SimdWidthBits(level) / 32; }
+
+std::string CpuBrandString() {
+  unsigned int regs[12] = {0};
+  unsigned int max_ext = __get_cpuid_max(0x80000000u, nullptr);
+  if (max_ext < 0x80000004u) return "unknown";
+  for (unsigned int i = 0; i < 3; ++i) {
+    __get_cpuid(0x80000002u + i, &regs[4 * i], &regs[4 * i + 1],
+                &regs[4 * i + 2], &regs[4 * i + 3]);
+  }
+  char brand[49];
+  std::memcpy(brand, regs, 48);
+  brand[48] = '\0';
+  std::string s(brand);
+  // Trim leading/trailing spaces cpuid pads with.
+  size_t b = s.find_first_not_of(' ');
+  size_t e = s.find_last_not_of(' ');
+  if (b == std::string::npos) return "unknown";
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace fesia

@@ -1,0 +1,44 @@
+// Runtime detection of the SIMD instruction sets available on this host.
+//
+// Every FESIA code path exists at four ISA levels; the dispatcher consults
+// DetectSimdLevel() (or an explicit user override) to pick the widest level
+// both compiled in and supported by the executing CPU.
+#ifndef FESIA_UTIL_CPU_H_
+#define FESIA_UTIL_CPU_H_
+
+#include <string>
+
+namespace fesia {
+
+/// SIMD instruction-set levels, ordered from narrowest to widest.
+enum class SimdLevel {
+  kScalar = 0,  // no vector instructions (portable reference path)
+  kSse = 1,     // SSE4.2, 128-bit
+  kAvx2 = 2,    // AVX2, 256-bit
+  kAvx512 = 3,  // AVX-512 F/BW/VL/DQ, 512-bit
+  kAuto = 99,   // resolve to the widest available level at runtime
+};
+
+/// Widest SIMD level supported by the executing CPU.
+SimdLevel DetectSimdLevel();
+
+/// Resolves kAuto to the detected level; other levels are clamped to the
+/// detected maximum (asking for AVX-512 on an SSE-only machine yields SSE).
+SimdLevel ResolveSimdLevel(SimdLevel requested);
+
+/// Human-readable name ("scalar", "sse", "avx2", "avx512", "auto").
+const char* SimdLevelName(SimdLevel level);
+
+/// Vector width in bits for a (resolved) level; scalar reports 64, the word
+/// size used by the bitmap step's portable path.
+int SimdWidthBits(SimdLevel level);
+
+/// Number of 32-bit elements per vector register at this level.
+int SimdLanes32(SimdLevel level);
+
+/// CPU brand string as reported by cpuid (best effort).
+std::string CpuBrandString();
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_CPU_H_

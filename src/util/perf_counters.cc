@@ -1,0 +1,87 @@
+#include "util/perf_counters.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace fesia {
+namespace {
+
+int OpenPerfEvent(PerfEvent event) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  switch (event) {
+    case PerfEvent::kL1IcacheMisses:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_L1I |
+                    (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+    case PerfEvent::kL1DcacheMisses:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_L1D |
+                    (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+    case PerfEvent::kInstructions:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+    case PerfEvent::kCycles:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
+    case PerfEvent::kBranchMisses:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_BRANCH_MISSES;
+      break;
+  }
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+}  // namespace
+
+PerfCounter::PerfCounter(PerfEvent event) : fd_(OpenPerfEvent(event)) {}
+
+PerfCounter::~PerfCounter() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void PerfCounter::Start() {
+  if (fd_ < 0) return;
+  ioctl(fd_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+void PerfCounter::Stop() {
+  if (fd_ < 0) return;
+  ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0);
+  uint64_t v = 0;
+  if (read(fd_, &v, sizeof(v)) == sizeof(v)) value_ = v;
+}
+
+const char* PerfEventName(PerfEvent event) {
+  switch (event) {
+    case PerfEvent::kL1IcacheMisses:
+      return "L1-icache-misses";
+    case PerfEvent::kL1DcacheMisses:
+      return "L1-dcache-misses";
+    case PerfEvent::kInstructions:
+      return "instructions";
+    case PerfEvent::kCycles:
+      return "cycles";
+    case PerfEvent::kBranchMisses:
+      return "branch-misses";
+  }
+  return "unknown";
+}
+
+}  // namespace fesia

@@ -1,0 +1,55 @@
+// Thin wrapper over Linux perf_event_open for the counters Table II of the
+// paper reports (L1 instruction-cache misses), plus instructions and cycles.
+//
+// Hardware counters are frequently unavailable in containers or locked down
+// via perf_event_paranoid; every reader degrades gracefully to "unavailable"
+// and the benchmarks report the substitute metric (kernel-table code size)
+// alongside, as documented in DESIGN.md.
+#ifndef FESIA_UTIL_PERF_COUNTERS_H_
+#define FESIA_UTIL_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace fesia {
+
+/// Counter kinds we know how to program.
+enum class PerfEvent {
+  kL1IcacheMisses,
+  kL1DcacheMisses,
+  kInstructions,
+  kCycles,
+  kBranchMisses,
+};
+
+/// One hardware counter. Usage:
+///   PerfCounter c(PerfEvent::kL1IcacheMisses);
+///   if (c.ok()) { c.Start(); ... c.Stop(); use c.value(); }
+class PerfCounter {
+ public:
+  explicit PerfCounter(PerfEvent event);
+  ~PerfCounter();
+
+  PerfCounter(const PerfCounter&) = delete;
+  PerfCounter& operator=(const PerfCounter&) = delete;
+
+  /// True when the kernel granted the counter.
+  bool ok() const { return fd_ >= 0; }
+
+  /// Resets and enables the counter.
+  void Start();
+  /// Disables the counter and latches its value.
+  void Stop();
+  /// Count observed between the last Start()/Stop() pair.
+  uint64_t value() const { return value_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t value_ = 0;
+};
+
+/// Human-readable event name for report rows.
+const char* PerfEventName(PerfEvent event);
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_PERF_COUNTERS_H_

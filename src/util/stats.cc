@@ -1,0 +1,40 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fesia {
+
+SampleStats Summarize(const std::vector<double>& samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double var = 0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+double Quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0) return samples.front();
+  if (q >= 1) return samples.back();
+  double pos = q * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+}  // namespace fesia

@@ -1,0 +1,28 @@
+// Summary statistics over repeated benchmark measurements.
+#ifndef FESIA_UTIL_STATS_H_
+#define FESIA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fesia {
+
+/// Aggregate statistics of a sample of measurements.
+struct SampleStats {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;
+  size_t count = 0;
+};
+
+/// Computes summary statistics; an empty input yields all-zero stats.
+SampleStats Summarize(const std::vector<double>& samples);
+
+/// Returns the q-quantile (0 <= q <= 1) by linear interpolation.
+double Quantile(std::vector<double> samples, double q);
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_STATS_H_

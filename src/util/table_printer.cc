@@ -1,0 +1,98 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace fesia {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  // Compute column widths over header + rows.
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string();
+      out << cell << std::string(width[i] - cell.size(), ' ');
+      if (i + 1 < cols) out << "  ";
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < cols; ++i) total += width[i] + (i + 1 < cols ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  if (!title_.empty()) out << "# " << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) out << ',';
+      out << quote(r[i]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void TablePrinter::Print() const {
+  const char* format = std::getenv("FESIA_TABLE_FORMAT");
+  std::string s = (format != nullptr && std::string(format) == "csv")
+                      ? ToCsv()
+                      : ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Speedup(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", v);
+  return buf;
+}
+
+}  // namespace fesia

@@ -1,0 +1,50 @@
+// Column-aligned table output for the benchmark harness.
+//
+// Every bench binary regenerates one paper table or figure; TablePrinter
+// renders the same rows/series as aligned text so bench output can be
+// compared side-by-side with the paper.
+#ifndef FESIA_UTIL_TABLE_PRINTER_H_
+#define FESIA_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace fesia {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Renders the table as CSV (RFC-4180 quoting for cells containing
+  /// commas or quotes), for machine consumption of bench output.
+  std::string ToCsv() const;
+
+  /// Renders and writes the table to stdout. When the environment variable
+  /// FESIA_TABLE_FORMAT=csv is set, emits CSV instead of aligned text.
+  void Print() const;
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string Fmt(double v, int digits = 2);
+  /// Formats `v` as a speedup like "3.42x".
+  static std::string Speedup(double v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_TABLE_PRINTER_H_

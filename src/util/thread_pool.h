@@ -1,0 +1,57 @@
+// A small fixed-size thread pool with a ParallelFor primitive.
+//
+// FESIA's multicore extension (paper Sec. VI) partitions the segment range
+// across cores; each worker intersects its range independently and partial
+// counts are summed. ParallelFor implements exactly that static partitioning.
+#ifndef FESIA_UTIL_THREAD_POOL_H_
+#define FESIA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fesia {
+
+/// Fixed-size worker pool. Tasks are arbitrary void() callables.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [begin, end) into `num_threads` contiguous chunks and runs
+/// `body(chunk_begin, chunk_end, chunk_index)` on each, in parallel when
+/// num_threads > 1. Blocks until all chunks complete.
+void ParallelFor(size_t begin, size_t end, size_t num_threads,
+                 const std::function<void(size_t, size_t, size_t)>& body);
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_THREAD_POOL_H_

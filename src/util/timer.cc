@@ -1,0 +1,29 @@
+#include "util/timer.h"
+
+#include <x86intrin.h>
+
+#include <thread>
+
+namespace fesia {
+
+uint64_t ReadTsc() {
+  unsigned aux = 0;
+  // rdtscp is partially serializing (waits for earlier instructions to
+  // retire), which is what we want at measurement boundaries.
+  return __rdtscp(&aux);
+}
+
+double TscHz() {
+  static const double hz = [] {
+    auto wall_start = std::chrono::steady_clock::now();
+    uint64_t tsc_start = ReadTsc();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    uint64_t tsc_end = ReadTsc();
+    auto wall_end = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(wall_end - wall_start).count();
+    return static_cast<double>(tsc_end - tsc_start) / secs;
+  }();
+  return hz;
+}
+
+}  // namespace fesia

@@ -1,0 +1,53 @@
+// Cycle- and wall-clock timers for the benchmark harness.
+//
+// The paper reports CPU time in millions of cycles (Fig. 7); CycleTimer
+// reads the TSC with serialization so short regions are measured faithfully.
+#ifndef FESIA_UTIL_TIMER_H_
+#define FESIA_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fesia {
+
+/// Serialized read of the time-stamp counter.
+uint64_t ReadTsc();
+
+/// Measures elapsed reference cycles between Start() and Stop().
+class CycleTimer {
+ public:
+  void Start() { start_ = ReadTsc(); }
+  /// Returns cycles elapsed since the matching Start().
+  uint64_t Stop() const { return ReadTsc() - start_; }
+
+ private:
+  uint64_t start_ = 0;
+};
+
+/// Monotonic wall-clock timer reporting seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Estimated TSC frequency in Hz (measured once, cached).
+double TscHz();
+
+/// Prevents the compiler from optimizing away `value`.
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_TIMER_H_

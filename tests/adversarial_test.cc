@@ -1,0 +1,171 @@
+// Adversarial inputs: because fmix32 is a bijection we can invert it and
+// construct element sets that collide into a single bitmap segment (or a
+// single bit), driving the data structure into its worst cases — oversized
+// runs beyond the kernel table, maximal false-positive rates, and the
+// scalar fallback paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/fesia.h"
+#include "fesia/hashing.h"
+#include "test_util.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::testing::AvailableLevels;
+
+// Inverse of the murmur3 finalizer (each step is invertible).
+uint32_t InverseFmix32(uint32_t h) {
+  // Inverse of h ^= h >> 16 is itself (applied twice reaches fixpoint for
+  // 16-bit shifts); inverse multipliers are the modular inverses.
+  h ^= h >> 16;
+  h *= 0x7ED1B41Du;  // inverse of 0xC2B2AE35 mod 2^32
+  h ^= (h >> 13) ^ (h >> 26);
+  h *= 0xA5CB9243u;  // inverse of 0x85EBCA6B mod 2^32
+  h ^= h >> 16;
+  return h;
+}
+
+TEST(AdversarialHashTest, InverseFmixRoundTrips) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t x = rng.Next32();
+    ASSERT_EQ(InverseFmix32(Fmix32(x)), x) << x;
+    ASSERT_EQ(Fmix32(InverseFmix32(x)), x) << x;
+  }
+}
+
+// Values whose hash lands on the given bit position for a bitmap of
+// `m_bits`, with distinct high hash bits so the values are distinct.
+std::vector<uint32_t> CollidingValues(uint32_t bit, uint32_t m_bits,
+                                      size_t count) {
+  std::vector<uint32_t> out;
+  for (uint32_t hi = 0; out.size() < count; ++hi) {
+    uint32_t hash = (hi * m_bits) | bit;
+    uint32_t value = InverseFmix32(hash);
+    if (value == FesiaSet::kSentinel) continue;
+    out.push_back(value);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// All elements hash to ONE bit: a single segment run of size n (far beyond
+// the kernel tables) and a single surviving segment pair.
+TEST(AdversarialHashTest, AllElementsOnOneBit) {
+  // Force a known bitmap size by fixing bitmap_scale so that m is stable.
+  FesiaParams p;
+  p.bitmap_scale = 2.0;
+  // n = 512 -> m = RoundUpPow2(1024) = 1024 for both sets.
+  std::vector<uint32_t> a = CollidingValues(/*bit=*/37, 1024, 512);
+  std::vector<uint32_t> b = CollidingValues(/*bit=*/37, 1024, 512);
+  // Half-overlap: drop alternating elements from each side.
+  std::vector<uint32_t> a2, b2;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i % 2 == 0) a2.push_back(a[i]);
+    if (i % 3 != 0) b2.push_back(b[i]);
+  }
+  FesiaSet fa = FesiaSet::Build(a2, p);
+  FesiaSet fb = FesiaSet::Build(b2, p);
+  // The collision property survives any power-of-two mask <= 1024, so each
+  // set still occupies exactly one segment.
+  ASSERT_EQ(fa.ComputeStats().nonempty_segments, 1u);
+  ASSERT_EQ(fb.ComputeStats().nonempty_segments, 1u);
+  size_t expected = datagen::ReferenceIntersectionSize(a2, b2);
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), expected)
+        << SimdLevelName(level);
+    EXPECT_EQ(IntersectCountHash(fa, fb, level), expected)
+        << SimdLevelName(level);
+  }
+}
+
+// Elements spread over exactly one segment per set but DIFFERENT segments:
+// the bitmap step must prune everything.
+TEST(AdversarialHashTest, DisjointSegmentsPruneEverything) {
+  FesiaParams p;
+  p.bitmap_scale = 2.0;
+  std::vector<uint32_t> a = CollidingValues(16, 1024, 256);
+  std::vector<uint32_t> b = CollidingValues(48, 1024, 256);
+  FesiaSet fa = FesiaSet::Build(a, p);
+  FesiaSet fb = FesiaSet::Build(b, p);
+  IntersectBreakdown bd;
+  EXPECT_EQ(IntersectCountInstrumented(fa, fb, &bd), 0u);
+  EXPECT_EQ(bd.matched_segments, 0u);
+}
+
+// Maximal false positives: same bit pattern, zero common elements. Every
+// segment pair survives the filter yet contributes nothing.
+TEST(AdversarialHashTest, AllFalsePositives) {
+  FesiaParams p;
+  p.bitmap_scale = 2.0;
+  std::vector<uint32_t> all = CollidingValues(5, 1024, 600);
+  std::vector<uint32_t> a(all.begin(), all.begin() + 300);
+  std::vector<uint32_t> b(all.begin() + 300, all.end());
+  FesiaSet fa = FesiaSet::Build(a, p);
+  FesiaSet fb = FesiaSet::Build(b, p);
+  IntersectBreakdown bd;
+  EXPECT_EQ(IntersectCountInstrumented(fa, fb, &bd), 0u);
+  EXPECT_EQ(bd.matched_segments, 1u);  // the filter cannot prune this one
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), 0u) << SimdLevelName(level);
+  }
+}
+
+// Oversized runs with stride padding (guarded kernels + scalar fallback).
+TEST(AdversarialHashTest, OversizedRunsWithStride) {
+  FesiaParams p;
+  p.bitmap_scale = 2.0;
+  p.kernel_stride = 8;
+  std::vector<uint32_t> a = CollidingValues(7, 1024, 100);
+  std::vector<uint32_t> b = CollidingValues(7, 1024, 100);
+  b.erase(b.begin(), b.begin() + 25);
+  size_t expected = datagen::ReferenceIntersectionSize(a, b);
+  FesiaSet fa = FesiaSet::Build(a, p);
+  FesiaSet fb = FesiaSet::Build(b, p);
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), expected)
+        << SimdLevelName(level);
+  }
+}
+
+// k-way with one colliding set and uniform others.
+TEST(AdversarialHashTest, KWayWithCollidingSet) {
+  FesiaParams p;
+  std::vector<uint32_t> collide = CollidingValues(3, 8192, 500);
+  std::vector<uint32_t> u1 = datagen::SortedUniform(3000, 1u << 20, 1);
+  // Make sure there is some real overlap.
+  u1.insert(u1.end(), collide.begin(), collide.begin() + 50);
+  std::sort(u1.begin(), u1.end());
+  u1.erase(std::unique(u1.begin(), u1.end()), u1.end());
+  std::vector<std::vector<uint32_t>> raw = {collide, u1, collide};
+  size_t expected = datagen::ReferenceIntersection(raw).size();
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r, p));
+  std::vector<const FesiaSet*> ptrs = {&sets[0], &sets[1], &sets[2]};
+  EXPECT_EQ(IntersectCountKWay(ptrs), expected);
+}
+
+// Parallel execution with a single monster segment: one thread gets all
+// the work, the others none; the total must not change.
+TEST(AdversarialHashTest, ParallelWithMonsterSegment) {
+  FesiaParams p;
+  p.bitmap_scale = 2.0;
+  std::vector<uint32_t> a = CollidingValues(9, 2048, 800);
+  std::vector<uint32_t> b = CollidingValues(9, 2048, 700);
+  size_t expected = datagen::ReferenceIntersectionSize(a, b);
+  FesiaSet fa = FesiaSet::Build(a, p);
+  FesiaSet fb = FesiaSet::Build(b, p);
+  for (size_t threads : {1, 2, 4, 8}) {
+    EXPECT_EQ(IntersectCountParallel(fa, fb, threads), expected)
+        << threads;
+  }
+}
+
+}  // namespace
+}  // namespace fesia

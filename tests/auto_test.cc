@@ -1,0 +1,57 @@
+// Strategy auto-selection between FESIAmerge and FESIAhash.
+#include "fesia/auto.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "fesia/intersect.h"
+#include "test_util.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+using ::fesia::datagen::SetPair;
+
+TEST(AutoStrategyTest, HeavySkewPicksHash) {
+  FesiaSet small = FesiaSet::Build(datagen::SortedUniform(100, 100000, 1));
+  FesiaSet large = FesiaSet::Build(datagen::SortedUniform(10000, 100000, 2));
+  EXPECT_EQ(ChooseStrategy(small, large), IntersectStrategy::kHash);
+  EXPECT_EQ(ChooseStrategy(large, small), IntersectStrategy::kHash);
+}
+
+TEST(AutoStrategyTest, BalancedSizesPickMerge) {
+  FesiaSet a = FesiaSet::Build(datagen::SortedUniform(10000, 100000, 3));
+  FesiaSet b = FesiaSet::Build(datagen::SortedUniform(9000, 100000, 4));
+  EXPECT_EQ(ChooseStrategy(a, b), IntersectStrategy::kMerge);
+}
+
+TEST(AutoStrategyTest, ThresholdBoundary) {
+  // skew just below 1/4 -> hash; at or above -> merge.
+  FesiaSet n24 = FesiaSet::Build(datagen::SortedUniform(2400, 1u << 20, 5));
+  FesiaSet n25 = FesiaSet::Build(datagen::SortedUniform(2500, 1u << 20, 6));
+  FesiaSet n10k = FesiaSet::Build(datagen::SortedUniform(10000, 1u << 20, 7));
+  EXPECT_EQ(ChooseStrategy(n24, n10k), IntersectStrategy::kHash);
+  EXPECT_EQ(ChooseStrategy(n25, n10k), IntersectStrategy::kMerge);
+}
+
+TEST(AutoStrategyTest, AutoCountCorrectEitherWay) {
+  for (auto [n1, n2] : {std::pair<size_t, size_t>{100, 20000},
+                        std::pair<size_t, size_t>{15000, 20000}}) {
+    SetPair pair = PairWithSelectivity(n1, n2, 0.3, n1 + n2);
+    FesiaSet fa = FesiaSet::Build(pair.a);
+    FesiaSet fb = FesiaSet::Build(pair.b);
+    EXPECT_EQ(IntersectCountAuto(fa, fb), pair.intersection_size)
+        << n1 << "/" << n2;
+  }
+}
+
+TEST(AutoStrategyTest, EmptySetPicksHashHarmlessly) {
+  FesiaSet empty = FesiaSet::Build({});
+  FesiaSet some = FesiaSet::Build(datagen::SortedUniform(1000, 10000, 8));
+  EXPECT_EQ(IntersectCountAuto(empty, some), 0u);
+  EXPECT_EQ(IntersectCountAuto(some, empty), 0u);
+}
+
+}  // namespace
+}  // namespace fesia

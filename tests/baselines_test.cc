@@ -1,0 +1,233 @@
+// Every baseline intersection method against the std::set_intersection
+// reference, across sizes, selectivities and skews.
+#include "baselines/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/bmiss.h"
+#include "baselines/galloping.h"
+#include "baselines/hash_intersect.h"
+#include "baselines/kway.h"
+#include "baselines/scalar_merge.h"
+#include "baselines/shuffling.h"
+#include "baselines/simd_galloping.h"
+#include "datagen/datagen.h"
+#include "util/rng.h"
+
+namespace fesia::baselines {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+using ::fesia::datagen::ReferenceIntersectionSize;
+using ::fesia::datagen::SetPair;
+using ::fesia::datagen::SortedUniform;
+
+class BaselineMethodTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(BaselineMethodTest, RandomPairs) {
+  const Method& m = GetParam();
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SetPair p = PairWithSelectivity(1000 + seed * 300, 2000, 0.1, seed);
+    EXPECT_EQ(m.fn(p.a.data(), p.a.size(), p.b.data(), p.b.size()),
+              p.intersection_size)
+        << m.name << " seed=" << seed;
+  }
+}
+
+TEST_P(BaselineMethodTest, SelectivitySweep) {
+  const Method& m = GetParam();
+  for (double sel : {0.0, 0.05, 0.5, 1.0}) {
+    SetPair p = PairWithSelectivity(1777, 1777, sel, 42);
+    EXPECT_EQ(m.fn(p.a.data(), p.a.size(), p.b.data(), p.b.size()),
+              p.intersection_size)
+        << m.name << " sel=" << sel;
+  }
+}
+
+TEST_P(BaselineMethodTest, SkewSweep) {
+  const Method& m = GetParam();
+  for (size_t n1 : {1, 7, 100, 1500}) {
+    SetPair p = PairWithSelectivity(n1, 10000, 0.5, n1);
+    EXPECT_EQ(m.fn(p.a.data(), p.a.size(), p.b.data(), p.b.size()),
+              p.intersection_size)
+        << m.name << " n1=" << n1;
+    // Swapped argument order.
+    EXPECT_EQ(m.fn(p.b.data(), p.b.size(), p.a.data(), p.a.size()),
+              p.intersection_size)
+        << m.name << " n1=" << n1 << " (swapped)";
+  }
+}
+
+TEST_P(BaselineMethodTest, EmptyAndDegenerate) {
+  const Method& m = GetParam();
+  std::vector<uint32_t> v = {1, 5, 9};
+  EXPECT_EQ(m.fn(nullptr, 0, nullptr, 0), 0u) << m.name;
+  EXPECT_EQ(m.fn(v.data(), v.size(), nullptr, 0), 0u) << m.name;
+  EXPECT_EQ(m.fn(nullptr, 0, v.data(), v.size()), 0u) << m.name;
+  EXPECT_EQ(m.fn(v.data(), v.size(), v.data(), v.size()), 3u) << m.name;
+}
+
+TEST_P(BaselineMethodTest, SingleElementMatchAndMiss) {
+  const Method& m = GetParam();
+  std::vector<uint32_t> one = {500};
+  std::vector<uint32_t> big = SortedUniform(5000, 10000, 3);
+  bool expected = std::binary_search(big.begin(), big.end(), 500u);
+  EXPECT_EQ(m.fn(one.data(), 1, big.data(), big.size()),
+            expected ? 1u : 0u)
+      << m.name;
+}
+
+TEST_P(BaselineMethodTest, NonOverlappingRanges) {
+  const Method& m = GetParam();
+  std::vector<uint32_t> lo(100), hi(100);
+  for (uint32_t i = 0; i < 100; ++i) {
+    lo[i] = i;
+    hi[i] = 1000 + i;
+  }
+  EXPECT_EQ(m.fn(lo.data(), 100, hi.data(), 100), 0u) << m.name;
+}
+
+TEST_P(BaselineMethodTest, LargeInputs) {
+  const Method& m = GetParam();
+  SetPair p = PairWithSelectivity(100000, 100000, 0.01, 9);
+  EXPECT_EQ(m.fn(p.a.data(), p.a.size(), p.b.data(), p.b.size()),
+            p.intersection_size)
+      << m.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, BaselineMethodTest,
+                         ::testing::ValuesIn(AllBaselines()),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           return info.param.name;
+                         });
+
+// --- Materializing variants --------------------------------------------------
+
+using MaterializeFn = size_t (*)(const uint32_t*, size_t, const uint32_t*,
+                                 size_t, uint32_t*);
+
+struct NamedMaterializer {
+  std::string name;
+  MaterializeFn fn;
+};
+
+class MaterializeTest : public ::testing::TestWithParam<NamedMaterializer> {};
+
+TEST_P(MaterializeTest, EmitsExactSortedIntersection) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SetPair p = PairWithSelectivity(1200, 900, 0.2, seed * 7);
+    std::vector<uint32_t> expected;
+    std::set_intersection(p.a.begin(), p.a.end(), p.b.begin(), p.b.end(),
+                          std::back_inserter(expected));
+    std::vector<uint32_t> out(std::min(p.a.size(), p.b.size()));
+    size_t r = GetParam().fn(p.a.data(), p.a.size(), p.b.data(), p.b.size(),
+                             out.data());
+    ASSERT_EQ(r, expected.size()) << GetParam().name;
+    out.resize(r);
+    EXPECT_EQ(out, expected) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMaterializers, MaterializeTest,
+    ::testing::Values(NamedMaterializer{"ScalarMerge", &ScalarMergeInto},
+                      NamedMaterializer{"Galloping", &ScalarGallopingInto},
+                      NamedMaterializer{"Shuffling", &ShufflingInto},
+                      NamedMaterializer{"BMiss", &BMissInto},
+                      NamedMaterializer{"SIMDGalloping", &SimdGallopingInto}),
+    [](const ::testing::TestParamInfo<NamedMaterializer>& info) {
+      return info.param.name;
+    });
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(RegistryTest, ContainsPaperMethods) {
+  for (const char* name : {"Scalar", "ScalarGalloping", "Shuffling", "BMiss",
+                           "SIMDGalloping", "Hash"}) {
+    EXPECT_NE(FindBaseline(name), nullptr) << name;
+  }
+  EXPECT_EQ(FindBaseline("NoSuchMethod"), nullptr);
+}
+
+// --- Scalar merge branch parity ----------------------------------------------
+
+TEST(ScalarMergeTest, BranchyAndBranchlessAgree) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SetPair p = PairWithSelectivity(777, 1234, 0.3, seed);
+    EXPECT_EQ(ScalarMerge(p.a.data(), p.a.size(), p.b.data(), p.b.size()),
+              ScalarMergeBranchless(p.a.data(), p.a.size(), p.b.data(),
+                                    p.b.size()));
+  }
+}
+
+// --- Galloping internals -------------------------------------------------------
+
+TEST(GallopingTest, GallopLowerBoundMatchesStd) {
+  std::vector<uint32_t> v = SortedUniform(1000, 100000, 5);
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.Below(100000));
+    size_t expected = static_cast<size_t>(
+        std::lower_bound(v.begin(), v.end(), key) - v.begin());
+    // The hint must not be past the true position (that is the caller
+    // contract: cursors only trail the current key).
+    size_t hint = rng.Below(expected + 1);
+    EXPECT_EQ(GallopLowerBound(v.data(), v.size(), hint, key), expected)
+        << "key=" << key << " hint=" << hint;
+  }
+}
+
+// --- Hash set ------------------------------------------------------------------
+
+TEST(HashSetTest, ContainsExactly) {
+  std::vector<uint32_t> keys = SortedUniform(2000, 10000, 8);
+  HashSet32 set(keys.data(), keys.size());
+  std::vector<bool> member(10000, false);
+  for (uint32_t k : keys) member[k] = true;
+  for (uint32_t x = 0; x < 10000; ++x) {
+    EXPECT_EQ(set.Contains(x), member[x]) << x;
+  }
+}
+
+TEST(HashSetTest, CapacityIsPow2AndRoomy) {
+  std::vector<uint32_t> keys = SortedUniform(100, 1000, 9);
+  HashSet32 set(keys.data(), keys.size());
+  EXPECT_GE(set.capacity(), 200u);
+  EXPECT_EQ(set.capacity() & (set.capacity() - 1), 0u);
+}
+
+// --- k-way baselines ------------------------------------------------------------
+
+TEST(KWayBaselineTest, AllAgreeWithReference) {
+  auto raw = fesia::datagen::KSetsWithDensity(4, 2000, 0.5, 10);
+  size_t expected = fesia::datagen::ReferenceIntersection(raw).size();
+  std::vector<SetView> views;
+  for (const auto& s : raw) views.push_back({s.data(), s.size()});
+  EXPECT_EQ(KWayMerge(views), expected);
+  EXPECT_EQ(KWayGalloping(views), expected);
+  EXPECT_EQ(KWayShuffling(views), expected);
+}
+
+TEST(KWayBaselineTest, MaterializedElements) {
+  auto raw = fesia::datagen::KSetsWithDensity(3, 1000, 0.6, 12);
+  auto expected = fesia::datagen::ReferenceIntersection(raw);
+  std::vector<SetView> views;
+  for (const auto& s : raw) views.push_back({s.data(), s.size()});
+  EXPECT_EQ(KWayMergeInto(views), expected);
+}
+
+TEST(KWayBaselineTest, DegenerateArities) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<SetView> one = {{a.data(), a.size()}};
+  EXPECT_EQ(KWayMerge(one), 3u);
+  EXPECT_EQ(KWayGalloping(one), 3u);
+  EXPECT_EQ(KWayMerge(std::span<const SetView>{}), 0u);
+  EXPECT_EQ(KWayGalloping(std::span<const SetView>{}), 0u);
+}
+
+}  // namespace
+}  // namespace fesia::baselines

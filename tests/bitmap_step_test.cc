@@ -1,0 +1,100 @@
+// Bitmap-level step semantics: the set of surviving segments must equal
+// the hand-computed AND of the two bitmaps, identically at every ISA level
+// (the per-ISA NonZeroMask implementations are observationally checked
+// through the instrumented pipeline's matched-segment count).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/fesia.h"
+#include "fesia/hashing.h"
+#include "test_util.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+using ::fesia::datagen::SetPair;
+using ::fesia::testing::AvailableLevels;
+
+// Reference step-1: segments of the larger-segment-count set whose s-bit
+// window ANDs non-zero with the wrapped window of the smaller one.
+uint64_t ReferenceMatchedSegments(const FesiaSet& a, const FesiaSet& b) {
+  const FesiaSet& big = a.num_segments() >= b.num_segments() ? a : b;
+  const FesiaSet& small = a.num_segments() >= b.num_segments() ? b : a;
+  const uint32_t s = static_cast<uint32_t>(big.segment_bits());
+  const uint32_t nb_mask = small.num_segments() - 1;
+  uint64_t matched = 0;
+  for (uint32_t seg = 0; seg < big.num_segments(); ++seg) {
+    uint32_t bseg = seg & nb_mask;
+    bool any = false;
+    for (uint32_t bit = 0; bit < s && !any; ++bit) {
+      any = big.TestBit(seg * s + bit) && small.TestBit(bseg * s + bit);
+    }
+    matched += any;
+  }
+  return matched;
+}
+
+class BitmapStepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitmapStepTest, MatchedSegmentsEqualReferenceAcrossIsas) {
+  FesiaParams p;
+  p.segment_bits = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SetPair pair = PairWithSelectivity(3000, 3000, 0.05, seed);
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    uint64_t expected = ReferenceMatchedSegments(fa, fb);
+    for (SimdLevel level : AvailableLevels()) {
+      IntersectBreakdown bd;
+      IntersectCountInstrumented(fa, fb, &bd, level);
+      ASSERT_EQ(bd.matched_segments, expected)
+          << "seed=" << seed << " level=" << SimdLevelName(level)
+          << " s=" << GetParam();
+    }
+  }
+}
+
+TEST_P(BitmapStepTest, MatchedSegmentsWithWrappedBitmaps) {
+  FesiaParams p;
+  p.segment_bits = GetParam();
+  SetPair pair = PairWithSelectivity(200, 30000, 0.4, 11);
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b, p);
+  ASSERT_NE(fa.num_segments(), fb.num_segments());
+  uint64_t expected = ReferenceMatchedSegments(fa, fb);
+  for (SimdLevel level : AvailableLevels()) {
+    IntersectBreakdown bd;
+    IntersectCountInstrumented(fa, fb, &bd, level);
+    ASSERT_EQ(bd.matched_segments, expected) << SimdLevelName(level);
+  }
+}
+
+TEST_P(BitmapStepTest, MatchedSegmentsLowerBoundedByTrueMatches) {
+  FesiaParams p;
+  p.segment_bits = GetParam();
+  SetPair pair = PairWithSelectivity(5000, 5000, 0.2, 3);
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b, p);
+  IntersectBreakdown bd;
+  size_t r = IntersectCountInstrumented(fa, fb, &bd);
+  ASSERT_EQ(r, pair.intersection_size);
+  // Every true match forces its segment pair to survive; several matches
+  // can share one segment, hence >= r / max-run-size and <= all segments.
+  EXPECT_GT(bd.matched_segments, 0u);
+  uint32_t max_run = std::max(fa.ComputeStats().max_segment_size,
+                              fb.ComputeStats().max_segment_size);
+  EXPECT_GE(bd.matched_segments * max_run, pair.intersection_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentWidths, BitmapStepTest,
+                         ::testing::Values(8, 16, 32),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "s" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace fesia

@@ -1,0 +1,167 @@
+// Workload-generator properties: the experiment sweeps rely on these knobs
+// being exact.
+#include "datagen/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "datagen/zipf.h"
+#include "util/rng.h"
+
+namespace fesia::datagen {
+namespace {
+
+bool SortedUnique(const std::vector<uint32_t>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1] >= v[i]) return false;
+  }
+  return true;
+}
+
+TEST(SortedUniformTest, SizeSortedUniqueBounded) {
+  for (size_t n : {0, 1, 10, 1000, 20000}) {
+    auto v = SortedUniform(n, 1u << 20, n + 1);
+    EXPECT_EQ(v.size(), n);
+    EXPECT_TRUE(SortedUnique(v));
+    if (!v.empty()) {
+      EXPECT_LT(v.back(), 1u << 20);
+    }
+  }
+}
+
+TEST(SortedUniformTest, Deterministic) {
+  EXPECT_EQ(SortedUniform(500, 10000, 7), SortedUniform(500, 10000, 7));
+  EXPECT_NE(SortedUniform(500, 10000, 7), SortedUniform(500, 10000, 8));
+}
+
+TEST(SortedUniformTest, DenseUniverse) {
+  // n == universe: must return exactly 0..n-1.
+  auto v = SortedUniform(100, 100, 3);
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SortedUniformTest, NearDenseLargeSample) {
+  // Regression: ~91% fill used to degenerate into a coupon-collector loop
+  // with a full re-sort per round (hung the Fig. 12 corpus builder).
+  auto v = SortedUniform(200000, 220000, 3);
+  EXPECT_EQ(v.size(), 200000u);
+  EXPECT_TRUE(SortedUnique(v));
+  EXPECT_LT(v.back(), 220000u);
+}
+
+TEST(SortedUniformTest, FullUniverseSample) {
+  auto v = SortedUniform(50000, 50000, 4);
+  EXPECT_EQ(v.size(), 50000u);
+  for (uint32_t i = 0; i < 50000; ++i) ASSERT_EQ(v[i], i);
+}
+
+TEST(SortedUniformTest, NeverEmitsSentinel) {
+  auto v = SortedUniform(1000, ~0ull, 5);
+  for (uint32_t x : v) EXPECT_NE(x, 0xFFFFFFFFu);
+}
+
+TEST(PairWithSelectivityTest, ExactIntersectionSize) {
+  for (double sel : {0.0, 0.01, 0.25, 0.5, 1.0}) {
+    SetPair p = PairWithSelectivity(2000, 3000, sel, 11);
+    EXPECT_EQ(p.a.size(), 2000u);
+    EXPECT_EQ(p.b.size(), 3000u);
+    EXPECT_TRUE(SortedUnique(p.a));
+    EXPECT_TRUE(SortedUnique(p.b));
+    size_t expected =
+        static_cast<size_t>(std::llround(sel * 2000));
+    EXPECT_EQ(p.intersection_size, expected) << "sel=" << sel;
+    EXPECT_EQ(ReferenceIntersectionSize(p.a, p.b), expected) << "sel=" << sel;
+  }
+}
+
+TEST(PairWithSelectivityTest, SkewedSizes) {
+  SetPair p = PairWithSelectivity(100, 100000, 0.5, 13);
+  EXPECT_EQ(p.a.size(), 100u);
+  EXPECT_EQ(p.b.size(), 100000u);
+  EXPECT_EQ(ReferenceIntersectionSize(p.a, p.b), 50u);
+}
+
+TEST(PairWithSelectivityTest, Deterministic) {
+  SetPair p1 = PairWithSelectivity(1000, 1000, 0.1, 42);
+  SetPair p2 = PairWithSelectivity(1000, 1000, 0.1, 42);
+  EXPECT_EQ(p1.a, p2.a);
+  EXPECT_EQ(p1.b, p2.b);
+}
+
+TEST(KSetsWithDensityTest, ShapeAndExpectedIntersection) {
+  auto sets = KSetsWithDensity(3, 10000, 0.5, 17);
+  ASSERT_EQ(sets.size(), 3u);
+  for (const auto& s : sets) {
+    EXPECT_EQ(s.size(), 10000u);
+    EXPECT_TRUE(SortedUnique(s));
+    EXPECT_LT(s.back(), 20000u + 1);  // universe = n / density
+  }
+  // E[r] = n * density^(k-1) = 10000 * 0.25 = 2500; allow wide tolerance.
+  size_t r = ReferenceIntersection(sets).size();
+  EXPECT_GT(r, 2000u);
+  EXPECT_LT(r, 3000u);
+}
+
+TEST(KSetsWithDensityTest, DensityOneMakesIdenticalSets) {
+  auto sets = KSetsWithDensity(2, 500, 1.0, 23);
+  EXPECT_EQ(sets[0], sets[1]);  // universe == n forces the full range
+}
+
+TEST(ReferenceTest, IntersectionSizeAndElements) {
+  std::vector<uint32_t> a = {1, 3, 5, 7};
+  std::vector<uint32_t> b = {3, 4, 7, 9};
+  EXPECT_EQ(ReferenceIntersectionSize(a, b), 2u);
+  auto r = ReferenceIntersection({a, b});
+  EXPECT_EQ(r, (std::vector<uint32_t>{3, 7}));
+}
+
+TEST(ReferenceTest, KWayIntersection) {
+  std::vector<std::vector<uint32_t>> sets = {
+      {1, 2, 3, 4, 5}, {2, 3, 5, 8}, {3, 5, 9}};
+  EXPECT_EQ(ReferenceIntersection(sets), (std::vector<uint32_t>{3, 5}));
+  EXPECT_TRUE(ReferenceIntersection({}).empty());
+}
+
+// --- Zipf --------------------------------------------------------------------
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(1000, 1.0);
+  double sum = 0;
+  for (size_t i = 0; i < 1000; ++i) sum += z.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, MassDecreasesWithRank) {
+  ZipfDistribution z(100, 1.2);
+  for (size_t i = 1; i < 100; ++i) EXPECT_GT(z.Pmf(i - 1), z.Pmf(i));
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(z.Pmf(i), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, SamplesFollowPmf) {
+  ZipfDistribution z(50, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(50, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.Sample(rng)];
+  // Rank 0 should receive about Pmf(0) of the mass.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, z.Pmf(0), 0.01);
+  // Monotone-ish head.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[30]);
+}
+
+TEST(ZipfTest, SampleInRange) {
+  ZipfDistribution z(7, 2.0);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace fesia::datagen

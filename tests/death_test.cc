@@ -1,0 +1,63 @@
+// Programmer-error handling: invalid parameters and incompatible pairs
+// must fail fast with a FESIA_CHECK abort (the library is exception-free).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fesia/fesia.h"
+
+namespace fesia {
+namespace {
+
+TEST(FesiaDeathTest, BuildRejectsInvalidSegmentBits) {
+  FesiaParams p;
+  p.segment_bits = 12;
+  std::vector<uint32_t> v = {1, 2, 3};
+  EXPECT_DEATH(FesiaSet::Build(v, p), "FESIA_CHECK");
+}
+
+TEST(FesiaDeathTest, BuildRejectsInvalidStride) {
+  FesiaParams p;
+  p.kernel_stride = 3;
+  std::vector<uint32_t> v = {1, 2, 3};
+  EXPECT_DEATH(FesiaSet::Build(v, p), "FESIA_CHECK");
+}
+
+TEST(FesiaDeathTest, IntersectRejectsMismatchedSegmentBits) {
+  FesiaParams p8;
+  p8.segment_bits = 8;
+  FesiaParams p16;
+  p16.segment_bits = 16;
+  std::vector<uint32_t> v = {1, 2, 3};
+  FesiaSet a = FesiaSet::Build(v, p8);
+  FesiaSet b = FesiaSet::Build(v, p16);
+  EXPECT_DEATH((void)IntersectCount(a, b), "FESIA_CHECK");
+}
+
+TEST(FesiaDeathTest, KWayRejectsMismatchedSegmentBits) {
+  FesiaParams p8;
+  p8.segment_bits = 8;
+  FesiaParams p32;
+  p32.segment_bits = 32;
+  std::vector<uint32_t> v = {1, 2, 3};
+  FesiaSet a = FesiaSet::Build(v, p8);
+  FesiaSet b = FesiaSet::Build(v, p32);
+  std::vector<const FesiaSet*> sets = {&a, &b};
+  EXPECT_DEATH((void)IntersectCountKWay(sets), "FESIA_CHECK");
+}
+
+TEST(FesiaDeathTest, KWayRejectsNullSet) {
+  std::vector<uint32_t> v = {1, 2, 3};
+  FesiaSet a = FesiaSet::Build(v);
+  std::vector<const FesiaSet*> sets = {&a, nullptr};
+  EXPECT_DEATH((void)IntersectCountKWay(sets), "FESIA_CHECK");
+}
+
+TEST(FesiaDeathTest, IntersectIntoRejectsNullOut) {
+  std::vector<uint32_t> v = {1, 2, 3};
+  FesiaSet a = FesiaSet::Build(v);
+  EXPECT_DEATH((void)IntersectInto(a, a, nullptr), "FESIA_CHECK");
+}
+
+}  // namespace
+}  // namespace fesia

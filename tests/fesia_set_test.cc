@@ -1,0 +1,215 @@
+// Structural invariants of the segmented-bitmap representation.
+#include "fesia/fesia_set.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/hashing.h"
+#include "util/bits.h"
+
+namespace fesia {
+namespace {
+
+using Config = std::tuple<int, int>;  // (segment_bits, kernel_stride)
+
+class FesiaSetBuildTest : public ::testing::TestWithParam<Config> {
+ protected:
+  FesiaParams Params() const {
+    FesiaParams p;
+    p.segment_bits = std::get<0>(GetParam());
+    p.kernel_stride = std::get<1>(GetParam());
+    return p;
+  }
+};
+
+TEST_P(FesiaSetBuildTest, BasicShape) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> v = datagen::SortedUniform(1000, 1u << 20, 1);
+  FesiaSet set = FesiaSet::Build(v, p);
+  EXPECT_EQ(set.size(), 1000u);
+  EXPECT_TRUE(IsPow2(set.bitmap_bits()));
+  EXPECT_GE(set.bitmap_bits(), 512u);
+  EXPECT_EQ(set.segment_bits(), p.segment_bits);
+  EXPECT_EQ(set.num_segments(),
+            set.bitmap_bits() / static_cast<uint32_t>(p.segment_bits));
+}
+
+TEST_P(FesiaSetBuildTest, OffsetsMonotoneAndComplete) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> v = datagen::SortedUniform(5000, 1u << 22, 2);
+  FesiaSet set = FesiaSet::Build(v, p);
+  uint32_t n_seg = set.num_segments();
+  const uint32_t* off = set.offsets();
+  EXPECT_EQ(off[0], 0u);
+  for (uint32_t i = 0; i < n_seg; ++i) EXPECT_LE(off[i], off[i + 1]);
+  // Total padded size >= n; equal when stride == 1.
+  EXPECT_GE(set.reordered_size(), set.size());
+  if (p.kernel_stride == 1) EXPECT_EQ(set.reordered_size(), set.size());
+}
+
+TEST_P(FesiaSetBuildTest, SegmentRunsAscendingAndHashConsistent) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> v = datagen::SortedUniform(3000, 1u << 24, 3);
+  FesiaSet set = FesiaSet::Build(v, p);
+  const uint32_t m_mask = set.bitmap_bits() - 1;
+  const uint32_t s = static_cast<uint32_t>(set.segment_bits());
+  for (uint32_t seg = 0; seg < set.num_segments(); ++seg) {
+    const uint32_t* run = set.SegmentData(seg);
+    uint32_t len = set.SegmentSize(seg);
+    bool saw_sentinel = false;
+    for (uint32_t i = 0; i < len; ++i) {
+      if (run[i] == FesiaSet::kSentinel) {
+        saw_sentinel = true;
+        continue;
+      }
+      // Sentinels only at the end of a run.
+      EXPECT_FALSE(saw_sentinel);
+      if (i > 0 && run[i - 1] != FesiaSet::kSentinel) {
+        EXPECT_LT(run[i - 1], run[i]);
+      }
+      // Element's hash maps into this segment.
+      EXPECT_EQ(HashToBit(run[i], m_mask) / s, seg);
+    }
+  }
+}
+
+TEST_P(FesiaSetBuildTest, BitmapBitSetIffElementHashesThere) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> v = datagen::SortedUniform(500, 1u << 16, 4);
+  FesiaSet set = FesiaSet::Build(v, p);
+  const uint32_t m_mask = set.bitmap_bits() - 1;
+  std::vector<bool> expected_bits(set.bitmap_bits(), false);
+  for (uint32_t x : v) expected_bits[HashToBit(x, m_mask)] = true;
+  for (uint32_t bit = 0; bit < set.bitmap_bits(); ++bit) {
+    EXPECT_EQ(set.TestBit(bit), expected_bits[bit]) << "bit=" << bit;
+  }
+}
+
+TEST_P(FesiaSetBuildTest, StridePaddingRoundsRunLengths) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> v = datagen::SortedUniform(2000, 1u << 20, 5);
+  FesiaSet set = FesiaSet::Build(v, p);
+  uint32_t stride = static_cast<uint32_t>(p.kernel_stride);
+  for (uint32_t seg = 0; seg < set.num_segments(); ++seg) {
+    EXPECT_EQ(set.SegmentSize(seg) % stride, 0u) << "seg=" << seg;
+  }
+}
+
+TEST_P(FesiaSetBuildTest, RoundTripsSortedElements) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> v = datagen::SortedUniform(1234, 1u << 25, 6);
+  FesiaSet set = FesiaSet::Build(v, p);
+  EXPECT_EQ(set.ToSortedVector(), v);
+}
+
+TEST_P(FesiaSetBuildTest, DeduplicatesAndSortsInput) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> input = {5, 3, 5, 1, 3, 3, 9};
+  FesiaSet set = FesiaSet::Build(input, p);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_EQ(set.ToSortedVector(), (std::vector<uint32_t>{1, 3, 5, 9}));
+}
+
+TEST_P(FesiaSetBuildTest, DropsSentinelValues) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> input = {1, 0xFFFFFFFFu, 2};
+  FesiaSet set = FesiaSet::Build(input, p);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.Contains(0xFFFFFFFFu));
+}
+
+TEST_P(FesiaSetBuildTest, ContainsMatchesMembership) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> v = datagen::SortedUniform(800, 4000, 7);
+  FesiaSet set = FesiaSet::Build(v, p);
+  std::vector<bool> member(4000, false);
+  for (uint32_t x : v) member[x] = true;
+  for (uint32_t x = 0; x < 4000; ++x) {
+    EXPECT_EQ(set.Contains(x), member[x]) << "x=" << x;
+  }
+}
+
+TEST_P(FesiaSetBuildTest, EmptySet) {
+  FesiaParams p = Params();
+  FesiaSet set = FesiaSet::Build({}, p);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.reordered_size(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_TRUE(set.ToSortedVector().empty());
+}
+
+TEST_P(FesiaSetBuildTest, StatsConsistent) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> v = datagen::SortedUniform(2500, 1u << 22, 8);
+  FesiaSet set = FesiaSet::Build(v, p);
+  FesiaSet::Stats st = set.ComputeStats();
+  EXPECT_GT(st.nonempty_segments, 0u);
+  EXPECT_LE(st.nonempty_segments, set.num_segments());
+  EXPECT_GE(st.max_segment_size, 1u);
+  EXPECT_EQ(st.padded_elements, set.reordered_size() - set.size());
+  EXPECT_GT(st.memory_bytes, 0u);
+  if (p.kernel_stride == 1) EXPECT_EQ(st.padded_elements, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FesiaSetBuildTest,
+    ::testing::Combine(::testing::Values(8, 16, 32),
+                       ::testing::Values(1, 2, 4, 8)),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_stride" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- Non-parameterized properties ------------------------------------------
+
+TEST(FesiaSetTest, BitmapScaleControlsBitmapSize) {
+  std::vector<uint32_t> v = datagen::SortedUniform(4096, 1u << 20, 9);
+  FesiaParams small_p;
+  small_p.bitmap_scale = 1.0;
+  FesiaParams large_p;
+  large_p.bitmap_scale = 32.0;
+  FesiaSet small_set = FesiaSet::Build(v, small_p);
+  FesiaSet large_set = FesiaSet::Build(v, large_p);
+  EXPECT_LT(small_set.bitmap_bits(), large_set.bitmap_bits());
+  EXPECT_EQ(small_set.bitmap_bits(), 4096u);
+  EXPECT_EQ(large_set.bitmap_bits(), 4096u * 32);
+}
+
+TEST(FesiaSetTest, DefaultScaleTracksSimdWidth) {
+  // Default m = n * sqrt(w): wider ISAs get proportionally larger bitmaps.
+  std::vector<uint32_t> v = datagen::SortedUniform(8192, 1u << 24, 10);
+  FesiaParams sse_p;
+  sse_p.simd_level = SimdLevel::kSse;  // sqrt(128) ~ 11.3
+  FesiaSet s = FesiaSet::Build(v, sse_p);
+  // 8192 * 11.3 ~ 92k -> rounds to 128k.
+  EXPECT_EQ(s.bitmap_bits(), 131072u);
+}
+
+TEST(FesiaSetTest, PowerOfTwoBitmapsNest) {
+  // Any two sets' bitmap sizes divide one another (both are powers of two).
+  for (size_t n : {10, 100, 1000, 50000}) {
+    std::vector<uint32_t> v = datagen::SortedUniform(n, 1u << 26, n);
+    FesiaSet set = FesiaSet::Build(v);
+    EXPECT_TRUE(IsPow2(set.bitmap_bits()));
+  }
+}
+
+TEST(FesiaSetTest, CopyAndMoveSemantics) {
+  std::vector<uint32_t> v = datagen::SortedUniform(100, 1u << 16, 11);
+  FesiaSet a = FesiaSet::Build(v);
+  FesiaSet b = a;  // copy
+  EXPECT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.ToSortedVector(), v);
+  FesiaSet c = std::move(a);  // move
+  EXPECT_EQ(c.size(), b.size());
+  EXPECT_EQ(c.ToSortedVector(), v);
+}
+
+}  // namespace
+}  // namespace fesia

@@ -1,0 +1,165 @@
+// CSR graph substrate and generators.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/registry.h"
+#include "graph/generators.h"
+
+namespace fesia::graph {
+namespace {
+
+TEST(GraphTest, FromEdgesBasic) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {2, 3}};
+  Graph g = Graph::FromEdges(4, edges);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  auto n2 = g.Neighbors(2);
+  EXPECT_TRUE(std::is_sorted(n2.begin(), n2.end()));
+  EXPECT_EQ(std::vector<uint32_t>(n2.begin(), n2.end()),
+            (std::vector<uint32_t>{0, 1, 3}));
+}
+
+TEST(GraphTest, DropsSelfLoopsAndDuplicates) {
+  std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 0}, {0, 1}, {1, 1}};
+  Graph g = Graph::FromEdges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphTest, NeighborsAreSymmetric) {
+  std::vector<Edge> edges = GenerateUniformEdges(100, 500, 3);
+  Graph g = Graph::FromEdges(100, edges);
+  for (uint32_t u = 0; u < 100; ++u) {
+    for (uint32_t v : g.Neighbors(u)) {
+      auto nv = g.Neighbors(v);
+      EXPECT_TRUE(std::binary_search(nv.begin(), nv.end(), u))
+          << u << "-" << v;
+    }
+  }
+}
+
+TEST(GraphTest, MaxDegree) {
+  std::vector<Edge> edges = {{0, 1}, {0, 2}, {0, 3}};
+  Graph g = Graph::FromEdges(4, edges);
+  EXPECT_EQ(g.MaxDegree(), 3u);
+}
+
+TEST(GraphTest, DegreeOrientedDagHalvesAdjacency) {
+  std::vector<Edge> edges = GenerateUniformEdges(200, 1000, 5);
+  Graph g = Graph::FromEdges(200, edges);
+  Graph dag = g.DegreeOrientedDag();
+  EXPECT_EQ(dag.num_edges(), g.num_edges());  // one direction per edge
+  // DAG property under the degree order: no edge may point "backwards".
+  for (uint32_t u = 0; u < dag.num_nodes(); ++u) {
+    for (uint32_t v : dag.Neighbors(u)) {
+      bool precedes = g.Degree(u) < g.Degree(v) ||
+                      (g.Degree(u) == g.Degree(v) && u < v);
+      EXPECT_TRUE(precedes) << u << "->" << v;
+    }
+    auto nu = dag.Neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nu.begin(), nu.end()));
+  }
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::FromEdges(5, {});
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (uint32_t v = 0; v < 5; ++v) EXPECT_EQ(g.Degree(v), 0u);
+}
+
+TEST(RmatTest, EdgeCountAndBounds) {
+  RmatParams p;
+  p.num_nodes = 1 << 10;
+  p.num_edges = 5000;
+  std::vector<Edge> edges = GenerateRmatEdges(p);
+  EXPECT_EQ(edges.size(), 5000u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.first, 1u << 10);
+    EXPECT_LT(e.second, 1u << 10);
+  }
+}
+
+TEST(RmatTest, Deterministic) {
+  RmatParams p;
+  p.num_nodes = 256;
+  p.num_edges = 1000;
+  EXPECT_EQ(GenerateRmatEdges(p), GenerateRmatEdges(p));
+  p.seed += 1;
+  EXPECT_NE(GenerateRmatEdges(p), GenerateRmatEdges(RmatParams{}));
+}
+
+TEST(RmatTest, SkewedDegrees) {
+  // RMAT with default parameters concentrates edges on low-id vertices;
+  // the max degree should far exceed the average.
+  RmatParams p;
+  p.num_nodes = 1 << 12;
+  p.num_edges = 1 << 15;
+  Graph g = GenerateRmatGraph(p);
+  double avg = 2.0 * static_cast<double>(g.num_edges()) / g.num_nodes();
+  EXPECT_GT(g.MaxDegree(), 4 * avg);
+}
+
+TEST(BarabasiAlbertTest, ShapeAndConnectivity) {
+  auto edges = GenerateBarabasiAlbertEdges(2000, 4, 3);
+  Graph g = Graph::FromEdges(2000, edges);
+  // Every vertex (except the seed) attached to >= 1 earlier vertex.
+  for (uint32_t v = 1; v < 2000; ++v) EXPECT_GE(g.Degree(v), 1u) << v;
+  // Preferential attachment yields a heavy tail: the max degree far
+  // exceeds the mean (~8).
+  EXPECT_GT(g.MaxDegree(), 40u);
+}
+
+TEST(BarabasiAlbertTest, Deterministic) {
+  EXPECT_EQ(GenerateBarabasiAlbertEdges(500, 3, 1),
+            GenerateBarabasiAlbertEdges(500, 3, 1));
+  EXPECT_NE(GenerateBarabasiAlbertEdges(500, 3, 1),
+            GenerateBarabasiAlbertEdges(500, 3, 2));
+}
+
+TEST(BarabasiAlbertTest, DegenerateInputs) {
+  EXPECT_TRUE(GenerateBarabasiAlbertEdges(1, 3, 1).empty());
+  EXPECT_TRUE(GenerateBarabasiAlbertEdges(100, 0, 1).empty());
+}
+
+TEST(GraphTest, DegreeHistogramLog2) {
+  // Star graph: one vertex of degree 49, 49 of degree 1.
+  std::vector<Edge> edges;
+  for (uint32_t v = 1; v < 50; ++v) edges.push_back({0, v});
+  Graph g = Graph::FromEdges(50, edges);
+  auto hist = g.DegreeHistogramLog2();
+  ASSERT_GE(hist.size(), 6u);
+  EXPECT_EQ(hist[0], 49u);  // degree 1
+  EXPECT_EQ(hist[5], 1u);   // degree 49 in [32, 64)
+  uint64_t total = 0;
+  for (uint64_t h : hist) total += h;
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(GraphTest, CommonNeighborCount) {
+  // Square 0-1-2-3 plus diagonal 0-2: N(0) = {1,2,3}, N(2) = {0,1,3}.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  Graph g = Graph::FromEdges(4, edges);
+  const auto* scalar = fesia::baselines::FindBaseline("Scalar");
+  EXPECT_EQ(g.CommonNeighborCount(0, 2, scalar->fn), 2u);  // {1, 3}
+  EXPECT_EQ(g.CommonNeighborCount(1, 3, scalar->fn), 2u);  // {0, 2}
+}
+
+TEST(UniformEdgesTest, Bounds) {
+  auto edges = GenerateUniformEdges(50, 200, 7);
+  EXPECT_EQ(edges.size(), 200u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.first, 50u);
+    EXPECT_LT(e.second, 50u);
+  }
+}
+
+}  // namespace
+}  // namespace fesia::graph

@@ -1,0 +1,134 @@
+// Hiera (STTNI hierarchical intersection) correctness.
+#include "baselines/hiera.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "util/aligned_buffer.h"
+#include "util/cpu.h"
+#include "util/rng.h"
+
+namespace fesia::baselines {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+using ::fesia::datagen::ReferenceIntersectionSize;
+using ::fesia::datagen::SetPair;
+using ::fesia::datagen::SortedUniform;
+
+bool HostHasSse42() {
+  return static_cast<int>(DetectSimdLevel()) >=
+         static_cast<int>(SimdLevel::kSse);
+}
+
+class HieraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!HostHasSse42()) GTEST_SKIP() << "host lacks SSE4.2 (STTNI)";
+  }
+};
+
+TEST_F(HieraTest, LayoutGroupsByHighBits) {
+  std::vector<uint32_t> v = {0x00010005, 0x00010009, 0x00020001,
+                             0x7FFF0000, 0x7FFF0001, 0x7FFFFFFF};
+  HieraSet set(v);
+  EXPECT_EQ(set.size(), 6u);
+  ASSERT_EQ(set.num_buckets(), 3u);
+  EXPECT_EQ(set.buckets()[0].high, 0x0001u);
+  EXPECT_EQ(set.buckets()[0].length, 2u);
+  EXPECT_EQ(set.buckets()[1].high, 0x0002u);
+  EXPECT_EQ(set.buckets()[1].length, 1u);
+  EXPECT_EQ(set.buckets()[2].high, 0x7FFFu);
+  EXPECT_EQ(set.buckets()[2].length, 3u);
+  EXPECT_EQ(set.lows()[0], 0x0005u);
+  EXPECT_EQ(set.lows()[5], 0xFFFFu);
+}
+
+TEST_F(HieraTest, SttniKernelMatchesReference) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t na = 1 + rng.Below(40);
+    size_t nb = 1 + rng.Below(40);
+    // Sorted unique 16-bit runs from a small domain (dense -> matches).
+    auto mk = [&](size_t n, uint64_t seed) {
+      auto v32 = SortedUniform(n, 120, seed);
+      AlignedBuffer<uint16_t> buf(v32.size(), 16);
+      for (size_t i = 0; i < v32.size(); ++i) {
+        buf[i] = static_cast<uint16_t>(v32[i]);
+      }
+      return buf;
+    };
+    auto ba = mk(std::min(na, size_t{100}), trial * 2 + 1);
+    auto bb = mk(std::min(nb, size_t{100}), trial * 2 + 2);
+    size_t expected = 0;
+    for (size_t i = 0; i < ba.size(); ++i) {
+      for (size_t j = 0; j < bb.size(); ++j) {
+        expected += ba[i] == bb[j];
+      }
+    }
+    ASSERT_EQ(SttniIntersect16(ba.data(), ba.size(), bb.data(), bb.size()),
+              expected)
+        << "trial=" << trial;
+  }
+}
+
+TEST_F(HieraTest, MatchesReferenceOnRandomPairs) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SetPair p = PairWithSelectivity(3000, 4000, 0.1, seed);
+    EXPECT_EQ(HieraOneShot(p.a.data(), p.a.size(), p.b.data(), p.b.size()),
+              p.intersection_size)
+        << seed;
+  }
+}
+
+TEST_F(HieraTest, DenseKeysManyPerBucket) {
+  // Dense 32-bit keys share high bits: few buckets, long 16-bit runs —
+  // Hiera's favorable case.
+  SetPair p = PairWithSelectivity(20000, 20000, 0.2, 9,
+                                  /*universe=*/1u << 18);
+  HieraSet ha(p.a);
+  HieraSet hb(p.b);
+  EXPECT_LE(ha.num_buckets(), 8u);
+  EXPECT_EQ(HieraIntersect(ha, hb), p.intersection_size);
+}
+
+TEST_F(HieraTest, SparseKeysOnePerBucket) {
+  // Sparse keys: one element per bucket, the degenerate case the paper
+  // calls out. Correctness must hold regardless.
+  std::vector<uint32_t> a, b;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    a.push_back(i << 16 | (i & 0xF));
+    if (i % 3 == 0) b.push_back(i << 16 | (i & 0xF));
+  }
+  HieraSet ha(a);
+  HieraSet hb(b);
+  EXPECT_EQ(ha.num_buckets(), a.size());
+  EXPECT_EQ(HieraIntersect(ha, hb), b.size());
+}
+
+TEST_F(HieraTest, EmptyAndDisjoint) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> empty;
+  EXPECT_EQ(HieraOneShot(a.data(), a.size(), empty.data(), 0), 0u);
+  EXPECT_EQ(HieraOneShot(empty.data(), 0, a.data(), a.size()), 0u);
+  std::vector<uint32_t> c = {0x10000001, 0x20000002};
+  EXPECT_EQ(HieraOneShot(a.data(), a.size(), c.data(), c.size()), 0u);
+}
+
+TEST_F(HieraTest, BucketBoundaryValues) {
+  std::vector<uint32_t> a = {0x0000FFFF, 0x00010000, 0x0001FFFF, 0x00020000};
+  std::vector<uint32_t> b = {0x0000FFFF, 0x0001FFFF, 0x00030000};
+  EXPECT_EQ(HieraOneShot(a.data(), a.size(), b.data(), b.size()), 2u);
+}
+
+TEST_F(HieraTest, LargeSkewedInputs) {
+  SetPair p = PairWithSelectivity(500, 50000, 0.4, 11, /*universe=*/1u << 20);
+  EXPECT_EQ(HieraOneShot(p.a.data(), p.a.size(), p.b.data(), p.b.size()),
+            p.intersection_size);
+}
+
+}  // namespace
+}  // namespace fesia::baselines

@@ -1,0 +1,166 @@
+// Inverted-index substrate and query-engine agreement across methods.
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/registry.h"
+#include "index/query_engine.h"
+#include "index/query_gen.h"
+
+namespace fesia::index {
+namespace {
+
+CorpusParams SmallCorpus() {
+  CorpusParams p;
+  p.num_docs = 20000;
+  p.num_terms = 2000;
+  p.avg_terms_per_doc = 20;
+  p.seed = 5;
+  return p;
+}
+
+TEST(InvertedIndexTest, PostingsSortedUniqueBounded) {
+  InvertedIndex idx = InvertedIndex::BuildSynthetic(SmallCorpus());
+  ASSERT_GT(idx.num_terms(), 0u);
+  for (uint32_t t = 0; t < idx.num_terms(); ++t) {
+    auto p = idx.Postings(t);
+    ASSERT_GE(p.size(), 4u);  // min_posting_length default
+    for (size_t i = 1; i < p.size(); ++i) ASSERT_LT(p[i - 1], p[i]);
+    ASSERT_LT(p.back(), idx.num_docs());
+  }
+}
+
+TEST(InvertedIndexTest, ZipfHead) {
+  InvertedIndex idx = InvertedIndex::BuildSynthetic(SmallCorpus());
+  // Lists are sorted by length descending; head must dominate tail.
+  EXPECT_GT(idx.Postings(0).size(),
+            idx.Postings(idx.num_terms() - 1).size());
+}
+
+TEST(InvertedIndexTest, TotalPostingsNearTarget) {
+  CorpusParams p = SmallCorpus();
+  InvertedIndex idx = InvertedIndex::BuildSynthetic(p);
+  double target = p.avg_terms_per_doc * p.num_docs;
+  EXPECT_GT(static_cast<double>(idx.total_postings()), 0.5 * target);
+  EXPECT_LT(static_cast<double>(idx.total_postings()), 1.5 * target);
+}
+
+TEST(InvertedIndexTest, Deterministic) {
+  InvertedIndex a = InvertedIndex::BuildSynthetic(SmallCorpus());
+  InvertedIndex b = InvertedIndex::BuildSynthetic(SmallCorpus());
+  ASSERT_EQ(a.num_terms(), b.num_terms());
+  for (uint32_t t = 0; t < a.num_terms(); ++t) {
+    auto pa = a.Postings(t);
+    auto pb = b.Postings(t);
+    ASSERT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()));
+  }
+}
+
+TEST(InvertedIndexTest, TermsWithPostingLengthFilters) {
+  InvertedIndex idx = InvertedIndex::BuildSynthetic(SmallCorpus());
+  auto terms = idx.TermsWithPostingLength(100, 1000);
+  for (uint32_t t : terms) {
+    EXPECT_GE(idx.Postings(t).size(), 100u);
+    EXPECT_LE(idx.Postings(t).size(), 1000u);
+  }
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    idx_ = InvertedIndex::BuildSynthetic(SmallCorpus());
+    engine_ = std::make_unique<QueryEngine>(&idx_, FesiaParams{});
+  }
+
+  InvertedIndex idx_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(QueryEngineTest, ConstructionTimeRecorded) {
+  EXPECT_GT(engine_->construction_seconds(), 0.0);
+}
+
+TEST_F(QueryEngineTest, TwoTermAgreementAcrossMethods) {
+  std::vector<uint32_t> terms = {0, 1};
+  size_t fesia_count = engine_->CountFesia(terms);
+  for (const auto& m : baselines::AllBaselines()) {
+    EXPECT_EQ(engine_->CountBaseline(terms, m.name), fesia_count) << m.name;
+  }
+}
+
+TEST_F(QueryEngineTest, ThreeTermAgreement) {
+  std::vector<uint32_t> terms = {0, 2, 5};
+  size_t fesia_count = engine_->CountFesia(terms);
+  for (const char* name : {"Scalar", "Shuffling", "BMiss", "SIMDGalloping",
+                           "ScalarGalloping"}) {
+    EXPECT_EQ(engine_->CountBaseline(terms, name), fesia_count) << name;
+  }
+}
+
+TEST_F(QueryEngineTest, SkewedTermPair) {
+  // Longest list with a short one.
+  auto shorts = idx_.TermsWithPostingLength(10, 50);
+  ASSERT_FALSE(shorts.empty());
+  std::vector<uint32_t> terms = {0, shorts.front()};
+  size_t expected = engine_->CountBaseline(terms, "Scalar");
+  EXPECT_EQ(engine_->CountFesia(terms), expected);
+}
+
+TEST_F(QueryEngineTest, QueryFesiaReturnsActualDocs) {
+  std::vector<uint32_t> terms = {0, 1};
+  std::vector<uint32_t> docs = engine_->QueryFesia(terms);
+  auto p0 = idx_.Postings(terms[0]);
+  auto p1 = idx_.Postings(terms[1]);
+  std::vector<uint32_t> expected;
+  std::set_intersection(p0.begin(), p0.end(), p1.begin(), p1.end(),
+                        std::back_inserter(expected));
+  EXPECT_EQ(docs, expected);
+}
+
+TEST_F(QueryEngineTest, SingleAndEmptyQueries) {
+  EXPECT_EQ(engine_->CountFesia({}), 0u);
+  std::vector<uint32_t> one = {3};
+  EXPECT_EQ(engine_->CountFesia(one), idx_.Postings(3).size());
+}
+
+// --- Query workload generators ----------------------------------------------
+
+TEST_F(QueryEngineTest, LowSelectivityQueriesHonorTheBound) {
+  auto queries =
+      LowSelectivityQueries(idx_, 2, 200, 2000, 20, /*max_selectivity=*/0.2,
+                            /*seed=*/5);
+  ASSERT_FALSE(queries.empty());
+  for (const auto& q : queries) {
+    ASSERT_EQ(q.size(), 2u);
+    size_t min_list =
+        std::min(idx_.Postings(q[0]).size(), idx_.Postings(q[1]).size());
+    size_t result = ReferenceQueryCount(idx_, q);
+    EXPECT_LE(result, min_list / 5 + 1) << q[0] << "," << q[1];
+    // Query counts must agree with the engine across strategies.
+    EXPECT_EQ(engine_->CountFesia(q), result);
+  }
+}
+
+TEST_F(QueryEngineTest, SkewedPairQueriesHaveRequestedSkew) {
+  auto queries = SkewedPairQueries(idx_, 2000, 0.1, 10, 7);
+  ASSERT_FALSE(queries.empty());
+  for (const auto& q : queries) {
+    size_t l0 = idx_.Postings(q[0]).size();
+    size_t l1 = idx_.Postings(q[1]).size();
+    double skew = static_cast<double>(std::min(l0, l1)) /
+                  static_cast<double>(std::max(l0, l1));
+    EXPECT_GE(skew, 0.05);
+    EXPECT_LE(skew, 0.15);
+  }
+}
+
+TEST_F(QueryEngineTest, ReferenceQueryCountMatchesEngine) {
+  std::vector<uint32_t> q = {0, 1, 2};
+  EXPECT_EQ(ReferenceQueryCount(idx_, q), engine_->CountFesia(q));
+  EXPECT_EQ(ReferenceQueryCount(idx_, {}), 0u);
+}
+
+}  // namespace
+}  // namespace fesia::index

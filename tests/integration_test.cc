@@ -1,0 +1,144 @@
+// Cross-module integration: the full workloads the benchmarks run, at small
+// scale, with exact result checks across every method and strategy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/kway.h"
+#include "baselines/registry.h"
+#include "datagen/datagen.h"
+#include "fesia/fesia.h"
+#include "graph/generators.h"
+#include "graph/triangle.h"
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "test_util.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+using ::fesia::datagen::SetPair;
+using ::fesia::testing::AvailableLevels;
+
+// The Fig. 7/8/9 harness shape: one pair, every method, equal answers.
+TEST(IntegrationTest, AllMethodsAgreeOnSyntheticPair) {
+  SetPair pair = PairWithSelectivity(30000, 30000, 0.01, 1);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  size_t expected = pair.intersection_size;
+  for (const auto& m : baselines::AllBaselines()) {
+    EXPECT_EQ(m.fn(pair.a.data(), pair.a.size(), pair.b.data(),
+                   pair.b.size()),
+              expected)
+        << m.name;
+  }
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), expected);
+    EXPECT_EQ(IntersectCountHash(fa, fb, level), expected);
+    EXPECT_EQ(IntersectCountAuto(fa, fb, level), expected);
+    EXPECT_EQ(IntersectCountParallel(fa, fb, 4, level), expected);
+  }
+}
+
+// The Fig. 11 harness shape: skew sweep, both FESIA strategies correct.
+TEST(IntegrationTest, SkewSweepBothStrategies) {
+  for (size_t n1 : {1000, 4000, 16000, 32000}) {
+    SetPair pair = PairWithSelectivity(n1, 32000, 0.1, n1);
+    FesiaSet fa = FesiaSet::Build(pair.a);
+    FesiaSet fb = FesiaSet::Build(pair.b);
+    EXPECT_EQ(IntersectCount(fa, fb), pair.intersection_size) << n1;
+    EXPECT_EQ(IntersectCountHash(fa, fb), pair.intersection_size) << n1;
+  }
+}
+
+// The Fig. 10 harness shape: 3-way intersection across implementations.
+TEST(IntegrationTest, ThreeWayAllImplementationsAgree) {
+  auto raw = datagen::KSetsWithDensity(3, 5000, 0.4, 21);
+  size_t expected = datagen::ReferenceIntersection(raw).size();
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  std::vector<const FesiaSet*> ptrs = {&sets[0], &sets[1], &sets[2]};
+  EXPECT_EQ(IntersectCountKWay(ptrs), expected);
+  std::vector<baselines::SetView> views;
+  for (const auto& r : raw) views.push_back({r.data(), r.size()});
+  EXPECT_EQ(baselines::KWayMerge(views), expected);
+  EXPECT_EQ(baselines::KWayGalloping(views), expected);
+  EXPECT_EQ(baselines::KWayShuffling(views), expected);
+}
+
+// The Fig. 12 harness shape: database AND queries, FESIA vs every baseline.
+TEST(IntegrationTest, DatabaseQueryTaskAgreement) {
+  index::CorpusParams cp;
+  cp.num_docs = 30000;
+  cp.num_terms = 1500;
+  cp.avg_terms_per_doc = 25;
+  index::InvertedIndex idx = index::InvertedIndex::BuildSynthetic(cp);
+  index::QueryEngine engine(&idx, FesiaParams{});
+  auto mids = idx.TermsWithPostingLength(200, 2000);
+  ASSERT_GE(mids.size(), 3u);
+  std::vector<uint32_t> q2 = {mids[0], mids[1]};
+  std::vector<uint32_t> q3 = {mids[0], mids[1], mids[2]};
+  size_t expected2 = engine.CountBaseline(q2, "Scalar");
+  size_t expected3 = engine.CountBaseline(q3, "Scalar");
+  EXPECT_EQ(engine.CountFesia(q2), expected2);
+  EXPECT_EQ(engine.CountFesia(q3), expected3);
+  for (const char* m : {"Shuffling", "BMiss", "SIMDGalloping"}) {
+    EXPECT_EQ(engine.CountBaseline(q2, m), expected2) << m;
+    EXPECT_EQ(engine.CountBaseline(q3, m), expected3) << m;
+  }
+}
+
+// The Fig. 13 harness shape: triangle counting, FESIA vs Shuffling vs Scalar.
+TEST(IntegrationTest, TriangleCountingTaskAgreement) {
+  graph::RmatParams rp;
+  rp.num_nodes = 1 << 11;
+  rp.num_edges = 16 << 11;
+  graph::Graph dag = graph::GenerateRmatGraph(rp).DegreeOrientedDag();
+  uint64_t expected = graph::CountTriangles(
+      dag, baselines::FindBaseline("Scalar")->fn);
+  ASSERT_GT(expected, 0u);
+  EXPECT_EQ(graph::CountTriangles(
+                dag, baselines::FindBaseline("Shuffling")->fn),
+            expected);
+  graph::FesiaTriangleCounter counter(&dag, FesiaParams{});
+  EXPECT_EQ(counter.Count(), expected);
+  EXPECT_EQ(counter.Count(SimdLevel::kAuto, 4), expected);
+}
+
+// The Table II harness shape: stride sub-sampling preserves results while
+// changing only which kernels execute.
+TEST(IntegrationTest, StrideSubsamplingPreservesResults) {
+  SetPair pair = PairWithSelectivity(20000, 20000, 0.05, 33);
+  size_t expected = pair.intersection_size;
+  for (int stride : {1, 2, 4, 8}) {
+    FesiaParams p;
+    p.kernel_stride = stride;
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    EXPECT_EQ(IntersectCount(fa, fb), expected) << "stride=" << stride;
+  }
+}
+
+// The Fig. 14 harness shape: breakdown responds to m and s as the paper
+// describes (smaller s -> more segments -> step 1 grows).
+TEST(IntegrationTest, BreakdownRespondsToSegmentWidth) {
+  SetPair pair = PairWithSelectivity(50000, 50000, 0.0, 44);
+  FesiaParams p8;
+  p8.segment_bits = 8;
+  FesiaParams p32;
+  p32.segment_bits = 32;
+  FesiaSet a8 = FesiaSet::Build(pair.a, p8);
+  FesiaSet b8 = FesiaSet::Build(pair.b, p8);
+  FesiaSet a32 = FesiaSet::Build(pair.a, p32);
+  FesiaSet b32 = FesiaSet::Build(pair.b, p32);
+  IntersectBreakdown bd8, bd32;
+  EXPECT_EQ(IntersectCountInstrumented(a8, b8, &bd8), 0u);
+  EXPECT_EQ(IntersectCountInstrumented(a32, b32, &bd32), 0u);
+  // Same bitmap size; narrower segments produce at least as many matched
+  // segment pairs (a 32-bit segment merges four 8-bit ones).
+  EXPECT_GE(bd32.matched_segments, bd8.matched_segments / 8);
+}
+
+}  // namespace
+}  // namespace fesia

@@ -1,0 +1,88 @@
+// FESIAhash (skewed-strategy) correctness.
+#include "fesia/intersect_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/intersect.h"
+#include "test_util.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+using ::fesia::datagen::SetPair;
+using ::fesia::testing::AvailableLevels;
+
+TEST(IntersectHashTest, MatchesReferenceOnSkewedPairs) {
+  for (SimdLevel level : AvailableLevels()) {
+    for (size_t n_small : {10, 100, 1000}) {
+      SetPair pair = PairWithSelectivity(n_small, 50000, 0.4,
+                                         n_small + 1000);
+      FesiaSet fa = FesiaSet::Build(pair.a);
+      FesiaSet fb = FesiaSet::Build(pair.b);
+      EXPECT_EQ(IntersectCountHash(fa, fb, level), pair.intersection_size)
+          << SimdLevelName(level) << " n_small=" << n_small;
+      // Argument order must not matter.
+      EXPECT_EQ(IntersectCountHash(fb, fa, level), pair.intersection_size);
+    }
+  }
+}
+
+TEST(IntersectHashTest, MatchesMergeStrategyOnBalancedPairs) {
+  SetPair pair = PairWithSelectivity(5000, 5000, 0.1, 42);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(IntersectCountHash(fa, fb, level),
+              IntersectCount(fa, fb, level));
+  }
+}
+
+TEST(IntersectHashTest, EmptyInputs) {
+  FesiaSet empty = FesiaSet::Build({});
+  FesiaSet some = FesiaSet::Build(std::vector<uint32_t>{1, 2, 3});
+  EXPECT_EQ(IntersectCountHash(empty, some), 0u);
+  EXPECT_EQ(IntersectCountHash(some, empty), 0u);
+}
+
+TEST(IntersectHashTest, WorksAcrossDifferentSegmentBits) {
+  // The hash strategy only walks the larger set's structure, so the two
+  // sets may even disagree on segment_bits.
+  SetPair pair = PairWithSelectivity(50, 10000, 0.5, 7);
+  FesiaParams p8;
+  p8.segment_bits = 8;
+  FesiaParams p32;
+  p32.segment_bits = 32;
+  FesiaSet fa = FesiaSet::Build(pair.a, p8);
+  FesiaSet fb = FesiaSet::Build(pair.b, p32);
+  EXPECT_EQ(IntersectCountHash(fa, fb), pair.intersection_size);
+}
+
+TEST(IntersectHashTest, StridePaddedSmallSideSkipsSentinels) {
+  SetPair pair = PairWithSelectivity(64, 20000, 0.25, 13);
+  FesiaParams p;
+  p.kernel_stride = 8;  // small side's reordered array carries sentinels
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  EXPECT_EQ(IntersectCountHash(fa, fb), pair.intersection_size);
+}
+
+TEST(IntersectHashTest, IntoMaterializesSortedResult) {
+  SetPair pair = PairWithSelectivity(200, 30000, 0.3, 19);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  std::vector<uint32_t> out;
+  size_t r = IntersectIntoHash(fa, fb, &out);
+  std::vector<uint32_t> expected;
+  std::set_intersection(pair.a.begin(), pair.a.end(), pair.b.begin(),
+                        pair.b.end(), std::back_inserter(expected));
+  ASSERT_EQ(r, expected.size());
+  EXPECT_EQ(out, expected);
+}
+
+}  // namespace
+}  // namespace fesia

@@ -1,0 +1,287 @@
+// End-to-end correctness of the pairwise FESIA pipeline against the merge
+// reference, across ISA levels, segment widths, bitmap scales, kernel
+// strides, selectivities, and size mixes.
+#include "fesia/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/fesia_set.h"
+#include "test_util.h"
+#include "util/cpu.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+using ::fesia::datagen::SetPair;
+using ::fesia::testing::AvailableLevels;
+
+bool Supported(SimdLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(DetectSimdLevel());
+}
+
+// (level, segment_bits, kernel_stride)
+using Config = std::tuple<SimdLevel, int, int>;
+
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
+  auto [level, s, stride] = info.param;
+  return std::string(SimdLevelName(level)) + "_s" + std::to_string(s) +
+         "_stride" + std::to_string(stride);
+}
+
+class IntersectConfigTest : public ::testing::TestWithParam<Config> {
+ protected:
+  void SetUp() override {
+    if (!Supported(std::get<0>(GetParam()))) {
+      GTEST_SKIP() << "host lacks " << SimdLevelName(std::get<0>(GetParam()));
+    }
+  }
+
+  FesiaParams Params() const {
+    auto [level, s, stride] = GetParam();
+    FesiaParams p;
+    p.segment_bits = s;
+    p.kernel_stride = stride;
+    p.simd_level = level;
+    return p;
+  }
+
+  SimdLevel Level() const { return std::get<0>(GetParam()); }
+};
+
+TEST_P(IntersectConfigTest, RandomPairsMatchReference) {
+  FesiaParams p = Params();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    SetPair pair = PairWithSelectivity(2000, 2000, 0.05, seed);
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    EXPECT_EQ(IntersectCount(fa, fb, Level()), pair.intersection_size);
+    // Symmetry.
+    EXPECT_EQ(IntersectCount(fb, fa, Level()), pair.intersection_size);
+  }
+}
+
+TEST_P(IntersectConfigTest, SelectivitySweep) {
+  FesiaParams p = Params();
+  for (double sel : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+    SetPair pair = PairWithSelectivity(1500, 1500, sel, 99);
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    EXPECT_EQ(IntersectCount(fa, fb, Level()), pair.intersection_size)
+        << "selectivity=" << sel;
+  }
+}
+
+TEST_P(IntersectConfigTest, SkewedSizesDifferentBitmaps) {
+  FesiaParams p = Params();
+  // 100 vs 20000 elements: the bitmaps end up with different power-of-two
+  // sizes, exercising the modular segment pairing.
+  SetPair pair = PairWithSelectivity(100, 20000, 0.3, 17);
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b, p);
+  ASSERT_NE(fa.bitmap_bits(), fb.bitmap_bits());
+  EXPECT_EQ(IntersectCount(fa, fb, Level()), pair.intersection_size);
+  EXPECT_EQ(IntersectCount(fb, fa, Level()), pair.intersection_size);
+}
+
+TEST_P(IntersectConfigTest, IdenticalSets) {
+  FesiaParams p = Params();
+  std::vector<uint32_t> v = datagen::SortedUniform(3000, 1u << 24, 5);
+  FesiaSet fa = FesiaSet::Build(v, p);
+  FesiaSet fb = FesiaSet::Build(v, p);
+  EXPECT_EQ(IntersectCount(fa, fb, Level()), v.size());
+}
+
+TEST_P(IntersectConfigTest, EmptySets) {
+  FesiaParams p = Params();
+  FesiaSet empty = FesiaSet::Build({}, p);
+  FesiaSet nonempty =
+      FesiaSet::Build(datagen::SortedUniform(100, 1000, 3), p);
+  EXPECT_EQ(IntersectCount(empty, nonempty, Level()), 0u);
+  EXPECT_EQ(IntersectCount(nonempty, empty, Level()), 0u);
+  EXPECT_EQ(IntersectCount(empty, empty, Level()), 0u);
+}
+
+TEST_P(IntersectConfigTest, SingletonSets) {
+  FesiaParams p = Params();
+  FesiaSet one = FesiaSet::Build(std::vector<uint32_t>{42}, p);
+  FesiaSet other = FesiaSet::Build(std::vector<uint32_t>{42, 43, 44}, p);
+  FesiaSet miss = FesiaSet::Build(std::vector<uint32_t>{7}, p);
+  EXPECT_EQ(IntersectCount(one, other, Level()), 1u);
+  EXPECT_EQ(IntersectCount(one, miss, Level()), 0u);
+  EXPECT_EQ(IntersectCount(one, one, Level()), 1u);
+}
+
+TEST_P(IntersectConfigTest, IntoMatchesReferenceElements) {
+  FesiaParams p = Params();
+  SetPair pair = PairWithSelectivity(800, 1200, 0.2, 23);
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b, p);
+  std::vector<uint32_t> out;
+  size_t r = IntersectInto(fa, fb, &out, /*sort_output=*/true, Level());
+  std::vector<uint32_t> expected;
+  std::set_intersection(pair.a.begin(), pair.a.end(), pair.b.begin(),
+                        pair.b.end(), std::back_inserter(expected));
+  ASSERT_EQ(r, expected.size());
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(IntersectConfigTest, InstrumentedAgreesAndFillsBreakdown) {
+  FesiaParams p = Params();
+  SetPair pair = PairWithSelectivity(5000, 5000, 0.02, 31);
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b, p);
+  IntersectBreakdown bd;
+  size_t r = IntersectCountInstrumented(fa, fb, &bd, Level());
+  EXPECT_EQ(r, pair.intersection_size);
+  EXPECT_EQ(bd.result, pair.intersection_size);
+  // Every true match occupies a distinct matched segment pair at most once;
+  // matched segments >= segments holding true matches.
+  EXPECT_GE(bd.matched_segments, 0u);
+  EXPECT_GT(bd.step1_cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, IntersectConfigTest,
+    ::testing::Combine(::testing::Values(SimdLevel::kScalar, SimdLevel::kSse,
+                                         SimdLevel::kAvx2, SimdLevel::kAvx512),
+                       ::testing::Values(8, 16, 32),
+                       ::testing::Values(1, 4)),
+    ConfigName);
+
+// --- Cross-ISA agreement ---------------------------------------------------
+
+TEST(IntersectCrossIsaTest, AllLevelsAgree) {
+  SetPair pair = PairWithSelectivity(10000, 10000, 0.03, 77);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  for (SimdLevel level : testing::AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), pair.intersection_size)
+        << SimdLevelName(level);
+  }
+}
+
+TEST(IntersectCrossIsaTest, StrideVariantsAgree) {
+  SetPair pair = PairWithSelectivity(4000, 4000, 0.1, 123);
+  for (int stride : {1, 2, 4, 8}) {
+    FesiaParams p;
+    p.kernel_stride = stride;
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    for (SimdLevel level : testing::AvailableLevels()) {
+      EXPECT_EQ(IntersectCount(fa, fb, level), pair.intersection_size)
+          << "stride=" << stride << " level=" << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(IntersectCrossIsaTest, MixedStridePairsAgree) {
+  SetPair pair = PairWithSelectivity(3000, 3000, 0.05, 321);
+  FesiaParams p1;
+  p1.kernel_stride = 1;
+  FesiaParams p8;
+  p8.kernel_stride = 8;
+  FesiaSet fa = FesiaSet::Build(pair.a, p1);
+  FesiaSet fb = FesiaSet::Build(pair.b, p8);
+  for (SimdLevel level : testing::AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), pair.intersection_size)
+        << SimdLevelName(level);
+  }
+}
+
+// Bitmap-scale extremes: tiny bitmaps force large segments (general
+// fallback); huge bitmaps make every segment size 0/1.
+TEST(IntersectCrossIsaTest, BitmapScaleExtremes) {
+  SetPair pair = PairWithSelectivity(2000, 2000, 0.2, 55);
+  for (double scale : {0.25, 1.0, 64.0}) {
+    FesiaParams p;
+    p.bitmap_scale = scale;
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    for (SimdLevel level : testing::AvailableLevels()) {
+      EXPECT_EQ(IntersectCount(fa, fb, level), pair.intersection_size)
+          << "scale=" << scale << " level=" << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(IntersectCrossIsaTest, AdjacentValuesDense) {
+  // Dense consecutive ranges stress hash clustering.
+  std::vector<uint32_t> a(5000), b(5000);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    a[i] = i;
+    b[i] = i + 2500;
+  }
+  FesiaSet fa = FesiaSet::Build(a);
+  FesiaSet fb = FesiaSet::Build(b);
+  for (SimdLevel level : testing::AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), 2500u) << SimdLevelName(level);
+  }
+}
+
+TEST(IntersectCrossIsaTest, MaxRepresentableValue) {
+  // 0xFFFFFFFE is the largest legal element (0xFFFFFFFF is the sentinel).
+  std::vector<uint32_t> a = {0, 1, 0xFFFFFFFEu};
+  std::vector<uint32_t> b = {0xFFFFFFFEu, 5};
+  FesiaSet fa = FesiaSet::Build(a);
+  FesiaSet fb = FesiaSet::Build(b);
+  for (SimdLevel level : testing::AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), 1u) << SimdLevelName(level);
+  }
+}
+
+// Regression: with different bitmap sizes, a kernel vector over-read from
+// the larger set's run can span N_small segments and land on an aliasing
+// segment whose real element equals a broadcast element (double count).
+// Found by fuzzing; fixed by the DispatchSafe guard in intersect_impl.h.
+TEST(IntersectCrossIsaTest, DifferentBitmapAliasRegression) {
+  std::vector<uint32_t> a = {3,  5,  7,  9,  15, 16, 20, 23, 24, 30, 33,
+                             34, 47, 50, 59, 71, 72, 78, 79, 81, 82, 94};
+  std::vector<uint32_t> b = {1,  8,  11, 12, 13, 14, 15, 17, 23, 24, 25, 26,
+                             28, 29, 30, 31, 43, 45, 46, 48, 50, 52, 56, 57,
+                             63, 66, 67, 68, 69, 75, 78, 84, 88, 91};
+  FesiaSet fa = FesiaSet::Build(a);
+  FesiaSet fb = FesiaSet::Build(b);
+  ASSERT_NE(fa.bitmap_bits(), fb.bitmap_bits());
+  size_t expected = datagen::ReferenceIntersectionSize(a, b);
+  for (SimdLevel level : testing::AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), expected)
+        << SimdLevelName(level);
+  }
+}
+
+// Fuzz-style sweep over tiny sparse pairs with unequal bitmap sizes; these
+// maximize the alias-hazard frequency.
+TEST(IntersectCrossIsaTest, SmallSparseUnequalBitmapsFuzz) {
+  Rng rng(99);
+  for (int iter = 0; iter < 400; ++iter) {
+    uint32_t na = 1 + static_cast<uint32_t>(rng.Below(40));
+    uint32_t nb = 1 + static_cast<uint32_t>(rng.Below(40));
+    uint32_t uni = 20 + static_cast<uint32_t>(rng.Below(300));
+    auto a = datagen::SortedUniform(std::min(na, uni), uni, iter * 2 + 1);
+    auto b = datagen::SortedUniform(std::min(nb, uni), uni, iter * 2 + 2);
+    FesiaSet fa = FesiaSet::Build(a);
+    FesiaSet fb = FesiaSet::Build(b);
+    size_t expected = datagen::ReferenceIntersectionSize(a, b);
+    for (SimdLevel level : testing::AvailableLevels()) {
+      ASSERT_EQ(IntersectCount(fa, fb, level), expected)
+          << "iter=" << iter << " " << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(IntersectCrossIsaTest, AutoLevelMatchesExplicit) {
+  SetPair pair = PairWithSelectivity(1000, 1000, 0.5, 9);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  EXPECT_EQ(IntersectCount(fa, fb, SimdLevel::kAuto),
+            pair.intersection_size);
+}
+
+}  // namespace
+}  // namespace fesia

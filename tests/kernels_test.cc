@@ -1,0 +1,347 @@
+// Exhaustive correctness sweeps of the specialized segment kernels: every
+// (Sa, Sb) table entry, at every ISA level this host supports, in both the
+// unguarded and the guarded (sentinel-masking) variants, against the scalar
+// reference. These are the property tests backing the over-read-safety
+// argument in kernels_impl.h.
+#include "fesia/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fesia/backends.h"
+#include "test_util.h"
+#include "util/cpu.h"
+
+namespace fesia::internal {
+namespace {
+
+using ::fesia::testing::RandomSortedRun;
+using ::fesia::testing::RefCount;
+using ::fesia::testing::ToPaddedBuffer;
+
+const KernelTable& TableFor(SimdLevel level, bool guarded) {
+  switch (level) {
+    case SimdLevel::kSse:
+      return sse::Kernels(guarded);
+    case SimdLevel::kAvx2:
+      return avx2::Kernels(guarded);
+    default:
+      return avx512::Kernels(guarded);
+  }
+}
+
+bool LevelSupported(SimdLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(DetectSimdLevel());
+}
+
+// Builds a pair of runs of exact sizes (sa, sb) sharing `shared` elements.
+std::pair<std::vector<uint32_t>, std::vector<uint32_t>> MakeRuns(
+    uint32_t sa, uint32_t sb, uint32_t shared, Rng& rng) {
+  shared = std::min({shared, sa, sb});
+  // Pool of distinct values split into (shared, a-only, b-only).
+  std::vector<uint32_t> pool =
+      RandomSortedRun(sa + sb - shared, 1u << 30, rng);
+  // Shuffle assignment.
+  for (size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.Below(i)]);
+  }
+  std::vector<uint32_t> a(pool.begin(), pool.begin() + sa);
+  std::vector<uint32_t> b(pool.begin(), pool.begin() + shared);
+  b.insert(b.end(), pool.begin() + sa, pool.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return {std::move(a), std::move(b)};
+}
+
+struct KernelCase {
+  SimdLevel level;
+  bool guarded;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<KernelCase>& info) {
+  return std::string(SimdLevelName(info.param.level)) +
+         (info.param.guarded ? "_guarded" : "_unguarded");
+}
+
+class KernelSweepTest : public ::testing::TestWithParam<KernelCase> {
+ protected:
+  void SetUp() override {
+    if (!LevelSupported(GetParam().level)) {
+      GTEST_SKIP() << "host lacks " << SimdLevelName(GetParam().level);
+    }
+  }
+};
+
+TEST_P(KernelSweepTest, TableShapeMatchesIsa) {
+  const KernelTable& kt = TableFor(GetParam().level, GetParam().guarded);
+  EXPECT_EQ(kt.max_size, 2 * kt.lanes);
+  EXPECT_EQ(kt.lanes, SimdLanes32(GetParam().level));
+  for (size_t i = 0; i < kt.num_entries(); ++i) {
+    EXPECT_NE(kt.fns[i], nullptr);
+  }
+}
+
+TEST_P(KernelSweepTest, ZeroSizedKernelsReturnZero) {
+  const KernelTable& kt = TableFor(GetParam().level, GetParam().guarded);
+  Rng rng(1);
+  std::vector<uint32_t> run = RandomSortedRun(8, 1u << 20, rng);
+  auto buf = ToPaddedBuffer(run, 8);
+  for (int s = 0; s <= kt.max_size; ++s) {
+    EXPECT_EQ(kt.At(0, static_cast<uint32_t>(s))(buf.data(), buf.data()), 0u);
+    EXPECT_EQ(kt.At(static_cast<uint32_t>(s), 0)(buf.data(), buf.data()), 0u);
+  }
+}
+
+// Every (sa, sb) entry, several random overlap levels, exact count.
+TEST_P(KernelSweepTest, AllSizePairsMatchScalarReference) {
+  const KernelTable& kt = TableFor(GetParam().level, GetParam().guarded);
+  Rng rng(42);
+  for (uint32_t sa = 1; sa <= static_cast<uint32_t>(kt.max_size); ++sa) {
+    for (uint32_t sb = 1; sb <= static_cast<uint32_t>(kt.max_size); ++sb) {
+      for (uint32_t trial = 0; trial < 3; ++trial) {
+        uint32_t shared =
+            static_cast<uint32_t>(rng.Below(std::min(sa, sb) + 1));
+        auto [a, b] = MakeRuns(sa, sb, shared, rng);
+        auto ba = ToPaddedBuffer(a, sa);
+        auto bb = ToPaddedBuffer(b, sb);
+        uint32_t expected = RefCount(a, b);
+        uint32_t got = kt.At(sa, sb)(ba.data(), bb.data());
+        ASSERT_EQ(got, expected)
+            << "sa=" << sa << " sb=" << sb << " trial=" << trial;
+      }
+    }
+  }
+}
+
+// Guarded kernels must ignore sentinel padding inside the nominal sizes:
+// this is the stride>1 layout where both runs end in sentinel slots.
+TEST_P(KernelSweepTest, GuardedKernelsIgnoreSentinelPadding) {
+  if (!GetParam().guarded) GTEST_SKIP() << "guarded variant only";
+  const KernelTable& kt = TableFor(GetParam().level, /*guarded=*/true);
+  Rng rng(7);
+  for (uint32_t sa = 1; sa <= static_cast<uint32_t>(kt.max_size); ++sa) {
+    for (uint32_t sb = 1; sb <= static_cast<uint32_t>(kt.max_size); ++sb) {
+      // Real run lengths strictly smaller than the padded sizes.
+      uint32_t real_a = 1 + static_cast<uint32_t>(rng.Below(sa));
+      uint32_t real_b = 1 + static_cast<uint32_t>(rng.Below(sb));
+      uint32_t shared =
+          static_cast<uint32_t>(rng.Below(std::min(real_a, real_b) + 1));
+      auto [a, b] = MakeRuns(real_a, real_b, shared, rng);
+      auto ba = ToPaddedBuffer(a, sa);  // sentinel-fills [real_a, sa)
+      auto bb = ToPaddedBuffer(b, sb);
+      uint32_t expected = RefCount(a, b);
+      uint32_t got = kt.At(sa, sb)(ba.data(), bb.data());
+      ASSERT_EQ(got, expected) << "sa=" << sa << " sb=" << sb
+                               << " real_a=" << real_a << " real_b=" << real_b;
+    }
+  }
+}
+
+// Guarded kernels remain exact when only ONE side carries sentinel padding
+// (kernels may broadcast either side, so the guard must cover both roles).
+TEST_P(KernelSweepTest, GuardedExactWithOneSidedPadding) {
+  if (!GetParam().guarded) GTEST_SKIP() << "guarded variant only";
+  const KernelTable& kt = TableFor(GetParam().level, /*guarded=*/true);
+  Rng rng(11);
+  for (uint32_t sb = 1; sb <= static_cast<uint32_t>(kt.max_size); ++sb) {
+    uint32_t real_b = 1 + static_cast<uint32_t>(rng.Below(sb));
+    constexpr uint32_t sa = 5;  // within every ISA's table (SSE max is 8)
+    auto [a, b] = MakeRuns(sa, real_b, 2, rng);
+    auto ba = ToPaddedBuffer(a, sa);
+    auto bb = ToPaddedBuffer(b, sb);  // padding only on one side
+    uint32_t expected = RefCount(a, b);
+    ASSERT_EQ(kt.At(sa, sb)(ba.data(), bb.data()), expected) << "sb=" << sb;
+  }
+}
+
+// Identical runs: the kernel must count every element exactly once.
+TEST_P(KernelSweepTest, IdenticalRunsCountFully) {
+  const KernelTable& kt = TableFor(GetParam().level, GetParam().guarded);
+  Rng rng(3);
+  for (uint32_t s = 1; s <= static_cast<uint32_t>(kt.max_size); ++s) {
+    std::vector<uint32_t> run = RandomSortedRun(s, 1u << 28, rng);
+    auto ba = ToPaddedBuffer(run, s);
+    auto bb = ToPaddedBuffer(run, s);
+    ASSERT_EQ(kt.At(s, s)(ba.data(), bb.data()), s) << "s=" << s;
+  }
+}
+
+// Disjoint runs: zero matches at every size pair on the diagonal band.
+TEST_P(KernelSweepTest, DisjointRunsCountZero) {
+  const KernelTable& kt = TableFor(GetParam().level, GetParam().guarded);
+  Rng rng(5);
+  for (uint32_t s = 1; s <= static_cast<uint32_t>(kt.max_size); ++s) {
+    auto [a, b] = MakeRuns(s, s, 0, rng);
+    auto ba = ToPaddedBuffer(a, s);
+    auto bb = ToPaddedBuffer(b, s);
+    ASSERT_EQ(kt.At(s, s)(ba.data(), bb.data()), 0u) << "s=" << s;
+  }
+}
+
+// Over-read safety: values positioned after the nominal run (as real,
+// non-sentinel data, emulating the next segment's elements) must not be
+// counted, because they cannot equal any broadcast element in real layouts.
+// Here we emulate that by making the trailing values distinct from both runs.
+TEST_P(KernelSweepTest, TrailingForeignValuesNotCounted) {
+  const KernelTable& kt = TableFor(GetParam().level, GetParam().guarded);
+  Rng rng(13);
+  uint32_t sa = static_cast<uint32_t>(kt.lanes) - 1;
+  uint32_t sb = static_cast<uint32_t>(kt.lanes) / 2;
+  auto [a, b] = MakeRuns(sa, sb, 1, rng);
+  auto ba = ToPaddedBuffer(a, sa);
+  auto bb = ToPaddedBuffer(b, sb);
+  // Fill b's tail (the over-read region) with values NOT present in a.
+  for (size_t i = sb; i < bb.padded_size(); ++i) {
+    bb[i] = 0xF0000000u + static_cast<uint32_t>(i);
+  }
+  EXPECT_EQ(kt.At(sa, sb)(ba.data(), bb.data()), RefCount(a, b));
+}
+
+// Positional coverage: one shared element moved through every (i, j)
+// position pair of a V×V kernel must always count exactly 1.
+TEST_P(KernelSweepTest, SingleMatchAtEveryPosition) {
+  const KernelTable& kt = TableFor(GetParam().level, GetParam().guarded);
+  const uint32_t v = static_cast<uint32_t>(kt.lanes);
+  for (uint32_t ia = 0; ia < v; ++ia) {
+    for (uint32_t jb = 0; jb < v; ++jb) {
+      // Disjoint ascending runs...
+      std::vector<uint32_t> a, b;
+      for (uint32_t x = 0; x < v; ++x) a.push_back(10 + 20 * x);
+      for (uint32_t x = 0; x < v; ++x) b.push_back(17 + 20 * x);
+      // ...then force b[jb] == a[ia] while keeping both ascending.
+      b[jb] = a[ia];
+      std::sort(b.begin(), b.end());
+      b.erase(std::unique(b.begin(), b.end()), b.end());
+      while (b.size() < v) b.push_back(b.back() + 20);
+      auto ba = ToPaddedBuffer(a, v);
+      auto bb = ToPaddedBuffer(b, v);
+      ASSERT_EQ(kt.At(v, v)(ba.data(), bb.data()), 1u)
+          << "ia=" << ia << " jb=" << jb;
+    }
+  }
+}
+
+// Both runtime branches of the large-by-large split (a[V-1] <= b[V-1] and
+// the symmetric case), with matches on both sides of the split point.
+TEST_P(KernelSweepTest, LargeLargeBothBranches) {
+  const KernelTable& kt = TableFor(GetParam().level, GetParam().guarded);
+  const uint32_t v = static_cast<uint32_t>(kt.lanes);
+  const uint32_t size = 2 * v - 1;
+  // Branch 1: a's first block finishes first (a values smaller).
+  std::vector<uint32_t> a, b;
+  for (uint32_t x = 0; x < size; ++x) a.push_back(2 * x + 2);
+  for (uint32_t x = 0; x < size; ++x) b.push_back(3 * x + 3);
+  auto ba = ToPaddedBuffer(a, size);
+  auto bb = ToPaddedBuffer(b, size);
+  ASSERT_EQ(kt.At(size, size)(ba.data(), bb.data()), RefCount(a, b));
+  // Branch 2: swap sides.
+  ASSERT_EQ(kt.At(size, size)(bb.data(), ba.data()), RefCount(a, b));
+}
+
+// Extreme representable values (0 and 0xFFFFFFFE) flow through every
+// compare correctly; 0xFFFFFFFF is excluded (sentinel).
+TEST_P(KernelSweepTest, EdgeValuesZeroAndMax) {
+  const KernelTable& kt = TableFor(GetParam().level, GetParam().guarded);
+  std::vector<uint32_t> a = {0, 1, 0x7FFFFFFFu, 0xFFFFFFFEu};
+  std::vector<uint32_t> b = {0, 2, 0x80000000u, 0xFFFFFFFEu};
+  auto ba = ToPaddedBuffer(a, 4);
+  auto bb = ToPaddedBuffer(b, 4);
+  ASSERT_EQ(kt.At(4, 4)(ba.data(), bb.data()), 2u);  // {0, 0xFFFFFFFE}
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsas, KernelSweepTest,
+    ::testing::Values(KernelCase{SimdLevel::kSse, false},
+                      KernelCase{SimdLevel::kSse, true},
+                      KernelCase{SimdLevel::kAvx2, false},
+                      KernelCase{SimdLevel::kAvx2, true},
+                      KernelCase{SimdLevel::kAvx512, false},
+                      KernelCase{SimdLevel::kAvx512, true}),
+    CaseName);
+
+// --- Scalar segment primitives -------------------------------------------
+
+TEST(ScalarSegmentTest, CountBasic) {
+  std::vector<uint32_t> a = {1, 4, 9};
+  std::vector<uint32_t> b = {2, 4, 9, 11};
+  EXPECT_EQ(ScalarSegmentCount(a.data(), 3, b.data(), 4), 2u);
+}
+
+TEST(ScalarSegmentTest, CountStopsAtDoubleSentinel) {
+  std::vector<uint32_t> a = {5, 0xFFFFFFFFu, 0xFFFFFFFFu};
+  std::vector<uint32_t> b = {5, 0xFFFFFFFFu, 0xFFFFFFFFu};
+  EXPECT_EQ(ScalarSegmentCount(a.data(), 3, b.data(), 3), 1u);
+}
+
+TEST(ScalarSegmentTest, IntoWritesMatches) {
+  std::vector<uint32_t> a = {1, 4, 9, 12};
+  std::vector<uint32_t> b = {4, 12};
+  std::vector<uint32_t> out(3);
+  EXPECT_EQ(ScalarSegmentInto(a.data(), 4, b.data(), 2, out.data()), 2u);
+  EXPECT_EQ(out[0], 4u);
+  EXPECT_EQ(out[1], 12u);
+}
+
+TEST(ScalarSegmentTest, ProbeFindsPresentKey) {
+  std::vector<uint32_t> run = {3, 8, 20};
+  EXPECT_TRUE(ScalarProbeRun(run.data(), 3, 8));
+  EXPECT_FALSE(ScalarProbeRun(run.data(), 3, 9));
+  EXPECT_FALSE(ScalarProbeRun(run.data(), 3, 99));
+}
+
+// --- Runtime-size per-ISA helpers -----------------------------------------
+
+class SegmentHelperTest : public ::testing::TestWithParam<SimdLevel> {
+ protected:
+  void SetUp() override {
+    if (!LevelSupported(GetParam())) {
+      GTEST_SKIP() << "host lacks " << SimdLevelName(GetParam());
+    }
+  }
+};
+
+TEST_P(SegmentHelperTest, SegmentIntoMatchesReference) {
+  const Backend& backend = GetBackend(GetParam());
+  Rng rng(17);
+  for (uint32_t trial = 0; trial < 50; ++trial) {
+    uint32_t sa = 1 + static_cast<uint32_t>(rng.Below(40));
+    uint32_t sb = 1 + static_cast<uint32_t>(rng.Below(40));
+    uint32_t shared = static_cast<uint32_t>(rng.Below(std::min(sa, sb) + 1));
+    auto [a, b] = MakeRuns(sa, sb, shared, rng);
+    auto ba = ToPaddedBuffer(a, sa);
+    auto bb = ToPaddedBuffer(b, sb);
+    std::vector<uint32_t> out(std::min(sa, sb) + 1);
+    size_t r = backend.segment_into(ba.data(), sa, bb.data(), sb, out.data());
+    std::vector<uint32_t> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    ASSERT_EQ(r, expected.size());
+    for (size_t i = 0; i < r; ++i) ASSERT_EQ(out[i], expected[i]);
+  }
+}
+
+TEST_P(SegmentHelperTest, ProbeRunMatchesScalar) {
+  const Backend& backend = GetBackend(GetParam());
+  Rng rng(19);
+  std::vector<uint32_t> run = RandomSortedRun(23, 1000, rng);
+  auto buf = ToPaddedBuffer(run, 23);
+  for (uint32_t key = 0; key < 1000; ++key) {
+    bool expected = std::binary_search(run.begin(), run.end(), key);
+    ASSERT_EQ(backend.probe_run(buf.data(), 23, key), expected)
+        << "key=" << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, SegmentHelperTest,
+                         ::testing::Values(SimdLevel::kScalar, SimdLevel::kSse,
+                                           SimdLevel::kAvx2,
+                                           SimdLevel::kAvx512),
+                         [](const ::testing::TestParamInfo<SimdLevel>& info) {
+                           return SimdLevelName(info.param);
+                         });
+
+}  // namespace
+}  // namespace fesia::internal

@@ -1,0 +1,116 @@
+// k-way FESIA intersection correctness.
+#include "fesia/intersect_kway.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/intersect.h"
+#include "test_util.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::datagen::KSetsWithDensity;
+using ::fesia::datagen::ReferenceIntersection;
+using ::fesia::testing::AvailableLevels;
+
+std::vector<const FesiaSet*> Pointers(const std::vector<FesiaSet>& sets) {
+  std::vector<const FesiaSet*> out;
+  for (const FesiaSet& s : sets) out.push_back(&s);
+  return out;
+}
+
+TEST(KWayTest, MatchesReferenceForVariousK) {
+  for (size_t k : {2, 3, 4, 5}) {
+    auto raw = KSetsWithDensity(k, 3000, 0.5, k * 100);
+    size_t expected = ReferenceIntersection(raw).size();
+    std::vector<FesiaSet> sets;
+    for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+    auto ptrs = Pointers(sets);
+    for (SimdLevel level : AvailableLevels()) {
+      EXPECT_EQ(IntersectCountKWay(ptrs, level), expected)
+          << "k=" << k << " level=" << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(KWayTest, DensitySweep) {
+  for (double density : {0.1, 0.3, 0.8}) {
+    auto raw = KSetsWithDensity(3, 2000, density, 77);
+    size_t expected = ReferenceIntersection(raw).size();
+    std::vector<FesiaSet> sets;
+    for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+    auto ptrs = Pointers(sets);
+    EXPECT_EQ(IntersectCountKWay(ptrs), expected) << "density=" << density;
+  }
+}
+
+TEST(KWayTest, DegenerateArities) {
+  auto raw = KSetsWithDensity(1, 500, 0.5, 3);
+  std::vector<FesiaSet> sets;
+  sets.push_back(FesiaSet::Build(raw[0]));
+  auto ptrs = Pointers(sets);
+  EXPECT_EQ(IntersectCountKWay(ptrs), raw[0].size());
+  EXPECT_EQ(IntersectCountKWay(std::span<const FesiaSet* const>{}), 0u);
+}
+
+TEST(KWayTest, AnyEmptySetYieldsEmptyIntersection) {
+  auto raw = KSetsWithDensity(2, 1000, 0.9, 5);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  sets.push_back(FesiaSet::Build({}));
+  auto ptrs = Pointers(sets);
+  EXPECT_EQ(IntersectCountKWay(ptrs), 0u);
+}
+
+TEST(KWayTest, MixedSizesAndBitmaps) {
+  // Sets of very different sizes -> different bitmap sizes -> wrap paths.
+  std::vector<std::vector<uint32_t>> raw;
+  raw.push_back(datagen::SortedUniform(100, 5000, 1));
+  raw.push_back(datagen::SortedUniform(2000, 5000, 2));
+  raw.push_back(datagen::SortedUniform(40000, 50000, 3));
+  size_t expected = ReferenceIntersection(raw).size();
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(IntersectCountKWay(ptrs, level), expected)
+        << SimdLevelName(level);
+  }
+}
+
+TEST(KWayTest, TwoWayAgreesWithPairwise) {
+  auto raw = KSetsWithDensity(2, 4000, 0.4, 11);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  EXPECT_EQ(IntersectCountKWay(ptrs), IntersectCount(sets[0], sets[1]));
+}
+
+TEST(KWayTest, StridePaddedSetsAgree) {
+  auto raw = KSetsWithDensity(3, 1500, 0.6, 23);
+  size_t expected = ReferenceIntersection(raw).size();
+  FesiaParams p;
+  p.kernel_stride = 4;
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r, p));
+  auto ptrs = Pointers(sets);
+  EXPECT_EQ(IntersectCountKWay(ptrs), expected);
+}
+
+TEST(KWayTest, IntoMaterializesExactElements) {
+  auto raw = KSetsWithDensity(3, 2500, 0.5, 31);
+  std::vector<uint32_t> expected = ReferenceIntersection(raw);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  std::vector<uint32_t> out;
+  size_t r = IntersectIntoKWay(ptrs, &out);
+  ASSERT_EQ(r, expected.size());
+  EXPECT_EQ(out, expected);
+}
+
+}  // namespace
+}  // namespace fesia

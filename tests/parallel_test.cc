@@ -1,0 +1,158 @@
+// Multicore intersection correctness: thread counts must not change counts.
+#include "fesia/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/intersect.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+using ::fesia::datagen::SetPair;
+using ::fesia::testing::AvailableLevels;
+
+TEST(ParallelTest, ThreadCountsAgreeWithSequential) {
+  SetPair pair = PairWithSelectivity(50000, 50000, 0.02, 1);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  size_t expected = pair.intersection_size;
+  ASSERT_EQ(IntersectCount(fa, fb), expected);
+  for (size_t threads : {1, 2, 3, 4, 8}) {
+    EXPECT_EQ(IntersectCountParallel(fa, fb, threads), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTest, AllLevelsAllThreadCounts) {
+  SetPair pair = PairWithSelectivity(20000, 20000, 0.1, 2);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  for (SimdLevel level : AvailableLevels()) {
+    for (size_t threads : {1, 2, 4}) {
+      EXPECT_EQ(IntersectCountParallel(fa, fb, threads, level),
+                pair.intersection_size)
+          << SimdLevelName(level) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelTest, MoreThreadsThanChunksClamps) {
+  // A tiny set has few bitmap chunks; excess threads must be harmless.
+  SetPair pair = PairWithSelectivity(50, 50, 0.5, 3);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  EXPECT_EQ(IntersectCountParallel(fa, fb, 64), pair.intersection_size);
+}
+
+TEST(ParallelTest, SkewedBitmapSizes) {
+  SetPair pair = PairWithSelectivity(500, 80000, 0.2, 4);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  for (size_t threads : {2, 4}) {
+    EXPECT_EQ(IntersectCountParallel(fa, fb, threads),
+              pair.intersection_size)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTest, IntoParallelMatchesReferenceElements) {
+  SetPair pair = PairWithSelectivity(30000, 30000, 0.05, 6);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  std::vector<uint32_t> expected;
+  std::set_intersection(pair.a.begin(), pair.a.end(), pair.b.begin(),
+                        pair.b.end(), std::back_inserter(expected));
+  for (size_t threads : {1, 2, 4, 7}) {
+    std::vector<uint32_t> out;
+    size_t r = IntersectIntoParallel(fa, fb, &out, threads);
+    ASSERT_EQ(r, expected.size()) << "threads=" << threads;
+    EXPECT_EQ(out, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTest, IntoParallelUnsortedHasSameElements) {
+  SetPair pair = PairWithSelectivity(10000, 10000, 0.1, 7);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  std::vector<uint32_t> out;
+  IntersectIntoParallel(fa, fb, &out, 4, /*sort_output=*/false);
+  std::sort(out.begin(), out.end());
+  std::vector<uint32_t> expected;
+  std::set_intersection(pair.a.begin(), pair.a.end(), pair.b.begin(),
+                        pair.b.end(), std::back_inserter(expected));
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ParallelTest, IntoParallelAllLevels) {
+  SetPair pair = PairWithSelectivity(20000, 20000, 0.02, 8);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  for (SimdLevel level : AvailableLevels()) {
+    std::vector<uint32_t> out;
+    size_t r = IntersectIntoParallel(fa, fb, &out, 3, true, level);
+    EXPECT_EQ(r, pair.intersection_size) << SimdLevelName(level);
+  }
+}
+
+TEST(ParallelTest, IntoParallelEmpty) {
+  FesiaSet empty = FesiaSet::Build({});
+  FesiaSet some = FesiaSet::Build(datagen::SortedUniform(100, 1000, 9));
+  std::vector<uint32_t> out = {1, 2, 3};
+  EXPECT_EQ(IntersectIntoParallel(empty, some, &out, 4), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelTest, EmptyInputs) {
+  FesiaSet empty = FesiaSet::Build({});
+  FesiaSet some = FesiaSet::Build(datagen::SortedUniform(100, 1000, 5));
+  EXPECT_EQ(IntersectCountParallel(empty, some, 4), 0u);
+  EXPECT_EQ(IntersectCountParallel(some, empty, 4), 0u);
+}
+
+// --- ThreadPool / ParallelFor unit tests -----------------------------------
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, 4, [&](size_t lo, size_t hi, size_t) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < 1000; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, 4, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace fesia

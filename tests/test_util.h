@@ -1,0 +1,65 @@
+// Shared helpers for the FESIA test suite.
+#ifndef FESIA_TESTS_TEST_UTIL_H_
+#define FESIA_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/cpu.h"
+#include "util/rng.h"
+
+namespace fesia::testing {
+
+/// SIMD levels this host can execute (always includes kScalar).
+inline std::vector<SimdLevel> AvailableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  SimdLevel max = DetectSimdLevel();
+  if (static_cast<int>(max) >= static_cast<int>(SimdLevel::kSse)) {
+    levels.push_back(SimdLevel::kSse);
+  }
+  if (static_cast<int>(max) >= static_cast<int>(SimdLevel::kAvx2)) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  if (static_cast<int>(max) >= static_cast<int>(SimdLevel::kAvx512)) {
+    levels.push_back(SimdLevel::kAvx512);
+  }
+  return levels;
+}
+
+/// Sorted run of `n` distinct values below `bound`, excluding the sentinel.
+inline std::vector<uint32_t> RandomSortedRun(uint32_t n, uint32_t bound,
+                                             Rng& rng) {
+  std::vector<uint32_t> v;
+  while (v.size() < n) {
+    v.push_back(static_cast<uint32_t>(rng.Below(bound)));
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return v;
+}
+
+/// Copies a run into a sentinel-padded aligned buffer of `slots` elements
+/// (slots >= run length), mimicking a FesiaSet segment run in situ.
+inline AlignedBuffer<uint32_t> ToPaddedBuffer(const std::vector<uint32_t>& run,
+                                              uint32_t slots) {
+  AlignedBuffer<uint32_t> buf(slots, /*pad_elements=*/32);
+  for (size_t i = 0; i < buf.padded_size(); ++i) buf[i] = 0xFFFFFFFFu;
+  std::copy(run.begin(), run.end(), buf.data());
+  return buf;
+}
+
+/// Exact intersection size of two sorted runs (duplicates not allowed).
+inline uint32_t RefCount(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return static_cast<uint32_t>(out.size());
+}
+
+}  // namespace fesia::testing
+
+#endif  // FESIA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,96 @@
+// Triangle counting across all intersection backends.
+#include "graph/triangle.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace fesia::graph {
+namespace {
+
+using ::fesia::testing::AvailableLevels;
+
+// K4: 4 triangles. K4 plus a pendant vertex: still 4.
+Graph CompleteGraph(uint32_t n) {
+  std::vector<Edge> edges;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+TEST(TriangleTest, KnownSmallGraphs) {
+  Graph k3 = CompleteGraph(3);
+  Graph k4 = CompleteGraph(4);
+  Graph k5 = CompleteGraph(5);
+  const auto* scalar = baselines::FindBaseline("Scalar");
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_EQ(CountTriangles(k3.DegreeOrientedDag(), scalar->fn), 1u);
+  EXPECT_EQ(CountTriangles(k4.DegreeOrientedDag(), scalar->fn), 4u);
+  EXPECT_EQ(CountTriangles(k5.DegreeOrientedDag(), scalar->fn), 10u);
+}
+
+TEST(TriangleTest, TriangleFreeGraph) {
+  // A star has no triangles.
+  std::vector<Edge> edges;
+  for (uint32_t v = 1; v < 50; ++v) edges.push_back({0, v});
+  Graph star = Graph::FromEdges(50, edges);
+  const auto* scalar = baselines::FindBaseline("Scalar");
+  EXPECT_EQ(CountTriangles(star.DegreeOrientedDag(), scalar->fn), 0u);
+}
+
+TEST(TriangleTest, AllBaselinesAgreeOnRmat) {
+  RmatParams p;
+  p.num_nodes = 1 << 10;
+  p.num_edges = 8 << 10;
+  Graph g = GenerateRmatGraph(p);
+  Graph dag = g.DegreeOrientedDag();
+  uint64_t expected =
+      CountTriangles(dag, baselines::FindBaseline("Scalar")->fn);
+  for (const auto& m : baselines::AllBaselines()) {
+    EXPECT_EQ(CountTriangles(dag, m.fn), expected) << m.name;
+  }
+}
+
+TEST(TriangleTest, FesiaAgreesOnRmatAllLevels) {
+  RmatParams p;
+  p.num_nodes = 1 << 10;
+  p.num_edges = 8 << 10;
+  Graph g = GenerateRmatGraph(p);
+  Graph dag = g.DegreeOrientedDag();
+  uint64_t expected =
+      CountTriangles(dag, baselines::FindBaseline("Scalar")->fn);
+  FesiaTriangleCounter counter(&dag, FesiaParams{});
+  EXPECT_GT(counter.construction_seconds(), 0.0);
+  EXPECT_GT(counter.memory_bytes(), 0u);
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(counter.Count(level), expected) << SimdLevelName(level);
+  }
+}
+
+TEST(TriangleTest, FesiaParallelAgrees) {
+  RmatParams p;
+  p.num_nodes = 1 << 9;
+  p.num_edges = 4 << 9;
+  Graph dag = GenerateRmatGraph(p).DegreeOrientedDag();
+  uint64_t expected =
+      CountTriangles(dag, baselines::FindBaseline("Scalar")->fn);
+  FesiaTriangleCounter counter(&dag, FesiaParams{});
+  for (size_t threads : {1, 2, 4}) {
+    EXPECT_EQ(counter.Count(SimdLevel::kAuto, threads), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(TriangleTest, EmptyAndTinyGraphs) {
+  Graph empty = Graph::FromEdges(10, {});
+  const auto* scalar = baselines::FindBaseline("Scalar");
+  EXPECT_EQ(CountTriangles(empty.DegreeOrientedDag(), scalar->fn), 0u);
+  Graph one_edge = Graph::FromEdges(2, std::vector<Edge>{{0, 1}});
+  EXPECT_EQ(CountTriangles(one_edge.DegreeOrientedDag(), scalar->fn), 0u);
+}
+
+}  // namespace
+}  // namespace fesia::graph

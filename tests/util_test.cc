@@ -1,0 +1,339 @@
+// Unit tests for the util substrate.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/bits.h"
+#include "util/cpu.h"
+#include "util/perf_counters.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace fesia {
+namespace {
+
+// --- bits -------------------------------------------------------------------
+
+TEST(BitsTest, RoundUpPow2) {
+  EXPECT_EQ(RoundUpPow2(0), 1u);
+  EXPECT_EQ(RoundUpPow2(1), 1u);
+  EXPECT_EQ(RoundUpPow2(2), 2u);
+  EXPECT_EQ(RoundUpPow2(3), 4u);
+  EXPECT_EQ(RoundUpPow2(4), 4u);
+  EXPECT_EQ(RoundUpPow2(5), 8u);
+  EXPECT_EQ(RoundUpPow2(1023), 1024u);
+  EXPECT_EQ(RoundUpPow2(1024), 1024u);
+  EXPECT_EQ(RoundUpPow2((1ull << 40) + 1), 1ull << 41);
+}
+
+TEST(BitsTest, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(2));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_TRUE(IsPow2(1ull << 63));
+  EXPECT_FALSE(IsPow2((1ull << 63) + 1));
+}
+
+TEST(BitsTest, Log2Pow2) {
+  EXPECT_EQ(Log2Pow2(1), 0);
+  EXPECT_EQ(Log2Pow2(2), 1);
+  EXPECT_EQ(Log2Pow2(1024), 10);
+  EXPECT_EQ(Log2Pow2(1ull << 50), 50);
+}
+
+TEST(BitsTest, CountTrailingZeros64) {
+  EXPECT_EQ(CountTrailingZeros64(0), 64);
+  EXPECT_EQ(CountTrailingZeros64(1), 0);
+  EXPECT_EQ(CountTrailingZeros64(8), 3);
+  EXPECT_EQ(CountTrailingZeros64(1ull << 63), 63);
+}
+
+TEST(BitsTest, ClearLowestBitWalksSetBits) {
+  uint64_t v = 0b1011000;
+  std::vector<int> positions;
+  while (v) {
+    positions.push_back(CountTrailingZeros64(v));
+    v = ClearLowestBit(v);
+  }
+  EXPECT_EQ(positions, (std::vector<int>{3, 4, 6}));
+}
+
+TEST(BitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+// --- AlignedBuffer -----------------------------------------------------------
+
+TEST(AlignedBufferTest, AlignmentAndZeroInit) {
+  AlignedBuffer<uint32_t> buf(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kVectorAlignment, 0u);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_GT(buf.padded_size(), 100u);
+  for (size_t i = 0; i < buf.padded_size(); ++i) EXPECT_EQ(buf[i], 0u);
+}
+
+TEST(AlignedBufferTest, CopySemantics) {
+  AlignedBuffer<uint32_t> a(10);
+  for (size_t i = 0; i < 10; ++i) a[i] = static_cast<uint32_t>(i * i);
+  AlignedBuffer<uint32_t> b = a;
+  EXPECT_EQ(b.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(b[i], i * i);
+  b[0] = 999;
+  EXPECT_EQ(a[0], 0u);  // deep copy
+}
+
+TEST(AlignedBufferTest, MoveSemantics) {
+  AlignedBuffer<uint64_t> a(5);
+  a[3] = 7;
+  const uint64_t* p = a.data();
+  AlignedBuffer<uint64_t> b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[3], 7u);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBufferTest, EmptyBuffer) {
+  AlignedBuffer<uint32_t> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RoughlyUniform) {
+  Rng rng(31);
+  int buckets[10] = {0};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.Below(10)];
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b], kDraws / 10, kDraws / 100) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, InRangeInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.InRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolTracksProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+// --- perf counters -----------------------------------------------------------
+
+// Hardware counters may be denied (containers, perf_event_paranoid); the
+// wrapper must degrade gracefully either way.
+TEST(PerfCounterTest, GracefulWhetherGrantedOrDenied) {
+  PerfCounter counter(PerfEvent::kInstructions);
+  counter.Start();
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<uint64_t>(i);
+  counter.Stop();
+  if (counter.ok()) {
+    EXPECT_GT(counter.value(), 0u);
+  } else {
+    EXPECT_EQ(counter.value(), 0u);  // denied: value stays zero, no crash
+  }
+}
+
+TEST(PerfCounterTest, EventNames) {
+  EXPECT_STREQ(PerfEventName(PerfEvent::kL1IcacheMisses),
+               "L1-icache-misses");
+  EXPECT_STREQ(PerfEventName(PerfEvent::kInstructions), "instructions");
+  EXPECT_STREQ(PerfEventName(PerfEvent::kCycles), "cycles");
+  EXPECT_STREQ(PerfEventName(PerfEvent::kBranchMisses), "branch-misses");
+  EXPECT_STREQ(PerfEventName(PerfEvent::kL1DcacheMisses),
+               "L1-dcache-misses");
+}
+
+TEST(PerfCounterTest, StartStopReusable) {
+  PerfCounter counter(PerfEvent::kCycles);
+  for (int round = 0; round < 3; ++round) {
+    counter.Start();
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x += i;
+    counter.Stop();
+  }
+  SUCCEED();
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(StatsTest, SummarizeBasics) {
+  SampleStats s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(StatsTest, EvenCountMedian) {
+  SampleStats s = Summarize({1, 2, 3, 10});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(StatsTest, EmptyInput) {
+  SampleStats s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+}
+
+TEST(StatsTest, Quantiles) {
+  std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 10);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 30);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 50);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 20);
+}
+
+// --- cpu ---------------------------------------------------------------------
+
+TEST(CpuTest, DetectedLevelIsStable) {
+  EXPECT_EQ(DetectSimdLevel(), DetectSimdLevel());
+}
+
+TEST(CpuTest, ResolveClampsToDetected) {
+  SimdLevel max = DetectSimdLevel();
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kAuto), max);
+  EXPECT_EQ(ResolveSimdLevel(SimdLevel::kScalar), SimdLevel::kScalar);
+  SimdLevel r = ResolveSimdLevel(SimdLevel::kAvx512);
+  EXPECT_LE(static_cast<int>(r), static_cast<int>(max));
+}
+
+TEST(CpuTest, WidthsAndLanes) {
+  EXPECT_EQ(SimdWidthBits(SimdLevel::kScalar), 64);
+  EXPECT_EQ(SimdWidthBits(SimdLevel::kSse), 128);
+  EXPECT_EQ(SimdWidthBits(SimdLevel::kAvx2), 256);
+  EXPECT_EQ(SimdWidthBits(SimdLevel::kAvx512), 512);
+  EXPECT_EQ(SimdLanes32(SimdLevel::kSse), 4);
+  EXPECT_EQ(SimdLanes32(SimdLevel::kAvx2), 8);
+  EXPECT_EQ(SimdLanes32(SimdLevel::kAvx512), 16);
+}
+
+TEST(CpuTest, Names) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kSse), "sse");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx512), "avx512");
+}
+
+// --- timer -------------------------------------------------------------------
+
+TEST(TimerTest, TscMonotonic) {
+  uint64_t a = ReadTsc();
+  uint64_t b = ReadTsc();
+  EXPECT_LE(a, b);
+}
+
+TEST(TimerTest, TscFrequencyPlausible) {
+  double hz = TscHz();
+  EXPECT_GT(hz, 1e8);   // > 100 MHz
+  EXPECT_LT(hz, 1e11);  // < 100 GHz
+}
+
+TEST(TimerTest, WallTimerAdvances) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1;
+  EXPECT_GE(t.Seconds(), 0.0);
+}
+
+// --- TablePrinter ------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp("demo");
+  tp.SetHeader({"name", "value"});
+  tp.AddRow({"a", "1"});
+  tp.AddRow({"long-name", "22"});
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter tp;
+  tp.SetHeader({"a", "b", "c"});
+  tp.AddRow({"x"});
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find('x'), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Speedup(2.5), "2.50x");
+}
+
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter tp("csv demo");
+  tp.SetHeader({"name", "value"});
+  tp.AddRow({"plain", "1"});
+  tp.AddRow({"with,comma", "quote\"inside"});
+  std::string csv = tp.ToCsv();
+  EXPECT_NE(csv.find("# csv demo"), std::string::npos);
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fesia

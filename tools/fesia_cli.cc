@@ -1,0 +1,247 @@
+// fesia_cli — command-line front end to the FESIA library.
+//
+// Subcommands:
+//   generate   write a synthetic sorted set (or pair) to disk
+//   encode     build a FesiaSet from a raw set file and serialize it
+//   intersect  intersect two set files with any method in the registry
+//   info       print the structural statistics of a set file
+//
+// Set files hold raw little-endian uint32 values ("raw" format) or a
+// serialized FesiaSet ("fesia" format, magic-tagged; auto-detected).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "datagen/datagen.h"
+#include "fesia/fesia.h"
+#include "util/cpu.h"
+#include "util/timer.h"
+
+namespace {
+
+using fesia::FesiaParams;
+using fesia::FesiaSet;
+using fesia::SimdLevel;
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: fesia_cli <command> [options]
+
+commands:
+  generate --n N [--universe U] [--seed S] --out FILE
+      write a sorted duplicate-free uniform set of N uint32 keys
+  generate-pair --n1 N --n2 N --selectivity S [--seed S] --out-a F --out-b F
+      write a pair with an exact intersection size
+  encode --in FILE --out FILE [--segment-bits 8|16|32] [--stride 1|2|4|8]
+      build a FesiaSet from a raw set file and serialize it
+  intersect --a FILE --b FILE [--method M] [--level L] [--reps R]
+      intersect two files; M is fesia|fesia-hash|fesia-auto or a baseline
+      (Scalar, ScalarGalloping, Shuffling, BMiss, SIMDGalloping, Hash);
+      L is scalar|sse|avx2|avx512|auto
+  info --in FILE
+      structural statistics of a raw or encoded set file
+)");
+  return 2;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    flags[key.substr(2)] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& def) {
+  auto it = flags.find(key);
+  return it == flags.end() ? def : it->second;
+}
+
+bool WriteFile(const std::string& path, const void* data, size_t bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  return out.good();
+}
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* bytes) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  bytes->resize(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes->data()), size);
+  return in.good();
+}
+
+// Loads either a serialized FesiaSet or a raw uint32 file (re-encoding it
+// with default parameters). Returns false on error.
+bool LoadAsFesia(const std::string& path, FesiaSet* set,
+                 std::vector<uint32_t>* raw) {
+  std::vector<uint8_t> bytes;
+  if (!ReadFile(path, &bytes)) return false;
+  if (FesiaSet::Deserialize(bytes, set)) {
+    *raw = set->ToSortedVector();
+    return true;
+  }
+  if (bytes.size() % 4 != 0) {
+    std::fprintf(stderr, "%s: not a FesiaSet and size %% 4 != 0\n",
+                 path.c_str());
+    return false;
+  }
+  raw->resize(bytes.size() / 4);
+  std::memcpy(raw->data(), bytes.data(), bytes.size());
+  *set = FesiaSet::Build(*raw);
+  return true;
+}
+
+SimdLevel ParseLevel(const std::string& s) {
+  if (s == "scalar") return SimdLevel::kScalar;
+  if (s == "sse") return SimdLevel::kSse;
+  if (s == "avx2") return SimdLevel::kAvx2;
+  if (s == "avx512") return SimdLevel::kAvx512;
+  return SimdLevel::kAuto;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  size_t n = std::stoull(FlagOr(flags, "n", "0"));
+  uint64_t universe = std::stoull(FlagOr(flags, "universe", "0"));
+  if (universe == 0) universe = 16 * n + 64;
+  uint64_t seed = std::stoull(FlagOr(flags, "seed", "1"));
+  std::string out = FlagOr(flags, "out", "");
+  if (n == 0 || out.empty()) return Usage();
+  std::vector<uint32_t> v = fesia::datagen::SortedUniform(n, universe, seed);
+  if (!WriteFile(out, v.data(), v.size() * 4)) return 1;
+  std::printf("wrote %zu keys to %s\n", v.size(), out.c_str());
+  return 0;
+}
+
+int CmdGeneratePair(const std::map<std::string, std::string>& flags) {
+  size_t n1 = std::stoull(FlagOr(flags, "n1", "0"));
+  size_t n2 = std::stoull(FlagOr(flags, "n2", "0"));
+  double sel = std::stod(FlagOr(flags, "selectivity", "0.1"));
+  uint64_t seed = std::stoull(FlagOr(flags, "seed", "1"));
+  std::string out_a = FlagOr(flags, "out-a", "");
+  std::string out_b = FlagOr(flags, "out-b", "");
+  if (n1 == 0 || n2 == 0 || out_a.empty() || out_b.empty()) return Usage();
+  auto pair = fesia::datagen::PairWithSelectivity(n1, n2, sel, seed);
+  if (!WriteFile(out_a, pair.a.data(), pair.a.size() * 4)) return 1;
+  if (!WriteFile(out_b, pair.b.data(), pair.b.size() * 4)) return 1;
+  std::printf("wrote %zu + %zu keys, |A ∩ B| = %zu\n", pair.a.size(),
+              pair.b.size(), pair.intersection_size);
+  return 0;
+}
+
+int CmdEncode(const std::map<std::string, std::string>& flags) {
+  std::string in = FlagOr(flags, "in", "");
+  std::string out = FlagOr(flags, "out", "");
+  if (in.empty() || out.empty()) return Usage();
+  std::vector<uint8_t> bytes;
+  if (!ReadFile(in, &bytes) || bytes.size() % 4 != 0) return 1;
+  std::vector<uint32_t> raw(bytes.size() / 4);
+  std::memcpy(raw.data(), bytes.data(), bytes.size());
+  FesiaParams params;
+  params.segment_bits = std::stoi(FlagOr(flags, "segment-bits", "16"));
+  params.kernel_stride = std::stoi(FlagOr(flags, "stride", "1"));
+  fesia::WallTimer timer;
+  FesiaSet set = FesiaSet::Build(raw, params);
+  double build_s = timer.Seconds();
+  std::vector<uint8_t> blob = set.Serialize();
+  if (!WriteFile(out, blob.data(), blob.size())) return 1;
+  std::printf(
+      "encoded %u keys in %.3f s: m = %u bits, %u segments, %zu bytes\n",
+      set.size(), build_s, set.bitmap_bits(), set.num_segments(),
+      blob.size());
+  return 0;
+}
+
+int CmdIntersect(const std::map<std::string, std::string>& flags) {
+  std::string file_a = FlagOr(flags, "a", "");
+  std::string file_b = FlagOr(flags, "b", "");
+  if (file_a.empty() || file_b.empty()) return Usage();
+  std::string method = FlagOr(flags, "method", "fesia");
+  SimdLevel level = ParseLevel(FlagOr(flags, "level", "auto"));
+  int reps = std::stoi(FlagOr(flags, "reps", "5"));
+
+  FesiaSet fa, fb;
+  std::vector<uint32_t> raw_a, raw_b;
+  if (!LoadAsFesia(file_a, &fa, &raw_a)) return 1;
+  if (!LoadAsFesia(file_b, &fb, &raw_b)) return 1;
+
+  size_t result = 0;
+  double best_ms = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    fesia::WallTimer timer;
+    if (method == "fesia") {
+      result = fesia::IntersectCount(fa, fb, level);
+    } else if (method == "fesia-hash") {
+      result = fesia::IntersectCountHash(fa, fb, level);
+    } else if (method == "fesia-auto") {
+      result = fesia::IntersectCountAuto(fa, fb, level);
+    } else {
+      const auto* m = fesia::baselines::FindBaseline(method);
+      if (m == nullptr) {
+        std::fprintf(stderr, "unknown method %s\n", method.c_str());
+        return 2;
+      }
+      result = m->fn(raw_a.data(), raw_a.size(), raw_b.data(), raw_b.size());
+    }
+    best_ms = std::min(best_ms, timer.Millis());
+  }
+  std::printf("|A| = %zu, |B| = %zu, |A ∩ B| = %zu, method = %s, "
+              "best of %d: %.3f ms\n",
+              raw_a.size(), raw_b.size(), result, method.c_str(), reps,
+              best_ms);
+  return 0;
+}
+
+int CmdInfo(const std::map<std::string, std::string>& flags) {
+  std::string in = FlagOr(flags, "in", "");
+  if (in.empty()) return Usage();
+  FesiaSet set;
+  std::vector<uint32_t> raw;
+  if (!LoadAsFesia(in, &set, &raw)) return 1;
+  FesiaSet::Stats st = set.ComputeStats();
+  std::printf("keys:              %u\n", set.size());
+  std::printf("bitmap bits (m):   %u\n", set.bitmap_bits());
+  std::printf("segment bits (s):  %d\n", set.segment_bits());
+  std::printf("segments:          %u (%u non-empty)\n", set.num_segments(),
+              st.nonempty_segments);
+  std::printf("max segment size:  %u\n", st.max_segment_size);
+  std::printf("kernel stride:     %d (%u padding slots)\n",
+              set.kernel_stride(), st.padded_elements);
+  std::printf("memory:            %zu bytes\n", st.memory_bytes);
+  std::printf("host SIMD:         %s\n",
+              fesia::SimdLevelName(fesia::DetectSimdLevel()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "generate-pair") return CmdGeneratePair(flags);
+  if (cmd == "encode") return CmdEncode(flags);
+  if (cmd == "intersect") return CmdIntersect(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  return Usage();
+}
