@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Robustness gate: build and run the full test suite under ASan and UBSan
+# in addition to the plain release build. Every fault-injection and
+# corruption test must pass with zero sanitizer reports.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+
+for preset in default asan ubsan; do
+  echo "=== [$preset] configure + build ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] ctest ==="
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "All presets passed."

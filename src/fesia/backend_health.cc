@@ -1,0 +1,124 @@
+#include "fesia/backend_health.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "fesia/backends.h"
+#include "fesia/fesia_set.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace fesia {
+namespace {
+
+std::mutex g_mutex;
+bool g_valid = false;
+BackendHealth g_health;
+
+// Seeded sample pair used as the cross-validation workload: two overlapping
+// sets large enough that every kernel family (small-run lookup kernels,
+// galloping fallbacks, bitmap chunk loop) executes at least once.
+void MakeSamplePair(std::vector<uint32_t>* a, std::vector<uint32_t>* b) {
+  Rng rng(0xFE51A5E1Full);
+  a->clear();
+  b->clear();
+  for (int i = 0; i < 2048; ++i) {
+    uint32_t shared = static_cast<uint32_t>(rng.Below(1u << 20));
+    a->push_back(shared);
+    b->push_back(shared);
+  }
+  for (int i = 0; i < 2048; ++i) {
+    a->push_back(static_cast<uint32_t>(rng.Below(1u << 20)));
+    b->push_back(static_cast<uint32_t>(rng.Below(1u << 20)));
+  }
+}
+
+BackendHealth RunSelfCheck() {
+  BackendHealth h;
+  h.detected = DetectSimdLevel();
+
+  std::vector<uint32_t> a, b;
+  MakeSamplePair(&a, &b);
+  FesiaSet fa = FesiaSet::Build(a);
+  FesiaSet fb = FesiaSet::Build(b);
+
+  const uint64_t expected =
+      internal::GetBackendRaw(SimdLevel::kScalar).count(fa, fb);
+  BackendCheckResult& scalar_check =
+      h.checks[static_cast<int>(SimdLevel::kScalar)];
+  scalar_check = {SimdLevel::kScalar, /*supported=*/true, /*checked=*/false,
+                  /*healthy=*/true, expected, expected};
+  h.effective = SimdLevel::kScalar;
+
+  // Widest level first, so an armed backend-downgrade fault quarantines the
+  // level that would otherwise serve dispatch.
+  for (int l = static_cast<int>(h.detected); l >= 1; --l) {
+    const SimdLevel level = static_cast<SimdLevel>(l);
+    BackendCheckResult& check = h.checks[l];
+    check.level = level;
+    check.supported = true;
+    check.checked = true;
+    check.expected = expected;
+    check.observed = internal::GetBackendRaw(level).count(fa, fb);
+    if (fault::ShouldFail(fault::FaultPoint::kBackendDowngrade)) {
+      // Simulate a miscompiled backend: report a count mismatch.
+      check.observed = expected + 1;
+    }
+    check.healthy = check.observed == expected;
+  }
+  for (int l = static_cast<int>(h.detected); l >= 1; --l) {
+    if (h.checks[l].healthy) {
+      h.effective = static_cast<SimdLevel>(l);
+      break;
+    }
+  }
+  h.degraded = h.effective != h.detected;
+  return h;
+}
+
+}  // namespace
+
+std::string BackendHealth::ToString() const {
+  std::string s = "backend health: detected ";
+  s += SimdLevelName(detected);
+  s += ", effective ";
+  s += SimdLevelName(effective);
+  s += degraded ? " (DEGRADED)\n" : "\n";
+  for (int l = 3; l >= 0; --l) {
+    const BackendCheckResult& c = checks[l];
+    if (!c.supported) continue;
+    s += "  ";
+    s += SimdLevelName(static_cast<SimdLevel>(l));
+    if (!c.checked) {
+      s += ": reference\n";
+    } else if (c.healthy) {
+      s += ": ok (count " + std::to_string(c.observed) + ")\n";
+    } else {
+      s += ": QUARANTINED (expected " + std::to_string(c.expected) +
+           ", observed " + std::to_string(c.observed) + ")\n";
+    }
+  }
+  return s;
+}
+
+const BackendHealth& GetBackendHealth() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_valid) {
+    g_health = RunSelfCheck();
+    g_valid = true;
+  }
+  return g_health;
+}
+
+SimdLevel EffectiveSimdLevel() { return GetBackendHealth().effective; }
+
+namespace internal {
+
+void ResetBackendHealthForTest() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_valid = false;
+}
+
+}  // namespace internal
+}  // namespace fesia

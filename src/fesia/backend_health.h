@@ -1,0 +1,59 @@
+// One-time startup self-check of the SIMD backends, with graceful
+// degradation.
+//
+// Before the first dispatched intersection, every backend the CPU supports
+// is cross-validated against the scalar reference on a seeded sample pair.
+// A backend whose count disagrees (broken build flags, miscompiled kernel,
+// or an injected fault::kBackendDowngrade) is quarantined and dispatch
+// falls back to the widest level that did pass — correctness degrades to a
+// narrower ISA instead of silently returning wrong counts. The decision is
+// observable through GetBackendHealth().
+#ifndef FESIA_FESIA_BACKEND_HEALTH_H_
+#define FESIA_FESIA_BACKEND_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/cpu.h"
+
+namespace fesia {
+
+/// Outcome of one backend's self-check.
+struct BackendCheckResult {
+  SimdLevel level = SimdLevel::kScalar;
+  bool supported = false;   // the CPU can execute this level
+  bool checked = false;     // the self-check ran (scalar is the reference)
+  bool healthy = false;     // count matched the scalar reference
+  uint64_t expected = 0;    // scalar reference count
+  uint64_t observed = 0;    // this backend's count
+};
+
+/// Aggregate report of the startup self-check.
+struct BackendHealth {
+  SimdLevel detected = SimdLevel::kScalar;   // cpuid (possibly env-capped)
+  SimdLevel effective = SimdLevel::kScalar;  // widest healthy level
+  bool degraded = false;                     // effective < detected
+  BackendCheckResult checks[4];              // indexed by SimdLevel 0..3
+
+  /// Multi-line human-readable summary for logs/CLI.
+  std::string ToString() const;
+};
+
+/// Runs the self-check on first call (thread-safe) and returns the cached
+/// report.
+const BackendHealth& GetBackendHealth();
+
+/// Widest SIMD level whose backend passed the self-check. Dispatch clamps
+/// to this, so a quarantined backend can never execute.
+SimdLevel EffectiveSimdLevel();
+
+namespace internal {
+/// Discards the cached report so the next GetBackendHealth() re-runs the
+/// self-check. Test-only: lets fault-injection tests rehearse quarantine
+/// and then restore full dispatch.
+void ResetBackendHealthForTest();
+}  // namespace internal
+
+}  // namespace fesia
+
+#endif  // FESIA_FESIA_BACKEND_HEALTH_H_

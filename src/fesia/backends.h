@@ -56,8 +56,15 @@ struct Backend {
 };
 
 /// Backend for a SIMD level; kAuto and unsupported levels resolve via
-/// ResolveSimdLevel.
+/// ResolveSimdLevel, then clamp to EffectiveSimdLevel() so a backend
+/// quarantined by the startup self-check (fesia/backend_health.h) never
+/// serves dispatch.
 const Backend& GetBackend(SimdLevel level);
+
+/// Function table for a concrete level with no resolution, clamping, or
+/// health check. Used by the self-check itself; `level` must be a compiled
+/// backend (kScalar..kAvx512), not kAuto.
+const Backend& GetBackendRaw(SimdLevel level);
 
 /// Segment-range alignment required by count_range: the number of segments
 /// one bitmap chunk covers at this level and segment width.

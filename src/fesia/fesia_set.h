@@ -19,6 +19,7 @@
 
 #include "util/aligned_buffer.h"
 #include "util/cpu.h"
+#include "util/status.h"
 
 namespace fesia {
 
@@ -111,14 +112,18 @@ class FesiaSet {
   /// Copies the elements out in fully sorted order (drops padding).
   std::vector<uint32_t> ToSortedVector() const;
 
-  /// Serializes the structure to a portable little-endian byte buffer.
+  /// Serializes the structure to a portable little-endian byte buffer
+  /// (snapshot format v2: CRC32C-checksummed, see docs/ROBUSTNESS.md).
   /// The offline phase (paper Sec. III-A) is the expensive part; persisting
   /// it lets services build once and map/load at query time.
   std::vector<uint8_t> Serialize() const;
 
-  /// Reconstructs a set from Serialize() output. Returns false (leaving
-  /// `out` untouched) on malformed or version-mismatched input.
-  static bool Deserialize(std::span<const uint8_t> bytes, FesiaSet* out);
+  /// Reconstructs a set from Serialize() output (v2) or a legacy v1 blob.
+  /// On any malformed, truncated, or corrupted input returns a non-OK
+  /// Status (kCorruption / kResourceExhausted) and leaves `out` untouched;
+  /// a blob that passes is structurally indistinguishable from a freshly
+  /// built set (every element is re-hashed and the bitmap recomputed).
+  static Status Deserialize(std::span<const uint8_t> bytes, FesiaSet* out);
 
   /// Diagnostics used by tests and benches.
   struct Stats {

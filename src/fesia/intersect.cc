@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "fesia/backend_health.h"
 #include "fesia/backends.h"
 #include "util/check.h"
 
 namespace fesia {
 namespace internal {
 
-const Backend& GetBackend(SimdLevel level) {
+const Backend& GetBackendRaw(SimdLevel level) {
   static const Backend kBackends[] = {
       {SimdLevel::kScalar, &scalar::IntersectCount,
        &scalar::IntersectCountRange, &scalar::IntersectInto,
@@ -27,8 +28,18 @@ const Backend& GetBackend(SimdLevel level) {
        &avx512::IntersectIntoRange, &avx512::IntersectCountInstrumented,
        &avx512::Kernels, &avx512::SegmentInto, &avx512::ProbeRun},
   };
+  FESIA_CHECK(level != SimdLevel::kAuto);
+  return kBackends[static_cast<int>(level)];
+}
+
+const Backend& GetBackend(SimdLevel level) {
   SimdLevel resolved = ResolveSimdLevel(level);
-  return kBackends[static_cast<int>(resolved)];
+  // Never dispatch to a backend the startup self-check quarantined.
+  SimdLevel effective = EffectiveSimdLevel();
+  if (static_cast<int>(resolved) > static_cast<int>(effective)) {
+    resolved = effective;
+  }
+  return GetBackendRaw(resolved);
 }
 
 uint32_t SegmentChunk(SimdLevel level, int segment_bits) {

@@ -1,159 +1,300 @@
-// FesiaSet serialization: a flat little-endian layout with a magic tag and
-// version so services can persist the offline phase.
+// FesiaSet serialization: a flat little-endian layout with a magic tag,
+// version, and (since v2) a CRC32C integrity footer so services can persist
+// the offline phase and trust what they load back.
 //
-// Layout (all integers little-endian):
-//   u64 magic "FESIASET"        u32 version
+// v2 layout (all integers little-endian; current writer):
+//   u64 magic "FESIASET"        u32 version = 2
 //   u32 n                       u32 bitmap_bits
 //   u32 segment_bits            u32 kernel_stride
 //   f64 bitmap_scale            u32 simd_level
-//   u64 bitmap_word_count       u64 bitmap words...
-//   u64 offsets_count           u32 offsets...
-//   u64 reordered_count         u32 reordered elements...
+//   u64 bitmap_word_count       u64 offsets_count
+//   u64 reordered_count
+//   bitmap words...  offsets...  reordered elements...   (raw, no counts)
+//   u32 crc32c over every preceding byte
+//
+// v1 layout (read-compatible; no checksum, counts inline):
+//   u64 magic  u32 version = 1
+//   u32 n  u32 bitmap_bits  u32 segment_bits  u32 kernel_stride
+//   f64 bitmap_scale  u32 simd_level
+//   u64 count + bitmap words...  u64 count + offsets...
+//   u64 count + reordered...
+//
+// Both versions pass the same deep validation after parsing: every stored
+// element is re-hashed to confirm segment membership, runs must be strictly
+// ascending with sentinel padding only at the tail, offsets must be
+// consistent with kernel_stride, and the bitmap must equal the bitmap
+// recomputed from the elements. A v1 blob therefore loads with full
+// structural guarantees; only the checksum is v2-exclusive.
+#include <cmath>
 #include <cstring>
+#include <string>
 #include <type_traits>
 
 #include "fesia/fesia_set.h"
+#include "fesia/hashing.h"
 #include "util/bits.h"
+#include "util/byte_io.h"
+#include "util/crc32c.h"
+#include "util/status.h"
 
 namespace fesia {
 namespace {
 
 constexpr uint64_t kMagic = 0x5445534149534546ull;  // "FESIASET" LE
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
 
-class Writer {
- public:
-  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
-
-  template <typename T>
-  void Put(T v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    size_t pos = out_->size();
-    out_->resize(pos + sizeof(T));
-    std::memcpy(out_->data() + pos, &v, sizeof(T));
-  }
-
-  template <typename T>
-  void PutArray(const T* data, size_t count) {
-    Put<uint64_t>(count);
-    size_t pos = out_->size();
-    out_->resize(pos + count * sizeof(T));
-    std::memcpy(out_->data() + pos, data, count * sizeof(T));
-  }
-
- private:
-  std::vector<uint8_t>* out_;
+/// Header fields common to v1 and v2, validated to the ranges Build()
+/// guarantees before anything is cast to an enum or used as a size.
+struct Header {
+  uint32_t n = 0;
+  uint32_t bitmap_bits = 0;
+  uint32_t segment_bits = 0;
+  uint32_t kernel_stride = 0;
+  double bitmap_scale = 0;
+  uint32_t simd_level = 0;
 };
 
-class Reader {
- public:
-  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+Status ReadAndValidateHeader(ByteReader& r, Header* h) {
+  if (!r.Get(&h->n) || !r.Get(&h->bitmap_bits) || !r.Get(&h->segment_bits) ||
+      !r.Get(&h->kernel_stride) || !r.Get(&h->bitmap_scale) ||
+      !r.Get(&h->simd_level)) {
+    return Status::Corruption("truncated snapshot header");
+  }
+  if (!IsPow2(h->bitmap_bits) || h->bitmap_bits < 512) {
+    return Status::Corruption("bitmap_bits " + std::to_string(h->bitmap_bits) +
+                              " is not a power of two >= 512");
+  }
+  if (h->segment_bits != 8 && h->segment_bits != 16 &&
+      h->segment_bits != 32) {
+    return Status::Corruption("segment_bits " +
+                              std::to_string(h->segment_bits) +
+                              " not in {8, 16, 32}");
+  }
+  if (h->kernel_stride != 1 && h->kernel_stride != 2 &&
+      h->kernel_stride != 4 && h->kernel_stride != 8) {
+    return Status::Corruption("kernel_stride " +
+                              std::to_string(h->kernel_stride) +
+                              " not in {1, 2, 4, 8}");
+  }
+  // Range-check before any static_cast<SimdLevel>: a hostile u32 must not
+  // become an out-of-enum value.
+  if (h->simd_level > static_cast<uint32_t>(SimdLevel::kAvx512) &&
+      h->simd_level != static_cast<uint32_t>(SimdLevel::kAuto)) {
+    return Status::Corruption("simd_level " + std::to_string(h->simd_level) +
+                              " out of range");
+  }
+  if (!std::isfinite(h->bitmap_scale)) {
+    return Status::Corruption("bitmap_scale is not finite");
+  }
+  return Status::Ok();
+}
 
-  template <typename T>
-  bool Get(T* v) {
-    if (pos_ + sizeof(T) > bytes_.size()) return false;
-    std::memcpy(v, bytes_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return true;
+/// Deep structural validation of parsed sections: everything Build()
+/// guarantees is re-derived and compared, so a blob that passes loads into
+/// a state indistinguishable from a freshly built set.
+Status ValidateStructure(const Header& h,
+                         const std::vector<uint64_t>& bitmap_words,
+                         const std::vector<uint32_t>& offsets,
+                         const std::vector<uint32_t>& reordered) {
+  const uint32_t s = h.segment_bits;
+  const uint32_t num_segments = h.bitmap_bits / s;
+  const uint32_t m_mask = h.bitmap_bits - 1;
+  const uint32_t stride = h.kernel_stride;
+
+  if (bitmap_words.size() != CeilDiv(h.bitmap_bits, 64)) {
+    return Status::Corruption("bitmap word count mismatch");
+  }
+  if (offsets.size() != static_cast<size_t>(num_segments) + 1) {
+    return Status::Corruption("offsets count mismatch");
+  }
+  if (offsets.front() != 0 ||
+      offsets.back() != static_cast<uint32_t>(reordered.size())) {
+    return Status::Corruption("offsets endpoints inconsistent");
   }
 
-  template <typename T>
-  bool GetArray(std::vector<T>* out, uint64_t max_count) {
-    uint64_t count = 0;
-    if (!Get(&count) || count > max_count) return false;
-    if (pos_ + count * sizeof(T) > bytes_.size()) return false;
-    out->resize(count);
-    std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(T));
-    pos_ += count * sizeof(T);
-    return true;
+  std::vector<uint64_t> expected_bitmap(bitmap_words.size(), 0);
+  uint64_t real_elements = 0;
+  for (uint32_t seg = 0; seg < num_segments; ++seg) {
+    if (offsets[seg + 1] < offsets[seg]) {
+      return Status::Corruption("offsets not monotone at segment " +
+                                std::to_string(seg));
+    }
+    const uint32_t run_size = offsets[seg + 1] - offsets[seg];
+    if (run_size == 0) continue;
+
+    // Non-sentinel prefix, strictly ascending, each element re-hashed into
+    // this segment; sentinel padding only at the tail.
+    uint32_t count = 0;
+    uint32_t prev = 0;
+    for (uint32_t i = offsets[seg]; i < offsets[seg + 1]; ++i) {
+      const uint32_t v = reordered[i];
+      if (v == FesiaSet::kSentinel) break;
+      if (count > 0 && v <= prev) {
+        return Status::Corruption("segment " + std::to_string(seg) +
+                                  " run not strictly ascending");
+      }
+      const uint32_t bit = HashToBit(v, m_mask);
+      if (bit / s != seg) {
+        return Status::Corruption("element " + std::to_string(v) +
+                                  " re-hashes to segment " +
+                                  std::to_string(bit / s) + ", stored in " +
+                                  std::to_string(seg));
+      }
+      expected_bitmap[bit >> 6] |= uint64_t{1} << (bit & 63);
+      prev = v;
+      ++count;
+    }
+    for (uint32_t i = offsets[seg] + count; i < offsets[seg + 1]; ++i) {
+      if (reordered[i] != FesiaSet::kSentinel) {
+        return Status::Corruption("segment " + std::to_string(seg) +
+                                  " has elements after sentinel padding");
+      }
+    }
+    if (count == 0 || CeilDiv(count, stride) * stride != run_size) {
+      return Status::Corruption("segment " + std::to_string(seg) +
+                                " size inconsistent with kernel_stride");
+    }
+    real_elements += count;
   }
 
-  bool AtEnd() const { return pos_ == bytes_.size(); }
+  if (real_elements != h.n) {
+    return Status::Corruption(
+        "element count mismatch: header says " + std::to_string(h.n) +
+        ", runs hold " + std::to_string(real_elements));
+  }
+  if (std::memcmp(expected_bitmap.data(), bitmap_words.data(),
+                  bitmap_words.size() * sizeof(uint64_t)) != 0) {
+    return Status::Corruption(
+        "bitmap does not match one recomputed from the elements");
+  }
+  return Status::Ok();
+}
 
- private:
-  std::span<const uint8_t> bytes_;
-  size_t pos_ = 0;
+/// Parsed-and-validated sections of a snapshot, ready to install.
+struct Sections {
+  Header header;
+  std::vector<uint64_t> bitmap_words;
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> reordered;
 };
+
+Status ParseV1(ByteReader& r, Sections* s) {
+  FESIA_RETURN_IF_ERROR(ReadAndValidateHeader(r, &s->header));
+  FESIA_RETURN_IF_ERROR(r.GetCountedArray(&s->bitmap_words));
+  FESIA_RETURN_IF_ERROR(r.GetCountedArray(&s->offsets));
+  FESIA_RETURN_IF_ERROR(r.GetCountedArray(&s->reordered));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after snapshot");
+  return ValidateStructure(s->header, s->bitmap_words, s->offsets,
+                           s->reordered);
+}
+
+Status ParseV2(ByteReader& r, std::span<const uint8_t> bytes, Sections* s) {
+  // Checksum first: a failed CRC pinpoints storage corruption regardless of
+  // which field the damage landed in.
+  if (bytes.size() < r.pos() + sizeof(uint32_t)) {
+    return Status::Corruption("snapshot too short for checksum footer");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t actual_crc =
+      Crc32c(bytes.data(), bytes.size() - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("checksum mismatch: snapshot is corrupted");
+  }
+
+  FESIA_RETURN_IF_ERROR(ReadAndValidateHeader(r, &s->header));
+  uint64_t bitmap_count = 0, offsets_count = 0, reordered_count = 0;
+  if (!r.Get(&bitmap_count) || !r.Get(&offsets_count) ||
+      !r.Get(&reordered_count)) {
+    return Status::Corruption("truncated section table");
+  }
+  FESIA_RETURN_IF_ERROR(r.GetRawArray(&s->bitmap_words, bitmap_count));
+  FESIA_RETURN_IF_ERROR(r.GetRawArray(&s->offsets, offsets_count));
+  FESIA_RETURN_IF_ERROR(r.GetRawArray(&s->reordered, reordered_count));
+  if (r.pos() + sizeof(uint32_t) != bytes.size()) {
+    return Status::Corruption("section lengths inconsistent with size");
+  }
+  return ValidateStructure(s->header, s->bitmap_words, s->offsets,
+                           s->reordered);
+}
 
 }  // namespace
 
 std::vector<uint8_t> FesiaSet::Serialize() const {
   std::vector<uint8_t> out;
-  Writer w(&out);
+  ByteWriter w(&out);
   w.Put(kMagic);
-  w.Put(kVersion);
+  w.Put(kVersionV2);
   w.Put(n_);
   w.Put(bitmap_bits_);
   w.Put(static_cast<uint32_t>(segment_bits_));
   w.Put(static_cast<uint32_t>(kernel_stride_));
   w.Put(params_.bitmap_scale);
   w.Put(static_cast<uint32_t>(params_.simd_level));
-  w.PutArray(bitmap_.data(), bitmap_.size());
-  w.PutArray(offsets_.data(), offsets_.size());
-  w.PutArray(reordered_.data(), reordered_size());
+  w.Put(static_cast<uint64_t>(bitmap_.size()));
+  w.Put(static_cast<uint64_t>(offsets_.size()));
+  w.Put(static_cast<uint64_t>(reordered_size()));
+  w.PutRaw(bitmap_.data(), bitmap_.size());
+  w.PutRaw(offsets_.data(), offsets_.size());
+  w.PutRaw(reordered_.data(), reordered_size());
+  w.Put(Crc32c(out.data(), out.size()));
   return out;
 }
 
-bool FesiaSet::Deserialize(std::span<const uint8_t> bytes, FesiaSet* out) {
-  Reader r(bytes);
+Status FesiaSet::Deserialize(std::span<const uint8_t> bytes, FesiaSet* out) {
+  FESIA_CHECK(out != nullptr);
+  ByteReader r(bytes);
   uint64_t magic = 0;
   uint32_t version = 0;
-  if (!r.Get(&magic) || magic != kMagic) return false;
-  if (!r.Get(&version) || version != kVersion) return false;
+  if (!r.Get(&magic)) return Status::Corruption("snapshot shorter than magic");
+  if (magic != kMagic) return Status::Corruption("bad magic tag");
+  if (!r.Get(&version)) return Status::Corruption("snapshot missing version");
 
+  Sections s;
+  switch (version) {
+    case kVersionV1:
+      FESIA_RETURN_IF_ERROR(ParseV1(r, &s));
+      break;
+    case kVersionV2:
+      FESIA_RETURN_IF_ERROR(ParseV2(r, bytes, &s));
+      break;
+    default:
+      return Status::Corruption("unsupported snapshot version " +
+                                std::to_string(version));
+  }
+
+  // Install the validated sections. `out` is only overwritten on success.
+  const Header& h = s.header;
   FesiaSet set;
-  uint32_t segment_bits = 0, kernel_stride = 0, simd_level = 0;
-  if (!r.Get(&set.n_) || !r.Get(&set.bitmap_bits_) || !r.Get(&segment_bits) ||
-      !r.Get(&kernel_stride) || !r.Get(&set.params_.bitmap_scale) ||
-      !r.Get(&simd_level)) {
-    return false;
-  }
-  // Structural sanity: the invariants Build() guarantees.
-  if (!IsPow2(set.bitmap_bits_) || set.bitmap_bits_ < 512) return false;
-  if (segment_bits != 8 && segment_bits != 16 && segment_bits != 32) {
-    return false;
-  }
-  if (kernel_stride != 1 && kernel_stride != 2 && kernel_stride != 4 &&
-      kernel_stride != 8) {
-    return false;
-  }
-  set.segment_bits_ = static_cast<int>(segment_bits);
-  set.kernel_stride_ = static_cast<int>(kernel_stride);
+  set.n_ = h.n;
+  set.bitmap_bits_ = h.bitmap_bits;
+  set.segment_bits_ = static_cast<int>(h.segment_bits);
+  set.kernel_stride_ = static_cast<int>(h.kernel_stride);
   set.params_.segment_bits = set.segment_bits_;
   set.params_.kernel_stride = set.kernel_stride_;
-  set.params_.simd_level = static_cast<SimdLevel>(simd_level);
+  set.params_.bitmap_scale = h.bitmap_scale;
+  set.params_.simd_level = static_cast<SimdLevel>(h.simd_level);
 
-  std::vector<uint64_t> bitmap_words;
-  std::vector<uint32_t> offsets;
-  std::vector<uint32_t> reordered;
-  constexpr uint64_t kMaxWords = (uint64_t{1} << 31) / 64;
-  if (!r.GetArray(&bitmap_words, kMaxWords)) return false;
-  if (!r.GetArray(&offsets, uint64_t{1} << 32)) return false;
-  if (!r.GetArray(&reordered, uint64_t{1} << 32)) return false;
-  if (!r.AtEnd()) return false;
-
-  uint32_t num_segments = set.bitmap_bits_ / segment_bits;
-  if (bitmap_words.size() != CeilDiv(set.bitmap_bits_, 64)) return false;
-  if (offsets.size() != static_cast<size_t>(num_segments) + 1) return false;
-  if (offsets.front() != 0 || offsets.back() != reordered.size()) {
-    return false;
+  if (!set.bitmap_.TryReset(s.bitmap_words.size())) {
+    return Status::ResourceExhausted("bitmap allocation failed");
   }
-  for (size_t i = 1; i < offsets.size(); ++i) {
-    if (offsets[i] < offsets[i - 1]) return false;
+  std::memcpy(set.bitmap_.data(), s.bitmap_words.data(),
+              s.bitmap_words.size() * sizeof(uint64_t));
+  if (!set.reordered_.TryReset(s.reordered.size(), /*pad_elements=*/32)) {
+    return Status::ResourceExhausted("reordered allocation failed");
   }
-
-  set.bitmap_.Reset(bitmap_words.size());
-  std::memcpy(set.bitmap_.data(), bitmap_words.data(),
-              bitmap_words.size() * sizeof(uint64_t));
-  set.offsets_ = std::move(offsets);
-  set.reordered_.Reset(reordered.size(), /*pad_elements=*/32);
   for (size_t i = 0; i < set.reordered_.padded_size(); ++i) {
     set.reordered_[i] = kSentinel;
   }
-  std::memcpy(set.reordered_.data(), reordered.data(),
-              reordered.size() * sizeof(uint32_t));
+  if (!s.reordered.empty()) {
+    std::memcpy(set.reordered_.data(), s.reordered.data(),
+                s.reordered.size() * sizeof(uint32_t));
+  }
+  set.offsets_ = std::move(s.offsets);
   *out = std::move(set);
-  return true;
+  return Status::Ok();
 }
 
 }  // namespace fesia

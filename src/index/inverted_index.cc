@@ -2,11 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "datagen/datagen.h"
 #include "datagen/zipf.h"
+#include "util/byte_io.h"
+#include "util/crc32c.h"
 
 namespace fesia::index {
+namespace {
+
+// "FESIAPST" as a little-endian u64.
+constexpr uint64_t kIndexMagic = 0x5453504149534546ull;
+constexpr uint32_t kIndexVersion = 1;
+
+}  // namespace
 
 InvertedIndex InvertedIndex::BuildSynthetic(const CorpusParams& params) {
   InvertedIndex idx;
@@ -40,6 +50,93 @@ std::vector<uint32_t> InvertedIndex::TermsWithPostingLength(
     if (len >= min_len && len <= max_len) terms.push_back(t);
   }
   return terms;
+}
+
+std::vector<uint8_t> InvertedIndex::Serialize() const {
+  std::vector<uint8_t> out;
+  ByteWriter w(&out);
+  w.Put(kIndexMagic);
+  w.Put(kIndexVersion);
+  w.Put(num_docs_);
+  w.Put(static_cast<uint64_t>(postings_.size()));
+  w.Put(static_cast<uint64_t>(total_postings_));
+  for (const auto& list : postings_) {
+    w.Put(static_cast<uint64_t>(list.size()));
+  }
+  for (const auto& list : postings_) {
+    w.PutRaw(list.data(), list.size());
+  }
+  w.Put(Crc32c(out.data(), out.size()));
+  return out;
+}
+
+StatusOr<InvertedIndex> InvertedIndex::Deserialize(
+    std::span<const uint8_t> bytes) {
+  // Checksum first: storage-level corruption reports as a checksum
+  // mismatch before any field is interpreted.
+  if (bytes.size() < sizeof(uint32_t)) {
+    return Status::Corruption("index container shorter than its footer");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  uint32_t actual_crc = Crc32c(bytes.data(), bytes.size() - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("index container checksum mismatch");
+  }
+
+  ByteReader r(bytes);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!r.Get(&magic) || magic != kIndexMagic) {
+    return Status::Corruption("bad index container magic");
+  }
+  if (!r.Get(&version)) return Status::Corruption("truncated index header");
+  if (version != kIndexVersion) {
+    return Status::InvalidArgument("unsupported index container version " +
+                                   std::to_string(version));
+  }
+
+  InvertedIndex idx;
+  uint64_t num_terms = 0;
+  uint64_t total = 0;
+  if (!r.Get(&idx.num_docs_) || !r.Get(&num_terms) || !r.Get(&total)) {
+    return Status::Corruption("truncated index header");
+  }
+  std::vector<uint64_t> lengths;
+  FESIA_RETURN_IF_ERROR(r.GetRawArray(&lengths, num_terms));
+
+  uint64_t length_sum = 0;
+  for (uint64_t len : lengths) {
+    // remaining() bounds the sum, so it cannot overflow before tripping.
+    length_sum += len;
+    if (length_sum > r.remaining() / sizeof(uint32_t)) {
+      return Status::Corruption(
+          "posting lengths exceed the container's payload");
+    }
+  }
+  if (length_sum != total) {
+    return Status::Corruption("posting lengths do not sum to total_postings");
+  }
+
+  idx.postings_.resize(lengths.size());
+  for (size_t t = 0; t < lengths.size(); ++t) {
+    FESIA_RETURN_IF_ERROR(r.GetRawArray(&idx.postings_[t], lengths[t]));
+    const auto& list = idx.postings_[t];
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] >= idx.num_docs_) {
+        return Status::Corruption("posting document id out of range");
+      }
+      if (i > 0 && list[i] <= list[i - 1]) {
+        return Status::Corruption("posting list not strictly ascending");
+      }
+    }
+  }
+  idx.total_postings_ = static_cast<size_t>(total);
+  if (r.pos() + sizeof(uint32_t) != bytes.size()) {
+    return Status::Corruption("trailing bytes after index payload");
+  }
+  return idx;
 }
 
 }  // namespace fesia::index

@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "util/status.h"
+
 namespace fesia::index {
 
 /// Knobs of the synthetic corpus.
@@ -49,6 +51,17 @@ class InvertedIndex {
   /// Terms whose posting-list length lies in [min_len, max_len].
   std::vector<uint32_t> TermsWithPostingLength(size_t min_len,
                                                size_t max_len) const;
+
+  /// Serializes the index to a portable little-endian container with a
+  /// CRC32C footer (magic "FESIAPST"), so corpora survive storage
+  /// round-trips with integrity protection (docs/ROBUSTNESS.md).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs an index from Serialize() output. Corrupted, truncated,
+  /// or structurally invalid containers (unsorted or out-of-range doc ids)
+  /// yield a non-OK Status; a loaded index is indistinguishable from the
+  /// one serialized.
+  static StatusOr<InvertedIndex> Deserialize(std::span<const uint8_t> bytes);
 
  private:
   uint32_t num_docs_ = 0;

@@ -1,6 +1,7 @@
 #include "index/query_engine.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "baselines/bmiss.h"
 #include "baselines/galloping.h"
@@ -8,11 +9,17 @@
 #include "baselines/scalar_merge.h"
 #include "baselines/shuffling.h"
 #include "baselines/simd_galloping.h"
+#include "util/byte_io.h"
 #include "util/check.h"
+#include "util/crc32c.h"
 #include "util/timer.h"
 
 namespace fesia::index {
 namespace {
+
+// "FESIAQRY" as a little-endian u64.
+constexpr uint64_t kTermSetMagic = 0x5952514149534546ull;
+constexpr uint32_t kTermSetVersion = 1;
 
 using MaterializeFn = size_t (*)(const uint32_t*, size_t, const uint32_t*,
                                  size_t, uint32_t*);
@@ -106,6 +113,79 @@ std::vector<uint32_t> QueryEngine::QueryFesia(std::span<const uint32_t> terms,
   for (uint32_t t : terms) sets.push_back(&term_sets_[t]);
   IntersectIntoKWay(sets, &out, /*sort_output=*/true, level);
   return out;
+}
+
+std::vector<uint8_t> QueryEngine::SerializeTermSets() const {
+  std::vector<uint8_t> out;
+  ByteWriter w(&out);
+  w.Put(kTermSetMagic);
+  w.Put(kTermSetVersion);
+  w.Put(static_cast<uint64_t>(term_sets_.size()));
+  for (const FesiaSet& set : term_sets_) {
+    std::vector<uint8_t> blob = set.Serialize();
+    w.Put(static_cast<uint64_t>(blob.size()));
+    w.PutRaw(blob.data(), blob.size());
+  }
+  w.Put(Crc32c(out.data(), out.size()));
+  return out;
+}
+
+StatusOr<QueryEngine> QueryEngine::Load(const InvertedIndex* idx,
+                                        std::span<const uint8_t> bytes) {
+  FESIA_CHECK(idx != nullptr);
+  if (bytes.size() < sizeof(uint32_t)) {
+    return Status::Corruption("term-set container shorter than its footer");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (stored_crc != Crc32c(bytes.data(), bytes.size() - sizeof(uint32_t))) {
+    return Status::Corruption("term-set container checksum mismatch");
+  }
+
+  ByteReader r(bytes);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!r.Get(&magic) || magic != kTermSetMagic) {
+    return Status::Corruption("bad term-set container magic");
+  }
+  if (!r.Get(&version)) return Status::Corruption("truncated term-set header");
+  if (version != kTermSetVersion) {
+    return Status::InvalidArgument("unsupported term-set container version " +
+                                   std::to_string(version));
+  }
+  if (!r.Get(&count)) return Status::Corruption("truncated term-set header");
+  if (count != idx->num_terms()) {
+    return Status::FailedPrecondition(
+        "term-set container holds " + std::to_string(count) +
+        " sets but the index has " + std::to_string(idx->num_terms()) +
+        " terms");
+  }
+
+  QueryEngine engine;
+  engine.idx_ = idx;
+  engine.term_sets_.reserve(static_cast<size_t>(count));
+  std::vector<uint8_t> blob;
+  for (uint64_t t = 0; t < count; ++t) {
+    uint64_t blob_size = 0;
+    if (!r.Get(&blob_size)) {
+      return Status::Corruption("truncated term-set blob header");
+    }
+    FESIA_RETURN_IF_ERROR(r.GetRawArray(&blob, blob_size));
+    FesiaSet set;
+    FESIA_RETURN_IF_ERROR(FesiaSet::Deserialize(blob, &set));
+    if (set.size() != idx->Postings(static_cast<uint32_t>(t)).size()) {
+      return Status::Corruption(
+          "term " + std::to_string(t) +
+          " snapshot size disagrees with its posting list");
+    }
+    engine.term_sets_.push_back(std::move(set));
+  }
+  if (r.pos() + sizeof(uint32_t) != bytes.size()) {
+    return Status::Corruption("trailing bytes after term-set payload");
+  }
+  return engine;
 }
 
 }  // namespace fesia::index

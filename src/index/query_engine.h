@@ -11,6 +11,7 @@
 
 #include "fesia/fesia.h"
 #include "index/inverted_index.h"
+#include "util/status.h"
 
 namespace fesia::index {
 
@@ -43,8 +44,23 @@ class QueryEngine {
 
   const FesiaSet& TermSet(uint32_t term) const { return term_sets_[term]; }
 
+  /// Serializes every per-term FESIA structure into one checksummed
+  /// container (magic "FESIAQRY"), so the offline construction phase can
+  /// be paid once and the structures reloaded later.
+  std::vector<uint8_t> SerializeTermSets() const;
+
+  /// Rebuilds an engine from SerializeTermSets() output over the same
+  /// `idx` the container was built from. Every embedded snapshot is
+  /// deep-validated and cross-checked against the index (term count and
+  /// per-term set sizes must match); any mismatch, truncation, or
+  /// corruption yields a non-OK Status.
+  static StatusOr<QueryEngine> Load(const InvertedIndex* idx,
+                                    std::span<const uint8_t> bytes);
+
  private:
-  const InvertedIndex* idx_;
+  QueryEngine() = default;
+
+  const InvertedIndex* idx_ = nullptr;
   std::vector<FesiaSet> term_sets_;
   double construction_seconds_ = 0;
 };

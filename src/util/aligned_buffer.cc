@@ -2,14 +2,28 @@
 
 #include <cstdlib>
 
+#include "util/fault_injection.h"
+
 namespace fesia {
 namespace internal {
 
-void* AllocateAligned(size_t bytes) {
+void* TryAllocateAligned(size_t bytes) {
+  if (fault::ShouldFail(fault::FaultPoint::kAllocation)) return nullptr;
   if (bytes == 0) bytes = kVectorAlignment;
   // Round the allocation itself up so the *end* of the buffer is also
   // vector-aligned; together with zeroed tail padding this makes full-width
   // loads at any in-range index safe.
+  size_t rounded = (bytes + kVectorAlignment - 1) & ~(kVectorAlignment - 1);
+  void* p = std::aligned_alloc(kVectorAlignment, rounded);
+  if (p == nullptr) return nullptr;
+  std::memset(p, 0, rounded);
+  return p;
+}
+
+void* AllocateAligned(size_t bytes) {
+  // Build paths treat allocation failure as fatal; recoverable paths
+  // (deserialization) go through TryAllocateAligned / TryReset instead.
+  if (bytes == 0) bytes = kVectorAlignment;
   size_t rounded = (bytes + kVectorAlignment - 1) & ~(kVectorAlignment - 1);
   void* p = std::aligned_alloc(kVectorAlignment, rounded);
   if (p == nullptr) std::abort();

@@ -20,6 +20,9 @@ inline constexpr size_t kVectorAlignment = 64;
 namespace internal {
 // Allocates `bytes` of zeroed storage aligned to kVectorAlignment.
 void* AllocateAligned(size_t bytes);
+// As AllocateAligned, but returns nullptr on failure (or when a
+// fault::kAllocation fault is armed) instead of aborting.
+void* TryAllocateAligned(size_t bytes);
 void FreeAligned(void* p);
 }  // namespace internal
 
@@ -71,6 +74,22 @@ class AlignedBuffer {
     size_ = size;
     padded_size_ = size + pad_elements;
     data_ = static_cast<T*>(internal::AllocateAligned(padded_size_ * sizeof(T)));
+  }
+
+  /// As Reset, but reports allocation failure instead of aborting: returns
+  /// false and leaves the buffer empty. Used by deserialization paths that
+  /// must surface resource exhaustion as a recoverable Status.
+  [[nodiscard]] bool TryReset(size_t size, size_t pad_elements = kDefaultPad) {
+    internal::FreeAligned(data_);
+    data_ = nullptr;
+    size_ = 0;
+    padded_size_ = 0;
+    void* p = internal::TryAllocateAligned((size + pad_elements) * sizeof(T));
+    if (p == nullptr) return false;
+    data_ = static_cast<T*>(p);
+    size_ = size;
+    padded_size_ = size + pad_elements;
+    return true;
   }
 
   T* data() { return data_; }

@@ -1,0 +1,102 @@
+// Little-endian byte-buffer writer/reader shared by the snapshot formats
+// (FesiaSet v2, inverted-index and term-set containers).
+//
+// ByteReader is written for untrusted input: every read is bounds-checked,
+// array reads guard the `count * sizeof(T)` product against overflow by
+// bounding the count with the bytes actually remaining, and allocation is
+// routed through the fault-injection harness so resource exhaustion
+// surfaces as a recoverable Status.
+#ifndef FESIA_UTIL_BYTE_IO_H_
+#define FESIA_UTIL_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace fesia {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t pos = out_->size();
+    out_->resize(pos + sizeof(T));
+    std::memcpy(out_->data() + pos, &v, sizeof(T));
+  }
+
+  template <typename T>
+  void PutRaw(const T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count == 0) return;  // memcpy(p, nullptr, 0) is UB
+    size_t pos = out_->size();
+    out_->resize(pos + count * sizeof(T));
+    std::memcpy(out_->data() + pos, data, count * sizeof(T));
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (sizeof(T) > bytes_.size() - pos_) return false;
+    std::memcpy(v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Reads `count` elements. The bound is expressed in elements that fit in
+  /// the remaining bytes, so `count * sizeof(T)` can never overflow.
+  template <typename T>
+  Status GetRawArray(std::vector<T>* out, uint64_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count > (bytes_.size() - pos_) / sizeof(T)) {
+      return Status::Corruption("array of " + std::to_string(count) +
+                                " elements extends past end of snapshot");
+    }
+    if (fault::ShouldFail(fault::FaultPoint::kAllocation)) {
+      return Status::ResourceExhausted("snapshot array allocation failed");
+    }
+    out->resize(static_cast<size_t>(count));
+    if (count > 0) {  // memcpy(nullptr, p, 0) is UB
+      std::memcpy(out->data(), bytes_.data() + pos_,
+                  static_cast<size_t>(count) * sizeof(T));
+      pos_ += static_cast<size_t>(count) * sizeof(T);
+    }
+    return Status::Ok();
+  }
+
+  /// Legacy (v1) array: inline u64 count followed by the elements.
+  template <typename T>
+  Status GetCountedArray(std::vector<T>* out) {
+    uint64_t count = 0;
+    if (!Get(&count)) return Status::Corruption("truncated array header");
+    return GetRawArray(out, count);
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_BYTE_IO_H_

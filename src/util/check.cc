@@ -1,0 +1,38 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fesia {
+namespace {
+
+void DefaultCheckFail(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "FESIA_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<CheckFailHandler> g_handler{&DefaultCheckFail};
+
+}  // namespace
+
+CheckFailHandler SetCheckFailHandler(CheckFailHandler handler) {
+  if (handler == nullptr) handler = &DefaultCheckFail;
+  return g_handler.exchange(handler);
+}
+
+namespace internal {
+
+void CheckFail(const char* file, int line, const char* expr) {
+  g_handler.load()(file, line, expr);
+  // The handler contract is [[noreturn]]; enforce it if violated so that
+  // FESIA_CHECK can never fall through into undefined behavior.
+  std::fprintf(stderr,
+               "FESIA_CHECK handler returned; aborting (at %s:%d: %s)\n",
+               file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fesia

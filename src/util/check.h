@@ -1,20 +1,50 @@
-// Minimal CHECK macros: invariant violations abort with a message.
-// The library does not use exceptions; programmer errors fail fast.
+// Minimal CHECK macros: invariant violations fail fast with a message.
+// The library does not use exceptions; programmer errors abort the process.
+//
+// All failures funnel through one handler (fesia::internal::CheckFail) so
+// that tests can intercept them via SetCheckFailHandler and embedders can
+// add crash reporting. Data errors — anything reachable from external
+// bytes — must use fesia::Status (util/status.h) instead of these macros.
 #ifndef FESIA_UTIL_CHECK_H_
 #define FESIA_UTIL_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
+namespace fesia {
 
-#define FESIA_CHECK(cond)                                                    \
-  do {                                                                       \
-    if (!(cond)) {                                                           \
-      std::fprintf(stderr, "FESIA_CHECK failed at %s:%d: %s\n", __FILE__,    \
-                   __LINE__, #cond);                                         \
-      std::abort();                                                          \
-    }                                                                        \
+/// Invoked on FESIA_CHECK failure; must not return (abort, longjmp, or
+/// throw from test code). The default prints to stderr and aborts.
+using CheckFailHandler = void (*)(const char* file, int line,
+                                  const char* expr);
+
+/// Installs `handler` (nullptr restores the default); returns the previous
+/// handler. Intended for tests; not thread-safe against concurrent failures.
+CheckFailHandler SetCheckFailHandler(CheckFailHandler handler);
+
+namespace internal {
+/// Dispatches to the installed handler; aborts if the handler returns.
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr);
+}  // namespace internal
+
+}  // namespace fesia
+
+#define FESIA_CHECK(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::fesia::internal::CheckFail(__FILE__, __LINE__, #cond);     \
+    }                                                              \
   } while (0)
 
+// FESIA_DCHECK: debug-only invariant. Under NDEBUG the condition is parsed
+// (names stay odr-checked) but never evaluated, so release builds pay
+// nothing on hot paths.
+#ifdef NDEBUG
+#define FESIA_DCHECK(cond) \
+  do {                     \
+    if (false) {           \
+      (void)(cond);        \
+    }                      \
+  } while (0)
+#else
 #define FESIA_DCHECK(cond) FESIA_CHECK(cond)
+#endif
 
 #endif  // FESIA_UTIL_CHECK_H_

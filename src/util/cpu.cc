@@ -3,6 +3,7 @@
 #include <cpuid.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 namespace fesia {
@@ -10,23 +11,43 @@ namespace fesia {
 SimdLevel DetectSimdLevel() {
   static const SimdLevel level = [] {
     __builtin_cpu_init();
+    SimdLevel detected = SimdLevel::kScalar;
     if (__builtin_cpu_supports("avx512f") &&
         __builtin_cpu_supports("avx512bw") &&
         __builtin_cpu_supports("avx512vl") &&
         __builtin_cpu_supports("avx512dq")) {
-      return SimdLevel::kAvx512;
+      detected = SimdLevel::kAvx512;
+    } else if (__builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("bmi") &&
+               __builtin_cpu_supports("bmi2")) {
+      detected = SimdLevel::kAvx2;
+    } else if (__builtin_cpu_supports("sse4.2") &&
+               __builtin_cpu_supports("popcnt")) {
+      detected = SimdLevel::kSse;
     }
-    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi") &&
-        __builtin_cpu_supports("bmi2")) {
-      return SimdLevel::kAvx2;
+    // Operator-forced ceiling: FESIA_MAX_SIMD=sse caps dispatch below the
+    // hardware maximum (e.g. to sidestep a suspect microarchitecture).
+    const char* cap_name = std::getenv("FESIA_MAX_SIMD");
+    SimdLevel cap = SimdLevel::kAuto;
+    if (cap_name != nullptr && ParseSimdLevel(cap_name, &cap) &&
+        cap != SimdLevel::kAuto &&
+        static_cast<int>(cap) < static_cast<int>(detected)) {
+      detected = cap;
     }
-    if (__builtin_cpu_supports("sse4.2") &&
-        __builtin_cpu_supports("popcnt")) {
-      return SimdLevel::kSse;
-    }
-    return SimdLevel::kScalar;
+    return detected;
   }();
   return level;
+}
+
+bool ParseSimdLevel(const char* name, SimdLevel* out) {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) *out = SimdLevel::kScalar;
+  else if (std::strcmp(name, "sse") == 0) *out = SimdLevel::kSse;
+  else if (std::strcmp(name, "avx2") == 0) *out = SimdLevel::kAvx2;
+  else if (std::strcmp(name, "avx512") == 0) *out = SimdLevel::kAvx512;
+  else if (std::strcmp(name, "auto") == 0) *out = SimdLevel::kAuto;
+  else return false;
+  return true;
 }
 
 SimdLevel ResolveSimdLevel(SimdLevel requested) {

@@ -19,8 +19,14 @@ enum class SimdLevel {
   kAuto = 99,   // resolve to the widest available level at runtime
 };
 
-/// Widest SIMD level supported by the executing CPU.
+/// Widest SIMD level supported by the executing CPU, clamped by the
+/// FESIA_MAX_SIMD environment variable when set to a valid level name
+/// (operator-forced degradation; see docs/ROBUSTNESS.md).
 SimdLevel DetectSimdLevel();
+
+/// Parses "scalar" / "sse" / "avx2" / "avx512" / "auto" into *out.
+/// Returns false (leaving *out untouched) on any other string.
+bool ParseSimdLevel(const char* name, SimdLevel* out);
 
 /// Resolves kAuto to the detected level; other levels are clamped to the
 /// detected maximum (asking for AVX-512 on an SSE-only machine yields SSE).

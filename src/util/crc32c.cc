@@ -1,0 +1,63 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace fesia {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // CRC32C, reflected
+
+// 8 slice tables, generated at compile time. Table 0 is the classic
+// byte-at-a-time table; table k folds a byte k positions deeper.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables MakeTables() {
+  Tables tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tb.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tb.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = tb.t[0][crc & 0xFF] ^ (crc >> 8);
+      tb.t[k][i] = crc;
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Crc32c(const void* bytes, size_t n, uint32_t crc) {
+  const auto* p = static_cast<const uint8_t*>(bytes);
+  crc = ~crc;
+  // Slice-by-8 over aligned 8-byte blocks.
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // fold the running crc into the low 32 bits (little-endian)
+    crc = kTables.t[7][word & 0xFF] ^ kTables.t[6][(word >> 8) & 0xFF] ^
+          kTables.t[5][(word >> 16) & 0xFF] ^
+          kTables.t[4][(word >> 24) & 0xFF] ^
+          kTables.t[3][(word >> 32) & 0xFF] ^
+          kTables.t[2][(word >> 40) & 0xFF] ^
+          kTables.t[1][(word >> 48) & 0xFF] ^ kTables.t[0][word >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace fesia

@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+// guarding snapshot payloads (snapshot format v2, docs/ROBUSTNESS.md).
+//
+// CRC32C detects every burst error shorter than 32 bits, so any single
+// corrupted byte in a snapshot is caught unconditionally. The implementation
+// is portable slice-by-8 table lookup (~1 GB/s): snapshot loading is not a
+// hot path, and keeping it ISA-independent means the checksum works even on
+// the scalar-only fallback configuration.
+#ifndef FESIA_UTIL_CRC32C_H_
+#define FESIA_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fesia {
+
+/// CRC32C of `bytes[0, n)`, optionally continuing from a previous crc
+/// (pass the prior return value to checksum split buffers).
+uint32_t Crc32c(const void* bytes, size_t n, uint32_t crc = 0);
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_CRC32C_H_

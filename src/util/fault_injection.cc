@@ -1,0 +1,131 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace fesia::fault {
+namespace {
+
+constexpr int kNumPoints = static_cast<int>(FaultPoint::kNumPoints);
+
+struct PointState {
+  std::atomic<bool> armed{false};
+  // Remaining hits to let pass before firing; fires when it reaches zero.
+  std::atomic<int64_t> countdown{0};
+  std::atomic<uint64_t> param{0};
+  std::atomic<uint64_t> hits{0};
+};
+
+PointState g_points[kNumPoints];
+
+PointState& StateFor(FaultPoint p) {
+  return g_points[static_cast<int>(p)];
+}
+
+void InitFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("FESIA_FAULTS");
+    if (spec != nullptr && *spec != '\0') ArmFromSpec(spec);
+  });
+}
+
+// Parses a decimal uint64 from [begin, end); false on empty/garbage.
+bool ParseU64(const char* begin, const char* end, uint64_t* out) {
+  if (begin == end) return false;
+  uint64_t v = 0;
+  for (const char* p = begin; p != end; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(*p - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kAllocation:
+      return "alloc";
+    case FaultPoint::kSnapshotTruncate:
+      return "snapshot-truncate";
+    case FaultPoint::kSnapshotBitFlip:
+      return "snapshot-bitflip";
+    case FaultPoint::kBackendDowngrade:
+      return "backend-downgrade";
+    case FaultPoint::kNumPoints:
+      break;
+  }
+  return "unknown";
+}
+
+void Arm(FaultPoint point, uint64_t skip, uint64_t param) {
+  PointState& st = StateFor(point);
+  st.countdown.store(static_cast<int64_t>(skip));
+  st.param.store(param);
+  st.armed.store(true);
+}
+
+void Disarm(FaultPoint point) { StateFor(point).armed.store(false); }
+
+void DisarmAll() {
+  for (int i = 0; i < kNumPoints; ++i) g_points[i].armed.store(false);
+}
+
+bool IsArmed(FaultPoint point) { return StateFor(point).armed.load(); }
+
+bool ShouldFail(FaultPoint point, uint64_t* param) {
+  InitFromEnvOnce();
+  PointState& st = StateFor(point);
+  st.hits.fetch_add(1);
+  if (!st.armed.load(std::memory_order_relaxed)) return false;
+  if (st.countdown.fetch_sub(1) > 0) return false;
+  st.armed.store(false);  // fire exactly once per arming
+  if (param != nullptr) *param = st.param.load();
+  return true;
+}
+
+uint64_t HitCount(FaultPoint point) { return StateFor(point).hits.load(); }
+
+bool ArmFromSpec(const char* spec) {
+  if (spec == nullptr) return false;
+  const char* p = spec;
+  while (*p != '\0') {
+    const char* entry_end = std::strchr(p, ',');
+    if (entry_end == nullptr) entry_end = p + std::strlen(p);
+
+    // Split entry into name[:skip[:param]].
+    const char* c1 = static_cast<const char*>(
+        std::memchr(p, ':', static_cast<size_t>(entry_end - p)));
+    const char* name_end = c1 != nullptr ? c1 : entry_end;
+    uint64_t skip = 0, param = 0;
+    if (c1 != nullptr) {
+      const char* c2 = static_cast<const char*>(
+          std::memchr(c1 + 1, ':', static_cast<size_t>(entry_end - c1 - 1)));
+      const char* skip_end = c2 != nullptr ? c2 : entry_end;
+      if (!ParseU64(c1 + 1, skip_end, &skip)) return false;
+      if (c2 != nullptr && !ParseU64(c2 + 1, entry_end, &param)) return false;
+    }
+
+    std::string name(p, name_end);
+    bool matched = false;
+    for (int i = 0; i < kNumPoints; ++i) {
+      FaultPoint pt = static_cast<FaultPoint>(i);
+      if (name == FaultPointName(pt)) {
+        Arm(pt, skip, param);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+
+    p = (*entry_end == ',') ? entry_end + 1 : entry_end;
+  }
+  return true;
+}
+
+}  // namespace fesia::fault

@@ -1,0 +1,78 @@
+// Fault-injection harness for exercising recoverable-error paths.
+//
+// Instrumented sites (aligned-buffer allocation, snapshot file reads, the
+// backend self-check) consult ShouldFail() at runtime; tests arm faults
+// programmatically (ScopedFault) and operators can arm them through the
+// FESIA_FAULTS environment variable to rehearse failure handling:
+//
+//   FESIA_FAULTS=alloc                      fail the next guarded allocation
+//   FESIA_FAULTS=snapshot-truncate:0:16     drop 16 bytes from the next read
+//   FESIA_FAULTS=snapshot-bitflip:2:7       flip bit 7 of the 3rd read
+//   FESIA_FAULTS=backend-downgrade          fail the top backend self-check
+//
+// Syntax: name[:skip[:param]], comma-separated. `skip` is the number of
+// hits to let pass before firing (default 0 = fire immediately); `param` is
+// point-specific. Every fault fires exactly once per arming.
+//
+// The contract proven by tests/fault_injection_test.cc: every injected
+// fault surfaces as a non-OK fesia::Status (or a degraded-but-correct
+// backend), never as an abort, leak, or UB.
+#ifndef FESIA_UTIL_FAULT_INJECTION_H_
+#define FESIA_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+namespace fesia::fault {
+
+enum class FaultPoint : int {
+  kAllocation = 0,       // TryAllocateAligned returns nullptr
+  kSnapshotTruncate = 1, // ReadFileBytes drops `param` (>=1) trailing bytes
+  kSnapshotBitFlip = 2,  // ReadFileBytes XORs bit `param` of the payload
+  kBackendDowngrade = 3, // backend self-check reports a count mismatch
+  kNumPoints = 4,
+};
+
+/// Stable name used by the FESIA_FAULTS syntax ("alloc", ...).
+const char* FaultPointName(FaultPoint point);
+
+/// Arms `point` to fire once after `skip` passing hits. Re-arming replaces
+/// any previous arming. Thread-safe.
+void Arm(FaultPoint point, uint64_t skip = 0, uint64_t param = 0);
+void Disarm(FaultPoint point);
+void DisarmAll();
+bool IsArmed(FaultPoint point);
+
+/// Consulted by instrumented sites. Counts a hit; returns true (storing the
+/// armed param into *param if non-null) when the fault fires, after which
+/// the point disarms itself. Unarmed points always return false.
+bool ShouldFail(FaultPoint point, uint64_t* param = nullptr);
+
+/// Total hits observed at `point` since process start (fired or not);
+/// lets tests assert an instrumented site was actually reached.
+uint64_t HitCount(FaultPoint point);
+
+/// Parses a FESIA_FAULTS-syntax spec and arms the named points. Returns
+/// false (arming nothing further) on a malformed spec. Called automatically
+/// once with getenv("FESIA_FAULTS") before the first ShouldFail.
+bool ArmFromSpec(const char* spec);
+
+/// RAII arming for tests: arms on construction, disarms its point on
+/// destruction (whether or not it fired).
+class ScopedFault {
+ public:
+  explicit ScopedFault(FaultPoint point, uint64_t skip = 0,
+                       uint64_t param = 0)
+      : point_(point) {
+    Arm(point, skip, param);
+  }
+  ~ScopedFault() { Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultPoint point_;
+};
+
+}  // namespace fesia::fault
+
+#endif  // FESIA_UTIL_FAULT_INJECTION_H_

@@ -1,0 +1,59 @@
+#include "util/file_io.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/fault_injection.h"
+
+namespace fesia {
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  FESIA_CHECK(out != nullptr);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IoError("cannot open " + path + " for reading");
+  }
+  std::streamsize size = in.tellg();
+  if (size < 0) {
+    return Status::IoError("cannot stat " + path);
+  }
+  in.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(out->data()), size)) {
+    out->clear();
+    return Status::IoError("short read from " + path);
+  }
+
+  // Storage-corruption rehearsal: mangle the in-memory copy.
+  uint64_t param = 0;
+  if (fault::ShouldFail(fault::FaultPoint::kSnapshotTruncate, &param)) {
+    size_t drop = std::max<uint64_t>(param, 1);
+    out->resize(out->size() - std::min(out->size(), drop));
+  }
+  if (fault::ShouldFail(fault::FaultPoint::kSnapshotBitFlip, &param) &&
+      !out->empty()) {
+    size_t bit = static_cast<size_t>(param) % (out->size() * 8);
+    (*out)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  return Status::Ok();
+}
+
+Status WriteFileBytes(const std::string& path, const void* data,
+                      size_t bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  if (bytes > 0) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace fesia

@@ -1,0 +1,29 @@
+// Status-returning whole-file read/write used by snapshot persistence and
+// the CLI. Reads pass through the fault-injection harness (snapshot
+// truncation / bit-flip points), so storage corruption can be rehearsed
+// end-to-end: injected corruption must surface as a clean non-OK Status
+// from the downstream validator, never as UB.
+#ifndef FESIA_UTIL_FILE_IO_H_
+#define FESIA_UTIL_FILE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fesia {
+
+/// Reads the whole file into *out (replacing its contents). kIoError if the
+/// file cannot be opened or read. Armed kSnapshotTruncate / kSnapshotBitFlip
+/// faults corrupt the returned bytes (not the file).
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+/// Writes `bytes` bytes at `data` to `path`, replacing any existing file.
+Status WriteFileBytes(const std::string& path, const void* data,
+                      size_t bytes);
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_FILE_IO_H_

@@ -1,0 +1,143 @@
+// Recoverable-error reporting without exceptions.
+//
+// The library distinguishes two failure families (docs/ROBUSTNESS.md):
+//  * programmer errors — invalid parameters, broken invariants — fail fast
+//    through FESIA_CHECK (util/check.h);
+//  * data errors — anything reachable from bytes the process did not build
+//    itself (snapshots, files, flags) — are reported as a fesia::Status and
+//    must never abort, leak, or invoke UB.
+//
+// Status is a code plus a human-readable message; StatusOr<T> carries either
+// a value or a non-OK Status. Both are cheap to move and need no allocation
+// on the OK path.
+#ifndef FESIA_UTIL_STATUS_H_
+#define FESIA_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fesia {
+
+/// Failure taxonomy. Kept deliberately small: each code maps to a distinct
+/// caller reaction (retry, reject input, surface to operator).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,    // caller-supplied parameter out of range
+  kCorruption = 2,         // stored bytes fail validation (bad magic, CRC, …)
+  kIoError = 3,            // the OS failed an open/read/write
+  kResourceExhausted = 4,  // allocation or capacity limit hit
+  kFailedPrecondition = 5, // operation invalid in the current state
+  kUnimplemented = 6,      // feature compiled out or not yet supported
+  kInternal = 7,           // invariant violation surfaced as a value
+};
+
+/// Stable lowercase name of a code ("ok", "corruption", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "corruption: checksum mismatch" / "ok".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or a non-OK Status. Accessing value() on a non-OK StatusOr is
+/// a programmer error (FESIA_CHECK).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a non-OK Status (constructing from an OK status is a
+  /// programmer error: an OK result must carry a value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    FESIA_CHECK(!status_.ok());
+  }
+  /// Implicit from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    FESIA_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    FESIA_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    FESIA_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a T
+  std::optional<T> value_;
+};
+
+}  // namespace fesia
+
+/// Propagates a non-OK Status to the caller.
+#define FESIA_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::fesia::Status fesia_status_tmp_ = (expr);  \
+    if (!fesia_status_tmp_.ok()) return fesia_status_tmp_; \
+  } while (0)
+
+#define FESIA_STATUS_CONCAT_INNER_(a, b) a##b
+#define FESIA_STATUS_CONCAT_(a, b) FESIA_STATUS_CONCAT_INNER_(a, b)
+
+/// FESIA_ASSIGN_OR_RETURN(auto v, Compute()): moves the value out on
+/// success, returns the Status on failure.
+#define FESIA_ASSIGN_OR_RETURN(lhs, expr)                                \
+  auto FESIA_STATUS_CONCAT_(fesia_statusor_, __LINE__) = (expr);         \
+  if (!FESIA_STATUS_CONCAT_(fesia_statusor_, __LINE__).ok()) {           \
+    return FESIA_STATUS_CONCAT_(fesia_statusor_, __LINE__).status();     \
+  }                                                                      \
+  lhs = *std::move(FESIA_STATUS_CONCAT_(fesia_statusor_, __LINE__))
+
+#endif  // FESIA_UTIL_STATUS_H_

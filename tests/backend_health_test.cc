@@ -1,0 +1,100 @@
+// Startup backend self-check and graceful SIMD degradation.
+#include "fesia/backend_health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/fesia.h"
+#include "util/fault_injection.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+
+class BackendHealthTest : public ::testing::Test {
+ protected:
+  // Each test re-runs the self-check from a clean slate and leaves a
+  // healthy cached report behind for the rest of the process.
+  void SetUp() override { internal::ResetBackendHealthForTest(); }
+  void TearDown() override {
+    fault::DisarmAll();
+    internal::ResetBackendHealthForTest();
+    (void)GetBackendHealth();
+  }
+};
+
+TEST_F(BackendHealthTest, HealthyMachinePassesAllLevels) {
+  const BackendHealth& h = GetBackendHealth();
+  EXPECT_EQ(h.detected, DetectSimdLevel());
+  EXPECT_EQ(h.effective, h.detected);
+  EXPECT_FALSE(h.degraded);
+  for (int l = 0; l <= static_cast<int>(h.detected); ++l) {
+    EXPECT_TRUE(h.checks[l].healthy) << SimdLevelName(h.checks[l].level);
+    EXPECT_EQ(h.checks[l].observed, h.checks[l].expected);
+  }
+  EXPECT_NE(h.ToString().find("backend health"), std::string::npos);
+  EXPECT_EQ(h.ToString().find("DEGRADED"), std::string::npos);
+}
+
+TEST_F(BackendHealthTest, ReportIsCached) {
+  const BackendHealth& a = GetBackendHealth();
+  const BackendHealth& b = GetBackendHealth();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(BackendHealthTest, InjectedMismatchQuarantinesWidestLevel) {
+  if (DetectSimdLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no SIMD backend to quarantine on this host";
+  }
+  fault::ScopedFault fault(fault::FaultPoint::kBackendDowngrade);
+  const BackendHealth& h = GetBackendHealth();
+  EXPECT_TRUE(h.degraded);
+  EXPECT_LT(static_cast<int>(h.effective), static_cast<int>(h.detected));
+  // The widest (dispatch-serving) level is the one quarantined.
+  const BackendCheckResult& top = h.checks[static_cast<int>(h.detected)];
+  EXPECT_FALSE(top.healthy);
+  EXPECT_NE(top.observed, top.expected);
+  EXPECT_NE(h.ToString().find("QUARANTINED"), std::string::npos);
+  EXPECT_NE(h.ToString().find("DEGRADED"), std::string::npos);
+}
+
+TEST_F(BackendHealthTest, DegradedDispatchStaysCorrect) {
+  if (DetectSimdLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no SIMD backend to quarantine on this host";
+  }
+  fault::ScopedFault fault(fault::FaultPoint::kBackendDowngrade);
+  SimdLevel effective = EffectiveSimdLevel();
+  ASSERT_LT(static_cast<int>(effective),
+            static_cast<int>(DetectSimdLevel()));
+
+  // Dispatch is clamped below the quarantined level and still returns
+  // exact counts: degradation trades speed, never correctness.
+  auto pair = PairWithSelectivity(5000, 5000, 0.2, 31);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  EXPECT_EQ(IntersectCount(fa, fb, SimdLevel::kAuto),
+            pair.intersection_size);
+  // Asking explicitly for the quarantined level is also clamped.
+  EXPECT_EQ(IntersectCount(fa, fb, DetectSimdLevel()),
+            pair.intersection_size);
+}
+
+TEST_F(BackendHealthTest, ResetRestoresFullDispatch) {
+  if (DetectSimdLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no SIMD backend to quarantine on this host";
+  }
+  {
+    fault::ScopedFault fault(fault::FaultPoint::kBackendDowngrade);
+    ASSERT_TRUE(GetBackendHealth().degraded);
+  }
+  internal::ResetBackendHealthForTest();
+  EXPECT_FALSE(GetBackendHealth().degraded);
+  EXPECT_EQ(EffectiveSimdLevel(), DetectSimdLevel());
+}
+
+}  // namespace
+}  // namespace fesia

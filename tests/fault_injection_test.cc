@@ -1,0 +1,145 @@
+// The fault-injection contract: every injected fault surfaces as a clean
+// non-OK Status (or a degraded-but-correct backend), never as an abort.
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/fesia.h"
+#include "util/aligned_buffer.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace fesia {
+namespace {
+
+using fault::FaultPoint;
+using fault::ScopedFault;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, ArmDisarmLifecycle) {
+  EXPECT_FALSE(fault::IsArmed(FaultPoint::kAllocation));
+  fault::Arm(FaultPoint::kAllocation);
+  EXPECT_TRUE(fault::IsArmed(FaultPoint::kAllocation));
+  fault::Disarm(FaultPoint::kAllocation);
+  EXPECT_FALSE(fault::IsArmed(FaultPoint::kAllocation));
+  EXPECT_FALSE(fault::ShouldFail(FaultPoint::kAllocation));
+}
+
+TEST_F(FaultInjectionTest, FiresExactlyOnce) {
+  fault::Arm(FaultPoint::kAllocation);
+  EXPECT_TRUE(fault::ShouldFail(FaultPoint::kAllocation));
+  // Self-disarmed after firing.
+  EXPECT_FALSE(fault::ShouldFail(FaultPoint::kAllocation));
+  EXPECT_FALSE(fault::IsArmed(FaultPoint::kAllocation));
+}
+
+TEST_F(FaultInjectionTest, SkipCountsPassingHits) {
+  fault::Arm(FaultPoint::kAllocation, /*skip=*/2);
+  EXPECT_FALSE(fault::ShouldFail(FaultPoint::kAllocation));
+  EXPECT_FALSE(fault::ShouldFail(FaultPoint::kAllocation));
+  EXPECT_TRUE(fault::ShouldFail(FaultPoint::kAllocation));
+  EXPECT_FALSE(fault::ShouldFail(FaultPoint::kAllocation));
+}
+
+TEST_F(FaultInjectionTest, ParamIsDelivered) {
+  fault::Arm(FaultPoint::kSnapshotBitFlip, /*skip=*/0, /*param=*/1234);
+  uint64_t param = 0;
+  EXPECT_TRUE(fault::ShouldFail(FaultPoint::kSnapshotBitFlip, &param));
+  EXPECT_EQ(param, 1234u);
+}
+
+TEST_F(FaultInjectionTest, HitCountTracksReaches) {
+  uint64_t before = fault::HitCount(FaultPoint::kSnapshotTruncate);
+  (void)fault::ShouldFail(FaultPoint::kSnapshotTruncate);
+  (void)fault::ShouldFail(FaultPoint::kSnapshotTruncate);
+  EXPECT_EQ(fault::HitCount(FaultPoint::kSnapshotTruncate), before + 2);
+}
+
+TEST_F(FaultInjectionTest, SpecParsing) {
+  EXPECT_TRUE(fault::ArmFromSpec("alloc"));
+  EXPECT_TRUE(fault::IsArmed(FaultPoint::kAllocation));
+  fault::DisarmAll();
+
+  EXPECT_TRUE(fault::ArmFromSpec("snapshot-truncate:3:16,backend-downgrade"));
+  EXPECT_TRUE(fault::IsArmed(FaultPoint::kSnapshotTruncate));
+  EXPECT_TRUE(fault::IsArmed(FaultPoint::kBackendDowngrade));
+  fault::DisarmAll();
+
+  EXPECT_FALSE(fault::ArmFromSpec("no-such-fault"));
+  EXPECT_FALSE(fault::ArmFromSpec("alloc:notanumber"));
+  fault::DisarmAll();
+}
+
+TEST_F(FaultInjectionTest, FaultPointNamesRoundTrip) {
+  for (int i = 0; i < static_cast<int>(FaultPoint::kNumPoints); ++i) {
+    auto point = static_cast<FaultPoint>(i);
+    EXPECT_TRUE(fault::ArmFromSpec(fault::FaultPointName(point)))
+        << fault::FaultPointName(point);
+    EXPECT_TRUE(fault::IsArmed(point));
+    fault::DisarmAll();
+  }
+}
+
+TEST_F(FaultInjectionTest, AllocationFaultMakesTryResetRecoverable) {
+  AlignedBuffer<uint32_t> buf;
+  {
+    ScopedFault fault(FaultPoint::kAllocation);
+    EXPECT_FALSE(buf.TryReset(1024));
+    EXPECT_EQ(buf.size(), 0u);
+  }
+  // Next attempt succeeds and the buffer is usable.
+  ASSERT_TRUE(buf.TryReset(1024));
+  EXPECT_EQ(buf.size(), 1024u);
+  buf[1023] = 7;
+  EXPECT_EQ(buf[1023], 7u);
+}
+
+TEST_F(FaultInjectionTest, TruncateFaultSurfacesAsCorruption) {
+  // Write a valid snapshot, read it back with an injected truncation: the
+  // loader must reject it cleanly.
+  FesiaSet set = FesiaSet::Build(datagen::SortedUniform(500, 10000, 21));
+  std::vector<uint8_t> blob = set.Serialize();
+  std::string path = ::testing::TempDir() + "/fault_truncate.fesia";
+  ASSERT_TRUE(WriteFileBytes(path, blob.data(), blob.size()).ok());
+
+  ScopedFault fault(FaultPoint::kSnapshotTruncate, /*skip=*/0, /*param=*/8);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
+  EXPECT_EQ(bytes.size(), blob.size() - 8);
+  FesiaSet out;
+  EXPECT_FALSE(FesiaSet::Deserialize(bytes, &out).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, BitFlipFaultSurfacesAsCorruption) {
+  FesiaSet set = FesiaSet::Build(datagen::SortedUniform(500, 10000, 22));
+  std::vector<uint8_t> blob = set.Serialize();
+  std::string path = ::testing::TempDir() + "/fault_bitflip.fesia";
+  ASSERT_TRUE(WriteFileBytes(path, blob.data(), blob.size()).ok());
+
+  // Flip a bit deep in the payload (past the magic tag).
+  ScopedFault fault(FaultPoint::kSnapshotBitFlip, /*skip=*/0,
+                    /*param=*/1000);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
+  FesiaSet out;
+  Status s = FesiaSet::Deserialize(bytes, &out);
+  ASSERT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+
+  // Unfaulted re-read loads fine: the file itself was never damaged.
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
+  EXPECT_TRUE(FesiaSet::Deserialize(bytes, &out).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fesia

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "baselines/registry.h"
 #include "index/query_engine.h"
@@ -160,6 +162,84 @@ TEST_F(QueryEngineTest, ReferenceQueryCountMatchesEngine) {
   std::vector<uint32_t> q = {0, 1, 2};
   EXPECT_EQ(ReferenceQueryCount(idx_, q), engine_->CountFesia(q));
   EXPECT_EQ(ReferenceQueryCount(idx_, {}), 0u);
+}
+
+TEST(InvertedIndexPersistTest, RoundTrip) {
+  InvertedIndex idx = InvertedIndex::BuildSynthetic(SmallCorpus());
+  std::vector<uint8_t> bytes = idx.Serialize();
+  auto restored = InvertedIndex::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_docs(), idx.num_docs());
+  EXPECT_EQ(restored->num_terms(), idx.num_terms());
+  EXPECT_EQ(restored->total_postings(), idx.total_postings());
+  for (uint32_t t = 0; t < idx.num_terms(); ++t) {
+    auto a = idx.Postings(t);
+    auto b = restored->Postings(t);
+    ASSERT_EQ(std::vector<uint32_t>(a.begin(), a.end()),
+              std::vector<uint32_t>(b.begin(), b.end()))
+        << "term " << t;
+  }
+}
+
+TEST(InvertedIndexPersistTest, RejectsCorruption) {
+  CorpusParams p = SmallCorpus();
+  p.num_terms = 100;
+  InvertedIndex idx = InvertedIndex::BuildSynthetic(p);
+  std::vector<uint8_t> bytes = idx.Serialize();
+
+  // Any single-byte flip is caught (by the CRC at minimum).
+  for (size_t pos : {size_t{0}, size_t{9}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::vector<uint8_t> bad = bytes;
+    bad[pos] ^= 0xFF;
+    EXPECT_FALSE(InvertedIndex::Deserialize(bad).ok()) << "pos=" << pos;
+  }
+  // So is truncation, at every boundary class.
+  for (size_t cut : {size_t{0}, size_t{11}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    EXPECT_FALSE(InvertedIndex::Deserialize(
+        std::span<const uint8_t>(bytes.data(), cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST_F(QueryEngineTest, TermSetsRoundTrip) {
+  std::vector<uint8_t> bytes = engine_->SerializeTermSets();
+  auto loaded = QueryEngine::Load(&idx_, bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // The reloaded engine answers queries identically to the built one.
+  std::vector<uint32_t> q2 = {0, 1};
+  std::vector<uint32_t> q3 = {0, 1, 2};
+  EXPECT_EQ(loaded->CountFesia(q2), engine_->CountFesia(q2));
+  EXPECT_EQ(loaded->CountFesia(q3), engine_->CountFesia(q3));
+  EXPECT_EQ(loaded->QueryFesia(q2), engine_->QueryFesia(q2));
+}
+
+TEST_F(QueryEngineTest, LoadRejectsCorruptContainer) {
+  std::vector<uint8_t> bytes = engine_->SerializeTermSets();
+  for (size_t pos : {size_t{0}, size_t{40}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::vector<uint8_t> bad = bytes;
+    bad[pos] ^= 0xFF;
+    EXPECT_FALSE(QueryEngine::Load(&idx_, bad).ok()) << "pos=" << pos;
+  }
+  EXPECT_FALSE(QueryEngine::Load(
+      &idx_, std::span<const uint8_t>(bytes.data(), bytes.size() / 3)).ok());
+}
+
+TEST_F(QueryEngineTest, LoadRejectsMismatchedIndex) {
+  // A container built for one corpus must not load against another.
+  std::vector<uint8_t> bytes = engine_->SerializeTermSets();
+  CorpusParams p = SmallCorpus();
+  p.num_terms = 500;
+  p.seed = 77;
+  InvertedIndex other = InvertedIndex::BuildSynthetic(p);
+  ASSERT_NE(other.num_terms(), idx_.num_terms());
+  auto loaded = QueryEngine::Load(&other, bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition)
+      << loaded.status().ToString();
 }
 
 }  // namespace

@@ -1,12 +1,15 @@
 // FesiaSet serialization round-trips and corruption rejection.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "datagen/datagen.h"
 #include "fesia/fesia.h"
 #include "test_util.h"
+#include "util/crc32c.h"
+#include "util/fault_injection.h"
 
 namespace fesia {
 namespace {
@@ -34,11 +37,19 @@ void ExpectEquivalent(const FesiaSet& a, const FesiaSet& b) {
   }
 }
 
+// Recomputes the v2 CRC32C footer after a test tampers with the payload,
+// so deep validation (not the checksum) is what rejects the blob.
+void FixCrc(std::vector<uint8_t>* bytes) {
+  uint32_t crc = Crc32c(bytes->data(), bytes->size() - sizeof(uint32_t));
+  std::memcpy(bytes->data() + bytes->size() - sizeof(uint32_t), &crc,
+              sizeof(uint32_t));
+}
+
 TEST(SerializeTest, RoundTripBasic) {
   FesiaSet set = FesiaSet::Build(SortedUniform(5000, 1u << 22, 1));
   std::vector<uint8_t> bytes = set.Serialize();
   FesiaSet restored;
-  ASSERT_TRUE(FesiaSet::Deserialize(bytes, &restored));
+  ASSERT_TRUE(FesiaSet::Deserialize(bytes, &restored).ok());
   ExpectEquivalent(set, restored);
 }
 
@@ -51,7 +62,7 @@ TEST(SerializeTest, RoundTripAllShapes) {
       FesiaSet set = FesiaSet::Build(SortedUniform(2000, 1u << 20, s), p);
       std::vector<uint8_t> bytes = set.Serialize();
       FesiaSet restored;
-      ASSERT_TRUE(FesiaSet::Deserialize(bytes, &restored))
+      ASSERT_TRUE(FesiaSet::Deserialize(bytes, &restored).ok())
           << "s=" << s << " stride=" << stride;
       ExpectEquivalent(set, restored);
     }
@@ -62,7 +73,7 @@ TEST(SerializeTest, RoundTripEmptySet) {
   FesiaSet set = FesiaSet::Build({});
   std::vector<uint8_t> bytes = set.Serialize();
   FesiaSet restored;
-  ASSERT_TRUE(FesiaSet::Deserialize(bytes, &restored));
+  ASSERT_TRUE(FesiaSet::Deserialize(bytes, &restored).ok());
   EXPECT_TRUE(restored.empty());
 }
 
@@ -71,8 +82,8 @@ TEST(SerializeTest, DeserializedSetIntersectsCorrectly) {
   FesiaSet fa = FesiaSet::Build(pair.a);
   FesiaSet fb = FesiaSet::Build(pair.b);
   FesiaSet ra, rb;
-  ASSERT_TRUE(FesiaSet::Deserialize(fa.Serialize(), &ra));
-  ASSERT_TRUE(FesiaSet::Deserialize(fb.Serialize(), &rb));
+  ASSERT_TRUE(FesiaSet::Deserialize(fa.Serialize(), &ra).ok());
+  ASSERT_TRUE(FesiaSet::Deserialize(fb.Serialize(), &rb).ok());
   for (SimdLevel level : AvailableLevels()) {
     EXPECT_EQ(IntersectCount(ra, rb, level), pair.intersection_size)
         << SimdLevelName(level);
@@ -85,7 +96,8 @@ TEST(SerializeTest, RejectsBadMagic) {
   std::vector<uint8_t> bytes = set.Serialize();
   bytes[0] ^= 0xFF;
   FesiaSet out;
-  EXPECT_FALSE(FesiaSet::Deserialize(bytes, &out));
+  Status s = FesiaSet::Deserialize(bytes, &out);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
 }
 
 TEST(SerializeTest, RejectsTruncation) {
@@ -95,9 +107,37 @@ TEST(SerializeTest, RejectsTruncation) {
                      size_t{0}}) {
     FesiaSet out;
     EXPECT_FALSE(FesiaSet::Deserialize(
-        std::span<const uint8_t>(bytes.data(), cut), &out))
+        std::span<const uint8_t>(bytes.data(), cut), &out).ok())
         << "cut=" << cut;
   }
+}
+
+TEST(SerializeTest, TruncationSweepNeverCrashes) {
+  FesiaSet set = FesiaSet::Build(SortedUniform(300, 5000, 11));
+  std::vector<uint8_t> bytes = set.Serialize();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    FesiaSet out;
+    EXPECT_FALSE(FesiaSet::Deserialize(
+        std::span<const uint8_t>(bytes.data(), cut), &out).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(SerializeTest, EveryByteFlipRejected) {
+  // The CRC32C footer detects any single-byte corruption unconditionally,
+  // so flipping each byte in turn must always yield a clean non-OK Status.
+  FesiaSet set = FesiaSet::Build(SortedUniform(200, 4000, 9));
+  std::vector<uint8_t> bytes = set.Serialize();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] ^= 0xFF;
+    FesiaSet out;
+    Status s = FesiaSet::Deserialize(bytes, &out);
+    EXPECT_FALSE(s.ok()) << "byte " << i << " flip accepted";
+    bytes[i] ^= 0xFF;
+  }
+  // The pristine blob still loads.
+  FesiaSet out;
+  EXPECT_TRUE(FesiaSet::Deserialize(bytes, &out).ok());
 }
 
 TEST(SerializeTest, RejectsTrailingGarbage) {
@@ -105,22 +145,112 @@ TEST(SerializeTest, RejectsTrailingGarbage) {
   std::vector<uint8_t> bytes = set.Serialize();
   bytes.push_back(0);
   FesiaSet out;
-  EXPECT_FALSE(FesiaSet::Deserialize(bytes, &out));
+  EXPECT_FALSE(FesiaSet::Deserialize(bytes, &out).ok());
 }
 
 TEST(SerializeTest, RejectsCorruptedOffsets) {
   FesiaSet set = FesiaSet::Build(SortedUniform(500, 10000, 5));
   std::vector<uint8_t> bytes = set.Serialize();
-  // The offsets array sits after the bitmap; flipping a high byte in the
-  // middle of the buffer breaks monotonicity or the final-total invariant.
   bytes[bytes.size() / 2 + 3] ^= 0x80;
   FesiaSet out;
-  // Either rejected outright, or (if the flip hit the bitmap) the magic and
-  // structure still validate; in that case intersecting must still be safe.
-  if (FesiaSet::Deserialize(bytes, &out)) {
-    FesiaSet other = FesiaSet::Build(SortedUniform(500, 10000, 6));
-    (void)IntersectCount(out, other);  // must not crash
-  }
+  // Since v2 every storage flip is caught by the checksum.
+  Status s = FesiaSet::Deserialize(bytes, &out);
+  ASSERT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("checksum"), std::string::npos) << s.ToString();
+}
+
+TEST(SerializeTest, DeepValidationRejectsTamperedElement) {
+  // Overwrite the last reordered element (just before the footer) with a
+  // value that hashes elsewhere, then re-stamp the CRC: the checksum passes
+  // and the re-hash membership check must catch it instead.
+  FesiaSet set = FesiaSet::Build(SortedUniform(500, 10000, 6));
+  std::vector<uint8_t> bytes = set.Serialize();
+  uint32_t* last_element = reinterpret_cast<uint32_t*>(
+      bytes.data() + bytes.size() - 2 * sizeof(uint32_t));
+  *last_element ^= 0x55555;
+  FixCrc(&bytes);
+  FesiaSet out;
+  Status s = FesiaSet::Deserialize(bytes, &out);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+  EXPECT_EQ(s.message().find("checksum"), std::string::npos) << s.ToString();
+}
+
+TEST(SerializeTest, RejectsOutOfRangeSimdLevel) {
+  // simd_level sits at byte 36 (magic 8 + version 4 + four u32 + f64).
+  FesiaSet set = FesiaSet::Build(SortedUniform(100, 1000, 8));
+  std::vector<uint8_t> bytes = set.Serialize();
+  uint32_t bogus = 57;
+  std::memcpy(bytes.data() + 36, &bogus, sizeof(bogus));
+  FixCrc(&bytes);
+  FesiaSet out;
+  Status s = FesiaSet::Deserialize(bytes, &out);
+  ASSERT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("simd_level"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(SerializeTest, RejectsOversizedSectionCount) {
+  // A section count claiming more elements than the blob holds must be
+  // rejected without the count * sizeof overflowing. Counts start at
+  // byte 40; reordered_count is the third u64.
+  FesiaSet set = FesiaSet::Build(SortedUniform(100, 1000, 12));
+  std::vector<uint8_t> bytes = set.Serialize();
+  uint64_t huge = ~uint64_t{0} / 2;
+  std::memcpy(bytes.data() + 40 + 16, &huge, sizeof(huge));
+  FixCrc(&bytes);
+  FesiaSet out;
+  Status s = FesiaSet::Deserialize(bytes, &out);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+TEST(SerializeTest, AllocationFaultSurfacesAsStatus) {
+  FesiaSet set = FesiaSet::Build(SortedUniform(100, 1000, 13));
+  std::vector<uint8_t> bytes = set.Serialize();
+  fault::ScopedFault fault(fault::FaultPoint::kAllocation);
+  FesiaSet out;
+  Status s = FesiaSet::Deserialize(bytes, &out);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  // The fault fired once and disarmed; a retry succeeds.
+  EXPECT_TRUE(FesiaSet::Deserialize(bytes, &out).ok());
+}
+
+TEST(SerializeTest, ReadsLegacyV1Format) {
+  // Hand-write the v1 layout (inline counts, no checksum) from a built
+  // set's sections: old snapshots must stay loadable.
+  FesiaSet set = FesiaSet::Build(SortedUniform(800, 20000, 10));
+  std::vector<uint8_t> v1;
+  auto put = [&v1](const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    v1.insert(v1.end(), b, b + n);
+  };
+  auto put_u32 = [&](uint32_t v) { put(&v, 4); };
+  auto put_u64 = [&](uint64_t v) { put(&v, 8); };
+  put_u64(0x5445534149534546ull);  // "FESIASET"
+  put_u32(1);                      // version
+  put_u32(set.size());
+  put_u32(set.bitmap_bits());
+  put_u32(static_cast<uint32_t>(set.segment_bits()));
+  put_u32(static_cast<uint32_t>(set.kernel_stride()));
+  double scale = set.params().bitmap_scale;
+  put(&scale, 8);
+  put_u32(static_cast<uint32_t>(set.params().simd_level));
+  put_u64(set.bitmap_word_count());
+  put(set.bitmap_words(), set.bitmap_word_count() * 8);
+  put_u64(set.num_segments() + 1);
+  put(set.offsets(), (set.num_segments() + 1) * 4);
+  put_u64(set.reordered_size());
+  put(set.reordered(), set.reordered_size() * 4);
+
+  FesiaSet restored;
+  ASSERT_TRUE(FesiaSet::Deserialize(v1, &restored).ok());
+  ExpectEquivalent(set, restored);
+
+  // v1 has no checksum, but deep validation still rejects tampering that
+  // breaks structure: zero a byte inside the bitmap section.
+  std::vector<uint8_t> bad = v1;
+  bad[52] ^= 0xFF;
+  FesiaSet out;
+  EXPECT_FALSE(FesiaSet::Deserialize(bad, &out).ok());
 }
 
 TEST(SerializeTest, VersionedFormatIsStable) {
@@ -129,6 +259,13 @@ TEST(SerializeTest, VersionedFormatIsStable) {
   std::vector<uint8_t> bytes = set.Serialize();
   ASSERT_GE(bytes.size(), 8u);
   EXPECT_EQ(std::string(bytes.begin(), bytes.begin() + 8), "FESIASET");
+  // And carry version 2 plus a CRC32C footer over every preceding byte.
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, 4);
+  EXPECT_EQ(version, 2u);
+  uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - 4, 4);
+  EXPECT_EQ(stored, Crc32c(bytes.data(), bytes.size() - 4));
 }
 
 }  // namespace

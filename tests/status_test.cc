@@ -1,0 +1,104 @@
+// Status / StatusOr semantics: the error vocabulary every recoverable
+// path in the library speaks.
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fesia {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "invalid-argument"},
+      {Status::Corruption("b"), StatusCode::kCorruption, "corruption"},
+      {Status::IoError("c"), StatusCode::kIoError, "io-error"},
+      {Status::ResourceExhausted("d"), StatusCode::kResourceExhausted,
+       "resource-exhausted"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "failed-precondition"},
+      {Status::Unimplemented("f"), StatusCode::kUnimplemented,
+       "unimplemented"},
+      {Status::Internal("g"), StatusCode::kInternal, "internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.ToString().rfind(c.name, 0), 0u)
+        << c.status.ToString();
+    EXPECT_NE(c.status.ToString().find(c.status.message()),
+              std::string::npos);
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [](bool fail) -> Status {
+    if (fail) return Status::Corruption("inner failed");
+    return Status::Ok();
+  };
+  auto outer = [&](bool fail) -> Status {
+    FESIA_RETURN_IF_ERROR(inner(fail));
+    return Status::InvalidArgument("reached the end");
+  };
+  EXPECT_EQ(outer(true).code(), StatusCode::kCorruption);
+  EXPECT_EQ(outer(false).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::IoError("disk on fire");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(v.status().message(), "disk on fire");
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  std::vector<int> taken = *std::move(v);
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 5u);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto source = [](bool fail) -> StatusOr<int> {
+    if (fail) return Status::Corruption("no value");
+    return 7;
+  };
+  auto consumer = [&](bool fail) -> Status {
+    FESIA_ASSIGN_OR_RETURN(int got, source(fail));
+    return got == 7 ? Status::Ok() : Status::Internal("wrong value");
+  };
+  EXPECT_TRUE(consumer(false).ok());
+  EXPECT_EQ(consumer(true).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace fesia

@@ -5,9 +5,16 @@
 #include <set>
 #include <vector>
 
+#include <span>
+#include <stdexcept>
+#include <string>
+
 #include "util/aligned_buffer.h"
 #include "util/bits.h"
+#include "util/byte_io.h"
+#include "util/check.h"
 #include "util/cpu.h"
+#include "util/crc32c.h"
 #include "util/perf_counters.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -333,6 +340,119 @@ TEST(TablePrinterTest, CsvOutput) {
   EXPECT_NE(csv.find("name,value"), std::string::npos);
   EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
   EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Crc32cTest, KnownAnswers) {
+  // RFC 3720 check value for the ASCII digits "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const char* data = "The quick brown fox jumps over the lazy dog";
+  size_t n = std::strlen(data);
+  uint32_t one_shot = Crc32c(data, n);
+  uint32_t incremental = Crc32c(data, 10);
+  incremental = Crc32c(data + 10, n - 10, incremental);
+  EXPECT_EQ(incremental, one_shot);
+}
+
+TEST(Crc32cTest, DetectsEverySingleByteChange) {
+  std::vector<uint8_t> buf(256);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<uint8_t>(i);
+  uint32_t clean = Crc32c(buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] ^= 0xFF;
+    EXPECT_NE(Crc32c(buf.data(), buf.size()), clean) << i;
+    buf[i] ^= 0xFF;
+  }
+}
+
+TEST(CheckTest, HandlerInterceptsFailure) {
+  // A throwing handler turns the abort into a catchable event, proving all
+  // failures funnel through the installed hook.
+  struct Intercept {
+    [[noreturn]] static void Throw(const char* file, int line,
+                                   const char* expr) {
+      throw std::runtime_error(std::string(file) + ":" +
+                               std::to_string(line) + ": " + expr);
+    }
+  };
+  CheckFailHandler prev = SetCheckFailHandler(&Intercept::Throw);
+  EXPECT_THROW(FESIA_CHECK(1 == 2), std::runtime_error);
+  try {
+    FESIA_CHECK(false);
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+  SetCheckFailHandler(prev);
+}
+
+TEST(CheckTest, DcheckCompilesOutUnderNdebug) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  FESIA_DCHECK(count());
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0);  // no side effects in release builds
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+TEST(ByteIoTest, ReaderRejectsOversizedCounts) {
+  std::vector<uint8_t> bytes(64, 0);
+  ByteReader r{std::span<const uint8_t>(bytes)};
+  std::vector<uint64_t> out;
+  // A count whose byte size would overflow size_t must be rejected by the
+  // remaining-bytes bound, not wrap around.
+  Status s = r.GetRawArray(&out, ~uint64_t{0} / 4);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ByteIoTest, WriterReaderRoundTrip) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.Put<uint32_t>(0xDEADBEEF);
+  w.Put<uint64_t>(42);
+  const uint16_t arr[] = {1, 2, 3};
+  w.PutRaw(arr, 3);
+
+  ByteReader r{std::span<const uint8_t>(buf)};
+  uint32_t a = 0;
+  uint64_t b = 0;
+  ASSERT_TRUE(r.Get(&a));
+  ASSERT_TRUE(r.Get(&b));
+  std::vector<uint16_t> back;
+  ASSERT_TRUE(r.GetRawArray(&back, 3).ok());
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  EXPECT_EQ(b, 42u);
+  EXPECT_EQ(back, (std::vector<uint16_t>{1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+  // Reading past the end fails without advancing.
+  uint32_t extra = 0;
+  EXPECT_FALSE(r.Get(&extra));
+}
+
+TEST(CpuTest, ParseSimdLevelNames) {
+  SimdLevel level = SimdLevel::kAuto;
+  EXPECT_TRUE(ParseSimdLevel("scalar", &level));
+  EXPECT_EQ(level, SimdLevel::kScalar);
+  EXPECT_TRUE(ParseSimdLevel("avx2", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx2);
+  EXPECT_TRUE(ParseSimdLevel("avx512", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx512);
+  EXPECT_TRUE(ParseSimdLevel("auto", &level));
+  EXPECT_EQ(level, SimdLevel::kAuto);
+  EXPECT_FALSE(ParseSimdLevel("turbo", &level));
+  EXPECT_FALSE(ParseSimdLevel("", &level));
+  EXPECT_FALSE(ParseSimdLevel(nullptr, &level));
 }
 
 }  // namespace

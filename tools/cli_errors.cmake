@@ -1,0 +1,71 @@
+# Smoke test of fesia_cli's error discipline: each failure class must map
+# to its documented exit code (2 usage, 3 I/O, 4 corrupt) with a stderr
+# message, and must never crash.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(expect_rc expected_rc label)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR
+            "${label}: expected exit ${expected_rc}, got ${rc}: ${out}${err}")
+  endif()
+  if(NOT expected_rc EQUAL 0 AND err STREQUAL "")
+    message(FATAL_ERROR "${label}: non-zero exit but empty stderr")
+  endif()
+endfunction()
+
+# Usage errors -> 2.
+expect_rc(2 "no-arguments")
+expect_rc(2 "unknown-command" frobnicate --in x)
+expect_rc(2 "malformed-n" generate --n notanumber --out ${WORK_DIR}/x.bin)
+expect_rc(2 "negative-n" generate --n -5 --out ${WORK_DIR}/x.bin)
+expect_rc(2 "bad-segment-bits" encode --in ${WORK_DIR}/x.bin
+          --out ${WORK_DIR}/y.bin --segment-bits 7)
+expect_rc(2 "bad-level" intersect --a ${WORK_DIR}/x.bin --b ${WORK_DIR}/x.bin
+          --level turbo)
+expect_rc(2 "unknown-method" intersect --a ${WORK_DIR}/ok.bin
+          --b ${WORK_DIR}/ok.bin --method NoSuchMethod)
+
+# I/O errors -> 3.
+expect_rc(3 "missing-input" info --in ${WORK_DIR}/does-not-exist.bin)
+expect_rc(3 "unwritable-output" generate --n 64
+          --out ${WORK_DIR}/no-such-dir/out.bin)
+
+# Corrupt snapshots -> 4. A magic-tagged file that fails validation must be
+# rejected, not silently reinterpreted as raw uint32 data.
+file(WRITE ${WORK_DIR}/corrupt.fesia "FESIASETgarbage-trailing-bytes")
+expect_rc(4 "corrupt-snapshot" info --in ${WORK_DIR}/corrupt.fesia)
+file(WRITE ${WORK_DIR}/odd.bin "xyz")
+expect_rc(4 "odd-sized-raw" info --in ${WORK_DIR}/odd.bin)
+
+# Storage faults injected through the FESIA_FAULTS harness: a bit flipped
+# deep in the payload (bit 1000, past the magic) and a truncated tail must
+# both surface as exit 4, proving the CRC/structure validation catches
+# in-flight corruption end to end.
+expect_rc(0 "gen-ok" generate --n 1000 --seed 3 --out ${WORK_DIR}/ok.bin)
+expect_rc(0 "encode-ok" encode --in ${WORK_DIR}/ok.bin
+          --out ${WORK_DIR}/ok.fesia)
+
+function(expect_rc_env faults expected_rc label)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E env FESIA_FAULTS=${faults}
+                  ${CLI} ${ARGN}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR
+            "${label}: expected exit ${expected_rc}, got ${rc}: ${out}${err}")
+  endif()
+endfunction()
+
+expect_rc_env("snapshot-bitflip:0:1000" 4 "bitflip-snapshot"
+              info --in ${WORK_DIR}/ok.fesia)
+expect_rc_env("snapshot-truncate:0:8" 4 "truncated-snapshot"
+              info --in ${WORK_DIR}/ok.fesia)
+
+# Success path still exits 0.
+expect_rc(0 "info-ok" info --in ${WORK_DIR}/ok.fesia)
+message(STATUS "cli error-path smoke ok")

@@ -8,11 +8,18 @@
 //
 // Set files hold raw little-endian uint32 values ("raw" format) or a
 // serialized FesiaSet ("fesia" format, magic-tagged; auto-detected).
+//
+// Exit codes (see docs/ROBUSTNESS.md):
+//   0  success
+//   2  usage error / malformed arguments
+//   3  I/O failure (missing file, unwritable output)
+//   4  corrupt or invalid snapshot
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +28,8 @@
 #include "datagen/datagen.h"
 #include "fesia/fesia.h"
 #include "util/cpu.h"
+#include "util/file_io.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace {
@@ -28,6 +37,12 @@ namespace {
 using fesia::FesiaParams;
 using fesia::FesiaSet;
 using fesia::SimdLevel;
+using fesia::Status;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitCorrupt = 4;
 
 int Usage() {
   std::fprintf(stderr, R"(usage: fesia_cli <command> [options]
@@ -45,8 +60,10 @@ commands:
       L is scalar|sse|avx2|avx512|auto
   info --in FILE
       structural statistics of a raw or encoded set file
+
+exit codes: 0 ok, 2 usage, 3 I/O failure, 4 corrupt snapshot
 )");
-  return 2;
+  return kExitUsage;
 }
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
@@ -66,43 +83,109 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? def : it->second;
 }
 
-bool WriteFile(const std::string& path, const void* data, size_t bytes) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+// Strict numeric flag parsers: the whole value must be consumed, and a
+// malformed value is a usage error rather than an exception or garbage.
+bool ParseU64Flag(const std::map<std::string, std::string>& flags,
+                  const std::string& key, uint64_t def, uint64_t* out) {
+  auto it = flags.find(key);
+  if (it == flags.end()) {
+    *out = def;
+    return true;
+  }
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || it->second[0] == '-') {
+    std::fprintf(stderr, "fesia_cli: --%s expects a non-negative integer, "
+                 "got \"%s\"\n", key.c_str(), s);
     return false;
   }
-  out.write(static_cast<const char*>(data),
-            static_cast<std::streamsize>(bytes));
-  return out.good();
+  *out = v;
+  return true;
 }
 
-bool ReadFile(const std::string& path, std::vector<uint8_t>* bytes) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+bool ParseIntFlag(const std::map<std::string, std::string>& flags,
+                  const std::string& key, int def, int* out) {
+  uint64_t v = 0;
+  if (!ParseU64Flag(flags, key, static_cast<uint64_t>(def), &v)) return false;
+  if (v > 1u << 30) {
+    std::fprintf(stderr, "fesia_cli: --%s value %llu out of range\n",
+                 key.c_str(), static_cast<unsigned long long>(v));
     return false;
   }
-  std::streamsize size = in.tellg();
-  in.seekg(0);
-  bytes->resize(static_cast<size_t>(size));
-  in.read(reinterpret_cast<char*>(bytes->data()), size);
-  return in.good();
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseDoubleFlag(const std::map<std::string, std::string>& flags,
+                     const std::string& key, double def, double* out) {
+  auto it = flags.find(key);
+  if (it == flags.end()) {
+    *out = def;
+    return true;
+  }
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') {
+    std::fprintf(stderr, "fesia_cli: --%s expects a number, got \"%s\"\n",
+                 key.c_str(), s);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+int ReportIo(const Status& s) {
+  std::fprintf(stderr, "fesia_cli: %s\n", s.ToString().c_str());
+  return kExitIo;
+}
+
+bool WriteOrFail(const std::string& path, const void* data, size_t bytes,
+                 int* exit_code) {
+  Status s = fesia::WriteFileBytes(path, data, bytes);
+  if (!s.ok()) {
+    *exit_code = ReportIo(s);
+    return false;
+  }
+  return true;
+}
+
+bool HasSnapshotMagic(const std::vector<uint8_t>& bytes) {
+  static constexpr char kMagic[8] = {'F', 'E', 'S', 'I', 'A', 'S', 'E', 'T'};
+  return bytes.size() >= sizeof(kMagic) &&
+         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
 }
 
 // Loads either a serialized FesiaSet or a raw uint32 file (re-encoding it
-// with default parameters). Returns false on error.
+// with default parameters). On failure, prints a message and sets
+// *exit_code: a magic-tagged file that fails validation is corrupt (4),
+// never silently reinterpreted as raw data.
 bool LoadAsFesia(const std::string& path, FesiaSet* set,
-                 std::vector<uint32_t>* raw) {
+                 std::vector<uint32_t>* raw, int* exit_code) {
   std::vector<uint8_t> bytes;
-  if (!ReadFile(path, &bytes)) return false;
-  if (FesiaSet::Deserialize(bytes, set)) {
+  Status s = fesia::ReadFileBytes(path, &bytes);
+  if (!s.ok()) {
+    *exit_code = ReportIo(s);
+    return false;
+  }
+  if (HasSnapshotMagic(bytes)) {
+    Status parsed = FesiaSet::Deserialize(bytes, set);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "fesia_cli: %s: %s\n", path.c_str(),
+                   parsed.ToString().c_str());
+      *exit_code = kExitCorrupt;
+      return false;
+    }
     *raw = set->ToSortedVector();
     return true;
   }
   if (bytes.size() % 4 != 0) {
-    std::fprintf(stderr, "%s: not a FesiaSet and size %% 4 != 0\n",
+    std::fprintf(stderr, "fesia_cli: %s: not a FesiaSet and size %% 4 != 0\n",
                  path.c_str());
+    *exit_code = kExitCorrupt;
     return false;
   }
   raw->resize(bytes.size() / 4);
@@ -111,64 +194,103 @@ bool LoadAsFesia(const std::string& path, FesiaSet* set,
   return true;
 }
 
-SimdLevel ParseLevel(const std::string& s) {
-  if (s == "scalar") return SimdLevel::kScalar;
-  if (s == "sse") return SimdLevel::kSse;
-  if (s == "avx2") return SimdLevel::kAvx2;
-  if (s == "avx512") return SimdLevel::kAvx512;
-  return SimdLevel::kAuto;
+bool ParseLevelFlag(const std::map<std::string, std::string>& flags,
+                    SimdLevel* out) {
+  std::string s = FlagOr(flags, "level", "auto");
+  if (!fesia::ParseSimdLevel(s.c_str(), out)) {
+    std::fprintf(stderr, "fesia_cli: unknown --level \"%s\" (expected "
+                 "scalar|sse|avx2|avx512|auto)\n", s.c_str());
+    return false;
+  }
+  return true;
 }
 
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
-  size_t n = std::stoull(FlagOr(flags, "n", "0"));
-  uint64_t universe = std::stoull(FlagOr(flags, "universe", "0"));
+  uint64_t n = 0, universe = 0, seed = 0;
+  if (!ParseU64Flag(flags, "n", 0, &n) ||
+      !ParseU64Flag(flags, "universe", 0, &universe) ||
+      !ParseU64Flag(flags, "seed", 1, &seed)) {
+    return kExitUsage;
+  }
   if (universe == 0) universe = 16 * n + 64;
-  uint64_t seed = std::stoull(FlagOr(flags, "seed", "1"));
   std::string out = FlagOr(flags, "out", "");
   if (n == 0 || out.empty()) return Usage();
   std::vector<uint32_t> v = fesia::datagen::SortedUniform(n, universe, seed);
-  if (!WriteFile(out, v.data(), v.size() * 4)) return 1;
+  int exit_code = kExitOk;
+  if (!WriteOrFail(out, v.data(), v.size() * 4, &exit_code)) return exit_code;
   std::printf("wrote %zu keys to %s\n", v.size(), out.c_str());
-  return 0;
+  return kExitOk;
 }
 
 int CmdGeneratePair(const std::map<std::string, std::string>& flags) {
-  size_t n1 = std::stoull(FlagOr(flags, "n1", "0"));
-  size_t n2 = std::stoull(FlagOr(flags, "n2", "0"));
-  double sel = std::stod(FlagOr(flags, "selectivity", "0.1"));
-  uint64_t seed = std::stoull(FlagOr(flags, "seed", "1"));
+  uint64_t n1 = 0, n2 = 0, seed = 0;
+  double sel = 0;
+  if (!ParseU64Flag(flags, "n1", 0, &n1) ||
+      !ParseU64Flag(flags, "n2", 0, &n2) ||
+      !ParseDoubleFlag(flags, "selectivity", 0.1, &sel) ||
+      !ParseU64Flag(flags, "seed", 1, &seed)) {
+    return kExitUsage;
+  }
   std::string out_a = FlagOr(flags, "out-a", "");
   std::string out_b = FlagOr(flags, "out-b", "");
   if (n1 == 0 || n2 == 0 || out_a.empty() || out_b.empty()) return Usage();
   auto pair = fesia::datagen::PairWithSelectivity(n1, n2, sel, seed);
-  if (!WriteFile(out_a, pair.a.data(), pair.a.size() * 4)) return 1;
-  if (!WriteFile(out_b, pair.b.data(), pair.b.size() * 4)) return 1;
+  int exit_code = kExitOk;
+  if (!WriteOrFail(out_a, pair.a.data(), pair.a.size() * 4, &exit_code)) {
+    return exit_code;
+  }
+  if (!WriteOrFail(out_b, pair.b.data(), pair.b.size() * 4, &exit_code)) {
+    return exit_code;
+  }
   std::printf("wrote %zu + %zu keys, |A ∩ B| = %zu\n", pair.a.size(),
               pair.b.size(), pair.intersection_size);
-  return 0;
+  return kExitOk;
 }
 
 int CmdEncode(const std::map<std::string, std::string>& flags) {
   std::string in = FlagOr(flags, "in", "");
   std::string out = FlagOr(flags, "out", "");
   if (in.empty() || out.empty()) return Usage();
+  // Validate every flag before touching the filesystem, so malformed
+  // arguments report as usage errors even when the input is also missing.
+  FesiaParams params;
+  if (!ParseIntFlag(flags, "segment-bits", 16, &params.segment_bits) ||
+      !ParseIntFlag(flags, "stride", 1, &params.kernel_stride)) {
+    return kExitUsage;
+  }
+  if (params.segment_bits != 8 && params.segment_bits != 16 &&
+      params.segment_bits != 32) {
+    std::fprintf(stderr, "fesia_cli: --segment-bits must be 8, 16, or 32\n");
+    return kExitUsage;
+  }
+  if (params.kernel_stride != 1 && params.kernel_stride != 2 &&
+      params.kernel_stride != 4 && params.kernel_stride != 8) {
+    std::fprintf(stderr, "fesia_cli: --stride must be 1, 2, 4, or 8\n");
+    return kExitUsage;
+  }
   std::vector<uint8_t> bytes;
-  if (!ReadFile(in, &bytes) || bytes.size() % 4 != 0) return 1;
+  Status s = fesia::ReadFileBytes(in, &bytes);
+  if (!s.ok()) return ReportIo(s);
+  if (bytes.size() % 4 != 0) {
+    std::fprintf(stderr, "fesia_cli: %s: raw set size %% 4 != 0\n",
+                 in.c_str());
+    return kExitCorrupt;
+  }
   std::vector<uint32_t> raw(bytes.size() / 4);
   std::memcpy(raw.data(), bytes.data(), bytes.size());
-  FesiaParams params;
-  params.segment_bits = std::stoi(FlagOr(flags, "segment-bits", "16"));
-  params.kernel_stride = std::stoi(FlagOr(flags, "stride", "1"));
   fesia::WallTimer timer;
   FesiaSet set = FesiaSet::Build(raw, params);
   double build_s = timer.Seconds();
   std::vector<uint8_t> blob = set.Serialize();
-  if (!WriteFile(out, blob.data(), blob.size())) return 1;
+  int exit_code = kExitOk;
+  if (!WriteOrFail(out, blob.data(), blob.size(), &exit_code)) {
+    return exit_code;
+  }
   std::printf(
       "encoded %u keys in %.3f s: m = %u bits, %u segments, %zu bytes\n",
       set.size(), build_s, set.bitmap_bits(), set.num_segments(),
       blob.size());
-  return 0;
+  return kExitOk;
 }
 
 int CmdIntersect(const std::map<std::string, std::string>& flags) {
@@ -176,13 +298,28 @@ int CmdIntersect(const std::map<std::string, std::string>& flags) {
   std::string file_b = FlagOr(flags, "b", "");
   if (file_a.empty() || file_b.empty()) return Usage();
   std::string method = FlagOr(flags, "method", "fesia");
-  SimdLevel level = ParseLevel(FlagOr(flags, "level", "auto"));
-  int reps = std::stoi(FlagOr(flags, "reps", "5"));
+  SimdLevel level = SimdLevel::kAuto;
+  int reps = 0;
+  if (!ParseLevelFlag(flags, &level) ||
+      !ParseIntFlag(flags, "reps", 5, &reps)) {
+    return kExitUsage;
+  }
+  if (reps <= 0) {
+    std::fprintf(stderr, "fesia_cli: --reps must be positive\n");
+    return kExitUsage;
+  }
+  bool is_fesia_method = method == "fesia" || method == "fesia-hash" ||
+                         method == "fesia-auto";
+  if (!is_fesia_method && fesia::baselines::FindBaseline(method) == nullptr) {
+    std::fprintf(stderr, "fesia_cli: unknown method %s\n", method.c_str());
+    return kExitUsage;
+  }
 
   FesiaSet fa, fb;
   std::vector<uint32_t> raw_a, raw_b;
-  if (!LoadAsFesia(file_a, &fa, &raw_a)) return 1;
-  if (!LoadAsFesia(file_b, &fb, &raw_b)) return 1;
+  int exit_code = kExitOk;
+  if (!LoadAsFesia(file_a, &fa, &raw_a, &exit_code)) return exit_code;
+  if (!LoadAsFesia(file_b, &fb, &raw_b, &exit_code)) return exit_code;
 
   size_t result = 0;
   double best_ms = 1e300;
@@ -197,8 +334,8 @@ int CmdIntersect(const std::map<std::string, std::string>& flags) {
     } else {
       const auto* m = fesia::baselines::FindBaseline(method);
       if (m == nullptr) {
-        std::fprintf(stderr, "unknown method %s\n", method.c_str());
-        return 2;
+        std::fprintf(stderr, "fesia_cli: unknown method %s\n", method.c_str());
+        return kExitUsage;
       }
       result = m->fn(raw_a.data(), raw_a.size(), raw_b.data(), raw_b.size());
     }
@@ -208,7 +345,7 @@ int CmdIntersect(const std::map<std::string, std::string>& flags) {
               "best of %d: %.3f ms\n",
               raw_a.size(), raw_b.size(), result, method.c_str(), reps,
               best_ms);
-  return 0;
+  return kExitOk;
 }
 
 int CmdInfo(const std::map<std::string, std::string>& flags) {
@@ -216,7 +353,8 @@ int CmdInfo(const std::map<std::string, std::string>& flags) {
   if (in.empty()) return Usage();
   FesiaSet set;
   std::vector<uint32_t> raw;
-  if (!LoadAsFesia(in, &set, &raw)) return 1;
+  int exit_code = kExitOk;
+  if (!LoadAsFesia(in, &set, &raw, &exit_code)) return exit_code;
   FesiaSet::Stats st = set.ComputeStats();
   std::printf("keys:              %u\n", set.size());
   std::printf("bitmap bits (m):   %u\n", set.bitmap_bits());
@@ -229,7 +367,7 @@ int CmdInfo(const std::map<std::string, std::string>& flags) {
   std::printf("memory:            %zu bytes\n", st.memory_bytes);
   std::printf("host SIMD:         %s\n",
               fesia::SimdLevelName(fesia::DetectSimdLevel()));
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -243,5 +381,6 @@ int main(int argc, char** argv) {
   if (cmd == "encode") return CmdEncode(flags);
   if (cmd == "intersect") return CmdIntersect(flags);
   if (cmd == "info") return CmdInfo(flags);
+  std::fprintf(stderr, "fesia_cli: unknown command \"%s\"\n", cmd.c_str());
   return Usage();
 }
