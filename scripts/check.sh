@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Robustness gate: build and run the full test suite under ASan and UBSan
-# in addition to the plain release build. Every fault-injection and
-# corruption test must pass with zero sanitizer reports.
+# Robustness gate: build and run the full test suite under ASan, UBSan and
+# TSan in addition to the plain release build. Every fault-injection and
+# corruption test must pass with zero sanitizer reports; TSan race-checks
+# the shared-pool executor and the parallel intersection/batch-query paths.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -9,7 +10,7 @@ cd "$(dirname "$0")/.."
 
 jobs="${1:-$(nproc)}"
 
-for preset in default asan ubsan; do
+for preset in default asan ubsan tsan; do
   echo "=== [$preset] configure + build ==="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$jobs"

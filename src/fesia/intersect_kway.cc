@@ -1,10 +1,12 @@
 #include "fesia/intersect_kway.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "fesia/backends.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace fesia {
 namespace {
@@ -94,48 +96,38 @@ size_t CascadeSegment(std::span<const FesiaSet* const> sets,
   return len;
 }
 
+// Runs the full two-step k-way pipeline over bitmap words [word_begin,
+// word_end) of the largest input `base`. A word always covers whole
+// segments (s >= 8 divides 64 and bitmaps are at least 512 bits), so a word
+// range is a segment range — this is the unit the multicore extension
+// partitions across threads.
 template <typename Emit>
-size_t KWayImpl(std::span<const FesiaSet* const> sets, SimdLevel level,
-                Emit emit) {
-  if (sets.empty()) return 0;
-  for (const FesiaSet* s : sets) {
-    FESIA_CHECK(s != nullptr);
-    FESIA_CHECK(s->segment_bits() == sets[0]->segment_bits());
-    if (s->empty()) return 0;
-  }
-  if (sets.size() == 1) {
-    for (uint32_t i = 0; i < sets[0]->reordered_size(); ++i) {
-      uint32_t v = sets[0]->reordered()[i];
-      if (v != FesiaSet::kSentinel) emit(v);
-    }
-    return sets[0]->size();
-  }
-
-  const internal::Backend& backend = internal::GetBackend(level);
-  const uint32_t s = static_cast<uint32_t>(sets[0]->segment_bits());
+size_t ProcessWordRange(std::span<const FesiaSet* const> sets,
+                        const internal::Backend& backend,
+                        const FesiaSet& base, size_t word_begin,
+                        size_t word_end, Emit emit) {
+  const uint32_t s = static_cast<uint32_t>(base.segment_bits());
+  const size_t num_words = word_end - word_begin;
+  const size_t base_words = base.bitmap_bits() / 64;
 
   // Step 1 (paper Sec. VI): AND all k bitmaps. We materialize the combined
   // bitmap over the largest input's segment space first — each equal-size
   // AND pass is a straight-line loop the compiler vectorizes to full-width
-  // SIMD — and wrap smaller bitmaps word-wise (a word always covers whole
-  // segments: s >= 8 divides 64 and bitmaps are at least 512 bits).
-  const FesiaSet* base = sets[0];
+  // SIMD — and wrap smaller bitmaps word-wise.
+  std::vector<uint64_t> and_words(base.bitmap_words() + word_begin,
+                                  base.bitmap_words() + word_end);
   for (const FesiaSet* set : sets) {
-    if (set->num_segments() > base->num_segments()) base = set;
-  }
-  const size_t num_words = base->bitmap_bits() / 64;
-  std::vector<uint64_t> and_words(base->bitmap_words(),
-                                  base->bitmap_words() + num_words);
-  for (const FesiaSet* set : sets) {
-    if (set == base) continue;
+    if (set == &base) continue;
     const uint64_t* words = set->bitmap_words();
     const size_t set_words = set->bitmap_bits() / 64;
-    if (set_words == num_words) {
-      for (size_t w = 0; w < num_words; ++w) and_words[w] &= words[w];
+    if (set_words == base_words) {
+      for (size_t w = 0; w < num_words; ++w) {
+        and_words[w] &= words[word_begin + w];
+      }
     } else {
       const size_t wrap_mask = set_words - 1;
       for (size_t w = 0; w < num_words; ++w) {
-        and_words[w] &= words[w & wrap_mask];
+        and_words[w] &= words[(word_begin + w) & wrap_mask];
       }
     }
   }
@@ -151,12 +143,54 @@ size_t KWayImpl(std::span<const FesiaSet* const> sets, SimdLevel level,
     if (word == 0) continue;
     for (uint32_t g = 0; g < segs_per_word; ++g) {
       if (((word >> (g * s)) & seg_mask) == 0) continue;
-      uint32_t base_seg = static_cast<uint32_t>(w) * segs_per_word + g;
+      uint32_t base_seg =
+          static_cast<uint32_t>(word_begin + w) * segs_per_word + g;
       total += CascadeSegment(sets, base_seg, backend, &scratch_a,
                               &scratch_b, emit);
     }
   }
   return total;
+}
+
+// Precondition checks shared by every entry; returns false when any input
+// is empty (the intersection is empty, no pipeline needed).
+bool ValidateKWay(std::span<const FesiaSet* const> sets) {
+  for (const FesiaSet* s : sets) {
+    FESIA_CHECK(s != nullptr);
+    FESIA_CHECK(s->segment_bits() == sets[0]->segment_bits());
+  }
+  for (const FesiaSet* s : sets) {
+    if (s->empty()) return false;
+  }
+  return true;
+}
+
+// Largest input: its segment space hosts the combined bitmap.
+const FesiaSet* KWayBase(std::span<const FesiaSet* const> sets) {
+  const FesiaSet* base = sets[0];
+  for (const FesiaSet* set : sets) {
+    if (set->num_segments() > base->num_segments()) base = set;
+  }
+  return base;
+}
+
+template <typename Emit>
+size_t KWayImpl(std::span<const FesiaSet* const> sets, SimdLevel level,
+                Emit emit) {
+  if (sets.empty()) return 0;
+  if (!ValidateKWay(sets)) return 0;
+  if (sets.size() == 1) {
+    for (uint32_t i = 0; i < sets[0]->reordered_size(); ++i) {
+      uint32_t v = sets[0]->reordered()[i];
+      if (v != FesiaSet::kSentinel) emit(v);
+    }
+    return sets[0]->size();
+  }
+
+  const internal::Backend& backend = internal::GetBackend(level);
+  const FesiaSet* base = KWayBase(sets);
+  return ProcessWordRange(sets, backend, *base, 0, base->bitmap_bits() / 64,
+                          emit);
 }
 
 }  // namespace
@@ -175,6 +209,66 @@ size_t IntersectIntoKWay(std::span<const FesiaSet* const> sets,
       KWayImpl(sets, level, [out](uint32_t v) { out->push_back(v); });
   if (sort_output) std::sort(out->begin(), out->end());
   return r;
+}
+
+size_t IntersectCountKWayParallel(std::span<const FesiaSet* const> sets,
+                                  size_t num_threads, SimdLevel level,
+                                  const Executor& exec) {
+  if (sets.size() <= 1 || num_threads <= 1) {
+    return IntersectCountKWay(sets, level);
+  }
+  if (!ValidateKWay(sets)) return 0;
+  const internal::Backend& backend = internal::GetBackend(level);
+  const FesiaSet* base = KWayBase(sets);
+  const size_t num_words = base->bitmap_bits() / 64;
+  num_threads = std::min(num_threads, num_words);
+  if (num_threads <= 1) return IntersectCountKWay(sets, level);
+
+  std::atomic<uint64_t> total{0};
+  ParallelFor(
+      0, num_words, num_threads,
+      [&](size_t word_begin, size_t word_end, size_t /*t*/) {
+        uint64_t partial = ProcessWordRange(sets, backend, *base, word_begin,
+                                            word_end, [](uint32_t) {});
+        total.fetch_add(partial, std::memory_order_relaxed);
+      },
+      exec);
+  return total.load(std::memory_order_relaxed);
+}
+
+size_t IntersectIntoKWayParallel(std::span<const FesiaSet* const> sets,
+                                 std::vector<uint32_t>* out,
+                                 size_t num_threads, bool sort_output,
+                                 SimdLevel level, const Executor& exec) {
+  FESIA_CHECK(out != nullptr);
+  if (sets.size() <= 1 || num_threads <= 1) {
+    return IntersectIntoKWay(sets, out, sort_output, level);
+  }
+  out->clear();
+  if (!ValidateKWay(sets)) return 0;
+  const internal::Backend& backend = internal::GetBackend(level);
+  const FesiaSet* base = KWayBase(sets);
+  const size_t num_words = base->bitmap_bits() / 64;
+  num_threads = std::min(num_threads, num_words);
+  if (num_threads <= 1) return IntersectIntoKWay(sets, out, sort_output, level);
+
+  std::vector<std::vector<uint32_t>> slices(num_threads);
+  ParallelFor(
+      0, num_words, num_threads,
+      [&](size_t word_begin, size_t word_end, size_t t) {
+        std::vector<uint32_t>& slice = slices[t];
+        ProcessWordRange(sets, backend, *base, word_begin, word_end,
+                         [&slice](uint32_t v) { slice.push_back(v); });
+      },
+      exec);
+  size_t total = 0;
+  for (const auto& slice : slices) total += slice.size();
+  out->reserve(total);
+  for (const auto& slice : slices) {
+    out->insert(out->end(), slice.begin(), slice.end());
+  }
+  if (sort_output) std::sort(out->begin(), out->end());
+  return out->size();
 }
 
 }  // namespace fesia

@@ -15,6 +15,7 @@
 
 #include "fesia/fesia_set.h"
 #include "util/cpu.h"
+#include "util/thread_pool.h"
 
 namespace fesia {
 
@@ -27,6 +28,26 @@ size_t IntersectCountKWay(std::span<const FesiaSet* const> sets,
 size_t IntersectIntoKWay(std::span<const FesiaSet* const> sets,
                          std::vector<uint32_t>* out, bool sort_output = true,
                          SimdLevel level = SimdLevel::kAuto);
+
+/// Multicore k-way intersection (paper Sec. VI applied to Proposition 2):
+/// the largest input's bitmap-word range is partitioned across threads and
+/// each worker runs the full AND-then-cascade pipeline on its slice.
+/// num_threads <= 1, k <= 1, or a word range too small to split all
+/// degenerate to the sequential path. Runs on the shared process-wide pool
+/// unless `exec` names another.
+size_t IntersectCountKWayParallel(std::span<const FesiaSet* const> sets,
+                                  size_t num_threads,
+                                  SimdLevel level = SimdLevel::kAuto,
+                                  const Executor& exec = {});
+
+/// Materializing multicore k-way intersection; each thread emits into a
+/// private slice bounded by its word range, slices are concatenated in
+/// segment order and optionally sorted.
+size_t IntersectIntoKWayParallel(std::span<const FesiaSet* const> sets,
+                                 std::vector<uint32_t>* out,
+                                 size_t num_threads, bool sort_output = true,
+                                 SimdLevel level = SimdLevel::kAuto,
+                                 const Executor& exec = {});
 
 }  // namespace fesia
 

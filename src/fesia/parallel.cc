@@ -9,41 +9,62 @@
 #include "util/thread_pool.h"
 
 namespace fesia {
+namespace {
+
+// Number of chunk-aligned ranges covering [0, total_segs): the remainder is
+// routed through the final chunk (count_range/into_range accept a seg_end
+// equal to the big set's segment count even when unaligned), so trailing
+// segments are never silently dropped.
+uint32_t NumChunks(uint32_t total_segs, uint32_t chunk) {
+  return (total_segs + chunk - 1) / chunk;
+}
+
+}  // namespace
 
 size_t IntersectCountParallel(const FesiaSet& a, const FesiaSet& b,
-                              size_t num_threads, SimdLevel level) {
+                              size_t num_threads, SimdLevel level,
+                              const Executor& exec) {
   const internal::Backend& backend = internal::GetBackend(level);
-  if (num_threads <= 1 || a.empty() || b.empty()) {
+  // Mismatched segment widths would make the chunk size (derived from
+  // a.segment_bits()) wrong for b; the serial backend validates the
+  // precondition instead of this path computing a bogus range.
+  if (num_threads <= 1 || a.empty() || b.empty() ||
+      a.segment_bits() != b.segment_bits()) {
     return backend.count(a, b);
   }
   const uint32_t total_segs = std::max(a.num_segments(), b.num_segments());
   const uint32_t chunk =
       internal::SegmentChunk(backend.level, a.segment_bits());
-  const uint32_t num_chunks = total_segs / chunk;
+  const uint32_t num_chunks = NumChunks(total_segs, chunk);
   num_threads = std::min(num_threads, static_cast<size_t>(num_chunks));
   if (num_threads <= 1) return backend.count(a, b);
 
   std::atomic<uint64_t> total{0};
-  ParallelFor(0, num_chunks, num_threads,
-              [&](size_t chunk_begin, size_t chunk_end, size_t /*t*/) {
-                uint64_t partial = backend.count_range(
-                    a, b, static_cast<uint32_t>(chunk_begin) * chunk,
-                    static_cast<uint32_t>(chunk_end) * chunk);
-                total.fetch_add(partial, std::memory_order_relaxed);
-              });
+  ParallelFor(
+      0, num_chunks, num_threads,
+      [&](size_t chunk_begin, size_t chunk_end, size_t /*t*/) {
+        uint64_t partial = backend.count_range(
+            a, b, static_cast<uint32_t>(chunk_begin) * chunk,
+            std::min(static_cast<uint32_t>(chunk_end) * chunk, total_segs));
+        total.fetch_add(partial, std::memory_order_relaxed);
+      },
+      exec);
   return total.load(std::memory_order_relaxed);
 }
 
 size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
                              std::vector<uint32_t>* out, size_t num_threads,
-                             bool sort_output, SimdLevel level) {
+                             bool sort_output, SimdLevel level,
+                             const Executor& exec) {
   const internal::Backend& backend = internal::GetBackend(level);
   out->clear();
   if (a.empty() || b.empty()) return 0;
+  const bool mismatched = a.segment_bits() != b.segment_bits();
   const uint32_t total_segs = std::max(a.num_segments(), b.num_segments());
   const uint32_t chunk =
-      internal::SegmentChunk(backend.level, a.segment_bits());
-  const uint32_t num_chunks = total_segs / chunk;
+      mismatched ? 0
+                 : internal::SegmentChunk(backend.level, a.segment_bits());
+  const uint32_t num_chunks = mismatched ? 0 : NumChunks(total_segs, chunk);
   num_threads = std::min(num_threads, static_cast<size_t>(num_chunks));
   if (num_threads <= 1) {
     out->resize(std::min(a.size(), b.size()) + 1);
@@ -53,16 +74,33 @@ size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
     return r;
   }
 
+  // The pipeline walks the input with more segments (ties favor `a`,
+  // matching internal::Pipeline::OrderBySegments); its per-segment offsets
+  // bound how many elements a segment range can emit. Capping each slice by
+  // that span — instead of min(|A|,|B|)+1 per slice — keeps the peak across
+  // all T slices at O(min(|A|,|B|)) total rather than O(T·min(|A|,|B|)).
+  const FesiaSet& big = a.num_segments() >= b.num_segments() ? a : b;
+  const uint32_t* big_offsets = big.offsets();
+  const uint32_t min_size = std::min(a.size(), b.size());
+
   std::vector<std::vector<uint32_t>> slices(num_threads);
-  ParallelFor(0, num_chunks, num_threads,
-              [&](size_t chunk_begin, size_t chunk_end, size_t t) {
-                std::vector<uint32_t>& slice = slices[t];
-                slice.resize(std::min(a.size(), b.size()) + 1);
-                size_t r = backend.into_range(
-                    a, b, static_cast<uint32_t>(chunk_begin) * chunk,
-                    static_cast<uint32_t>(chunk_end) * chunk, slice.data());
-                slice.resize(r);
-              });
+  ParallelFor(
+      0, num_chunks, num_threads,
+      [&](size_t chunk_begin, size_t chunk_end, size_t t) {
+        const uint32_t seg_begin = static_cast<uint32_t>(chunk_begin) * chunk;
+        const uint32_t seg_end =
+            std::min(static_cast<uint32_t>(chunk_end) * chunk, total_segs);
+        // +1: the branchless segment emitters may write one slot past the
+        // final count before discarding a non-match.
+        const uint32_t cap = std::min(
+            big_offsets[seg_end] - big_offsets[seg_begin], min_size);
+        std::vector<uint32_t>& slice = slices[t];
+        slice.resize(cap + 1);
+        size_t r =
+            backend.into_range(a, b, seg_begin, seg_end, slice.data());
+        slice.resize(r);
+      },
+      exec);
   size_t total = 0;
   for (const auto& slice : slices) total += slice.size();
   out->reserve(total);

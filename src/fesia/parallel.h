@@ -2,7 +2,9 @@
 //
 // There are no cross-segment dependencies in either step, so the segment
 // range is statically partitioned across threads; each thread runs the full
-// two-step pipeline on its slice and the partial counts are summed.
+// two-step pipeline on its slice and the partial counts are summed. Work is
+// dispatched onto the shared process-wide pool (util/thread_pool.h) by
+// default; pass an Executor to use a caller-owned pool.
 #ifndef FESIA_FESIA_PARALLEL_H_
 #define FESIA_FESIA_PARALLEL_H_
 
@@ -12,22 +14,28 @@
 
 #include "fesia/fesia_set.h"
 #include "util/cpu.h"
+#include "util/thread_pool.h"
 
 namespace fesia {
 
 /// Intersection size computed with `num_threads` worker threads
-/// (num_threads <= 1 degenerates to the sequential path).
+/// (num_threads <= 1 degenerates to the sequential path, as do pairs with
+/// mismatched segment_bits, whose precondition the serial backend checks).
 size_t IntersectCountParallel(const FesiaSet& a, const FesiaSet& b,
                               size_t num_threads,
-                              SimdLevel level = SimdLevel::kAuto);
+                              SimdLevel level = SimdLevel::kAuto,
+                              const Executor& exec = {});
 
 /// Materializing parallel intersection: each thread fills a private buffer
-/// for its segment slice; slices are concatenated (segment order) and
-/// optionally sorted. Returns the intersection size.
+/// for its segment slice — sized by the number of elements that slice can
+/// actually emit, so peak memory stays O(min(|A|,|B|)) across all threads —
+/// slices are concatenated (segment order) and optionally sorted. Returns
+/// the intersection size.
 size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
                              std::vector<uint32_t>* out, size_t num_threads,
                              bool sort_output = true,
-                             SimdLevel level = SimdLevel::kAuto);
+                             SimdLevel level = SimdLevel::kAuto,
+                             const Executor& exec = {});
 
 }  // namespace fesia
 

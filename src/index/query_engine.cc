@@ -1,7 +1,9 @@
 #include "index/query_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <utility>
 
 #include "baselines/bmiss.h"
 #include "baselines/galloping.h"
@@ -12,6 +14,7 @@
 #include "util/byte_io.h"
 #include "util/check.h"
 #include "util/crc32c.h"
+#include "util/stats.h"
 #include "util/timer.h"
 
 namespace fesia::index {
@@ -33,16 +36,59 @@ MaterializeFn MaterializerFor(const std::string& method) {
   return nullptr;
 }
 
+// Runs fn(0..n-1) on up to `num_threads` workers pulling indices from a
+// shared counter. Both per-term build cost and per-query cost follow the
+// Zipf posting-length distribution, so static contiguous partitions would
+// leave most workers idle behind the head terms; dynamic pulling keeps
+// them busy.
+template <typename Fn>
+void RunDynamic(size_t n, size_t num_threads, const Executor& exec,
+                const Fn& fn) {
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = exec.pool().num_threads();
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  ParallelFor(
+      0, num_threads, num_threads,
+      [&](size_t, size_t, size_t) {
+        for (;;) {
+          size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          fn(i);
+        }
+      },
+      exec);
+}
+
+void FillBatchStats(BatchStats* stats, std::vector<double> latencies,
+                    double wall_seconds) {
+  if (stats == nullptr) return;
+  stats->wall_seconds = wall_seconds;
+  stats->queries_per_second =
+      wall_seconds > 0 ? static_cast<double>(latencies.size()) / wall_seconds
+                       : 0;
+  stats->latency_p50 = Quantile(latencies, 0.5);
+  stats->latency_p95 = Quantile(latencies, 0.95);
+  stats->latency_max = Summarize(latencies).max;
+  stats->latency_seconds = std::move(latencies);
+}
+
 }  // namespace
 
-QueryEngine::QueryEngine(const InvertedIndex* idx, const FesiaParams& params)
+QueryEngine::QueryEngine(const InvertedIndex* idx, const FesiaParams& params,
+                         const Executor& exec, size_t build_threads)
     : idx_(idx) {
   FESIA_CHECK(idx != nullptr);
   WallTimer timer;
-  term_sets_.reserve(idx->num_terms());
-  for (uint32_t t = 0; t < idx->num_terms(); ++t) {
-    term_sets_.push_back(FesiaSet::Build(idx->Postings(t), params));
-  }
+  term_sets_.resize(idx->num_terms());
+  RunDynamic(idx->num_terms(), build_threads, exec, [&](size_t t) {
+    term_sets_[t] =
+        FesiaSet::Build(idx->Postings(static_cast<uint32_t>(t)), params);
+  });
   construction_seconds_ = timer.Seconds();
 }
 
@@ -113,6 +159,38 @@ std::vector<uint32_t> QueryEngine::QueryFesia(std::span<const uint32_t> terms,
   for (uint32_t t : terms) sets.push_back(&term_sets_[t]);
   IntersectIntoKWay(sets, &out, /*sort_output=*/true, level);
   return out;
+}
+
+std::vector<size_t> QueryEngine::CountBatch(
+    std::span<const std::vector<uint32_t>> queries,
+    const BatchOptions& options, BatchStats* stats) const {
+  std::vector<size_t> results(queries.size(), 0);
+  std::vector<double> latencies(queries.size(), 0);
+  WallTimer wall;
+  RunDynamic(queries.size(), options.num_threads, options.executor,
+             [&](size_t i) {
+               WallTimer per_query;
+               results[i] = CountFesia(queries[i], options.level);
+               latencies[i] = per_query.Seconds();
+             });
+  FillBatchStats(stats, std::move(latencies), wall.Seconds());
+  return results;
+}
+
+std::vector<std::vector<uint32_t>> QueryEngine::QueryBatch(
+    std::span<const std::vector<uint32_t>> queries,
+    const BatchOptions& options, BatchStats* stats) const {
+  std::vector<std::vector<uint32_t>> results(queries.size());
+  std::vector<double> latencies(queries.size(), 0);
+  WallTimer wall;
+  RunDynamic(queries.size(), options.num_threads, options.executor,
+             [&](size_t i) {
+               WallTimer per_query;
+               results[i] = QueryFesia(queries[i], options.level);
+               latencies[i] = per_query.Seconds();
+             });
+  FillBatchStats(stats, std::move(latencies), wall.Seconds());
+  return results;
 }
 
 std::vector<uint8_t> QueryEngine::SerializeTermSets() const {

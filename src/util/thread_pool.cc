@@ -1,8 +1,16 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace fesia {
+namespace {
+
+// Set for the lifetime of every pool worker thread; lets ParallelFor detect
+// reentrancy without knowing which pool the worker belongs to.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -21,6 +29,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -36,6 +46,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -58,25 +69,52 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ThreadPool& DefaultThreadPool() {
+  // Leaked intentionally: joining workers during static destruction can
+  // deadlock against other atexit-ordered teardown, and the OS reclaims the
+  // threads anyway.
+  static ThreadPool* pool =
+      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
 void ParallelFor(size_t begin, size_t end, size_t num_threads,
-                 const std::function<void(size_t, size_t, size_t)>& body) {
+                 const std::function<void(size_t, size_t, size_t)>& body,
+                 const Executor& exec) {
   if (end <= begin) return;
   size_t total = end - begin;
   num_threads = std::max<size_t>(1, std::min(num_threads, total));
-  if (num_threads == 1) {
+  // A worker fanning out onto its own (possibly fully blocked) pool would
+  // deadlock; nested parallelism degrades to the serial path instead.
+  if (num_threads == 1 || ThreadPool::InWorkerThread()) {
     body(begin, end, 0);
     return;
   }
+
   size_t chunk = (total + num_threads - 1) / num_threads;
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
+  size_t num_chunks = (total + chunk - 1) / chunk;
+
+  // Per-call completion latch: Wait() on the shared pool would also wait on
+  // unrelated callers' tasks, so each call tracks only its own chunks.
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = num_chunks - 1;
+
+  ThreadPool& pool = exec.pool();
+  for (size_t t = 1; t < num_chunks; ++t) {
     size_t lo = begin + t * chunk;
-    if (lo >= end) break;
     size_t hi = std::min(end, lo + chunk);
-    threads.emplace_back([&body, lo, hi, t] { body(lo, hi, t); });
+    pool.Submit([&body, &mu, &done, &remaining, lo, hi, t] {
+      body(lo, hi, t);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_one();
+    });
   }
-  for (std::thread& t : threads) t.join();
+  // The caller runs chunk 0 itself: it participates in the work instead of
+  // idling, and the call cannot be starved by a busy pool.
+  body(begin, std::min(end, begin + chunk), 0);
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&remaining] { return remaining == 0; });
 }
 
 }  // namespace fesia

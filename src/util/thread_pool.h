@@ -1,8 +1,17 @@
-// A small fixed-size thread pool with a ParallelFor primitive.
+// A fixed-size thread pool, a lazily-initialized process-wide instance of
+// it, and a pool-backed ParallelFor primitive.
 //
 // FESIA's multicore extension (paper Sec. VI) partitions the segment range
 // across cores; each worker intersects its range independently and partial
-// counts are summed. ParallelFor implements exactly that static partitioning.
+// counts are summed. ParallelFor implements exactly that static
+// partitioning, but instead of spawning threads per call it dispatches onto
+// a long-lived pool: under query traffic the per-call thread-creation cost
+// would otherwise dominate the intersections themselves.
+//
+// Callers choose the pool through an Executor handle. A default-constructed
+// Executor resolves to the shared process-wide pool (DefaultThreadPool());
+// embedders that need isolation (tests, latency-sensitive services) pass
+// their own ThreadPool.
 #ifndef FESIA_UTIL_THREAD_POOL_H_
 #define FESIA_UTIL_THREAD_POOL_H_
 
@@ -34,6 +43,11 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of *any* ThreadPool. Used to
+  /// serialize nested ParallelFor calls instead of deadlocking on a pool
+  /// whose workers are all blocked waiting for their own subtasks.
+  static bool InWorkerThread();
+
  private:
   void WorkerLoop();
 
@@ -46,11 +60,38 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
-/// Splits [begin, end) into `num_threads` contiguous chunks and runs
-/// `body(chunk_begin, chunk_end, chunk_index)` on each, in parallel when
-/// num_threads > 1. Blocks until all chunks complete.
+/// The process-wide pool: created on first use with one worker per hardware
+/// thread, shared by every ParallelFor / batch-query call that does not
+/// supply its own pool. Never destroyed (workers exit with the process), so
+/// static-destruction order cannot strand a blocked caller.
+ThreadPool& DefaultThreadPool();
+
+/// Cheap copyable handle naming the pool parallel work runs on. The default
+/// handle targets DefaultThreadPool(), resolved lazily at first use.
+class Executor {
+ public:
+  /// Targets the shared process-wide pool.
+  Executor() = default;
+  /// Targets a caller-owned pool, which must outlive every call made
+  /// through this handle. A null pool targets the shared pool.
+  explicit Executor(ThreadPool* pool) : pool_(pool) {}
+
+  ThreadPool& pool() const { return pool_ ? *pool_ : DefaultThreadPool(); }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+};
+
+/// Splits [begin, end) into at most `num_threads` contiguous chunks and runs
+/// `body(chunk_begin, chunk_end, chunk_index)` on each. Chunks after the
+/// first are dispatched onto `exec`'s pool while the calling thread runs
+/// chunk 0, so the caller always makes progress even on a saturated pool;
+/// completion is tracked per call, so concurrent ParallelFor calls may share
+/// one pool. Blocks until all chunks complete. num_threads == 0 is treated
+/// as 1; calls from inside a pool worker run serially (no nested fan-out).
 void ParallelFor(size_t begin, size_t end, size_t num_threads,
-                 const std::function<void(size_t, size_t, size_t)>& body);
+                 const std::function<void(size_t, size_t, size_t)>& body,
+                 const Executor& exec = {});
 
 }  // namespace fesia
 

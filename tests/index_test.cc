@@ -127,6 +127,96 @@ TEST_F(QueryEngineTest, SingleAndEmptyQueries) {
   EXPECT_EQ(engine_->CountFesia(one), idx_.Postings(3).size());
 }
 
+// --- Batched execution -------------------------------------------------------
+
+TEST_F(QueryEngineTest, CountBatchMatchesSerialOnRandomWorkload) {
+  std::vector<Query> queries =
+      LowSelectivityQueries(idx_, 2, 50, 2000, 25, 0.5, 11);
+  std::vector<Query> three =
+      LowSelectivityQueries(idx_, 3, 50, 2000, 15, 0.5, 12);
+  queries.insert(queries.end(), three.begin(), three.end());
+  ASSERT_FALSE(queries.empty());
+
+  for (size_t threads : {0, 1, 2, 4, 8}) {
+    BatchOptions opts;
+    opts.num_threads = threads;
+    std::vector<size_t> counts = engine_->CountBatch(queries, opts);
+    ASSERT_EQ(counts.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(counts[i], engine_->CountFesia(queries[i]))
+          << "query " << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, QueryBatchMatchesSerialResults) {
+  std::vector<Query> queries =
+      LowSelectivityQueries(idx_, 2, 50, 2000, 20, 0.5, 21);
+  ASSERT_FALSE(queries.empty());
+  BatchOptions opts;
+  opts.num_threads = 4;
+  std::vector<std::vector<uint32_t>> results =
+      engine_->QueryBatch(queries, opts);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(results[i], engine_->QueryFesia(queries[i])) << "query " << i;
+  }
+}
+
+TEST_F(QueryEngineTest, BatchStatsArePopulated) {
+  std::vector<Query> queries =
+      LowSelectivityQueries(idx_, 2, 50, 2000, 10, 0.5, 31);
+  ASSERT_FALSE(queries.empty());
+  BatchStats stats;
+  engine_->CountBatch(queries, BatchOptions{}, &stats);
+  EXPECT_EQ(stats.latency_seconds.size(), queries.size());
+  for (double l : stats.latency_seconds) EXPECT_GE(l, 0.0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.queries_per_second, 0.0);
+  EXPECT_LE(stats.latency_p50, stats.latency_p95);
+  EXPECT_LE(stats.latency_p95, stats.latency_max);
+}
+
+TEST_F(QueryEngineTest, EmptyBatch) {
+  BatchStats stats;
+  std::vector<Query> none;
+  EXPECT_TRUE(engine_->CountBatch(none, BatchOptions{}, &stats).empty());
+  EXPECT_TRUE(stats.latency_seconds.empty());
+  EXPECT_TRUE(engine_->QueryBatch(none).empty());
+}
+
+TEST_F(QueryEngineTest, BatchMixedAritiesIncludingDegenerate) {
+  std::vector<Query> queries = {{}, {3}, {0, 1}, {0, 2, 5}};
+  std::vector<size_t> counts = engine_->CountBatch(queries);
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], idx_.Postings(3).size());
+  EXPECT_EQ(counts[2], engine_->CountFesia(queries[2]));
+  EXPECT_EQ(counts[3], engine_->CountFesia(queries[3]));
+}
+
+TEST_F(QueryEngineTest, BatchOnCustomExecutorPool) {
+  std::vector<Query> queries =
+      LowSelectivityQueries(idx_, 2, 50, 2000, 10, 0.5, 41);
+  ASSERT_FALSE(queries.empty());
+  ThreadPool pool(2);
+  BatchOptions opts;
+  opts.executor = Executor(&pool);
+  std::vector<size_t> counts = engine_->CountBatch(queries, opts);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(counts[i], engine_->CountFesia(queries[i])) << i;
+  }
+}
+
+TEST(QueryEngineConstructionTest, ParallelBuildMatchesSerialBuild) {
+  InvertedIndex idx = InvertedIndex::BuildSynthetic(SmallCorpus());
+  QueryEngine serial(&idx, FesiaParams{}, Executor{}, /*build_threads=*/1);
+  QueryEngine parallel(&idx, FesiaParams{}, Executor{}, /*build_threads=*/8);
+  // FesiaSet::Build is deterministic, so the two engines must be
+  // byte-identical — the fan-out may only change who builds which term.
+  EXPECT_EQ(serial.SerializeTermSets(), parallel.SerializeTermSets());
+}
+
 // --- Query workload generators ----------------------------------------------
 
 TEST_F(QueryEngineTest, LowSelectivityQueriesHonorTheBound) {

@@ -112,5 +112,101 @@ TEST(KWayTest, IntoMaterializesExactElements) {
   EXPECT_EQ(out, expected);
 }
 
+// --- Multicore k-way (segment-range partitioning) ---------------------------
+
+TEST(KWayParallelTest, CountMatchesSerialAcrossKThreadsLevels) {
+  for (size_t k : {2, 3, 5}) {
+    auto raw = KSetsWithDensity(k, 20000, 0.4, k * 7);
+    std::vector<FesiaSet> sets;
+    for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+    auto ptrs = Pointers(sets);
+    for (SimdLevel level : AvailableLevels()) {
+      size_t expected = IntersectCountKWay(ptrs, level);
+      for (size_t threads : {1, 2, 3, 4, 8}) {
+        EXPECT_EQ(IntersectCountKWayParallel(ptrs, threads, level), expected)
+            << "k=" << k << " level=" << SimdLevelName(level)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(KWayParallelTest, IntoMatchesReferenceElements) {
+  auto raw = KSetsWithDensity(3, 15000, 0.5, 41);
+  std::vector<uint32_t> expected = ReferenceIntersection(raw);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  for (size_t threads : {2, 4, 7}) {
+    std::vector<uint32_t> out;
+    size_t r = IntersectIntoKWayParallel(ptrs, &out, threads);
+    ASSERT_EQ(r, expected.size()) << "threads=" << threads;
+    EXPECT_EQ(out, expected) << "threads=" << threads;
+  }
+}
+
+TEST(KWayParallelTest, IntoUnsortedHasSameElements) {
+  auto raw = KSetsWithDensity(3, 8000, 0.5, 43);
+  std::vector<uint32_t> expected = ReferenceIntersection(raw);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  std::vector<uint32_t> out;
+  IntersectIntoKWayParallel(ptrs, &out, 4, /*sort_output=*/false);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(KWayParallelTest, MixedSizesAndBitmaps) {
+  std::vector<std::vector<uint32_t>> raw;
+  raw.push_back(datagen::SortedUniform(300, 5000, 51));
+  raw.push_back(datagen::SortedUniform(4000, 5000, 52));
+  raw.push_back(datagen::SortedUniform(60000, 80000, 53));
+  size_t expected = ReferenceIntersection(raw).size();
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  for (size_t threads : {2, 4}) {
+    EXPECT_EQ(IntersectCountKWayParallel(ptrs, threads), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(KWayParallelTest, DegenerateArities) {
+  auto raw = KSetsWithDensity(1, 500, 0.5, 3);
+  std::vector<FesiaSet> sets;
+  sets.push_back(FesiaSet::Build(raw[0]));
+  auto ptrs = Pointers(sets);
+  EXPECT_EQ(IntersectCountKWayParallel(ptrs, 4), raw[0].size());
+  EXPECT_EQ(
+      IntersectCountKWayParallel(std::span<const FesiaSet* const>{}, 4), 0u);
+  std::vector<uint32_t> out = {9};
+  EXPECT_EQ(IntersectIntoKWayParallel(std::span<const FesiaSet* const>{},
+                                      &out, 4),
+            0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KWayParallelTest, AnyEmptySetYieldsEmptyIntersection) {
+  auto raw = KSetsWithDensity(2, 1000, 0.9, 5);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  sets.push_back(FesiaSet::Build({}));
+  auto ptrs = Pointers(sets);
+  EXPECT_EQ(IntersectCountKWayParallel(ptrs, 4), 0u);
+}
+
+TEST(KWayParallelTest, CustomExecutorPool) {
+  auto raw = KSetsWithDensity(3, 10000, 0.4, 61);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  size_t expected = IntersectCountKWay(ptrs);
+  ThreadPool pool(2);
+  Executor exec(&pool);
+  EXPECT_EQ(IntersectCountKWayParallel(ptrs, 4, SimdLevel::kAuto, exec),
+            expected);
+}
+
 }  // namespace
 }  // namespace fesia

@@ -117,6 +117,96 @@ TEST(ParallelTest, EmptyInputs) {
   EXPECT_EQ(IntersectCountParallel(some, empty, 4), 0u);
 }
 
+TEST(ParallelTest, IntoParallelSkewedPairExactElements) {
+  // Very different sizes -> different bitmap sizes; exercises the
+  // offsets-based slice capacity bound on both argument orders.
+  SetPair pair = PairWithSelectivity(800, 60000, 0.3, 12);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  std::vector<uint32_t> expected;
+  std::set_intersection(pair.a.begin(), pair.a.end(), pair.b.begin(),
+                        pair.b.end(), std::back_inserter(expected));
+  for (size_t threads : {2, 4, 8}) {
+    std::vector<uint32_t> out;
+    EXPECT_EQ(IntersectIntoParallel(fa, fb, &out, threads), expected.size());
+    EXPECT_EQ(out, expected) << "a,b threads=" << threads;
+    EXPECT_EQ(IntersectIntoParallel(fb, fa, &out, threads), expected.size());
+    EXPECT_EQ(out, expected) << "b,a threads=" << threads;
+  }
+}
+
+// Regression for the tail-chunk bug: every segment-range partition must
+// cover all of [0, total_segs), so parallel counts cannot lose elements
+// regardless of how the segment count divides into bitmap chunks. Sweeps
+// set sizes (and hence segment counts) against awkward thread counts at
+// every ISA level.
+TEST(ParallelTest, NoTailSegmentLossAcrossSizesAndLevels) {
+  for (uint32_t n : {30u, 100u, 500u, 3000u, 20000u}) {
+    SetPair pair = PairWithSelectivity(n, n, 0.2, n);
+    FesiaSet fa = FesiaSet::Build(pair.a);
+    FesiaSet fb = FesiaSet::Build(pair.b);
+    for (SimdLevel level : AvailableLevels()) {
+      size_t expected = IntersectCount(fa, fb, level);
+      for (size_t threads : {2, 3, 5, 7, 16}) {
+        EXPECT_EQ(IntersectCountParallel(fa, fb, threads, level), expected)
+            << "n=" << n << " level=" << SimdLevelName(level)
+            << " threads=" << threads;
+        std::vector<uint32_t> out;
+        EXPECT_EQ(IntersectIntoParallel(fa, fb, &out, threads, true, level),
+                  expected)
+            << "n=" << n << " level=" << SimdLevelName(level)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, NarrowSegmentsTailCoverage) {
+  // 8-bit segments give the largest chunk counts (64 segs/chunk at AVX512);
+  // make sure chunk rounding never drops the trailing range.
+  FesiaParams p;
+  p.segment_bits = 8;
+  SetPair pair = PairWithSelectivity(10000, 10000, 0.1, 21);
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b, p);
+  for (SimdLevel level : AvailableLevels()) {
+    size_t expected = IntersectCount(fa, fb, level);
+    for (size_t threads : {2, 4, 8}) {
+      EXPECT_EQ(IntersectCountParallel(fa, fb, threads, level), expected)
+          << SimdLevelName(level) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelTest, CustomExecutorPool) {
+  SetPair pair = PairWithSelectivity(30000, 30000, 0.05, 13);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  ThreadPool pool(3);
+  Executor exec(&pool);
+  EXPECT_EQ(IntersectCountParallel(fa, fb, 4, SimdLevel::kAuto, exec),
+            pair.intersection_size);
+  std::vector<uint32_t> out;
+  EXPECT_EQ(
+      IntersectIntoParallel(fa, fb, &out, 4, true, SimdLevel::kAuto, exec),
+      pair.intersection_size);
+}
+
+TEST(ParallelDeathTest, MismatchedSegmentBitsFailsFast) {
+  FesiaParams p8;
+  p8.segment_bits = 8;
+  FesiaParams p16;
+  p16.segment_bits = 16;
+  std::vector<uint32_t> v = {1, 2, 3, 4, 5};
+  FesiaSet a = FesiaSet::Build(v, p8);
+  FesiaSet b = FesiaSet::Build(v, p16);
+  // The parallel paths route mismatched pairs to the serial backend, whose
+  // precondition check aborts instead of computing a wrong segment range.
+  EXPECT_DEATH((void)IntersectCountParallel(a, b, 4), "FESIA_CHECK");
+  std::vector<uint32_t> out;
+  EXPECT_DEATH((void)IntersectIntoParallel(a, b, &out, 4), "FESIA_CHECK");
+}
+
 // --- ThreadPool / ParallelFor unit tests -----------------------------------
 
 TEST(ParallelForTest, CoversRangeExactlyOnce) {
@@ -131,6 +221,75 @@ TEST(ParallelForTest, EmptyRangeIsNoop) {
   bool called = false;
   ParallelFor(5, 5, 4, [&](size_t, size_t, size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ReversedRangeIsNoop) {
+  bool called = false;
+  ParallelFor(9, 3, 4, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ZeroThreadsRunsSerially) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(0, 64, 0, [&](size_t lo, size_t hi, size_t t) {
+    EXPECT_EQ(t, 0u);
+    for (size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelForTest, SingleElementRange) {
+  std::atomic<int> calls{0};
+  size_t seen_lo = 99, seen_hi = 99;
+  ParallelFor(7, 8, 8, [&](size_t lo, size_t hi, size_t) {
+    seen_lo = lo;
+    seen_hi = hi;
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_lo, 7u);
+  EXPECT_EQ(seen_hi, 8u);
+}
+
+TEST(ParallelForTest, RunsOnCustomPool) {
+  ThreadPool pool(2);
+  Executor exec(&pool);
+  std::vector<std::atomic<int>> hits(500);
+  ParallelFor(
+      0, 500, 4,
+      [&](size_t lo, size_t hi, size_t) {
+        for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      exec);
+  for (size_t i = 0; i < 500; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, SharedPoolHandlesConcurrentCallers) {
+  // Two threads issuing ParallelFor against the shared default pool must
+  // not interfere (per-call completion tracking, not pool-wide Wait).
+  std::vector<std::atomic<int>> hits(2000);
+  auto run = [&](size_t base) {
+    ParallelFor(base, base + 1000, 4, [&](size_t lo, size_t hi, size_t) {
+      for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+  };
+  std::thread other([&] { run(1000); });
+  run(0);
+  other.join();
+  for (size_t i = 0; i < 2000; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  // A ParallelFor issued from inside a pool worker degrades to serial
+  // execution instead of deadlocking on its own exhausted pool.
+  std::atomic<int> inner_hits{0};
+  ParallelFor(0, 4, 4, [&](size_t, size_t, size_t) {
+    ParallelFor(0, 8, 4,
+                [&](size_t lo, size_t hi, size_t) {
+                  inner_hits.fetch_add(static_cast<int>(hi - lo));
+                });
+  });
+  EXPECT_EQ(inner_hits.load(), 4 * 8);
 }
 
 TEST(ThreadPoolTest, ExecutesAllTasks) {
