@@ -92,9 +92,9 @@ int main() {
     index::BatchStats stats;
     double batch_s = MedianSeconds(
         [&] {
-          std::vector<size_t> counts =
+          std::vector<index::QueryResult> results =
               engine.CountBatch(queries, opts, &stats);
-          sink = counts.empty() ? 0 : counts[0];
+          sink = results.empty() ? 0 : results[0].count;
         },
         3);
     double qps = static_cast<double>(queries.size()) / batch_s;
@@ -109,6 +109,24 @@ int main() {
   }
   (void)sink;
   table.Print();
+
+  // Overload rehearsal: the same stream under a 1 ms per-query deadline and
+  // a bounded in-flight budget. Shed + timed-out + ok must account for
+  // every query; this prints the ladder the serving layer would see.
+  {
+    index::BatchOptions opts;
+    opts.num_threads = 8;
+    opts.query_deadline_seconds = 0.001;
+    opts.admission_capacity = 16;
+    index::BatchStats stats;
+    engine.CountBatch(queries, opts, &stats);
+    std::printf(
+        "\noverload rehearsal (1 ms deadline, capacity 16): "
+        "%zu ok, %zu deadline-exceeded, %zu shed, %zu failed, "
+        "%zu retries, %zu downgrades\n",
+        stats.ok, stats.deadline_exceeded, stats.shed, stats.failed,
+        stats.retries, stats.downgrades);
+  }
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf(

@@ -16,6 +16,16 @@ for preset in default asan ubsan tsan; do
   cmake --build --preset "$preset" -j "$jobs"
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset" -j "$jobs"
+  # The deadline-storm stress suite is excluded from tier-1 ctest (label
+  # "stress", DISABLED) because its runtime is load-dependent; run the
+  # binary directly with a hard wall-clock cap instead. TSan is its
+  # primary habitat: it races cancellation, admission, and retry state
+  # across the shared pool.
+  bindir="build-$preset"
+  [ "$preset" = default ] && bindir="build"
+  echo "=== [$preset] batch stress (timeout-capped) ==="
+  timeout 600 "$bindir/tests/batch_stress_test" \
+    || { echo "batch stress failed or timed out under $preset"; exit 1; }
 done
 
 echo "All presets passed."

@@ -152,6 +152,29 @@ size_t ProcessWordRange(std::span<const FesiaSet* const> sets,
   return total;
 }
 
+// Cancellable wrapper over ProcessWordRange: walks [word_begin, word_end)
+// in groups of kKWayCancelWords, polling `cancel` between groups, so the
+// work remaining after a stop is bounded by one group. Each group runs the
+// full two-step pipeline on its word slice (word ranges are independent).
+template <typename Emit>
+size_t ProcessWordRangeCancellable(std::span<const FesiaSet* const> sets,
+                                   const internal::Backend& backend,
+                                   const FesiaSet& base, size_t word_begin,
+                                   size_t word_end,
+                                   const CancelContext& cancel,
+                                   bool* stopped, Emit emit) {
+  size_t total = 0;
+  for (size_t w = word_begin; w < word_end; w += kKWayCancelWords) {
+    if (cancel.ShouldStop()) {
+      *stopped = true;
+      return total;
+    }
+    total += ProcessWordRange(sets, backend, base, w,
+                              std::min(w + kKWayCancelWords, word_end), emit);
+  }
+  return total;
+}
+
 // Precondition checks shared by every entry; returns false when any input
 // is empty (the intersection is empty, no pipeline needed).
 bool ValidateKWay(std::span<const FesiaSet* const> sets) {
@@ -213,52 +236,84 @@ size_t IntersectIntoKWay(std::span<const FesiaSet* const> sets,
 
 size_t IntersectCountKWayParallel(std::span<const FesiaSet* const> sets,
                                   size_t num_threads, SimdLevel level,
-                                  const Executor& exec) {
+                                  const Executor& exec,
+                                  const CancelContext& cancel,
+                                  bool* stopped) {
   if (sets.size() <= 1 || num_threads <= 1) {
-    return IntersectCountKWay(sets, level);
+    return IntersectCountKWayCancellable(sets, cancel, level, stopped);
   }
+  if (stopped != nullptr) *stopped = false;
   if (!ValidateKWay(sets)) return 0;
   const internal::Backend& backend = internal::GetBackend(level);
   const FesiaSet* base = KWayBase(sets);
   const size_t num_words = base->bitmap_bits() / 64;
   num_threads = std::min(num_threads, num_words);
-  if (num_threads <= 1) return IntersectCountKWay(sets, level);
+  if (num_threads <= 1) {
+    return IntersectCountKWayCancellable(sets, cancel, level, stopped);
+  }
 
   std::atomic<uint64_t> total{0};
+  std::atomic<bool> any_stopped{false};
   ParallelFor(
       0, num_words, num_threads,
       [&](size_t word_begin, size_t word_end, size_t /*t*/) {
-        uint64_t partial = ProcessWordRange(sets, backend, *base, word_begin,
-                                            word_end, [](uint32_t) {});
+        uint64_t partial;
+        if (cancel.active()) {
+          bool st = false;
+          partial = ProcessWordRangeCancellable(sets, backend, *base,
+                                                word_begin, word_end, cancel,
+                                                &st, [](uint32_t) {});
+          if (st) any_stopped.store(true, std::memory_order_relaxed);
+        } else {
+          partial = ProcessWordRange(sets, backend, *base, word_begin,
+                                     word_end, [](uint32_t) {});
+        }
         total.fetch_add(partial, std::memory_order_relaxed);
       },
       exec);
+  if (stopped != nullptr) {
+    *stopped = any_stopped.load(std::memory_order_relaxed);
+  }
   return total.load(std::memory_order_relaxed);
 }
 
 size_t IntersectIntoKWayParallel(std::span<const FesiaSet* const> sets,
                                  std::vector<uint32_t>* out,
                                  size_t num_threads, bool sort_output,
-                                 SimdLevel level, const Executor& exec) {
+                                 SimdLevel level, const Executor& exec,
+                                 const CancelContext& cancel, bool* stopped) {
   FESIA_CHECK(out != nullptr);
   if (sets.size() <= 1 || num_threads <= 1) {
-    return IntersectIntoKWay(sets, out, sort_output, level);
+    return IntersectIntoKWayCancellable(sets, out, cancel, sort_output,
+                                        level, stopped);
   }
+  if (stopped != nullptr) *stopped = false;
   out->clear();
   if (!ValidateKWay(sets)) return 0;
   const internal::Backend& backend = internal::GetBackend(level);
   const FesiaSet* base = KWayBase(sets);
   const size_t num_words = base->bitmap_bits() / 64;
   num_threads = std::min(num_threads, num_words);
-  if (num_threads <= 1) return IntersectIntoKWay(sets, out, sort_output, level);
+  if (num_threads <= 1) {
+    return IntersectIntoKWayCancellable(sets, out, cancel, sort_output,
+                                        level, stopped);
+  }
 
   std::vector<std::vector<uint32_t>> slices(num_threads);
+  std::atomic<bool> any_stopped{false};
   ParallelFor(
       0, num_words, num_threads,
       [&](size_t word_begin, size_t word_end, size_t t) {
         std::vector<uint32_t>& slice = slices[t];
-        ProcessWordRange(sets, backend, *base, word_begin, word_end,
-                         [&slice](uint32_t v) { slice.push_back(v); });
+        auto emit = [&slice](uint32_t v) { slice.push_back(v); };
+        if (cancel.active()) {
+          bool st = false;
+          ProcessWordRangeCancellable(sets, backend, *base, word_begin,
+                                      word_end, cancel, &st, emit);
+          if (st) any_stopped.store(true, std::memory_order_relaxed);
+        } else {
+          ProcessWordRange(sets, backend, *base, word_begin, word_end, emit);
+        }
       },
       exec);
   size_t total = 0;
@@ -268,6 +323,52 @@ size_t IntersectIntoKWayParallel(std::span<const FesiaSet* const> sets,
     out->insert(out->end(), slice.begin(), slice.end());
   }
   if (sort_output) std::sort(out->begin(), out->end());
+  if (stopped != nullptr) {
+    *stopped = any_stopped.load(std::memory_order_relaxed);
+  }
+  return out->size();
+}
+
+size_t IntersectCountKWayCancellable(std::span<const FesiaSet* const> sets,
+                                     const CancelContext& cancel,
+                                     SimdLevel level, bool* stopped) {
+  if (stopped != nullptr) *stopped = false;
+  if (!cancel.active()) return IntersectCountKWay(sets, level);
+  if (sets.empty()) return 0;
+  if (!ValidateKWay(sets)) return 0;
+  if (sets.size() == 1) return IntersectCountKWay(sets, level);
+  const internal::Backend& backend = internal::GetBackend(level);
+  const FesiaSet* base = KWayBase(sets);
+  bool st = false;
+  size_t r = ProcessWordRangeCancellable(sets, backend, *base, 0,
+                                         base->bitmap_bits() / 64, cancel,
+                                         &st, [](uint32_t) {});
+  if (st && stopped != nullptr) *stopped = true;
+  return r;
+}
+
+size_t IntersectIntoKWayCancellable(std::span<const FesiaSet* const> sets,
+                                    std::vector<uint32_t>* out,
+                                    const CancelContext& cancel,
+                                    bool sort_output, SimdLevel level,
+                                    bool* stopped) {
+  FESIA_CHECK(out != nullptr);
+  if (stopped != nullptr) *stopped = false;
+  if (!cancel.active()) {
+    return IntersectIntoKWay(sets, out, sort_output, level);
+  }
+  out->clear();
+  if (sets.empty()) return 0;
+  if (!ValidateKWay(sets)) return 0;
+  if (sets.size() == 1) return IntersectIntoKWay(sets, out, sort_output, level);
+  const internal::Backend& backend = internal::GetBackend(level);
+  const FesiaSet* base = KWayBase(sets);
+  bool st = false;
+  ProcessWordRangeCancellable(sets, backend, *base, 0,
+                              base->bitmap_bits() / 64, cancel, &st,
+                              [out](uint32_t v) { out->push_back(v); });
+  if (sort_output) std::sort(out->begin(), out->end());
+  if (st && stopped != nullptr) *stopped = true;
   return out->size();
 }
 

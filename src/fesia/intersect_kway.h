@@ -15,6 +15,7 @@
 
 #include "fesia/fesia_set.h"
 #include "util/cpu.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace fesia {
@@ -35,19 +36,52 @@ size_t IntersectIntoKWay(std::span<const FesiaSet* const> sets,
 /// num_threads <= 1, k <= 1, or a word range too small to split all
 /// degenerate to the sequential path. Runs on the shared process-wide pool
 /// unless `exec` names another.
+///
+/// When `cancel` is active, workers poll it between bitmap-word groups
+/// (kKWayCancelWords words at a time), so cancellation latency is bounded
+/// by one group, not one query; `*stopped` (if non-null) reports whether
+/// any work was skipped, in which case the returned count is a meaningless
+/// partial value the caller must discard.
 size_t IntersectCountKWayParallel(std::span<const FesiaSet* const> sets,
                                   size_t num_threads,
                                   SimdLevel level = SimdLevel::kAuto,
-                                  const Executor& exec = {});
+                                  const Executor& exec = {},
+                                  const CancelContext& cancel = {},
+                                  bool* stopped = nullptr);
 
 /// Materializing multicore k-way intersection; each thread emits into a
 /// private slice bounded by its word range, slices are concatenated in
-/// segment order and optionally sorted.
+/// segment order and optionally sorted. Same cancellation contract as
+/// IntersectCountKWayParallel (a stopped call leaves a partial `out`).
 size_t IntersectIntoKWayParallel(std::span<const FesiaSet* const> sets,
                                  std::vector<uint32_t>* out,
                                  size_t num_threads, bool sort_output = true,
                                  SimdLevel level = SimdLevel::kAuto,
-                                 const Executor& exec = {});
+                                 const Executor& exec = {},
+                                 const CancelContext& cancel = {},
+                                 bool* stopped = nullptr);
+
+/// Single-threaded cancellable k-way count: runs the AND-then-cascade
+/// pipeline over bitmap-word groups, polling `cancel` between groups — the
+/// cancellable analogue of IntersectCountKWay for batch-executor workers.
+/// With an inert context the cost is identical to IntersectCountKWay.
+size_t IntersectCountKWayCancellable(std::span<const FesiaSet* const> sets,
+                                     const CancelContext& cancel,
+                                     SimdLevel level = SimdLevel::kAuto,
+                                     bool* stopped = nullptr);
+
+/// Cancellable materializing k-way intersection (single-threaded,
+/// group-wise). When `*stopped` is set, `out` holds a partial result.
+size_t IntersectIntoKWayCancellable(std::span<const FesiaSet* const> sets,
+                                    std::vector<uint32_t>* out,
+                                    const CancelContext& cancel,
+                                    bool sort_output = true,
+                                    SimdLevel level = SimdLevel::kAuto,
+                                    bool* stopped = nullptr);
+
+/// Bitmap words per cancellation poll in the k-way pipeline: the bound on
+/// work remaining after a deadline fires inside one worker.
+inline constexpr size_t kKWayCancelWords = 32;
 
 }  // namespace fesia
 

@@ -19,43 +19,119 @@ uint32_t NumChunks(uint32_t total_segs, uint32_t chunk) {
   return (total_segs + chunk - 1) / chunk;
 }
 
+uint32_t ChunkBegin(size_t c, uint32_t chunk) {
+  return static_cast<uint32_t>(c) * chunk;
+}
+
+uint32_t ChunkEnd(size_t c, uint32_t chunk, uint32_t total_segs) {
+  return std::min(static_cast<uint32_t>(c + 1) * chunk, total_segs);
+}
+
+// Chunk-wise cancellable count over chunk indexes [cb, ce): one
+// count_range call and one cancel poll per chunk, so the work remaining
+// after a stop is at most one chunk.
+uint64_t CountChunksCancellable(const internal::Backend& backend,
+                                const FesiaSet& a, const FesiaSet& b,
+                                uint32_t chunk, uint32_t total_segs,
+                                size_t cb, size_t ce,
+                                const CancelContext& cancel, bool* stopped) {
+  uint64_t total = 0;
+  for (size_t c = cb; c < ce; ++c) {
+    if (cancel.ShouldStop()) {
+      *stopped = true;
+      return total;
+    }
+    total += backend.count_range(a, b, ChunkBegin(c, chunk),
+                                 ChunkEnd(c, chunk, total_segs));
+  }
+  return total;
+}
+
+// Chunk-wise cancellable materialization over chunk indexes [cb, ce),
+// appending into out + written. `out` must have room for one slot past the
+// final element count (the branchless emitters may write one past before
+// discarding a non-match).
+size_t IntoChunksCancellable(const internal::Backend& backend,
+                             const FesiaSet& a, const FesiaSet& b,
+                             uint32_t chunk, uint32_t total_segs, size_t cb,
+                             size_t ce, const CancelContext& cancel,
+                             uint32_t* out, bool* stopped) {
+  size_t written = 0;
+  for (size_t c = cb; c < ce; ++c) {
+    if (cancel.ShouldStop()) {
+      *stopped = true;
+      return written;
+    }
+    written += backend.into_range(a, b, ChunkBegin(c, chunk),
+                                  ChunkEnd(c, chunk, total_segs),
+                                  out + written);
+  }
+  return written;
+}
+
 }  // namespace
 
 size_t IntersectCountParallel(const FesiaSet& a, const FesiaSet& b,
                               size_t num_threads, SimdLevel level,
-                              const Executor& exec) {
+                              const Executor& exec,
+                              const CancelContext& cancel, bool* stopped) {
+  if (stopped != nullptr) *stopped = false;
   const internal::Backend& backend = internal::GetBackend(level);
   // Mismatched segment widths would make the chunk size (derived from
   // a.segment_bits()) wrong for b; the serial backend validates the
-  // precondition instead of this path computing a bogus range.
-  if (num_threads <= 1 || a.empty() || b.empty() ||
-      a.segment_bits() != b.segment_bits()) {
+  // precondition instead of this path computing a bogus range. The same
+  // degenerate path also serves empty inputs and thread counts <= 1.
+  if (a.empty() || b.empty() || a.segment_bits() != b.segment_bits()) {
+    if (cancel.active() && cancel.ShouldStop()) {
+      if (stopped != nullptr) *stopped = true;
+      return 0;
+    }
     return backend.count(a, b);
+  }
+  if (num_threads <= 1) {
+    return IntersectCountCancellable(a, b, cancel, level, stopped);
   }
   const uint32_t total_segs = std::max(a.num_segments(), b.num_segments());
   const uint32_t chunk =
       internal::SegmentChunk(backend.level, a.segment_bits());
   const uint32_t num_chunks = NumChunks(total_segs, chunk);
   num_threads = std::min(num_threads, static_cast<size_t>(num_chunks));
-  if (num_threads <= 1) return backend.count(a, b);
+  if (num_threads <= 1) {
+    return IntersectCountCancellable(a, b, cancel, level, stopped);
+  }
 
   std::atomic<uint64_t> total{0};
+  std::atomic<bool> any_stopped{false};
   ParallelFor(
       0, num_chunks, num_threads,
       [&](size_t chunk_begin, size_t chunk_end, size_t /*t*/) {
-        uint64_t partial = backend.count_range(
-            a, b, static_cast<uint32_t>(chunk_begin) * chunk,
-            std::min(static_cast<uint32_t>(chunk_end) * chunk, total_segs));
+        uint64_t partial;
+        if (cancel.active()) {
+          bool st = false;
+          partial = CountChunksCancellable(backend, a, b, chunk, total_segs,
+                                           chunk_begin, chunk_end, cancel,
+                                           &st);
+          if (st) any_stopped.store(true, std::memory_order_relaxed);
+        } else {
+          partial = backend.count_range(
+              a, b, ChunkBegin(chunk_begin, chunk),
+              std::min(ChunkBegin(chunk_end, chunk), total_segs));
+        }
         total.fetch_add(partial, std::memory_order_relaxed);
       },
       exec);
+  if (stopped != nullptr) {
+    *stopped = any_stopped.load(std::memory_order_relaxed);
+  }
   return total.load(std::memory_order_relaxed);
 }
 
 size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
                              std::vector<uint32_t>* out, size_t num_threads,
                              bool sort_output, SimdLevel level,
-                             const Executor& exec) {
+                             const Executor& exec,
+                             const CancelContext& cancel, bool* stopped) {
+  if (stopped != nullptr) *stopped = false;
   const internal::Backend& backend = internal::GetBackend(level);
   out->clear();
   if (a.empty() || b.empty()) return 0;
@@ -67,11 +143,21 @@ size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
   const uint32_t num_chunks = mismatched ? 0 : NumChunks(total_segs, chunk);
   num_threads = std::min(num_threads, static_cast<size_t>(num_chunks));
   if (num_threads <= 1) {
-    out->resize(std::min(a.size(), b.size()) + 1);
-    size_t r = backend.into(a, b, out->data());
-    out->resize(r);
-    if (sort_output) std::sort(out->begin(), out->end());
-    return r;
+    if (mismatched) {
+      // Cannot chunk across mismatched widths; cancellation granularity
+      // degrades to the whole call (checked once up front).
+      if (cancel.active() && cancel.ShouldStop()) {
+        if (stopped != nullptr) *stopped = true;
+        return 0;
+      }
+      out->resize(std::min(a.size(), b.size()) + 1);
+      size_t r = backend.into(a, b, out->data());
+      out->resize(r);
+      if (sort_output) std::sort(out->begin(), out->end());
+      return r;
+    }
+    return IntersectIntoCancellable(a, b, out, cancel, sort_output, level,
+                                    stopped);
   }
 
   // The pipeline walks the input with more segments (ties favor `a`,
@@ -84,20 +170,29 @@ size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
   const uint32_t min_size = std::min(a.size(), b.size());
 
   std::vector<std::vector<uint32_t>> slices(num_threads);
+  std::atomic<bool> any_stopped{false};
   ParallelFor(
       0, num_chunks, num_threads,
       [&](size_t chunk_begin, size_t chunk_end, size_t t) {
-        const uint32_t seg_begin = static_cast<uint32_t>(chunk_begin) * chunk;
+        const uint32_t seg_begin = ChunkBegin(chunk_begin, chunk);
         const uint32_t seg_end =
-            std::min(static_cast<uint32_t>(chunk_end) * chunk, total_segs);
+            std::min(ChunkBegin(chunk_end, chunk), total_segs);
         // +1: the branchless segment emitters may write one slot past the
         // final count before discarding a non-match.
         const uint32_t cap = std::min(
             big_offsets[seg_end] - big_offsets[seg_begin], min_size);
         std::vector<uint32_t>& slice = slices[t];
         slice.resize(cap + 1);
-        size_t r =
-            backend.into_range(a, b, seg_begin, seg_end, slice.data());
+        size_t r;
+        if (cancel.active()) {
+          bool st = false;
+          r = IntoChunksCancellable(backend, a, b, chunk, total_segs,
+                                    chunk_begin, chunk_end, cancel,
+                                    slice.data(), &st);
+          if (st) any_stopped.store(true, std::memory_order_relaxed);
+        } else {
+          r = backend.into_range(a, b, seg_begin, seg_end, slice.data());
+        }
         slice.resize(r);
       },
       exec);
@@ -108,7 +203,71 @@ size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
     out->insert(out->end(), slice.begin(), slice.end());
   }
   if (sort_output) std::sort(out->begin(), out->end());
+  if (stopped != nullptr) {
+    *stopped = any_stopped.load(std::memory_order_relaxed);
+  }
   return out->size();
+}
+
+size_t IntersectCountCancellable(const FesiaSet& a, const FesiaSet& b,
+                                 const CancelContext& cancel, SimdLevel level,
+                                 bool* stopped) {
+  if (stopped != nullptr) *stopped = false;
+  const internal::Backend& backend = internal::GetBackend(level);
+  if (!cancel.active()) return backend.count(a, b);
+  if (a.empty() || b.empty()) return 0;
+  if (a.segment_bits() != b.segment_bits()) {
+    // Serial fallback: the backend validates the precondition; granularity
+    // degrades to the whole call.
+    if (cancel.ShouldStop()) {
+      if (stopped != nullptr) *stopped = true;
+      return 0;
+    }
+    return backend.count(a, b);
+  }
+  const uint32_t total_segs = std::max(a.num_segments(), b.num_segments());
+  const uint32_t chunk =
+      internal::SegmentChunk(backend.level, a.segment_bits());
+  bool st = false;
+  uint64_t r =
+      CountChunksCancellable(backend, a, b, chunk, total_segs, 0,
+                             NumChunks(total_segs, chunk), cancel, &st);
+  if (st && stopped != nullptr) *stopped = true;
+  return static_cast<size_t>(r);
+}
+
+size_t IntersectIntoCancellable(const FesiaSet& a, const FesiaSet& b,
+                                std::vector<uint32_t>* out,
+                                const CancelContext& cancel, bool sort_output,
+                                SimdLevel level, bool* stopped) {
+  if (stopped != nullptr) *stopped = false;
+  const internal::Backend& backend = internal::GetBackend(level);
+  out->clear();
+  if (a.empty() || b.empty()) return 0;
+  out->resize(std::min(a.size(), b.size()) + 1);
+  if (!cancel.active() || a.segment_bits() != b.segment_bits()) {
+    if (cancel.active() && cancel.ShouldStop()) {
+      out->clear();
+      if (stopped != nullptr) *stopped = true;
+      return 0;
+    }
+    size_t r = backend.into(a, b, out->data());
+    out->resize(r);
+    if (sort_output) std::sort(out->begin(), out->end());
+    return r;
+  }
+  const uint32_t total_segs = std::max(a.num_segments(), b.num_segments());
+  const uint32_t chunk =
+      internal::SegmentChunk(backend.level, a.segment_bits());
+  bool st = false;
+  size_t written =
+      IntoChunksCancellable(backend, a, b, chunk, total_segs, 0,
+                            NumChunks(total_segs, chunk), cancel,
+                            out->data(), &st);
+  out->resize(written);
+  if (sort_output) std::sort(out->begin(), out->end());
+  if (st && stopped != nullptr) *stopped = true;
+  return written;
 }
 
 }  // namespace fesia

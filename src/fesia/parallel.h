@@ -1,10 +1,17 @@
-// Multicore pairwise intersection (paper Sec. VI "Multicore parallelism").
+// Multicore pairwise intersection (paper Sec. VI "Multicore parallelism"),
+// plus the deadline-supervised variants the serving layer uses.
 //
 // There are no cross-segment dependencies in either step, so the segment
 // range is statically partitioned across threads; each thread runs the full
 // two-step pipeline on its slice and the partial counts are summed. Work is
 // dispatched onto the shared process-wide pool (util/thread_pool.h) by
 // default; pass an Executor to use a caller-owned pool.
+//
+// Cancellation: every entry point takes an optional CancelContext and polls
+// it at segment-chunk granularity, so after a deadline fires or a token is
+// cancelled, at most one chunk of work remains in flight per thread. A
+// stopped call returns a partial value; callers must treat the result as
+// garbage whenever `*stopped` was set and report deadline-exceeded instead.
 #ifndef FESIA_FESIA_PARALLEL_H_
 #define FESIA_FESIA_PARALLEL_H_
 
@@ -14,6 +21,7 @@
 
 #include "fesia/fesia_set.h"
 #include "util/cpu.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace fesia {
@@ -21,21 +29,49 @@ namespace fesia {
 /// Intersection size computed with `num_threads` worker threads
 /// (num_threads <= 1 degenerates to the sequential path, as do pairs with
 /// mismatched segment_bits, whose precondition the serial backend checks).
+/// When `cancel` is active, every thread polls it between segment chunks
+/// and `*stopped` (if non-null) reports whether any work was skipped — a
+/// stopped call's return value is a meaningless partial count.
 size_t IntersectCountParallel(const FesiaSet& a, const FesiaSet& b,
                               size_t num_threads,
                               SimdLevel level = SimdLevel::kAuto,
-                              const Executor& exec = {});
+                              const Executor& exec = {},
+                              const CancelContext& cancel = {},
+                              bool* stopped = nullptr);
 
 /// Materializing parallel intersection: each thread fills a private buffer
 /// for its segment slice — sized by the number of elements that slice can
 /// actually emit, so peak memory stays O(min(|A|,|B|)) across all threads —
 /// slices are concatenated (segment order) and optionally sorted. Returns
-/// the intersection size.
+/// the intersection size. Same cancellation contract as
+/// IntersectCountParallel: when `*stopped` is set, `out` holds a partial
+/// result the caller must discard.
 size_t IntersectIntoParallel(const FesiaSet& a, const FesiaSet& b,
                              std::vector<uint32_t>* out, size_t num_threads,
                              bool sort_output = true,
                              SimdLevel level = SimdLevel::kAuto,
-                             const Executor& exec = {});
+                             const Executor& exec = {},
+                             const CancelContext& cancel = {},
+                             bool* stopped = nullptr);
+
+/// Single-threaded count that walks the segment range chunk by chunk,
+/// polling `cancel` between chunks — the cancellable analogue of
+/// IntersectCount for callers (the batch executor's workers) that cannot
+/// fan out but still need bounded cancellation latency. With an inert
+/// context this is one backend call, identical in cost to IntersectCount.
+size_t IntersectCountCancellable(const FesiaSet& a, const FesiaSet& b,
+                                 const CancelContext& cancel,
+                                 SimdLevel level = SimdLevel::kAuto,
+                                 bool* stopped = nullptr);
+
+/// Cancellable materializing intersection (single-threaded, chunk-wise).
+/// When `*stopped` is set, `out` holds a partial result to discard.
+size_t IntersectIntoCancellable(const FesiaSet& a, const FesiaSet& b,
+                                std::vector<uint32_t>* out,
+                                const CancelContext& cancel,
+                                bool sort_output = true,
+                                SimdLevel level = SimdLevel::kAuto,
+                                bool* stopped = nullptr);
 
 }  // namespace fesia
 

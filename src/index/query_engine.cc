@@ -11,9 +11,14 @@
 #include "baselines/scalar_merge.h"
 #include "baselines/shuffling.h"
 #include "baselines/simd_galloping.h"
+#include "fesia/backend_health.h"
+#include "fesia/intersect_kway.h"
+#include "fesia/parallel.h"
 #include "util/byte_io.h"
 #include "util/check.h"
 #include "util/crc32c.h"
+#include "util/deadline.h"
+#include "util/fault_injection.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -77,6 +82,40 @@ void FillBatchStats(BatchStats* stats, std::vector<double> latencies,
   stats->latency_seconds = std::move(latencies);
 }
 
+// Degradation rungs, highest first. A retry steps one rung down from the
+// tier its predecessor ran at: a failure at the parallel tier may be pool
+// pressure, one at a SIMD tier may be that backend's resources — the rung
+// below needs strictly less of whatever ran out.
+enum class ExecTier : int { kScalar = 0, kSerial = 1, kParallel = 2 };
+
+ExecTier TierForAttempt(ExecTier base, int attempt) {
+  int t = static_cast<int>(base) - (attempt - 1);
+  return static_cast<ExecTier>(std::max(t, 0));
+}
+
+// Atomically claims an in-flight slot; fails (sheds) once `cap` slots are
+// taken. cap == 0 means unlimited, but the count is still kept so
+// InFlightQueries() stays meaningful.
+bool TryAdmit(std::atomic<size_t>& inflight, size_t cap) {
+  size_t cur = inflight.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cap > 0 && cur >= cap) return false;
+    if (inflight.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+struct AdmissionGuard {
+  std::atomic<size_t>* inflight;
+  ~AdmissionGuard() {
+    if (inflight != nullptr) {
+      inflight->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+};
+
 }  // namespace
 
 QueryEngine::QueryEngine(const InvertedIndex* idx, const FesiaParams& params,
@@ -92,9 +131,39 @@ QueryEngine::QueryEngine(const InvertedIndex* idx, const FesiaParams& params,
   construction_seconds_ = timer.Seconds();
 }
 
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kOk:
+      return "ok";
+    case QueryOutcome::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case QueryOutcome::kShed:
+      return "shed";
+    case QueryOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+const FesiaSet& QueryEngine::TermSet(uint32_t term) const {
+  FESIA_CHECK(term < term_sets_.size());
+  return term_sets_[term];
+}
+
+// An out-of-range term id denotes an empty posting list: the conjunction
+// is empty, so count paths return 0 and materializing paths return {}.
+static bool HasInvalidTerm(std::span<const uint32_t> terms,
+                           size_t num_terms) {
+  for (uint32_t t : terms) {
+    if (t >= num_terms) return true;
+  }
+  return false;
+}
+
 size_t QueryEngine::CountFesia(std::span<const uint32_t> terms,
                                SimdLevel level) const {
   if (terms.empty()) return 0;
+  if (HasInvalidTerm(terms, term_sets_.size())) return 0;
   if (terms.size() == 1) return term_sets_[terms[0]].size();
   if (terms.size() == 2) {
     return IntersectCountAuto(term_sets_[terms[0]], term_sets_[terms[1]],
@@ -145,6 +214,7 @@ std::vector<uint32_t> QueryEngine::QueryFesia(std::span<const uint32_t> terms,
                                               SimdLevel level) const {
   std::vector<uint32_t> out;
   if (terms.empty()) return out;
+  if (HasInvalidTerm(terms, term_sets_.size())) return out;
   if (terms.size() == 1) {
     auto p = idx_->Postings(terms[0]);
     return std::vector<uint32_t>(p.begin(), p.end());
@@ -161,36 +231,271 @@ std::vector<uint32_t> QueryEngine::QueryFesia(std::span<const uint32_t> terms,
   return out;
 }
 
-std::vector<size_t> QueryEngine::CountBatch(
+namespace {
+
+// One counting attempt at a given degradation tier. A true *stopped means
+// the attempt was cut short and the return value is a discardable partial.
+size_t ExecuteCount(const QueryEngine& engine,
+                    std::span<const uint32_t> terms, ExecTier tier,
+                    SimdLevel level, const BatchOptions& options,
+                    const CancelContext& cancel, bool* stopped) {
+  *stopped = false;
+  if (terms.empty() || HasInvalidTerm(terms, engine.num_terms())) return 0;
+  if (terms.size() == 1) return engine.TermSet(terms[0]).size();
+  if (terms.size() == 2) {
+    const FesiaSet& a = engine.TermSet(terms[0]);
+    const FesiaSet& b = engine.TermSet(terms[1]);
+    if (tier == ExecTier::kParallel) {
+      return IntersectCountParallel(a, b, options.intra_query_threads, level,
+                                    options.executor, cancel, stopped);
+    }
+    return IntersectCountCancellable(a, b, cancel, level, stopped);
+  }
+  std::vector<const FesiaSet*> sets;
+  sets.reserve(terms.size());
+  for (uint32_t t : terms) sets.push_back(&engine.TermSet(t));
+  if (tier == ExecTier::kParallel) {
+    return IntersectCountKWayParallel(sets, options.intra_query_threads,
+                                      level, options.executor, cancel,
+                                      stopped);
+  }
+  return IntersectCountKWayCancellable(sets, cancel, level, stopped);
+}
+
+// Materializing analogue of ExecuteCount; fills *docs ascending. When
+// *stopped is set, *docs holds a partial result the caller discards.
+size_t ExecuteInto(const QueryEngine& engine, std::span<const uint32_t> terms,
+                   ExecTier tier, SimdLevel level,
+                   const BatchOptions& options, const CancelContext& cancel,
+                   std::vector<uint32_t>* docs, bool* stopped) {
+  *stopped = false;
+  docs->clear();
+  if (terms.empty() || HasInvalidTerm(terms, engine.num_terms())) return 0;
+  if (terms.size() == 1) {
+    *docs = engine.QueryFesia(terms, level);
+    return docs->size();
+  }
+  if (terms.size() == 2) {
+    const FesiaSet& a = engine.TermSet(terms[0]);
+    const FesiaSet& b = engine.TermSet(terms[1]);
+    if (tier == ExecTier::kParallel) {
+      return IntersectIntoParallel(a, b, docs, options.intra_query_threads,
+                                   /*sort_output=*/true, level,
+                                   options.executor, cancel, stopped);
+    }
+    return IntersectIntoCancellable(a, b, docs, cancel, /*sort_output=*/true,
+                                    level, stopped);
+  }
+  std::vector<const FesiaSet*> sets;
+  sets.reserve(terms.size());
+  for (uint32_t t : terms) sets.push_back(&engine.TermSet(t));
+  if (tier == ExecTier::kParallel) {
+    return IntersectIntoKWayParallel(sets, docs, options.intra_query_threads,
+                                     /*sort_output=*/true, level,
+                                     options.executor, cancel, stopped);
+  }
+  return IntersectIntoKWayCancellable(sets, docs, cancel,
+                                      /*sort_output=*/true, level, stopped);
+}
+
+}  // namespace
+
+std::vector<QueryResult> QueryEngine::RunBatch(
     std::span<const std::vector<uint32_t>> queries,
-    const BatchOptions& options, BatchStats* stats) const {
-  std::vector<size_t> results(queries.size(), 0);
-  std::vector<double> latencies(queries.size(), 0);
+    const BatchOptions& options, BatchStats* stats, bool materialize) const {
+  std::vector<QueryResult> results(queries.size());
   WallTimer wall;
+
+  // The batch deadline is anchored once, before any query runs; per-query
+  // deadlines are anchored at each query's own start.
+  const Deadline batch_deadline = options.batch_deadline_seconds > 0
+                                      ? Deadline::After(
+                                            options.batch_deadline_seconds)
+                                      : Deadline::Infinite();
+  const CancelContext batch_cancel(batch_deadline, options.cancel);
+
+  // Effective batch width, mirroring RunDynamic: the parallel intra-query
+  // tier is only real when the batch itself runs on the caller thread —
+  // a pool worker's nested ParallelFor serializes, so granting the tier
+  // there would just misreport how the work ran.
+  size_t batch_threads = options.num_threads == 0
+                             ? options.executor.pool().num_threads()
+                             : options.num_threads;
+  batch_threads = std::min(batch_threads, queries.size());
+  const bool parallel_requested = options.intra_query_threads > 1;
+  const bool parallel_allowed =
+      parallel_requested && batch_threads <= 1 && !ThreadPool::InWorkerThread();
+
+  // Backend quarantine (fesia/backend_health.h) clamps dispatch below the
+  // requested level: count it as a standing downgrade for every query.
+  const BackendHealth& health = GetBackendHealth();
+  const bool backend_clamped =
+      health.degraded && (options.level == SimdLevel::kAuto ||
+                          options.level > health.effective);
+
+  const int max_attempts = std::max(options.retry.max_attempts, 1);
+  const ExecTier base_tier =
+      parallel_allowed ? ExecTier::kParallel : ExecTier::kSerial;
+
   RunDynamic(queries.size(), options.num_threads, options.executor,
              [&](size_t i) {
-               WallTimer per_query;
-               results[i] = CountFesia(queries[i], options.level);
-               latencies[i] = per_query.Seconds();
-             });
-  FillBatchStats(stats, std::move(latencies), wall.Seconds());
+    WallTimer per_query;
+    QueryResult& res = results[i];
+    std::span<const uint32_t> terms = queries[i];
+
+    auto finish = [&](QueryOutcome outcome, Status status) {
+      res.outcome = outcome;
+      res.status = std::move(status);
+      res.latency_seconds = per_query.Seconds();
+      if (options.slow_query_seconds > 0 &&
+          res.latency_seconds >= options.slow_query_seconds &&
+          options.slow_query_hook) {
+        options.slow_query_hook(SlowQueryRecord{
+            .query_index = i,
+            .num_terms = terms.size(),
+            .latency_seconds = res.latency_seconds,
+            .outcome = res.outcome,
+        });
+      }
+    };
+
+    // Cheap drain: once the batch deadline (or the caller's token) has
+    // fired, queries not yet started are rejected without touching the
+    // index, so an overrun batch unwinds in microseconds.
+    if (batch_cancel.active() && batch_cancel.ShouldStop()) {
+      finish(QueryOutcome::kDeadlineExceeded,
+             Status::DeadlineExceeded(
+                 "batch deadline expired before the query started"));
+      return;
+    }
+
+    if (!TryAdmit(inflight_, options.admission_capacity)) {
+      finish(QueryOutcome::kShed,
+             Status::Unavailable(
+                 "admission capacity " +
+                 std::to_string(options.admission_capacity) +
+                 " reached; query shed"));
+      return;
+    }
+    AdmissionGuard guard{&inflight_};
+
+    const Deadline query_deadline =
+        options.query_deadline_seconds > 0
+            ? Deadline::After(options.query_deadline_seconds)
+            : Deadline::Infinite();
+    const CancelContext cancel(
+        Deadline::Earliest(batch_deadline, query_deadline), options.cancel);
+
+    if (backend_clamped) res.downgraded = true;
+    if (parallel_requested && !parallel_allowed) res.downgraded = true;
+
+    double backoff = options.retry.initial_backoff_seconds;
+    Status last_error;
+    for (;;) {
+      ++res.attempts;
+
+      // Injected stall (FESIA_FAULTS=query-delay): simulates a slow
+      // dependency pinning the attempt past its deadline.
+      uint64_t delay_us = 0;
+      if (fault::ShouldFail(fault::FaultPoint::kQueryDelay, &delay_us)) {
+        SleepFor(static_cast<double>(delay_us) * 1e-6);
+      }
+      if (cancel.active() && cancel.ShouldStop()) {
+        finish(QueryOutcome::kDeadlineExceeded,
+               Status::DeadlineExceeded("query deadline exceeded after " +
+                                        std::to_string(res.attempts) +
+                                        " attempt(s)"));
+        return;
+      }
+
+      // Injected transient failure (FESIA_FAULTS=alloc): models an
+      // attempt that ran out of a recoverable resource and is worth
+      // retrying one rung down.
+      if (fault::ShouldFail(fault::FaultPoint::kAllocation)) {
+        last_error = Status::ResourceExhausted(
+            "allocation failed during query attempt " +
+            std::to_string(res.attempts));
+      } else {
+        const ExecTier tier = TierForAttempt(base_tier, res.attempts);
+        if (res.attempts > 1 && tier != TierForAttempt(base_tier, 1)) {
+          res.downgraded = true;
+        }
+        const SimdLevel level =
+            tier == ExecTier::kScalar ? SimdLevel::kScalar : options.level;
+        bool stopped = false;
+        size_t count = 0;
+        if (materialize) {
+          count = ExecuteInto(*this, terms, tier, level, options, cancel,
+                              &res.docs, &stopped);
+        } else {
+          count = ExecuteCount(*this, terms, tier, level, options, cancel,
+                               &stopped);
+        }
+        if (stopped) {
+          res.docs.clear();
+          finish(QueryOutcome::kDeadlineExceeded,
+                 Status::DeadlineExceeded("query deadline exceeded after " +
+                                          std::to_string(res.attempts) +
+                                          " attempt(s)"));
+          return;
+        }
+        res.count = count;
+        finish(QueryOutcome::kOk, Status());
+        return;
+      }
+
+      if (res.attempts >= max_attempts) {
+        finish(QueryOutcome::kFailed, std::move(last_error));
+        return;
+      }
+      // Backoff before the retry, truncated by the deadline: the next
+      // attempt's poll reports deadline-exceeded if the budget ran out
+      // while sleeping.
+      double sleep = backoff;
+      if (!cancel.deadline().infinite()) {
+        sleep = std::min(sleep, cancel.deadline().seconds_left());
+      }
+      SleepFor(sleep);
+      backoff = std::min(backoff * options.retry.backoff_multiplier,
+                         options.retry.max_backoff_seconds);
+    }
+  });
+
+  const double wall_seconds = wall.Seconds();
+  if (stats != nullptr) {
+    std::vector<double> latencies(queries.size(), 0);
+    *stats = BatchStats{};
+    for (size_t i = 0; i < results.size(); ++i) {
+      const QueryResult& res = results[i];
+      latencies[i] = res.latency_seconds;
+      switch (res.outcome) {
+        case QueryOutcome::kOk: ++stats->ok; break;
+        case QueryOutcome::kDeadlineExceeded: ++stats->deadline_exceeded; break;
+        case QueryOutcome::kShed: ++stats->shed; break;
+        case QueryOutcome::kFailed: ++stats->failed; break;
+      }
+      if (res.attempts > 1) stats->retries += res.attempts - 1;
+      if (res.downgraded) ++stats->downgrades;
+      if (options.slow_query_seconds > 0 &&
+          res.latency_seconds >= options.slow_query_seconds) {
+        ++stats->slow_queries;
+      }
+    }
+    FillBatchStats(stats, std::move(latencies), wall_seconds);
+  }
   return results;
 }
 
-std::vector<std::vector<uint32_t>> QueryEngine::QueryBatch(
+std::vector<QueryResult> QueryEngine::CountBatch(
     std::span<const std::vector<uint32_t>> queries,
     const BatchOptions& options, BatchStats* stats) const {
-  std::vector<std::vector<uint32_t>> results(queries.size());
-  std::vector<double> latencies(queries.size(), 0);
-  WallTimer wall;
-  RunDynamic(queries.size(), options.num_threads, options.executor,
-             [&](size_t i) {
-               WallTimer per_query;
-               results[i] = QueryFesia(queries[i], options.level);
-               latencies[i] = per_query.Seconds();
-             });
-  FillBatchStats(stats, std::move(latencies), wall.Seconds());
-  return results;
+  return RunBatch(queries, options, stats, /*materialize=*/false);
+}
+
+std::vector<QueryResult> QueryEngine::QueryBatch(
+    std::span<const std::vector<uint32_t>> queries,
+    const BatchOptions& options, BatchStats* stats) const {
+  return RunBatch(queries, options, stats, /*materialize=*/true);
 }
 
 std::vector<uint8_t> QueryEngine::SerializeTermSets() const {

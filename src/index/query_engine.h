@@ -3,18 +3,52 @@
 #ifndef FESIA_INDEX_QUERY_ENGINE_H_
 #define FESIA_INDEX_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "fesia/fesia.h"
 #include "index/inverted_index.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace fesia::index {
+
+/// Terminal outcome of one query inside a batch.
+enum class QueryOutcome : int {
+  kOk = 0,                // completed; count/docs are exact
+  kDeadlineExceeded = 1,  // a deadline or cancellation fired first
+  kShed = 2,              // rejected by admission control before running
+  kFailed = 3,            // failed after exhausting its retry budget
+};
+
+/// Stable lowercase name ("ok", "deadline-exceeded", "shed", "failed").
+const char* QueryOutcomeName(QueryOutcome outcome);
+
+/// Retry discipline for transient per-query failures (currently the
+/// injected-allocation fault; real transient causes plug into the same
+/// path). Backoff doubles per attempt (capped), and every sleep is
+/// truncated by the query's deadline so retrying can never outlive it.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retry.
+  int max_attempts = 1;
+  double initial_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.1;
+};
+
+/// One slow-query observation handed to BatchOptions::slow_query_hook.
+struct SlowQueryRecord {
+  size_t query_index = 0;     // index into the batch
+  size_t num_terms = 0;
+  double latency_seconds = 0;
+  QueryOutcome outcome = QueryOutcome::kOk;
+};
 
 /// Options for batched query execution.
 struct BatchOptions {
@@ -25,6 +59,59 @@ struct BatchOptions {
   SimdLevel level = SimdLevel::kAuto;
   /// Pool the batch runs on (default: the shared process-wide pool).
   Executor executor = {};
+
+  /// Per-query time budget in seconds; 0 means none. The budget starts
+  /// when the query's first attempt starts (not when the batch starts) and
+  /// covers all retries of that query.
+  double query_deadline_seconds = 0;
+  /// Whole-batch time budget in seconds; 0 means none. Once it expires,
+  /// queries not yet started drain immediately as kDeadlineExceeded and
+  /// running ones stop at their next cancellation poll.
+  double batch_deadline_seconds = 0;
+  /// Caller-driven cancellation: Cancel() from any thread makes the batch
+  /// drain exactly like an expired batch deadline. The default token is
+  /// inert.
+  CancellationToken cancel;
+  /// Maximum queries of this engine simultaneously executing (across all
+  /// concurrent batches); beyond it queries are shed as kShed rather than
+  /// queued. 0 means unlimited. Shedding is the overload valve: it keeps
+  /// admitted queries fast instead of making every query slow.
+  size_t admission_capacity = 0;
+  RetryPolicy retry;
+  /// Threads for intersecting *within* one query (the paper's Sec. VI
+  /// parallelism). >1 requests the parallel tier, which is honored only
+  /// when the batch itself runs single-threaded — fanning out from inside
+  /// a pool worker would serialize behind the batch's own pull loops, so
+  /// it is counted as a downgrade instead.
+  size_t intra_query_threads = 1;
+  /// Latency threshold for the slow-query log; 0 disables it.
+  double slow_query_seconds = 0;
+  /// Invoked synchronously on the worker thread for every query whose
+  /// latency reaches slow_query_seconds. Must be thread-safe; keep it
+  /// cheap (it runs inside the batch).
+  std::function<void(const SlowQueryRecord&)> slow_query_hook;
+};
+
+/// Outcome of one query in a batch. `count`/`docs` are exact if and only
+/// if `ok()`; any other outcome carries a non-OK `status` explaining why
+/// and a zero/empty result.
+struct QueryResult {
+  QueryOutcome outcome = QueryOutcome::kOk;
+  Status status;
+  size_t count = 0;
+  /// Result documents, ascending (QueryBatch only; CountBatch leaves it
+  /// empty).
+  std::vector<uint32_t> docs;
+  /// Attempts consumed (0 for queries that never started: shed or drained
+  /// by the batch deadline).
+  int attempts = 0;
+  /// True when any degradation rung was taken: parallel tier refused,
+  /// backend quarantine clamped the SIMD level, or a retry stepped down a
+  /// tier.
+  bool downgraded = false;
+  double latency_seconds = 0;
+
+  bool ok() const { return outcome == QueryOutcome::kOk; }
 };
 
 /// Execution statistics of one batch.
@@ -32,11 +119,26 @@ struct BatchStats {
   /// End-to-end batch wall time.
   double wall_seconds = 0;
   double queries_per_second = 0;
-  /// Per-query latency, index-aligned with the input batch.
+  /// Per-query latency, index-aligned with the input batch (includes
+  /// non-OK queries: a shed query's latency is its rejection time).
   std::vector<double> latency_seconds;
   double latency_p50 = 0;
   double latency_p95 = 0;
   double latency_max = 0;
+
+  /// Outcome counts; ok + deadline_exceeded + shed + failed equals the
+  /// batch size.
+  size_t ok = 0;
+  size_t deadline_exceeded = 0;
+  size_t shed = 0;
+  size_t failed = 0;
+  /// Retry attempts beyond each query's first (sum over the batch).
+  size_t retries = 0;
+  /// Degradation events: parallel-tier refusals, quarantine clamps, and
+  /// retry tier step-downs (sum over the batch).
+  size_t downgrades = 0;
+  /// Queries at or above BatchOptions::slow_query_seconds.
+  size_t slow_queries = 0;
 };
 
 /// Executes multi-keyword AND queries. FESIA structures for every posting
@@ -58,7 +160,10 @@ class QueryEngine {
   double construction_seconds() const { return construction_seconds_; }
 
   /// Number of documents containing every term, computed with FESIA
-  /// (pairwise auto strategy for 2 terms, k-way pipeline for more).
+  /// (pairwise auto strategy for 2 terms, k-way pipeline for more). A term
+  /// id at or beyond num_terms() denotes an empty posting list, so any
+  /// out-of-range term makes the conjunction empty (count 0) instead of
+  /// indexing out of bounds.
   size_t CountFesia(std::span<const uint32_t> terms,
                     SimdLevel level = SimdLevel::kAuto) const;
 
@@ -68,27 +173,49 @@ class QueryEngine {
   size_t CountBaseline(std::span<const uint32_t> terms,
                        const std::string& method) const;
 
-  /// Result documents (ascending) via FESIA.
+  /// Result documents (ascending) via FESIA. Out-of-range terms behave as
+  /// in CountFesia: the result is empty.
   std::vector<uint32_t> QueryFesia(std::span<const uint32_t> terms,
                                    SimdLevel level = SimdLevel::kAuto) const;
 
   /// Executes many conjunctive queries concurrently (CountFesia per query,
-  /// dynamically scheduled over the executor's pool). Returns counts
-  /// index-aligned with `queries`; when `stats` is non-null it receives
-  /// per-query latencies and batch throughput. Amortizes dispatch and pool
-  /// wakeup across the stream — the batch analogue the serving layer uses
-  /// instead of calling CountFesia in a loop.
-  std::vector<size_t> CountBatch(
+  /// dynamically scheduled over the executor's pool). Returns one
+  /// QueryResult per query, index-aligned with `queries`; when `stats` is
+  /// non-null it receives per-query latencies, batch throughput, and the
+  /// outcome counters. Amortizes dispatch and pool wakeup across the
+  /// stream — the batch analogue the serving layer uses instead of calling
+  /// CountFesia in a loop.
+  ///
+  /// Overload behavior (docs/ROBUSTNESS.md): deadlines and the cancel
+  /// token stop work at chunk granularity (kDeadlineExceeded), admission
+  /// control sheds beyond-capacity queries (kShed), transient failures are
+  /// retried per `options.retry` and reported as kFailed only once the
+  /// budget is exhausted. Results with ok() exactly match a serial
+  /// CountFesia call — a stopped attempt's partial count is never
+  /// reported.
+  std::vector<QueryResult> CountBatch(
       std::span<const std::vector<uint32_t>> queries,
       const BatchOptions& options = {}, BatchStats* stats = nullptr) const;
 
-  /// Batched QueryFesia: materialized result documents (ascending) per
-  /// query, same scheduling and stats contract as CountBatch.
-  std::vector<std::vector<uint32_t>> QueryBatch(
+  /// Batched QueryFesia: materialized result documents (ascending) in
+  /// QueryResult::docs, same scheduling, stats, and overload contract as
+  /// CountBatch.
+  std::vector<QueryResult> QueryBatch(
       std::span<const std::vector<uint32_t>> queries,
       const BatchOptions& options = {}, BatchStats* stats = nullptr) const;
 
-  const FesiaSet& TermSet(uint32_t term) const { return term_sets_[term]; }
+  /// FESIA structure of one term's posting list. `term` must be below
+  /// num_terms() (FESIA_CHECK).
+  const FesiaSet& TermSet(uint32_t term) const;
+
+  size_t num_terms() const { return term_sets_.size(); }
+
+  /// Queries of this engine currently executing across all concurrent
+  /// batches — the quantity admission control caps. Returns to 0 when no
+  /// batch is running (asserted by the stress tests).
+  size_t InFlightQueries() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
 
   /// Serializes every per-term FESIA structure into one checksummed
   /// container (magic "FESIAQRY"), so the offline construction phase can
@@ -103,12 +230,33 @@ class QueryEngine {
   static StatusOr<QueryEngine> Load(const InvertedIndex* idx,
                                     std::span<const uint8_t> bytes);
 
+  /// Movable so Load can return it by value. Moving an engine with queries
+  /// in flight is a caller bug; the in-flight counter restarts at 0 in the
+  /// destination.
+  QueryEngine(QueryEngine&& other) noexcept
+      : idx_(other.idx_),
+        term_sets_(std::move(other.term_sets_)),
+        construction_seconds_(other.construction_seconds_) {}
+  QueryEngine& operator=(QueryEngine&& other) noexcept {
+    idx_ = other.idx_;
+    term_sets_ = std::move(other.term_sets_);
+    construction_seconds_ = other.construction_seconds_;
+    return *this;
+  }
+
  private:
   QueryEngine() = default;
+
+  std::vector<QueryResult> RunBatch(
+      std::span<const std::vector<uint32_t>> queries,
+      const BatchOptions& options, BatchStats* stats, bool materialize) const;
 
   const InvertedIndex* idx_ = nullptr;
   std::vector<FesiaSet> term_sets_;
   double construction_seconds_ = 0;
+  /// Admission-control state; mutable because queries are const and
+  /// concurrent.
+  mutable std::atomic<size_t> inflight_{0};
 };
 
 }  // namespace fesia::index

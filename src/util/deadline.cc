@@ -1,0 +1,12 @@
+#include "util/deadline.h"
+
+#include <thread>
+
+namespace fesia {
+
+void SleepFor(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace fesia

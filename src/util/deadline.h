@@ -1,0 +1,135 @@
+// Monotonic deadlines and cooperative cancellation for the online query
+// path (docs/ROBUSTNESS.md, "Deadlines, overload, and degradation").
+//
+// Long-running intersections are uninterruptible by default; under serving
+// traffic that makes one pathological query (a Zipf head-term pair can cost
+// orders of magnitude more than the median) stall a whole batch. The
+// contract here is cooperative: work loops thread a CancelContext down to
+// segment-chunk / bitmap-word-range granularity and poll ShouldStop()
+// between chunks, so cancellation latency is bounded by one chunk of work,
+// never by one query.
+//
+// Deadline is monotonic (steady_clock): wall-clock adjustments can neither
+// fire a deadline early nor postpone it. A default-constructed Deadline or
+// CancellationToken is inert, and CancelContext::ShouldStop() on an inert
+// context compiles down to one predictable branch — the no-deadline hot
+// path stays free.
+#ifndef FESIA_UTIL_DEADLINE_H_
+#define FESIA_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace fesia {
+
+/// A point on the monotonic clock after which work should stop.
+/// Default-constructed deadlines are infinite (never expire).
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Deadline `seconds` from now. Non-positive values produce a deadline
+  /// that is already expired (not an infinite one): an exhausted budget
+  /// means "stop now".
+  static Deadline After(double seconds) {
+    auto delta = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds > 0 ? seconds : 0));
+    return Deadline(Clock::now() + delta);
+  }
+
+  /// The earlier of two deadlines (infinite loses to any finite one).
+  static Deadline Earliest(const Deadline& a, const Deadline& b) {
+    if (!a.has_) return b;
+    if (!b.has_) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+  bool infinite() const { return !has_; }
+  bool expired() const { return has_ && Clock::now() >= at_; }
+
+  /// Seconds until expiry: +inf for an infinite deadline, <= 0 once
+  /// expired.
+  double seconds_left() const {
+    if (!has_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  explicit Deadline(Clock::time_point at) : has_(true), at_(at) {}
+
+  bool has_ = false;
+  Clock::time_point at_{};
+};
+
+/// Shared cancellation flag. Copies of a token observe the same flag, so a
+/// caller can hand one to a batch and Cancel() from any thread. The
+/// default-constructed token is null: it never reports cancelled and
+/// Cancel() on it is a no-op — pass one where no caller-driven
+/// cancellation is wanted.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// A fresh, uncancelled, cancellable token.
+  static CancellationToken Create() {
+    CancellationToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// False for the null (default-constructed) token.
+  bool can_cancel() const { return flag_ != nullptr; }
+
+  void Cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The stop condition threaded through cancellable work: a deadline, a
+/// token, or both. Work loops poll ShouldStop() at chunk granularity and
+/// return early (with a partial, to-be-discarded result) when it fires.
+class CancelContext {
+ public:
+  CancelContext() = default;
+  explicit CancelContext(const Deadline& deadline) : deadline_(deadline) {}
+  explicit CancelContext(const CancellationToken& token) : token_(token) {}
+  CancelContext(const Deadline& deadline, const CancellationToken& token)
+      : deadline_(deadline), token_(token) {}
+
+  /// True when any stop condition exists. Work loops use this to skip the
+  /// per-chunk polling entirely on the plain (uncancellable) path.
+  bool active() const {
+    return !deadline_.infinite() || token_.can_cancel();
+  }
+
+  bool ShouldStop() const {
+    return token_.cancelled() || deadline_.expired();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+  const CancellationToken& token() const { return token_; }
+
+ private:
+  Deadline deadline_;
+  CancellationToken token_;
+};
+
+/// Blocks the calling thread for `seconds` (no-op when non-positive).
+/// Used by retry backoff; callers cap the duration by their deadline.
+void SleepFor(double seconds);
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_DEADLINE_H_

@@ -57,6 +57,8 @@ const char* FaultPointName(FaultPoint point) {
       return "snapshot-bitflip";
     case FaultPoint::kBackendDowngrade:
       return "backend-downgrade";
+    case FaultPoint::kQueryDelay:
+      return "query-delay";
     case FaultPoint::kNumPoints:
       break;
   }

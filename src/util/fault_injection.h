@@ -9,6 +9,7 @@
 //   FESIA_FAULTS=snapshot-truncate:0:16     drop 16 bytes from the next read
 //   FESIA_FAULTS=snapshot-bitflip:2:7       flip bit 7 of the 3rd read
 //   FESIA_FAULTS=backend-downgrade          fail the top backend self-check
+//   FESIA_FAULTS=query-delay:0:5000         stall the next query attempt 5 ms
 //
 // Syntax: name[:skip[:param]], comma-separated. `skip` is the number of
 // hits to let pass before firing (default 0 = fire immediately); `param` is
@@ -29,7 +30,9 @@ enum class FaultPoint : int {
   kSnapshotTruncate = 1, // ReadFileBytes drops `param` (>=1) trailing bytes
   kSnapshotBitFlip = 2,  // ReadFileBytes XORs bit `param` of the payload
   kBackendDowngrade = 3, // backend self-check reports a count mismatch
-  kNumPoints = 4,
+  kQueryDelay = 4,       // batch executor stalls one attempt `param` µs —
+                         // makes deadline/timeout tests deterministic
+  kNumPoints = 5,
 };
 
 /// Stable name used by the FESIA_FAULTS syntax ("alloc", ...).

@@ -32,6 +32,8 @@ enum class StatusCode : int {
   kFailedPrecondition = 5, // operation invalid in the current state
   kUnimplemented = 6,      // feature compiled out or not yet supported
   kInternal = 7,           // invariant violation surfaced as a value
+  kUnavailable = 8,        // transient overload; shed, safe to retry later
+  kDeadlineExceeded = 9,   // deadline or cancellation fired before completion
 };
 
 /// Stable lowercase name of a code ("ok", "corruption", ...).
@@ -65,6 +67,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

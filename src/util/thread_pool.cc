@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/check.h"
+
 namespace fesia {
 namespace {
 
@@ -34,6 +36,11 @@ bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A task enqueued after the destructor set shutting_down_ would never
+    // run (workers drain and exit), silently losing work and stranding any
+    // caller waiting on it. That is always a lifetime bug in the caller —
+    // an Executor outliving its pool — so it fails fast instead of racing.
+    FESIA_CHECK(!shutting_down_);
     queue_.push(std::move(task));
     ++in_flight_;
   }

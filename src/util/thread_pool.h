@@ -35,7 +35,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. Calling Submit once
+  /// destruction has begun is a programmer error (FESIA_CHECK): the task
+  /// would be dropped on the floor, stranding any caller waiting for it.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
@@ -68,6 +70,16 @@ ThreadPool& DefaultThreadPool();
 
 /// Cheap copyable handle naming the pool parallel work runs on. The default
 /// handle targets DefaultThreadPool(), resolved lazily at first use.
+///
+/// Lifetime contract: an Executor does NOT own or extend the life of its
+/// pool. Every call made through the handle (ParallelFor, batch execution,
+/// parallel intersections) must complete before the pool's destructor
+/// begins; the handle holds a raw pointer, so a dangling Executor is
+/// use-after-free. The failure mode this produces in practice — Submit
+/// racing pool shutdown — is caught by a FESIA_CHECK in Submit, but only
+/// when the pool object itself is still alive; keep the pool alive for as
+/// long as any copy of its Executor can issue work. Handles to the shared
+/// process-wide pool are always safe: that pool is never destroyed.
 class Executor {
  public:
   /// Targets the shared process-wide pool.

@@ -1,0 +1,176 @@
+// Deadline-storm stress for the batch executor: aggressive deadlines,
+// admission pressure, injected stalls/failures, and caller cancellation on
+// the shared process-wide pool. Excluded from tier-1 ctest (label "stress",
+// DISABLED); scripts/check.sh runs the binary directly under `timeout`,
+// and the TSan preset is its primary habitat.
+//
+// Invariants checked on every iteration:
+//   - every query has exactly one outcome and the BatchStats counters sum
+//     to the batch size (no lost or double-counted queries),
+//   - ok() results exactly match a serial CountFesia (a stopped attempt's
+//     partial count never leaks into an OK result),
+//   - InFlightQueries() returns to zero (no leaked admission slots).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "index/query_gen.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace fesia::index {
+namespace {
+
+class BatchStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusParams cp;
+    cp.num_docs = 60000;
+    cp.num_terms = 3000;
+    cp.avg_terms_per_doc = 30;
+    cp.seed = 9;
+    idx_ = InvertedIndex::BuildSynthetic(cp);
+    engine_ = std::make_unique<QueryEngine>(&idx_, FesiaParams{});
+    queries_ = LowSelectivityQueries(idx_, 2, 100, 5000, 30, 0.5, 91);
+    auto three = LowSelectivityQueries(idx_, 3, 100, 5000, 20, 0.5, 92);
+    queries_.insert(queries_.end(), three.begin(), three.end());
+    // Head-term (Zipf-heaviest) pairs: the expensive tail that deadlines
+    // exist to bound.
+    for (uint32_t t = 1; t < 6; ++t) queries_.push_back({0, t});
+    serial_.reserve(queries_.size());
+    for (const auto& q : queries_) serial_.push_back(engine_->CountFesia(q));
+  }
+
+  void CheckInvariants(const std::vector<QueryResult>& results,
+                       const BatchStats& stats) {
+    ASSERT_EQ(results.size(), queries_.size());
+    size_t ok = 0, timeout = 0, shed = 0, failed = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const QueryResult& r = results[i];
+      switch (r.outcome) {
+        case QueryOutcome::kOk:
+          ++ok;
+          EXPECT_TRUE(r.status.ok());
+          EXPECT_EQ(r.count, serial_[i]) << "query " << i;
+          break;
+        case QueryOutcome::kDeadlineExceeded:
+          ++timeout;
+          EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+          break;
+        case QueryOutcome::kShed:
+          ++shed;
+          EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+          EXPECT_EQ(r.attempts, 0);
+          break;
+        case QueryOutcome::kFailed:
+          ++failed;
+          EXPECT_FALSE(r.status.ok());
+          break;
+      }
+    }
+    EXPECT_EQ(stats.ok, ok);
+    EXPECT_EQ(stats.deadline_exceeded, timeout);
+    EXPECT_EQ(stats.shed, shed);
+    EXPECT_EQ(stats.failed, failed);
+    EXPECT_EQ(ok + timeout + shed + failed, queries_.size());
+    EXPECT_EQ(engine_->InFlightQueries(), 0u);
+  }
+
+  InvertedIndex idx_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::vector<Query> queries_;
+  std::vector<size_t> serial_;
+};
+
+TEST_F(BatchStressTest, DeadlineStormLeavesNoResidue) {
+  // 1 ms per-query budget over Zipf lists: some queries finish, some time
+  // out; either way the accounting must balance and nothing may leak.
+  for (int iter = 0; iter < 20; ++iter) {
+    BatchOptions opts;
+    opts.num_threads = 4;
+    opts.query_deadline_seconds = 0.001;
+    BatchStats stats;
+    std::vector<QueryResult> results =
+        engine_->CountBatch(queries_, opts, &stats);
+    CheckInvariants(results, stats);
+    // Cancellation latency is bounded by one chunk of work, so even a
+    // timed-out query returns promptly. The bound here is deliberately
+    // loose (sanitizer builds inflate chunk cost) but still catches a
+    // query running to completion past its budget.
+    for (const QueryResult& r : results) {
+      if (r.outcome == QueryOutcome::kDeadlineExceeded) {
+        EXPECT_LT(r.latency_seconds, 1.0);
+      }
+    }
+  }
+}
+
+TEST_F(BatchStressTest, ConcurrentBatchesWithMidFlightCancellation) {
+  constexpr int kBatches = 4;
+  std::vector<CancellationToken> tokens;
+  for (int i = 0; i < kBatches; ++i) {
+    tokens.push_back(CancellationToken::Create());
+  }
+  std::vector<std::vector<QueryResult>> results(kBatches);
+  std::vector<BatchStats> stats(kBatches);
+  std::vector<std::thread> threads;
+  threads.reserve(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    threads.emplace_back([&, b] {
+      BatchOptions opts;
+      opts.num_threads = 2;
+      opts.query_deadline_seconds = 0.005;
+      opts.admission_capacity = 6;
+      opts.cancel = tokens[b];
+      results[b] = engine_->CountBatch(queries_, opts, &stats[b]);
+    });
+  }
+  // Cancel half the batches while they run.
+  tokens[0].Cancel();
+  tokens[2].Cancel();
+  for (auto& t : threads) t.join();
+  for (int b = 0; b < kBatches; ++b) {
+    CheckInvariants(results[b], stats[b]);
+  }
+  EXPECT_EQ(engine_->InFlightQueries(), 0u);
+}
+
+TEST_F(BatchStressTest, FaultStormWithRetriesBalances) {
+  Rng rng(0xFE51Au);
+  for (int iter = 0; iter < 15; ++iter) {
+    // Random mix of injected stalls and transient failures against
+    // aggressive deadlines and a tight admission cap.
+    if (rng.NextBool(0.5)) {
+      fault::Arm(fault::FaultPoint::kQueryDelay, rng.Below(4),
+                 /*param=*/2000 + rng.Below(4000));
+    }
+    if (rng.NextBool(0.5)) {
+      fault::Arm(fault::FaultPoint::kAllocation, rng.Below(8));
+    }
+    BatchOptions opts;
+    opts.num_threads = 1 + rng.Below(4);
+    opts.query_deadline_seconds = 0.002;
+    opts.admission_capacity = 1 + rng.Below(4);
+    opts.retry.max_attempts = 1 + static_cast<int>(rng.Below(3));
+    opts.retry.initial_backoff_seconds = 1e-4;
+    BatchStats stats;
+    std::vector<QueryResult> results =
+        engine_->CountBatch(queries_, opts, &stats);
+    fault::DisarmAll();
+    CheckInvariants(results, stats);
+    size_t retries = 0;
+    for (const QueryResult& r : results) {
+      ASSERT_GE(r.attempts, 0);
+      ASSERT_LE(r.attempts, opts.retry.max_attempts);
+      if (r.attempts > 1) retries += r.attempts - 1;
+    }
+    EXPECT_EQ(stats.retries, retries);
+  }
+}
+
+}  // namespace
+}  // namespace fesia::index

@@ -1,0 +1,108 @@
+// Deadline / cancellation primitives for the online query path.
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "util/timer.h"
+
+namespace fesia {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.seconds_left(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+}
+
+TEST(DeadlineTest, AfterPositiveIsPendingThenExpires) {
+  Deadline d = Deadline::After(0.02);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.seconds_left(), 0.0);
+  EXPECT_LE(d.seconds_left(), 0.02);
+  SleepFor(0.03);
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.seconds_left(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  // An exhausted budget means "stop now", not "never stop".
+  EXPECT_TRUE(Deadline::After(0).expired());
+  EXPECT_TRUE(Deadline::After(-1.5).expired());
+  EXPECT_FALSE(Deadline::After(0).infinite());
+}
+
+TEST(DeadlineTest, EarliestPrefersTheSoonerDeadline) {
+  Deadline inf;
+  Deadline near = Deadline::After(0.001);
+  Deadline far = Deadline::After(1000);
+  EXPECT_TRUE(Deadline::Earliest(inf, inf).infinite());
+  // Infinite loses to any finite deadline, in either argument order.
+  EXPECT_FALSE(Deadline::Earliest(inf, far).infinite());
+  EXPECT_FALSE(Deadline::Earliest(far, inf).infinite());
+  Deadline e = Deadline::Earliest(near, far);
+  EXPECT_LE(e.seconds_left(), near.seconds_left() + 1e-6);
+  e = Deadline::Earliest(far, near);
+  EXPECT_LE(e.seconds_left(), near.seconds_left() + 1e-6);
+}
+
+TEST(CancellationTokenTest, DefaultTokenIsInert) {
+  CancellationToken t;
+  EXPECT_FALSE(t.can_cancel());
+  EXPECT_FALSE(t.cancelled());
+  t.Cancel();  // no-op, must not crash
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(CancellationTokenTest, CopiesShareTheFlag) {
+  CancellationToken a = CancellationToken::Create();
+  CancellationToken b = a;
+  EXPECT_TRUE(a.can_cancel());
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+  b.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(CancelContextTest, InertByDefault) {
+  CancelContext c;
+  EXPECT_FALSE(c.active());
+  EXPECT_FALSE(c.ShouldStop());
+}
+
+TEST(CancelContextTest, ActiveWithDeadlineOrToken) {
+  EXPECT_TRUE(CancelContext(Deadline::After(10)).active());
+  EXPECT_TRUE(CancelContext(CancellationToken::Create()).active());
+  // An infinite deadline plus a null token is still inert.
+  EXPECT_FALSE(CancelContext(Deadline(), CancellationToken()).active());
+}
+
+TEST(CancelContextTest, StopsOnEitherCondition) {
+  CancellationToken token = CancellationToken::Create();
+  CancelContext both(Deadline::After(1000), token);
+  EXPECT_FALSE(both.ShouldStop());
+  token.Cancel();
+  EXPECT_TRUE(both.ShouldStop());
+
+  CancelContext expired(Deadline::After(0));
+  EXPECT_TRUE(expired.ShouldStop());
+}
+
+TEST(SleepForTest, NonPositiveIsNoop) {
+  WallTimer t;
+  SleepFor(0);
+  SleepFor(-5);
+  EXPECT_LT(t.Seconds(), 0.05);
+}
+
+TEST(SleepForTest, SleepsAtLeastTheRequestedTime) {
+  WallTimer t;
+  SleepFor(0.01);
+  EXPECT_GE(t.Seconds(), 0.009);
+}
+
+}  // namespace
+}  // namespace fesia

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "fesia/fesia.h"
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
 
 namespace fesia {
 namespace {
@@ -57,6 +59,17 @@ TEST(FesiaDeathTest, IntersectIntoRejectsNullOut) {
   std::vector<uint32_t> v = {1, 2, 3};
   FesiaSet a = FesiaSet::Build(v);
   EXPECT_DEATH((void)IntersectInto(a, a, nullptr), "FESIA_CHECK");
+}
+
+TEST(FesiaDeathTest, TermSetRejectsOutOfRangeTerm) {
+  index::CorpusParams cp;
+  cp.num_docs = 500;
+  cp.num_terms = 20;
+  cp.seed = 3;
+  index::InvertedIndex idx = index::InvertedIndex::BuildSynthetic(cp);
+  index::QueryEngine engine(&idx, FesiaParams{});
+  EXPECT_DEATH((void)engine.TermSet(static_cast<uint32_t>(engine.num_terms())),
+               "FESIA_CHECK");
 }
 
 }  // namespace

@@ -79,6 +79,16 @@ TEST_F(FaultInjectionTest, SpecParsing) {
   fault::DisarmAll();
 }
 
+TEST_F(FaultInjectionTest, QueryDelaySpecDeliversMicroseconds) {
+  EXPECT_TRUE(fault::ArmFromSpec("query-delay:0:5000"));
+  ASSERT_TRUE(fault::IsArmed(FaultPoint::kQueryDelay));
+  uint64_t param = 0;
+  EXPECT_TRUE(fault::ShouldFail(FaultPoint::kQueryDelay, &param));
+  EXPECT_EQ(param, 5000u);
+  // Fires once, like every fault point.
+  EXPECT_FALSE(fault::ShouldFail(FaultPoint::kQueryDelay));
+}
+
 TEST_F(FaultInjectionTest, FaultPointNamesRoundTrip) {
   for (int i = 0; i < static_cast<int>(FaultPoint::kNumPoints); ++i) {
     auto point = static_cast<FaultPoint>(i);

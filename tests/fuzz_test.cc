@@ -11,7 +11,11 @@
 #include "baselines/registry.h"
 #include "datagen/datagen.h"
 #include "fesia/fesia.h"
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "index/query_gen.h"
 #include "test_util.h"
+#include "util/fault_injection.h"
 
 namespace fesia {
 namespace {
@@ -167,6 +171,82 @@ TEST_P(SeededFuzz, SerializeRejectsRandomCorruption) {
     // must yield a clean non-OK Status — never a crash, never acceptance.
     Status s = FesiaSet::Deserialize(corrupt, &out);
     ASSERT_FALSE(s.ok()) << "iter=" << iter << " pos=" << pos;
+  }
+}
+
+TEST_P(SeededFuzz, BatchExecutorUnderRandomOverloadPolicies) {
+  // Random deadlines, admission caps, retry budgets, and injected faults:
+  // whatever the policy mix, a query the executor reports OK must count
+  // exactly what a serial CountFesia counts, and the outcome accounting
+  // must balance. Queries deliberately include out-of-range term ids.
+  index::CorpusParams cp;
+  cp.num_docs = 8000 + static_cast<uint32_t>(rng_.Below(20000));
+  cp.num_terms = 200 + static_cast<uint32_t>(rng_.Below(800));
+  cp.avg_terms_per_doc = 15;
+  cp.seed = GetParam() * 31 + 7;
+  index::InvertedIndex idx = index::InvertedIndex::BuildSynthetic(cp);
+  index::QueryEngine engine(&idx, RandomParams());
+
+  for (int iter = 0; iter < 4; ++iter) {
+    std::vector<index::Query> queries;
+    const size_t batch_size = 1 + rng_.Below(40);
+    for (size_t q = 0; q < batch_size; ++q) {
+      index::Query query;
+      const size_t arity = rng_.Below(5);  // includes empty queries
+      for (size_t t = 0; t < arity; ++t) {
+        // ~1 in 16 terms is out of range and must yield an empty (count 0)
+        // OK result, not UB.
+        query.push_back(rng_.NextBool(1.0 / 16)
+                            ? idx.num_terms() + static_cast<uint32_t>(
+                                                    rng_.Below(100))
+                            : static_cast<uint32_t>(
+                                  rng_.Below(idx.num_terms())));
+      }
+      queries.push_back(std::move(query));
+    }
+
+    index::BatchOptions opts;
+    opts.num_threads = rng_.Below(5);
+    if (rng_.NextBool(0.5)) {
+      // Deadlines from "instantly expired" to "comfortably generous".
+      opts.query_deadline_seconds = rng_.NextBool(0.3)
+                                        ? 1e-9
+                                        : 0.001 * (1 + rng_.Below(50));
+    }
+    if (rng_.NextBool(0.3)) opts.batch_deadline_seconds = 0.002;
+    if (rng_.NextBool(0.5)) opts.admission_capacity = 1 + rng_.Below(4);
+    opts.retry.max_attempts = 1 + static_cast<int>(rng_.Below(3));
+    opts.retry.initial_backoff_seconds = 1e-5;
+    opts.intra_query_threads = 1 + rng_.Below(3);
+    if (rng_.NextBool(0.3)) {
+      fault::Arm(fault::FaultPoint::kAllocation, rng_.Below(6));
+    }
+    if (rng_.NextBool(0.3)) {
+      fault::Arm(fault::FaultPoint::kQueryDelay, rng_.Below(6),
+                 /*param=*/rng_.Below(3000));
+    }
+
+    index::BatchStats stats;
+    std::vector<index::QueryResult> results =
+        engine.CountBatch(queries, opts, &stats);
+    fault::DisarmAll();
+
+    ASSERT_EQ(results.size(), queries.size());
+    ASSERT_EQ(stats.ok + stats.deadline_exceeded + stats.shed + stats.failed,
+              queries.size())
+        << "iter=" << iter;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const index::QueryResult& r = results[q];
+      if (r.ok()) {
+        ASSERT_EQ(r.count, engine.CountFesia(queries[q]))
+            << "iter=" << iter << " query=" << q;
+      } else {
+        ASSERT_FALSE(r.status.ok()) << "iter=" << iter << " query=" << q;
+        ASSERT_EQ(r.count, 0u) << "iter=" << iter << " query=" << q;
+      }
+      ASSERT_LE(r.attempts, opts.retry.max_attempts);
+    }
+    ASSERT_EQ(engine.InFlightQueries(), 0u) << "iter=" << iter;
   }
 }
 

@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <span>
 #include <vector>
 
 #include "baselines/registry.h"
 #include "index/query_engine.h"
 #include "index/query_gen.h"
+#include "util/fault_injection.h"
 
 namespace fesia::index {
 namespace {
@@ -140,10 +142,11 @@ TEST_F(QueryEngineTest, CountBatchMatchesSerialOnRandomWorkload) {
   for (size_t threads : {0, 1, 2, 4, 8}) {
     BatchOptions opts;
     opts.num_threads = threads;
-    std::vector<size_t> counts = engine_->CountBatch(queries, opts);
-    ASSERT_EQ(counts.size(), queries.size());
+    std::vector<QueryResult> results = engine_->CountBatch(queries, opts);
+    ASSERT_EQ(results.size(), queries.size());
     for (size_t i = 0; i < queries.size(); ++i) {
-      EXPECT_EQ(counts[i], engine_->CountFesia(queries[i]))
+      ASSERT_TRUE(results[i].ok()) << results[i].status.ToString();
+      EXPECT_EQ(results[i].count, engine_->CountFesia(queries[i]))
           << "query " << i << " threads=" << threads;
     }
   }
@@ -155,11 +158,13 @@ TEST_F(QueryEngineTest, QueryBatchMatchesSerialResults) {
   ASSERT_FALSE(queries.empty());
   BatchOptions opts;
   opts.num_threads = 4;
-  std::vector<std::vector<uint32_t>> results =
-      engine_->QueryBatch(queries, opts);
+  std::vector<QueryResult> results = engine_->QueryBatch(queries, opts);
   ASSERT_EQ(results.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_EQ(results[i], engine_->QueryFesia(queries[i])) << "query " << i;
+    ASSERT_TRUE(results[i].ok()) << results[i].status.ToString();
+    EXPECT_EQ(results[i].docs, engine_->QueryFesia(queries[i]))
+        << "query " << i;
+    EXPECT_EQ(results[i].count, results[i].docs.size()) << "query " << i;
   }
 }
 
@@ -175,6 +180,13 @@ TEST_F(QueryEngineTest, BatchStatsArePopulated) {
   EXPECT_GT(stats.queries_per_second, 0.0);
   EXPECT_LE(stats.latency_p50, stats.latency_p95);
   EXPECT_LE(stats.latency_p95, stats.latency_max);
+  // No deadline, no cap, no faults: every query completes first try.
+  EXPECT_EQ(stats.ok, queries.size());
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.slow_queries, 0u);
 }
 
 TEST_F(QueryEngineTest, EmptyBatch) {
@@ -187,12 +199,13 @@ TEST_F(QueryEngineTest, EmptyBatch) {
 
 TEST_F(QueryEngineTest, BatchMixedAritiesIncludingDegenerate) {
   std::vector<Query> queries = {{}, {3}, {0, 1}, {0, 2, 5}};
-  std::vector<size_t> counts = engine_->CountBatch(queries);
-  ASSERT_EQ(counts.size(), 4u);
-  EXPECT_EQ(counts[0], 0u);
-  EXPECT_EQ(counts[1], idx_.Postings(3).size());
-  EXPECT_EQ(counts[2], engine_->CountFesia(queries[2]));
-  EXPECT_EQ(counts[3], engine_->CountFesia(queries[3]));
+  std::vector<QueryResult> results = engine_->CountBatch(queries);
+  ASSERT_EQ(results.size(), 4u);
+  for (const QueryResult& r : results) ASSERT_TRUE(r.ok());
+  EXPECT_EQ(results[0].count, 0u);
+  EXPECT_EQ(results[1].count, idx_.Postings(3).size());
+  EXPECT_EQ(results[2].count, engine_->CountFesia(queries[2]));
+  EXPECT_EQ(results[3].count, engine_->CountFesia(queries[3]));
 }
 
 TEST_F(QueryEngineTest, BatchOnCustomExecutorPool) {
@@ -202,9 +215,222 @@ TEST_F(QueryEngineTest, BatchOnCustomExecutorPool) {
   ThreadPool pool(2);
   BatchOptions opts;
   opts.executor = Executor(&pool);
-  std::vector<size_t> counts = engine_->CountBatch(queries, opts);
+  std::vector<QueryResult> results = engine_->CountBatch(queries, opts);
   for (size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_EQ(counts[i], engine_->CountFesia(queries[i])) << i;
+    ASSERT_TRUE(results[i].ok()) << i;
+    EXPECT_EQ(results[i].count, engine_->CountFesia(queries[i])) << i;
+  }
+}
+
+// --- Deadlines, overload, and degradation ------------------------------------
+
+TEST_F(QueryEngineTest, OutOfRangeTermsYieldEmptyResults) {
+  const uint32_t bad = static_cast<uint32_t>(engine_->num_terms()) + 7;
+  EXPECT_EQ(engine_->CountFesia(std::vector<uint32_t>{bad}), 0u);
+  EXPECT_EQ(engine_->CountFesia(std::vector<uint32_t>{0, bad}), 0u);
+  EXPECT_TRUE(engine_->QueryFesia(std::vector<uint32_t>{bad, 1}).empty());
+
+  std::vector<Query> queries = {{0, bad}, {bad}, {0, 1}};
+  std::vector<QueryResult> results = engine_->QueryBatch(queries);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0].count, 0u);
+  EXPECT_TRUE(results[0].docs.empty());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_EQ(results[1].count, 0u);
+  EXPECT_EQ(results[2].count, engine_->CountFesia(queries[2]));
+}
+
+TEST_F(QueryEngineTest, ExpiredQueryDeadlineTimesOutEveryQuery) {
+  std::vector<Query> queries =
+      LowSelectivityQueries(idx_, 2, 50, 2000, 10, 0.5, 51);
+  ASSERT_FALSE(queries.empty());
+  BatchOptions opts;
+  opts.query_deadline_seconds = 1e-12;  // expired before the first poll
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine_->CountBatch(queries, opts, &stats);
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.outcome, QueryOutcome::kDeadlineExceeded);
+    EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+        << r.status.ToString();
+    EXPECT_EQ(r.attempts, 1);  // admitted, stopped at the first poll
+    EXPECT_EQ(r.count, 0u);
+  }
+  EXPECT_EQ(stats.deadline_exceeded, queries.size());
+  EXPECT_EQ(stats.ok, 0u);
+}
+
+TEST_F(QueryEngineTest, ExpiredBatchDeadlineDrainsWithoutRunning) {
+  std::vector<Query> queries =
+      LowSelectivityQueries(idx_, 2, 50, 2000, 10, 0.5, 52);
+  ASSERT_FALSE(queries.empty());
+  BatchOptions opts;
+  opts.batch_deadline_seconds = 1e-12;
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine_->CountBatch(queries, opts, &stats);
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.outcome, QueryOutcome::kDeadlineExceeded);
+    EXPECT_EQ(r.attempts, 0);  // drained before admission
+  }
+  EXPECT_EQ(stats.deadline_exceeded, queries.size());
+}
+
+TEST_F(QueryEngineTest, CancelledTokenDrainsBatch) {
+  std::vector<Query> queries =
+      LowSelectivityQueries(idx_, 2, 50, 2000, 8, 0.5, 53);
+  ASSERT_FALSE(queries.empty());
+  BatchOptions opts;
+  opts.cancel = CancellationToken::Create();
+  opts.cancel.Cancel();
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine_->QueryBatch(queries, opts, &stats);
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.outcome, QueryOutcome::kDeadlineExceeded);
+    EXPECT_TRUE(r.docs.empty());
+  }
+  EXPECT_EQ(stats.deadline_exceeded, queries.size());
+  EXPECT_EQ(engine_->InFlightQueries(), 0u);
+}
+
+TEST_F(QueryEngineTest, GenerousDeadlineMatchesSerialResults) {
+  // Exercises the cancellable (chunk-polling) execution path end to end:
+  // an active but generous deadline must not change any result.
+  std::vector<Query> queries =
+      LowSelectivityQueries(idx_, 2, 50, 2000, 15, 0.5, 54);
+  std::vector<Query> three =
+      LowSelectivityQueries(idx_, 3, 50, 2000, 10, 0.5, 55);
+  queries.insert(queries.end(), three.begin(), three.end());
+  ASSERT_FALSE(queries.empty());
+  BatchOptions opts;
+  opts.query_deadline_seconds = 60;
+  opts.batch_deadline_seconds = 120;
+  opts.num_threads = 4;
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine_->CountBatch(queries, opts, &stats);
+  EXPECT_EQ(stats.ok, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status.ToString();
+    EXPECT_EQ(results[i].count, engine_->CountFesia(queries[i])) << i;
+  }
+}
+
+TEST_F(QueryEngineTest, AdmissionCapShedsConcurrentQueries) {
+  std::vector<Query> queries(8, Query{0, 1});
+  BatchOptions opts;
+  opts.num_threads = 2;
+  opts.admission_capacity = 1;
+  // Pin the first admitted query for 100 ms: the other worker must shed
+  // everything else instead of queueing behind the stall.
+  fault::ScopedFault stall(fault::FaultPoint::kQueryDelay, 0, 100000);
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine_->CountBatch(queries, opts, &stats);
+  EXPECT_EQ(stats.ok + stats.shed, queries.size());
+  EXPECT_GE(stats.ok, 1u);
+  EXPECT_GE(stats.shed, 1u);
+  for (const QueryResult& r : results) {
+    if (r.outcome == QueryOutcome::kShed) {
+      EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+      EXPECT_EQ(r.attempts, 0);
+    } else {
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.count, engine_->CountFesia(queries[0]));
+    }
+  }
+  EXPECT_EQ(engine_->InFlightQueries(), 0u);
+}
+
+TEST_F(QueryEngineTest, RetryRecoversFromInjectedAllocFailure) {
+  std::vector<Query> queries = {{0, 1}};
+  BatchOptions opts;
+  opts.num_threads = 1;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff_seconds = 1e-4;
+  fault::ScopedFault alloc(fault::FaultPoint::kAllocation);
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine_->CountBatch(queries, opts, &stats);
+  ASSERT_TRUE(results[0].ok()) << results[0].status.ToString();
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_EQ(results[0].count, engine_->CountFesia(queries[0]));
+  // The retry stepped one rung down the degradation ladder.
+  EXPECT_TRUE(results[0].downgraded);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_GE(stats.downgrades, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+}
+
+TEST_F(QueryEngineTest, FailsOnceRetryBudgetIsExhausted) {
+  std::vector<Query> queries = {{0, 1}};
+  BatchOptions opts;
+  opts.num_threads = 1;  // default retry: 1 attempt, no retry
+  fault::ScopedFault alloc(fault::FaultPoint::kAllocation);
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine_->CountBatch(queries, opts, &stats);
+  EXPECT_EQ(results[0].outcome, QueryOutcome::kFailed);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kResourceExhausted)
+      << results[0].status.ToString();
+  EXPECT_EQ(results[0].attempts, 1);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.ok, 0u);
+}
+
+TEST_F(QueryEngineTest, SlowQueryHookFiresAndIsCounted) {
+  std::vector<Query> queries =
+      LowSelectivityQueries(idx_, 2, 50, 2000, 6, 0.5, 56);
+  ASSERT_FALSE(queries.empty());
+  std::atomic<size_t> hook_calls{0};
+  BatchOptions opts;
+  opts.slow_query_seconds = 1e-12;  // every query qualifies
+  opts.slow_query_hook = [&](const SlowQueryRecord& rec) {
+    hook_calls.fetch_add(1, std::memory_order_relaxed);
+    EXPECT_LT(rec.query_index, queries.size());
+    EXPECT_EQ(rec.outcome, QueryOutcome::kOk);
+    EXPECT_GT(rec.latency_seconds, 0.0);
+  };
+  BatchStats stats;
+  engine_->CountBatch(queries, opts, &stats);
+  EXPECT_EQ(hook_calls.load(), queries.size());
+  EXPECT_EQ(stats.slow_queries, queries.size());
+}
+
+TEST_F(QueryEngineTest, ParallelTierInsideThreadedBatchCountsAsDowngrade) {
+  std::vector<Query> queries(6, Query{0, 1});
+  BatchOptions opts;
+  opts.num_threads = 2;          // multi-threaded batch...
+  opts.intra_query_threads = 4;  // ...cannot honor the parallel tier
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine_->CountBatch(queries, opts, &stats);
+  EXPECT_EQ(stats.ok, queries.size());
+  EXPECT_EQ(stats.downgrades, queries.size());
+  for (const QueryResult& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.downgraded);
+    EXPECT_EQ(r.count, engine_->CountFesia(queries[0]));
+  }
+}
+
+TEST_F(QueryEngineTest, SerialBatchHonorsParallelTier) {
+  std::vector<Query> queries(4, Query{0, 1});
+  BatchOptions opts;
+  opts.num_threads = 1;
+  opts.intra_query_threads = 4;
+  opts.query_deadline_seconds = 60;  // active context through the parallel path
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine_->CountBatch(queries, opts, &stats);
+  EXPECT_EQ(stats.ok, queries.size());
+  EXPECT_EQ(stats.downgrades, 0u);
+  for (const QueryResult& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.downgraded);
+    EXPECT_EQ(r.count, engine_->CountFesia(queries[0]));
   }
 }
 

@@ -208,5 +208,75 @@ TEST(KWayParallelTest, CustomExecutorPool) {
             expected);
 }
 
+// --- Cancellation ------------------------------------------------------------
+
+TEST(KWayCancelTest, GenerousDeadlineDoesNotChangeResults) {
+  auto raw = KSetsWithDensity(3, 20000, 0.4, 71);
+  std::vector<uint32_t> expected = ReferenceIntersection(raw);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  CancelContext cancel(Deadline::After(300));
+  ASSERT_TRUE(cancel.active());
+
+  bool stopped = true;
+  EXPECT_EQ(IntersectCountKWayCancellable(ptrs, cancel, SimdLevel::kAuto,
+                                          &stopped),
+            expected.size());
+  EXPECT_FALSE(stopped);
+  for (size_t threads : {1, 2, 4}) {
+    stopped = true;
+    EXPECT_EQ(IntersectCountKWayParallel(ptrs, threads, SimdLevel::kAuto, {},
+                                         cancel, &stopped),
+              expected.size())
+        << "threads=" << threads;
+    EXPECT_FALSE(stopped);
+    std::vector<uint32_t> out;
+    stopped = true;
+    EXPECT_EQ(IntersectIntoKWayParallel(ptrs, &out, threads, true,
+                                        SimdLevel::kAuto, {}, cancel,
+                                        &stopped),
+              expected.size())
+        << "threads=" << threads;
+    EXPECT_FALSE(stopped);
+    EXPECT_EQ(out, expected) << "threads=" << threads;
+  }
+  std::vector<uint32_t> out;
+  stopped = true;
+  EXPECT_EQ(IntersectIntoKWayCancellable(ptrs, &out, cancel, true,
+                                         SimdLevel::kAuto, &stopped),
+            expected.size());
+  EXPECT_FALSE(stopped);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(KWayCancelTest, PreCancelledTokenStopsEveryEntryPoint) {
+  auto raw = KSetsWithDensity(3, 20000, 0.4, 72);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  CancellationToken token = CancellationToken::Create();
+  token.Cancel();
+  CancelContext cancel(token);
+
+  bool stopped = false;
+  (void)IntersectCountKWayCancellable(ptrs, cancel, SimdLevel::kAuto,
+                                      &stopped);
+  EXPECT_TRUE(stopped);
+  stopped = false;
+  (void)IntersectCountKWayParallel(ptrs, 4, SimdLevel::kAuto, {}, cancel,
+                                   &stopped);
+  EXPECT_TRUE(stopped);
+  std::vector<uint32_t> out;
+  stopped = false;
+  (void)IntersectIntoKWayCancellable(ptrs, &out, cancel, true,
+                                     SimdLevel::kAuto, &stopped);
+  EXPECT_TRUE(stopped);
+  stopped = false;
+  (void)IntersectIntoKWayParallel(ptrs, &out, 4, true, SimdLevel::kAuto, {},
+                                  cancel, &stopped);
+  EXPECT_TRUE(stopped);
+}
+
 }  // namespace
 }  // namespace fesia

@@ -5,11 +5,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "datagen/datagen.h"
 #include "fesia/intersect.h"
 #include "test_util.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace fesia {
@@ -190,6 +192,103 @@ TEST(ParallelTest, CustomExecutorPool) {
   EXPECT_EQ(
       IntersectIntoParallel(fa, fb, &out, 4, true, SimdLevel::kAuto, exec),
       pair.intersection_size);
+}
+
+// --- Cancellation ------------------------------------------------------------
+
+TEST(ParallelCancelTest, InertContextMatchesSequential) {
+  SetPair pair = PairWithSelectivity(30000, 30000, 0.05, 14);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  bool stopped = true;
+  EXPECT_EQ(IntersectCountCancellable(fa, fb, CancelContext{},
+                                      SimdLevel::kAuto, &stopped),
+            pair.intersection_size);
+  EXPECT_FALSE(stopped);
+  std::vector<uint32_t> out;
+  stopped = true;
+  EXPECT_EQ(IntersectIntoCancellable(fa, fb, &out, CancelContext{}, true,
+                                     SimdLevel::kAuto, &stopped),
+            pair.intersection_size);
+  EXPECT_FALSE(stopped);
+}
+
+TEST(ParallelCancelTest, GenerousDeadlineDoesNotChangeResults) {
+  // An active context forces the chunk-polling loops; a far-away deadline
+  // must never fire, so every thread count still returns the exact count.
+  SetPair pair = PairWithSelectivity(40000, 40000, 0.03, 15);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  CancelContext cancel(Deadline::After(300));
+  ASSERT_TRUE(cancel.active());
+  for (size_t threads : {1, 2, 4}) {
+    bool stopped = true;
+    EXPECT_EQ(IntersectCountParallel(fa, fb, threads, SimdLevel::kAuto, {},
+                                     cancel, &stopped),
+              pair.intersection_size)
+        << "threads=" << threads;
+    EXPECT_FALSE(stopped);
+    std::vector<uint32_t> out;
+    stopped = true;
+    EXPECT_EQ(IntersectIntoParallel(fa, fb, &out, threads, true,
+                                    SimdLevel::kAuto, {}, cancel, &stopped),
+              pair.intersection_size)
+        << "threads=" << threads;
+    EXPECT_FALSE(stopped);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  }
+}
+
+TEST(ParallelCancelTest, PreCancelledTokenStopsEveryEntryPoint) {
+  SetPair pair = PairWithSelectivity(30000, 30000, 0.05, 16);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  CancellationToken token = CancellationToken::Create();
+  token.Cancel();
+  CancelContext cancel(token);
+
+  bool stopped = false;
+  (void)IntersectCountCancellable(fa, fb, cancel, SimdLevel::kAuto, &stopped);
+  EXPECT_TRUE(stopped);
+  stopped = false;
+  (void)IntersectCountParallel(fa, fb, 4, SimdLevel::kAuto, {}, cancel,
+                               &stopped);
+  EXPECT_TRUE(stopped);
+  std::vector<uint32_t> out;
+  stopped = false;
+  (void)IntersectIntoCancellable(fa, fb, &out, cancel, true, SimdLevel::kAuto,
+                                 &stopped);
+  EXPECT_TRUE(stopped);
+  stopped = false;
+  (void)IntersectIntoParallel(fa, fb, &out, 4, true, SimdLevel::kAuto, {},
+                              cancel, &stopped);
+  EXPECT_TRUE(stopped);
+}
+
+TEST(ParallelCancelTest, ExpiredDeadlineStops) {
+  SetPair pair = PairWithSelectivity(30000, 30000, 0.05, 17);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  CancelContext cancel(Deadline::After(0));  // non-positive budget: expired
+  bool stopped = false;
+  (void)IntersectCountCancellable(fa, fb, cancel, SimdLevel::kAuto, &stopped);
+  EXPECT_TRUE(stopped);
+}
+
+TEST(ParallelCancelTest, MidFlightCancelStopsParallelCall) {
+  // Cancel from another thread while a 4-way parallel count runs; the call
+  // must return (stopped or complete) rather than hang — and once the
+  // token fires before any chunk, stopped must be reported.
+  SetPair pair = PairWithSelectivity(80000, 80000, 0.1, 18);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  CancellationToken token = CancellationToken::Create();
+  std::thread canceller([&] { token.Cancel(); });
+  bool stopped = false;
+  size_t r = IntersectCountParallel(fa, fb, 4, SimdLevel::kAuto, {},
+                                    CancelContext(token), &stopped);
+  canceller.join();
+  if (!stopped) EXPECT_EQ(r, pair.intersection_size);
 }
 
 TEST(ParallelDeathTest, MismatchedSegmentBitsFailsFast) {

@@ -36,6 +36,9 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
       {Status::Unimplemented("f"), StatusCode::kUnimplemented,
        "unimplemented"},
       {Status::Internal("g"), StatusCode::kInternal, "internal"},
+      {Status::Unavailable("h"), StatusCode::kUnavailable, "unavailable"},
+      {Status::DeadlineExceeded("i"), StatusCode::kDeadlineExceeded,
+       "deadline-exceeded"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -1,6 +1,6 @@
 # Smoke test of fesia_cli's error discipline: each failure class must map
-# to its documented exit code (2 usage, 3 I/O, 4 corrupt) with a stderr
-# message, and must never crash.
+# to its documented exit code (2 usage, 3 I/O, 4 corrupt, 5 deadline
+# exhaustion) with a stderr message, and must never crash.
 file(MAKE_DIRECTORY ${WORK_DIR})
 
 function(expect_rc expected_rc label)
@@ -28,6 +28,10 @@ expect_rc(2 "bad-level" intersect --a ${WORK_DIR}/x.bin --b ${WORK_DIR}/x.bin
           --level turbo)
 expect_rc(2 "unknown-method" intersect --a ${WORK_DIR}/ok.bin
           --b ${WORK_DIR}/ok.bin --method NoSuchMethod)
+expect_rc(2 "batch-malformed-deadline" batch --queries 4 --deadline-ms junk)
+expect_rc(2 "batch-negative-deadline" batch --queries 4 --deadline-ms -1)
+expect_rc(2 "batch-zero-queries" batch --queries 0)
+expect_rc(2 "batch-bad-level" batch --queries 4 --level turbo)
 
 # I/O errors -> 3.
 expect_rc(3 "missing-input" info --in ${WORK_DIR}/does-not-exist.bin)
@@ -65,6 +69,15 @@ expect_rc_env("snapshot-bitflip:0:1000" 4 "bitflip-snapshot"
               info --in ${WORK_DIR}/ok.fesia)
 expect_rc_env("snapshot-truncate:0:8" 4 "truncated-snapshot"
               info --in ${WORK_DIR}/ok.fesia)
+
+# Deadline exhaustion -> 5, made deterministic by injecting a 20 ms stall
+# into the single query's only attempt against a 5 ms budget.
+expect_rc_env("query-delay:0:20000" 5 "batch-deadline-exhaustion"
+              batch --queries 1 --docs 4000 --terms 100 --deadline-ms 5)
+
+# A generous budget over the same corpus completes every query.
+expect_rc(0 "batch-ok" batch --queries 8 --docs 4000 --terms 100
+          --deadline-ms 10000)
 
 # Success path still exits 0.
 expect_rc(0 "info-ok" info --in ${WORK_DIR}/ok.fesia)

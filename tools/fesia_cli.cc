@@ -5,6 +5,8 @@
 //   encode     build a FesiaSet from a raw set file and serialize it
 //   intersect  intersect two set files with any method in the registry
 //   info       print the structural statistics of a set file
+//   batch      run a conjunctive-query batch with deadlines and overload
+//              controls against a synthetic corpus
 //
 // Set files hold raw little-endian uint32 values ("raw" format) or a
 // serialized FesiaSet ("fesia" format, magic-tagged; auto-detected).
@@ -14,6 +16,8 @@
 //   2  usage error / malformed arguments
 //   3  I/O failure (missing file, unwritable output)
 //   4  corrupt or invalid snapshot
+//   5  deadline exhaustion (a batch finished with zero OK queries while at
+//      least one hit its deadline)
 #include <algorithm>
 #include <cerrno>
 #include <cstdint>
@@ -27,6 +31,8 @@
 #include "baselines/registry.h"
 #include "datagen/datagen.h"
 #include "fesia/fesia.h"
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
 #include "util/cpu.h"
 #include "util/file_io.h"
 #include "util/status.h"
@@ -43,6 +49,7 @@ constexpr int kExitOk = 0;
 constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
 constexpr int kExitCorrupt = 4;
+constexpr int kExitDeadline = 5;
 
 int Usage() {
   std::fprintf(stderr, R"(usage: fesia_cli <command> [options]
@@ -60,8 +67,15 @@ commands:
       L is scalar|sse|avx2|avx512|auto
   info --in FILE
       structural statistics of a raw or encoded set file
+  batch [--queries N] [--query-terms K] [--docs D] [--terms T] [--seed S]
+        [--threads P] [--deadline-ms MS] [--batch-deadline-ms MS]
+        [--capacity C] [--retries R] [--level L]
+      run N K-term AND queries against a synthetic Zipf corpus with the
+      deadline/overload controls of the batch executor; prints outcome
+      counters and latency percentiles
 
-exit codes: 0 ok, 2 usage, 3 I/O failure, 4 corrupt snapshot
+exit codes: 0 ok, 2 usage, 3 I/O failure, 4 corrupt snapshot,
+            5 deadline exhaustion (no query in the batch completed)
 )");
   return kExitUsage;
 }
@@ -370,6 +384,88 @@ int CmdInfo(const std::map<std::string, std::string>& flags) {
   return kExitOk;
 }
 
+int CmdBatch(const std::map<std::string, std::string>& flags) {
+  uint64_t num_queries = 0, docs = 0, terms = 0, seed = 0, threads = 0;
+  uint64_t capacity = 0;
+  int query_terms = 0, retries = 0;
+  double deadline_ms = 0, batch_deadline_ms = 0;
+  SimdLevel level = SimdLevel::kAuto;
+  if (!ParseU64Flag(flags, "queries", 64, &num_queries) ||
+      !ParseU64Flag(flags, "docs", 20000, &docs) ||
+      !ParseU64Flag(flags, "terms", 500, &terms) ||
+      !ParseU64Flag(flags, "seed", 1, &seed) ||
+      !ParseU64Flag(flags, "threads", 0, &threads) ||
+      !ParseU64Flag(flags, "capacity", 0, &capacity) ||
+      !ParseIntFlag(flags, "query-terms", 2, &query_terms) ||
+      !ParseIntFlag(flags, "retries", 1, &retries) ||
+      !ParseDoubleFlag(flags, "deadline-ms", 0, &deadline_ms) ||
+      !ParseDoubleFlag(flags, "batch-deadline-ms", 0, &batch_deadline_ms) ||
+      !ParseLevelFlag(flags, &level)) {
+    return kExitUsage;
+  }
+  if (num_queries == 0 || docs == 0 || terms == 0 || query_terms <= 0 ||
+      retries <= 0) {
+    std::fprintf(stderr, "fesia_cli: --queries, --docs, --terms, "
+                 "--query-terms, and --retries must be positive\n");
+    return kExitUsage;
+  }
+  if (deadline_ms < 0 || batch_deadline_ms < 0) {
+    std::fprintf(stderr, "fesia_cli: deadlines must be non-negative\n");
+    return kExitUsage;
+  }
+
+  fesia::index::CorpusParams cp;
+  cp.num_docs = static_cast<uint32_t>(docs);
+  cp.num_terms = static_cast<uint32_t>(terms);
+  cp.avg_terms_per_doc = 20;
+  cp.seed = seed;
+  fesia::WallTimer build_timer;
+  fesia::index::InvertedIndex idx =
+      fesia::index::InvertedIndex::BuildSynthetic(cp);
+  fesia::index::QueryEngine engine(&idx, FesiaParams{});
+  std::printf("corpus: %u docs, %zu terms, engine built in %.3f s\n",
+              idx.num_docs(), engine.num_terms(), build_timer.Seconds());
+
+  // Deterministic query mix: stride across term ranks so every batch spans
+  // head (expensive) and tail (cheap) posting lists.
+  std::vector<std::vector<uint32_t>> queries(num_queries);
+  for (uint64_t q = 0; q < num_queries; ++q) {
+    for (int t = 0; t < query_terms; ++t) {
+      queries[q].push_back(static_cast<uint32_t>(
+          (q * static_cast<uint64_t>(query_terms) + t) %
+          engine.num_terms()));
+    }
+  }
+
+  fesia::index::BatchOptions opts;
+  opts.num_threads = threads;
+  opts.level = level;
+  opts.query_deadline_seconds = deadline_ms / 1000.0;
+  opts.batch_deadline_seconds = batch_deadline_ms / 1000.0;
+  opts.admission_capacity = capacity;
+  opts.retry.max_attempts = retries;
+  fesia::index::BatchStats stats;
+  std::vector<fesia::index::QueryResult> results =
+      engine.CountBatch(queries, opts, &stats);
+
+  std::printf("batch: %zu queries in %.3f s (%.0f q/s)\n", results.size(),
+              stats.wall_seconds, stats.queries_per_second);
+  std::printf("outcomes: ok %zu, deadline-exceeded %zu, shed %zu, "
+              "failed %zu\n",
+              stats.ok, stats.deadline_exceeded, stats.shed, stats.failed);
+  std::printf("resilience: retries %zu, downgrades %zu\n", stats.retries,
+              stats.downgrades);
+  std::printf("latency ms: p50 %.3f, p95 %.3f, max %.3f\n",
+              stats.latency_p50 * 1e3, stats.latency_p95 * 1e3,
+              stats.latency_max * 1e3);
+  if (stats.ok == 0 && stats.deadline_exceeded > 0) {
+    std::fprintf(stderr, "fesia_cli: deadline exhaustion: no query "
+                 "completed within budget\n");
+    return kExitDeadline;
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -381,6 +477,7 @@ int main(int argc, char** argv) {
   if (cmd == "encode") return CmdEncode(flags);
   if (cmd == "intersect") return CmdIntersect(flags);
   if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "batch") return CmdBatch(flags);
   std::fprintf(stderr, "fesia_cli: unknown command \"%s\"\n", cmd.c_str());
   return Usage();
 }
