@@ -26,6 +26,15 @@ for preset in default asan ubsan tsan; do
   echo "=== [$preset] batch stress (timeout-capped) ==="
   timeout 600 "$bindir/tests/batch_stress_test" \
     || { echo "batch stress failed or timed out under $preset"; exit 1; }
+  # Crash-recovery gate: re-run the snapshot-store suite (kill-point save
+  # loop, corruption walk-back, hot-swap under traffic) by label so a
+  # durability regression is attributable at a glance. Default + ASan
+  # cover the write/recover paths; the full TSan ctest above already
+  # race-checks the RCU engine swap.
+  if [ "$preset" = default ] || [ "$preset" = asan ]; then
+    echo "=== [$preset] crash recovery (ctest -L store) ==="
+    ctest --preset "$preset" -L store -j "$jobs"
+  fi
 done
 
 echo "All presets passed."

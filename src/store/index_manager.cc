@@ -1,0 +1,129 @@
+#include "store/index_manager.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fesia::store {
+
+IndexManager::IndexManager(const index::InvertedIndex* idx,
+                           SnapshotStore* snapshots)
+    : IndexManager(idx, snapshots, Options()) {}
+
+IndexManager::IndexManager(const index::InvertedIndex* idx,
+                           SnapshotStore* snapshots, Options options)
+    : idx_(idx), snapshots_(snapshots), options_(options) {
+  FESIA_CHECK(idx_ != nullptr);
+  FESIA_CHECK(snapshots_ != nullptr);
+}
+
+IndexManager::~IndexManager() { StopScrub(); }
+
+void IndexManager::Publish(std::shared_ptr<const index::QueryEngine> next,
+                           uint64_t generation) {
+  // Order matters for readers that correlate the two: generation first,
+  // then the engine pointer with release semantics. In-flight batches keep
+  // their acquired shared_ptr; the old engine dies when the last one
+  // finishes.
+  serving_generation_.store(generation, std::memory_order_relaxed);
+  engine_.store(std::move(next), std::memory_order_release);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status IndexManager::Rebuild() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto built = std::make_shared<index::QueryEngine>(idx_, options_.params);
+  Publish(std::move(built), 0);
+  return Status::Ok();
+}
+
+Status IndexManager::SaveSnapshot(uint64_t* generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const index::QueryEngine> serving =
+      engine_.load(std::memory_order_acquire);
+  if (serving == nullptr) {
+    return Status::FailedPrecondition(
+        "nothing to save: no engine is being served");
+  }
+  std::vector<uint8_t> payload = serving->SerializeTermSets();
+  uint64_t gen = 0;
+  FESIA_RETURN_IF_ERROR(
+      snapshots_->Save(payload, options_.format_version, &gen));
+  // The serving engine now corresponds to a durable generation.
+  serving_generation_.store(gen, std::memory_order_relaxed);
+  if (generation != nullptr) *generation = gen;
+  return Status::Ok();
+}
+
+Status IndexManager::LoadCurrentLocked() {
+  uint64_t gen = 0;
+  auto payload = snapshots_->ReadCurrent(&gen);
+  if (!payload.ok()) return payload.status();
+  auto loaded = index::QueryEngine::Load(idx_, *payload);
+  if (!loaded.ok()) return loaded.status();
+  Publish(std::make_shared<index::QueryEngine>(*std::move(loaded)), gen);
+  return Status::Ok();
+}
+
+Status IndexManager::Reload() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = LoadCurrentLocked();
+  if (!s.ok()) rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Status IndexManager::ScrubOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scrub_cycles_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t gen = serving_generation_.load(std::memory_order_relaxed);
+  if (gen == 0) return Status::Ok();  // in-memory build: nothing on disk
+  Status v = snapshots_->VerifyGeneration(gen);
+  if (v.ok()) return v;
+
+  // The active generation rotted on disk. Quarantine it and walk back to
+  // the newest generation that still validates and loads; the incumbent
+  // in-memory engine keeps serving throughout (and remains if nothing on
+  // disk is usable — stale but valid beats down).
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  FESIA_RETURN_IF_ERROR(snapshots_->Quarantine(gen));
+  while (snapshots_->num_generations() > 0) {
+    Status s = LoadCurrentLocked();
+    if (s.ok()) return s;
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    FESIA_RETURN_IF_ERROR(
+        snapshots_->Quarantine(snapshots_->current_generation()));
+  }
+  return Status::DataLoss(
+      "scrub quarantined every generation; serving the in-memory engine");
+}
+
+void IndexManager::StartScrub(double interval_seconds) {
+  StopScrub();
+  FESIA_CHECK(interval_seconds > 0);
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = false;
+  }
+  scrub_thread_ = std::thread([this, interval_seconds] {
+    const auto interval = std::chrono::duration<double>(interval_seconds);
+    std::unique_lock<std::mutex> lock(scrub_mu_);
+    while (!scrub_cv_.wait_for(lock, interval,
+                               [this] { return scrub_stop_; })) {
+      lock.unlock();
+      (void)ScrubOnce();  // failures are visible through the counters
+      lock.lock();
+    }
+  });
+}
+
+void IndexManager::StopScrub() {
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  if (scrub_thread_.joinable()) scrub_thread_.join();
+}
+
+}  // namespace fesia::store

@@ -1,0 +1,136 @@
+// Live serving lifecycle for a QueryEngine backed by a SnapshotStore:
+// build, persist, reload, and hot-swap under traffic without ever serving
+// corrupt bytes (docs/ROBUSTNESS.md, "Durability and recovery").
+//
+// The serving engine sits behind an atomic shared_ptr swapped RCU-style:
+// readers acquire a reference once per batch and keep executing on it even
+// while a reload publishes a replacement, so in-flight CountBatch /
+// QueryBatch calls finish on the engine they started with and new callers
+// see the new one. A reload that fails validation rolls back trivially —
+// the incumbent pointer is only replaced after the candidate passed every
+// check — and surfaces a non-OK Status instead of disturbing traffic.
+//
+// An optional background scrub re-reads the active generation's bytes on
+// an interval and re-verifies the CRC chain; on mismatch it quarantines
+// the generation and reloads from the previous one, walking further back
+// if needed. If the whole store goes bad the incumbent in-memory engine
+// keeps serving (stale but valid beats down).
+//
+// Mutations (Rebuild/SaveSnapshot/Reload/ScrubOnce) are serialized by an
+// internal mutex; engine() and the counters are wait-free for readers.
+#ifndef FESIA_STORE_INDEX_MANAGER_H_
+#define FESIA_STORE_INDEX_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "index/query_engine.h"
+#include "store/snapshot_store.h"
+
+namespace fesia::store {
+
+class IndexManager {
+ public:
+  struct Options {
+    /// Build parameters used by Rebuild().
+    FesiaParams params;
+    /// Format version stamped on saved generations.
+    uint32_t format_version = 1;
+  };
+
+  /// `idx` must outlive the manager (engines reference it); the manager
+  /// takes ownership of store mutations, so nothing else may call the
+  /// store's mutating methods while the manager is alive.
+  IndexManager(const index::InvertedIndex* idx, SnapshotStore* snapshots);
+  IndexManager(const index::InvertedIndex* idx, SnapshotStore* snapshots,
+               Options options);
+  ~IndexManager();
+
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Builds a fresh engine from the index (the offline construction phase)
+  /// and publishes it. The result is not yet persisted — pair with
+  /// SaveSnapshot(). Serving generation becomes 0 (in-memory only).
+  Status Rebuild();
+
+  /// Persists the serving engine's term sets as a new store generation.
+  /// kFailedPrecondition when nothing is being served yet.
+  Status SaveSnapshot(uint64_t* generation = nullptr);
+
+  /// Loads the store's current generation, deep-validates it against the
+  /// index, and hot-swaps it in. On any failure the incumbent engine keeps
+  /// serving untouched and the validation error is returned.
+  Status Reload();
+
+  /// One scrub cycle: re-read and re-verify the serving generation's bytes
+  /// on disk. On corruption the generation is quarantined and the previous
+  /// one is loaded, walking back until a generation validates; only the
+  /// swap-in of a validated engine changes what traffic sees. Returns OK
+  /// when the active generation verified clean or a rollback succeeded.
+  Status ScrubOnce();
+
+  /// Starts/stops the background scrub loop (ScrubOnce every
+  /// `interval_seconds`). Idempotent; the destructor stops it.
+  void StartScrub(double interval_seconds);
+  void StopScrub();
+
+  /// Acquires the serving engine (null before the first successful
+  /// Rebuild/Reload). The returned reference remains valid for the
+  /// caller's whole batch even if a reload swaps the serving pointer
+  /// mid-flight.
+  std::shared_ptr<const index::QueryEngine> engine() const {
+    return engine_.load(std::memory_order_acquire);
+  }
+
+  /// Store generation backing the serving engine; 0 when serving an
+  /// in-memory build (or nothing).
+  uint64_t serving_generation() const {
+    return serving_generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Successful hot-swaps (Rebuild + Reload + scrub rollbacks).
+  uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+  /// Reload/scrub attempts that failed validation and kept the incumbent.
+  uint64_t rollbacks() const {
+    return rollbacks_.load(std::memory_order_relaxed);
+  }
+  /// Completed scrub cycles (clean or not).
+  uint64_t scrub_cycles() const {
+    return scrub_cycles_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Loads + validates the store's current generation; publishes on
+  /// success. Caller holds mu_.
+  Status LoadCurrentLocked();
+  void Publish(std::shared_ptr<const index::QueryEngine> next,
+               uint64_t generation);
+
+  const index::InvertedIndex* idx_;
+  SnapshotStore* snapshots_;
+  Options options_;
+
+  /// The RCU publication point: release-store on swap, acquire-load in
+  /// engine().
+  std::atomic<std::shared_ptr<const index::QueryEngine>> engine_{nullptr};
+  std::atomic<uint64_t> serving_generation_{0};
+  std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> rollbacks_{0};
+  std::atomic<uint64_t> scrub_cycles_{0};
+
+  std::mutex mu_;  // serializes store mutations and publications
+
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
+  std::thread scrub_thread_;
+};
+
+}  // namespace fesia::store
+
+#endif  // FESIA_STORE_INDEX_MANAGER_H_

@@ -1,0 +1,426 @@
+#include "store/snapshot_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "util/byte_io.h"
+#include "util/crc32c.h"
+
+namespace fesia::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+// "FESIASNP" / "FESIAMAN" as little-endian u64.
+constexpr uint64_t kGenerationMagic = 0x504E534149534546ull;
+constexpr uint64_t kManifestMagic = 0x4E414D4149534546ull;
+constexpr uint32_t kWrapperVersion = 1;
+constexpr uint32_t kManifestVersion = 1;
+// magic + wrapper version + format version + generation + payload size.
+constexpr size_t kWrapperHeaderBytes = 8 + 4 + 4 + 8 + 8;
+constexpr size_t kCrcBytes = sizeof(uint32_t);
+
+std::string GenerationFileName(uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snap.%06llu",
+                static_cast<unsigned long long>(generation));
+  return buf;
+}
+
+// snap.NNNNNN (digits only after the dot) -> generation id.
+bool ParseGenerationFileName(const std::string& name, uint64_t* generation) {
+  if (name.rfind("snap.", 0) != 0 || name.size() <= 5) return false;
+  uint64_t g = 0;
+  for (size_t i = 5; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    g = g * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *generation = g;
+  return true;
+}
+
+// Parses and fully validates one generation file: whole-file CRC first,
+// then the header fields. On success fills *info (payload_crc computed
+// from the payload) and *payload.
+Status ParseGenerationFile(std::span<const uint8_t> bytes,
+                           SnapshotStore::GenerationInfo* info,
+                           std::vector<uint8_t>* payload) {
+  if (bytes.size() < kWrapperHeaderBytes + kCrcBytes) {
+    return Status::Corruption("generation file shorter than its header");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - kCrcBytes,
+              kCrcBytes);
+  if (stored_crc != Crc32c(bytes.data(), bytes.size() - kCrcBytes)) {
+    return Status::Corruption("generation file checksum mismatch");
+  }
+  ByteReader r(bytes);
+  uint64_t magic = 0;
+  uint32_t wrapper_version = 0;
+  if (!r.Get(&magic) || magic != kGenerationMagic) {
+    return Status::Corruption("bad generation file magic");
+  }
+  if (!r.Get(&wrapper_version) || wrapper_version != kWrapperVersion) {
+    return Status::Corruption("unsupported generation wrapper version");
+  }
+  uint64_t payload_bytes = 0;
+  if (!r.Get(&info->format_version) || !r.Get(&info->generation) ||
+      !r.Get(&payload_bytes)) {
+    return Status::Corruption("truncated generation header");
+  }
+  if (payload_bytes != bytes.size() - kWrapperHeaderBytes - kCrcBytes) {
+    return Status::Corruption("generation payload size disagrees with file");
+  }
+  FESIA_RETURN_IF_ERROR(r.GetRawArray(payload, payload_bytes));
+  info->payload_bytes = payload_bytes;
+  info->payload_crc = Crc32c(payload->data(), payload->size());
+  return Status::Ok();
+}
+
+Status ParseManifest(std::span<const uint8_t> bytes,
+                     std::vector<SnapshotStore::GenerationInfo>* entries) {
+  if (bytes.size() < 8 + 4 + 4 + kCrcBytes) {
+    return Status::Corruption("manifest shorter than its header");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - kCrcBytes,
+              kCrcBytes);
+  if (stored_crc != Crc32c(bytes.data(), bytes.size() - kCrcBytes)) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+  ByteReader r(bytes);
+  uint64_t magic = 0;
+  uint32_t version = 0, count = 0;
+  if (!r.Get(&magic) || magic != kManifestMagic) {
+    return Status::Corruption("bad manifest magic");
+  }
+  if (!r.Get(&version) || version != kManifestVersion) {
+    return Status::Corruption("unsupported manifest version");
+  }
+  if (!r.Get(&count)) return Status::Corruption("truncated manifest header");
+  entries->clear();
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    SnapshotStore::GenerationInfo e;
+    if (!r.Get(&e.generation) || !r.Get(&e.payload_bytes) ||
+        !r.Get(&e.payload_crc) || !r.Get(&e.format_version)) {
+      return Status::Corruption("truncated manifest entry");
+    }
+    if (e.generation == 0 || e.generation <= prev) {
+      return Status::Corruption("manifest generations not ascending");
+    }
+    prev = e.generation;
+    entries->push_back(e);
+  }
+  if (r.remaining() != kCrcBytes) {
+    return Status::Corruption("trailing bytes after manifest entries");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::string s = recovered_generation == 0
+                      ? "store empty"
+                      : "recovered generation " +
+                            std::to_string(recovered_generation);
+  if (manifest_missing) s += ", manifest missing";
+  if (manifest_corrupt) s += ", manifest corrupt";
+  if (!quarantined.empty()) {
+    s += ", quarantined";
+    for (uint64_t g : quarantined) s += " " + std::to_string(g);
+  }
+  if (missing_files > 0) {
+    s += ", " + std::to_string(missing_files) + " manifest entries missing "
+         "their file";
+  }
+  if (temp_files_removed > 0) {
+    s += ", " + std::to_string(temp_files_removed) + " temp files removed";
+  }
+  return s;
+}
+
+std::string SnapshotStore::GenerationPath(uint64_t generation) const {
+  return options_.dir + "/" + GenerationFileName(generation);
+}
+
+std::string SnapshotStore::ManifestPath() const {
+  return options_.dir + "/MANIFEST";
+}
+
+Status SnapshotStore::WriteManifest() const {
+  std::vector<uint8_t> bytes;
+  ByteWriter w(&bytes);
+  w.Put(kManifestMagic);
+  w.Put(kManifestVersion);
+  w.Put(static_cast<uint32_t>(entries_.size()));
+  for (const GenerationInfo& e : entries_) {
+    w.Put(e.generation);
+    w.Put(e.payload_bytes);
+    w.Put(e.payload_crc);
+    w.Put(e.format_version);
+  }
+  w.Put(Crc32c(bytes.data(), bytes.size()));
+  return AtomicWriteFileBytes(ManifestPath(), bytes.data(), bytes.size());
+}
+
+Status SnapshotStore::ReadAndValidate(const GenerationInfo& info,
+                                      std::vector<uint8_t>* payload) const {
+  std::vector<uint8_t> bytes;
+  FESIA_RETURN_IF_ERROR(ReadFileBytes(GenerationPath(info.generation),
+                                      &bytes, options_.max_snapshot_bytes));
+  GenerationInfo got;
+  FESIA_RETURN_IF_ERROR(ParseGenerationFile(bytes, &got, payload));
+  if (got.generation != info.generation ||
+      got.payload_bytes != info.payload_bytes ||
+      got.payload_crc != info.payload_crc ||
+      got.format_version != info.format_version) {
+    return Status::Corruption(
+        "generation " + std::to_string(info.generation) +
+        " disagrees with its manifest entry");
+  }
+  return Status::Ok();
+}
+
+Status SnapshotStore::QuarantineFile(uint64_t generation) {
+  const std::string src = GenerationPath(generation);
+  // Never delete suspect bytes: rename aside to the first free
+  // .quarantine[.k] name so an operator can inspect them later.
+  for (int k = 0; k < 1000; ++k) {
+    std::string dst = src;
+    dst += ".quarantine";
+    if (k > 0) dst += "." + std::to_string(k);
+    std::error_code ec;
+    if (fs::exists(dst, ec)) continue;
+    fs::rename(src, dst, ec);
+    if (ec) {
+      return Status::IoError("cannot quarantine " + src + ": " +
+                             ec.message());
+    }
+    return Status::Ok();
+  }
+  return Status::IoError("no free quarantine name for " + src);
+}
+
+StatusOr<SnapshotStore> SnapshotStore::Open(
+    const SnapshotStoreOptions& options, RecoveryReport* report) {
+  RecoveryReport rep;
+  if (report != nullptr) *report = rep;
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("snapshot store directory is empty");
+  }
+  if (options.max_generations == 0) {
+    return Status::InvalidArgument("max_generations must be >= 1");
+  }
+
+  SnapshotStore store;
+  store.options_ = options;
+
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + options.dir + ": " +
+                           ec.message());
+  }
+
+  // Pass 1: sweep the directory — delete abandoned atomic-write temp
+  // files, collect generation files (quarantined ones are left alone).
+  std::vector<uint64_t> disk_generations;
+  for (const auto& entry : fs::directory_iterator(options.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      std::error_code rm;
+      fs::remove(entry.path(), rm);
+      if (!rm) ++rep.temp_files_removed;
+      continue;
+    }
+    uint64_t g = 0;
+    if (ParseGenerationFileName(name, &g)) disk_generations.push_back(g);
+  }
+  if (ec) {
+    return Status::IoError("cannot list " + options.dir + ": " +
+                           ec.message());
+  }
+  std::sort(disk_generations.begin(), disk_generations.end());
+
+  // Pass 2: load the manifest — the commit record. Without one (missing
+  // or corrupt) fall back to the self-validating generation files.
+  std::vector<GenerationInfo> manifest;
+  bool manifest_usable = false;
+  const bool manifest_exists = fs::exists(store.ManifestPath(), ec);
+  if (manifest_exists) {
+    std::vector<uint8_t> bytes;
+    Status rs = ReadFileBytes(store.ManifestPath(), &bytes,
+                              options.max_snapshot_bytes);
+    if (rs.ok()) rs = ParseManifest(bytes, &manifest);
+    if (rs.ok()) {
+      manifest_usable = true;
+    } else {
+      rep.manifest_corrupt = true;
+    }
+  } else if (!disk_generations.empty()) {
+    rep.manifest_missing = true;
+  }
+
+  // Pass 3: rebuild the committed set. With a manifest, an entry survives
+  // iff its file validates against it, and on-disk generations newer than
+  // the newest manifest entry are uncommitted orphans. Without one, every
+  // standalone-validating file is accepted (the commit record is gone;
+  // best effort keeps the newest intact payload).
+  const bool had_candidates = !disk_generations.empty() || !manifest.empty();
+  if (manifest_usable) {
+    const uint64_t committed_max =
+        manifest.empty() ? 0 : manifest.back().generation;
+    for (uint64_t g : disk_generations) {
+      if (g > committed_max) {
+        Status q = store.QuarantineFile(g);
+        if (!q.ok()) return q;
+        rep.quarantined.push_back(g);
+      }
+    }
+    for (const GenerationInfo& e : manifest) {
+      std::vector<uint8_t> payload;
+      Status v = store.ReadAndValidate(e, &payload);
+      if (v.ok()) {
+        store.entries_.push_back(e);
+        continue;
+      }
+      if (!fs::exists(store.GenerationPath(e.generation), ec)) {
+        ++rep.missing_files;
+        continue;
+      }
+      Status q = store.QuarantineFile(e.generation);
+      if (!q.ok()) return q;
+      rep.quarantined.push_back(e.generation);
+    }
+  } else {
+    for (uint64_t g : disk_generations) {
+      std::vector<uint8_t> bytes, payload;
+      GenerationInfo info;
+      Status v = ReadFileBytes(store.GenerationPath(g), &bytes,
+                               options.max_snapshot_bytes);
+      if (v.ok()) v = ParseGenerationFile(bytes, &info, &payload);
+      if (v.ok() && info.generation != g) {
+        v = Status::Corruption("generation id disagrees with file name");
+      }
+      if (v.ok()) {
+        store.entries_.push_back(info);
+      } else {
+        Status q = store.QuarantineFile(g);
+        if (!q.ok()) return q;
+        rep.quarantined.push_back(g);
+      }
+    }
+  }
+  // Newest-first reporting reads naturally in logs.
+  std::sort(rep.quarantined.rbegin(), rep.quarantined.rend());
+
+  rep.recovered_generation = store.current_generation();
+  const bool dirty = rep.manifest_missing || rep.manifest_corrupt ||
+                     !rep.quarantined.empty() || rep.missing_files > 0;
+  if (report != nullptr) *report = rep;
+
+  if (store.entries_.empty() && had_candidates) {
+    return Status::DataLoss("snapshot store at " + options.dir +
+                            " has no validating generation");
+  }
+  // Re-commit the recovered state so the next Open starts clean.
+  if (dirty) FESIA_RETURN_IF_ERROR(store.WriteManifest());
+  return store;
+}
+
+Status SnapshotStore::Save(std::span<const uint8_t> payload,
+                           uint32_t format_version, uint64_t* generation) {
+  const uint64_t gen = current_generation() + 1;
+
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kWrapperHeaderBytes + payload.size() + kCrcBytes);
+  ByteWriter w(&bytes);
+  w.Put(kGenerationMagic);
+  w.Put(kWrapperVersion);
+  w.Put(format_version);
+  w.Put(gen);
+  w.Put(static_cast<uint64_t>(payload.size()));
+  w.PutRaw(payload.data(), payload.size());
+  w.Put(Crc32c(bytes.data(), bytes.size()));
+
+  // Step 1: publish the payload. A crash here (torn temp file, complete
+  // temp file, or renamed-but-uncommitted generation) leaves the previous
+  // generation authoritative; Open() cleans up the debris.
+  FESIA_RETURN_IF_ERROR(
+      AtomicWriteFileBytes(GenerationPath(gen), bytes.data(), bytes.size()));
+
+  // Step 2: commit through the manifest, pruning the retention window in
+  // the same atomic write. Files are only deleted after the commit lands.
+  std::vector<GenerationInfo> rollback = entries_;
+  entries_.push_back(GenerationInfo{gen, payload.size(),
+                                    Crc32c(payload.data(), payload.size()),
+                                    format_version});
+  std::vector<GenerationInfo> pruned;
+  while (entries_.size() > options_.max_generations) {
+    pruned.push_back(entries_.front());
+    entries_.erase(entries_.begin());
+  }
+  Status ms = WriteManifest();
+  if (!ms.ok()) {
+    entries_ = std::move(rollback);
+    return ms;
+  }
+
+  // Step 3: retention. Best effort — a leftover pruned file is re-deleted
+  // or quarantined by a later Open.
+  for (const GenerationInfo& e : pruned) {
+    std::error_code ec;
+    fs::remove(GenerationPath(e.generation), ec);
+  }
+  if (generation != nullptr) *generation = gen;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> SnapshotStore::ReadCurrent(
+    uint64_t* generation) const {
+  if (entries_.empty()) {
+    return Status::DataLoss("snapshot store at " + options_.dir +
+                            " has no generations");
+  }
+  if (generation != nullptr) *generation = entries_.back().generation;
+  return ReadGeneration(entries_.back().generation);
+}
+
+StatusOr<std::vector<uint8_t>> SnapshotStore::ReadGeneration(
+    uint64_t generation) const {
+  for (const GenerationInfo& e : entries_) {
+    if (e.generation != generation) continue;
+    std::vector<uint8_t> payload;
+    FESIA_RETURN_IF_ERROR(ReadAndValidate(e, &payload));
+    return payload;
+  }
+  return Status::FailedPrecondition("generation " +
+                                    std::to_string(generation) +
+                                    " is not committed in this store");
+}
+
+Status SnapshotStore::VerifyGeneration(uint64_t generation) const {
+  return ReadGeneration(generation).status();
+}
+
+Status SnapshotStore::Quarantine(uint64_t generation) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const GenerationInfo& e) {
+                           return e.generation == generation;
+                         });
+  if (it == entries_.end()) {
+    return Status::FailedPrecondition("generation " +
+                                      std::to_string(generation) +
+                                      " is not committed in this store");
+  }
+  FESIA_RETURN_IF_ERROR(QuarantineFile(generation));
+  entries_.erase(it);
+  return WriteManifest();
+}
+
+}  // namespace fesia::store

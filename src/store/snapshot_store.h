@@ -1,0 +1,149 @@
+// Crash-safe, generational snapshot storage (docs/ROBUSTNESS.md,
+// "Durability and recovery").
+//
+// A SnapshotStore is a directory holding up to N payload generations
+// (`snap.000001`, `snap.000002`, …) behind a checksummed MANIFEST that
+// records, per generation: id, payload CRC32C, payload byte size, and a
+// caller-defined format version. Every file — generations and the
+// manifest alike — is published with AtomicWriteFileBytes (temp + fsync +
+// rename + directory fsync), so no crash can leave a torn file at a live
+// path. A save is *committed* only once the manifest naming it is durable;
+// a generation file without a manifest entry is an uncommitted orphan.
+//
+// Open() recovers from arbitrary crash debris: stray temp files are
+// removed, orphans and generations that fail validation are quarantined
+// (renamed aside with a `.quarantine` suffix — never deleted, so an
+// operator can inspect them), and the store resumes from the newest
+// generation that validates. What was skipped is reported through
+// RecoveryReport. Only when no generation validates at all does Open()
+// fail, with StatusCode::kDataLoss.
+//
+// The store is payload-agnostic: callers persist any byte string (the
+// QueryEngine term-set container, a serialized FesiaSet, …). Each
+// generation file carries its own header + whole-file CRC32C, so a
+// generation validates standalone even when the manifest itself is lost.
+//
+// Thread safety: none. Callers (see store/index_manager.h) serialize
+// access externally.
+#ifndef FESIA_STORE_SNAPSHOT_STORE_H_
+#define FESIA_STORE_SNAPSHOT_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace fesia::store {
+
+struct SnapshotStoreOptions {
+  /// Directory holding the generations and MANIFEST; created if missing.
+  std::string dir;
+  /// Committed generations retained; older ones are deleted after a
+  /// successful save. Must be >= 1.
+  size_t max_generations = 3;
+  /// Per-file read cap forwarded to ReadFileBytes.
+  size_t max_snapshot_bytes = kDefaultMaxReadFileBytes;
+};
+
+/// What Open() found and did to bring the store back to a valid state.
+struct RecoveryReport {
+  bool manifest_missing = false;
+  bool manifest_corrupt = false;
+  /// Generation now serving as current; 0 when the store is empty.
+  uint64_t recovered_generation = 0;
+  /// Abandoned atomic-write temp files deleted.
+  size_t temp_files_removed = 0;
+  /// Generations renamed aside (corrupt payloads and uncommitted orphans),
+  /// newest first.
+  std::vector<uint64_t> quarantined;
+  /// Manifest entries dropped because their file had vanished.
+  size_t missing_files = 0;
+
+  bool clean() const {
+    return !manifest_missing && !manifest_corrupt && quarantined.empty() &&
+           temp_files_removed == 0 && missing_files == 0;
+  }
+  /// One-line human summary ("recovered generation 17, quarantined 18, …").
+  std::string ToString() const;
+};
+
+class SnapshotStore {
+ public:
+  /// One committed generation as recorded in the manifest.
+  struct GenerationInfo {
+    uint64_t generation = 0;
+    uint64_t payload_bytes = 0;
+    uint32_t payload_crc = 0;
+    uint32_t format_version = 0;
+  };
+
+  /// Opens (and if needed recovers) the store at options.dir, creating the
+  /// directory for a fresh store. Fills *report (when non-null) with what
+  /// recovery found even when Open fails. kDataLoss when generations were
+  /// present but none validates; kIoError/kInvalidArgument otherwise.
+  static StatusOr<SnapshotStore> Open(const SnapshotStoreOptions& options,
+                                      RecoveryReport* report = nullptr);
+
+  /// Durably appends `payload` as the next generation: atomic payload
+  /// write, then atomic manifest commit, then retention pruning. On any
+  /// failure the previous current generation is untouched and still
+  /// served; an interrupted save leaves at most an orphan or temp file for
+  /// the next Open() to clean up. *generation (when non-null) receives the
+  /// committed id.
+  Status Save(std::span<const uint8_t> payload, uint32_t format_version = 0,
+              uint64_t* generation = nullptr);
+
+  /// Reads and fully validates the current generation's payload (wrapper
+  /// magic + CRC, manifest cross-check). kDataLoss when the store holds no
+  /// generation; kCorruption when the stored bytes fail validation —
+  /// corrupt bytes are never returned.
+  StatusOr<std::vector<uint8_t>> ReadCurrent(
+      uint64_t* generation = nullptr) const;
+
+  /// ReadCurrent for one specific committed generation.
+  StatusOr<std::vector<uint8_t>> ReadGeneration(uint64_t generation) const;
+
+  /// Re-reads `generation` from disk and revalidates it end to end — the
+  /// scrub primitive. OK iff ReadGeneration would succeed.
+  Status VerifyGeneration(uint64_t generation) const;
+
+  /// Renames `generation`'s file aside (`snap.NNNNNN.quarantine[.k]`) and
+  /// drops it from the manifest, atomically re-committing the latter. The
+  /// previous generation (if any) becomes current.
+  Status Quarantine(uint64_t generation);
+
+  /// Newest committed generation id; 0 when empty.
+  uint64_t current_generation() const {
+    return entries_.empty() ? 0 : entries_.back().generation;
+  }
+  size_t num_generations() const { return entries_.size(); }
+  /// Committed generations, oldest first.
+  const std::vector<GenerationInfo>& generations() const { return entries_; }
+  const std::string& dir() const { return options_.dir; }
+
+  SnapshotStore(SnapshotStore&&) = default;
+  SnapshotStore& operator=(SnapshotStore&&) = default;
+
+ private:
+  SnapshotStore() = default;
+
+  std::string GenerationPath(uint64_t generation) const;
+  std::string ManifestPath() const;
+  Status WriteManifest() const;
+  /// Reads + validates one generation file against `info`.
+  Status ReadAndValidate(const GenerationInfo& info,
+                         std::vector<uint8_t>* payload) const;
+  /// Renames a generation file aside; returns the quarantine path used.
+  Status QuarantineFile(uint64_t generation);
+
+  SnapshotStoreOptions options_;
+  std::vector<GenerationInfo> entries_;  // ascending by generation
+};
+
+}  // namespace fesia::store
+
+#endif  // FESIA_STORE_SNAPSHOT_STORE_H_

@@ -59,6 +59,12 @@ const char* FaultPointName(FaultPoint point) {
       return "backend-downgrade";
     case FaultPoint::kQueryDelay:
       return "query-delay";
+    case FaultPoint::kIoShortWrite:
+      return "io-short-write";
+    case FaultPoint::kCrashBeforeRename:
+      return "crash-before-rename";
+    case FaultPoint::kCrashAfterRename:
+      return "crash-after-rename";
     case FaultPoint::kNumPoints:
       break;
   }

@@ -10,6 +10,9 @@
 //   FESIA_FAULTS=snapshot-bitflip:2:7       flip bit 7 of the 3rd read
 //   FESIA_FAULTS=backend-downgrade          fail the top backend self-check
 //   FESIA_FAULTS=query-delay:0:5000         stall the next query attempt 5 ms
+//   FESIA_FAULTS=io-short-write             tear the next atomic write
+//   FESIA_FAULTS=crash-before-rename        crash after temp write, no rename
+//   FESIA_FAULTS=crash-after-rename         crash after rename, before commit
 //
 // Syntax: name[:skip[:param]], comma-separated. `skip` is the number of
 // hits to let pass before firing (default 0 = fire immediately); `param` is
@@ -32,7 +35,13 @@ enum class FaultPoint : int {
   kBackendDowngrade = 3, // backend self-check reports a count mismatch
   kQueryDelay = 4,       // batch executor stalls one attempt `param` µs —
                          // makes deadline/timeout tests deterministic
-  kNumPoints = 5,
+  // Crash rehearsal for AtomicWriteFileBytes: each point simulates power
+  // loss at one protocol step by abandoning the write there, leaving the
+  // on-disk state exactly as a real crash would (debris is NOT cleaned up).
+  kIoShortWrite = 5,       // temp file gets only half the payload, no rename
+  kCrashBeforeRename = 6,  // temp file complete + fsynced, never renamed
+  kCrashAfterRename = 7,   // rename durable, caller's follow-up steps skipped
+  kNumPoints = 8,
 };
 
 /// Stable name used by the FESIA_FAULTS syntax ("alloc", ...).

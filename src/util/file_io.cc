@@ -1,13 +1,47 @@
 #include "util/file_io.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 
 #include "util/fault_injection.h"
 
 namespace fesia {
+namespace {
 
-Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+std::string ErrnoText() { return std::strerror(errno); }
+
+// Directory containing `path` ("" -> ".").
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t bytes,
+                const std::string& path) {
+  size_t done = 0;
+  while (done < bytes) {
+    ssize_t n = ::write(fd, data + done, bytes - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write to " + path + ": " + ErrnoText());
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out,
+                     size_t max_bytes) {
   FESIA_CHECK(out != nullptr);
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
@@ -16,6 +50,17 @@ Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
   std::streamsize size = in.tellg();
   if (size < 0) {
     return Status::IoError("cannot stat " + path);
+  }
+  // A corrupt filesystem entry can report a garbage multi-GB length; cap it
+  // before allocating so the failure is a Status, not std::bad_alloc.
+  if (static_cast<uint64_t>(size) > max_bytes) {
+    return Status::ResourceExhausted(
+        path + " reports " + std::to_string(size) +
+        " bytes, above the " + std::to_string(max_bytes) + "-byte limit");
+  }
+  if (fault::ShouldFail(fault::FaultPoint::kAllocation)) {
+    return Status::ResourceExhausted("file buffer allocation failed for " +
+                                     path);
   }
   in.seekg(0);
   out->resize(static_cast<size_t>(size));
@@ -52,6 +97,72 @@ Status WriteFileBytes(const std::string& path, const void* data,
   out.flush();
   if (!out.good()) {
     return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Status AtomicWriteFileBytes(const std::string& path, const void* data,
+                            size_t bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + tmp + " for writing: " +
+                           ErrnoText());
+  }
+
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  // Simulated power loss mid-write: half the payload reaches the temp
+  // file, which stays behind as debris for recovery to deal with.
+  if (fault::ShouldFail(fault::FaultPoint::kIoShortWrite)) {
+    (void)WriteAll(fd, p, bytes / 2, tmp);
+    ::close(fd);
+    return Status::IoError("short write to " + tmp + " (injected crash)");
+  }
+  Status w = WriteAll(fd, p, bytes, tmp);
+  if (!w.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return w;
+  }
+  // The payload must be on stable storage before the rename publishes it:
+  // rename-before-fsync can expose a zero-length or torn file after a
+  // crash even though the rename itself "succeeded".
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError("fsync " + tmp + ": " + ErrnoText());
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("close " + tmp + ": " + ErrnoText());
+  }
+
+  // Simulated power loss between write and publish: a complete, durable
+  // temp file exists but the destination still holds the old bytes.
+  if (fault::ShouldFail(fault::FaultPoint::kCrashBeforeRename)) {
+    return Status::IoError("simulated crash before rename of " + tmp);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Status::IoError("rename " + tmp + " -> " + path + ": " +
+                               ErrnoText());
+    ::unlink(tmp.c_str());
+    return s;
+  }
+
+  // Make the rename itself durable: without the directory fsync the new
+  // directory entry can be lost on power failure.
+  int dfd = ::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+
+  // Simulated power loss after publish but before whatever commit step the
+  // caller performs next (e.g. the manifest update): the file is durably
+  // in place, yet the caller must treat the operation as failed.
+  if (fault::ShouldFail(fault::FaultPoint::kCrashAfterRename)) {
+    return Status::IoError("simulated crash after rename to " + path);
   }
   return Status::Ok();
 }

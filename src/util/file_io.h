@@ -3,6 +3,13 @@
 // truncation / bit-flip points), so storage corruption can be rehearsed
 // end-to-end: injected corruption must surface as a clean non-OK Status
 // from the downstream validator, never as UB.
+//
+// Writes come in two flavors: WriteFileBytes truncates in place (cheap,
+// non-durable — a crash mid-write destroys the previous copy) and
+// AtomicWriteFileBytes, which follows the temp-file + fsync + rename +
+// directory-fsync protocol so the destination always holds either the old
+// or the new bytes, never a torn mix (docs/ROBUSTNESS.md, "Durability and
+// recovery").
 #ifndef FESIA_UTIL_FILE_IO_H_
 #define FESIA_UTIL_FILE_IO_H_
 
@@ -15,14 +22,36 @@
 
 namespace fesia {
 
-/// Reads the whole file into *out (replacing its contents). kIoError if the
-/// file cannot be opened or read. Armed kSnapshotTruncate / kSnapshotBitFlip
-/// faults corrupt the returned bytes (not the file).
-Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+/// Upper bound ReadFileBytes applies when the caller does not pass one.
+/// A corrupt filesystem entry can report an arbitrary multi-GB length;
+/// capping the allocation turns that into kResourceExhausted instead of
+/// std::bad_alloc. Snapshots in this codebase are far below 1 GiB.
+inline constexpr size_t kDefaultMaxReadFileBytes = size_t{1} << 30;
 
-/// Writes `bytes` bytes at `data` to `path`, replacing any existing file.
+/// Reads the whole file into *out (replacing its contents). kIoError if the
+/// file cannot be opened or read; kResourceExhausted if the reported size
+/// exceeds `max_bytes` or the allocation fails (the allocation is routed
+/// through the `alloc` fault point). Armed kSnapshotTruncate /
+/// kSnapshotBitFlip faults corrupt the returned bytes (not the file).
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out,
+                     size_t max_bytes = kDefaultMaxReadFileBytes);
+
+/// Writes `bytes` bytes at `data` to `path`, replacing any existing file
+/// in place. Not crash-safe: prefer AtomicWriteFileBytes for data whose
+/// previous copy must survive a failed write.
 Status WriteFileBytes(const std::string& path, const void* data,
                       size_t bytes);
+
+/// Crash-safe replacement of `path`: writes to `<path>.tmp.<pid>`, fsyncs
+/// the file, renames it over `path`, then fsyncs the parent directory.
+/// After an OK return the new bytes are durable; after any failure the
+/// previous contents of `path` are intact. The kIoShortWrite,
+/// kCrashBeforeRename, and kCrashAfterRename fault points abandon the
+/// protocol at their step, leaving on-disk debris exactly as a power loss
+/// there would (kCrashAfterRename fails the call even though the rename
+/// is durable — callers must treat the write as uncommitted).
+Status AtomicWriteFileBytes(const std::string& path, const void* data,
+                            size_t bytes);
 
 }  // namespace fesia
 

@@ -34,6 +34,7 @@ enum class StatusCode : int {
   kInternal = 7,           // invariant violation surfaced as a value
   kUnavailable = 8,        // transient overload; shed, safe to retry later
   kDeadlineExceeded = 9,   // deadline or cancellation fired before completion
+  kDataLoss = 10,          // no stored copy validates; operator must restore
 };
 
 /// Stable lowercase name of a code ("ok", "corruption", ...).
@@ -73,6 +74,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

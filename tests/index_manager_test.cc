@@ -1,0 +1,282 @@
+// IndexManager lifecycle: build/save/reload round trips, rollback on
+// failed reloads (the incumbent keeps serving), scrub-driven quarantine
+// walk-back, and hot-swap correctness under concurrent query traffic (the
+// TSan habitat for the RCU engine pointer).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "store/index_manager.h"
+#include "store/snapshot_store.h"
+#include "util/fault_injection.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace fesia {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::fesia::index::InvertedIndex;
+using ::fesia::index::QueryResult;
+using ::fesia::store::IndexManager;
+using ::fesia::store::SnapshotStore;
+using ::fesia::store::SnapshotStoreOptions;
+
+class IndexManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index::CorpusParams corpus;
+    corpus.num_docs = 3000;
+    corpus.num_terms = 80;
+    corpus.avg_terms_per_doc = 30.0;
+    corpus.seed = 11;
+    idx_ = InvertedIndex::BuildSynthetic(corpus);
+
+    dir_ = ::testing::TempDir() + "fesia_index_manager_test." +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    SnapshotStoreOptions opts;
+    opts.dir = dir_;
+    auto store = SnapshotStore::Open(opts);
+    ASSERT_TRUE(store.ok()) << store.status().message();
+    store_ = std::make_unique<SnapshotStore>(*std::move(store));
+
+    // A handful of 2- and 3-term conjunctive queries over mid-frequency
+    // terms, so every query has nonempty inputs.
+    auto terms = idx_.TermsWithPostingLength(20, 100000);
+    ASSERT_GE(terms.size(), 6u);
+    for (size_t i = 0; i + 2 < terms.size() && queries_.size() < 12; i += 3) {
+      queries_.push_back({terms[i], terms[i + 1]});
+      queries_.push_back({terms[i], terms[i + 1], terms[i + 2]});
+    }
+  }
+
+  // Expected per-query counts from a reference engine built serially.
+  std::vector<size_t> ExpectedCounts(const index::QueryEngine& engine) const {
+    std::vector<size_t> expected;
+    for (const auto& q : queries_) expected.push_back(engine.CountFesia(q));
+    return expected;
+  }
+
+  InvertedIndex idx_;
+  std::string dir_;
+  std::unique_ptr<SnapshotStore> store_;
+  std::vector<std::vector<uint32_t>> queries_;
+};
+
+TEST_F(IndexManagerTest, RebuildSaveReloadRoundTrip) {
+  IndexManager mgr(&idx_, store_.get());
+  EXPECT_EQ(mgr.engine(), nullptr);
+  EXPECT_EQ(mgr.SaveSnapshot().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  auto built = mgr.engine();
+  ASSERT_NE(built, nullptr);
+  EXPECT_EQ(mgr.serving_generation(), 0u);
+  const std::vector<size_t> expected = ExpectedCounts(*built);
+
+  uint64_t gen = 0;
+  ASSERT_TRUE(mgr.SaveSnapshot(&gen).ok());
+  EXPECT_EQ(gen, 1u);
+  EXPECT_EQ(mgr.serving_generation(), 1u);
+
+  // A second manager over the same store reloads the persisted engine and
+  // answers identically.
+  SnapshotStoreOptions opts;
+  opts.dir = dir_;
+  auto store2 = SnapshotStore::Open(opts);
+  ASSERT_TRUE(store2.ok());
+  IndexManager mgr2(&idx_, &*store2);
+  Status s = mgr2.Reload();
+  ASSERT_TRUE(s.ok()) << s.message();
+  auto loaded = mgr2.engine();
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(mgr2.serving_generation(), 1u);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    EXPECT_EQ(loaded->CountFesia(queries_[i]), expected[i]) << i;
+  }
+}
+
+TEST_F(IndexManagerTest, FailedReloadKeepsIncumbentServing) {
+  IndexManager mgr(&idx_, store_.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.SaveSnapshot().ok());
+  ASSERT_TRUE(mgr.Reload().ok());
+  auto incumbent = mgr.engine();
+  ASSERT_NE(incumbent, nullptr);
+  const uint64_t swaps_before = mgr.swaps();
+
+  // The reload's disk read comes back corrupted; the candidate must be
+  // rejected and the incumbent pointer left untouched.
+  {
+    fault::ScopedFault f(fault::FaultPoint::kSnapshotBitFlip, 0, 1000);
+    Status s = mgr.Reload();
+    EXPECT_FALSE(s.ok());
+  }
+  EXPECT_EQ(mgr.engine(), incumbent);
+  EXPECT_EQ(mgr.rollbacks(), 1u);
+  EXPECT_EQ(mgr.swaps(), swaps_before);
+
+  // The store itself is intact: the next reload succeeds and swaps.
+  ASSERT_TRUE(mgr.Reload().ok());
+  EXPECT_EQ(mgr.swaps(), swaps_before + 1);
+}
+
+TEST_F(IndexManagerTest, ScrubQuarantinesRottenGenerationAndWalksBack) {
+  IndexManager mgr(&idx_, store_.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  const std::vector<size_t> expected = ExpectedCounts(*mgr.engine());
+  ASSERT_TRUE(mgr.SaveSnapshot().ok());  // gen 1
+  uint64_t gen = 0;
+  ASSERT_TRUE(mgr.SaveSnapshot(&gen).ok());  // gen 2, identical payload
+  ASSERT_EQ(gen, 2u);
+  ASSERT_TRUE(mgr.Reload().ok());
+  ASSERT_EQ(mgr.serving_generation(), 2u);
+
+  // Clean scrub: nothing changes.
+  ASSERT_TRUE(mgr.ScrubOnce().ok());
+  EXPECT_EQ(mgr.serving_generation(), 2u);
+  EXPECT_EQ(mgr.rollbacks(), 0u);
+  EXPECT_EQ(mgr.scrub_cycles(), 1u);
+
+  // Rot the active generation on disk. The scrub must quarantine it and
+  // fall back to generation 1 without interrupting service.
+  {
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(ReadFileBytes(dir_ + "/snap.000002", &bytes).ok());
+    bytes[bytes.size() / 2] ^= 0xFF;
+    ASSERT_TRUE(WriteFileBytes(dir_ + "/snap.000002", bytes.data(),
+                               bytes.size()).ok());
+  }
+  Status s = mgr.ScrubOnce();
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(mgr.serving_generation(), 1u);
+  EXPECT_GE(mgr.rollbacks(), 1u);
+  EXPECT_TRUE(fs::exists(dir_ + "/snap.000002.quarantine"));
+  auto engine = mgr.engine();
+  ASSERT_NE(engine, nullptr);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    EXPECT_EQ(engine->CountFesia(queries_[i]), expected[i]) << i;
+  }
+}
+
+TEST_F(IndexManagerTest, ScrubKeepsServingWhenWholeStoreRots) {
+  IndexManager mgr(&idx_, store_.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.SaveSnapshot().ok());
+  ASSERT_TRUE(mgr.Reload().ok());
+  auto incumbent = mgr.engine();
+  ASSERT_NE(incumbent, nullptr);
+
+  // Only generation rots -> nothing on disk is usable. The scrub reports
+  // data loss but the in-memory engine must keep serving (stale but valid
+  // beats down).
+  {
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(ReadFileBytes(dir_ + "/snap.000001", &bytes).ok());
+    bytes[bytes.size() / 2] ^= 0xFF;
+    ASSERT_TRUE(WriteFileBytes(dir_ + "/snap.000001", bytes.data(),
+                               bytes.size()).ok());
+  }
+  Status s = mgr.ScrubOnce();
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(mgr.engine(), incumbent);
+  EXPECT_GT(incumbent->CountFesia(queries_[0]) +
+                incumbent->CountFesia(queries_[1]),
+            0u);
+}
+
+TEST_F(IndexManagerTest, BackgroundScrubRuns) {
+  IndexManager mgr(&idx_, store_.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.SaveSnapshot().ok());
+
+  mgr.StartScrub(0.002);
+  // Poll with a generous ceiling so the test cannot flake under load.
+  for (int i = 0; i < 2000 && mgr.scrub_cycles() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  mgr.StopScrub();
+  EXPECT_GT(mgr.scrub_cycles(), 0u);
+  // StartScrub/StopScrub are idempotent.
+  mgr.StopScrub();
+  mgr.StartScrub(0.002);
+  mgr.StopScrub();
+}
+
+// The hot-swap contract under traffic: reader threads continuously run
+// query batches on whatever engine() returns while the main thread reloads
+// repeatedly (including one forced rollback). Every batch must return
+// exact counts — an in-flight batch keeps its engine alive across swaps —
+// and the test must be clean under TSan (scripts/check.sh runs it there).
+TEST_F(IndexManagerTest, HotSwapUnderConcurrentQueryTraffic) {
+  IndexManager mgr(&idx_, store_.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  const std::vector<size_t> expected = ExpectedCounts(*mgr.engine());
+  ASSERT_TRUE(mgr.SaveSnapshot().ok());
+  ASSERT_TRUE(mgr.Reload().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> batches_ok{0};
+  std::atomic<size_t> mismatches{0};
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      index::BatchOptions options;
+      options.num_threads = 1;  // keep the contention on the swap, not
+                                // the pool
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto engine = mgr.engine();
+        ASSERT_NE(engine, nullptr);
+        std::vector<QueryResult> results =
+            engine->QueryBatch(queries_, options);
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].ok() || results[i].count != expected[i] ||
+              results[i].docs.size() != expected[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        batches_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Swap storm: repeated reloads, with one mid-stream forced rollback
+  // (injected read corruption) that must leave traffic undisturbed.
+  constexpr int kReloads = 25;
+  for (int i = 0; i < kReloads; ++i) {
+    if (i == kReloads / 2) {
+      fault::ScopedFault f(fault::FaultPoint::kSnapshotBitFlip, 0, 900);
+      EXPECT_FALSE(mgr.Reload().ok());
+      continue;
+    }
+    Status s = mgr.Reload();
+    ASSERT_TRUE(s.ok()) << s.message();
+  }
+  // Let the readers observe the final engine before stopping.
+  while (batches_ok.load(std::memory_order_relaxed) < kReaders * 3u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GE(mgr.swaps(), static_cast<uint64_t>(kReloads));  // + Rebuild
+  EXPECT_EQ(mgr.rollbacks(), 1u);
+  EXPECT_GT(batches_ok.load(), 0u);
+}
+
+}  // namespace
+}  // namespace fesia

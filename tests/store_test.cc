@@ -1,0 +1,487 @@
+// Crash-safety of the snapshot store: the kill-point save loop (a crash at
+// every injected point of the atomic-write protocol must recover to the
+// last committed generation), manifest/generation corruption walk-back,
+// quarantine policy, retention, and the ReadFileBytes guard rails.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/snapshot_store.h"
+#include "util/fault_injection.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace fesia {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::fesia::store::RecoveryReport;
+using ::fesia::store::SnapshotStore;
+using ::fesia::store::SnapshotStoreOptions;
+
+std::string NewStoreDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "fesia_store_test." + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<uint8_t> Payload(uint8_t tag, size_t n = 256) {
+  std::vector<uint8_t> p(n);
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<uint8_t>(tag ^ (i * 31));
+  }
+  return p;
+}
+
+void FlipByteOnDisk(const std::string& path, size_t offset) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok()) << path;
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] ^= 0xFF;
+  ASSERT_TRUE(WriteFileBytes(path, bytes.data(), bytes.size()).ok());
+}
+
+size_t CountFilesMatching(const std::string& dir, const std::string& needle) {
+  size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// --- AtomicWriteFileBytes ------------------------------------------------
+
+TEST(AtomicWriteTest, ReplacesExistingFileAtomically) {
+  const std::string dir = NewStoreDir("atomic");
+  fs::create_directories(dir);
+  const std::string path = dir + "/data.bin";
+  const auto v1 = Payload(1);
+  const auto v2 = Payload(2);
+  ASSERT_TRUE(AtomicWriteFileBytes(path, v1.data(), v1.size()).ok());
+
+  // A torn write must leave the previous contents untouched, plus a temp
+  // file as debris (a real crash cannot clean up after itself).
+  for (fault::FaultPoint point :
+       {fault::FaultPoint::kIoShortWrite,
+        fault::FaultPoint::kCrashBeforeRename}) {
+    fault::ScopedFault f(point);
+    Status s = AtomicWriteFileBytes(path, v2.data(), v2.size());
+    EXPECT_EQ(s.code(), StatusCode::kIoError)
+        << fault::FaultPointName(point);
+    std::vector<uint8_t> got;
+    ASSERT_TRUE(ReadFileBytes(path, &got).ok());
+    EXPECT_EQ(got, v1) << fault::FaultPointName(point);
+    EXPECT_GE(CountFilesMatching(dir, ".tmp."), 1u);
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.path().filename().string().find(".tmp.") !=
+          std::string::npos) {
+        fs::remove(entry.path());
+      }
+    }
+  }
+
+  // Crash-after-rename: the new bytes are durably in place even though the
+  // call reports failure — callers must treat the write as uncommitted.
+  {
+    fault::ScopedFault f(fault::FaultPoint::kCrashAfterRename);
+    Status s = AtomicWriteFileBytes(path, v2.data(), v2.size());
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+    std::vector<uint8_t> got;
+    ASSERT_TRUE(ReadFileBytes(path, &got).ok());
+    EXPECT_EQ(got, v2);
+    EXPECT_EQ(CountFilesMatching(dir, ".tmp."), 0u);
+  }
+}
+
+TEST(AtomicWriteTest, RealFailureCleansUpTempFile) {
+  // Writing into a non-existent directory fails outright; unlike the
+  // injected crash points, a genuine error must not leave debris behind.
+  const std::string dir = NewStoreDir("atomic-clean");
+  fs::create_directories(dir);
+  Status s = AtomicWriteFileBytes(dir + "/no-such-subdir/x.bin", "ab", 2);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(CountFilesMatching(dir, ".tmp."), 0u);
+}
+
+// --- ReadFileBytes guard rails -------------------------------------------
+
+TEST(ReadFileBytesTest, CapsOversizedFiles) {
+  const std::string dir = NewStoreDir("read-cap");
+  fs::create_directories(dir);
+  const std::string path = dir + "/big.bin";
+  const auto bytes = Payload(7, 100);
+  ASSERT_TRUE(WriteFileBytes(path, bytes.data(), bytes.size()).ok());
+
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(ReadFileBytes(path, &out, 100).ok());
+  EXPECT_EQ(out, bytes);
+  Status s = ReadFileBytes(path, &out, 99);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ReadFileBytesTest, AllocationFailureIsStatusNotBadAlloc) {
+  const std::string dir = NewStoreDir("read-alloc");
+  fs::create_directories(dir);
+  const std::string path = dir + "/x.bin";
+  const auto bytes = Payload(9, 64);
+  ASSERT_TRUE(WriteFileBytes(path, bytes.data(), bytes.size()).ok());
+
+  fault::ScopedFault f(fault::FaultPoint::kAllocation);
+  std::vector<uint8_t> out;
+  Status s = ReadFileBytes(path, &out);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+// --- SnapshotStore basics ------------------------------------------------
+
+TEST(SnapshotStoreTest, FreshStoreIsEmpty) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("fresh");
+  RecoveryReport rep;
+  auto store = SnapshotStore::Open(opts, &rep);
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(store->num_generations(), 0u);
+  EXPECT_EQ(store->current_generation(), 0u);
+  EXPECT_EQ(store->ReadCurrent().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotStoreTest, SaveReadRoundTrip) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("roundtrip");
+  auto store = SnapshotStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+
+  const auto p1 = Payload(1);
+  const auto p2 = Payload(2, 1000);
+  uint64_t gen = 0;
+  ASSERT_TRUE(store->Save(p1, /*format_version=*/7, &gen).ok());
+  EXPECT_EQ(gen, 1u);
+  ASSERT_TRUE(store->Save(p2, /*format_version=*/7, &gen).ok());
+  EXPECT_EQ(gen, 2u);
+  EXPECT_EQ(store->current_generation(), 2u);
+
+  uint64_t got_gen = 0;
+  auto cur = store->ReadCurrent(&got_gen);
+  ASSERT_TRUE(cur.ok()) << cur.status().message();
+  EXPECT_EQ(got_gen, 2u);
+  EXPECT_EQ(*cur, p2);
+  auto old = store->ReadGeneration(1);
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(*old, p1);
+  EXPECT_EQ(store->generations()[0].format_version, 7u);
+
+  // Reopening the committed store is clean and serves the same bytes.
+  RecoveryReport rep;
+  auto reopened = SnapshotStore::Open(opts, &rep);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(rep.clean()) << rep.ToString();
+  EXPECT_EQ(rep.recovered_generation, 2u);
+  auto cur2 = reopened->ReadCurrent();
+  ASSERT_TRUE(cur2.ok());
+  EXPECT_EQ(*cur2, p2);
+}
+
+TEST(SnapshotStoreTest, RetentionPrunesOldGenerations) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("retention");
+  opts.max_generations = 2;
+  auto store = SnapshotStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+
+  for (uint8_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(store->Save(Payload(i)).ok());
+  }
+  ASSERT_EQ(store->num_generations(), 2u);
+  EXPECT_EQ(store->generations()[0].generation, 3u);
+  EXPECT_EQ(store->generations()[1].generation, 4u);
+  // Pruned files really are deleted (retention, not quarantine).
+  EXPECT_FALSE(fs::exists(opts.dir + "/snap.000001"));
+  EXPECT_FALSE(fs::exists(opts.dir + "/snap.000002"));
+  EXPECT_TRUE(fs::exists(opts.dir + "/snap.000004"));
+  EXPECT_EQ(store->ReadGeneration(1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotStoreTest, OversizedPayloadRejectedOnRead) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("oversize");
+  auto store = SnapshotStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Save(Payload(1, 4096)).ok());
+
+  // Reopen with a tight cap: the generation file now exceeds
+  // max_snapshot_bytes, so recovery quarantines it rather than allocating.
+  opts.max_snapshot_bytes = 128;
+  RecoveryReport rep;
+  auto reopened = SnapshotStore::Open(opts, &rep);
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+// --- Kill-point save loop ------------------------------------------------
+
+// One crash rehearsal: which protocol step dies, which of the save's two
+// atomic writes it dies in (skip 0 = the payload write, skip 1 = the
+// manifest write), and whether the save still reached its commit point.
+struct KillPoint {
+  const char* name;
+  fault::FaultPoint point;
+  uint64_t skip;
+  bool commits;  // true iff the manifest rename landed before the "crash"
+};
+
+class KillPointTest : public ::testing::TestWithParam<KillPoint> {};
+
+// The canonical crash drill: commit generation 1, crash a save of
+// generation 2 at the parameterized point, then reopen the store as a
+// restarted process would. Recovery must land on the last generation whose
+// manifest commit completed — gen 1 for every pre-commit crash, gen 2 when
+// the crash hit after the manifest rename — and the report must account
+// for all debris.
+TEST_P(KillPointTest, RecoversToLastCommittedGeneration) {
+  const KillPoint& kp = GetParam();
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir(std::string("kill.") + kp.name);
+  const auto good = Payload(1);
+  const auto next = Payload(2, 512);
+
+  auto store = SnapshotStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Save(good).ok());
+
+  {
+    fault::ScopedFault f(kp.point, kp.skip);
+    Status s = store->Save(next);
+    ASSERT_FALSE(s.ok()) << kp.name;
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+  }
+
+  // The surviving in-memory store never advanced: it still serves gen 1.
+  EXPECT_EQ(store->current_generation(), 1u);
+  auto still = store->ReadCurrent();
+  ASSERT_TRUE(still.ok()) << still.status().message();
+  EXPECT_EQ(*still, good);
+
+  // Simulated restart: reopen from disk and recover.
+  RecoveryReport rep;
+  auto reopened = SnapshotStore::Open(opts, &rep);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  const uint64_t expected_gen = kp.commits ? 2u : 1u;
+  EXPECT_EQ(rep.recovered_generation, expected_gen) << rep.ToString();
+  uint64_t gen = 0;
+  auto recovered = reopened->ReadCurrent(&gen);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_EQ(gen, expected_gen);
+  EXPECT_EQ(*recovered, kp.commits ? next : good);
+
+  // Debris accounting. Crashing in either atomic write before its rename
+  // leaves a temp file for the sweep; a generation whose payload rename
+  // landed but whose manifest commit did not is a quarantined orphan; a
+  // save that reached its commit point left nothing behind at all.
+  const size_t expect_temp =
+      kp.point == fault::FaultPoint::kCrashAfterRename ? 0u : 1u;
+  const bool expect_orphan =
+      !kp.commits &&
+      (kp.skip == 1 || kp.point == fault::FaultPoint::kCrashAfterRename);
+  EXPECT_EQ(rep.temp_files_removed, expect_temp) << rep.ToString();
+  if (expect_orphan) {
+    ASSERT_EQ(rep.quarantined.size(), 1u) << rep.ToString();
+    EXPECT_EQ(rep.quarantined[0], 2u);
+    EXPECT_EQ(CountFilesMatching(opts.dir, ".quarantine"), 1u);
+  } else {
+    EXPECT_TRUE(rep.quarantined.empty()) << rep.ToString();
+  }
+  if (kp.commits) {
+    EXPECT_TRUE(rep.clean()) << rep.ToString();
+  }
+  EXPECT_EQ(CountFilesMatching(opts.dir, ".tmp."), 0u);
+
+  // The recovered store must accept further saves and number them past
+  // everything it has ever seen on disk.
+  uint64_t gen3 = 0;
+  ASSERT_TRUE(reopened->Save(Payload(3), 0, &gen3).ok());
+  EXPECT_GT(gen3, expected_gen);
+  RecoveryReport rep2;
+  auto again = SnapshotStore::Open(opts, &rep2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(rep2.clean()) << rep2.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCrashPoints, KillPointTest,
+    ::testing::Values(
+        KillPoint{"TornPayloadWrite", fault::FaultPoint::kIoShortWrite, 0,
+                  false},
+        KillPoint{"PayloadTempNotRenamed",
+                  fault::FaultPoint::kCrashBeforeRename, 0, false},
+        KillPoint{"PayloadRenamedUncommitted",
+                  fault::FaultPoint::kCrashAfterRename, 0, false},
+        KillPoint{"TornManifestWrite", fault::FaultPoint::kIoShortWrite, 1,
+                  false},
+        KillPoint{"ManifestTempNotRenamed",
+                  fault::FaultPoint::kCrashBeforeRename, 1, false},
+        KillPoint{"CommittedBeforeAck", fault::FaultPoint::kCrashAfterRename,
+                  1, true}),
+    [](const ::testing::TestParamInfo<KillPoint>& info) {
+      return info.param.name;
+    });
+
+// --- Corruption walk-back ------------------------------------------------
+
+TEST(SnapshotStoreTest, CorruptNewestGenerationWalksBack) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("walkback");
+  const auto p1 = Payload(1);
+  const auto p2 = Payload(2);
+  {
+    auto store = SnapshotStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Save(p1).ok());
+    ASSERT_TRUE(store->Save(p2).ok());
+  }
+  // Rot a payload byte of the newest generation (offset past the 32-byte
+  // wrapper header).
+  FlipByteOnDisk(opts.dir + "/snap.000002", 100);
+
+  RecoveryReport rep;
+  auto reopened = SnapshotStore::Open(opts, &rep);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(rep.recovered_generation, 1u);
+  ASSERT_EQ(rep.quarantined.size(), 1u);
+  EXPECT_EQ(rep.quarantined[0], 2u);
+  auto cur = reopened->ReadCurrent();
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(*cur, p1);
+  // The rotten bytes were renamed aside, not destroyed.
+  EXPECT_TRUE(fs::exists(opts.dir + "/snap.000002.quarantine"));
+  EXPECT_FALSE(fs::exists(opts.dir + "/snap.000002"));
+}
+
+TEST(SnapshotStoreTest, CorruptManifestFallsBackToSelfValidation) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("manifest-corrupt");
+  const auto p2 = Payload(2);
+  {
+    auto store = SnapshotStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Save(Payload(1)).ok());
+    ASSERT_TRUE(store->Save(p2).ok());
+  }
+  FlipByteOnDisk(opts.dir + "/MANIFEST", 20);
+
+  RecoveryReport rep;
+  auto reopened = SnapshotStore::Open(opts, &rep);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_TRUE(rep.manifest_corrupt);
+  EXPECT_EQ(rep.recovered_generation, 2u);
+  EXPECT_EQ(reopened->num_generations(), 2u);
+  auto cur = reopened->ReadCurrent();
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(*cur, p2);
+
+  // Recovery re-committed a fresh manifest: the next open is clean.
+  RecoveryReport rep2;
+  auto again = SnapshotStore::Open(opts, &rep2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(rep2.clean()) << rep2.ToString();
+}
+
+TEST(SnapshotStoreTest, MissingManifestFallsBackToSelfValidation) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("manifest-missing");
+  const auto p2 = Payload(2);
+  {
+    auto store = SnapshotStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Save(Payload(1)).ok());
+    ASSERT_TRUE(store->Save(p2).ok());
+  }
+  fs::remove(opts.dir + "/MANIFEST");
+
+  RecoveryReport rep;
+  auto reopened = SnapshotStore::Open(opts, &rep);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_TRUE(rep.manifest_missing);
+  EXPECT_EQ(rep.recovered_generation, 2u);
+  auto cur = reopened->ReadCurrent();
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(*cur, p2);
+}
+
+TEST(SnapshotStoreTest, ManifestEntryWithVanishedFileIsDropped) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("vanished");
+  const auto p1 = Payload(1);
+  {
+    auto store = SnapshotStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Save(p1).ok());
+    ASSERT_TRUE(store->Save(Payload(2)).ok());
+  }
+  fs::remove(opts.dir + "/snap.000002");
+
+  RecoveryReport rep;
+  auto reopened = SnapshotStore::Open(opts, &rep);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(rep.missing_files, 1u);
+  EXPECT_EQ(rep.recovered_generation, 1u);
+  auto cur = reopened->ReadCurrent();
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(*cur, p1);
+}
+
+TEST(SnapshotStoreTest, EveryGenerationCorruptIsDataLoss) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("all-corrupt");
+  {
+    auto store = SnapshotStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Save(Payload(1)).ok());
+    ASSERT_TRUE(store->Save(Payload(2)).ok());
+  }
+  FlipByteOnDisk(opts.dir + "/snap.000001", 50);
+  FlipByteOnDisk(opts.dir + "/snap.000002", 50);
+
+  RecoveryReport rep;
+  auto reopened = SnapshotStore::Open(opts, &rep);
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+  // The report is filled even on failure, and nothing was deleted.
+  EXPECT_EQ(rep.quarantined.size(), 2u);
+  EXPECT_EQ(rep.recovered_generation, 0u);
+  EXPECT_EQ(CountFilesMatching(opts.dir, ".quarantine"), 2u);
+}
+
+TEST(SnapshotStoreTest, ExplicitQuarantineFallsBackAndNamesUniquely) {
+  SnapshotStoreOptions opts;
+  opts.dir = NewStoreDir("quarantine");
+  auto store = SnapshotStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  const auto p1 = Payload(1);
+  ASSERT_TRUE(store->Save(p1).ok());
+  ASSERT_TRUE(store->Save(Payload(2)).ok());
+
+  ASSERT_TRUE(store->Quarantine(2).ok());
+  EXPECT_EQ(store->current_generation(), 1u);
+  auto cur = store->ReadCurrent();
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(*cur, p1);
+  EXPECT_TRUE(fs::exists(opts.dir + "/snap.000002.quarantine"));
+
+  // Saving again reuses generation id 2; quarantining it again must pick a
+  // fresh aside-name instead of clobbering the first.
+  ASSERT_TRUE(store->Save(Payload(3)).ok());
+  ASSERT_EQ(store->current_generation(), 2u);
+  ASSERT_TRUE(store->Quarantine(2).ok());
+  EXPECT_TRUE(fs::exists(opts.dir + "/snap.000002.quarantine.1"));
+
+  EXPECT_EQ(store->Quarantine(99).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace fesia

@@ -1,6 +1,7 @@
 # Smoke test of fesia_cli's error discipline: each failure class must map
-# to its documented exit code (2 usage, 3 I/O, 4 corrupt, 5 deadline
-# exhaustion) with a stderr message, and must never crash.
+# to its documented exit code (2 usage, 3 I/O or invalid input, 4 corrupt,
+# 5 deadline exhaustion, 6 unrecoverable store) with a stderr message, and
+# must never crash.
 file(MAKE_DIRECTORY ${WORK_DIR})
 
 function(expect_rc expected_rc label)
@@ -42,8 +43,10 @@ expect_rc(3 "unwritable-output" generate --n 64
 # rejected, not silently reinterpreted as raw uint32 data.
 file(WRITE ${WORK_DIR}/corrupt.fesia "FESIASETgarbage-trailing-bytes")
 expect_rc(4 "corrupt-snapshot" info --in ${WORK_DIR}/corrupt.fesia)
+# A raw file with trailing bytes is invalid input -> 3 (the tail is never
+# silently dropped).
 file(WRITE ${WORK_DIR}/odd.bin "xyz")
-expect_rc(4 "odd-sized-raw" info --in ${WORK_DIR}/odd.bin)
+expect_rc(3 "odd-sized-raw" info --in ${WORK_DIR}/odd.bin)
 
 # Storage faults injected through the FESIA_FAULTS harness: a bit flipped
 # deep in the payload (bit 1000, past the magic) and a truncated tail must
@@ -81,4 +84,59 @@ expect_rc(0 "batch-ok" batch --queries 8 --docs 4000 --terms 100
 
 # Success path still exits 0.
 expect_rc(0 "info-ok" info --in ${WORK_DIR}/ok.fesia)
+
+# --- Crash-safe snapshot store -----------------------------------------
+# Usage errors -> 2.
+expect_rc(2 "snapshot-no-sub" snapshot)
+expect_rc(2 "snapshot-bad-sub" snapshot frobnicate --dir ${WORK_DIR}/store)
+expect_rc(2 "snapshot-no-dir" snapshot save --in ${WORK_DIR}/ok.fesia)
+expect_rc(2 "snapshot-zero-keep" snapshot save --dir ${WORK_DIR}/store
+          --in ${WORK_DIR}/ok.fesia --keep 0)
+
+# Save/load round trip: the extracted payload is byte-identical. Store
+# directories persist state by design, so wipe them for a deterministic
+# (re)run.
+set(STORE ${WORK_DIR}/store)
+file(REMOVE_RECURSE ${STORE} ${WORK_DIR}/deadstore)
+expect_rc(0 "snapshot-save-1" snapshot save --dir ${STORE}
+          --in ${WORK_DIR}/ok.fesia)
+expect_rc(0 "snapshot-load-1" snapshot load --dir ${STORE}
+          --out ${WORK_DIR}/roundtrip.fesia)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/ok.fesia ${WORK_DIR}/roundtrip.fesia
+                RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR "snapshot round trip: payload differs")
+endif()
+
+# Kill-point rehearsal: crash the save at each injected point, then prove
+# recovery still serves the committed generation's exact bytes.
+expect_rc(0 "gen-v2" generate --n 500 --seed 9 --out ${WORK_DIR}/v2.bin)
+foreach(crash io-short-write crash-before-rename crash-after-rename)
+  expect_rc_env(${crash} 3 "snapshot-save-${crash}"
+                snapshot save --dir ${STORE} --in ${WORK_DIR}/v2.bin)
+  expect_rc(0 "snapshot-recover-${crash}" snapshot recover --dir ${STORE})
+  expect_rc(0 "snapshot-load-${crash}" snapshot load --dir ${STORE}
+            --out ${WORK_DIR}/after-${crash}.fesia)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK_DIR}/ok.fesia ${WORK_DIR}/after-${crash}.fesia
+                  RESULT_VARIABLE cmp)
+  if(NOT cmp EQUAL 0)
+    message(FATAL_ERROR
+            "snapshot-${crash}: recovered payload differs from last good")
+  endif()
+endforeach()
+
+# A store whose every generation is corrupt is unrecoverable -> 6.
+set(DEADSTORE ${WORK_DIR}/deadstore)
+expect_rc(0 "snapshot-save-dead" snapshot save --dir ${DEADSTORE}
+          --in ${WORK_DIR}/ok.fesia)
+file(GLOB dead_gens ${DEADSTORE}/snap.*)
+foreach(gen ${dead_gens})
+  file(WRITE ${gen} "rotten bytes that cannot possibly validate")
+endforeach()
+expect_rc(6 "snapshot-recover-dead" snapshot recover --dir ${DEADSTORE})
+expect_rc(6 "snapshot-load-dead" snapshot load --dir ${DEADSTORE}
+          --out ${WORK_DIR}/never.fesia)
+
 message(STATUS "cli error-path smoke ok")

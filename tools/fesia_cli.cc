@@ -7,6 +7,8 @@
 //   info       print the structural statistics of a set file
 //   batch      run a conjunctive-query batch with deadlines and overload
 //              controls against a synthetic corpus
+//   snapshot   save/load/recover payloads through the crash-safe
+//              generational SnapshotStore (atomic writes + manifest)
 //
 // Set files hold raw little-endian uint32 values ("raw" format) or a
 // serialized FesiaSet ("fesia" format, magic-tagged; auto-detected).
@@ -14,10 +16,12 @@
 // Exit codes (see docs/ROBUSTNESS.md):
 //   0  success
 //   2  usage error / malformed arguments
-//   3  I/O failure (missing file, unwritable output)
+//   3  I/O failure or invalid input file (missing file, unwritable
+//      output, raw set whose size is not a multiple of 4)
 //   4  corrupt or invalid snapshot
 //   5  deadline exhaustion (a batch finished with zero OK queries while at
 //      least one hit its deadline)
+//   6  unrecoverable snapshot store (no generation validates)
 #include <algorithm>
 #include <cerrno>
 #include <cstdint>
@@ -33,6 +37,7 @@
 #include "fesia/fesia.h"
 #include "index/inverted_index.h"
 #include "index/query_engine.h"
+#include "store/snapshot_store.h"
 #include "util/cpu.h"
 #include "util/file_io.h"
 #include "util/status.h"
@@ -50,6 +55,7 @@ constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
 constexpr int kExitCorrupt = 4;
 constexpr int kExitDeadline = 5;
+constexpr int kExitUnrecoverable = 6;
 
 int Usage() {
   std::fprintf(stderr, R"(usage: fesia_cli <command> [options]
@@ -73,9 +79,19 @@ commands:
       run N K-term AND queries against a synthetic Zipf corpus with the
       deadline/overload controls of the batch executor; prints outcome
       counters and latency percentiles
+  snapshot save --dir DIR --in FILE [--keep N]
+      durably append FILE's bytes as a new store generation (atomic write
+      + manifest commit; N generations retained, default 3)
+  snapshot load --dir DIR --out FILE
+      validate and extract the store's current generation into FILE
+  snapshot recover --dir DIR
+      open the store, quarantining whatever fails validation, and report
+      what recovery found; exit 6 if no generation validates
 
-exit codes: 0 ok, 2 usage, 3 I/O failure, 4 corrupt snapshot,
-            5 deadline exhaustion (no query in the batch completed)
+exit codes: 0 ok, 2 usage, 3 I/O failure or invalid input,
+            4 corrupt snapshot,
+            5 deadline exhaustion (no query in the batch completed),
+            6 unrecoverable snapshot store
 )");
   return kExitUsage;
 }
@@ -196,10 +212,12 @@ bool LoadAsFesia(const std::string& path, FesiaSet* set,
     *raw = set->ToSortedVector();
     return true;
   }
+  // A raw uint32 file with trailing bytes is invalid input, not a
+  // corrupt snapshot: reject it outright rather than dropping the tail.
   if (bytes.size() % 4 != 0) {
     std::fprintf(stderr, "fesia_cli: %s: not a FesiaSet and size %% 4 != 0\n",
                  path.c_str());
-    *exit_code = kExitCorrupt;
+    *exit_code = kExitIo;
     return false;
   }
   raw->resize(bytes.size() / 4);
@@ -288,7 +306,7 @@ int CmdEncode(const std::map<std::string, std::string>& flags) {
   if (bytes.size() % 4 != 0) {
     std::fprintf(stderr, "fesia_cli: %s: raw set size %% 4 != 0\n",
                  in.c_str());
-    return kExitCorrupt;
+    return kExitIo;
   }
   std::vector<uint32_t> raw(bytes.size() / 4);
   std::memcpy(raw.data(), bytes.data(), bytes.size());
@@ -466,6 +484,87 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   return kExitOk;
 }
 
+// Store failures map onto the documented exit codes: an unrecoverable
+// store (nothing validates) is 6, validation failures are 4, everything
+// the OS refused is 3.
+int StoreExitCode(const Status& s) {
+  switch (s.code()) {
+    case fesia::StatusCode::kDataLoss:
+      return kExitUnrecoverable;
+    case fesia::StatusCode::kCorruption:
+    case fesia::StatusCode::kFailedPrecondition:
+      return kExitCorrupt;
+    default:
+      return kExitIo;
+  }
+}
+
+int ReportStore(const Status& s) {
+  std::fprintf(stderr, "fesia_cli: %s\n", s.ToString().c_str());
+  return StoreExitCode(s);
+}
+
+int CmdSnapshot(const std::string& sub,
+                const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "dir", "");
+  if (dir.empty()) return Usage();
+  uint64_t keep = 0;
+  if (!ParseU64Flag(flags, "keep", 3, &keep)) return kExitUsage;
+  if (keep == 0) {
+    std::fprintf(stderr, "fesia_cli: --keep must be positive\n");
+    return kExitUsage;
+  }
+  fesia::store::SnapshotStoreOptions opts;
+  opts.dir = dir;
+  opts.max_generations = keep;
+
+  fesia::store::RecoveryReport report;
+  auto opened = fesia::store::SnapshotStore::Open(opts, &report);
+  if (sub == "recover") {
+    std::printf("%s\n", report.ToString().c_str());
+    if (!opened.ok()) return ReportStore(opened.status());
+    std::printf("store ok: %zu generation(s), current %llu\n",
+                opened->num_generations(),
+                static_cast<unsigned long long>(
+                    opened->current_generation()));
+    return kExitOk;
+  }
+  if (!opened.ok()) return ReportStore(opened.status());
+  fesia::store::SnapshotStore& snapshots = *opened;
+
+  if (sub == "save") {
+    std::string in = FlagOr(flags, "in", "");
+    if (in.empty()) return Usage();
+    std::vector<uint8_t> payload;
+    Status s = fesia::ReadFileBytes(in, &payload);
+    if (!s.ok()) return ReportIo(s);
+    uint64_t generation = 0;
+    s = snapshots.Save(payload, /*format_version=*/0, &generation);
+    if (!s.ok()) return ReportStore(s);
+    std::printf("saved generation %llu (%zu bytes) to %s\n",
+                static_cast<unsigned long long>(generation), payload.size(),
+                dir.c_str());
+    return kExitOk;
+  }
+  if (sub == "load") {
+    std::string out = FlagOr(flags, "out", "");
+    if (out.empty()) return Usage();
+    uint64_t generation = 0;
+    auto payload = snapshots.ReadCurrent(&generation);
+    if (!payload.ok()) return ReportStore(payload.status());
+    Status s = fesia::AtomicWriteFileBytes(out, payload->data(),
+                                           payload->size());
+    if (!s.ok()) return ReportIo(s);
+    std::printf("loaded generation %llu (%zu bytes) into %s\n",
+                static_cast<unsigned long long>(generation),
+                payload->size(), out.c_str());
+    return kExitOk;
+  }
+  std::fprintf(stderr, "fesia_cli: unknown snapshot subcommand \"%s\"\n",
+               sub.c_str());
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -478,6 +577,10 @@ int main(int argc, char** argv) {
   if (cmd == "intersect") return CmdIntersect(flags);
   if (cmd == "info") return CmdInfo(flags);
   if (cmd == "batch") return CmdBatch(flags);
+  if (cmd == "snapshot") {
+    if (argc < 3) return Usage();
+    return CmdSnapshot(argv[2], ParseFlags(argc, argv, 3));
+  }
   std::fprintf(stderr, "fesia_cli: unknown command \"%s\"\n", cmd.c_str());
   return Usage();
 }
