@@ -1,0 +1,151 @@
+// Sharded scatter-gather serving: routed batch throughput and tail
+// latency vs shard count on the Fig. 12 workload.
+//
+// The router splits each conjunctive query into per-shard sub-queries over
+// document-disjoint partitions, so per-shard work shrinks ~1/N while every
+// query pays one gather. This prints where the fan-out overhead crosses
+// the smaller-per-shard-index win, and what sharding does to p99 (the
+// slowest shard is every query's critical path).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "index/query_gen.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_index.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace fesia;
+using namespace fesia::bench;
+
+}  // namespace
+
+int main() {
+  PrintBanner(
+      "Sharded scatter-gather batch — throughput and p99 vs shard count",
+      "routed results stay byte-identical to the single engine while "
+      "per-shard indexes shrink ~1/N on the Fig. 12 workload");
+
+  index::CorpusParams cp;
+  cp.num_docs = static_cast<uint32_t>(ScaleParam(200000, 1700000));
+  cp.num_terms = static_cast<uint32_t>(ScaleParam(20000, 100000));
+  cp.avg_terms_per_doc = 40;
+  std::printf("building synthetic WebDocs stand-in (%u docs, %u terms)...\n",
+              cp.num_docs, cp.num_terms);
+  index::InvertedIndex idx = index::InvertedIndex::BuildSynthetic(cp);
+
+  FesiaParams params;
+  params.bitmap_scale = 16.0;  // host optimum, see bench_ablation_bitmap_scale
+
+  // The Fig. 12 mix: balanced 2-set and 3-set low-selectivity queries plus
+  // skewed pairs, replicated into one stream large enough to time.
+  size_t mid_lo = cp.num_docs / 40;
+  size_t mid_hi = cp.num_docs / 4;
+  std::vector<index::Query> queries;
+  auto add = [&queries](std::vector<index::Query> qs) {
+    queries.insert(queries.end(), qs.begin(), qs.end());
+  };
+  add(index::LowSelectivityQueries(idx, 2, mid_lo, mid_hi, 40, 0.2, 1));
+  add(index::LowSelectivityQueries(idx, 3, mid_lo, mid_hi, 40, 0.2, 2));
+  add(index::SkewedPairQueries(idx, mid_hi, 0.1, 30, 3));
+  add(index::SkewedPairQueries(idx, mid_hi, 0.05, 30, 4));
+  const size_t replicate = ScaleParam(8, 32);
+  const size_t unique = queries.size();
+  queries.reserve(unique * replicate);
+  for (size_t rep = 1; rep < replicate; ++rep) {
+    for (size_t i = 0; i < unique; ++i) queries.push_back(queries[i]);
+  }
+  std::printf("query stream: %zu queries (%zu unique)\n\n", queries.size(),
+              unique);
+
+  // Single-engine baseline: the same batch executor without routing.
+  index::QueryEngine engine(&idx, params);
+  double baseline_qps = 0;
+  std::vector<index::QueryResult> reference;
+  {
+    index::BatchOptions opts;
+    opts.num_threads = 8;
+    index::BatchStats stats;
+    double secs = MedianSeconds(
+        [&] { reference = engine.CountBatch(queries, opts, &stats); }, 3);
+    baseline_qps = static_cast<double>(queries.size()) / secs;
+  }
+
+  TablePrinter table("routed CountBatch vs single engine (8 workers)");
+  table.SetHeader({"Shards", "Build s", "kQPS", "vs 1 engine", "p50 us",
+                   "p99 us", "max us"});
+  table.AddRow({"unsharded", "-", Fmt(baseline_qps / 1e3), "1.00x", "-", "-",
+                "-"});
+
+  for (uint32_t num_shards : {1u, 2u, 4u, 8u}) {
+    shard::ShardedIndexOptions sopts;
+    sopts.params = params;
+    WallTimer build_timer;
+    auto sharded = shard::ShardedIndex::Create(
+        &idx, shard::ShardMap::Hash(num_shards), sopts);
+    if (!sharded.ok() || !sharded->RebuildAll().ok()) {
+      std::printf("shard build failed at N = %u\n", num_shards);
+      return 1;
+    }
+    double build_s = build_timer.Seconds();
+
+    shard::ShardRouter router(&*sharded);
+    shard::RouterOptions ropts;
+    ropts.num_threads = 8;
+    shard::ShardBatchStats stats;
+    std::vector<shard::RoutedQueryResult> routed;
+    double secs = MedianSeconds(
+        [&] { routed = router.CountBatch(queries, ropts, &stats); }, 3);
+    double qps = static_cast<double>(queries.size()) / secs;
+
+    // Equivalence guard: a benchmark that drifts from the single-engine
+    // counts is measuring a bug, not the router.
+    size_t mismatches = 0;
+    for (size_t q = 0; q < routed.size(); ++q) {
+      if (!routed[q].ok() || routed[q].count != reference[q].count) {
+        ++mismatches;
+      }
+    }
+    if (mismatches != 0) {
+      std::printf("N = %u: %zu routed results diverge from the engine\n",
+                  num_shards, mismatches);
+      return 1;
+    }
+
+    char sbuf[16];
+    std::snprintf(sbuf, sizeof(sbuf), "%u", num_shards);
+    table.AddRow({sbuf, Fmt(build_s), Fmt(qps / 1e3),
+                  TablePrinter::Speedup(qps / baseline_qps),
+                  Fmt(stats.latency_p50 * 1e6), Fmt(stats.latency_p99 * 1e6),
+                  Fmt(stats.latency_max * 1e6)});
+  }
+  table.Print();
+
+  // Degraded-service rehearsal: quarantine one of 4 shards and route the
+  // stream again — every query must come back an explicit 3/4 partial.
+  {
+    shard::ShardedIndexOptions sopts;
+    sopts.params = params;
+    auto sharded =
+        shard::ShardedIndex::Create(&idx, shard::ShardMap::Hash(4), sopts);
+    if (!sharded.ok() || !sharded->RebuildAll().ok()) return 1;
+    sharded->QuarantineShard(2);
+    shard::ShardRouter router(&*sharded);
+    shard::ShardBatchStats stats;
+    auto routed = router.CountBatch(queries, {}, &stats);
+    size_t partial = 0;
+    for (const auto& r : routed) {
+      if (!r.complete() && r.shards_answered == 3) ++partial;
+    }
+    std::printf(
+        "\ndegraded rehearsal (1 of 4 shards quarantined): %zu of %zu "
+        "queries answered as explicit 3/4 partials, %.0f q/s\n",
+        partial, routed.size(), stats.queries_per_second);
+  }
+  return 0;
+}

@@ -35,6 +35,14 @@ for preset in default asan ubsan tsan; do
     echo "=== [$preset] crash recovery (ctest -L store) ==="
     ctest --preset "$preset" -L store -j "$jobs"
   fi
+  # Scatter-gather gate: the sharded-index suite (golden equivalence,
+  # quarantine and partial-result semantics, reload storm) by label. TSan
+  # is load-bearing here: it races the router's per-batch engine snapshots
+  # against concurrent per-shard hot swaps and a forced rollback.
+  if [ "$preset" = default ] || [ "$preset" = asan ] || [ "$preset" = tsan ]; then
+    echo "=== [$preset] sharded scatter-gather (ctest -L shard) ==="
+    ctest --preset "$preset" -L shard -j "$jobs"
+  fi
 done
 
 echo "All presets passed."

@@ -7,6 +7,7 @@
 #include "datagen/datagen.h"
 #include "datagen/zipf.h"
 #include "util/byte_io.h"
+#include "util/check.h"
 #include "util/crc32c.h"
 
 namespace fesia::index {
@@ -39,6 +40,21 @@ InvertedIndex InvertedIndex::BuildSynthetic(const CorpusParams& params) {
   // Longest lists first (term rank 0 is the most frequent term).
   std::sort(idx.postings_.begin(), idx.postings_.end(),
             [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return idx;
+}
+
+InvertedIndex InvertedIndex::FromPostings(
+    uint32_t num_docs, std::vector<std::vector<uint32_t>> postings) {
+  InvertedIndex idx;
+  idx.num_docs_ = num_docs;
+  idx.postings_ = std::move(postings);
+  for (const auto& list : idx.postings_) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      FESIA_CHECK(list[i] < num_docs);
+      FESIA_CHECK(i == 0 || list[i] > list[i - 1]);
+    }
+    idx.total_postings_ += list.size();
+  }
   return idx;
 }
 

@@ -38,6 +38,13 @@ class InvertedIndex {
   /// Builds a synthetic index; deterministic in params.seed.
   static InvertedIndex BuildSynthetic(const CorpusParams& params);
 
+  /// Wraps caller-provided posting lists (term order preserved, empty lists
+  /// allowed — the shard layer keeps every term id addressable even when a
+  /// shard holds none of its postings). Each list must be strictly
+  /// ascending with doc ids below `num_docs` (FESIA_CHECK).
+  static InvertedIndex FromPostings(uint32_t num_docs,
+                                    std::vector<std::vector<uint32_t>> postings);
+
   uint32_t num_terms() const { return static_cast<uint32_t>(postings_.size()); }
   uint32_t num_docs() const { return num_docs_; }
   /// Total number of postings across all terms.

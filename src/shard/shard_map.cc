@@ -1,0 +1,99 @@
+#include "shard/shard_map.h"
+
+#include <cstring>
+
+#include "util/byte_io.h"
+#include "util/check.h"
+#include "util/crc32c.h"
+
+namespace fesia::shard {
+namespace {
+
+// "FESIASHM" as a little-endian u64.
+constexpr uint64_t kShardMapMagic = 0x4D48534149534546ull;
+constexpr uint32_t kShardMapVersion = 1;
+
+}  // namespace
+
+ShardMap ShardMap::Hash(uint32_t num_shards, uint32_t salt) {
+  FESIA_CHECK(num_shards >= 1);
+  ShardMap map;
+  map.num_shards_ = num_shards;
+  map.partition_ = Partition::kHash;
+  map.salt_ = salt;
+  map.range_width_ = 1;
+  return map;
+}
+
+ShardMap ShardMap::Range(uint32_t num_shards, uint32_t universe) {
+  FESIA_CHECK(num_shards >= 1);
+  FESIA_CHECK(universe >= 1);
+  ShardMap map;
+  map.num_shards_ = num_shards;
+  map.partition_ = Partition::kRange;
+  map.salt_ = 0;
+  map.range_width_ = (universe + num_shards - 1) / num_shards;
+  if (map.range_width_ == 0) map.range_width_ = 1;
+  return map;
+}
+
+std::vector<uint8_t> ShardMap::Serialize() const {
+  std::vector<uint8_t> out;
+  ByteWriter w(&out);
+  w.Put(kShardMapMagic);
+  w.Put(kShardMapVersion);
+  w.Put(num_shards_);
+  w.Put(static_cast<uint32_t>(partition_));
+  w.Put(salt_);
+  w.Put(range_width_);
+  w.Put(Crc32c(out.data(), out.size()));
+  return out;
+}
+
+StatusOr<ShardMap> ShardMap::Deserialize(std::span<const uint8_t> bytes) {
+  if (bytes.size() < sizeof(uint32_t)) {
+    return Status::Corruption("shard map shorter than its footer");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (stored_crc != Crc32c(bytes.data(), bytes.size() - sizeof(uint32_t))) {
+    return Status::Corruption("shard map checksum mismatch");
+  }
+
+  ByteReader r(bytes);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!r.Get(&magic) || magic != kShardMapMagic) {
+    return Status::Corruption("bad shard map magic");
+  }
+  if (!r.Get(&version)) return Status::Corruption("truncated shard map");
+  if (version != kShardMapVersion) {
+    return Status::InvalidArgument("unsupported shard map version " +
+                                   std::to_string(version));
+  }
+  ShardMap map;
+  uint32_t partition = 0;
+  if (!r.Get(&map.num_shards_) || !r.Get(&partition) || !r.Get(&map.salt_) ||
+      !r.Get(&map.range_width_)) {
+    return Status::Corruption("truncated shard map");
+  }
+  if (map.num_shards_ == 0) {
+    return Status::Corruption("shard map names zero shards");
+  }
+  if (partition != static_cast<uint32_t>(Partition::kHash) &&
+      partition != static_cast<uint32_t>(Partition::kRange)) {
+    return Status::Corruption("unknown shard map partition kind " +
+                              std::to_string(partition));
+  }
+  map.partition_ = static_cast<Partition>(partition);
+  if (map.range_width_ == 0) {
+    return Status::Corruption("shard map range width is zero");
+  }
+  if (r.pos() + sizeof(uint32_t) != bytes.size()) {
+    return Status::Corruption("trailing bytes after shard map payload");
+  }
+  return map;
+}
+
+}  // namespace fesia::shard

@@ -1,0 +1,89 @@
+// Deterministic partitioning of the document universe into N shards.
+//
+// The ShardMap is the contract every other shard component builds on: the
+// same map must be used to partition postings at build time, to place
+// per-shard snapshot generations on disk, and to gather per-shard results
+// at query time. It is therefore tiny, exactly serializable, and persisted
+// alongside the shard stores (`SHARDMAP` file, see shard/sharded_index.h)
+// so a store directory can never be silently reopened with a different
+// partitioning.
+//
+// Two partition kinds are provided:
+//   kHash  — shard = Fmix32(doc ^ salt) % N. Near-uniform shard mass for
+//            any document-id distribution; the default.
+//   kRange — contiguous doc-id ranges of ceil(universe / N) documents.
+//            Cache-friendly per shard, but shard mass follows the doc-id
+//            distribution.
+//
+// Because every document belongs to exactly one shard, a conjunctive query
+// decomposes into independent per-shard conjunctions whose results are
+// disjoint: counts add, and sorted result lists merge without deduplication
+// (the property shard/shard_router.h relies on).
+#ifndef FESIA_SHARD_SHARD_MAP_H_
+#define FESIA_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fesia/hashing.h"
+#include "util/status.h"
+
+namespace fesia::shard {
+
+class ShardMap {
+ public:
+  enum class Partition : uint32_t { kHash = 0, kRange = 1 };
+
+  /// Single-shard identity map (everything routes to shard 0).
+  ShardMap() = default;
+
+  /// Hash partitioning over `num_shards` shards (>= 1, FESIA_CHECK).
+  /// Documents spread near-uniformly regardless of id distribution.
+  static ShardMap Hash(uint32_t num_shards, uint32_t salt = 0x9E3779B9u);
+
+  /// Range partitioning of [0, universe) into `num_shards` contiguous
+  /// ranges of ceil(universe / num_shards) ids each (both >= 1,
+  /// FESIA_CHECK). Ids at or above `universe` fold into the last shard.
+  static ShardMap Range(uint32_t num_shards, uint32_t universe);
+
+  uint32_t ShardOf(uint32_t doc) const {
+    if (num_shards_ == 1) return 0;
+    if (partition_ == Partition::kHash) {
+      return Fmix32(doc ^ salt_) % num_shards_;
+    }
+    uint32_t s = doc / range_width_;
+    return s < num_shards_ ? s : num_shards_ - 1;
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+  Partition partition() const { return partition_; }
+  uint32_t salt() const { return salt_; }
+  /// Documents per shard for kRange maps (1 for kHash).
+  uint32_t range_width() const { return range_width_; }
+
+  bool operator==(const ShardMap& other) const {
+    return num_shards_ == other.num_shards_ &&
+           partition_ == other.partition_ && salt_ == other.salt_ &&
+           range_width_ == other.range_width_;
+  }
+  bool operator!=(const ShardMap& other) const { return !(*this == other); }
+
+  /// Serializes to a magic-tagged ("FESIASHM"), CRC32C-checksummed
+  /// container; the bytes are stable across hosts.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs a map from Serialize() output. Corrupt, truncated, or
+  /// structurally invalid containers yield a non-OK Status.
+  static StatusOr<ShardMap> Deserialize(std::span<const uint8_t> bytes);
+
+ private:
+  uint32_t num_shards_ = 1;
+  Partition partition_ = Partition::kHash;
+  uint32_t salt_ = 0x9E3779B9u;
+  uint32_t range_width_ = 1;
+};
+
+}  // namespace fesia::shard
+
+#endif  // FESIA_SHARD_SHARD_MAP_H_

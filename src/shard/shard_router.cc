@@ -1,0 +1,269 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace fesia::shard {
+namespace {
+
+std::string ShardLabel(uint32_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%02u", shard);
+  return buf;
+}
+
+// Dominance of reasons a shard is missing from a query's answer: a
+// deadline miss outranks shedding outranks failure/unavailability, so a
+// partial result reports the most actionable cause.
+int MissRank(index::QueryOutcome outcome) {
+  switch (outcome) {
+    case index::QueryOutcome::kDeadlineExceeded:
+      return 3;
+    case index::QueryOutcome::kShed:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+index::QueryOutcome RankOutcome(int rank) {
+  switch (rank) {
+    case 3:
+      return index::QueryOutcome::kDeadlineExceeded;
+    case 2:
+      return index::QueryOutcome::kShed;
+    default:
+      return index::QueryOutcome::kFailed;
+  }
+}
+
+}  // namespace
+
+index::BatchStats MergeBatchStats(std::span<const index::BatchStats> stats) {
+  index::BatchStats merged;
+  for (const index::BatchStats& s : stats) {
+    // Shard sub-batches overlap in time, so the roll-up wall time is the
+    // slowest shard's, not the sum.
+    merged.wall_seconds = std::max(merged.wall_seconds, s.wall_seconds);
+    merged.latency_seconds.insert(merged.latency_seconds.end(),
+                                  s.latency_seconds.begin(),
+                                  s.latency_seconds.end());
+    merged.ok += s.ok;
+    merged.deadline_exceeded += s.deadline_exceeded;
+    merged.shed += s.shed;
+    merged.failed += s.failed;
+    merged.retries += s.retries;
+    merged.downgrades += s.downgrades;
+    merged.slow_queries += s.slow_queries;
+  }
+  if (!merged.latency_seconds.empty()) {
+    merged.latency_p50 = Quantile(merged.latency_seconds, 0.5);
+    merged.latency_p95 = Quantile(merged.latency_seconds, 0.95);
+    merged.latency_max = *std::max_element(merged.latency_seconds.begin(),
+                                           merged.latency_seconds.end());
+  }
+  if (merged.wall_seconds > 0) {
+    merged.queries_per_second =
+        static_cast<double>(merged.latency_seconds.size()) /
+        merged.wall_seconds;
+  }
+  return merged;
+}
+
+ShardRouter::ShardRouter(const ShardedIndex* index) : index_(index) {
+  FESIA_CHECK(index != nullptr);
+}
+
+std::vector<RoutedQueryResult> ShardRouter::CountBatch(
+    std::span<const std::vector<uint32_t>> queries,
+    const RouterOptions& options, ShardBatchStats* stats) const {
+  return Run(queries, options, stats, /*materialize=*/false);
+}
+
+std::vector<RoutedQueryResult> ShardRouter::QueryBatch(
+    std::span<const std::vector<uint32_t>> queries,
+    const RouterOptions& options, ShardBatchStats* stats) const {
+  return Run(queries, options, stats, /*materialize=*/true);
+}
+
+std::vector<RoutedQueryResult> ShardRouter::Run(
+    std::span<const std::vector<uint32_t>> queries,
+    const RouterOptions& options, ShardBatchStats* stats,
+    bool materialize) const {
+  WallTimer timer;
+  const uint32_t total = index_->num_shards();
+
+  // Snapshot the serving engines once: the whole batch runs against one
+  // consistent set of engine generations even if shards hot-swap mid-batch
+  // (the shared_ptr keeps each snapshot alive until the gather finishes).
+  struct LiveShard {
+    uint32_t shard;
+    std::shared_ptr<const index::QueryEngine> engine;
+  };
+  std::vector<LiveShard> live;
+  live.reserve(total);
+  for (uint32_t s = 0; s < total; ++s) {
+    if (index_->shard_quarantined(s)) continue;
+    auto engine = index_->engine(s);
+    if (engine != nullptr) live.push_back({s, std::move(engine)});
+  }
+  const uint32_t dead = total - static_cast<uint32_t>(live.size());
+
+  std::vector<RoutedQueryResult> routed(queries.size());
+  for (RoutedQueryResult& r : routed) r.shards_total = total;
+
+  std::vector<index::BatchStats> per_shard(total);
+  std::vector<std::vector<index::QueryResult>> shard_results(live.size());
+
+  if (!live.empty()) {
+    size_t width = options.num_threads != 0
+                       ? options.num_threads
+                       : options.executor.pool().num_threads();
+    if (width == 0) width = 1;
+    if (width > live.size()) width = live.size();
+
+    // Scatter waves: W workers cover S shards in ceil(S/W) sequential
+    // rounds, so each shard sub-query gets 1/waves of the per-query budget
+    // to keep the end-to-end latency inside the caller's bound.
+    const size_t waves = (live.size() + width - 1) / width;
+    const double shard_query_budget =
+        options.query_deadline_seconds > 0
+            ? options.query_deadline_seconds / static_cast<double>(waves)
+            : 0;
+    const Deadline batch_deadline =
+        options.batch_deadline_seconds > 0
+            ? Deadline::After(options.batch_deadline_seconds)
+            : Deadline::Infinite();
+
+    auto run_shard = [&](size_t li, size_t sub_threads) {
+      index::BatchOptions sub;
+      sub.num_threads = sub_threads;
+      sub.level = options.level;
+      sub.executor = options.executor;
+      sub.query_deadline_seconds = shard_query_budget;
+      if (!batch_deadline.infinite()) {
+        // 0 means "no deadline" to the engine; an exhausted batch budget
+        // must drain, so clamp to a tiny positive budget instead.
+        sub.batch_deadline_seconds =
+            std::max(batch_deadline.seconds_left(), 1e-9);
+      }
+      sub.cancel = options.cancel;
+      sub.admission_capacity = options.admission_capacity;
+      sub.retry = options.retry;
+      sub.intra_query_threads = options.intra_query_threads;
+      sub.slow_query_seconds = options.slow_query_seconds;
+      index::BatchStats* sub_stats = &per_shard[live[li].shard];
+      shard_results[li] =
+          materialize ? live[li].engine->QueryBatch(queries, sub, sub_stats)
+                      : live[li].engine->CountBatch(queries, sub, sub_stats);
+    };
+
+    if (live.size() == 1) {
+      // Single serving shard: no scatter — give the shard the caller's
+      // full parallelism so N=1 matches the plain engine path.
+      run_shard(0, options.num_threads);
+    } else {
+      std::atomic<size_t> next{0};
+      ParallelFor(
+          0, width, width,
+          [&](size_t, size_t, size_t) {
+            for (size_t li = next.fetch_add(1); li < live.size();
+                 li = next.fetch_add(1)) {
+              run_shard(li, 1);
+            }
+          },
+          options.executor);
+    }
+  }
+
+  // Gather. Documents are shard-disjoint: counts add and doc lists merge
+  // by sorting the concatenation, reproducing the single-engine result
+  // byte for byte when every shard answers.
+  std::vector<int> miss_rank(queries.size(), dead > 0 ? 1 : 0);
+  std::vector<Status> miss_status(
+      queries.size(),
+      dead > 0 ? Status::Unavailable(std::to_string(dead) +
+                                     " shard(s) quarantined or not serving")
+               : Status::Ok());
+  for (size_t li = 0; li < shard_results.size(); ++li) {
+    const std::vector<index::QueryResult>& sub = shard_results[li];
+    FESIA_CHECK(sub.size() == queries.size());
+    for (size_t q = 0; q < sub.size(); ++q) {
+      const index::QueryResult& r = sub[q];
+      RoutedQueryResult& out = routed[q];
+      out.latency_seconds = std::max(out.latency_seconds, r.latency_seconds);
+      if (r.ok()) {
+        ++out.shards_answered;
+        out.count += r.count;
+        out.downgraded |= r.downgraded;
+        if (materialize) {
+          out.docs.insert(out.docs.end(), r.docs.begin(), r.docs.end());
+        }
+      } else {
+        const int rank = MissRank(r.outcome);
+        if (rank > miss_rank[q]) {
+          miss_rank[q] = rank;
+          miss_status[q] = r.status;
+        }
+      }
+    }
+  }
+
+  size_t complete = 0;
+  for (size_t q = 0; q < routed.size(); ++q) {
+    RoutedQueryResult& out = routed[q];
+    if (materialize) std::sort(out.docs.begin(), out.docs.end());
+    if (out.complete()) {
+      out.outcome = index::QueryOutcome::kOk;
+      out.status = Status::Ok();
+      ++complete;
+    } else {
+      out.outcome = RankOutcome(miss_rank[q]);
+      out.status = miss_status[q];
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = ShardBatchStats{};
+    stats->shard_labels.reserve(total);
+    for (uint32_t s = 0; s < total; ++s) {
+      stats->shard_labels.push_back(ShardLabel(s));
+    }
+    std::vector<index::BatchStats> serving;
+    serving.reserve(live.size());
+    for (const LiveShard& ls : live) serving.push_back(per_shard[ls.shard]);
+    stats->per_shard = std::move(per_shard);
+    stats->merged = MergeBatchStats(serving);
+
+    stats->wall_seconds = timer.Seconds();
+    if (stats->wall_seconds > 0) {
+      stats->queries_per_second =
+          static_cast<double>(queries.size()) / stats->wall_seconds;
+    }
+    stats->latency_seconds.reserve(routed.size());
+    for (const RoutedQueryResult& r : routed) {
+      stats->latency_seconds.push_back(r.latency_seconds);
+    }
+    if (!stats->latency_seconds.empty()) {
+      stats->latency_p50 = Quantile(stats->latency_seconds, 0.5);
+      stats->latency_p95 = Quantile(stats->latency_seconds, 0.95);
+      stats->latency_p99 = Quantile(stats->latency_seconds, 0.99);
+      stats->latency_max = *std::max_element(stats->latency_seconds.begin(),
+                                             stats->latency_seconds.end());
+    }
+    stats->complete_queries = complete;
+    stats->partial_queries = routed.size() - complete;
+    stats->shards_total = total;
+    stats->shards_serving = static_cast<uint32_t>(live.size());
+  }
+  return routed;
+}
+
+}  // namespace fesia::shard

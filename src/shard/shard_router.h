@@ -1,0 +1,157 @@
+// Scatter-gather query routing over a ShardedIndex.
+//
+// Every conjunctive query is planned into one sub-query per serving shard
+// (documents are partitioned, so per-shard results are disjoint: counts
+// add and sorted doc lists merge without deduplication). Sub-batches are
+// scattered over the shared Executor and gathered into one RoutedQueryResult
+// per query, with the deadline/cancellation machinery of the batch
+// executor threaded through:
+//
+//   * the per-query budget is split across scatter waves — when W workers
+//     cover S serving shards in ceil(S/W) sequential waves, each shard
+//     sub-query gets budget/waves so the end-to-end per-query latency
+//     still honors the caller's budget;
+//   * the batch deadline and the caller's cancel token are shared by every
+//     shard, so one Cancel() drains the whole scatter;
+//   * each shard degrades independently along the existing
+//     parallel → serial-SIMD → scalar retry ladder, and admission control
+//     applies per shard engine.
+//
+// Partial results are explicit, never silent: a query answered by only
+// some shards (a shard missed its deadline, was shed, failed, or is
+// quarantined/engine-less) carries shards_answered < shards_total, a
+// non-OK outcome, and the merged result of the shards that did answer.
+// Callers choose per query whether a partial answer is usable.
+#ifndef FESIA_SHARD_SHARD_ROUTER_H_
+#define FESIA_SHARD_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "index/query_engine.h"
+#include "shard/sharded_index.h"
+#include "util/deadline.h"
+#include "util/thread_pool.h"
+
+namespace fesia::shard {
+
+/// Options for one routed batch; mirrors index::BatchOptions with the
+/// router's own scatter knobs.
+struct RouterOptions {
+  /// Workers scattering shard sub-batches; 0 uses the executor pool's
+  /// width. With one serving shard the sub-batch instead runs with this
+  /// many workers *inside* the shard, so N=1 behaves like the engine path.
+  size_t num_threads = 0;
+  SimdLevel level = SimdLevel::kAuto;
+  Executor executor = {};
+
+  /// End-to-end per-query budget in seconds (0 = none), split across
+  /// scatter waves as described in the file comment.
+  double query_deadline_seconds = 0;
+  /// Whole-batch budget in seconds (0 = none), anchored once at scatter
+  /// start; every shard sub-batch gets the remaining budget at its start.
+  double batch_deadline_seconds = 0;
+  /// Caller-driven cancellation shared by every shard sub-batch.
+  CancellationToken cancel;
+  /// Per-shard-engine admission capacity (see BatchOptions).
+  size_t admission_capacity = 0;
+  index::RetryPolicy retry;
+  size_t intra_query_threads = 1;
+  double slow_query_seconds = 0;
+};
+
+/// Gathered outcome of one query across all shards.
+struct RoutedQueryResult {
+  /// kOk iff every shard answered; otherwise the dominant reason shards
+  /// are missing (deadline > shed > failed/quarantined).
+  index::QueryOutcome outcome = index::QueryOutcome::kOk;
+  Status status;
+  /// Sum of per-shard counts over the shards that answered. Exact iff
+  /// complete(); a lower bound on a partial answer.
+  size_t count = 0;
+  /// Merged result documents, ascending (QueryBatch only); partial when
+  /// shards are missing.
+  std::vector<uint32_t> docs;
+  /// The explicit partial-result marker.
+  uint32_t shards_answered = 0;
+  uint32_t shards_total = 0;
+  /// True when any shard sub-query took a degradation rung.
+  bool downgraded = false;
+  /// Slowest shard sub-query latency (the query's critical path).
+  double latency_seconds = 0;
+
+  bool complete() const { return shards_answered == shards_total; }
+  bool ok() const { return outcome == index::QueryOutcome::kOk; }
+};
+
+/// Merges per-shard batch statistics: outcome/retry/downgrade counters
+/// add, per-sub-query latencies pool and the quantiles are recomputed,
+/// wall time is the slowest shard's.
+index::BatchStats MergeBatchStats(std::span<const index::BatchStats> stats);
+
+/// Per-shard-labelled statistics roll-up of one routed batch.
+struct ShardBatchStats {
+  /// "shard-00", "shard-01", … — index-aligned with per_shard, covering
+  /// every shard (quarantined ones carry zeroed stats).
+  std::vector<std::string> shard_labels;
+  std::vector<index::BatchStats> per_shard;
+  /// MergeBatchStats over the serving shards' sub-batches.
+  index::BatchStats merged;
+
+  /// Routed-query view: end-to-end wall time, throughput, and per-query
+  /// critical-path latencies (max over shards), index-aligned with the
+  /// input batch.
+  double wall_seconds = 0;
+  double queries_per_second = 0;
+  std::vector<double> latency_seconds;
+  double latency_p50 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
+  double latency_max = 0;
+
+  /// Queries answered by every shard / only some shards.
+  size_t complete_queries = 0;
+  size_t partial_queries = 0;
+  uint32_t shards_total = 0;
+  uint32_t shards_serving = 0;
+};
+
+/// Plans and executes query batches against a ShardedIndex. Stateless
+/// beyond the index pointer: safe to share across threads, and every batch
+/// re-acquires the per-shard engines, so hot-swaps between batches are
+/// picked up automatically.
+class ShardRouter {
+ public:
+  /// `index` must outlive the router.
+  explicit ShardRouter(const ShardedIndex* index);
+
+  /// Scatter-gathered CountBatch: one RoutedQueryResult per query,
+  /// index-aligned with `queries`. See the file comment for the deadline,
+  /// cancellation, and partial-result contract.
+  std::vector<RoutedQueryResult> CountBatch(
+      std::span<const std::vector<uint32_t>> queries,
+      const RouterOptions& options = {},
+      ShardBatchStats* stats = nullptr) const;
+
+  /// Scatter-gathered QueryBatch: merged result documents (ascending) in
+  /// RoutedQueryResult::docs.
+  std::vector<RoutedQueryResult> QueryBatch(
+      std::span<const std::vector<uint32_t>> queries,
+      const RouterOptions& options = {},
+      ShardBatchStats* stats = nullptr) const;
+
+ private:
+  std::vector<RoutedQueryResult> Run(
+      std::span<const std::vector<uint32_t>> queries,
+      const RouterOptions& options, ShardBatchStats* stats,
+      bool materialize) const;
+
+  const ShardedIndex* index_;
+};
+
+}  // namespace fesia::shard
+
+#endif  // FESIA_SHARD_SHARD_ROUTER_H_

@@ -1,0 +1,224 @@
+#include "shard/sharded_index.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "util/check.h"
+#include "util/file_io.h"
+
+namespace fesia::shard {
+namespace {
+
+std::string ShardDirName(uint32_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%02u", shard);
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<ShardedIndex> ShardedIndex::Create(const index::InvertedIndex* full,
+                                            const ShardMap& map,
+                                            const ShardedIndexOptions& options) {
+  FESIA_CHECK(full != nullptr);
+  FESIA_CHECK(map.num_shards() >= 1);
+
+  ShardedIndex sharded;
+  sharded.full_ = full;
+  sharded.map_ = map;
+  sharded.options_ = options;
+
+  // Partition every posting list by document shard in one pass. Term ids
+  // are preserved (a term with no postings in a shard keeps an empty list),
+  // so per-shard engines accept exactly the queries the full engine does.
+  const uint32_t num_shards = map.num_shards();
+  std::vector<std::vector<std::vector<uint32_t>>> split(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    split[s].resize(full->num_terms());
+  }
+  for (uint32_t t = 0; t < full->num_terms(); ++t) {
+    for (uint32_t doc : full->Postings(t)) {
+      split[map.ShardOf(doc)][t].push_back(doc);
+    }
+  }
+
+  sharded.shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->idx = std::make_unique<index::InvertedIndex>(
+        index::InvertedIndex::FromPostings(full->num_docs(),
+                                           std::move(split[s])));
+    sharded.shards_.push_back(std::move(shard));
+  }
+
+  if (options.store_dir.empty()) return sharded;  // memory-only
+
+  // Persistent mode: pin the partitioning to the directory before any
+  // shard store is touched. A mismatched SHARDMAP means the generations in
+  // shard-NN/ were written under a different partitioning — refusing is
+  // the only safe answer.
+  std::error_code ec;
+  std::filesystem::create_directories(options.store_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create shard root " + options.store_dir +
+                           ": " + ec.message());
+  }
+  const std::string map_path = options.store_dir + "/SHARDMAP";
+  std::vector<uint8_t> map_bytes = map.Serialize();
+  if (std::filesystem::exists(map_path)) {
+    std::vector<uint8_t> existing;
+    FESIA_RETURN_IF_ERROR(ReadFileBytes(map_path, &existing));
+    auto stored = ShardMap::Deserialize(existing);
+    if (!stored.ok()) return stored.status();
+    if (*stored != map) {
+      return Status::FailedPrecondition(
+          "shard store " + options.store_dir + " was created with " +
+          std::to_string(stored->num_shards()) +
+          " shard(s) and a different shard map; refusing to reopen with " +
+          std::to_string(map.num_shards()));
+    }
+  } else {
+    FESIA_RETURN_IF_ERROR(
+        AtomicWriteFileBytes(map_path, map_bytes.data(), map_bytes.size()));
+  }
+
+  // Open (and recover) every shard store. An unrecoverable store
+  // quarantines only its shard: the error is retained and the remaining
+  // shards keep their independent lifecycles.
+  size_t usable = 0;
+  Status first_error;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    Shard& shard = *sharded.shards_[s];
+    store::SnapshotStoreOptions store_opts;
+    store_opts.dir = options.store_dir + "/" + ShardDirName(s);
+    store_opts.max_generations = options.max_generations;
+    auto opened = store::SnapshotStore::Open(store_opts);
+    if (!opened.ok()) {
+      shard.SetStatus(opened.status());
+      shard.quarantined.store(true, std::memory_order_relaxed);
+      if (first_error.ok()) first_error = opened.status();
+      continue;
+    }
+    shard.store = std::make_unique<store::SnapshotStore>(*std::move(opened));
+    store::IndexManager::Options mgr_opts;
+    mgr_opts.params = options.params;
+    mgr_opts.format_version = options.format_version;
+    shard.manager = std::make_unique<store::IndexManager>(
+        shard.idx.get(), shard.store.get(), mgr_opts);
+    ++usable;
+  }
+  if (usable == 0 && !first_error.ok()) return first_error;
+  return sharded;
+}
+
+const index::InvertedIndex& ShardedIndex::shard_index(uint32_t shard) const {
+  FESIA_CHECK(shard < shards_.size());
+  return *shards_[shard]->idx;
+}
+
+store::IndexManager* ShardedIndex::manager(uint32_t shard) const {
+  FESIA_CHECK(shard < shards_.size());
+  return shards_[shard]->manager.get();
+}
+
+std::shared_ptr<const index::QueryEngine> ShardedIndex::engine(
+    uint32_t shard) const {
+  FESIA_CHECK(shard < shards_.size());
+  const Shard& s = *shards_[shard];
+  if (s.manager != nullptr) return s.manager->engine();
+  return s.local_engine.load();
+}
+
+Status ShardedIndex::RebuildShard(uint32_t shard) {
+  FESIA_CHECK(shard < shards_.size());
+  Shard& s = *shards_[shard];
+  if (s.manager != nullptr) {
+    Status st = s.manager->Rebuild();
+    s.SetStatus(st);
+    if (st.ok()) s.quarantined.store(false, std::memory_order_relaxed);
+    return st;
+  }
+  auto built = std::make_shared<index::QueryEngine>(s.idx.get(),
+                                                    options_.params);
+  s.local_engine.store(std::move(built));
+  s.SetStatus(Status::Ok());
+  s.quarantined.store(false, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ShardedIndex::RebuildAll() {
+  Status first_error;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    Status st = RebuildShard(s);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status ShardedIndex::SaveShard(uint32_t shard, uint64_t* generation) {
+  FESIA_CHECK(shard < shards_.size());
+  Shard& s = *shards_[shard];
+  if (s.manager == nullptr) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(shard) +
+        " has no snapshot store (memory-only or unrecoverable at open)");
+  }
+  return s.manager->SaveSnapshot(generation);
+}
+
+Status ShardedIndex::SaveAll() {
+  Status first_error;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    Status st = SaveShard(s);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status ShardedIndex::ReloadShard(uint32_t shard) {
+  FESIA_CHECK(shard < shards_.size());
+  Shard& s = *shards_[shard];
+  if (s.manager == nullptr) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(shard) +
+        " has no snapshot store (memory-only or unrecoverable at open)");
+  }
+  Status st = s.manager->Reload();
+  s.SetStatus(st);
+  if (st.ok()) s.quarantined.store(false, std::memory_order_relaxed);
+  return st;
+}
+
+bool ShardedIndex::shard_quarantined(uint32_t shard) const {
+  FESIA_CHECK(shard < shards_.size());
+  return shards_[shard]->quarantined.load(std::memory_order_relaxed);
+}
+
+void ShardedIndex::QuarantineShard(uint32_t shard) {
+  FESIA_CHECK(shard < shards_.size());
+  shards_[shard]->quarantined.store(true, std::memory_order_relaxed);
+}
+
+void ShardedIndex::ReviveShard(uint32_t shard) {
+  FESIA_CHECK(shard < shards_.size());
+  shards_[shard]->quarantined.store(false, std::memory_order_relaxed);
+}
+
+Status ShardedIndex::shard_status(uint32_t shard) const {
+  FESIA_CHECK(shard < shards_.size());
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.status_mu);
+  return s.status;
+}
+
+uint32_t ShardedIndex::serving_shards() const {
+  uint32_t serving = 0;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (!shard_quarantined(s) && engine(s) != nullptr) ++serving;
+  }
+  return serving;
+}
+
+}  // namespace fesia::shard

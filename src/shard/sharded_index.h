@@ -1,0 +1,163 @@
+// A sharded serving index: one IndexManager-backed QueryEngine per shard.
+//
+// The full InvertedIndex's posting lists are partitioned by the ShardMap
+// into per-shard sub-indexes (same term ids, global document ids, each doc
+// in exactly one shard), so index size, rebuild time, and hot-swap blast
+// radius scale with 1/N instead of the whole corpus. Every shard owns its
+// own lifecycle:
+//
+//   * a per-shard SnapshotStore under `<store_dir>/shard-NN/` with its own
+//     generations, manifest, and crash recovery;
+//   * a per-shard IndexManager, so Rebuild/SaveSnapshot/Reload/rollback on
+//     one shard never stalls or disturbs the engines of the others (each
+//     manager serializes only its own mutations);
+//   * a quarantine bit: a shard whose store is unrecoverable (or that an
+//     operator pulled) stops being routed to, and the ShardRouter reports
+//     queries as partial (`shards_answered < shards_total`) instead of
+//     failing them.
+//
+// The ShardMap is persisted as `<store_dir>/SHARDMAP` (atomic write) when
+// the index is first created; reopening the directory with a different map
+// is refused (kFailedPrecondition) — per-shard generations are meaningless
+// under any other partitioning.
+//
+// With an empty store_dir the index is memory-only: engines are built
+// directly and hot-swapped through the same accessor, and the persistence
+// calls return kFailedPrecondition. This is the mode benchmarks and the
+// CLI `batch --shards` path use.
+//
+// Thread safety: engine()/shard_quarantined()/serving_shards() are
+// wait-free and safe from any thread (the TSan hot-swap-under-traffic test
+// exercises them against concurrent reloads); the per-shard mutating calls
+// are serialized per shard by the underlying IndexManager, and calls for
+// different shards may run concurrently.
+#ifndef FESIA_SHARD_SHARDED_INDEX_H_
+#define FESIA_SHARD_SHARDED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "shard/shard_map.h"
+#include "store/index_manager.h"
+#include "store/snapshot_store.h"
+#include "util/shared_ptr_cell.h"
+
+namespace fesia::shard {
+
+struct ShardedIndexOptions {
+  /// Build parameters for every per-shard engine.
+  FesiaParams params;
+  /// Root directory of the shard stores; empty builds a memory-only index
+  /// (no SHARDMAP, no stores, persistence calls fail).
+  std::string store_dir;
+  /// Generations retained per shard store.
+  size_t max_generations = 3;
+  /// Format version stamped on saved generations.
+  uint32_t format_version = 1;
+};
+
+class ShardedIndex {
+ public:
+  /// Partitions `full` (which must outlive the index) by `map`, opens (and
+  /// recovers) the per-shard stores, and persists/validates the SHARDMAP.
+  /// A shard whose store is unrecoverable is quarantined with its error
+  /// retained in shard_status() — the remaining shards still serve; only
+  /// when the root directory itself is unusable (or the SHARDMAP
+  /// mismatches) does Create fail.
+  ///
+  /// No engines are built yet: follow with RebuildAll() or per-shard
+  /// ReloadShard() from existing generations.
+  static StatusOr<ShardedIndex> Create(const index::InvertedIndex* full,
+                                       const ShardMap& map,
+                                       const ShardedIndexOptions& options = {});
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  const ShardMap& shard_map() const { return map_; }
+  /// The shard's private sub-index (global doc ids, full term-id space).
+  const index::InvertedIndex& shard_index(uint32_t shard) const;
+  /// Lifecycle manager of one shard; null for memory-only indexes and for
+  /// shards whose store was unrecoverable at Create.
+  store::IndexManager* manager(uint32_t shard) const;
+
+  /// Serving engine of one shard (null before its first successful
+  /// rebuild/reload). Same RCU contract as IndexManager::engine(): the
+  /// returned reference stays valid for the caller's whole batch across
+  /// concurrent swaps.
+  std::shared_ptr<const index::QueryEngine> engine(uint32_t shard) const;
+
+  /// Builds shard `shard`'s engine from its sub-index and publishes it.
+  /// Works even for a shard whose store is dead (the engine then serves
+  /// memory-only) and clears the quarantine bit on success.
+  Status RebuildShard(uint32_t shard);
+  /// RebuildShard on every shard; returns the first error but keeps going,
+  /// so one bad shard degrades instead of disabling the rest.
+  Status RebuildAll();
+
+  /// Persists shard `shard`'s serving engine as a new generation of its
+  /// store. kFailedPrecondition when memory-only, quarantined-at-open, or
+  /// nothing is being served.
+  Status SaveShard(uint32_t shard, uint64_t* generation = nullptr);
+  /// SaveShard on every shard; first error, keeps going.
+  Status SaveAll();
+
+  /// Hot-swaps shard `shard` to its store's current generation. On failure
+  /// the shard's incumbent engine keeps serving untouched (rollback), and
+  /// no other shard is affected.
+  Status ReloadShard(uint32_t shard);
+
+  /// True when the shard is not being routed to.
+  bool shard_quarantined(uint32_t shard) const;
+  /// Pulls a shard out of routing / returns it. The engine (if any) is
+  /// kept, so revival is instant.
+  void QuarantineShard(uint32_t shard);
+  void ReviveShard(uint32_t shard);
+  /// Last lifecycle status of the shard (the store-open error for shards
+  /// quarantined at Create).
+  Status shard_status(uint32_t shard) const;
+
+  /// Shards that are neither quarantined nor engine-less — what the router
+  /// can actually answer from.
+  uint32_t serving_shards() const;
+
+  ShardedIndex(ShardedIndex&&) = default;
+  ShardedIndex& operator=(ShardedIndex&&) = default;
+
+ private:
+  // Per-shard state lives behind a unique_ptr so the atomics and mutexes
+  // never move.
+  struct Shard {
+    std::unique_ptr<index::InvertedIndex> idx;
+    std::unique_ptr<store::SnapshotStore> store;
+    std::unique_ptr<store::IndexManager> manager;
+    /// Serving engine for manager-less shards (memory-only mode or a dead
+    /// store); same publication discipline as IndexManager's pointer.
+    SharedPtrCell<const index::QueryEngine> local_engine;
+    std::atomic<bool> quarantined{false};
+    std::mutex status_mu;
+    Status status;
+
+    void SetStatus(Status s) {
+      std::lock_guard<std::mutex> lock(status_mu);
+      status = std::move(s);
+    }
+  };
+
+  ShardedIndex() = default;
+
+  const index::InvertedIndex* full_ = nullptr;
+  ShardMap map_;
+  ShardedIndexOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fesia::shard
+
+#endif  // FESIA_SHARD_SHARDED_INDEX_H_

@@ -23,11 +23,10 @@ IndexManager::~IndexManager() { StopScrub(); }
 void IndexManager::Publish(std::shared_ptr<const index::QueryEngine> next,
                            uint64_t generation) {
   // Order matters for readers that correlate the two: generation first,
-  // then the engine pointer with release semantics. In-flight batches keep
-  // their acquired shared_ptr; the old engine dies when the last one
-  // finishes.
+  // then the engine pointer. In-flight batches keep their acquired
+  // shared_ptr; the old engine dies when the last one finishes.
   serving_generation_.store(generation, std::memory_order_relaxed);
-  engine_.store(std::move(next), std::memory_order_release);
+  engine_.store(std::move(next));
   swaps_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -40,8 +39,7 @@ Status IndexManager::Rebuild() {
 
 Status IndexManager::SaveSnapshot(uint64_t* generation) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::shared_ptr<const index::QueryEngine> serving =
-      engine_.load(std::memory_order_acquire);
+  std::shared_ptr<const index::QueryEngine> serving = engine_.load();
   if (serving == nullptr) {
     return Status::FailedPrecondition(
         "nothing to save: no engine is being served");

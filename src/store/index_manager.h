@@ -2,7 +2,7 @@
 // build, persist, reload, and hot-swap under traffic without ever serving
 // corrupt bytes (docs/ROBUSTNESS.md, "Durability and recovery").
 //
-// The serving engine sits behind an atomic shared_ptr swapped RCU-style:
+// The serving engine sits behind a SharedPtrCell swapped RCU-style:
 // readers acquire a reference once per batch and keep executing on it even
 // while a reload publishes a replacement, so in-flight CountBatch /
 // QueryBatch calls finish on the engine they started with and new callers
@@ -17,7 +17,8 @@
 // keeps serving (stale but valid beats down).
 //
 // Mutations (Rebuild/SaveSnapshot/Reload/ScrubOnce) are serialized by an
-// internal mutex; engine() and the counters are wait-free for readers.
+// internal mutex; engine() costs readers one uncontended lock per batch
+// and the counters are wait-free.
 #ifndef FESIA_STORE_INDEX_MANAGER_H_
 #define FESIA_STORE_INDEX_MANAGER_H_
 
@@ -30,6 +31,7 @@
 
 #include "index/query_engine.h"
 #include "store/snapshot_store.h"
+#include "util/shared_ptr_cell.h"
 
 namespace fesia::store {
 
@@ -84,7 +86,7 @@ class IndexManager {
   /// caller's whole batch even if a reload swaps the serving pointer
   /// mid-flight.
   std::shared_ptr<const index::QueryEngine> engine() const {
-    return engine_.load(std::memory_order_acquire);
+    return engine_.load();
   }
 
   /// Store generation backing the serving engine; 0 when serving an
@@ -115,9 +117,8 @@ class IndexManager {
   SnapshotStore* snapshots_;
   Options options_;
 
-  /// The RCU publication point: release-store on swap, acquire-load in
-  /// engine().
-  std::atomic<std::shared_ptr<const index::QueryEngine>> engine_{nullptr};
+  /// The RCU publication point: store on swap, copy in engine().
+  SharedPtrCell<const index::QueryEngine> engine_;
   std::atomic<uint64_t> serving_generation_{0};
   std::atomic<uint64_t> swaps_{0};
   std::atomic<uint64_t> rollbacks_{0};

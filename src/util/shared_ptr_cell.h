@@ -1,0 +1,50 @@
+// Mutex-guarded shared_ptr holder used as an RCU-style publication point:
+// writers swap the pointer, readers copy it once and keep executing on
+// their reference while replacements come and go.
+//
+// Deliberately not std::atomic<std::shared_ptr<T>>: libstdc++ 12's
+// _Sp_atomic unlocks its internal spin bit in load() with
+// memory_order_relaxed, so a load concurrent with a store is a data race
+// under the formal memory model and ThreadSanitizer reports it. A plain
+// mutex is sound on every toolchain; the uncontended lock is one CAS, and
+// publication points are acquired once per batch, far from any hot loop.
+#ifndef FESIA_UTIL_SHARED_PTR_CELL_H_
+#define FESIA_UTIL_SHARED_PTR_CELL_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace fesia {
+
+template <typename T>
+class SharedPtrCell {
+ public:
+  SharedPtrCell() = default;
+  explicit SharedPtrCell(std::shared_ptr<T> p) : ptr_(std::move(p)) {}
+
+  SharedPtrCell(const SharedPtrCell&) = delete;
+  SharedPtrCell& operator=(const SharedPtrCell&) = delete;
+
+  std::shared_ptr<T> load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+  }
+
+  void store(std::shared_ptr<T> p) {
+    // Swap under the lock but let the displaced value (potentially the
+    // last reference to a whole engine) destruct outside it.
+    std::shared_ptr<T> old;
+    std::lock_guard<std::mutex> lock(mu_);
+    old.swap(ptr_);
+    ptr_ = std::move(p);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_SHARED_PTR_CELL_H_

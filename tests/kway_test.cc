@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "datagen/datagen.h"
@@ -276,6 +277,140 @@ TEST(KWayCancelTest, PreCancelledTokenStopsEveryEntryPoint) {
   (void)IntersectIntoKWayParallel(ptrs, &out, 4, true, SimdLevel::kAuto, {},
                                   cancel, &stopped);
   EXPECT_TRUE(stopped);
+}
+
+// Builds k sets whose bitmaps land on exactly `words` 64-bit words:
+// bitmap_scale * n = words * 64 is a power of two, so Build's round-up
+// keeps it bit-exact. Lets the cancellation tests pin the word range the
+// k-way pipeline polls over (kKWayCancelWords-word groups) directly onto
+// the group boundary.
+std::vector<FesiaSet> KSetsWithWords(size_t k, uint32_t words, uint64_t seed,
+                                     std::vector<uint32_t>* expected) {
+  size_t n = size_t{words} * 16;
+  FesiaParams p;
+  p.segment_bits = 16;
+  p.bitmap_scale = 4.0;  // 4 * (16 * words) = words * 64 bits exactly
+  auto raw = KSetsWithDensity(k, n, 0.4, seed);
+  *expected = ReferenceIntersection(raw);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r, p));
+  return sets;
+}
+
+TEST(KWayCancelTest, WordGroupBoundaryWordCountsStayExact) {
+  // The k-way polling loops walk kKWayCancelWords bitmap words per poll;
+  // this pins the shared word count below / exactly at / above one and
+  // several poll groups, then sweeps thread counts that do not divide the
+  // group count evenly (64 words over 3 threads -> 22/21/21 words), so
+  // per-thread word ranges straddle group boundaries at odd offsets. An
+  // active context with a generous deadline must never change a result.
+  static_assert(kKWayCancelWords == 32,
+                "word sweep below assumes 32-word poll groups");
+  for (uint32_t words : {16u, 32u, 64u, 256u}) {
+    std::vector<uint32_t> expected;
+    std::vector<FesiaSet> sets = KSetsWithWords(3, words, 80 + words,
+                                                &expected);
+    auto ptrs = Pointers(sets);
+    for (const FesiaSet& s : sets) {
+      ASSERT_EQ(s.bitmap_word_count(), words);
+    }
+    ASSERT_EQ(IntersectCountKWay(ptrs), expected.size());
+    CancelContext cancel(Deadline::After(300));
+    ASSERT_TRUE(cancel.active());
+
+    bool stopped = true;
+    EXPECT_EQ(IntersectCountKWayCancellable(ptrs, cancel, SimdLevel::kAuto,
+                                            &stopped),
+              expected.size())
+        << "words=" << words;
+    EXPECT_FALSE(stopped);
+    std::vector<uint32_t> out;
+    stopped = true;
+    EXPECT_EQ(IntersectIntoKWayCancellable(ptrs, &out, cancel, true,
+                                           SimdLevel::kAuto, &stopped),
+              expected.size())
+        << "words=" << words;
+    EXPECT_FALSE(stopped);
+    EXPECT_EQ(out, expected) << "words=" << words;
+
+    for (size_t threads : {1, 2, 3, 4, 5}) {
+      stopped = true;
+      EXPECT_EQ(IntersectCountKWayParallel(ptrs, threads, SimdLevel::kAuto,
+                                           {}, cancel, &stopped),
+                expected.size())
+          << "words=" << words << " threads=" << threads;
+      EXPECT_FALSE(stopped);
+      stopped = true;
+      EXPECT_EQ(IntersectIntoKWayParallel(ptrs, &out, threads, true,
+                                          SimdLevel::kAuto, {}, cancel,
+                                          &stopped),
+                expected.size())
+          << "words=" << words << " threads=" << threads;
+      EXPECT_FALSE(stopped);
+      EXPECT_EQ(out, expected) << "words=" << words
+                               << " threads=" << threads;
+    }
+  }
+}
+
+TEST(KWayCancelTest, PreCancelledStopsBelowOnePollGroup) {
+  // A job whose whole word range is smaller than one kKWayCancelWords
+  // group must still observe the token: the poll happens before the first
+  // group, not only between groups.
+  std::vector<uint32_t> expected;
+  std::vector<FesiaSet> sets = KSetsWithWords(3, kKWayCancelWords / 2, 91,
+                                              &expected);
+  auto ptrs = Pointers(sets);
+  ASSERT_LT(sets[0].bitmap_word_count(), kKWayCancelWords);
+  CancellationToken token = CancellationToken::Create();
+  token.Cancel();
+  CancelContext cancel(token);
+
+  bool stopped = false;
+  (void)IntersectCountKWayCancellable(ptrs, cancel, SimdLevel::kAuto,
+                                      &stopped);
+  EXPECT_TRUE(stopped);
+  std::vector<uint32_t> out;
+  stopped = false;
+  (void)IntersectIntoKWayCancellable(ptrs, &out, cancel, true,
+                                     SimdLevel::kAuto, &stopped);
+  EXPECT_TRUE(stopped);
+  for (size_t threads : {1, 3, 5}) {
+    stopped = false;
+    (void)IntersectCountKWayParallel(ptrs, threads, SimdLevel::kAuto, {},
+                                     cancel, &stopped);
+    EXPECT_TRUE(stopped) << "threads=" << threads;
+    stopped = false;
+    (void)IntersectIntoKWayParallel(ptrs, &out, threads, true,
+                                    SimdLevel::kAuto, {}, cancel, &stopped);
+    EXPECT_TRUE(stopped) << "threads=" << threads;
+  }
+}
+
+TEST(KWayCancelTest, MidFlightCancelNeverTearsOutput) {
+  // A watcher thread cancels while materializing k-way calls run. Either
+  // outcome is legal, but never a torn one: a call that reports !stopped
+  // must have produced the exact sorted intersection.
+  auto raw = KSetsWithDensity(4, 60000, 0.5, 73);
+  std::vector<uint32_t> expected = ReferenceIntersection(raw);
+  std::vector<FesiaSet> sets;
+  for (const auto& r : raw) sets.push_back(FesiaSet::Build(r));
+  auto ptrs = Pointers(sets);
+  for (int trial = 0; trial < 8; ++trial) {
+    size_t threads = 2 + static_cast<size_t>(trial % 4);
+    CancellationToken token = CancellationToken::Create();
+    std::thread watcher([&] { token.Cancel(); });
+    std::vector<uint32_t> out;
+    bool stopped = false;
+    size_t r = IntersectIntoKWayParallel(ptrs, &out, threads, true,
+                                         SimdLevel::kAuto, {},
+                                         CancelContext(token), &stopped);
+    watcher.join();
+    if (!stopped) {
+      ASSERT_EQ(r, expected.size()) << "trial=" << trial;
+      EXPECT_EQ(out, expected) << "trial=" << trial;
+    }
+  }
 }
 
 }  // namespace

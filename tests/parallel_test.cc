@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "datagen/datagen.h"
+#include "fesia/backends.h"
 #include "fesia/intersect.h"
 #include "test_util.h"
 #include "util/deadline.h"
@@ -288,7 +290,150 @@ TEST(ParallelCancelTest, MidFlightCancelStopsParallelCall) {
   size_t r = IntersectCountParallel(fa, fb, 4, SimdLevel::kAuto, {},
                                     CancelContext(token), &stopped);
   canceller.join();
-  if (!stopped) EXPECT_EQ(r, pair.intersection_size);
+  if (!stopped) {
+    EXPECT_EQ(r, pair.intersection_size);
+  }
+}
+
+// Builds a pair whose bitmaps land on exactly `segments` segments of 16
+// bits: bitmap_scale * n = segments * 16 is a power of two, so the
+// round-up in FesiaSet::Build keeps it bit-exact. `segments` must be >= 32
+// (Build floors every bitmap at one full 512-bit vector). Lets the
+// cancellation tests pin work sizes directly onto the poll-chunk boundary.
+std::pair<FesiaSet, FesiaSet> PairWithSegments(uint32_t segments,
+                                               uint64_t seed,
+                                               size_t* expected) {
+  size_t n = size_t{segments} * 4;
+  FesiaParams p;
+  p.segment_bits = 16;
+  p.bitmap_scale = 4.0;  // 4 * (4 * segments) = segments * 16 bits exactly
+  SetPair pair = PairWithSelectivity(n, n, 0.3, seed);
+  *expected = pair.intersection_size;
+  return {FesiaSet::Build(pair.a, p), FesiaSet::Build(pair.b, p)};
+}
+
+TEST(ParallelCancelTest, ChunkBoundarySegmentCountsStayExact) {
+  // The polling loops walk SegmentChunk(level, 16) segments per poll;
+  // this pins the total segment count onto poll-chunk multiples from the
+  // smallest constructible bitmap (32 segments — exactly ONE poll chunk at
+  // AVX-512, a handful at narrower levels) up through many chunks, then
+  // sweeps thread counts that do not divide the chunk count evenly (8
+  // chunks over 3 threads -> 3/3/2), so per-thread ranges straddle poll
+  // boundaries at odd offsets. An active context with a generous deadline
+  // must never change a count or an element.
+  for (SimdLevel level : AvailableLevels()) {
+    uint32_t chunk = internal::SegmentChunk(level, 16);
+    ASSERT_GT(chunk, 0u) << SimdLevelName(level);
+    for (uint32_t segs : {32u, 64u, 8 * chunk, 16 * chunk}) {
+      ASSERT_GE(segs, chunk) << SimdLevelName(level);
+      size_t expected = 0;
+      auto [fa, fb] = PairWithSegments(segs, 100 + segs, &expected);
+      ASSERT_EQ(fa.num_segments(), segs);
+      ASSERT_EQ(IntersectCount(fa, fb, level), expected);
+      CancelContext cancel(Deadline::After(300));
+      ASSERT_TRUE(cancel.active());
+
+      bool stopped = true;
+      EXPECT_EQ(IntersectCountCancellable(fa, fb, cancel, level, &stopped),
+                expected)
+          << SimdLevelName(level) << " segs=" << segs;
+      EXPECT_FALSE(stopped);
+      std::vector<uint32_t> out;
+      stopped = true;
+      EXPECT_EQ(
+          IntersectIntoCancellable(fa, fb, &out, cancel, true, level,
+                                   &stopped),
+          expected)
+          << SimdLevelName(level) << " segs=" << segs;
+      EXPECT_FALSE(stopped);
+
+      for (size_t threads : {1, 2, 3, 4, 5}) {
+        stopped = true;
+        EXPECT_EQ(IntersectCountParallel(fa, fb, threads, level, {}, cancel,
+                                         &stopped),
+                  expected)
+            << SimdLevelName(level) << " segs=" << segs
+            << " threads=" << threads;
+        EXPECT_FALSE(stopped);
+        stopped = true;
+        EXPECT_EQ(IntersectIntoParallel(fa, fb, &out, threads, true, level,
+                                        {}, cancel, &stopped),
+                  expected)
+            << SimdLevelName(level) << " segs=" << segs
+            << " threads=" << threads;
+        EXPECT_FALSE(stopped);
+        EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+      }
+    }
+  }
+}
+
+TEST(ParallelCancelTest, PreCancelledStopsSmallestConstructibleJob) {
+  // The smallest constructible job (one 512-bit bitmap vector: exactly one
+  // poll chunk at AVX-512) must still observe the token: the poll happens
+  // before the first chunk, not only between chunks.
+  for (SimdLevel level : AvailableLevels()) {
+    uint32_t chunk = internal::SegmentChunk(level, 16);
+    uint32_t segs = 32;
+    size_t expected = 0;
+    auto [fa, fb] = PairWithSegments(segs, 200 + segs, &expected);
+    ASSERT_LE(chunk, fa.num_segments()) << SimdLevelName(level);
+    CancellationToken token = CancellationToken::Create();
+    token.Cancel();
+    CancelContext cancel(token);
+
+    bool stopped = false;
+    (void)IntersectCountCancellable(fa, fb, cancel, level, &stopped);
+    EXPECT_TRUE(stopped) << SimdLevelName(level);
+    std::vector<uint32_t> out;
+    stopped = false;
+    (void)IntersectIntoCancellable(fa, fb, &out, cancel, true, level,
+                                   &stopped);
+    EXPECT_TRUE(stopped) << SimdLevelName(level);
+    for (size_t threads : {1, 3, 5}) {
+      stopped = false;
+      (void)IntersectCountParallel(fa, fb, threads, level, {}, cancel,
+                                   &stopped);
+      EXPECT_TRUE(stopped) << SimdLevelName(level) << " threads=" << threads;
+      stopped = false;
+      (void)IntersectIntoParallel(fa, fb, &out, threads, true, level, {},
+                                  cancel, &stopped);
+      EXPECT_TRUE(stopped) << SimdLevelName(level) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelCancelTest, MidFlightCancelNeverTearsOutput) {
+  // A watcher thread cancels while materializing calls run. The contract
+  // allows either outcome, but never a torn one: a call that reports
+  // !stopped must have produced the exact sorted intersection, and a
+  // stopped call must still have returned (no hang, no crash).
+  SetPair pair = PairWithSelectivity(60000, 60000, 0.1, 19);
+  FesiaSet fa = FesiaSet::Build(pair.a);
+  FesiaSet fb = FesiaSet::Build(pair.b);
+  std::vector<uint32_t> expected;
+  std::set_intersection(pair.a.begin(), pair.a.end(), pair.b.begin(),
+                        pair.b.end(), std::back_inserter(expected));
+  size_t stopped_calls = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    size_t threads = 2 + static_cast<size_t>(trial % 4);
+    CancellationToken token = CancellationToken::Create();
+    std::thread watcher([&] { token.Cancel(); });
+    std::vector<uint32_t> out;
+    bool stopped = false;
+    size_t r = IntersectIntoParallel(fa, fb, &out, threads, true,
+                                     SimdLevel::kAuto, {},
+                                     CancelContext(token), &stopped);
+    watcher.join();
+    if (stopped) {
+      ++stopped_calls;
+    } else {
+      ASSERT_EQ(r, expected.size()) << "trial=" << trial;
+      EXPECT_EQ(out, expected) << "trial=" << trial;
+    }
+  }
+  // Not asserted: how many trials stopped — that is a race by design.
+  (void)stopped_calls;
 }
 
 TEST(ParallelDeathTest, MismatchedSegmentBitsFailsFast) {

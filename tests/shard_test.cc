@@ -1,0 +1,536 @@
+// Shard subsystem: ShardMap determinism and serialization, golden
+// equivalence of the scatter-gather router against the single-engine
+// batch path, per-shard lifecycle isolation (dead stores, failed reloads,
+// quarantine), explicit partial results, and hot-swap under concurrent
+// router traffic (the TSan habitat for the per-shard RCU pointers).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "index/query_gen.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_index.h"
+#include "util/fault_injection.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace fesia {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::fesia::index::BatchStats;
+using ::fesia::index::InvertedIndex;
+using ::fesia::index::QueryEngine;
+using ::fesia::index::QueryOutcome;
+using ::fesia::index::QueryResult;
+using ::fesia::shard::MergeBatchStats;
+using ::fesia::shard::RoutedQueryResult;
+using ::fesia::shard::RouterOptions;
+using ::fesia::shard::ShardBatchStats;
+using ::fesia::shard::ShardedIndex;
+using ::fesia::shard::ShardedIndexOptions;
+using ::fesia::shard::ShardMap;
+using ::fesia::shard::ShardRouter;
+
+std::string NewShardDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "fesia_shard_test." + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+void FlipByteOnDisk(const std::string& path, size_t offset) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok()) << path;
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] ^= 0xFF;
+  ASSERT_TRUE(WriteFileBytes(path, bytes.data(), bytes.size()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ShardMap
+
+TEST(ShardMapTest, DefaultIsSingleShardIdentity) {
+  ShardMap map;
+  EXPECT_EQ(map.num_shards(), 1u);
+  for (uint32_t doc : {0u, 1u, 999u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(map.ShardOf(doc), 0u);
+  }
+}
+
+TEST(ShardMapTest, HashIsDeterministicInRangeAndSaltSensitive) {
+  ShardMap a = ShardMap::Hash(8);
+  ShardMap b = ShardMap::Hash(8);
+  ShardMap salted = ShardMap::Hash(8, /*salt=*/12345);
+  std::vector<size_t> mass(8, 0);
+  size_t moved = 0;
+  for (uint32_t doc = 0; doc < 20000; ++doc) {
+    uint32_t s = a.ShardOf(doc);
+    ASSERT_LT(s, 8u);
+    EXPECT_EQ(s, b.ShardOf(doc));
+    ++mass[s];
+    if (salted.ShardOf(doc) != s) ++moved;
+  }
+  // Fmix32 spreads 20k sequential ids near-uniformly over 8 shards.
+  for (size_t m : mass) {
+    EXPECT_GT(m, 20000u / 8 / 2);
+    EXPECT_LT(m, 20000u / 8 * 2);
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(ShardMapTest, RangePartitionsContiguouslyAndFoldsOverflow) {
+  ShardMap map = ShardMap::Range(4, 1000);
+  EXPECT_EQ(map.range_width(), 250u);
+  EXPECT_EQ(map.ShardOf(0), 0u);
+  EXPECT_EQ(map.ShardOf(249), 0u);
+  EXPECT_EQ(map.ShardOf(250), 1u);
+  EXPECT_EQ(map.ShardOf(999), 3u);
+  // Ids at or above the universe fold into the last shard.
+  EXPECT_EQ(map.ShardOf(1000), 3u);
+  EXPECT_EQ(map.ShardOf(0xFFFFFFFFu), 3u);
+}
+
+TEST(ShardMapTest, SerializeRoundTripsEveryKind) {
+  for (const ShardMap& map :
+       {ShardMap(), ShardMap::Hash(8), ShardMap::Hash(3, 77),
+        ShardMap::Range(4, 1000), ShardMap::Range(7, 13)}) {
+    auto bytes = map.Serialize();
+    auto back = ShardMap::Deserialize(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().message();
+    EXPECT_EQ(*back, map);
+  }
+}
+
+TEST(ShardMapTest, DeserializeRejectsCorruptTruncatedAndTrailing) {
+  std::vector<uint8_t> bytes = ShardMap::Hash(4).Serialize();
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> bad = bytes;
+    bad[i] ^= 0xFF;
+    EXPECT_FALSE(ShardMap::Deserialize(bad).ok()) << "flip at " << i;
+  }
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        ShardMap::Deserialize(std::span<const uint8_t>(bytes.data(), len))
+            .ok())
+        << "truncated to " << len;
+  }
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(ShardMap::Deserialize(trailing).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Router golden equivalence and lifecycle
+
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index::CorpusParams corpus;
+    corpus.num_docs = 4000;
+    corpus.num_terms = 100;
+    corpus.avg_terms_per_doc = 30.0;
+    corpus.seed = 23;
+    idx_ = InvertedIndex::BuildSynthetic(corpus);
+
+    // Uniform-ish low-selectivity conjunctions plus skewed pairs: the two
+    // workload shapes of the paper's database experiment, so equivalence
+    // holds under both balanced and lopsided per-shard work.
+    queries_ = index::LowSelectivityQueries(idx_, 2, 20, 100000, 10, 1.0, 7);
+    auto arity3 = index::LowSelectivityQueries(idx_, 3, 20, 100000, 6, 1.0, 8);
+    queries_.insert(queries_.end(), arity3.begin(), arity3.end());
+    auto skewed = index::SkewedPairQueries(idx_, 60, 0.1, 6, 9);
+    queries_.insert(queries_.end(), skewed.begin(), skewed.end());
+    // Degenerate shapes ride along: empty query and out-of-range term.
+    queries_.push_back({});
+    queries_.push_back({idx_.num_terms() + 5});
+    ASSERT_GE(queries_.size(), 15u);
+
+    reference_ = QueryEngine(&idx_, params_).QueryBatch(queries_, {});
+  }
+
+  // Builds a memory-only sharded index over idx_ and rebuilds every shard.
+  ShardedIndex MemoryIndex(const ShardMap& map) {
+    ShardedIndexOptions options;
+    options.params = params_;
+    auto sharded = ShardedIndex::Create(&idx_, map, options);
+    EXPECT_TRUE(sharded.ok()) << sharded.status().message();
+    EXPECT_TRUE(sharded->RebuildAll().ok());
+    return *std::move(sharded);
+  }
+
+  void ExpectGolden(const std::vector<RoutedQueryResult>& routed,
+                    uint32_t num_shards, bool materialized) {
+    ASSERT_EQ(routed.size(), reference_.size());
+    for (size_t q = 0; q < routed.size(); ++q) {
+      const RoutedQueryResult& r = routed[q];
+      EXPECT_TRUE(r.ok()) << q << ": " << r.status.message();
+      EXPECT_EQ(r.shards_answered, num_shards) << q;
+      EXPECT_EQ(r.shards_total, num_shards) << q;
+      EXPECT_EQ(r.count, reference_[q].count) << q;
+      if (materialized) {
+        EXPECT_EQ(r.docs, reference_[q].docs) << q;
+      } else {
+        EXPECT_TRUE(r.docs.empty()) << q;
+      }
+    }
+  }
+
+  FesiaParams params_;
+  InvertedIndex idx_;
+  std::vector<index::Query> queries_;
+  std::vector<QueryResult> reference_;
+};
+
+TEST_F(ShardRouterTest, GoldenEquivalenceAcrossShardCountsAndMaps) {
+  for (uint32_t n : {1u, 2u, 4u, 8u}) {
+    for (const ShardMap& map :
+         {ShardMap::Hash(n), ShardMap::Range(n, idx_.num_docs())}) {
+      ShardedIndex sharded = MemoryIndex(map);
+      ShardRouter router(&sharded);
+      ExpectGolden(router.QueryBatch(queries_), n, /*materialized=*/true);
+      ExpectGolden(router.CountBatch(queries_), n, /*materialized=*/false);
+    }
+  }
+}
+
+TEST_F(ShardRouterTest, StatsRollUpPerShardAndMerged) {
+  ShardedIndex sharded = MemoryIndex(ShardMap::Hash(4));
+  ShardRouter router(&sharded);
+  ShardBatchStats stats;
+  auto routed = router.CountBatch(queries_, {}, &stats);
+
+  ASSERT_EQ(stats.shard_labels.size(), 4u);
+  EXPECT_EQ(stats.shard_labels[0], "shard-00");
+  EXPECT_EQ(stats.shard_labels[3], "shard-03");
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  for (const BatchStats& s : stats.per_shard) {
+    EXPECT_EQ(s.ok, queries_.size());
+    EXPECT_EQ(s.latency_seconds.size(), queries_.size());
+  }
+  EXPECT_EQ(stats.merged.ok, 4 * queries_.size());
+  EXPECT_EQ(stats.merged.latency_seconds.size(), 4 * queries_.size());
+  EXPECT_EQ(stats.complete_queries, routed.size());
+  EXPECT_EQ(stats.partial_queries, 0u);
+  EXPECT_EQ(stats.shards_total, 4u);
+  EXPECT_EQ(stats.shards_serving, 4u);
+  EXPECT_EQ(stats.latency_seconds.size(), routed.size());
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.latency_max, stats.latency_p99);
+  EXPECT_GE(stats.latency_p99, stats.latency_p50);
+}
+
+TEST_F(ShardRouterTest, QuarantinedShardYieldsExplicitPartialResults) {
+  ShardedIndex sharded = MemoryIndex(ShardMap::Hash(4));
+  ShardRouter router(&sharded);
+  sharded.QuarantineShard(2);
+  EXPECT_EQ(sharded.serving_shards(), 3u);
+
+  ShardBatchStats stats;
+  auto routed = router.QueryBatch(queries_, {}, &stats);
+  ASSERT_EQ(routed.size(), reference_.size());
+  for (size_t q = 0; q < routed.size(); ++q) {
+    const RoutedQueryResult& r = routed[q];
+    EXPECT_FALSE(r.ok()) << q;
+    EXPECT_EQ(r.outcome, QueryOutcome::kFailed) << q;
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable) << q;
+    EXPECT_EQ(r.shards_answered, 3u) << q;
+    EXPECT_EQ(r.shards_total, 4u) << q;
+    EXPECT_FALSE(r.complete()) << q;
+    // The answered shards' merged result is a subset of the truth.
+    EXPECT_LE(r.count, reference_[q].count) << q;
+    for (uint32_t doc : r.docs) {
+      EXPECT_NE(sharded.shard_map().ShardOf(doc), 2u);
+    }
+  }
+  EXPECT_EQ(stats.shards_serving, 3u);
+  EXPECT_EQ(stats.partial_queries, routed.size());
+
+  // Revival is instant: the engine was kept.
+  sharded.ReviveShard(2);
+  ExpectGolden(router.QueryBatch(queries_), 4, /*materialized=*/true);
+}
+
+TEST_F(ShardRouterTest, NoServingShardsFailsEveryQuery) {
+  ShardedIndexOptions options;
+  options.params = params_;
+  auto sharded = ShardedIndex::Create(&idx_, ShardMap::Hash(2), options);
+  ASSERT_TRUE(sharded.ok());
+  // No RebuildAll: every shard is engine-less.
+  ShardRouter router(&*sharded);
+  ShardBatchStats stats;
+  auto routed = router.CountBatch(queries_, {}, &stats);
+  for (const RoutedQueryResult& r : routed) {
+    EXPECT_EQ(r.outcome, QueryOutcome::kFailed);
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(r.shards_answered, 0u);
+  }
+  EXPECT_EQ(stats.shards_serving, 0u);
+  EXPECT_EQ(stats.merged.ok, 0u);
+}
+
+TEST_F(ShardRouterTest, ExpiredBatchBudgetDrainsAsDeadlineExceeded) {
+  ShardedIndex sharded = MemoryIndex(ShardMap::Hash(4));
+  ShardRouter router(&sharded);
+  RouterOptions options;
+  options.batch_deadline_seconds = 1e-9;
+  auto routed = router.CountBatch(queries_, options);
+  size_t deadline_hits = 0;
+  for (const RoutedQueryResult& r : routed) {
+    if (r.outcome == QueryOutcome::kDeadlineExceeded) ++deadline_hits;
+  }
+  // The budget was spent before the first sub-query; effectively the whole
+  // batch drains (a straggler or two may sneak through on a fast machine).
+  EXPECT_GT(deadline_hits, routed.size() / 2);
+}
+
+TEST_F(ShardRouterTest, CancellationDrainsTheWholeScatter) {
+  ShardedIndex sharded = MemoryIndex(ShardMap::Hash(4));
+  ShardRouter router(&sharded);
+  RouterOptions options;
+  options.cancel = CancellationToken::Create();
+  options.cancel.Cancel();
+  auto routed = router.QueryBatch(queries_, options);
+  for (const RoutedQueryResult& r : routed) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.shards_answered, 0u);
+    EXPECT_TRUE(r.docs.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+
+TEST_F(ShardRouterTest, PersistSaveReloadRoundTrip) {
+  const std::string dir = NewShardDir("roundtrip");
+  const ShardMap map = ShardMap::Hash(4);
+  ShardedIndexOptions options;
+  options.params = params_;
+  options.store_dir = dir;
+  {
+    auto sharded = ShardedIndex::Create(&idx_, map, options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+    ASSERT_TRUE(sharded->RebuildAll().ok());
+    uint64_t gen = 0;
+    ASSERT_TRUE(sharded->SaveShard(0, &gen).ok());
+    EXPECT_EQ(gen, 1u);
+    ASSERT_TRUE(sharded->SaveAll().ok());  // saves the remaining shards
+  }
+  EXPECT_TRUE(fs::exists(dir + "/SHARDMAP"));
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_TRUE(fs::exists(dir + "/shard-0" + std::to_string(s)));
+  }
+
+  auto reopened = ShardedIndex::Create(&idx_, map, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  for (uint32_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(reopened->ReloadShard(s).ok()) << s;
+  }
+  EXPECT_EQ(reopened->serving_shards(), 4u);
+  ShardRouter router(&*reopened);
+  ExpectGolden(router.QueryBatch(queries_), 4, /*materialized=*/true);
+}
+
+TEST_F(ShardRouterTest, ReopenWithDifferentMapRefused) {
+  const std::string dir = NewShardDir("map-mismatch");
+  ShardedIndexOptions options;
+  options.params = params_;
+  options.store_dir = dir;
+  ASSERT_TRUE(ShardedIndex::Create(&idx_, ShardMap::Hash(4), options).ok());
+
+  auto wrong_n = ShardedIndex::Create(&idx_, ShardMap::Hash(2), options);
+  EXPECT_EQ(wrong_n.status().code(), StatusCode::kFailedPrecondition);
+  auto wrong_kind = ShardedIndex::Create(
+      &idx_, ShardMap::Range(4, idx_.num_docs()), options);
+  EXPECT_EQ(wrong_kind.status().code(), StatusCode::kFailedPrecondition);
+  // The identical map still opens.
+  EXPECT_TRUE(ShardedIndex::Create(&idx_, ShardMap::Hash(4), options).ok());
+}
+
+TEST_F(ShardRouterTest, DeadShardStoreDegradesToPartialService) {
+  const std::string dir = NewShardDir("dead-store");
+  const ShardMap map = ShardMap::Hash(4);
+  ShardedIndexOptions options;
+  options.params = params_;
+  options.store_dir = dir;
+  {
+    auto sharded = ShardedIndex::Create(&idx_, map, options);
+    ASSERT_TRUE(sharded.ok());
+    ASSERT_TRUE(sharded->RebuildAll().ok());
+    ASSERT_TRUE(sharded->SaveAll().ok());
+  }
+  // Rot every generation of shard 1: its store is unrecoverable at open.
+  for (const auto& entry : fs::directory_iterator(dir + "/shard-01")) {
+    if (entry.path().filename().string().rfind("snap.", 0) == 0) {
+      ASSERT_TRUE(WriteFileBytes(entry.path().string(),
+                                 reinterpret_cast<const uint8_t*>("rot"), 3)
+                      .ok());
+    }
+  }
+
+  auto reopened = ShardedIndex::Create(&idx_, map, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_TRUE(reopened->shard_quarantined(1));
+  EXPECT_EQ(reopened->shard_status(1).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(reopened->manager(1), nullptr);
+  EXPECT_EQ(reopened->ReloadShard(1).code(), StatusCode::kFailedPrecondition);
+
+  // The healthy shards reload and serve; queries are explicit partials.
+  for (uint32_t s : {0u, 2u, 3u}) {
+    ASSERT_TRUE(reopened->ReloadShard(s).ok()) << s;
+  }
+  EXPECT_EQ(reopened->serving_shards(), 3u);
+  ShardRouter router(&*reopened);
+  auto routed = router.QueryBatch(queries_);
+  for (size_t q = 0; q < routed.size(); ++q) {
+    EXPECT_EQ(routed[q].shards_answered, 3u) << q;
+    EXPECT_EQ(routed[q].shards_total, 4u) << q;
+    EXPECT_EQ(routed[q].status.code(), StatusCode::kUnavailable) << q;
+    EXPECT_LE(routed[q].count, reference_[q].count) << q;
+  }
+
+  // The degradation ladder's last rung: rebuild the dead shard from the
+  // in-memory sub-index (memory-only engine) and service is whole again.
+  ASSERT_TRUE(reopened->RebuildShard(1).ok());
+  EXPECT_FALSE(reopened->shard_quarantined(1));
+  EXPECT_EQ(reopened->serving_shards(), 4u);
+  ExpectGolden(router.QueryBatch(queries_), 4, /*materialized=*/true);
+}
+
+TEST_F(ShardRouterTest, FailedReloadRollsBackOnlyThatShard) {
+  const std::string dir = NewShardDir("reload-rollback");
+  const ShardMap map = ShardMap::Hash(4);
+  ShardedIndexOptions options;
+  options.params = params_;
+  options.store_dir = dir;
+  auto sharded = ShardedIndex::Create(&idx_, map, options);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(sharded->RebuildAll().ok());
+  ASSERT_TRUE(sharded->SaveAll().ok());
+
+  // Rot shard 2's only generation, then reload it: the reload fails, the
+  // incumbent engine keeps serving, and no other shard notices.
+  FlipByteOnDisk(dir + "/shard-02/snap.000001", 64);
+  EXPECT_FALSE(sharded->ReloadShard(2).ok());
+  EXPECT_FALSE(sharded->shard_status(2).ok());
+  EXPECT_EQ(sharded->serving_shards(), 4u);
+
+  ShardRouter router(&*sharded);
+  ExpectGolden(router.QueryBatch(queries_), 4, /*materialized=*/true);
+}
+
+// Scatter-gather under concurrent per-shard hot swaps: reader threads
+// route batches while the main thread reloads shards round-robin,
+// including forced rollbacks. Every batch must gather exact counts — each
+// batch pins the engine snapshots it started with — and the test must be
+// clean under TSan (scripts/check.sh runs the shard label there).
+TEST_F(ShardRouterTest, ScatterGatherUnderConcurrentShardReloads) {
+  const std::string dir = NewShardDir("hot-swap-traffic");
+  const ShardMap map = ShardMap::Hash(4);
+  ShardedIndexOptions options;
+  options.params = params_;
+  options.store_dir = dir;
+  auto sharded = ShardedIndex::Create(&idx_, map, options);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(sharded->RebuildAll().ok());
+  ASSERT_TRUE(sharded->SaveAll().ok());
+
+  ShardRouter router(&*sharded);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> batches_done{0};
+  std::atomic<size_t> mismatches{0};
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      RouterOptions ropts;
+      ropts.num_threads = 2;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto routed = router.CountBatch(queries_, ropts);
+        for (size_t q = 0; q < routed.size(); ++q) {
+          if (!routed[q].ok() || routed[q].count != reference_[q].count) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        batches_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  constexpr int kReloads = 24;
+  for (int i = 0; i < kReloads; ++i) {
+    uint32_t s = static_cast<uint32_t>(i) % 4;
+    if (i == kReloads / 2) {
+      // Mid-storm forced rollback on one shard; traffic stays exact.
+      fault::ScopedFault f(fault::FaultPoint::kSnapshotBitFlip, 0, 900);
+      EXPECT_FALSE(sharded->ReloadShard(s).ok());
+      continue;
+    }
+    Status st = sharded->ReloadShard(s);
+    ASSERT_TRUE(st.ok()) << st.message();
+  }
+  while (batches_done.load(std::memory_order_relaxed) < kReaders * 3u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(batches_done.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MergeBatchStats
+
+TEST(MergeBatchStatsTest, SumsCountersPoolsLatenciesMaxesWall) {
+  BatchStats a;
+  a.wall_seconds = 0.5;
+  a.latency_seconds = {0.1, 0.2};
+  a.ok = 2;
+  a.retries = 1;
+  a.downgrades = 2;
+  BatchStats b;
+  b.wall_seconds = 2.0;
+  b.latency_seconds = {0.4, 0.3};
+  b.ok = 1;
+  b.deadline_exceeded = 1;
+  b.shed = 0;
+  b.failed = 0;
+  b.slow_queries = 1;
+
+  std::vector<BatchStats> parts = {a, b};
+  BatchStats merged = MergeBatchStats(parts);
+  EXPECT_DOUBLE_EQ(merged.wall_seconds, 2.0);
+  EXPECT_EQ(merged.latency_seconds.size(), 4u);
+  EXPECT_EQ(merged.ok, 3u);
+  EXPECT_EQ(merged.deadline_exceeded, 1u);
+  EXPECT_EQ(merged.retries, 1u);
+  EXPECT_EQ(merged.downgrades, 2u);
+  EXPECT_EQ(merged.slow_queries, 1u);
+  EXPECT_DOUBLE_EQ(merged.latency_max, 0.4);
+  EXPECT_DOUBLE_EQ(merged.queries_per_second, 4.0 / 2.0);
+  EXPECT_GE(merged.latency_p95, merged.latency_p50);
+}
+
+TEST(MergeBatchStatsTest, EmptyInputIsZeroed) {
+  BatchStats merged = MergeBatchStats({});
+  EXPECT_EQ(merged.ok, 0u);
+  EXPECT_EQ(merged.latency_seconds.size(), 0u);
+  EXPECT_DOUBLE_EQ(merged.wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(merged.queries_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace fesia

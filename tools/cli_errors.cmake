@@ -16,6 +16,17 @@ function(expect_rc expected_rc label)
   if(NOT expected_rc EQUAL 0 AND err STREQUAL "")
     message(FATAL_ERROR "${label}: non-zero exit but empty stderr")
   endif()
+  set(last_out "${out}" PARENT_SCOPE)
+endfunction()
+
+# Asserts the most recent expect_rc/expect_rc_env stdout contains `needle`
+# (used to pin machine-readable output shapes, e.g. recover's JSON lines).
+function(require_contains label needle)
+  string(FIND "${last_out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "${label}: output missing '${needle}':\n${last_out}")
+  endif()
 endfunction()
 
 # Usage errors -> 2.
@@ -66,6 +77,7 @@ function(expect_rc_env faults expected_rc label)
     message(FATAL_ERROR
             "${label}: expected exit ${expected_rc}, got ${rc}: ${out}${err}")
   endif()
+  set(last_out "${out}" PARENT_SCOPE)
 endfunction()
 
 expect_rc_env("snapshot-bitflip:0:1000" 4 "bitflip-snapshot"
@@ -116,6 +128,9 @@ foreach(crash io-short-write crash-before-rename crash-after-rename)
   expect_rc_env(${crash} 3 "snapshot-save-${crash}"
                 snapshot save --dir ${STORE} --in ${WORK_DIR}/v2.bin)
   expect_rc(0 "snapshot-recover-${crash}" snapshot recover --dir ${STORE})
+  # Recovery reports are line-oriented JSON with a fixed event shape.
+  require_contains("snapshot-recover-${crash}" "{\"event\":\"resumed\"")
+  require_contains("snapshot-recover-${crash}" "{\"event\":\"store\",\"ok\":true")
   expect_rc(0 "snapshot-load-${crash}" snapshot load --dir ${STORE}
             --out ${WORK_DIR}/after-${crash}.fesia)
   execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
@@ -136,7 +151,55 @@ foreach(gen ${dead_gens})
   file(WRITE ${gen} "rotten bytes that cannot possibly validate")
 endforeach()
 expect_rc(6 "snapshot-recover-dead" snapshot recover --dir ${DEADSTORE})
+require_contains("snapshot-recover-dead" "{\"event\":\"quarantined\"")
+require_contains("snapshot-recover-dead" "\"ok\":false,\"code\":\"data-loss\"")
 expect_rc(6 "snapshot-load-dead" snapshot load --dir ${DEADSTORE}
           --out ${WORK_DIR}/never.fesia)
+
+# --- Sharded index ------------------------------------------------------
+# Usage errors -> 2.
+set(SHARDSTORE ${WORK_DIR}/shardstore)
+file(REMOVE_RECURSE ${SHARDSTORE})
+expect_rc(2 "build-no-dir" build --shards 2)
+expect_rc(2 "build-too-many-shards" build --dir ${SHARDSTORE} --shards 300)
+expect_rc(2 "batch-too-many-shards" batch --queries 4 --shards 300)
+expect_rc(2 "shards-on-save" snapshot save --dir ${SHARDSTORE}
+          --in ${WORK_DIR}/ok.fesia --shards 2)
+
+# Build + per-shard recover; every JSON line carries its shard id.
+expect_rc(0 "build-sharded" build --dir ${SHARDSTORE} --shards 2
+          --docs 2000 --terms 80)
+require_contains("build-sharded" "shard-01: saved generation 1")
+expect_rc(0 "recover-sharded" snapshot recover --dir ${SHARDSTORE}
+          --shards 2)
+require_contains("recover-sharded" "{\"event\":\"resumed\",\"shard\":0")
+require_contains("recover-sharded" "{\"event\":\"store\",\"shard\":1,\"ok\":true")
+
+# Reopening the store under a different shard map is refused -> 4.
+expect_rc(4 "build-shardmap-mismatch" build --dir ${SHARDSTORE} --shards 3
+          --docs 2000 --terms 80)
+
+# Rot one shard's every generation: recover reports the dead shard (and
+# escalates to its exit code 6) while the healthy shard still reads ok.
+file(GLOB shard1_gens ${SHARDSTORE}/shard-01/snap.*)
+foreach(gen ${shard1_gens})
+  file(WRITE ${gen} "rotten bytes that cannot possibly validate")
+endforeach()
+expect_rc(6 "recover-sharded-dead" snapshot recover --dir ${SHARDSTORE}
+          --shards 2)
+require_contains("recover-sharded-dead" "{\"event\":\"quarantined\",\"shard\":1")
+require_contains("recover-sharded-dead" "{\"event\":\"store\",\"shard\":0,\"ok\":true")
+require_contains("recover-sharded-dead" "\"shard\":1,\"ok\":false,\"code\":\"data-loss\"")
+
+# Scatter-gather batch: complete gathers exit 0; a stalled sub-query under
+# a tight budget leaves zero complete queries -> 5, same contract as the
+# unsharded path.
+expect_rc(0 "batch-sharded" batch --queries 8 --docs 4000 --terms 100
+          --shards 4 --deadline-ms 10000)
+require_contains("batch-sharded" "gather: complete 8, partial 0")
+require_contains("batch-sharded" "shard-03: ok 8")
+expect_rc_env("query-delay:0:20000" 5 "batch-sharded-deadline-exhaustion"
+              batch --queries 1 --docs 4000 --terms 100 --shards 2
+              --deadline-ms 5)
 
 message(STATUS "cli error-path smoke ok")

@@ -6,22 +6,20 @@
 //   intersect  intersect two set files with any method in the registry
 //   info       print the structural statistics of a set file
 //   batch      run a conjunctive-query batch with deadlines and overload
-//              controls against a synthetic corpus
+//              controls against a synthetic corpus; --shards N routes the
+//              batch through a sharded index and scatter-gather router
+//   build      shard a synthetic corpus N ways and persist one snapshot
+//              generation per shard under DIR/shard-NN/
 //   snapshot   save/load/recover payloads through the crash-safe
-//              generational SnapshotStore (atomic writes + manifest)
+//              generational SnapshotStore (atomic writes + manifest);
+//              recover emits machine-readable JSON, one line per event
 //
 // Set files hold raw little-endian uint32 values ("raw" format) or a
 // serialized FesiaSet ("fesia" format, magic-tagged; auto-detected).
 //
-// Exit codes (see docs/ROBUSTNESS.md):
-//   0  success
-//   2  usage error / malformed arguments
-//   3  I/O failure or invalid input file (missing file, unwritable
-//      output, raw set whose size is not a multiple of 4)
-//   4  corrupt or invalid snapshot
-//   5  deadline exhaustion (a batch finished with zero OK queries while at
-//      least one hit its deadline)
-//   6  unrecoverable snapshot store (no generation validates)
+// Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt, 5 deadline exhaustion,
+// 6 unrecoverable store — the authoritative table lives in docs/API.md
+// ("Exit codes").
 #include <algorithm>
 #include <cerrno>
 #include <cstdint>
@@ -37,6 +35,9 @@
 #include "fesia/fesia.h"
 #include "index/inverted_index.h"
 #include "index/query_engine.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_index.h"
 #include "store/snapshot_store.h"
 #include "util/cpu.h"
 #include "util/file_io.h"
@@ -75,23 +76,31 @@ commands:
       structural statistics of a raw or encoded set file
   batch [--queries N] [--query-terms K] [--docs D] [--terms T] [--seed S]
         [--threads P] [--deadline-ms MS] [--batch-deadline-ms MS]
-        [--capacity C] [--retries R] [--level L]
+        [--capacity C] [--retries R] [--level L] [--shards N]
       run N K-term AND queries against a synthetic Zipf corpus with the
       deadline/overload controls of the batch executor; prints outcome
-      counters and latency percentiles
+      counters and latency percentiles. --shards N >= 1 routes the batch
+      through an N-way sharded index (scatter-gather, per-shard stats,
+      explicit partial results)
+  build --dir DIR [--shards N] [--docs D] [--terms T] [--seed S] [--keep K]
+      build a synthetic corpus, hash-partition it into N shards (default
+      1), and persist one snapshot generation per shard under
+      DIR/shard-NN/ (the shard map is pinned as DIR/SHARDMAP)
   snapshot save --dir DIR --in FILE [--keep N]
       durably append FILE's bytes as a new store generation (atomic write
       + manifest commit; N generations retained, default 3)
   snapshot load --dir DIR --out FILE
       validate and extract the store's current generation into FILE
-  snapshot recover --dir DIR
-      open the store, quarantining whatever fails validation, and report
-      what recovery found; exit 6 if no generation validates
+  snapshot recover --dir DIR [--shards N]
+      open the store, quarantining whatever fails validation, and emit
+      what recovery found as JSON (one line per event); exit 6 if no
+      generation validates. --shards N recovers DIR/shard-NN stores
+      instead, reporting the worst shard's exit code
 
 exit codes: 0 ok, 2 usage, 3 I/O failure or invalid input,
             4 corrupt snapshot,
             5 deadline exhaustion (no query in the batch completed),
-            6 unrecoverable snapshot store
+            6 unrecoverable snapshot store (see docs/API.md)
 )");
   return kExitUsage;
 }
@@ -402,9 +411,71 @@ int CmdInfo(const std::map<std::string, std::string>& flags) {
   return kExitOk;
 }
 
+// Scatter-gather variant of the batch command: routes the same query mix
+// through an N-way hash-sharded memory-only index. Exit-code contract
+// matches the unsharded path, restated over routed results: 5 when zero
+// queries completed on every shard while at least one missed a deadline.
+int RunShardedBatch(const fesia::index::InvertedIndex& idx,
+                    const std::vector<std::vector<uint32_t>>& queries,
+                    uint32_t shards,
+                    const fesia::shard::RouterOptions& ropts) {
+  fesia::WallTimer build_timer;
+  fesia::shard::ShardedIndexOptions sopts;
+  auto sharded = fesia::shard::ShardedIndex::Create(
+      &idx, fesia::shard::ShardMap::Hash(shards), sopts);
+  if (!sharded.ok()) return ReportIo(sharded.status());
+  Status built = sharded->RebuildAll();
+  if (!built.ok()) return ReportIo(built);
+  std::printf("sharded: %u shards (%u serving) built in %.3f s\n",
+              sharded->num_shards(), sharded->serving_shards(),
+              build_timer.Seconds());
+
+  fesia::shard::ShardRouter router(&*sharded);
+  fesia::shard::ShardBatchStats stats;
+  std::vector<fesia::shard::RoutedQueryResult> routed =
+      router.CountBatch(queries, ropts, &stats);
+
+  size_t ok = 0, deadline = 0, shed = 0, failed = 0;
+  for (const auto& r : routed) {
+    switch (r.outcome) {
+      case fesia::index::QueryOutcome::kOk: ++ok; break;
+      case fesia::index::QueryOutcome::kDeadlineExceeded: ++deadline; break;
+      case fesia::index::QueryOutcome::kShed: ++shed; break;
+      case fesia::index::QueryOutcome::kFailed: ++failed; break;
+    }
+  }
+  std::printf("batch: %zu queries in %.3f s (%.0f q/s)\n", routed.size(),
+              stats.wall_seconds, stats.queries_per_second);
+  std::printf("outcomes: ok %zu, deadline-exceeded %zu, shed %zu, "
+              "failed %zu\n", ok, deadline, shed, failed);
+  std::printf("gather: complete %zu, partial %zu (%u/%u shards serving)\n",
+              stats.complete_queries, stats.partial_queries,
+              stats.shards_serving, stats.shards_total);
+  for (uint32_t s = 0; s < stats.shards_total; ++s) {
+    const fesia::index::BatchStats& ps = stats.per_shard[s];
+    std::printf("%s: ok %zu, deadline-exceeded %zu, shed %zu, failed %zu, "
+                "retries %zu, downgrades %zu, p95 %.3f ms\n",
+                stats.shard_labels[s].c_str(), ps.ok, ps.deadline_exceeded,
+                ps.shed, ps.failed, ps.retries, ps.downgrades,
+                ps.latency_p95 * 1e3);
+  }
+  std::printf("merged: retries %zu, downgrades %zu, sub-queries ok %zu of "
+              "%zu\n", stats.merged.retries, stats.merged.downgrades,
+              stats.merged.ok, stats.merged.latency_seconds.size());
+  std::printf("latency ms: p50 %.3f, p95 %.3f, p99 %.3f, max %.3f\n",
+              stats.latency_p50 * 1e3, stats.latency_p95 * 1e3,
+              stats.latency_p99 * 1e3, stats.latency_max * 1e3);
+  if (ok == 0 && deadline > 0) {
+    std::fprintf(stderr, "fesia_cli: deadline exhaustion: no query "
+                 "completed within budget\n");
+    return kExitDeadline;
+  }
+  return kExitOk;
+}
+
 int CmdBatch(const std::map<std::string, std::string>& flags) {
   uint64_t num_queries = 0, docs = 0, terms = 0, seed = 0, threads = 0;
-  uint64_t capacity = 0;
+  uint64_t capacity = 0, shards = 0;
   int query_terms = 0, retries = 0;
   double deadline_ms = 0, batch_deadline_ms = 0;
   SimdLevel level = SimdLevel::kAuto;
@@ -414,6 +485,7 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
       !ParseU64Flag(flags, "seed", 1, &seed) ||
       !ParseU64Flag(flags, "threads", 0, &threads) ||
       !ParseU64Flag(flags, "capacity", 0, &capacity) ||
+      !ParseU64Flag(flags, "shards", 0, &shards) ||
       !ParseIntFlag(flags, "query-terms", 2, &query_terms) ||
       !ParseIntFlag(flags, "retries", 1, &retries) ||
       !ParseDoubleFlag(flags, "deadline-ms", 0, &deadline_ms) ||
@@ -431,6 +503,10 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "fesia_cli: deadlines must be non-negative\n");
     return kExitUsage;
   }
+  if (shards > 256) {
+    std::fprintf(stderr, "fesia_cli: --shards must be at most 256\n");
+    return kExitUsage;
+  }
 
   fesia::index::CorpusParams cp;
   cp.num_docs = static_cast<uint32_t>(docs);
@@ -440,9 +516,6 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   fesia::WallTimer build_timer;
   fesia::index::InvertedIndex idx =
       fesia::index::InvertedIndex::BuildSynthetic(cp);
-  fesia::index::QueryEngine engine(&idx, FesiaParams{});
-  std::printf("corpus: %u docs, %zu terms, engine built in %.3f s\n",
-              idx.num_docs(), engine.num_terms(), build_timer.Seconds());
 
   // Deterministic query mix: stride across term ranks so every batch spans
   // head (expensive) and tail (cheap) posting lists.
@@ -450,10 +523,27 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   for (uint64_t q = 0; q < num_queries; ++q) {
     for (int t = 0; t < query_terms; ++t) {
       queries[q].push_back(static_cast<uint32_t>(
-          (q * static_cast<uint64_t>(query_terms) + t) %
-          engine.num_terms()));
+          (q * static_cast<uint64_t>(query_terms) + t) % idx.num_terms()));
     }
   }
+
+  if (shards > 0) {
+    std::printf("corpus: %u docs, %u terms\n", idx.num_docs(),
+                idx.num_terms());
+    fesia::shard::RouterOptions ropts;
+    ropts.num_threads = threads;
+    ropts.level = level;
+    ropts.query_deadline_seconds = deadline_ms / 1000.0;
+    ropts.batch_deadline_seconds = batch_deadline_ms / 1000.0;
+    ropts.admission_capacity = capacity;
+    ropts.retry.max_attempts = retries;
+    return RunShardedBatch(idx, queries, static_cast<uint32_t>(shards),
+                           ropts);
+  }
+
+  fesia::index::QueryEngine engine(&idx, FesiaParams{});
+  std::printf("corpus: %u docs, %zu terms, engine built in %.3f s\n",
+              idx.num_docs(), engine.num_terms(), build_timer.Seconds());
 
   fesia::index::BatchOptions opts;
   opts.num_threads = threads;
@@ -504,31 +594,153 @@ int ReportStore(const Status& s) {
   return StoreExitCode(s);
 }
 
-int CmdSnapshot(const std::string& sub,
-                const std::map<std::string, std::string>& flags) {
+int CmdBuild(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "dir", "");
-  if (dir.empty()) return Usage();
-  uint64_t keep = 0;
-  if (!ParseU64Flag(flags, "keep", 3, &keep)) return kExitUsage;
-  if (keep == 0) {
-    std::fprintf(stderr, "fesia_cli: --keep must be positive\n");
+  uint64_t shards = 0, docs = 0, terms = 0, seed = 0, keep = 0;
+  if (!ParseU64Flag(flags, "shards", 1, &shards) ||
+      !ParseU64Flag(flags, "docs", 20000, &docs) ||
+      !ParseU64Flag(flags, "terms", 500, &terms) ||
+      !ParseU64Flag(flags, "seed", 1, &seed) ||
+      !ParseU64Flag(flags, "keep", 3, &keep)) {
     return kExitUsage;
   }
+  if (dir.empty()) return Usage();
+  if (shards == 0 || shards > 256) {
+    std::fprintf(stderr, "fesia_cli: --shards must be in [1, 256]\n");
+    return kExitUsage;
+  }
+  if (docs == 0 || terms == 0 || keep == 0) {
+    std::fprintf(stderr,
+                 "fesia_cli: --docs, --terms, and --keep must be positive\n");
+    return kExitUsage;
+  }
+
+  fesia::index::CorpusParams cp;
+  cp.num_docs = static_cast<uint32_t>(docs);
+  cp.num_terms = static_cast<uint32_t>(terms);
+  cp.avg_terms_per_doc = 20;
+  cp.seed = seed;
+  fesia::WallTimer timer;
+  fesia::index::InvertedIndex idx =
+      fesia::index::InvertedIndex::BuildSynthetic(cp);
+
+  fesia::shard::ShardedIndexOptions sopts;
+  sopts.store_dir = dir;
+  sopts.max_generations = keep;
+  auto sharded = fesia::shard::ShardedIndex::Create(
+      &idx, fesia::shard::ShardMap::Hash(static_cast<uint32_t>(shards)),
+      sopts);
+  if (!sharded.ok()) return ReportStore(sharded.status());
+  Status built = sharded->RebuildAll();
+  if (!built.ok()) return ReportStore(built);
+  for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+    uint64_t generation = 0;
+    Status saved = sharded->SaveShard(s, &generation);
+    if (!saved.ok()) return ReportStore(saved);
+    std::printf("shard-%02u: saved generation %llu\n", s,
+                static_cast<unsigned long long>(generation));
+  }
+  std::printf("built %u shard(s) over %u docs / %u terms into %s in "
+              "%.3f s\n",
+              sharded->num_shards(), idx.num_docs(), idx.num_terms(),
+              dir.c_str(), timer.Seconds());
+  return kExitOk;
+}
+
+// Recovery reporting is machine-readable: one JSON object per line
+// ({"event":"quarantined"|"resumed"|"store",...}), so operators can
+// stream `snapshot recover` into jq or a log pipeline. Human-oriented
+// errors stay on stderr.
+void PrintRecoveryEventsJson(const fesia::store::RecoveryReport& report,
+                             int shard) {
+  auto shard_field = [shard] {
+    if (shard >= 0) std::printf(",\"shard\":%d", shard);
+  };
+  for (uint64_t g : report.quarantined) {
+    std::printf("{\"event\":\"quarantined\"");
+    shard_field();
+    std::printf(",\"generation\":%llu}\n",
+                static_cast<unsigned long long>(g));
+  }
+  std::printf("{\"event\":\"resumed\"");
+  shard_field();
+  std::printf(",\"generation\":%llu,\"manifest_missing\":%s,"
+              "\"manifest_corrupt\":%s,\"temp_files_removed\":%zu,"
+              "\"missing_files\":%zu,\"clean\":%s}\n",
+              static_cast<unsigned long long>(report.recovered_generation),
+              report.manifest_missing ? "true" : "false",
+              report.manifest_corrupt ? "true" : "false",
+              report.temp_files_removed, report.missing_files,
+              report.clean() ? "true" : "false");
+}
+
+// Opens (and recovers) one store, emitting its JSON event lines; `shard`
+// >= 0 tags every line with the shard id. Returns the store's exit code.
+int RecoverOneStore(const std::string& dir, uint64_t keep, int shard) {
   fesia::store::SnapshotStoreOptions opts;
   opts.dir = dir;
   opts.max_generations = keep;
-
   fesia::store::RecoveryReport report;
   auto opened = fesia::store::SnapshotStore::Open(opts, &report);
-  if (sub == "recover") {
-    std::printf("%s\n", report.ToString().c_str());
-    if (!opened.ok()) return ReportStore(opened.status());
-    std::printf("store ok: %zu generation(s), current %llu\n",
+  PrintRecoveryEventsJson(report, shard);
+  std::printf("{\"event\":\"store\"");
+  if (shard >= 0) std::printf(",\"shard\":%d", shard);
+  if (opened.ok()) {
+    std::printf(",\"ok\":true,\"generations\":%zu,\"current\":%llu}\n",
                 opened->num_generations(),
                 static_cast<unsigned long long>(
                     opened->current_generation()));
     return kExitOk;
   }
+  std::printf(",\"ok\":false,\"code\":\"%s\"}\n",
+              fesia::StatusCodeName(opened.status().code()));
+  std::fprintf(stderr, "fesia_cli: %s\n",
+               opened.status().ToString().c_str());
+  return StoreExitCode(opened.status());
+}
+
+int CmdSnapshot(const std::string& sub,
+                const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "dir", "");
+  if (dir.empty()) return Usage();
+  uint64_t keep = 0, shards = 0;
+  if (!ParseU64Flag(flags, "keep", 3, &keep) ||
+      !ParseU64Flag(flags, "shards", 0, &shards)) {
+    return kExitUsage;
+  }
+  if (keep == 0) {
+    std::fprintf(stderr, "fesia_cli: --keep must be positive\n");
+    return kExitUsage;
+  }
+  if (shards > 0 && sub != "recover") {
+    std::fprintf(stderr, "fesia_cli: --shards applies only to snapshot "
+                 "recover\n");
+    return kExitUsage;
+  }
+  if (shards > 256) {
+    std::fprintf(stderr, "fesia_cli: --shards must be at most 256\n");
+    return kExitUsage;
+  }
+  if (sub == "recover") {
+    if (shards == 0) return RecoverOneStore(dir, keep, /*shard=*/-1);
+    // Sharded layout: recover every DIR/shard-NN store independently and
+    // report the worst exit code, so one dead shard is visible without
+    // hiding the healthy ones.
+    int worst = kExitOk;
+    for (uint64_t s = 0; s < shards; ++s) {
+      char sub_dir[16];
+      std::snprintf(sub_dir, sizeof(sub_dir), "shard-%02llu",
+                    static_cast<unsigned long long>(s));
+      worst = std::max(worst, RecoverOneStore(dir + "/" + sub_dir, keep,
+                                              static_cast<int>(s)));
+    }
+    return worst;
+  }
+
+  fesia::store::SnapshotStoreOptions opts;
+  opts.dir = dir;
+  opts.max_generations = keep;
+  auto opened = fesia::store::SnapshotStore::Open(opts);
   if (!opened.ok()) return ReportStore(opened.status());
   fesia::store::SnapshotStore& snapshots = *opened;
 
@@ -577,6 +789,7 @@ int main(int argc, char** argv) {
   if (cmd == "intersect") return CmdIntersect(flags);
   if (cmd == "info") return CmdInfo(flags);
   if (cmd == "batch") return CmdBatch(flags);
+  if (cmd == "build") return CmdBuild(flags);
   if (cmd == "snapshot") {
     if (argc < 3) return Usage();
     return CmdSnapshot(argv[2], ParseFlags(argc, argv, 3));
