@@ -77,19 +77,36 @@ int main() {
   }
 
   TablePrinter table("routed CountBatch vs single engine (8 workers)");
-  table.SetHeader({"Shards", "Build s", "kQPS", "vs 1 engine", "p50 us",
+  table.SetHeader({"Layout", "Build s", "kQPS", "vs 1 engine", "p50 us",
                    "p99 us", "max us"});
   table.AddRow({"unsharded", "-", Fmt(baseline_qps / 1e3), "1.00x", "-", "-",
                 "-"});
 
-  for (uint32_t num_shards : {1u, 2u, 4u, 8u}) {
+  // Hash layouts spread mass uniformly; the range layouts probe locality
+  // (contiguous quarters of the doc space) and the worst case: a universe
+  // twice the doc space puts every document in the first two ranges, so
+  // two shards carry double load and two sit empty — every gather waits on
+  // the stragglers.
+  struct LayoutSpec {
+    const char* label;
+    shard::ShardMap map;
+  };
+  const LayoutSpec layouts[] = {
+      {"hash-1", shard::ShardMap::Hash(1)},
+      {"hash-2", shard::ShardMap::Hash(2)},
+      {"hash-4", shard::ShardMap::Hash(4)},
+      {"hash-8", shard::ShardMap::Hash(8)},
+      {"range-4", shard::ShardMap::Range(4, cp.num_docs)},
+      {"range-4-skew", shard::ShardMap::Range(4, 2 * cp.num_docs)},
+  };
+
+  for (const LayoutSpec& spec : layouts) {
     shard::ShardedIndexOptions sopts;
     sopts.params = params;
     WallTimer build_timer;
-    auto sharded = shard::ShardedIndex::Create(
-        &idx, shard::ShardMap::Hash(num_shards), sopts);
+    auto sharded = shard::ShardedIndex::Create(&idx, spec.map, sopts);
     if (!sharded.ok() || !sharded->RebuildAll().ok()) {
-      std::printf("shard build failed at N = %u\n", num_shards);
+      std::printf("shard build failed at %s\n", spec.label);
       return 1;
     }
     double build_s = build_timer.Seconds();
@@ -104,7 +121,8 @@ int main() {
     double qps = static_cast<double>(queries.size()) / secs;
 
     // Equivalence guard: a benchmark that drifts from the single-engine
-    // counts is measuring a bug, not the router.
+    // counts is measuring a bug, not the router. Every layout — balanced
+    // or pathologically skewed — must stay byte-identical.
     size_t mismatches = 0;
     for (size_t q = 0; q < routed.size(); ++q) {
       if (!routed[q].ok() || routed[q].count != reference[q].count) {
@@ -112,14 +130,12 @@ int main() {
       }
     }
     if (mismatches != 0) {
-      std::printf("N = %u: %zu routed results diverge from the engine\n",
-                  num_shards, mismatches);
+      std::printf("%s: %zu routed results diverge from the engine\n",
+                  spec.label, mismatches);
       return 1;
     }
 
-    char sbuf[16];
-    std::snprintf(sbuf, sizeof(sbuf), "%u", num_shards);
-    table.AddRow({sbuf, Fmt(build_s), Fmt(qps / 1e3),
+    table.AddRow({spec.label, Fmt(build_s), Fmt(qps / 1e3),
                   TablePrinter::Speedup(qps / baseline_qps),
                   Fmt(stats.latency_p50 * 1e6), Fmt(stats.latency_p99 * 1e6),
                   Fmt(stats.latency_max * 1e6)});

@@ -43,6 +43,14 @@ for preset in default asan ubsan tsan; do
     echo "=== [$preset] sharded scatter-gather (ctest -L shard) ==="
     ctest --preset "$preset" -L shard -j "$jobs"
   fi
+  # Live-mutation gate: the WAL / delta-overlay / merge-recovery suite
+  # (torn-tail quarantine, flush kill points, overlay-vs-rebuild oracle)
+  # by label. ASan covers the framing and replay buffers; TSan races
+  # concurrent mutations and queries against a mid-flight flush.
+  if [ "$preset" = default ] || [ "$preset" = asan ] || [ "$preset" = tsan ]; then
+    echo "=== [$preset] live mutation (ctest -L mutation) ==="
+    ctest --preset "$preset" -L mutation -j "$jobs"
+  fi
 done
 
 echo "All presets passed."

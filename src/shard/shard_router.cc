@@ -100,19 +100,20 @@ std::vector<RoutedQueryResult> ShardRouter::Run(
   WallTimer timer;
   const uint32_t total = index_->num_shards();
 
-  // Snapshot the serving engines once: the whole batch runs against one
-  // consistent set of engine generations even if shards hot-swap mid-batch
-  // (the shared_ptr keeps each snapshot alive until the gather finishes).
+  // Snapshot one consistent view per serving shard: the whole batch runs
+  // against one set of engine generations and delta snapshots even if
+  // shards hot-swap or take mutations mid-batch (the view's shared_ptrs
+  // keep each snapshot alive until the gather finishes).
   struct LiveShard {
     uint32_t shard;
-    std::shared_ptr<const index::QueryEngine> engine;
+    store::IndexManager::MutationView view;
   };
   std::vector<LiveShard> live;
   live.reserve(total);
   for (uint32_t s = 0; s < total; ++s) {
     if (index_->shard_quarantined(s)) continue;
-    auto engine = index_->engine(s);
-    if (engine != nullptr) live.push_back({s, std::move(engine)});
+    auto view = index_->View(s);
+    if (view.engine != nullptr) live.push_back({s, std::move(view)});
   }
   const uint32_t dead = total - static_cast<uint32_t>(live.size());
 
@@ -160,9 +161,17 @@ std::vector<RoutedQueryResult> ShardRouter::Run(
       sub.intra_query_threads = options.intra_query_threads;
       sub.slow_query_seconds = options.slow_query_seconds;
       index::BatchStats* sub_stats = &per_shard[live[li].shard];
+      const store::IndexManager::MutationView& view = live[li].view;
       shard_results[li] =
-          materialize ? live[li].engine->QueryBatch(queries, sub, sub_stats)
-                      : live[li].engine->CountBatch(queries, sub, sub_stats);
+          materialize ? view.engine->QueryBatch(queries, sub, sub_stats)
+                      : view.engine->CountBatch(queries, sub, sub_stats);
+      // Unmerged mutations overlay this shard's answers before the gather;
+      // deltas are routed by document, so per-shard adjustments stay
+      // disjoint and compose exactly like the base results do.
+      if (view.delta != nullptr) {
+        store::OverlayAdjustResults(*view.base, *view.delta, queries,
+                                    materialize, shard_results[li]);
+      }
     };
 
     if (live.size() == 1) {

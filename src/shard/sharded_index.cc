@@ -191,6 +191,96 @@ Status ShardedIndex::ReloadShard(uint32_t shard) {
   return st;
 }
 
+Status ShardedIndex::OpenMutationLog(uint32_t shard,
+                                     store::WalReplayReport* report) {
+  FESIA_CHECK(shard < shards_.size());
+  Shard& s = *shards_[shard];
+  if (s.manager == nullptr) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(shard) +
+        " has no snapshot store (memory-only or unrecoverable at open)");
+  }
+  return s.manager->OpenMutationLog(report);
+}
+
+Status ShardedIndex::OpenMutationLogs() {
+  Status first_error;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    Status st = OpenMutationLog(s);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status ShardedIndex::Upsert(uint32_t doc, std::vector<uint32_t> terms,
+                            uint64_t* seq, uint32_t* shard) {
+  const uint32_t owner = map_.ShardOf(doc);
+  if (shard != nullptr) *shard = owner;
+  Shard& s = *shards_[owner];
+  if (s.manager == nullptr) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(owner) +
+        " owning document " + std::to_string(doc) +
+        " has no snapshot store (memory-only or unrecoverable at open)");
+  }
+  return s.manager->Upsert(doc, std::move(terms), seq);
+}
+
+Status ShardedIndex::Delete(uint32_t doc, uint64_t* seq, uint32_t* shard) {
+  const uint32_t owner = map_.ShardOf(doc);
+  if (shard != nullptr) *shard = owner;
+  Shard& s = *shards_[owner];
+  if (s.manager == nullptr) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(owner) +
+        " owning document " + std::to_string(doc) +
+        " has no snapshot store (memory-only or unrecoverable at open)");
+  }
+  return s.manager->Delete(doc, seq);
+}
+
+Status ShardedIndex::FlushShard(uint32_t shard, uint64_t* generation) {
+  FESIA_CHECK(shard < shards_.size());
+  Shard& s = *shards_[shard];
+  if (s.manager == nullptr) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(shard) +
+        " has no snapshot store (memory-only or unrecoverable at open)");
+  }
+  return s.manager->FlushDelta(generation);
+}
+
+Status ShardedIndex::FlushAll() {
+  Status first_error;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->manager == nullptr) continue;
+    if (shards_[s]->manager->pending_mutations() == 0) continue;
+    Status st = FlushShard(s);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+store::IndexManager::MutationView ShardedIndex::View(uint32_t shard) const {
+  FESIA_CHECK(shard < shards_.size());
+  const Shard& s = *shards_[shard];
+  if (s.manager != nullptr) return s.manager->AcquireView();
+  store::IndexManager::MutationView v;
+  v.engine = s.local_engine.load();
+  v.base = s.idx.get();
+  return v;
+}
+
+size_t ShardedIndex::pending_mutations() const {
+  size_t pending = 0;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->manager != nullptr) {
+      pending += shards_[s]->manager->pending_mutations();
+    }
+  }
+  return pending;
+}
+
 bool ShardedIndex::shard_quarantined(uint32_t shard) const {
   FESIA_CHECK(shard < shards_.size());
   return shards_[shard]->quarantined.load(std::memory_order_relaxed);

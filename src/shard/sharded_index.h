@@ -113,6 +113,40 @@ class ShardedIndex {
   /// no other shard is affected.
   Status ReloadShard(uint32_t shard);
 
+  // --- Live mutation (routed by the ShardMap) ---------------------------
+
+  /// Opens (or recovers) shard `shard`'s write-ahead log (see
+  /// IndexManager::OpenMutationLog). kFailedPrecondition for memory-only
+  /// indexes and shards whose store was unrecoverable at Create.
+  Status OpenMutationLog(uint32_t shard,
+                         store::WalReplayReport* report = nullptr);
+  /// OpenMutationLog on every shard; first error, keeps going.
+  Status OpenMutationLogs();
+
+  /// Routes the mutation to the shard owning `doc` (per the ShardMap) and
+  /// applies IndexManager::Upsert/Delete there — an OK return means the
+  /// record is fsynced in that shard's WAL and visible to routed queries.
+  /// *shard (when non-null) receives the owning shard.
+  Status Upsert(uint32_t doc, std::vector<uint32_t> terms,
+                uint64_t* seq = nullptr, uint32_t* shard = nullptr);
+  Status Delete(uint32_t doc, uint64_t* seq = nullptr,
+                uint32_t* shard = nullptr);
+
+  /// Merges one shard's pending delta into a new generation of its store
+  /// (IndexManager::FlushDelta); other shards are untouched — per-shard
+  /// merges are fully independent.
+  Status FlushShard(uint32_t shard, uint64_t* generation = nullptr);
+  /// FlushShard on every shard with pending mutations; first error, keeps
+  /// going.
+  Status FlushAll();
+
+  /// Consistent per-shard read view (see IndexManager::AcquireView). For
+  /// manager-less shards the view wraps the local engine with no delta.
+  store::IndexManager::MutationView View(uint32_t shard) const;
+
+  /// Documents with unmerged mutations, summed across shards.
+  size_t pending_mutations() const;
+
   /// True when the shard is not being routed to.
   bool shard_quarantined(uint32_t shard) const;
   /// Pulls a shard out of routing / returns it. The engine (if any) is

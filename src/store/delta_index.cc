@@ -1,0 +1,198 @@
+#include "store/delta_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+#include "util/byte_io.h"
+#include "util/check.h"
+#include "util/crc32c.h"
+
+namespace fesia::store {
+namespace {
+
+constexpr uint8_t kMutableMagic[8] = {'F', 'E', 'S', 'I', 'A', 'M', 'U', 'T'};
+constexpr uint32_t kMutableVersion = 1;
+
+}  // namespace
+
+void DeltaIndex::Apply(const WalRecord& record) {
+  DeltaDoc& doc = docs_[record.doc];
+  doc.tombstone = record.kind == WalRecord::Kind::kDelete;
+  doc.terms = record.terms;
+  doc.seq = record.seq;
+  cache_.reset();
+}
+
+void DeltaIndex::PruneThrough(uint64_t seq) {
+  bool changed = false;
+  for (auto it = docs_.begin(); it != docs_.end();) {
+    if (it->second.seq <= seq) {
+      it = docs_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) cache_.reset();
+}
+
+std::shared_ptr<const DeltaSnapshot> DeltaIndex::Snapshot() const {
+  if (cache_ == nullptr) cache_ = std::make_shared<DeltaSnapshot>(docs_);
+  return cache_;
+}
+
+bool BaseContainsAll(const index::InvertedIndex& base, uint32_t doc,
+                     std::span<const uint32_t> terms) {
+  for (uint32_t term : terms) {
+    std::span<const uint32_t> post = base.Postings(term);
+    if (!std::binary_search(post.begin(), post.end(), doc)) return false;
+  }
+  return true;
+}
+
+bool DocTermsContainAll(std::span<const uint32_t> doc_terms,
+                        std::span<const uint32_t> query_terms) {
+  for (uint32_t term : query_terms) {
+    if (!std::binary_search(doc_terms.begin(), doc_terms.end(), term)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OverlayAdjustResults(const index::InvertedIndex& base,
+                          const DeltaSnapshot& delta,
+                          std::span<const std::vector<uint32_t>> queries,
+                          bool materialize,
+                          std::span<index::QueryResult> results) {
+  if (delta.empty()) return;
+  FESIA_CHECK(queries.size() == results.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    index::QueryResult& r = results[q];
+    if (!r.ok()) continue;
+    std::span<const uint32_t> terms = queries[q];
+    if (terms.empty()) continue;
+    // A term at or beyond num_terms() makes the conjunction empty in the
+    // base engine and in any rebuilt engine alike (the merge preserves the
+    // term-id space), so such queries need no adjustment — and skipping
+    // them keeps Postings() in bounds.
+    if (std::any_of(terms.begin(), terms.end(), [&](uint32_t t) {
+          return t >= base.num_terms();
+        })) {
+      continue;
+    }
+
+    std::vector<uint32_t> adds, removes;  // ascending: delta iterates by doc
+    for (const auto& [doc, dd] : delta) {
+      const bool in_base = BaseContainsAll(base, doc, terms);
+      const bool in_new =
+          !dd.tombstone && DocTermsContainAll(dd.terms, terms);
+      if (in_base == in_new) continue;
+      if (in_new) {
+        ++r.count;
+        if (materialize) adds.push_back(doc);
+      } else {
+        --r.count;
+        if (materialize) removes.push_back(doc);
+      }
+    }
+    if (materialize && (!adds.empty() || !removes.empty())) {
+      std::vector<uint32_t> pruned;
+      pruned.reserve(r.docs.size());
+      std::set_difference(r.docs.begin(), r.docs.end(), removes.begin(),
+                          removes.end(), std::back_inserter(pruned));
+      std::vector<uint32_t> merged;
+      merged.reserve(pruned.size() + adds.size());
+      std::merge(pruned.begin(), pruned.end(), adds.begin(), adds.end(),
+                 std::back_inserter(merged));
+      r.docs = std::move(merged);
+    }
+  }
+}
+
+std::vector<std::vector<uint32_t>> ApplyDeltaToPostings(
+    const index::InvertedIndex& base, const DeltaSnapshot& delta) {
+  // Every delta document is rewritten wholesale: its base postings are
+  // removed everywhere and its overlay terms (none for a tombstone) are
+  // re-inserted, so the last write wins per document.
+  std::vector<uint32_t> touched;
+  touched.reserve(delta.size());
+  for (const auto& [doc, dd] : delta) touched.push_back(doc);
+
+  std::vector<std::vector<uint32_t>> out(base.num_terms());
+  for (uint32_t t = 0; t < base.num_terms(); ++t) {
+    std::span<const uint32_t> post = base.Postings(t);
+    std::vector<uint32_t> kept;
+    kept.reserve(post.size());
+    std::set_difference(post.begin(), post.end(), touched.begin(),
+                        touched.end(), std::back_inserter(kept));
+    std::vector<uint32_t> adds;
+    for (const auto& [doc, dd] : delta) {
+      if (!dd.tombstone &&
+          std::binary_search(dd.terms.begin(), dd.terms.end(), t)) {
+        adds.push_back(doc);
+      }
+    }
+    out[t].reserve(kept.size() + adds.size());
+    std::merge(kept.begin(), kept.end(), adds.begin(), adds.end(),
+               std::back_inserter(out[t]));
+  }
+  return out;
+}
+
+bool HasMutablePayloadMagic(std::span<const uint8_t> bytes) {
+  return bytes.size() >= sizeof(kMutableMagic) &&
+         std::memcmp(bytes.data(), kMutableMagic, sizeof(kMutableMagic)) == 0;
+}
+
+std::vector<uint8_t> EncodeMutablePayload(const MutablePayload& payload) {
+  std::vector<uint8_t> out;
+  ByteWriter w(&out);
+  w.PutRaw(kMutableMagic, sizeof(kMutableMagic));
+  w.Put<uint32_t>(kMutableVersion);
+  w.Put<uint64_t>(payload.applied_seq);
+  w.Put<uint64_t>(payload.index_bytes.size());
+  w.PutRaw(payload.index_bytes.data(), payload.index_bytes.size());
+  w.Put<uint64_t>(payload.term_set_bytes.size());
+  w.PutRaw(payload.term_set_bytes.data(), payload.term_set_bytes.size());
+  w.Put<uint32_t>(Crc32c(out.data(), out.size()));
+  return out;
+}
+
+StatusOr<MutablePayload> DecodeMutablePayload(
+    std::span<const uint8_t> bytes) {
+  constexpr size_t kMinBytes =
+      sizeof(kMutableMagic) + 4 + 8 + 8 + 8 + 4;  // empty blobs + crc
+  if (bytes.size() < kMinBytes) {
+    return Status::Corruption("mutable payload truncated");
+  }
+  if (!HasMutablePayloadMagic(bytes)) {
+    return Status::Corruption("mutable payload magic mismatch");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  if (Crc32c(bytes.data(), bytes.size() - 4) != stored_crc) {
+    return Status::Corruption("mutable payload checksum mismatch");
+  }
+
+  ByteReader r(bytes.subspan(sizeof(kMutableMagic),
+                             bytes.size() - sizeof(kMutableMagic) - 4));
+  uint32_t version = 0;
+  MutablePayload payload;
+  if (!r.Get(&version) || version != kMutableVersion) {
+    return Status::Corruption("mutable payload version unsupported");
+  }
+  if (!r.Get(&payload.applied_seq)) {
+    return Status::Corruption("mutable payload truncated");
+  }
+  FESIA_RETURN_IF_ERROR(r.GetCountedArray(&payload.index_bytes));
+  FESIA_RETURN_IF_ERROR(r.GetCountedArray(&payload.term_set_bytes));
+  if (!r.AtEnd()) {
+    return Status::Corruption("mutable payload carries trailing bytes");
+  }
+  return payload;
+}
+
+}  // namespace fesia::store

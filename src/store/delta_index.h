@@ -1,0 +1,123 @@
+// In-memory mutation overlay over an immutable base index
+// (docs/ROBUSTNESS.md, "Live mutation, WAL, and merge recovery").
+//
+// The DeltaIndex holds the net effect of every WAL record not yet merged
+// into a snapshot generation: per document, either its complete current
+// term set (an upsert) or a tombstone (a delete). Queries run against the
+// immutable base engine and are then *adjusted* per delta document —
+// membership in the base is subtracted, membership in the overlay is added
+// — so CountBatch/QueryBatch results are byte-identical to a from-scratch
+// rebuild of base+delta (the property fuzz_test asserts across random
+// interleavings). Keeping the mutable side a small per-document map and
+// probing it against the large immutable side follows the mutable-overlay
+// designs surveyed in PAPERS.md (Roaring's mutable containers, Ding &
+// König's small-vs-large probing).
+//
+// Thread safety: none. The IndexManager guards the live DeltaIndex with
+// its view mutex and hands immutable snapshots to readers.
+#ifndef FESIA_STORE_DELTA_INDEX_H_
+#define FESIA_STORE_DELTA_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "store/wal.h"
+#include "util/status.h"
+
+namespace fesia::store {
+
+/// Net overlay state of one document.
+struct DeltaDoc {
+  /// True: the document is deleted (terms is empty). False: `terms` is the
+  /// document's complete current term set, sorted ascending.
+  bool tombstone = false;
+  std::vector<uint32_t> terms;
+  /// Seq of the WAL record that last wrote this entry.
+  uint64_t seq = 0;
+};
+
+/// Immutable copy of the overlay, ordered by document id. Readers adjust
+/// query results against one snapshot for a whole batch, so a mutation
+/// landing mid-batch never produces a torn view.
+using DeltaSnapshot = std::map<uint32_t, DeltaDoc>;
+
+class DeltaIndex {
+ public:
+  /// Applies one WAL record; last write per document wins.
+  void Apply(const WalRecord& record);
+
+  /// Drops every entry with seq <= `seq` — called after those mutations
+  /// are durable in a committed snapshot generation.
+  void PruneThrough(uint64_t seq);
+
+  /// Immutable copy of the current overlay (cached until the next
+  /// Apply/PruneThrough).
+  std::shared_ptr<const DeltaSnapshot> Snapshot() const;
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+ private:
+  DeltaSnapshot docs_;
+  mutable std::shared_ptr<const DeltaSnapshot> cache_;
+};
+
+/// True iff `doc` appears in the base posting list of every term in
+/// `terms` (terms need not be sorted; out-of-range terms are the caller's
+/// responsibility — see OverlayAdjustResults).
+bool BaseContainsAll(const index::InvertedIndex& base, uint32_t doc,
+                     std::span<const uint32_t> terms);
+
+/// True iff the sorted `doc_terms` contain every element of `query_terms`.
+bool DocTermsContainAll(std::span<const uint32_t> doc_terms,
+                        std::span<const uint32_t> query_terms);
+
+/// Adjusts engine results computed over `base` so they equal what an
+/// engine rebuilt over base+delta would return: per delta document, base
+/// membership in the conjunction is subtracted and overlay membership is
+/// added. Only results with ok() are touched; `results` must be
+/// index-aligned with `queries`. With `materialize`, QueryResult::docs is
+/// patched (sorted removals/insertions) as well as the count. Queries that
+/// are empty or contain an out-of-range term are left alone: both the base
+/// and the rebuilt engine answer those identically by construction.
+void OverlayAdjustResults(const index::InvertedIndex& base,
+                          const DeltaSnapshot& delta,
+                          std::span<const std::vector<uint32_t>> queries,
+                          bool materialize,
+                          std::span<index::QueryResult> results);
+
+/// Materializes base+delta as posting lists (index-aligned with the base's
+/// terms, each strictly ascending) — the merge step's input to
+/// InvertedIndex::FromPostings, and the reference the tests rebuild from.
+std::vector<std::vector<uint32_t>> ApplyDeltaToPostings(
+    const index::InvertedIndex& base, const DeltaSnapshot& delta);
+
+/// Snapshot payload of a merged (mutable-path) generation: the serialized
+/// base index plus the engine term-set container plus the highest WAL seq
+/// folded in, so a reload knows which log records are already merged.
+/// Distinguished from the legacy term-set-only payload by its magic
+/// ("FESIAMUT" vs "FESIAQRY").
+struct MutablePayload {
+  uint64_t applied_seq = 0;
+  std::vector<uint8_t> index_bytes;
+  std::vector<uint8_t> term_set_bytes;
+};
+
+/// True when `bytes` start with the mutable-payload magic.
+bool HasMutablePayloadMagic(std::span<const uint8_t> bytes);
+
+std::vector<uint8_t> EncodeMutablePayload(const MutablePayload& payload);
+
+/// Validates magic, version, framing, and the whole-payload CRC32C;
+/// kCorruption on any mismatch.
+StatusOr<MutablePayload> DecodeMutablePayload(std::span<const uint8_t> bytes);
+
+}  // namespace fesia::store
+
+#endif  // FESIA_STORE_DELTA_INDEX_H_

@@ -1,11 +1,27 @@
 #include "store/index_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "util/check.h"
 
 namespace fesia::store {
+namespace {
+
+/// Wraps a loaded engine so its shared_ptr also keeps the merged base
+/// index alive: readers that hold only the engine (the legacy engine()
+/// accessor) must never outlive the index it references.
+std::shared_ptr<const index::QueryEngine> WrapEngineWithBase(
+    index::QueryEngine&& engine,
+    std::shared_ptr<const index::InvertedIndex> base) {
+  auto* raw = new index::QueryEngine(std::move(engine));
+  return std::shared_ptr<const index::QueryEngine>(
+      raw,
+      [base = std::move(base)](const index::QueryEngine* e) { delete e; });
+}
+
+}  // namespace
 
 IndexManager::IndexManager(const index::InvertedIndex* idx,
                            SnapshotStore* snapshots)
@@ -18,14 +34,28 @@ IndexManager::IndexManager(const index::InvertedIndex* idx,
   FESIA_CHECK(snapshots_ != nullptr);
 }
 
-IndexManager::~IndexManager() { StopScrub(); }
+IndexManager::~IndexManager() {
+  StopAutoFlush();
+  StopScrub();
+}
 
 void IndexManager::Publish(std::shared_ptr<const index::QueryEngine> next,
-                           uint64_t generation) {
+                           uint64_t generation,
+                           std::shared_ptr<const index::InvertedIndex>
+                               owned_base,
+                           uint64_t applied_seq, bool prune_delta) {
   // Order matters for readers that correlate the two: generation first,
   // then the engine pointer. In-flight batches keep their acquired
-  // shared_ptr; the old engine dies when the last one finishes.
+  // shared_ptr (and, through AcquireView, the base it references); the old
+  // engine dies when the last one finishes.
   serving_generation_.store(generation, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> vlock(view_mu_);
+    view_engine_ = next;
+    owned_base_ = std::move(owned_base);
+    applied_seq_ = applied_seq;
+    if (prune_delta) delta_.PruneThrough(applied_seq);
+  }
   engine_.store(std::move(next));
   swaps_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -33,18 +63,40 @@ void IndexManager::Publish(std::shared_ptr<const index::QueryEngine> next,
 Status IndexManager::Rebuild() {
   std::lock_guard<std::mutex> lock(mu_);
   auto built = std::make_shared<index::QueryEngine>(idx_, options_.params);
-  Publish(std::move(built), 0);
+  // An idx-rebuild serves the construction-time corpus: outstanding delta
+  // entries keep overlaying it, but mutations already merged into a
+  // generation (and pruned) are not part of it — reload the generation to
+  // get those back.
+  Publish(std::move(built), 0, nullptr, /*applied_seq=*/0,
+          /*prune_delta=*/false);
   return Status::Ok();
 }
 
 Status IndexManager::SaveSnapshot(uint64_t* generation) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::shared_ptr<const index::QueryEngine> serving = engine_.load();
+  std::shared_ptr<const index::QueryEngine> serving;
+  std::shared_ptr<const index::InvertedIndex> owned;
+  uint64_t applied = 0;
+  {
+    std::lock_guard<std::mutex> vlock(view_mu_);
+    serving = view_engine_;
+    owned = owned_base_;
+    applied = applied_seq_;
+  }
   if (serving == nullptr) {
     return Status::FailedPrecondition(
         "nothing to save: no engine is being served");
   }
-  std::vector<uint8_t> payload = serving->SerializeTermSets();
+  std::vector<uint8_t> payload;
+  if (owned != nullptr) {
+    MutablePayload p;
+    p.applied_seq = applied;
+    p.index_bytes = owned->Serialize();
+    p.term_set_bytes = serving->SerializeTermSets();
+    payload = EncodeMutablePayload(p);
+  } else {
+    payload = serving->SerializeTermSets();
+  }
   uint64_t gen = 0;
   FESIA_RETURN_IF_ERROR(
       snapshots_->Save(payload, options_.format_version, &gen));
@@ -58,9 +110,29 @@ Status IndexManager::LoadCurrentLocked() {
   uint64_t gen = 0;
   auto payload = snapshots_->ReadCurrent(&gen);
   if (!payload.ok()) return payload.status();
+
+  if (HasMutablePayloadMagic(*payload)) {
+    // Merged (mutable-path) generation: the base index travels with it.
+    auto decoded = DecodeMutablePayload(*payload);
+    if (!decoded.ok()) return decoded.status();
+    auto base_or = index::InvertedIndex::Deserialize(decoded->index_bytes);
+    if (!base_or.ok()) return base_or.status();
+    auto base = std::make_shared<const index::InvertedIndex>(
+        *std::move(base_or));
+    auto loaded = index::QueryEngine::Load(base.get(),
+                                           decoded->term_set_bytes);
+    if (!loaded.ok()) return loaded.status();
+    const uint64_t applied = decoded->applied_seq;
+    Publish(WrapEngineWithBase(*std::move(loaded), base), gen, base,
+            applied, /*prune_delta=*/true);
+    next_seq_ = std::max(next_seq_, applied + 1);
+    return Status::Ok();
+  }
+
   auto loaded = index::QueryEngine::Load(idx_, *payload);
   if (!loaded.ok()) return loaded.status();
-  Publish(std::make_shared<index::QueryEngine>(*std::move(loaded)), gen);
+  Publish(std::make_shared<index::QueryEngine>(*std::move(loaded)), gen,
+          nullptr, /*applied_seq=*/0, /*prune_delta=*/false);
   return Status::Ok();
 }
 
@@ -122,6 +194,280 @@ void IndexManager::StopScrub() {
   }
   scrub_cv_.notify_all();
   if (scrub_thread_.joinable()) scrub_thread_.join();
+}
+
+Status IndexManager::OpenMutationLog(WalReplayReport* report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("mutation log already open");
+  }
+  std::vector<WalRecord> records;
+  WalReplayReport rep;
+  auto wal = WriteAheadLog::Open(snapshots_->dir(), &records, &rep);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::make_unique<WriteAheadLog>(*std::move(wal));
+  {
+    std::lock_guard<std::mutex> vlock(view_mu_);
+    // Records at or below the serving base's applied seq are already
+    // merged into a committed generation; re-applying them would be
+    // harmless for upserts but would resurrect pruned tombstones' docs, so
+    // the replay filter keeps exactly the unmerged suffix.
+    for (WalRecord& r : records) {
+      if (r.seq > applied_seq_) delta_.Apply(r);
+    }
+    next_seq_ = std::max({next_seq_, wal_->last_seq() + 1, applied_seq_ + 1});
+  }
+  if (report != nullptr) *report = rep;
+  return Status::Ok();
+}
+
+Status IndexManager::Upsert(uint32_t doc, std::vector<uint32_t> terms,
+                            uint64_t* seq) {
+  if (doc >= idx_->num_docs()) {
+    return Status::InvalidArgument("upsert: document id out of range");
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (uint32_t t : terms) {
+    if (t >= idx_->num_terms()) {
+      return Status::InvalidArgument("upsert: term id out of range");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "mutation log not open: call OpenMutationLog first");
+  }
+  WalRecord rec;
+  rec.seq = next_seq_;
+  rec.kind = WalRecord::Kind::kUpsert;
+  rec.doc = doc;
+  rec.terms = std::move(terms);
+  // Durability before visibility: the record is fsynced (acknowledged)
+  // before the overlay — and therefore any query — can see it.
+  FESIA_RETURN_IF_ERROR(wal_->Append(rec));
+  ++next_seq_;
+  {
+    std::lock_guard<std::mutex> vlock(view_mu_);
+    delta_.Apply(rec);
+  }
+  if (seq != nullptr) *seq = rec.seq;
+  return Status::Ok();
+}
+
+Status IndexManager::Delete(uint32_t doc, uint64_t* seq) {
+  if (doc >= idx_->num_docs()) {
+    return Status::InvalidArgument("delete: document id out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "mutation log not open: call OpenMutationLog first");
+  }
+  WalRecord rec;
+  rec.seq = next_seq_;
+  rec.kind = WalRecord::Kind::kDelete;
+  rec.doc = doc;
+  FESIA_RETURN_IF_ERROR(wal_->Append(rec));
+  ++next_seq_;
+  {
+    std::lock_guard<std::mutex> vlock(view_mu_);
+    delta_.Apply(rec);
+  }
+  if (seq != nullptr) *seq = rec.seq;
+  return Status::Ok();
+}
+
+Status IndexManager::FlushDelta(uint64_t* generation) {
+  // Phase 1 (under mu_): freeze the overlay and rotate the WAL so records
+  // being merged are in sealed segments while new appends land in a fresh
+  // one.
+  std::shared_ptr<const DeltaSnapshot> frozen;
+  std::shared_ptr<const index::InvertedIndex> frozen_owned;
+  const index::InvertedIndex* frozen_base = nullptr;
+  uint64_t upto = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_ == nullptr) {
+      return Status::FailedPrecondition(
+          "mutation log not open: call OpenMutationLog first");
+    }
+    if (flush_in_progress_) {
+      return Status::FailedPrecondition("a flush is already in progress");
+    }
+    {
+      std::lock_guard<std::mutex> vlock(view_mu_);
+      if (view_engine_ == nullptr) {
+        return Status::FailedPrecondition(
+            "nothing serving: Rebuild or Reload before flushing");
+      }
+      if (delta_.empty()) {
+        if (generation != nullptr) {
+          *generation =
+              serving_generation_.load(std::memory_order_relaxed);
+        }
+        return Status::Ok();
+      }
+      frozen = delta_.Snapshot();
+      frozen_owned = owned_base_;
+      frozen_base = owned_base_ != nullptr ? owned_base_.get() : idx_;
+    }
+    for (const auto& [doc, dd] : *frozen) upto = std::max(upto, dd.seq);
+    FESIA_RETURN_IF_ERROR(wal_->Rotate());
+    flush_in_progress_ = true;
+  }
+
+  auto fail = [&](Status s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_in_progress_ = false;
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  };
+
+  // Phase 2 (off-lock; queries and new mutations keep flowing): build the
+  // merged generation, then validate by decoding the encoded payload and
+  // loading the round-tripped engine — what gets published is exactly what
+  // a reload of the committed bytes would serve.
+  std::vector<std::vector<uint32_t>> postings =
+      ApplyDeltaToPostings(*frozen_base, *frozen);
+  index::InvertedIndex merged = index::InvertedIndex::FromPostings(
+      frozen_base->num_docs(), std::move(postings));
+  MutablePayload payload;
+  payload.applied_seq = upto;
+  payload.index_bytes = merged.Serialize();
+  {
+    index::QueryEngine built(&merged, options_.params);
+    payload.term_set_bytes = built.SerializeTermSets();
+  }
+  const std::vector<uint8_t> encoded = EncodeMutablePayload(payload);
+
+  auto decoded = DecodeMutablePayload(encoded);
+  if (!decoded.ok()) return fail(decoded.status());
+  auto base_or = index::InvertedIndex::Deserialize(decoded->index_bytes);
+  if (!base_or.ok()) return fail(base_or.status());
+  auto base =
+      std::make_shared<const index::InvertedIndex>(*std::move(base_or));
+  auto loaded = index::QueryEngine::Load(base.get(),
+                                         decoded->term_set_bytes);
+  if (!loaded.ok()) return fail(loaded.status());
+  auto next = WrapEngineWithBase(*std::move(loaded), base);
+
+  // Phase 3 (under mu_): commit, publish, prune, and only then truncate.
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_in_progress_ = false;
+  uint64_t gen = 0;
+  Status s = snapshots_->Save(encoded, options_.format_version, &gen);
+  if (!s.ok()) {
+    // Incumbent engine and the full delta keep serving; the WAL still
+    // holds every unmerged record (the rotated segments are only dropped
+    // after a durable commit), so a crash now replays everything.
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  Publish(std::move(next), gen, base, upto, /*prune_delta=*/true);
+  next_seq_ = std::max(next_seq_, upto + 1);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (generation != nullptr) *generation = gen;
+  // WAL truncation strictly after the manifest commit: a failure here
+  // (crash-before-wal-truncate) costs disk space, never data — replaying
+  // the retained segments is filtered by the committed applied seq.
+  return wal_->DropThrough(upto);
+}
+
+void IndexManager::StartAutoFlush(double interval_seconds) {
+  StopAutoFlush();
+  FESIA_CHECK(interval_seconds > 0);
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_stop_ = false;
+  }
+  flush_thread_ = std::thread([this, interval_seconds] {
+    const auto interval = std::chrono::duration<double>(interval_seconds);
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    while (!flush_cv_.wait_for(lock, interval,
+                               [this] { return flush_stop_; })) {
+      lock.unlock();
+      if (pending_mutations() > 0) {
+        (void)FlushDelta();  // failures show up in rollbacks(), retried
+      }
+      lock.lock();
+    }
+  });
+}
+
+void IndexManager::StopAutoFlush() {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_stop_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flush_thread_.joinable()) flush_thread_.join();
+}
+
+IndexManager::MutationView IndexManager::AcquireView() const {
+  std::lock_guard<std::mutex> vlock(view_mu_);
+  MutationView v;
+  v.engine = view_engine_;
+  v.owned_base = owned_base_;
+  v.base = owned_base_ != nullptr ? owned_base_.get() : idx_;
+  if (!delta_.empty()) v.delta = delta_.Snapshot();
+  v.applied_seq = applied_seq_;
+  return v;
+}
+
+namespace {
+
+/// Per-query failure results for a batch issued before anything serves.
+std::vector<index::QueryResult> NotServingResults(
+    size_t n, index::BatchStats* stats) {
+  std::vector<index::QueryResult> results(n);
+  for (index::QueryResult& r : results) {
+    r.outcome = index::QueryOutcome::kFailed;
+    r.status = Status::FailedPrecondition(
+        "no engine is being served: Rebuild or Reload first");
+  }
+  if (stats != nullptr) {
+    *stats = index::BatchStats();
+    stats->failed = n;
+    stats->latency_seconds.assign(n, 0.0);
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<index::QueryResult> IndexManager::CountBatch(
+    std::span<const std::vector<uint32_t>> queries,
+    const index::BatchOptions& options, index::BatchStats* stats) const {
+  MutationView v = AcquireView();
+  if (v.engine == nullptr) return NotServingResults(queries.size(), stats);
+  std::vector<index::QueryResult> results =
+      v.engine->CountBatch(queries, options, stats);
+  if (v.delta != nullptr) {
+    OverlayAdjustResults(*v.base, *v.delta, queries, /*materialize=*/false,
+                         results);
+  }
+  return results;
+}
+
+std::vector<index::QueryResult> IndexManager::QueryBatch(
+    std::span<const std::vector<uint32_t>> queries,
+    const index::BatchOptions& options, index::BatchStats* stats) const {
+  MutationView v = AcquireView();
+  if (v.engine == nullptr) return NotServingResults(queries.size(), stats);
+  std::vector<index::QueryResult> results =
+      v.engine->QueryBatch(queries, options, stats);
+  if (v.delta != nullptr) {
+    OverlayAdjustResults(*v.base, *v.delta, queries, /*materialize=*/true,
+                         results);
+  }
+  return results;
+}
+
+size_t IndexManager::pending_mutations() const {
+  std::lock_guard<std::mutex> vlock(view_mu_);
+  return delta_.size();
 }
 
 }  // namespace fesia::store

@@ -1,6 +1,8 @@
 // Live serving lifecycle for a QueryEngine backed by a SnapshotStore:
-// build, persist, reload, and hot-swap under traffic without ever serving
-// corrupt bytes (docs/ROBUSTNESS.md, "Durability and recovery").
+// build, persist, reload, mutate, and hot-swap under traffic without ever
+// serving corrupt bytes or losing an acknowledged write
+// (docs/ROBUSTNESS.md, "Durability and recovery" and "Live mutation, WAL,
+// and merge recovery").
 //
 // The serving engine sits behind a SharedPtrCell swapped RCU-style:
 // readers acquire a reference once per batch and keep executing on it even
@@ -10,15 +12,28 @@
 // the incumbent pointer is only replaced after the candidate passed every
 // check — and surfaces a non-OK Status instead of disturbing traffic.
 //
+// Live mutation is LSM-flavored: Upsert/Delete append to a write-ahead log
+// (store/wal.h — an OK return means the record is fsynced) and then update
+// an in-memory DeltaIndex overlay. The manager's CountBatch/QueryBatch
+// wrappers run the batch on the immutable base engine and adjust the
+// results against one delta snapshot, so answers are byte-identical to a
+// from-scratch rebuild of base+delta. FlushDelta() is the background
+// merge: it freezes the overlay, builds and deep-validates a merged
+// generation off-lock (queries keep flowing), commits it to the snapshot
+// store, hot-swaps the round-tripped engine in, and only then truncates
+// the WAL — a crash at any step replays the log with zero acknowledged
+// loss, and a validation failure rolls back to the incumbent with the
+// delta intact.
+//
 // An optional background scrub re-reads the active generation's bytes on
 // an interval and re-verifies the CRC chain; on mismatch it quarantines
 // the generation and reloads from the previous one, walking further back
 // if needed. If the whole store goes bad the incumbent in-memory engine
 // keeps serving (stale but valid beats down).
 //
-// Mutations (Rebuild/SaveSnapshot/Reload/ScrubOnce) are serialized by an
-// internal mutex; engine() costs readers one uncontended lock per batch
-// and the counters are wait-free.
+// Mutations (Rebuild/SaveSnapshot/Reload/ScrubOnce/Upsert/Delete/
+// FlushDelta) are serialized by an internal mutex; readers pay one
+// uncontended lock per batch (AcquireView) and the counters are wait-free.
 #ifndef FESIA_STORE_INDEX_MANAGER_H_
 #define FESIA_STORE_INDEX_MANAGER_H_
 
@@ -28,9 +43,12 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "index/query_engine.h"
+#include "store/delta_index.h"
 #include "store/snapshot_store.h"
+#include "store/wal.h"
 #include "util/shared_ptr_cell.h"
 
 namespace fesia::store {
@@ -38,10 +56,24 @@ namespace fesia::store {
 class IndexManager {
  public:
   struct Options {
-    /// Build parameters used by Rebuild().
+    /// Build parameters used by Rebuild() and the merge.
     FesiaParams params;
     /// Format version stamped on saved generations.
     uint32_t format_version = 1;
+  };
+
+  /// One consistent read view: the serving engine, the base index it was
+  /// built over, and the delta snapshot (null when no mutations are
+  /// pending). `owned_base` keeps a merged base alive for the view's
+  /// lifetime; `base` points at it, or at the construction-time index when
+  /// no merge has happened yet.
+  struct MutationView {
+    std::shared_ptr<const index::QueryEngine> engine;
+    const index::InvertedIndex* base = nullptr;
+    std::shared_ptr<const index::InvertedIndex> owned_base;
+    std::shared_ptr<const DeltaSnapshot> delta;
+    /// Highest WAL seq already folded into `base`.
+    uint64_t applied_seq = 0;
   };
 
   /// `idx` must outlive the manager (engines reference it); the manager
@@ -55,18 +87,25 @@ class IndexManager {
   IndexManager(const IndexManager&) = delete;
   IndexManager& operator=(const IndexManager&) = delete;
 
-  /// Builds a fresh engine from the index (the offline construction phase)
-  /// and publishes it. The result is not yet persisted — pair with
-  /// SaveSnapshot(). Serving generation becomes 0 (in-memory only).
+  /// Builds a fresh engine from the construction-time index (the offline
+  /// construction phase) and publishes it. The result is not yet persisted
+  /// — pair with SaveSnapshot(). Serving generation becomes 0 (in-memory
+  /// only). Unflushed delta mutations keep overlaying the result; already
+  /// merged (pruned) mutations are not part of an idx-rebuild.
   Status Rebuild();
 
-  /// Persists the serving engine's term sets as a new store generation.
-  /// kFailedPrecondition when nothing is being served yet.
+  /// Persists the serving engine as a new store generation: the legacy
+  /// term-set payload when serving the construction-time index, or a
+  /// mutable payload (merged base + term sets + applied seq) when serving
+  /// a merged base. kFailedPrecondition when nothing is being served yet.
   Status SaveSnapshot(uint64_t* generation = nullptr);
 
-  /// Loads the store's current generation, deep-validates it against the
-  /// index, and hot-swaps it in. On any failure the incumbent engine keeps
-  /// serving untouched and the validation error is returned.
+  /// Loads the store's current generation, deep-validates it against its
+  /// base (the construction-time index for legacy payloads, the embedded
+  /// one for mutable payloads), and hot-swaps it in. On any failure the
+  /// incumbent engine keeps serving untouched and the validation error is
+  /// returned. Mutations already folded into the loaded generation are
+  /// pruned from the delta overlay.
   Status Reload();
 
   /// One scrub cycle: re-read and re-verify the serving generation's bytes
@@ -81,10 +120,77 @@ class IndexManager {
   void StartScrub(double interval_seconds);
   void StopScrub();
 
+  // --- Live mutation ----------------------------------------------------
+
+  /// Opens (or recovers) the write-ahead log in the snapshot store's
+  /// directory and replays every record newer than the serving base's
+  /// applied seq into the delta overlay. Call after Reload() so the replay
+  /// filter knows what the serving generation already contains. *report
+  /// (when non-null) receives what replay found and repaired.
+  /// kFailedPrecondition when the log is already open.
+  Status OpenMutationLog(WalReplayReport* report = nullptr);
+
+  /// Durably records that `doc` now contains exactly `terms` (sorted and
+  /// deduplicated internally). OK means the mutation is fsynced in the WAL
+  /// and visible to subsequent queries. kInvalidArgument for a document or
+  /// term outside the index's id space; kFailedPrecondition before
+  /// OpenMutationLog. *seq (when non-null) receives the assigned WAL seq.
+  Status Upsert(uint32_t doc, std::vector<uint32_t> terms,
+                uint64_t* seq = nullptr);
+
+  /// Durably records that `doc` is deleted (a tombstone). Same contract as
+  /// Upsert.
+  Status Delete(uint32_t doc, uint64_t* seq = nullptr);
+
+  /// Merges the pending delta into a new snapshot generation: freezes the
+  /// overlay and rotates the WAL, builds and deep-validates the merged
+  /// engine off-lock (the round-tripped bytes a reload would serve),
+  /// commits the generation, hot-swaps, prunes the merged delta entries,
+  /// and finally truncates the WAL. On a build/validation/commit failure
+  /// the incumbent engine and the full delta keep serving (rollbacks()
+  /// increments) — nothing is published. A failure truncating the WAL
+  /// (e.g. the crash-before-wal-truncate fault) is returned *after* the
+  /// publish: the commit is durable and replaying the retained segments is
+  /// idempotent. No-op (OK) when the delta is empty. kFailedPrecondition
+  /// before OpenMutationLog, before anything serves, or while another
+  /// flush is in progress. *generation (when non-null) receives the
+  /// serving generation.
+  Status FlushDelta(uint64_t* generation = nullptr);
+
+  /// Starts/stops a background loop that flushes whenever mutations are
+  /// pending (every `interval_seconds`). Idempotent; the destructor stops
+  /// it. Failures are visible through rollbacks() and retried next cycle.
+  void StartAutoFlush(double interval_seconds);
+  void StopAutoFlush();
+
+  /// Acquires one consistent view for a batch (engine null before the
+  /// first successful Rebuild/Reload). The view stays valid for the
+  /// caller's whole batch even if a flush hot-swaps the serving state
+  /// mid-flight.
+  MutationView AcquireView() const;
+
+  /// CountBatch/QueryBatch over the current view: the base engine's batch
+  /// results adjusted against the delta overlay. Byte-identical to a
+  /// from-scratch rebuild of base+delta for every result with ok().
+  std::vector<index::QueryResult> CountBatch(
+      std::span<const std::vector<uint32_t>> queries,
+      const index::BatchOptions& options = {},
+      index::BatchStats* stats = nullptr) const;
+  std::vector<index::QueryResult> QueryBatch(
+      std::span<const std::vector<uint32_t>> queries,
+      const index::BatchOptions& options = {},
+      index::BatchStats* stats = nullptr) const;
+
+  /// Documents with unmerged mutations in the overlay.
+  size_t pending_mutations() const;
+
+  // --- Observers --------------------------------------------------------
+
   /// Acquires the serving engine (null before the first successful
   /// Rebuild/Reload). The returned reference remains valid for the
   /// caller's whole batch even if a reload swaps the serving pointer
-  /// mid-flight.
+  /// mid-flight. Prefer AcquireView()/CountBatch when mutations may be
+  /// pending: the bare engine does not see the overlay.
   std::shared_ptr<const index::QueryEngine> engine() const {
     return engine_.load();
   }
@@ -95,9 +201,10 @@ class IndexManager {
     return serving_generation_.load(std::memory_order_relaxed);
   }
 
-  /// Successful hot-swaps (Rebuild + Reload + scrub rollbacks).
+  /// Successful hot-swaps (Rebuild + Reload + flushes + scrub rollbacks).
   uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
-  /// Reload/scrub attempts that failed validation and kept the incumbent.
+  /// Reload/scrub/flush attempts that failed validation or commit and kept
+  /// the incumbent.
   uint64_t rollbacks() const {
     return rollbacks_.load(std::memory_order_relaxed);
   }
@@ -105,13 +212,23 @@ class IndexManager {
   uint64_t scrub_cycles() const {
     return scrub_cycles_.load(std::memory_order_relaxed);
   }
+  /// Successfully committed delta merges.
+  uint64_t flushes() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Loads + validates the store's current generation; publishes on
   /// success. Caller holds mu_.
   Status LoadCurrentLocked();
+  /// Publishes a validated engine over `owned_base` (null = the
+  /// construction-time index) whose content includes WAL records up to
+  /// `applied_seq`; optionally prunes those records from the overlay.
+  /// Caller holds mu_ (never view_mu_).
   void Publish(std::shared_ptr<const index::QueryEngine> next,
-               uint64_t generation);
+               uint64_t generation,
+               std::shared_ptr<const index::InvertedIndex> owned_base,
+               uint64_t applied_seq, bool prune_delta);
 
   const index::InvertedIndex* idx_;
   SnapshotStore* snapshots_;
@@ -123,13 +240,32 @@ class IndexManager {
   std::atomic<uint64_t> swaps_{0};
   std::atomic<uint64_t> rollbacks_{0};
   std::atomic<uint64_t> scrub_cycles_{0};
+  std::atomic<uint64_t> flushes_{0};
 
   std::mutex mu_;  // serializes store mutations and publications
+  // Guarded by mu_:
+  std::unique_ptr<WriteAheadLog> wal_;
+  uint64_t next_seq_ = 1;
+  bool flush_in_progress_ = false;
+
+  /// Guards the read view (engine + base + delta + applied seq) so a
+  /// reader acquires all four consistently. Always taken after mu_ when
+  /// both are held.
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const index::QueryEngine> view_engine_;
+  std::shared_ptr<const index::InvertedIndex> owned_base_;
+  DeltaIndex delta_;
+  uint64_t applied_seq_ = 0;
 
   std::mutex scrub_mu_;
   std::condition_variable scrub_cv_;
   bool scrub_stop_ = false;
   std::thread scrub_thread_;
+
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  bool flush_stop_ = false;
+  std::thread flush_thread_;
 };
 
 }  // namespace fesia::store

@@ -1,0 +1,380 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <utility>
+
+#include "util/byte_io.h"
+#include "util/crc32c.h"
+#include "util/fault_injection.h"
+#include "util/file_io.h"
+
+namespace fesia::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+// u64 seq + u8 kind + u32 doc + u32 num_terms.
+constexpr size_t kMinPayloadBytes = 8 + 1 + 4 + 4;
+// Frames are one mutation each; anything bigger than this is corruption,
+// not data (guards the replay allocation against a mangled length field).
+constexpr size_t kMaxPayloadBytes = size_t{1} << 27;
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string("wal: ") + op + " " + path + ": " +
+         std::strerror(errno);
+}
+
+Status WriteAllFd(int fd, const uint8_t* data, size_t bytes,
+                  const std::string& path) {
+  size_t off = 0;
+  while (off < bytes) {
+    ssize_t w = ::write(fd, data + off, bytes - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write", path));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+void FsyncDirBestEffort(const std::string& dir) {
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+/// First unused `<path>.quarantine[.k]` name.
+std::string QuarantinePathFor(const std::string& path) {
+  std::string q = path + ".quarantine";
+  int k = 0;
+  std::error_code ec;
+  while (fs::exists(q, ec)) q = path + ".quarantine." + std::to_string(++k);
+  return q;
+}
+
+/// `wal.NNNNNN` -> id; false for every other name (quarantine copies,
+/// snapshot generations, the manifest, temp debris).
+bool ParseSegmentFileName(const std::string& name, uint64_t* id) {
+  constexpr char kPrefix[] = "wal.";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.size() <= kPrefixLen || name.compare(0, kPrefixLen, kPrefix) != 0)
+    return false;
+  uint64_t v = 0;
+  for (size_t i = kPrefixLen; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *id = v;
+  return true;
+}
+
+std::vector<uint8_t> EncodeFrame(const WalRecord& record) {
+  std::vector<uint8_t> payload;
+  ByteWriter pw(&payload);
+  pw.Put<uint64_t>(record.seq);
+  pw.Put<uint8_t>(static_cast<uint8_t>(record.kind));
+  pw.Put<uint32_t>(record.doc);
+  pw.Put<uint32_t>(static_cast<uint32_t>(record.terms.size()));
+  pw.PutRaw(record.terms.data(), record.terms.size());
+
+  std::vector<uint8_t> frame;
+  ByteWriter fw(&frame);
+  fw.Put<uint32_t>(static_cast<uint32_t>(payload.size()));
+  fw.Put<uint32_t>(Crc32c(payload.data(), payload.size()));
+  fw.PutRaw(payload.data(), payload.size());
+  return frame;
+}
+
+/// Parses one frame at buf[off..]. Returns OK and advances *off past the
+/// frame when it is valid; kCorruption when the bytes from `off` on are a
+/// torn or corrupt tail; kResourceExhausted is propagated (an allocation
+/// failure must not be mistaken for corruption — that would truncate
+/// acknowledged data).
+Status ParseFrame(std::span<const uint8_t> buf, size_t* off,
+                  uint64_t prev_seq, WalRecord* out) {
+  if (buf.size() - *off < 8) return Status::Corruption("torn frame header");
+  uint32_t len = 0, crc = 0;
+  std::memcpy(&len, buf.data() + *off, 4);
+  std::memcpy(&crc, buf.data() + *off + 4, 4);
+  if (len < kMinPayloadBytes || len > kMaxPayloadBytes ||
+      len > buf.size() - *off - 8) {
+    return Status::Corruption("frame length out of range");
+  }
+  std::span<const uint8_t> payload(buf.data() + *off + 8, len);
+  if (Crc32c(payload.data(), payload.size()) != crc) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+
+  ByteReader r(payload);
+  uint8_t kind = 0;
+  uint32_t num_terms = 0;
+  if (!r.Get(&out->seq) || !r.Get(&kind) || !r.Get(&out->doc) ||
+      !r.Get(&num_terms)) {
+    return Status::Corruption("truncated record payload");
+  }
+  Status s = r.GetRawArray(&out->terms, num_terms);
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kResourceExhausted) return s;
+    return Status::Corruption("record term array extends past frame");
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes inside frame");
+  if (kind > static_cast<uint8_t>(WalRecord::Kind::kDelete)) {
+    return Status::Corruption("unknown record kind");
+  }
+  out->kind = static_cast<WalRecord::Kind>(kind);
+  if (out->kind == WalRecord::Kind::kDelete && !out->terms.empty()) {
+    return Status::Corruption("delete record carries terms");
+  }
+  for (size_t i = 1; i < out->terms.size(); ++i) {
+    if (out->terms[i] <= out->terms[i - 1]) {
+      return Status::Corruption("record terms not strictly ascending");
+    }
+  }
+  if (out->seq <= prev_seq) {
+    return Status::Corruption("record seq not monotonically increasing");
+  }
+  *off += 8 + len;
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string WalReplayReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "replayed %zu records across %zu segments, last seq %llu",
+                records, segments,
+                static_cast<unsigned long long>(last_seq));
+  std::string s(buf);
+  if (!clean()) {
+    std::snprintf(buf, sizeof(buf),
+                  ", quarantined %zu torn segment tails (%zu bytes cut)",
+                  quarantined_segments, torn_tail_bytes);
+    s += buf;
+  }
+  return s;
+}
+
+std::string WriteAheadLog::SegmentPath(uint64_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal.%06llu",
+                static_cast<unsigned long long>(id));
+  return dir_ + "/" + name;
+}
+
+StatusOr<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
+                                            std::vector<WalRecord>* records,
+                                            WalReplayReport* report) {
+  if (dir.empty()) return Status::InvalidArgument("wal: empty directory");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("wal: cannot create " + dir + ": " +
+                           ec.message());
+  }
+
+  std::vector<uint64_t> ids;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t id = 0;
+    if (ParseSegmentFileName(entry.path().filename().string(), &id)) {
+      ids.push_back(id);
+    }
+  }
+  if (ec) {
+    return Status::IoError("wal: cannot list " + dir + ": " + ec.message());
+  }
+  std::sort(ids.begin(), ids.end());
+
+  WriteAheadLog wal;
+  wal.dir_ = dir;
+  WalReplayReport rep;
+  rep.segments = ids.size();
+  uint64_t prev_seq = 0;
+
+  for (uint64_t id : ids) {
+    const std::string path = wal.SegmentPath(id);
+    std::vector<uint8_t> buf;
+    FESIA_RETURN_IF_ERROR(ReadFileBytes(path, &buf));
+
+    size_t off = 0;
+    uint64_t seg_max = 0;
+    while (off < buf.size()) {
+      WalRecord rec;
+      Status s = ParseFrame(buf, &off, prev_seq, &rec);
+      if (s.ok()) {
+        prev_seq = rec.seq;
+        seg_max = rec.seq;
+        ++rep.records;
+        if (records != nullptr) records->push_back(std::move(rec));
+        continue;
+      }
+      if (s.code() == StatusCode::kResourceExhausted) return s;
+      // Torn or corrupt from `off` on: copy the suspect suffix aside for
+      // the operator (never delete evidence), then cut the segment back to
+      // its last valid frame so future appends and replays see only good
+      // bytes.
+      const size_t suspect = buf.size() - off;
+      FESIA_RETURN_IF_ERROR(
+          WriteFileBytes(QuarantinePathFor(path), buf.data() + off, suspect));
+      fs::resize_file(path, off, ec);
+      if (ec) {
+        return Status::IoError("wal: cannot truncate " + path + ": " +
+                               ec.message());
+      }
+      rep.torn_tail_bytes += suspect;
+      ++rep.quarantined_segments;
+      break;
+    }
+    wal.sealed_.push_back(SealedSegment{id, seg_max});
+  }
+
+  wal.last_seq_ = prev_seq;
+  wal.active_id_ = ids.empty() ? 1 : ids.back() + 1;
+  rep.last_seq = prev_seq;
+  if (report != nullptr) *report = rep;
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      sealed_(std::move(other.sealed_)),
+      active_id_(other.active_id_),
+      fd_(other.fd_),
+      active_max_seq_(other.active_max_seq_),
+      last_seq_(other.last_seq_),
+      poisoned_(other.poisoned_) {
+  other.fd_ = -1;
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    dir_ = std::move(other.dir_);
+    sealed_ = std::move(other.sealed_);
+    active_id_ = other.active_id_;
+    fd_ = other.fd_;
+    active_max_seq_ = other.active_max_seq_;
+    last_seq_ = other.last_seq_;
+    poisoned_ = other.poisoned_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status WriteAheadLog::Append(const WalRecord& record) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "wal: active segment poisoned by a failed append; Rotate() or "
+        "reopen to recover");
+  }
+  if (record.seq <= last_seq_) {
+    return Status::InvalidArgument("wal: seq not monotonically increasing");
+  }
+  if (record.kind != WalRecord::Kind::kUpsert &&
+      record.kind != WalRecord::Kind::kDelete) {
+    return Status::InvalidArgument("wal: unknown record kind");
+  }
+  if (record.kind == WalRecord::Kind::kDelete && !record.terms.empty()) {
+    return Status::InvalidArgument("wal: delete record must carry no terms");
+  }
+  for (size_t i = 1; i < record.terms.size(); ++i) {
+    if (record.terms[i] <= record.terms[i - 1]) {
+      return Status::InvalidArgument(
+          "wal: record terms must be strictly ascending");
+    }
+  }
+
+  const std::vector<uint8_t> frame = EncodeFrame(record);
+
+  if (fd_ < 0) {
+    const std::string path = SegmentPath(active_id_);
+    fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0) return Status::IoError(ErrnoMessage("open", path));
+    // The record is durable only once the segment's directory entry is
+    // too; one directory fsync per segment creation covers every append.
+    FsyncDirBestEffort(dir_);
+    active_max_seq_ = 0;
+  }
+
+  const std::string path = SegmentPath(active_id_);
+  if (fault::ShouldFail(fault::FaultPoint::kWalAppendShortWrite)) {
+    // Power loss mid-append: half the frame reaches the disk, durably.
+    (void)WriteAllFd(fd_, frame.data(), frame.size() / 2, path);
+    ::fsync(fd_);
+    poisoned_ = true;
+    return Status::IoError("wal: injected short write tore record " +
+                           std::to_string(record.seq));
+  }
+
+  Status w = WriteAllFd(fd_, frame.data(), frame.size(), path);
+  if (!w.ok()) {
+    poisoned_ = true;
+    return w;
+  }
+  if (::fsync(fd_) != 0) {
+    poisoned_ = true;
+    return Status::IoError(ErrnoMessage("fsync", path));
+  }
+  last_seq_ = record.seq;
+  active_max_seq_ = record.seq;
+  return Status::Ok();
+}
+
+void WriteAheadLog::SealActiveLocked() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  sealed_.push_back(SealedSegment{active_id_, active_max_seq_});
+  ++active_id_;
+  active_max_seq_ = 0;
+}
+
+Status WriteAheadLog::Rotate() {
+  SealActiveLocked();
+  // A torn active tail (failed append) is now sealed; everything
+  // acknowledged precedes the tear and replay truncates the rest, so new
+  // appends may proceed in a fresh segment.
+  poisoned_ = false;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::DropThrough(uint64_t seq) {
+  if (fault::ShouldFail(fault::FaultPoint::kCrashBeforeWalTruncate)) {
+    return Status::IoError(
+        "wal: injected crash before truncation; sealed segments retained");
+  }
+  auto it = sealed_.begin();
+  while (it != sealed_.end()) {
+    if (it->max_seq > seq) {
+      ++it;
+      continue;
+    }
+    std::error_code ec;
+    fs::remove(SegmentPath(it->id), ec);
+    if (ec) {
+      return Status::IoError("wal: cannot remove " + SegmentPath(it->id) +
+                             ": " + ec.message());
+    }
+    it = sealed_.erase(it);
+  }
+  FsyncDirBestEffort(dir_);
+  return Status::Ok();
+}
+
+}  // namespace fesia::store

@@ -1,0 +1,146 @@
+// Append-only write-ahead log for live mutations (docs/ROBUSTNESS.md,
+// "Live mutation, WAL, and merge recovery").
+//
+// The WAL lives in the same directory as the SnapshotStore generations
+// (segment files `wal.000001`, `wal.000002`, …; the store's recovery sweep
+// ignores them). Each record is framed as
+//
+//   u32 frame_bytes | u32 crc32c(payload) | payload
+//   payload = u64 seq | u8 kind | u32 doc | u32 num_terms | u32 terms[]
+//
+// and appended with write + fsync, so an Append that returns OK is durable
+// — an acknowledged mutation survives any crash. A crash mid-append leaves
+// a torn tail; Open() replays every segment in id order, validates each
+// frame (CRC, kind, sorted terms, monotonically increasing seq), copies any
+// suspect suffix aside to `wal.NNNNNN.quarantine[.k]` (never deleted, like
+// the snapshot store's quarantine), and truncates the segment back to its
+// last valid frame. Replay therefore recovers exactly the acknowledged
+// prefix, with zero acknowledged-write loss.
+//
+// Segments seal on Rotate() (the merge protocol rotates before building a
+// merged generation) and are deleted by DropThrough(seq) only once every
+// record they hold is durable in a committed snapshot generation — the
+// crash-before-wal-truncate fault point rehearses a crash between the
+// manifest commit and that deletion, which replay must (and does) tolerate
+// idempotently.
+//
+// Thread safety: none. The IndexManager serializes access under its
+// mutation mutex.
+#ifndef FESIA_STORE_WAL_H_
+#define FESIA_STORE_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fesia::store {
+
+/// One logged mutation. `terms` must be strictly ascending and empty for
+/// kDelete; `seq` is caller-assigned and must be strictly greater than
+/// every previously appended seq.
+struct WalRecord {
+  enum class Kind : uint8_t { kUpsert = 0, kDelete = 1 };
+  uint64_t seq = 0;
+  Kind kind = Kind::kUpsert;
+  uint32_t doc = 0;
+  std::vector<uint32_t> terms;
+};
+
+/// What Open() found while replaying the log.
+struct WalReplayReport {
+  /// Segment files present before replay.
+  size_t segments = 0;
+  /// Valid records replayed.
+  size_t records = 0;
+  /// Highest replayed seq; 0 when the log was empty.
+  uint64_t last_seq = 0;
+  /// Bytes cut from torn or corrupt segment tails (copied aside first).
+  size_t torn_tail_bytes = 0;
+  /// Segments that had a suspect suffix quarantined.
+  size_t quarantined_segments = 0;
+
+  bool clean() const {
+    return torn_tail_bytes == 0 && quarantined_segments == 0;
+  }
+  /// One-line human summary.
+  std::string ToString() const;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens the log in `dir` (created if missing), replaying all segments in
+  /// id order. Valid records are appended to *records (when non-null) in
+  /// seq order; *report (when non-null) receives what replay found and
+  /// repaired. Existing segments are sealed — new appends go to a fresh
+  /// segment — so a later DropThrough can retire replayed data without
+  /// touching the live tail. Fails only on I/O or resource errors;
+  /// corruption is repaired (quarantine + truncate), not fatal.
+  static StatusOr<WriteAheadLog> Open(const std::string& dir,
+                                      std::vector<WalRecord>* records = nullptr,
+                                      WalReplayReport* report = nullptr);
+
+  ~WriteAheadLog();
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Durably appends one record: OK means the frame and its directory
+  /// entry are fsynced — the write is acknowledged. Any failure (including
+  /// the wal-append-short-write fault, which leaves half a frame on disk)
+  /// poisons the active segment: further appends return
+  /// kFailedPrecondition until Rotate() seals the torn segment or a fresh
+  /// Open() repairs it. kInvalidArgument for a non-monotonic seq, unsorted
+  /// terms, or a delete carrying terms.
+  Status Append(const WalRecord& record);
+
+  /// Seals the active segment (if it has any bytes) so DropThrough can
+  /// retire it; subsequent appends start a fresh segment. Clears append
+  /// poisoning — acknowledged records always precede a torn tail, and
+  /// replay truncates the tear away.
+  Status Rotate();
+
+  /// Deletes every sealed segment whose records all have seq <= `seq`
+  /// (they are durable elsewhere — this is the post-merge-commit
+  /// truncation). Never touches the active segment. The
+  /// crash-before-wal-truncate fault point fails the call with all
+  /// segments intact; replaying retained segments is idempotent for the
+  /// caller, so the only cost is disk space until the next merge.
+  Status DropThrough(uint64_t seq);
+
+  /// Highest seq ever acknowledged (replayed or appended); 0 when none.
+  uint64_t last_seq() const { return last_seq_; }
+  /// Sealed segments plus the active one if it has bytes.
+  size_t num_segments() const {
+    return sealed_.size() + (fd_ >= 0 ? 1 : 0);
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  WriteAheadLog() = default;
+
+  struct SealedSegment {
+    uint64_t id = 0;
+    uint64_t max_seq = 0;  // 0 when the segment holds no valid records
+  };
+
+  std::string SegmentPath(uint64_t id) const;
+  /// Closes fd_ and records the active segment as sealed (no-op when the
+  /// active segment was never created).
+  void SealActiveLocked();
+
+  std::string dir_;
+  std::vector<SealedSegment> sealed_;  // ascending by id
+  uint64_t active_id_ = 1;             // created lazily on first Append
+  int fd_ = -1;
+  uint64_t active_max_seq_ = 0;
+  uint64_t last_seq_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace fesia::store
+
+#endif  // FESIA_STORE_WAL_H_

@@ -65,6 +65,10 @@ const char* FaultPointName(FaultPoint point) {
       return "crash-before-rename";
     case FaultPoint::kCrashAfterRename:
       return "crash-after-rename";
+    case FaultPoint::kWalAppendShortWrite:
+      return "wal-append-short-write";
+    case FaultPoint::kCrashBeforeWalTruncate:
+      return "crash-before-wal-truncate";
     case FaultPoint::kNumPoints:
       break;
   }

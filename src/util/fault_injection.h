@@ -13,6 +13,9 @@
 //   FESIA_FAULTS=io-short-write             tear the next atomic write
 //   FESIA_FAULTS=crash-before-rename        crash after temp write, no rename
 //   FESIA_FAULTS=crash-after-rename         crash after rename, before commit
+//   FESIA_FAULTS=wal-append-short-write     tear the next WAL record append
+//   FESIA_FAULTS=crash-before-wal-truncate  crash after merge commit, before
+//                                           the WAL segments are dropped
 //
 // Syntax: name[:skip[:param]], comma-separated. `skip` is the number of
 // hits to let pass before firing (default 0 = fire immediately); `param` is
@@ -41,7 +44,14 @@ enum class FaultPoint : int {
   kIoShortWrite = 5,       // temp file gets only half the payload, no rename
   kCrashBeforeRename = 6,  // temp file complete + fsynced, never renamed
   kCrashAfterRename = 7,   // rename durable, caller's follow-up steps skipped
-  kNumPoints = 8,
+  // Crash rehearsal for the write-ahead log (store/wal.h): same contract as
+  // the atomic-write points — the on-disk state is left exactly as a power
+  // loss at that protocol step would leave it.
+  kWalAppendShortWrite = 8,     // half a record frame reaches the segment;
+                                // the append is unacknowledged
+  kCrashBeforeWalTruncate = 9,  // merge commit durable, sealed WAL segments
+                                // never dropped (replay must be idempotent)
+  kNumPoints = 10,
 };
 
 /// Stable name used by the FESIA_FAULTS syntax ("alloc", ...).

@@ -74,6 +74,14 @@ TEST_F(FaultInjectionTest, SpecParsing) {
   EXPECT_TRUE(fault::IsArmed(FaultPoint::kBackendDowngrade));
   fault::DisarmAll();
 
+  EXPECT_TRUE(fault::ArmFromSpec("wal-append-short-write"));
+  EXPECT_TRUE(fault::IsArmed(FaultPoint::kWalAppendShortWrite));
+  fault::DisarmAll();
+
+  EXPECT_TRUE(fault::ArmFromSpec("crash-before-wal-truncate:1"));
+  EXPECT_TRUE(fault::IsArmed(FaultPoint::kCrashBeforeWalTruncate));
+  fault::DisarmAll();
+
   EXPECT_FALSE(fault::ArmFromSpec("no-such-fault"));
   EXPECT_FALSE(fault::ArmFromSpec("alloc:notanumber"));
   fault::DisarmAll();

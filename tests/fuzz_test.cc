@@ -5,6 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/hiera.h"
@@ -14,6 +18,8 @@
 #include "index/inverted_index.h"
 #include "index/query_engine.h"
 #include "index/query_gen.h"
+#include "store/index_manager.h"
+#include "store/snapshot_store.h"
 #include "test_util.h"
 #include "util/fault_injection.h"
 
@@ -248,6 +254,137 @@ TEST_P(SeededFuzz, BatchExecutorUnderRandomOverloadPolicies) {
     }
     ASSERT_EQ(engine.InFlightQueries(), 0u) << "iter=" << iter;
   }
+}
+
+// Randomized interleavings of the live-mutation lifecycle: upserts,
+// deletes, merges (some dying at an injected fault boundary), and full
+// crash-restarts, with the serving answers checked against a from-scratch
+// rebuild of the acknowledged-mutation model at random points. The model
+// only advances on an acknowledged (OK) mutation, so any divergence means
+// either an acknowledged write was lost or an unacknowledged one leaked in.
+TEST_P(SeededFuzz, MutationInterleavingsMatchFullRebuild) {
+  namespace fs = std::filesystem;
+  index::CorpusParams cp;
+  cp.num_docs = 500;
+  cp.num_terms = 40;
+  cp.avg_terms_per_doc = 12.0;
+  cp.seed = GetParam();
+  const index::InvertedIndex idx = index::InvertedIndex::BuildSynthetic(cp);
+
+  std::map<uint32_t, std::vector<uint32_t>> model;
+  for (uint32_t t = 0; t < idx.num_terms(); ++t) {
+    for (uint32_t d : idx.Postings(t)) model[d].push_back(t);
+  }
+
+  std::vector<std::vector<uint32_t>> queries;
+  for (uint32_t t = 0; t + 1 < idx.num_terms(); t += 7) {
+    queries.push_back({t, t + 1});
+  }
+
+  const std::string dir = ::testing::TempDir() + "fesia_fuzz_mutation.seed" +
+                          std::to_string(GetParam());
+  fs::remove_all(dir);
+  auto open_store = [&]() -> std::unique_ptr<store::SnapshotStore> {
+    store::SnapshotStoreOptions opts;
+    opts.dir = dir;
+    auto opened = store::SnapshotStore::Open(opts);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    if (!opened.ok()) return nullptr;
+    return std::make_unique<store::SnapshotStore>(*std::move(opened));
+  };
+  std::unique_ptr<store::SnapshotStore> snapshots = open_store();
+  ASSERT_NE(snapshots, nullptr);
+  auto mgr = std::make_unique<store::IndexManager>(&idx, snapshots.get());
+  ASSERT_TRUE(mgr->Rebuild().ok());
+  ASSERT_TRUE(mgr->SaveSnapshot().ok());
+  ASSERT_TRUE(mgr->OpenMutationLog().ok());
+
+  auto verify = [&](int op) {
+    std::vector<std::vector<uint32_t>> postings(idx.num_terms());
+    for (const auto& [doc, terms] : model) {
+      for (uint32_t t : terms) postings[t].push_back(doc);
+    }
+    index::InvertedIndex ref_idx =
+        index::InvertedIndex::FromPostings(idx.num_docs(),
+                                           std::move(postings));
+    index::QueryEngine ref(&ref_idx, FesiaParams{});
+    index::BatchOptions opts;
+    opts.num_threads = 1;
+    std::vector<index::QueryResult> expected = ref.QueryBatch(queries, opts);
+    std::vector<index::QueryResult> actual = mgr->QueryBatch(queries, opts);
+    ASSERT_EQ(actual.size(), expected.size()) << "op=" << op;
+    for (size_t q = 0; q < expected.size(); ++q) {
+      ASSERT_TRUE(actual[q].ok()) << "op=" << op << " query=" << q;
+      ASSERT_EQ(actual[q].count, expected[q].count)
+          << "op=" << op << " query=" << q;
+      ASSERT_EQ(actual[q].docs, expected[q].docs)
+          << "op=" << op << " query=" << q;
+    }
+  };
+
+  auto random_terms = [&] {
+    std::vector<uint32_t> terms;
+    const size_t n = rng_.Below(9);
+    for (size_t i = 0; i < n; ++i) {
+      terms.push_back(static_cast<uint32_t>(rng_.Below(idx.num_terms())));
+    }
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    return terms;
+  };
+
+  const fault::FaultPoint crash_points[] = {
+      fault::FaultPoint::kIoShortWrite,
+      fault::FaultPoint::kCrashBeforeRename,
+      fault::FaultPoint::kCrashAfterRename,
+      fault::FaultPoint::kWalAppendShortWrite,
+      fault::FaultPoint::kCrashBeforeWalTruncate,
+  };
+
+  for (int op = 0; op < 60; ++op) {
+    const uint64_t pick = rng_.Below(100);
+    if (pick < 40) {
+      const uint32_t doc = static_cast<uint32_t>(rng_.Below(idx.num_docs()));
+      std::vector<uint32_t> terms = random_terms();
+      if (mgr->Upsert(doc, terms).ok()) model[doc] = std::move(terms);
+    } else if (pick < 55) {
+      const uint32_t doc = static_cast<uint32_t>(rng_.Below(idx.num_docs()));
+      if (mgr->Delete(doc).ok()) model.erase(doc);
+    } else if (pick < 70) {
+      // Merge, sometimes dying at a random fault boundary. Either way the
+      // overlay/merged state must keep answering for the model.
+      if (rng_.NextBool(0.4)) {
+        fault::Arm(crash_points[rng_.Below(5)],
+                   static_cast<int>(rng_.Below(2)));
+      }
+      (void)mgr->FlushDelta();
+      fault::DisarmAll();
+    } else if (pick < 82) {
+      // Crash-restart, sometimes preceded by a torn (unacknowledged)
+      // append that replay must cut away.
+      if (rng_.NextBool(0.5)) {
+        fault::Arm(fault::FaultPoint::kWalAppendShortWrite);
+        const uint32_t doc =
+            static_cast<uint32_t>(rng_.Below(idx.num_docs()));
+        std::vector<uint32_t> terms = random_terms();
+        if (mgr->Upsert(doc, terms).ok()) model[doc] = std::move(terms);
+        fault::DisarmAll();
+      }
+      mgr.reset();
+      snapshots = open_store();
+      ASSERT_NE(snapshots, nullptr);
+      mgr = std::make_unique<store::IndexManager>(&idx, snapshots.get());
+      ASSERT_TRUE(mgr->Reload().ok());
+      ASSERT_TRUE(mgr->OpenMutationLog().ok());
+    } else {
+      verify(op);
+    }
+  }
+  fault::DisarmAll();
+  verify(-1);
+  mgr.reset();
+  snapshots.reset();
+  fs::remove_all(dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededFuzz, ::testing::Range<uint64_t>(1, 9),

@@ -1,0 +1,840 @@
+// Crash-safe live mutation: WAL framing/replay/quarantine, the delta
+// overlay's equivalence with a from-scratch rebuild, the background merge's
+// commit/rollback protocol at every fault boundary (kill-point tests), and
+// concurrent mutate+query+flush traffic (the TSan habitat for the mutation
+// path). docs/ROBUSTNESS.md, "Live mutation, WAL, and merge recovery".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_index.h"
+#include "store/index_manager.h"
+#include "store/snapshot_store.h"
+#include "store/wal.h"
+#include "util/fault_injection.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace fesia {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::fesia::index::InvertedIndex;
+using ::fesia::index::QueryResult;
+using ::fesia::store::IndexManager;
+using ::fesia::store::SnapshotStore;
+using ::fesia::store::SnapshotStoreOptions;
+using ::fesia::store::WalRecord;
+using ::fesia::store::WalReplayReport;
+using ::fesia::store::WriteAheadLog;
+
+// The mutation model the index must always agree with: document -> its
+// exact sorted term set. Upsert replaces the entry wholesale, delete
+// erases it — the same semantics WalRecord encodes.
+using Model = std::map<uint32_t, std::vector<uint32_t>>;
+
+Model ModelFromIndex(const InvertedIndex& idx) {
+  Model model;
+  for (uint32_t t = 0; t < idx.num_terms(); ++t) {
+    for (uint32_t d : idx.Postings(t)) model[d].push_back(t);
+  }
+  return model;  // terms ascend because t ascends
+}
+
+std::vector<std::vector<uint32_t>> PostingsFromModel(const Model& model,
+                                                     uint32_t num_terms) {
+  std::vector<std::vector<uint32_t>> postings(num_terms);
+  for (const auto& [doc, terms] : model) {
+    for (uint32_t t : terms) postings[t].push_back(doc);
+  }
+  return postings;  // docs ascend because the map iterates in doc order
+}
+
+WalRecord Upsert(uint64_t seq, uint32_t doc, std::vector<uint32_t> terms) {
+  WalRecord r;
+  r.seq = seq;
+  r.kind = WalRecord::Kind::kUpsert;
+  r.doc = doc;
+  r.terms = std::move(terms);
+  return r;
+}
+
+WalRecord Delete(uint64_t seq, uint32_t doc) {
+  WalRecord r;
+  r.seq = seq;
+  r.kind = WalRecord::Kind::kDelete;
+  r.doc = doc;
+  return r;
+}
+
+class MutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index::CorpusParams corpus;
+    corpus.num_docs = 3000;
+    corpus.num_terms = 80;
+    corpus.avg_terms_per_doc = 30.0;
+    corpus.seed = 11;
+    idx_ = InvertedIndex::BuildSynthetic(corpus);
+    model_ = ModelFromIndex(idx_);
+
+    dir_ = ::testing::TempDir() + "fesia_mutation_test." +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+
+    auto terms = idx_.TermsWithPostingLength(20, 100000);
+    ASSERT_GE(terms.size(), 6u);
+    for (size_t i = 0; i + 2 < terms.size() && queries_.size() < 12; i += 3) {
+      queries_.push_back({terms[i], terms[i + 1]});
+      queries_.push_back({terms[i], terms[i + 1], terms[i + 2]});
+    }
+  }
+
+  void TearDown() override { fault::DisarmAll(); }
+
+  std::unique_ptr<SnapshotStore> OpenStore(const std::string& dir) {
+    SnapshotStoreOptions opts;
+    opts.dir = dir;
+    auto store = SnapshotStore::Open(opts);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    if (!store.ok()) return nullptr;
+    return std::make_unique<SnapshotStore>(*std::move(store));
+  }
+
+  // The equivalence oracle: manager answers (base engine + overlay) must be
+  // byte-identical to an engine rebuilt from scratch over the model.
+  void ExpectMatchesModel(const IndexManager& mgr, const Model& model,
+                          const std::string& context) {
+    InvertedIndex ref_idx = InvertedIndex::FromPostings(
+        idx_.num_docs(), PostingsFromModel(model, idx_.num_terms()));
+    index::QueryEngine ref(&ref_idx, FesiaParams{});
+    index::BatchOptions opts;
+    opts.num_threads = 1;
+    std::vector<QueryResult> expected = ref.QueryBatch(queries_, opts);
+    std::vector<QueryResult> actual = mgr.QueryBatch(queries_, opts);
+    std::vector<QueryResult> counted = mgr.CountBatch(queries_, opts);
+    ASSERT_EQ(actual.size(), expected.size()) << context;
+    for (size_t q = 0; q < expected.size(); ++q) {
+      ASSERT_TRUE(expected[q].ok()) << context << " query " << q;
+      ASSERT_TRUE(actual[q].ok()) << context << " query " << q;
+      EXPECT_EQ(actual[q].count, expected[q].count)
+          << context << " query " << q;
+      EXPECT_EQ(actual[q].docs, expected[q].docs)
+          << context << " query " << q;
+      ASSERT_TRUE(counted[q].ok()) << context << " query " << q;
+      EXPECT_EQ(counted[q].count, expected[q].count)
+          << context << " query " << q;
+    }
+  }
+
+  // A deterministic pseudo-random term set for mutation workloads.
+  std::vector<uint32_t> RandomTerms(std::mt19937_64* rng) {
+    std::vector<uint32_t> terms;
+    const size_t n = (*rng)() % 11;  // 0..10 terms (0 = clears the doc)
+    for (size_t i = 0; i < n; ++i) {
+      terms.push_back(static_cast<uint32_t>((*rng)() % idx_.num_terms()));
+    }
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    return terms;
+  }
+
+  // Applies `ops` random acked mutations through the manager, mirroring
+  // each acknowledgment into *model.
+  void MutateRandomly(IndexManager* mgr, Model* model, size_t ops,
+                      uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    for (size_t i = 0; i < ops; ++i) {
+      const uint32_t doc = static_cast<uint32_t>(rng() % idx_.num_docs());
+      if (rng() % 4 == 0) {
+        ASSERT_TRUE(mgr->Delete(doc).ok());
+        model->erase(doc);
+      } else {
+        std::vector<uint32_t> terms = RandomTerms(&rng);
+        ASSERT_TRUE(mgr->Upsert(doc, terms).ok());
+        (*model)[doc] = std::move(terms);
+      }
+    }
+  }
+
+  std::vector<std::string> QuarantineFiles(const std::string& dir) {
+    std::vector<std::string> files;
+    if (!fs::exists(dir)) return files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.find(".quarantine") != std::string::npos) {
+        files.push_back(name);
+      }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  InvertedIndex idx_;
+  Model model_;
+  std::string dir_;
+  std::vector<std::vector<uint32_t>> queries_;
+};
+
+// --- WAL unit behavior ----------------------------------------------------
+
+TEST_F(MutationTest, WalAppendReplayRoundTrip) {
+  {
+    auto wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_TRUE(wal->Append(Upsert(1, 7, {1, 2, 3})).ok());
+    ASSERT_TRUE(wal->Append(Delete(2, 9)).ok());
+    ASSERT_TRUE(wal->Append(Upsert(5, 7, {})).ok());  // clears the doc
+    EXPECT_EQ(wal->last_seq(), 5u);
+    EXPECT_EQ(wal->num_segments(), 1u);
+
+    // The validation contract: non-monotonic seq, unsorted terms, and a
+    // delete carrying terms are rejected before touching the disk.
+    EXPECT_EQ(wal->Append(Upsert(5, 1, {})).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(wal->Append(Upsert(6, 1, {3, 2})).code(),
+              StatusCode::kInvalidArgument);
+    WalRecord bad_delete = Delete(6, 1);
+    bad_delete.terms = {4};
+    EXPECT_EQ(wal->Append(bad_delete).code(), StatusCode::kInvalidArgument);
+  }
+
+  std::vector<WalRecord> records;
+  WalReplayReport report;
+  auto wal = WriteAheadLog::Open(dir_, &records, &report);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.segments, 1u);
+  EXPECT_EQ(report.records, 3u);
+  EXPECT_EQ(report.last_seq, 5u);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[0].kind, WalRecord::Kind::kUpsert);
+  EXPECT_EQ(records[0].doc, 7u);
+  EXPECT_EQ(records[0].terms, (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(records[1].seq, 2u);
+  EXPECT_EQ(records[1].kind, WalRecord::Kind::kDelete);
+  EXPECT_TRUE(records[1].terms.empty());
+  EXPECT_EQ(records[2].seq, 5u);
+  EXPECT_TRUE(records[2].terms.empty());
+  EXPECT_EQ(wal->last_seq(), 5u);
+
+  // Appends after a reopen land in a fresh segment past the sealed one.
+  ASSERT_TRUE(wal->Append(Upsert(6, 3, {0})).ok());
+  EXPECT_EQ(wal->num_segments(), 2u);
+}
+
+TEST_F(MutationTest, WalTornTailIsQuarantinedAndTruncated) {
+  {
+    auto wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(Upsert(1, 10, {1})).ok());
+    ASSERT_TRUE(wal->Append(Upsert(2, 11, {2})).ok());
+    ASSERT_TRUE(wal->Append(Upsert(3, 12, {3})).ok());
+  }
+  const std::string segment = dir_ + "/wal.000001";
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(segment, &bytes).ok());
+  const size_t intact = bytes.size();
+
+  // A crash mid-append leaves a torn tail: garbage after the last frame.
+  bytes.insert(bytes.end(), 10, 0xAB);
+  ASSERT_TRUE(WriteFileBytes(segment, bytes.data(), bytes.size()).ok());
+
+  std::vector<WalRecord> records;
+  WalReplayReport report;
+  {
+    auto wal = WriteAheadLog::Open(dir_, &records, &report);
+    ASSERT_TRUE(wal.ok());
+  }
+  EXPECT_EQ(report.records, 3u);  // every acked record survives
+  EXPECT_EQ(report.last_seq, 3u);
+  EXPECT_EQ(report.torn_tail_bytes, 10u);
+  EXPECT_EQ(report.quarantined_segments, 1u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.ToString().empty());
+
+  // The suspect suffix is copied aside (never deleted) and the segment is
+  // truncated back to its valid prefix.
+  EXPECT_TRUE(fs::exists(segment + ".quarantine"));
+  EXPECT_EQ(fs::file_size(segment), intact);
+
+  // Replay is idempotent: a second open is clean and loses nothing.
+  records.clear();
+  auto wal2 = WriteAheadLog::Open(dir_, &records, &report);
+  ASSERT_TRUE(wal2.ok());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_TRUE(fs::exists(segment + ".quarantine"));
+}
+
+TEST_F(MutationTest, WalCorruptFrameCutsSuffixButKeepsAckedPrefix) {
+  {
+    auto wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(Upsert(1, 10, {1})).ok());
+    ASSERT_TRUE(wal->Append(Upsert(2, 11, {2})).ok());
+    ASSERT_TRUE(wal->Append(Upsert(3, 12, {3})).ok());
+  }
+  const std::string segment = dir_ + "/wal.000001";
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(segment, &bytes).ok());
+  // Flip a payload bit in the middle record: it and everything after is
+  // suspect (a frame boundary cannot be trusted past a bad CRC).
+  bytes[bytes.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileBytes(segment, bytes.data(), bytes.size()).ok());
+
+  std::vector<WalRecord> records;
+  WalReplayReport report;
+  auto wal = WriteAheadLog::Open(dir_, &records, &report);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_GT(report.torn_tail_bytes, 0u);
+  EXPECT_EQ(report.quarantined_segments, 1u);
+  EXPECT_TRUE(fs::exists(segment + ".quarantine"));
+}
+
+TEST_F(MutationTest, WalShortWriteFaultPoisonsUntilRotate) {
+  auto wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(Upsert(1, 5, {1, 2})).ok());
+
+  // Injected torn write: half the frame reaches the segment and the append
+  // is NOT acknowledged.
+  fault::Arm(fault::FaultPoint::kWalAppendShortWrite);
+  EXPECT_EQ(wal->Append(Upsert(2, 6, {3})).code(), StatusCode::kIoError);
+  fault::DisarmAll();
+
+  // The segment now ends in a tear, so further appends are refused until
+  // the segment is sealed (acked records always precede the tear).
+  EXPECT_EQ(wal->Append(Upsert(3, 7, {4})).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(wal->Rotate().ok());
+  ASSERT_TRUE(wal->Append(Upsert(3, 7, {4})).ok());
+
+  // Replay recovers exactly the acknowledged records: seq 1 and 3, never
+  // the unacknowledged seq 2, and quarantines the torn bytes.
+  std::vector<WalRecord> records;
+  WalReplayReport report;
+  wal = WriteAheadLog::Open(dir_, &records, &report);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[1].seq, 3u);
+  EXPECT_EQ(report.quarantined_segments, 1u);
+  EXPECT_GT(report.torn_tail_bytes, 0u);
+}
+
+TEST_F(MutationTest, WalRotateAndDropThroughRetireOnlySealedSegments) {
+  auto wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(Upsert(1, 1, {})).ok());
+  ASSERT_TRUE(wal->Append(Upsert(2, 2, {})).ok());
+  ASSERT_TRUE(wal->Rotate().ok());
+  ASSERT_TRUE(wal->Append(Upsert(3, 3, {})).ok());
+  ASSERT_TRUE(wal->Append(Upsert(4, 4, {})).ok());
+  ASSERT_TRUE(wal->Rotate().ok());
+  ASSERT_TRUE(wal->Append(Upsert(5, 5, {})).ok());
+  EXPECT_EQ(wal->num_segments(), 3u);
+
+  // The crash-before-wal-truncate fault fails the call with every segment
+  // intact — the caller's replay-is-idempotent contract absorbs it.
+  fault::Arm(fault::FaultPoint::kCrashBeforeWalTruncate);
+  EXPECT_EQ(wal->DropThrough(4).code(), StatusCode::kIoError);
+  fault::DisarmAll();
+  EXPECT_TRUE(fs::exists(dir_ + "/wal.000001"));
+  EXPECT_TRUE(fs::exists(dir_ + "/wal.000002"));
+  EXPECT_EQ(wal->num_segments(), 3u);
+
+  // A segment is deleted only when every record it holds is <= seq.
+  ASSERT_TRUE(wal->DropThrough(3).ok());
+  EXPECT_FALSE(fs::exists(dir_ + "/wal.000001"));
+  EXPECT_TRUE(fs::exists(dir_ + "/wal.000002"));  // holds seq 4 > 3
+
+  // The active segment is never dropped, whatever the seq.
+  ASSERT_TRUE(wal->DropThrough(100).ok());
+  EXPECT_FALSE(fs::exists(dir_ + "/wal.000002"));
+  EXPECT_TRUE(fs::exists(dir_ + "/wal.000003"));
+
+  std::vector<WalRecord> records;
+  auto wal2 = WriteAheadLog::Open(dir_, &records, nullptr);
+  ASSERT_TRUE(wal2.ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 5u);
+}
+
+// --- Overlay equivalence --------------------------------------------------
+
+TEST_F(MutationTest, OverlayMatchesFromScratchRebuild) {
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager mgr(&idx_, store.get());
+
+  // Mutations require the log; the log cannot be opened twice.
+  EXPECT_EQ(mgr.Upsert(0, {1}).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.OpenMutationLog().ok());
+  EXPECT_EQ(mgr.OpenMutationLog().code(), StatusCode::kFailedPrecondition);
+
+  // Bounds are validated before anything is logged.
+  EXPECT_EQ(mgr.Upsert(idx_.num_docs(), {1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mgr.Upsert(0, {idx_.num_terms()}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mgr.Delete(idx_.num_docs()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mgr.pending_mutations(), 0u);
+
+  Model model = model_;
+  ExpectMatchesModel(mgr, model, "before any mutation");
+  MutateRandomly(&mgr, &model, 60, /*seed=*/101);
+  EXPECT_GT(mgr.pending_mutations(), 0u);
+  ExpectMatchesModel(mgr, model, "after 60 mutations");
+  MutateRandomly(&mgr, &model, 60, /*seed=*/102);
+  ExpectMatchesModel(mgr, model, "after 120 mutations");
+
+  // Unsorted and duplicated upsert terms are normalized, not rejected.
+  ASSERT_TRUE(mgr.Upsert(42, {7, 3, 7, 3}).ok());
+  model[42] = {3, 7};
+  ExpectMatchesModel(mgr, model, "after unsorted upsert");
+}
+
+TEST_F(MutationTest, EmptyAndOutOfRangeQueriesUnaffectedByOverlay) {
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager mgr(&idx_, store.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.OpenMutationLog().ok());
+  Model model = model_;
+  MutateRandomly(&mgr, &model, 40, /*seed=*/7);
+
+  // Degenerate queries must answer exactly like the bare engine: the
+  // overlay may only adjust queries whose terms are all in range.
+  std::vector<std::vector<uint32_t>> weird = {
+      {},                            // empty conjunction
+      {idx_.num_terms()},            // out of range
+      {0, idx_.num_terms() + 100},   // partially out of range
+  };
+  index::QueryEngine bare(&idx_, FesiaParams{});
+  index::BatchOptions opts;
+  opts.num_threads = 1;
+  std::vector<QueryResult> expected = bare.QueryBatch(weird, opts);
+  std::vector<QueryResult> actual = mgr.QueryBatch(weird, opts);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t q = 0; q < expected.size(); ++q) {
+    EXPECT_EQ(actual[q].ok(), expected[q].ok()) << q;
+    EXPECT_EQ(actual[q].count, expected[q].count) << q;
+    EXPECT_EQ(actual[q].docs, expected[q].docs) << q;
+  }
+}
+
+// --- Merge (flush) protocol -----------------------------------------------
+
+TEST_F(MutationTest, FlushCommitsTruncatesAndSurvivesReopen) {
+  Model model = model_;
+  {
+    auto store = OpenStore(dir_);
+    ASSERT_NE(store, nullptr);
+    IndexManager mgr(&idx_, store.get());
+    ASSERT_TRUE(mgr.Rebuild().ok());
+    ASSERT_TRUE(mgr.SaveSnapshot().ok());  // generation 1, legacy payload
+    ASSERT_TRUE(mgr.OpenMutationLog().ok());
+
+    // Empty flush is a no-op reporting the serving generation.
+    uint64_t gen = 0;
+    ASSERT_TRUE(mgr.FlushDelta(&gen).ok());
+    EXPECT_EQ(gen, 1u);
+    EXPECT_EQ(mgr.flushes(), 0u);
+
+    MutateRandomly(&mgr, &model, 80, /*seed=*/201);
+    const size_t pending = mgr.pending_mutations();
+    ASSERT_GT(pending, 0u);
+
+    ASSERT_TRUE(mgr.FlushDelta(&gen).ok());
+    EXPECT_EQ(gen, 2u);
+    EXPECT_EQ(mgr.serving_generation(), 2u);
+    EXPECT_EQ(mgr.pending_mutations(), 0u);
+    EXPECT_EQ(mgr.flushes(), 1u);
+    ExpectMatchesModel(mgr, model, "after flush");
+
+    // Post-flush mutations keep overlaying the merged base.
+    MutateRandomly(&mgr, &model, 30, /*seed=*/202);
+    ExpectMatchesModel(mgr, model, "post-flush mutations");
+    ASSERT_TRUE(mgr.FlushDelta(&gen).ok());
+    EXPECT_EQ(gen, 3u);
+    ExpectMatchesModel(mgr, model, "second flush");
+  }
+
+  // The committed WAL records were retired: a fresh log replays nothing.
+  {
+    WalReplayReport report;
+    auto wal = WriteAheadLog::Open(dir_, nullptr, &report);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ(report.records, 0u);
+    EXPECT_EQ(report.last_seq, 0u);
+  }
+
+  // A cold reopen serves the merged generation and answers identically.
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager mgr(&idx_, store.get());
+  ASSERT_TRUE(mgr.Reload().ok());
+  EXPECT_EQ(mgr.serving_generation(), 3u);
+  WalReplayReport report;
+  ASSERT_TRUE(mgr.OpenMutationLog(&report).ok());
+  EXPECT_EQ(mgr.pending_mutations(), 0u);
+  ExpectMatchesModel(mgr, model, "after cold reopen");
+
+  // And the sequence space continues past the merge point: new mutations
+  // replay correctly on the next reopen instead of colliding.
+  uint64_t seq = 0;
+  ASSERT_TRUE(mgr.Upsert(1, {1}, &seq).ok());
+  EXPECT_GT(seq, 100u);  // 110 mutations were merged before
+  model[1] = {1};
+  ExpectMatchesModel(mgr, model, "post-reopen mutation");
+}
+
+TEST_F(MutationTest, RebuildKeepsUnflushedOverlay) {
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager mgr(&idx_, store.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.OpenMutationLog().ok());
+  Model model = model_;
+  MutateRandomly(&mgr, &model, 25, /*seed=*/33);
+
+  // An offline rebuild publishes the construction-time index again; the
+  // unmerged overlay still applies on top of it.
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ExpectMatchesModel(mgr, model, "rebuild with pending overlay");
+}
+
+// Kill-point sweep: a fault at every boundary of the merge protocol —
+// generation write, manifest write (before/after each rename), and the
+// final WAL truncation. Whatever the outcome, in-process answers and a
+// cold reopen must both equal the model (zero acknowledged-write loss),
+// and quarantined debris is never deleted.
+TEST_F(MutationTest, FlushKillPointsRecoverWithZeroAckedLoss) {
+  struct KillPoint {
+    fault::FaultPoint point;
+    int skip;
+    const char* name;
+  };
+  const KillPoint kill_points[] = {
+      {fault::FaultPoint::kIoShortWrite, 0, "short-write generation"},
+      {fault::FaultPoint::kIoShortWrite, 1, "short-write manifest"},
+      {fault::FaultPoint::kCrashBeforeRename, 0, "crash before gen rename"},
+      {fault::FaultPoint::kCrashBeforeRename, 1,
+       "crash before manifest rename"},
+      {fault::FaultPoint::kCrashAfterRename, 0, "crash after gen rename"},
+      {fault::FaultPoint::kCrashAfterRename, 1,
+       "crash after manifest rename (commit durable)"},
+      {fault::FaultPoint::kCrashBeforeWalTruncate, 0,
+       "crash before wal truncate (commit durable)"},
+  };
+
+  for (const KillPoint& kp : kill_points) {
+    SCOPED_TRACE(kp.name);
+    const std::string dir = dir_ + "." + std::to_string(kp.skip) + "." +
+                            fault::FaultPointName(kp.point);
+    fs::remove_all(dir);
+    Model model = model_;
+    bool flush_ok = false;
+    {
+      auto store = OpenStore(dir);
+      ASSERT_NE(store, nullptr);
+      IndexManager mgr(&idx_, store.get());
+      ASSERT_TRUE(mgr.Rebuild().ok());
+      ASSERT_TRUE(mgr.SaveSnapshot().ok());
+      ASSERT_TRUE(mgr.OpenMutationLog().ok());
+      MutateRandomly(&mgr, &model, 40, /*seed=*/kp.skip + 301);
+
+      fault::Arm(kp.point, kp.skip);
+      Status flushed = mgr.FlushDelta();
+      fault::DisarmAll();
+      flush_ok = flushed.ok();
+
+      // In-process: whether the merge committed, rolled back, or committed
+      // but failed to truncate, the serving view equals the model.
+      ExpectMatchesModel(mgr, model, std::string("in-process after ") +
+                                         kp.name);
+      if (!flush_ok) {
+        EXPECT_GE(mgr.rollbacks() + mgr.flushes(), 1u);
+      }
+    }
+    const std::vector<std::string> debris = QuarantineFiles(dir);
+
+    // Cold restart: recovery + WAL replay must reconstruct every
+    // acknowledged mutation, and a clean flush must then succeed.
+    auto store = OpenStore(dir);
+    ASSERT_NE(store, nullptr);
+    IndexManager mgr(&idx_, store.get());
+    ASSERT_TRUE(mgr.Reload().ok());
+    ASSERT_TRUE(mgr.OpenMutationLog().ok());
+    ExpectMatchesModel(mgr, model, std::string("cold reopen after ") +
+                                       kp.name);
+    if (flush_ok) {
+      // The commit and the truncation both landed: nothing left to replay.
+      EXPECT_EQ(mgr.pending_mutations(), 0u);
+    }
+    Status flushed = mgr.FlushDelta();
+    ASSERT_TRUE(flushed.ok()) << flushed.ToString();
+    ExpectMatchesModel(mgr, model, std::string("post-recovery flush after ") +
+                                       kp.name);
+    EXPECT_EQ(mgr.pending_mutations(), 0u);
+
+    // Quarantine is forever: recovery never deletes quarantined bytes.
+    const std::vector<std::string> after = QuarantineFiles(dir);
+    for (const std::string& f : debris) {
+      EXPECT_TRUE(std::find(after.begin(), after.end(), f) != after.end())
+          << "quarantined file " << f << " was deleted during recovery";
+    }
+    fs::remove_all(dir);
+  }
+}
+
+// Sweep the merge's validation consult points: wherever the candidate's
+// decode/deserialize fails, the incumbent engine and the full delta keep
+// serving, and the store's serving generation is untouched.
+TEST_F(MutationTest, FlushValidationFailureRollsBackToIncumbent) {
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager mgr(&idx_, store.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.SaveSnapshot().ok());
+  ASSERT_TRUE(mgr.OpenMutationLog().ok());
+  Model model = model_;
+  MutateRandomly(&mgr, &model, 30, /*seed=*/401);
+  const size_t pending = mgr.pending_mutations();
+  auto incumbent = mgr.engine();
+
+  // Deserializing the candidate consults the allocation fault once per
+  // decoded array (hundreds for this corpus), so probe a spread of consult
+  // points rather than sweeping them all.
+  const int probes[] = {0, 1, 2, 3, 5, 8, 13, 21, 34, 55};
+  for (int skip : probes) {
+    SCOPED_TRACE("skip=" + std::to_string(skip));
+    fault::Arm(fault::FaultPoint::kAllocation, skip);
+    Status flushed = mgr.FlushDelta();
+    fault::DisarmAll();
+    if (flushed.ok()) break;  // skip walked past every consult point
+    EXPECT_EQ(mgr.engine(), incumbent) << "incumbent was replaced";
+    EXPECT_EQ(mgr.pending_mutations(), pending);
+    EXPECT_EQ(mgr.serving_generation(), 1u);
+    EXPECT_EQ(mgr.flushes(), 0u);
+    ExpectMatchesModel(mgr, model, "after rolled-back flush");
+  }
+  EXPECT_GE(mgr.rollbacks(), 1u);
+
+  // With the faults gone the same delta merges cleanly.
+  Status flushed = mgr.FlushDelta();
+  ASSERT_TRUE(flushed.ok()) << flushed.ToString();
+  EXPECT_EQ(mgr.pending_mutations(), 0u);
+  ExpectMatchesModel(mgr, model, "after final successful flush");
+}
+
+// --- Concurrency (TSan habitat) -------------------------------------------
+
+// Readers stream query batches while a mutator appends identity upserts
+// (each doc's exact current term set, so every intermediate state answers
+// identically) and the main thread runs mid-flight merges that hot-swap
+// the serving base. Results must stay byte-identical throughout.
+TEST_F(MutationTest, ConcurrentMutationsQueriesAndMidFlightFlush) {
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager mgr(&idx_, store.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.SaveSnapshot().ok());
+  ASSERT_TRUE(mgr.OpenMutationLog().ok());
+
+  index::QueryEngine ref(&idx_, FesiaParams{});
+  index::BatchOptions opts;
+  opts.num_threads = 1;
+  const std::vector<QueryResult> expected = ref.QueryBatch(queries_, opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> batches{0};
+  std::atomic<size_t> mismatches{0};
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      index::BatchOptions ropts;
+      ropts.num_threads = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<QueryResult> results = mgr.QueryBatch(queries_, ropts);
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].ok() || results[i].count != expected[i].count ||
+              results[i].docs != expected[i].docs) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::thread mutator([&] {
+    std::mt19937_64 rng(77);
+    for (int i = 0; i < 200 && !stop.load(std::memory_order_relaxed); ++i) {
+      const uint32_t doc = static_cast<uint32_t>(rng() % idx_.num_docs());
+      auto it = model_.find(doc);
+      std::vector<uint32_t> terms =
+          it == model_.end() ? std::vector<uint32_t>{} : it->second;
+      Status s = mgr.Upsert(doc, std::move(terms));
+      if (!s.ok()) mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Mid-flight merges while mutations and queries are in full swing.
+  size_t flushes_done = 0;
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Status s = mgr.FlushDelta();
+    if (s.ok()) ++flushes_done;
+  }
+  mutator.join();
+  while (batches.load(std::memory_order_relaxed) < kReaders * 3u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(batches.load(), 0u);
+  EXPECT_GT(flushes_done, 0u);
+
+  // Drain the tail and verify the final state end to end.
+  ASSERT_TRUE(mgr.FlushDelta().ok());
+  ExpectMatchesModel(mgr, model_, "after concurrent traffic");
+}
+
+TEST_F(MutationTest, AutoFlushBackgroundLoop) {
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager mgr(&idx_, store.get());
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.SaveSnapshot().ok());
+  ASSERT_TRUE(mgr.OpenMutationLog().ok());
+  Model model = model_;
+
+  mgr.StartAutoFlush(0.002);
+  MutateRandomly(&mgr, &model, 20, /*seed=*/55);
+  // Poll with a generous ceiling so the test cannot flake under load.
+  for (int i = 0; i < 4000 && mgr.pending_mutations() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  mgr.StopAutoFlush();
+  EXPECT_EQ(mgr.pending_mutations(), 0u);
+  EXPECT_GE(mgr.flushes(), 1u);
+  ExpectMatchesModel(mgr, model, "after background flush");
+  // Start/Stop are idempotent.
+  mgr.StopAutoFlush();
+  mgr.StartAutoFlush(0.002);
+  mgr.StopAutoFlush();
+}
+
+// --- Sharded routing ------------------------------------------------------
+
+TEST_F(MutationTest, ShardedMutationRoutingAndIndependentFlush) {
+  const shard::ShardMap map = shard::ShardMap::Hash(3);
+  shard::ShardedIndexOptions sopts;
+  sopts.store_dir = dir_;
+  Model model = model_;
+
+  auto RoutedMatchesModel = [&](const shard::ShardedIndex& sharded,
+                                const std::string& context) {
+    InvertedIndex ref_idx = InvertedIndex::FromPostings(
+        idx_.num_docs(), PostingsFromModel(model, idx_.num_terms()));
+    index::QueryEngine ref(&ref_idx, FesiaParams{});
+    index::BatchOptions bopts;
+    bopts.num_threads = 1;
+    std::vector<QueryResult> expected = ref.QueryBatch(queries_, bopts);
+    shard::ShardRouter router(&sharded);
+    shard::RouterOptions ropts;
+    ropts.num_threads = 1;
+    std::vector<shard::RoutedQueryResult> routed =
+        router.QueryBatch(queries_, ropts);
+    ASSERT_EQ(routed.size(), expected.size()) << context;
+    for (size_t q = 0; q < routed.size(); ++q) {
+      ASSERT_TRUE(routed[q].complete()) << context << " query " << q;
+      EXPECT_EQ(routed[q].count, expected[q].count)
+          << context << " query " << q;
+      EXPECT_EQ(routed[q].docs, expected[q].docs)
+          << context << " query " << q;
+    }
+  };
+
+  {
+    auto sharded = shard::ShardedIndex::Create(&idx_, map, sopts);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ASSERT_TRUE(sharded->RebuildAll().ok());
+    ASSERT_TRUE(sharded->SaveAll().ok());
+    ASSERT_TRUE(sharded->OpenMutationLogs().ok());
+
+    // Mutations land on the shard owning the document.
+    std::mt19937_64 rng(501);
+    std::vector<uint32_t> touched_docs;
+    for (int i = 0; i < 30; ++i) {
+      const uint32_t doc = static_cast<uint32_t>(rng() % idx_.num_docs());
+      uint32_t owner = 0;
+      if (i % 5 == 0) {
+        ASSERT_TRUE(sharded->Delete(doc, nullptr, &owner).ok());
+        model.erase(doc);
+      } else {
+        std::vector<uint32_t> terms = RandomTerms(&rng);
+        ASSERT_TRUE(sharded->Upsert(doc, terms, nullptr, &owner).ok());
+        model[doc] = std::move(terms);
+      }
+      EXPECT_EQ(owner, map.ShardOf(doc));
+      touched_docs.push_back(doc);
+    }
+    EXPECT_GT(sharded->pending_mutations(), 0u);
+    RoutedMatchesModel(*sharded, "overlay across shards");
+
+    // Flushing one shard is independent: its delta drains, the others keep
+    // their pending mutations, and routed answers are unchanged.
+    const uint32_t flushed_shard = map.ShardOf(touched_docs[0]);
+    uint64_t gen = 0;
+    ASSERT_TRUE(sharded->FlushShard(flushed_shard, &gen).ok());
+    EXPECT_EQ(gen, 2u);
+    EXPECT_EQ(sharded->manager(flushed_shard)->pending_mutations(), 0u);
+    EXPECT_GT(sharded->pending_mutations(), 0u);
+    RoutedMatchesModel(*sharded, "after one-shard flush");
+
+    ASSERT_TRUE(sharded->FlushAll().ok());
+    EXPECT_EQ(sharded->pending_mutations(), 0u);
+    RoutedMatchesModel(*sharded, "after flush-all");
+  }
+
+  // Cold reopen: every shard reloads its merged generation; nothing left
+  // to replay.
+  auto sharded = shard::ShardedIndex::Create(&idx_, map, sopts);
+  ASSERT_TRUE(sharded.ok());
+  for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+    ASSERT_TRUE(sharded->ReloadShard(s).ok()) << "shard " << s;
+  }
+  ASSERT_TRUE(sharded->OpenMutationLogs().ok());
+  EXPECT_EQ(sharded->pending_mutations(), 0u);
+  RoutedMatchesModel(*sharded, "after cold reopen");
+}
+
+}  // namespace
+}  // namespace fesia

@@ -10,9 +10,14 @@
 //              batch through a sharded index and scatter-gather router
 //   build      shard a synthetic corpus N ways and persist one snapshot
 //              generation per shard under DIR/shard-NN/
+//   mutate     append one durable upsert/delete to the owning shard's
+//              write-ahead log (fsynced before the ack is printed)
+//   flush      merge each shard's pending WAL/delta mutations into a new
+//              snapshot generation and truncate its log
 //   snapshot   save/load/recover payloads through the crash-safe
 //              generational SnapshotStore (atomic writes + manifest);
-//              recover emits machine-readable JSON, one line per event
+//              recover emits machine-readable JSON, one line per event,
+//              including each store's write-ahead-log replay
 //
 // Set files hold raw little-endian uint32 values ("raw" format) or a
 // serialized FesiaSet ("fesia" format, magic-tagged; auto-detected).
@@ -39,6 +44,7 @@
 #include "shard/shard_router.h"
 #include "shard/sharded_index.h"
 #include "store/snapshot_store.h"
+#include "store/wal.h"
 #include "util/cpu.h"
 #include "util/file_io.h"
 #include "util/status.h"
@@ -86,6 +92,16 @@ commands:
       build a synthetic corpus, hash-partition it into N shards (default
       1), and persist one snapshot generation per shard under
       DIR/shard-NN/ (the shard map is pinned as DIR/SHARDMAP)
+  mutate --dir DIR (--upsert DOC [--set-terms T1,T2,...] | --delete DOC)
+         [--shards N] [--docs D] [--terms T] [--seed S]
+      durably append one mutation to the write-ahead log of the shard
+      owning DOC (fsynced before the ack is printed); --upsert replaces
+      DOC's term set wholesale, --delete tombstones it. The corpus flags
+      must match the build
+  flush --dir DIR [--shards N] [--docs D] [--terms T] [--seed S] [--keep K]
+      merge every shard's pending WAL/delta mutations into a new snapshot
+      generation and truncate its log (shards with none are a no-op); the
+      corpus flags must match the build
   snapshot save --dir DIR --in FILE [--keep N]
       durably append FILE's bytes as a new store generation (atomic write
       + manifest commit; N generations retained, default 3)
@@ -93,9 +109,11 @@ commands:
       validate and extract the store's current generation into FILE
   snapshot recover --dir DIR [--shards N]
       open the store, quarantining whatever fails validation, and emit
-      what recovery found as JSON (one line per event); exit 6 if no
-      generation validates. --shards N recovers DIR/shard-NN stores
-      instead, reporting the worst shard's exit code
+      what recovery found as JSON (one line per event); also replays the
+      store's write-ahead log, repairing torn tails (suspect bytes are
+      quarantined, never deleted). exit 6 if no generation validates.
+      --shards N recovers DIR/shard-NN stores instead, reporting the
+      worst shard's exit code
 
 exit codes: 0 ok, 2 usage, 3 I/O failure or invalid input,
             4 corrupt snapshot,
@@ -154,6 +172,39 @@ bool ParseIntFlag(const std::map<std::string, std::string>& flags,
     return false;
   }
   *out = static_cast<int>(v);
+  return true;
+}
+
+// Comma-separated uint32 list (`--set-terms 3,17,42`). A missing flag or
+// an explicitly empty value is an empty list (an upsert clearing every
+// term); any malformed token is a usage error.
+bool ParseU32ListFlag(const std::map<std::string, std::string>& flags,
+                      const std::string& key, std::vector<uint32_t>* out) {
+  out->clear();
+  auto it = flags.find(key);
+  if (it == flags.end() || it->second.empty()) return true;
+  const std::string& value = it->second;
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    const size_t comma = value.find(',', pos);
+    const std::string tok =
+        value.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+    const char* s = tok.c_str();
+    char* end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (tok.empty() || errno != 0 || end == s || *end != '\0' ||
+        tok[0] == '-' || v > 0xFFFFFFFFull) {
+      std::fprintf(stderr, "fesia_cli: --%s expects a comma-separated list "
+                   "of uint32 values, got \"%s\"\n", key.c_str(),
+                   value.c_str());
+      return false;
+    }
+    out->push_back(static_cast<uint32_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
   return true;
 }
 
@@ -647,6 +698,190 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
   return kExitOk;
 }
 
+// Rebuilds the synthetic corpus a `build` invocation persisted. mutate
+// and flush need it because each shard's base sub-index is the reference
+// the WAL replays over: the SHARDMAP pin catches a wrong --shards, but
+// --docs/--terms/--seed must be repeated verbatim by the caller.
+fesia::index::InvertedIndex RebuildCorpus(uint64_t docs, uint64_t terms,
+                                          uint64_t seed) {
+  fesia::index::CorpusParams cp;
+  cp.num_docs = static_cast<uint32_t>(docs);
+  cp.num_terms = static_cast<uint32_t>(terms);
+  cp.avg_terms_per_doc = 20;
+  cp.seed = seed;
+  return fesia::index::InvertedIndex::BuildSynthetic(cp);
+}
+
+int CmdMutate(const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "dir", "");
+  uint64_t shards = 0, docs = 0, terms = 0, seed = 0, keep = 0;
+  if (!ParseU64Flag(flags, "shards", 1, &shards) ||
+      !ParseU64Flag(flags, "docs", 20000, &docs) ||
+      !ParseU64Flag(flags, "terms", 500, &terms) ||
+      !ParseU64Flag(flags, "seed", 1, &seed) ||
+      !ParseU64Flag(flags, "keep", 3, &keep)) {
+    return kExitUsage;
+  }
+  if (dir.empty()) return Usage();
+  if (shards == 0 || shards > 256 || docs == 0 || terms == 0 || keep == 0) {
+    std::fprintf(stderr, "fesia_cli: --shards must be in [1, 256]; --docs, "
+                 "--terms, and --keep must be positive\n");
+    return kExitUsage;
+  }
+  const bool has_upsert = flags.count("upsert") != 0;
+  const bool has_delete = flags.count("delete") != 0;
+  if (has_upsert == has_delete) {
+    std::fprintf(stderr,
+                 "fesia_cli: mutate needs exactly one of --upsert DOC or "
+                 "--delete DOC\n");
+    return kExitUsage;
+  }
+  if (has_delete && flags.count("set-terms") != 0) {
+    std::fprintf(stderr, "fesia_cli: --set-terms applies only to --upsert\n");
+    return kExitUsage;
+  }
+  uint64_t doc = 0;
+  std::vector<uint32_t> set_terms;
+  if (!ParseU64Flag(flags, has_upsert ? "upsert" : "delete", 0, &doc) ||
+      !ParseU32ListFlag(flags, "set-terms", &set_terms)) {
+    return kExitUsage;
+  }
+  if (doc >= docs) {
+    std::fprintf(stderr, "fesia_cli: document %llu out of range [0, %llu)\n",
+                 static_cast<unsigned long long>(doc),
+                 static_cast<unsigned long long>(docs));
+    return kExitUsage;
+  }
+
+  fesia::index::InvertedIndex idx = RebuildCorpus(docs, terms, seed);
+  fesia::shard::ShardedIndexOptions sopts;
+  sopts.store_dir = dir;
+  sopts.max_generations = keep;
+  auto sharded = fesia::shard::ShardedIndex::Create(
+      &idx, fesia::shard::ShardMap::Hash(static_cast<uint32_t>(shards)),
+      sopts);
+  if (!sharded.ok()) return ReportStore(sharded.status());
+
+  // Reload before opening the log: a shard that already merged mutations
+  // must resume sequence numbering past the merge point (the truncated
+  // WAL alone would restart at 1 and collide with merged records). An
+  // empty store (kDataLoss) genuinely starts at zero.
+  const uint32_t owner = sharded->shard_map().ShardOf(
+      static_cast<uint32_t>(doc));
+  Status reloaded = sharded->ReloadShard(owner);
+  if (!reloaded.ok() &&
+      reloaded.code() != fesia::StatusCode::kDataLoss) {
+    return ReportStore(reloaded);
+  }
+  fesia::store::WalReplayReport wal_report;
+  Status opened_log = sharded->OpenMutationLog(owner, &wal_report);
+  if (!opened_log.ok()) return ReportStore(opened_log);
+  if (!wal_report.clean()) {
+    std::fprintf(stderr, "fesia_cli: shard-%02u wal replay repaired: %s\n",
+                 owner, wal_report.ToString().c_str());
+  }
+
+  uint64_t seq = 0;
+  uint32_t routed_shard = 0;
+  Status applied =
+      has_upsert ? sharded->Upsert(static_cast<uint32_t>(doc), set_terms,
+                                   &seq, &routed_shard)
+                 : sharded->Delete(static_cast<uint32_t>(doc), &seq,
+                                   &routed_shard);
+  if (!applied.ok()) return ReportStore(applied);
+  if (has_upsert) {
+    std::printf("shard-%02u: upsert doc %llu (%zu terms) durable at seq "
+                "%llu\n", routed_shard,
+                static_cast<unsigned long long>(doc), set_terms.size(),
+                static_cast<unsigned long long>(seq));
+  } else {
+    std::printf("shard-%02u: delete doc %llu durable at seq %llu\n",
+                routed_shard, static_cast<unsigned long long>(doc),
+                static_cast<unsigned long long>(seq));
+  }
+  std::printf("pending mutations in shard-%02u: %zu\n", routed_shard,
+              sharded->manager(routed_shard)->pending_mutations());
+  return kExitOk;
+}
+
+int CmdFlush(const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "dir", "");
+  uint64_t shards = 0, docs = 0, terms = 0, seed = 0, keep = 0;
+  if (!ParseU64Flag(flags, "shards", 1, &shards) ||
+      !ParseU64Flag(flags, "docs", 20000, &docs) ||
+      !ParseU64Flag(flags, "terms", 500, &terms) ||
+      !ParseU64Flag(flags, "seed", 1, &seed) ||
+      !ParseU64Flag(flags, "keep", 3, &keep)) {
+    return kExitUsage;
+  }
+  if (dir.empty()) return Usage();
+  if (shards == 0 || shards > 256 || docs == 0 || terms == 0 || keep == 0) {
+    std::fprintf(stderr, "fesia_cli: --shards must be in [1, 256]; --docs, "
+                 "--terms, and --keep must be positive\n");
+    return kExitUsage;
+  }
+
+  fesia::index::InvertedIndex idx = RebuildCorpus(docs, terms, seed);
+  fesia::shard::ShardedIndexOptions sopts;
+  sopts.store_dir = dir;
+  sopts.max_generations = keep;
+  auto sharded = fesia::shard::ShardedIndex::Create(
+      &idx, fesia::shard::ShardMap::Hash(static_cast<uint32_t>(shards)),
+      sopts);
+  if (!sharded.ok()) return ReportStore(sharded.status());
+
+  // Per-shard merges are independent: one failing shard degrades the exit
+  // code but never blocks the others.
+  int worst = kExitOk;
+  size_t merged_total = 0;
+  for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+    Status serving = sharded->ReloadShard(s);
+    if (!serving.ok() &&
+        serving.code() == fesia::StatusCode::kDataLoss) {
+      // No generation to serve from: merge over the freshly built corpus
+      // base instead (the WAL still replays in full).
+      serving = sharded->RebuildShard(s);
+    }
+    if (!serving.ok()) {
+      std::fprintf(stderr, "fesia_cli: shard-%02u: %s\n", s,
+                   serving.ToString().c_str());
+      worst = std::max(worst, StoreExitCode(serving));
+      continue;
+    }
+    fesia::store::WalReplayReport wal_report;
+    Status opened_log = sharded->OpenMutationLog(s, &wal_report);
+    if (!opened_log.ok()) {
+      std::fprintf(stderr, "fesia_cli: shard-%02u: %s\n", s,
+                   opened_log.ToString().c_str());
+      worst = std::max(worst, StoreExitCode(opened_log));
+      continue;
+    }
+    if (!wal_report.clean()) {
+      std::fprintf(stderr, "fesia_cli: shard-%02u wal replay repaired: %s\n",
+                   s, wal_report.ToString().c_str());
+    }
+    const size_t pending = sharded->manager(s)->pending_mutations();
+    if (pending == 0) {
+      std::printf("shard-%02u: no pending mutations\n", s);
+      continue;
+    }
+    uint64_t generation = 0;
+    Status flushed = sharded->FlushShard(s, &generation);
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "fesia_cli: shard-%02u: %s\n", s,
+                   flushed.ToString().c_str());
+      worst = std::max(worst, StoreExitCode(flushed));
+      continue;
+    }
+    std::printf("shard-%02u: merged %zu mutation(s) into generation %llu\n",
+                s, pending, static_cast<unsigned long long>(generation));
+    merged_total += pending;
+  }
+  std::printf("flushed %zu mutation(s) across %u shard(s) in %s\n",
+              merged_total, sharded->num_shards(), dir.c_str());
+  return worst;
+}
+
 // Recovery reporting is machine-readable: one JSON object per line
 // ({"event":"quarantined"|"resumed"|"store",...}), so operators can
 // stream `snapshot recover` into jq or a log pipeline. Human-oriented
@@ -685,18 +920,44 @@ int RecoverOneStore(const std::string& dir, uint64_t keep, int shard) {
   PrintRecoveryEventsJson(report, shard);
   std::printf("{\"event\":\"store\"");
   if (shard >= 0) std::printf(",\"shard\":%d", shard);
+  int code = kExitOk;
   if (opened.ok()) {
     std::printf(",\"ok\":true,\"generations\":%zu,\"current\":%llu}\n",
                 opened->num_generations(),
                 static_cast<unsigned long long>(
                     opened->current_generation()));
-    return kExitOk;
+  } else {
+    std::printf(",\"ok\":false,\"code\":\"%s\"}\n",
+                fesia::StatusCodeName(opened.status().code()));
+    std::fprintf(stderr, "fesia_cli: %s\n",
+                 opened.status().ToString().c_str());
+    code = StoreExitCode(opened.status());
   }
-  std::printf(",\"ok\":false,\"code\":\"%s\"}\n",
-              fesia::StatusCodeName(opened.status().code()));
-  std::fprintf(stderr, "fesia_cli: %s\n",
-               opened.status().ToString().c_str());
-  return StoreExitCode(opened.status());
+
+  // Replay the store's write-ahead log as its own event: a torn tail is
+  // truncated with the suspect bytes quarantined beside the segments.
+  // Opening is lazy, so a store that never took mutations reports zero
+  // segments without any file being created.
+  fesia::store::WalReplayReport wal;
+  auto log = fesia::store::WriteAheadLog::Open(dir, nullptr, &wal);
+  std::printf("{\"event\":\"wal\"");
+  if (shard >= 0) std::printf(",\"shard\":%d", shard);
+  if (log.ok()) {
+    std::printf(",\"ok\":true,\"segments\":%zu,\"records\":%zu,"
+                "\"last_seq\":%llu,\"torn_tail_bytes\":%zu,"
+                "\"quarantined_segments\":%zu,\"clean\":%s}\n",
+                wal.segments, wal.records,
+                static_cast<unsigned long long>(wal.last_seq),
+                wal.torn_tail_bytes, wal.quarantined_segments,
+                wal.clean() ? "true" : "false");
+  } else {
+    std::printf(",\"ok\":false,\"code\":\"%s\"}\n",
+                fesia::StatusCodeName(log.status().code()));
+    std::fprintf(stderr, "fesia_cli: %s\n",
+                 log.status().ToString().c_str());
+    code = std::max(code, kExitIo);
+  }
+  return code;
 }
 
 int CmdSnapshot(const std::string& sub,
@@ -790,6 +1051,8 @@ int main(int argc, char** argv) {
   if (cmd == "info") return CmdInfo(flags);
   if (cmd == "batch") return CmdBatch(flags);
   if (cmd == "build") return CmdBuild(flags);
+  if (cmd == "mutate") return CmdMutate(flags);
+  if (cmd == "flush") return CmdFlush(flags);
   if (cmd == "snapshot") {
     if (argc < 3) return Usage();
     return CmdSnapshot(argv[2], ParseFlags(argc, argv, 3));
