@@ -51,6 +51,15 @@ for preset in default asan ubsan tsan; do
     echo "=== [$preset] live mutation (ctest -L mutation) ==="
     ctest --preset "$preset" -L mutation -j "$jobs"
   fi
+  # Count-path gate: the fused AND+popcount oracle sweep (byte-identical
+  # counts vs. the interleaved pipeline, tiny-small-set wrap cases, range
+  # slice sums) by label. ASan is load-bearing for the wrap regressions and
+  # the deferred extraction buffer; TSan re-checks the fused parallel and
+  # cancellable count routing.
+  if [ "$preset" = default ] || [ "$preset" = asan ] || [ "$preset" = tsan ]; then
+    echo "=== [$preset] fused count path (ctest -L countpath) ==="
+    ctest --preset "$preset" -L countpath -j "$jobs"
+  fi
 done
 
 echo "All presets passed."

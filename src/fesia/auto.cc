@@ -8,6 +8,10 @@
 namespace fesia {
 
 IntersectStrategy ChooseStrategy(const FesiaSet& a, const FesiaSet& b) {
+  // An empty side makes the intersection empty: without this check a zero
+  // size computes ratio 0 and routes into the hash probe path, building
+  // probe state for a result that is known to be empty.
+  if (a.empty() || b.empty()) return IntersectStrategy::kMerge;
   double small = static_cast<double>(std::min(a.size(), b.size()));
   double large = static_cast<double>(std::max<uint32_t>(
       1, std::max(a.size(), b.size())));
@@ -18,9 +22,12 @@ IntersectStrategy ChooseStrategy(const FesiaSet& a, const FesiaSet& b) {
 
 size_t IntersectCountAuto(const FesiaSet& a, const FesiaSet& b,
                           SimdLevel level) {
+  if (a.empty() || b.empty()) return 0;
+  // The merge branch is count-only here, so it takes the fused
+  // AND+popcount sweep; results are byte-identical to IntersectCount.
   return ChooseStrategy(a, b) == IntersectStrategy::kHash
              ? IntersectCountHash(a, b, level)
-             : IntersectCount(a, b, level);
+             : IntersectCountFused(a, b, level);
 }
 
 }  // namespace fesia

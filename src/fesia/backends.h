@@ -1,6 +1,6 @@
 // Internal per-ISA backend interface.
 //
-// Each SIMD level implements the same five entry points in its own
+// Each SIMD level implements the same entry points in its own
 // translation unit (compiled with matching -m flags); GetBackend() returns
 // the function table for a resolved level. Public APIs in intersect.h,
 // parallel.h, intersect_hash.h and intersect_kway.h route through this.
@@ -29,6 +29,16 @@ struct Backend {
   /// segment_bits). Used by the multicore extension.
   uint64_t (*count_range)(const FesiaSet& a, const FesiaSet& b,
                           uint32_t seg_begin, uint32_t seg_end);
+
+  /// Count-only fast path: cache-blocked fused AND + carry-save popcount
+  /// sweep with deferred surviving-segment extraction. Same preconditions
+  /// and byte-identical results as `count`; preferred for cardinality-only
+  /// traffic (CountBatch).
+  uint64_t (*count_fused)(const FesiaSet& a, const FesiaSet& b);
+
+  /// Fused count over a segment slice (same range contract as count_range).
+  uint64_t (*count_fused_range)(const FesiaSet& a, const FesiaSet& b,
+                                uint32_t seg_begin, uint32_t seg_end);
 
   /// Materializing intersection; `out` needs room for min(|a|, |b|) + 1
   /// values. Returns the intersection size.
@@ -76,6 +86,9 @@ uint32_t SegmentChunk(SimdLevel level, int segment_bits);
   uint64_t IntersectCount(const FesiaSet& a, const FesiaSet& b);            \
   uint64_t IntersectCountRange(const FesiaSet& a, const FesiaSet& b,        \
                                uint32_t seg_begin, uint32_t seg_end);       \
+  uint64_t IntersectCountFused(const FesiaSet& a, const FesiaSet& b);       \
+  uint64_t IntersectCountFusedRange(const FesiaSet& a, const FesiaSet& b,   \
+                                    uint32_t seg_begin, uint32_t seg_end);  \
   size_t IntersectInto(const FesiaSet& a, const FesiaSet& b,                \
                        uint32_t* out);                                      \
   size_t IntersectIntoRange(const FesiaSet& a, const FesiaSet& b,           \

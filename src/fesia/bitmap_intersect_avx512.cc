@@ -9,6 +9,28 @@ namespace fesia::internal {
 namespace avx512 {
 namespace {
 
+// Nibble-lookup popcount over one 512-bit vector (AVX512BW vpshufb +
+// vpsadbw). Deliberately not vpopcntdq: this TU's -m flags stop at the
+// Skylake-SP feature set, and runtime dispatch selects this backend on any
+// AVX-512F/BW host, where VPOPCNTDQ may be absent.
+inline __m512i Popcount512(__m512i v) {
+  const __m512i lookup = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+  const __m512i low_mask = _mm512_set1_epi8(0x0f);
+  __m512i lo = _mm512_and_si512(v, low_mask);
+  __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), low_mask);
+  __m512i cnt = _mm512_add_epi8(_mm512_shuffle_epi8(lookup, lo),
+                                _mm512_shuffle_epi8(lookup, hi));
+  return _mm512_sad_epu8(cnt, _mm512_setzero_si512());
+}
+
+// Carry-save adder: (h, l) = full add of bit-planes a, b, c.
+inline void CSA(__m512i* h, __m512i* l, __m512i a, __m512i b, __m512i c) {
+  __m512i u = _mm512_xor_si512(a, b);
+  *h = _mm512_or_si512(_mm512_and_si512(a, b), _mm512_and_si512(u, c));
+  *l = _mm512_xor_si512(u, c);
+}
+
 struct Avx512BitmapOps {
   static constexpr int kChunkBits = 512;
 
@@ -26,6 +48,59 @@ struct Avx512BitmapOps {
       return _mm512_test_epi32_mask(vand, vand);
     }
   }
+
+  // Harley-Seal fused AND+popcount: one lookup popcount per 16 ANDed
+  // vectors (1 KiB of bitmap per carry-save round).
+  static uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b,
+                                   uint32_t nwords, uint64_t* live) {
+    const uint32_t nvec = nwords / 8;
+    for (uint32_t i = 0; i < (nvec + 63) / 64; ++i) live[i] = 0;
+    // Each AND vector is one 512-bit chunk; vptestmq records its live bit
+    // on the mask/scalar ports while the CSA chain owns the vector ports.
+    auto load_and = [&](uint32_t i) {
+      const __m512i v = _mm512_and_si512(_mm512_loadu_si512(a + 8 * i),
+                                         _mm512_loadu_si512(b + 8 * i));
+      live[i >> 6] |= static_cast<uint64_t>(_mm512_test_epi64_mask(v, v) != 0)
+                      << (i & 63);
+      return v;
+    };
+    __m512i total = _mm512_setzero_si512();
+    __m512i ones = _mm512_setzero_si512();
+    __m512i twos = _mm512_setzero_si512();
+    __m512i fours = _mm512_setzero_si512();
+    __m512i eights = _mm512_setzero_si512();
+    __m512i twosA, twosB, foursA, foursB, eightsA, eightsB, sixteens;
+    uint32_t i = 0;
+    for (; i + 16 <= nvec; i += 16) {
+      CSA(&twosA, &ones, ones, load_and(i), load_and(i + 1));
+      CSA(&twosB, &ones, ones, load_and(i + 2), load_and(i + 3));
+      CSA(&foursA, &twos, twos, twosA, twosB);
+      CSA(&twosA, &ones, ones, load_and(i + 4), load_and(i + 5));
+      CSA(&twosB, &ones, ones, load_and(i + 6), load_and(i + 7));
+      CSA(&foursB, &twos, twos, twosA, twosB);
+      CSA(&eightsA, &fours, fours, foursA, foursB);
+      CSA(&twosA, &ones, ones, load_and(i + 8), load_and(i + 9));
+      CSA(&twosB, &ones, ones, load_and(i + 10), load_and(i + 11));
+      CSA(&foursA, &twos, twos, twosA, twosB);
+      CSA(&twosA, &ones, ones, load_and(i + 12), load_and(i + 13));
+      CSA(&twosB, &ones, ones, load_and(i + 14), load_and(i + 15));
+      CSA(&foursB, &twos, twos, twosA, twosB);
+      CSA(&eightsB, &fours, fours, foursA, foursB);
+      CSA(&sixteens, &eights, eights, eightsA, eightsB);
+      total = _mm512_add_epi64(total, Popcount512(sixteens));
+    }
+    total = _mm512_slli_epi64(total, 4);
+    total =
+        _mm512_add_epi64(total, _mm512_slli_epi64(Popcount512(eights), 3));
+    total =
+        _mm512_add_epi64(total, _mm512_slli_epi64(Popcount512(fours), 2));
+    total = _mm512_add_epi64(total, _mm512_slli_epi64(Popcount512(twos), 1));
+    total = _mm512_add_epi64(total, Popcount512(ones));
+    for (; i < nvec; ++i) {
+      total = _mm512_add_epi64(total, Popcount512(load_and(i)));
+    }
+    return static_cast<uint64_t>(_mm512_reduce_add_epi64(total));
+  }
 };
 
 }  // namespace
@@ -37,6 +112,16 @@ uint64_t IntersectCount(const FesiaSet& a, const FesiaSet& b) {
 uint64_t IntersectCountRange(const FesiaSet& a, const FesiaSet& b,
                              uint32_t seg_begin, uint32_t seg_end) {
   return EntryCountRange<Avx512BitmapOps>(a, b, seg_begin, seg_end, &Kernels);
+}
+
+uint64_t IntersectCountFused(const FesiaSet& a, const FesiaSet& b) {
+  return EntryCountFused<Avx512BitmapOps>(a, b, &Kernels);
+}
+
+uint64_t IntersectCountFusedRange(const FesiaSet& a, const FesiaSet& b,
+                                  uint32_t seg_begin, uint32_t seg_end) {
+  return EntryCountFusedRange<Avx512BitmapOps>(a, b, seg_begin, seg_end,
+                                               &Kernels);
 }
 
 size_t IntersectInto(const FesiaSet& a, const FesiaSet& b, uint32_t* out) {

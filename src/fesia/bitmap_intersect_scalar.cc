@@ -23,6 +23,19 @@ struct ScalarBitmapOps {
     }
     return mask;
   }
+
+  static uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b,
+                                   uint32_t nwords, uint64_t* live) {
+    // Chunk == one 64-bit word here, so the live mask is word granularity.
+    for (uint32_t i = 0; i < (nwords + 63) / 64; ++i) live[i] = 0;
+    uint64_t c = 0;
+    for (uint32_t i = 0; i < nwords; ++i) {
+      const uint64_t w = a[i] & b[i];
+      c += static_cast<uint64_t>(PopCount64(w));
+      live[i >> 6] |= static_cast<uint64_t>(w != 0) << (i & 63);
+    }
+    return c;
+  }
 };
 
 // The scalar backend has no specialized kernels: a zero-size-only table
@@ -53,6 +66,16 @@ uint64_t IntersectCount(const FesiaSet& a, const FesiaSet& b) {
 uint64_t IntersectCountRange(const FesiaSet& a, const FesiaSet& b,
                              uint32_t seg_begin, uint32_t seg_end) {
   return EntryCountRange<ScalarBitmapOps>(a, b, seg_begin, seg_end, &Kernels);
+}
+
+uint64_t IntersectCountFused(const FesiaSet& a, const FesiaSet& b) {
+  return EntryCountFused<ScalarBitmapOps>(a, b, &Kernels);
+}
+
+uint64_t IntersectCountFusedRange(const FesiaSet& a, const FesiaSet& b,
+                                  uint32_t seg_begin, uint32_t seg_end) {
+  return EntryCountFusedRange<ScalarBitmapOps>(a, b, seg_begin, seg_end,
+                                               &Kernels);
 }
 
 size_t IntersectInto(const FesiaSet& a, const FesiaSet& b, uint32_t* out) {

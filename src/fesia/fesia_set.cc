@@ -19,10 +19,13 @@ uint32_t ChooseBitmapBits(size_t n, const FesiaParams& params) {
   double scale = params.bitmap_scale > 0 ? params.bitmap_scale
                                          : DefaultScale(params.simd_level);
   double target = scale * static_cast<double>(n);
-  // At least one full 512-bit vector of bitmap so every ISA's chunked loop
-  // has no sub-chunk special case, and at least one segment.
+  // At least one 64-bit word of bitmap, so at least one segment exists and
+  // whole-word wrap logic (the pipeline's sub-chunk lane tiling, the k-way
+  // word loop) stays exact. Bitmaps narrower than a SIMD chunk are handled
+  // by intersect_impl.h's SmallChunk tiling, so tiny Zipf-tail sets no
+  // longer pay a 512-bit floor.
   uint64_t bits = RoundUpPow2(static_cast<uint64_t>(std::llround(
-      std::max(target, 512.0))));
+      std::max(target, 64.0))));
   FESIA_CHECK(bits <= (uint64_t{1} << 31));
   return static_cast<uint32_t>(bits);
 }

@@ -12,19 +12,23 @@ namespace internal {
 const Backend& GetBackendRaw(SimdLevel level) {
   static const Backend kBackends[] = {
       {SimdLevel::kScalar, &scalar::IntersectCount,
-       &scalar::IntersectCountRange, &scalar::IntersectInto,
+       &scalar::IntersectCountRange, &scalar::IntersectCountFused,
+       &scalar::IntersectCountFusedRange, &scalar::IntersectInto,
        &scalar::IntersectIntoRange, &scalar::IntersectCountInstrumented,
        &scalar::Kernels, &scalar::SegmentInto, &scalar::ProbeRun},
       {SimdLevel::kSse, &sse::IntersectCount, &sse::IntersectCountRange,
+       &sse::IntersectCountFused, &sse::IntersectCountFusedRange,
        &sse::IntersectInto, &sse::IntersectIntoRange,
        &sse::IntersectCountInstrumented, &sse::Kernels, &sse::SegmentInto,
        &sse::ProbeRun},
       {SimdLevel::kAvx2, &avx2::IntersectCount, &avx2::IntersectCountRange,
+       &avx2::IntersectCountFused, &avx2::IntersectCountFusedRange,
        &avx2::IntersectInto, &avx2::IntersectIntoRange,
        &avx2::IntersectCountInstrumented, &avx2::Kernels, &avx2::SegmentInto,
        &avx2::ProbeRun},
       {SimdLevel::kAvx512, &avx512::IntersectCount,
-       &avx512::IntersectCountRange, &avx512::IntersectInto,
+       &avx512::IntersectCountRange, &avx512::IntersectCountFused,
+       &avx512::IntersectCountFusedRange, &avx512::IntersectInto,
        &avx512::IntersectIntoRange, &avx512::IntersectCountInstrumented,
        &avx512::Kernels, &avx512::SegmentInto, &avx512::ProbeRun},
   };
@@ -65,6 +69,11 @@ uint32_t SegmentChunk(SimdLevel level, int segment_bits) {
 
 size_t IntersectCount(const FesiaSet& a, const FesiaSet& b, SimdLevel level) {
   return internal::GetBackend(level).count(a, b);
+}
+
+size_t IntersectCountFused(const FesiaSet& a, const FesiaSet& b,
+                           SimdLevel level) {
+  return internal::GetBackend(level).count_fused(a, b);
 }
 
 size_t IntersectInto(const FesiaSet& a, const FesiaSet& b,

@@ -28,6 +28,15 @@ struct IntersectBreakdown {
 size_t IntersectCount(const FesiaSet& a, const FesiaSet& b,
                       SimdLevel level = SimdLevel::kAuto);
 
+/// Intersection size via the count-only kernel family: a cache-blocked
+/// fused AND + carry-save popcount sweep over the bitmap pair that skips
+/// whole blocks with an empty AND, then extracts surviving segments into a
+/// deferred buffer and drains the kernel jump table outside the hot loop.
+/// Returns exactly the same value as IntersectCount (enforced by the
+/// countpath oracle tests); preferred for cardinality-only traffic.
+size_t IntersectCountFused(const FesiaSet& a, const FesiaSet& b,
+                           SimdLevel level = SimdLevel::kAuto);
+
 /// Materializes a ∩ b into `out` (overwritten). Elements are emitted in
 /// segment-hash order; pass sort_output = true for ascending order.
 /// Returns the intersection size.

@@ -7,6 +7,16 @@
 //   static uint64_t NonZeroMask(const uint64_t* a, const uint64_t* b);
 //     // AND one chunk of both bitmaps and return a bitmask with one bit per
 //     // S-bit segment lane that is non-zero (paper Sec. IV steps 1-3).
+//   static uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b,
+//                                    uint32_t nwords, uint64_t* live);
+//     // Fused popcount(a[i] & b[i]) over [0, nwords); nwords is always a
+//     // multiple of kChunkBits / 64, so implementations need no sub-chunk
+//     // tail handling. While the AND streams through the popcount, the
+//     // implementation also writes a live-chunk summary into `live`: bit c
+//     // of live[c / 64] is set iff chunk c (kChunkBits of the AND) is
+//     // non-zero. Exactly ceil((nwords / (kChunkBits/64)) / 64) words of
+//     // `live` are written (zeroed first). Used by the count-only blocked
+//     // sweep, whose extraction pass visits only live chunks.
 //
 // The pipeline walks the larger bitmap chunk by chunk; the smaller bitmap
 // wraps (segment i pairs with segment i mod N_small, paper Sec. III-C).
@@ -31,6 +41,44 @@ namespace fesia::internal {
 
 template <typename BOps>
 struct Pipeline {
+  // Words swept per block by the fused count-only path: 4 KiB per bitmap,
+  // so one block of both sides plus the deferred index buffer stays L1-hot
+  // across the AND+popcount pass and the extraction re-read.
+  static constexpr uint32_t kFusedBlockWords = 512;
+
+  // One chunk's worth of the small bitmap. When the small bitmap is
+  // narrower than one chunk — possible since the bitmap floor is a single
+  // 64-bit word — NonZeroMask would otherwise read past it and see zero
+  // padding where wrapped segments belong, silently dropping matches (and
+  // `bseg0 + t` would index past the small offsets). The fix: tile the
+  // small bitmap's words across a chunk-sized stack copy so every lane
+  // sees the segment it aliases to. Whole-word tiling is exact because S
+  // divides 64, so segments never straddle words.
+  struct SmallChunk {
+    static constexpr uint32_t kWords = BOps::kChunkBits / 64;
+    alignas(64) uint64_t tiled[kWords];
+    const uint64_t* base;
+    bool tile = false;
+
+    void Init(const FesiaSet& small) {
+      base = small.bitmap_words();
+      const uint32_t nwords =
+          static_cast<uint32_t>(small.bitmap_bits() / 64);
+      tile = nwords < kWords;
+      if (!tile) return;
+      for (uint32_t w = 0; w < kWords; ++w) {
+        tiled[w] = base[w & (nwords - 1)];
+      }
+    }
+
+    // Chunk pointer for the small-side word offset `bword` (which is 0
+    // whenever tiling is active: chunk starts are multiples of the small
+    // segment count).
+    const uint64_t* Get(size_t bword) const {
+      return tile ? tiled : base + bword;
+    }
+  };
+
   // Orders the pair as (more segments, fewer segments).
   static void OrderBySegments(const FesiaSet& a, const FesiaSet& b,
                               const FesiaSet** big, const FesiaSet** small) {
@@ -73,7 +121,6 @@ struct Pipeline {
                              const KernelTable& kt) {
     constexpr uint32_t kSegsPerChunk = BOps::kChunkBits / S;
     const uint64_t* wa = big.bitmap_words();
-    const uint64_t* wb = small.bitmap_words();
     const uint32_t nb_mask = small.num_segments() - 1;
     const uint32_t nbig_segs = big.num_segments();
     const bool same_m = small.num_segments() == nbig_segs;
@@ -84,17 +131,22 @@ struct Pipeline {
     const uint32_t* rb = small.reordered();
     const uint32_t kmax = static_cast<uint32_t>(kt.max_size);
 
+    SmallChunk sc;
+    sc.Init(small);
+
     uint64_t count = 0;
     for (uint32_t seg0 = seg_begin; seg0 < seg_end; seg0 += kSegsPerChunk) {
       uint32_t bseg0 = seg0 & nb_mask;
       uint64_t mask = BOps::template NonZeroMask<S>(
           wa + static_cast<size_t>(seg0) * S / 64,
-          wb + static_cast<size_t>(bseg0) * S / 64);
+          sc.Get(static_cast<size_t>(bseg0) * S / 64));
       while (mask != 0) {
         uint32_t t = static_cast<uint32_t>(CountTrailingZeros64(mask));
         mask = ClearLowestBit(mask);
         uint32_t as = seg0 + t;
-        uint32_t bs = bseg0 + t;
+        // Re-mod per lane: bseg0 + t overruns the small segment space when
+        // the small bitmap wraps inside one chunk.
+        uint32_t bs = as & nb_mask;
         uint32_t sa = offa[as + 1] - offa[as];
         uint32_t sb = offb[bs + 1] - offb[bs];
         const uint32_t* pa = ra + offa[as];
@@ -111,6 +163,106 @@ struct Pipeline {
     return count;
   }
 
+  // Cache-blocked count-only pipeline. Pass 1 sweeps one L1-sized block of
+  // the bitmap pair with the backend's fused AND + carry-save popcount —
+  // no extraction, no kernel calls — while recording a live-chunk bitmask,
+  // and skips the block entirely when the popcount is zero (no surviving
+  // bit implies no surviving segment). Pass 2 tzcnt-walks the live mask and
+  // re-reads only the surviving chunks, now L1-hot, batching surviving
+  // segment indices into a deferred stack buffer; the kernel jump table is
+  // drained after the sweep with a dispatch predicate identical to
+  // CountRange's, so the result is byte-identical to the interleaved path
+  // (enforced by the countpath oracle tests).
+  template <int S>
+  static uint64_t CountFusedRange(const FesiaSet& big, const FesiaSet& small,
+                                  uint32_t seg_begin, uint32_t seg_end,
+                                  const KernelTable& kt) {
+    constexpr uint32_t kSegsPerChunk = BOps::kChunkBits / S;
+    constexpr uint32_t kChunkWords = BOps::kChunkBits / 64;
+    constexpr uint32_t kSegsPerWord = 64 / S;
+    // A sub-chunk small bitmap needs lane tiling; the interleaved path
+    // handles that, and such pairs are too small for blocking to matter.
+    if (small.num_segments() < kSegsPerChunk) {
+      return CountRange<S>(big, small, seg_begin, seg_end, kt);
+    }
+    const uint64_t* wa = big.bitmap_words();
+    const uint64_t* wb = small.bitmap_words();
+    const uint32_t nsmall = small.num_segments();
+    const uint32_t nb_mask = nsmall - 1;
+    const uint32_t nbig_segs = big.num_segments();
+    const bool same_m = nsmall == nbig_segs;
+    const uint32_t lanes = static_cast<uint32_t>(kt.lanes);
+    const uint32_t* offa = big.offsets();
+    const uint32_t* offb = small.offsets();
+    const uint32_t* ra = big.reordered();
+    const uint32_t* rb = small.reordered();
+    const uint32_t kmax = static_cast<uint32_t>(kt.max_size);
+
+    const uint32_t nsmall_words = nsmall / kSegsPerWord;
+    const uint32_t sw_mask = nsmall_words - 1;
+    // Block size: L1 cap, clamped to the small bitmap. Both are powers of
+    // two >= kChunkWords, so block boundaries are chunk-aligned and each
+    // block's small-side word window is contiguous (never spans the wrap
+    // seam).
+    const uint32_t block = std::min(kFusedBlockWords, nsmall_words);
+    const uint32_t word_begin = seg_begin / kSegsPerWord;
+    const uint32_t word_end = seg_end / kSegsPerWord;
+
+    // Deferred surviving-segment buffer: worst case every segment of a
+    // block survives (16 KiB at S = 8). The live-chunk mask from pass 1 is
+    // one bit per kChunkBits chunk of the block.
+    uint32_t surv[kFusedBlockWords * (64 / S)];
+    uint64_t live[(kFusedBlockWords / kChunkWords + 63) / 64];
+
+    uint64_t count = 0;
+    uint32_t w0 = word_begin;
+    while (w0 < word_end) {
+      // End each block at the next block-aligned boundary: seg_begin is
+      // only chunk-aligned, and an unaligned block start must not push the
+      // small-side window past the wrap seam.
+      const uint32_t bw =
+          std::min(block - (w0 & (block - 1)), word_end - w0);
+      const uint64_t* pa = wa + w0;
+      const uint64_t* pb = wb + (w0 & sw_mask);
+      if (BOps::AndPopcountWords(pa, pb, bw, live) != 0) {
+        const uint32_t nlive = (bw / kChunkWords + 63) / 64;
+        uint32_t nsurv = 0;
+        for (uint32_t lw = 0; lw < nlive; ++lw) {
+          uint64_t lm = live[lw];
+          while (lm != 0) {
+            const uint32_t c =
+                lw * 64 + static_cast<uint32_t>(CountTrailingZeros64(lm));
+            lm = ClearLowestBit(lm);
+            const uint32_t cw = c * kChunkWords;
+            uint64_t mask = BOps::template NonZeroMask<S>(pa + cw, pb + cw);
+            const uint32_t seg0 = (w0 + cw) * kSegsPerWord;
+            while (mask != 0) {
+              uint32_t t = static_cast<uint32_t>(CountTrailingZeros64(mask));
+              mask = ClearLowestBit(mask);
+              surv[nsurv++] = seg0 + t;
+            }
+          }
+        }
+        for (uint32_t i = 0; i < nsurv; ++i) {
+          const uint32_t as = surv[i];
+          const uint32_t bs = as & nb_mask;
+          const uint32_t sa = offa[as + 1] - offa[as];
+          const uint32_t sb = offb[bs + 1] - offb[bs];
+          const uint32_t* pra = ra + offa[as];
+          const uint32_t* prb = rb + offb[bs];
+          if (sa <= kmax && sb <= kmax &&
+              DispatchSafe(same_m, offa, as, sa, nsmall, nbig_segs, lanes)) {
+            count += kt.At(sa, sb)(pra, prb);
+          } else {
+            count += ScalarSegmentCount(pra, sa, prb, sb);
+          }
+        }
+      }
+      w0 += bw;
+    }
+    return count;
+  }
+
   template <int S>
   static size_t IntoRange(const FesiaSet& big, const FesiaSet& small,
                           uint32_t seg_begin, uint32_t seg_end, uint32_t* out,
@@ -119,24 +271,26 @@ struct Pipeline {
                                              uint32_t*)) {
     constexpr uint32_t kSegsPerChunk = BOps::kChunkBits / S;
     const uint64_t* wa = big.bitmap_words();
-    const uint64_t* wb = small.bitmap_words();
     const uint32_t nb_mask = small.num_segments() - 1;
     const uint32_t* offa = big.offsets();
     const uint32_t* offb = small.offsets();
     const uint32_t* ra = big.reordered();
     const uint32_t* rb = small.reordered();
+    SmallChunk sc;
+    sc.Init(small);
 
     size_t produced = 0;
     for (uint32_t seg0 = seg_begin; seg0 < seg_end; seg0 += kSegsPerChunk) {
       uint32_t bseg0 = seg0 & nb_mask;
       uint64_t mask = BOps::template NonZeroMask<S>(
           wa + static_cast<size_t>(seg0) * S / 64,
-          wb + static_cast<size_t>(bseg0) * S / 64);
+          sc.Get(static_cast<size_t>(bseg0) * S / 64));
       while (mask != 0) {
         uint32_t t = static_cast<uint32_t>(CountTrailingZeros64(mask));
         mask = ClearLowestBit(mask);
         uint32_t as = seg0 + t;
-        uint32_t bs = bseg0 + t;
+        // Re-mod per lane (see CountRange): correct under sub-chunk wrap.
+        uint32_t bs = as & nb_mask;
         produced += seg_into(ra + offa[as], offa[as + 1] - offa[as],
                              rb + offb[bs], offb[bs + 1] - offb[bs],
                              out + produced);
@@ -152,7 +306,6 @@ struct Pipeline {
                                     IntersectBreakdown* bd) {
     constexpr uint32_t kSegsPerChunk = BOps::kChunkBits / S;
     const uint64_t* wa = big.bitmap_words();
-    const uint64_t* wb = small.bitmap_words();
     const uint32_t nb_mask = small.num_segments() - 1;
     const uint32_t* offa = big.offsets();
     const uint32_t* offb = small.offsets();
@@ -160,6 +313,8 @@ struct Pipeline {
     const uint32_t* rb = small.reordered();
     const uint32_t kmax = static_cast<uint32_t>(kt.max_size);
     const uint32_t seg_end = big.num_segments();
+    SmallChunk sc;
+    sc.Init(small);
 
     // Step 1: bitmap AND + index extraction, materialized for timing.
     std::vector<uint32_t> matched;
@@ -170,7 +325,7 @@ struct Pipeline {
       uint32_t bseg0 = seg0 & nb_mask;
       uint64_t mask = BOps::template NonZeroMask<S>(
           wa + static_cast<size_t>(seg0) * S / 64,
-          wb + static_cast<size_t>(bseg0) * S / 64);
+          sc.Get(static_cast<size_t>(bseg0) * S / 64));
       while (mask != 0) {
         uint32_t t = static_cast<uint32_t>(CountTrailingZeros64(mask));
         mask = ClearLowestBit(mask);
@@ -257,6 +412,46 @@ uint64_t EntryCountRange(const FesiaSet& a, const FesiaSet& b,
     default:
       return P::template CountRange<32>(*big, *small, seg_begin, seg_end, kt);
   }
+}
+
+template <typename BOps>
+uint64_t EntryCountFusedRange(const FesiaSet& a, const FesiaSet& b,
+                              uint32_t seg_begin, uint32_t seg_end,
+                              const KernelTable& (*kernels)(bool)) {
+  using P = Pipeline<BOps>;
+  FESIA_CHECK(P::Compatible(a, b));
+  if (a.empty() || b.empty()) return 0;
+  const FesiaSet* big;
+  const FesiaSet* small;
+  P::OrderBySegments(a, b, &big, &small);
+  seg_end = std::min(seg_end, big->num_segments());
+  if (seg_begin >= seg_end) return 0;
+  const uint32_t chunk =
+      static_cast<uint32_t>(BOps::kChunkBits / a.segment_bits());
+  FESIA_CHECK(seg_begin % chunk == 0);
+  FESIA_CHECK(seg_end % chunk == 0 || seg_end == big->num_segments());
+  const KernelTable& kt =
+      kernels(a.kernel_stride() > 1 || b.kernel_stride() > 1);
+  switch (a.segment_bits()) {
+    case 8:
+      return P::template CountFusedRange<8>(*big, *small, seg_begin, seg_end,
+                                            kt);
+    case 16:
+      return P::template CountFusedRange<16>(*big, *small, seg_begin,
+                                             seg_end, kt);
+    default:
+      return P::template CountFusedRange<32>(*big, *small, seg_begin,
+                                             seg_end, kt);
+  }
+}
+
+/// Count-only entry using the cache-blocked fused AND+popcount sweep.
+/// Byte-identical to EntryCount by construction (same dispatch predicate).
+template <typename BOps>
+uint64_t EntryCountFused(const FesiaSet& a, const FesiaSet& b,
+                         const KernelTable& (*kernels)(bool)) {
+  uint32_t total = std::max(a.num_segments(), b.num_segments());
+  return EntryCountFusedRange<BOps>(a, b, 0, total, kernels);
 }
 
 template <typename BOps>

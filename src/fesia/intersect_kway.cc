@@ -98,7 +98,7 @@ size_t CascadeSegment(std::span<const FesiaSet* const> sets,
 
 // Runs the full two-step k-way pipeline over bitmap words [word_begin,
 // word_end) of the largest input `base`. A word always covers whole
-// segments (s >= 8 divides 64 and bitmaps are at least 512 bits), so a word
+// segments (s >= 8 divides 64 and bitmaps are at least one 64-bit word), so a word
 // range is a segment range — this is the unit the multicore extension
 // partitions across threads.
 template <typename Emit>

@@ -27,9 +27,10 @@ uint32_t ChunkEnd(size_t c, uint32_t chunk, uint32_t total_segs) {
   return std::min(static_cast<uint32_t>(c + 1) * chunk, total_segs);
 }
 
-// Chunk-wise cancellable count over chunk indexes [cb, ce): one
-// count_range call and one cancel poll per chunk, so the work remaining
-// after a stop is at most one chunk.
+// Chunk-wise cancellable count over chunk indexes [cb, ce): one fused
+// count_fused_range call and one cancel poll per chunk, so the work
+// remaining after a stop is at most one chunk (same granularity contract
+// as before the count path moved to the fused sweep).
 uint64_t CountChunksCancellable(const internal::Backend& backend,
                                 const FesiaSet& a, const FesiaSet& b,
                                 uint32_t chunk, uint32_t total_segs,
@@ -41,8 +42,8 @@ uint64_t CountChunksCancellable(const internal::Backend& backend,
       *stopped = true;
       return total;
     }
-    total += backend.count_range(a, b, ChunkBegin(c, chunk),
-                                 ChunkEnd(c, chunk, total_segs));
+    total += backend.count_fused_range(a, b, ChunkBegin(c, chunk),
+                                       ChunkEnd(c, chunk, total_segs));
   }
   return total;
 }
@@ -86,7 +87,7 @@ size_t IntersectCountParallel(const FesiaSet& a, const FesiaSet& b,
       if (stopped != nullptr) *stopped = true;
       return 0;
     }
-    return backend.count(a, b);
+    return backend.count_fused(a, b);
   }
   if (num_threads <= 1) {
     return IntersectCountCancellable(a, b, cancel, level, stopped);
@@ -113,7 +114,7 @@ size_t IntersectCountParallel(const FesiaSet& a, const FesiaSet& b,
                                            &st);
           if (st) any_stopped.store(true, std::memory_order_relaxed);
         } else {
-          partial = backend.count_range(
+          partial = backend.count_fused_range(
               a, b, ChunkBegin(chunk_begin, chunk),
               std::min(ChunkBegin(chunk_end, chunk), total_segs));
         }
@@ -214,7 +215,7 @@ size_t IntersectCountCancellable(const FesiaSet& a, const FesiaSet& b,
                                  bool* stopped) {
   if (stopped != nullptr) *stopped = false;
   const internal::Backend& backend = internal::GetBackend(level);
-  if (!cancel.active()) return backend.count(a, b);
+  if (!cancel.active()) return backend.count_fused(a, b);
   if (a.empty() || b.empty()) return 0;
   if (a.segment_bits() != b.segment_bits()) {
     // Serial fallback: the backend validates the precondition; granularity
@@ -223,7 +224,7 @@ size_t IntersectCountCancellable(const FesiaSet& a, const FesiaSet& b,
       if (stopped != nullptr) *stopped = true;
       return 0;
     }
-    return backend.count(a, b);
+    return backend.count_fused(a, b);
   }
   const uint32_t total_segs = std::max(a.num_segments(), b.num_segments());
   const uint32_t chunk =

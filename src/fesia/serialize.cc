@@ -61,9 +61,12 @@ Status ReadAndValidateHeader(ByteReader& r, Header* h) {
       !r.Get(&h->simd_level)) {
     return Status::Corruption("truncated snapshot header");
   }
-  if (!IsPow2(h->bitmap_bits) || h->bitmap_bits < 512) {
+  // Floor matches ChooseBitmapBits: one 64-bit word. Snapshots written when
+  // the floor was 512 bits validate unchanged (the bitmap is recomputed
+  // from the stored bitmap_bits, not re-chosen).
+  if (!IsPow2(h->bitmap_bits) || h->bitmap_bits < 64) {
     return Status::Corruption("bitmap_bits " + std::to_string(h->bitmap_bits) +
-                              " is not a power of two >= 512");
+                              " is not a power of two >= 64");
   }
   if (h->segment_bits != 8 && h->segment_bits != 16 &&
       h->segment_bits != 32) {

@@ -489,6 +489,10 @@ std::vector<QueryResult> QueryEngine::RunBatch(
 std::vector<QueryResult> QueryEngine::CountBatch(
     std::span<const std::vector<uint32_t>> queries,
     const BatchOptions& options, BatchStats* stats) const {
+  // materialize=false keeps pair queries on the count-only fused bitmap
+  // sweep (IntersectCountParallel/Cancellable route count traffic through
+  // the backend's count_fused entry points) — cardinality-only traffic
+  // never pays for result materialization.
   return RunBatch(queries, options, stats, /*materialize=*/false);
 }
 

@@ -192,7 +192,9 @@ class QueryEngine {
   /// retried per `options.retry` and reported as kFailed only once the
   /// budget is exhausted. Results with ok() exactly match a serial
   /// CountFesia call — a stopped attempt's partial count is never
-  /// reported.
+  /// reported. Pair queries run the count-only fused bitmap sweep
+  /// (IntersectCountFused via the parallel/cancellable wrappers): blocked
+  /// AND+popcount with deferred segment extraction, no materialization.
   std::vector<QueryResult> CountBatch(
       std::span<const std::vector<uint32_t>> queries,
       const BatchOptions& options = {}, BatchStats* stats = nullptr) const;

@@ -11,6 +11,9 @@
 #include "datagen/datagen.h"
 #include "fesia/fesia.h"
 #include "fesia/hashing.h"
+// Internal pipeline header: pulled in directly (like kernels_test does for
+// per-ISA kernels) to pin the DispatchSafe alias-boundary predicate exactly.
+#include "fesia/intersect_impl.h"
 #include "test_util.h"
 
 namespace fesia {
@@ -131,6 +134,115 @@ TEST(AdversarialHashTest, OversizedRunsWithStride) {
   for (SimdLevel level : AvailableLevels()) {
     EXPECT_EQ(IntersectCount(fa, fb, level), expected)
         << SimdLevelName(level);
+  }
+}
+
+// --- DispatchSafe alias boundary --------------------------------------------
+//
+// For different-m pairs, a kernel may over-read the big run up to
+// offa[as] + roundup(sa, lanes); if segment as + N_small starts inside that
+// window, a real element there (which pairs with the SAME small segment)
+// would be double-counted. DispatchSafe must allow equality — window ending
+// exactly where the alias segment begins — and reject one element less.
+
+// DispatchSafe ignores the bitmap policy; any chunk width instantiates it.
+struct DummyBitmapOps {
+  static constexpr int kChunkBits = 64;
+};
+using BoundaryPipeline = internal::Pipeline<DummyBitmapOps>;
+
+TEST(DispatchSafeBoundaryTest, EqualityIsSafeOneLessIsNot) {
+  constexpr uint32_t kNSmall = 4;
+  constexpr uint32_t kNBig = 16;
+  for (uint32_t lanes : {4u, 8u, 16u}) {
+    for (uint32_t sa : {1u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u}) {
+      const uint32_t as = 0;
+      const uint32_t load_end = ((sa + lanes - 1) / lanes) * lanes;
+      std::vector<uint32_t> offa(kNBig + 1, 1000);
+      offa[as] = 0;
+      // load_end == offa[alias_seg]: window ends exactly where the alias
+      // segment begins -> safe.
+      offa[as + kNSmall] = load_end;
+      EXPECT_TRUE(BoundaryPipeline::DispatchSafe(
+          /*same_m=*/false, offa.data(), as, sa, kNSmall, kNBig, lanes))
+          << "lanes=" << lanes << " sa=" << sa;
+      // load_end == offa[alias_seg] + 1: the window's last lane overlaps the
+      // alias segment's first element -> must fall back to scalar.
+      offa[as + kNSmall] = load_end - 1;
+      EXPECT_FALSE(BoundaryPipeline::DispatchSafe(
+          /*same_m=*/false, offa.data(), as, sa, kNSmall, kNBig, lanes))
+          << "lanes=" << lanes << " sa=" << sa;
+    }
+  }
+}
+
+TEST(DispatchSafeBoundaryTest, SameMAndTailAliasAlwaysSafe) {
+  std::vector<uint32_t> offa(17, 0);  // alias segment starts AT the window
+  for (uint32_t lanes : {4u, 8u, 16u}) {
+    // Equal bitmap sizes: a later big segment never pairs with the same
+    // small segment again, so over-read lanes can't alias.
+    EXPECT_TRUE(BoundaryPipeline::DispatchSafe(/*same_m=*/true, offa.data(),
+                                               0, 5, 4, 16, lanes));
+    // Alias segment past the big set: the window ends in the tail pad.
+    EXPECT_TRUE(BoundaryPipeline::DispatchSafe(/*same_m=*/false, offa.data(),
+                                               14, 5, 4, 16, lanes));
+  }
+}
+
+// End-to-end alias-boundary construction. Big set (m = 1024, s = 8):
+//   segment 0   : `sa` home elements (bit 0)
+//   segment 1   : `filler` elements (bit 8) — padding between home and alias
+//   segment 64  : 8 alias elements (bit 512) — 64 = N_small, so under
+//                 m_small = 512 these pair with small segment 0 TOO
+//   segment 87  : ballast (bit 700) pushing |big| past 256 so m stays 1024
+// Small set (m = 512): 2 home + 4 alias elements (all map to small bit 0)
+// plus ballast at bit 300. Expected intersection is exactly 6. Sweeping
+// (sa, filler) walks offa[alias] across the over-read window boundary for
+// every kernel lane count, with and without stride padding; any
+// DispatchSafe off-by-one double-counts an alias element.
+TEST(DispatchSafeBoundaryTest, AliasSegmentNeverDoubleCounted) {
+  std::vector<uint32_t> group_a = CollidingValues(0, 1024, 20);
+  std::vector<uint32_t> fillers = CollidingValues(8, 1024, 20);
+  std::vector<uint32_t> group_b = CollidingValues(512, 1024, 8);
+  std::vector<uint32_t> big_ballast = CollidingValues(700, 1024, 260);
+  std::vector<uint32_t> small_ballast = CollidingValues(300, 512, 140);
+
+  for (int stride : {1, 8}) {
+    for (uint32_t sa : {1u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u}) {
+      for (uint32_t filler : {0u, 1u, 3u, 7u, 8u, 15u, 16u}) {
+        std::vector<uint32_t> big(group_a.begin(), group_a.begin() + sa);
+        big.insert(big.end(), fillers.begin(), fillers.begin() + filler);
+        big.insert(big.end(), group_b.begin(), group_b.end());
+        big.insert(big.end(), big_ballast.begin(), big_ballast.end());
+
+        std::vector<uint32_t> small(group_a.begin(), group_a.begin() + 2);
+        small.insert(small.end(), group_b.begin(), group_b.begin() + 4);
+        small.insert(small.end(), small_ballast.begin(), small_ballast.end());
+
+        std::sort(big.begin(), big.end());
+        std::sort(small.begin(), small.end());
+        size_t expected = datagen::ReferenceIntersectionSize(big, small);
+        ASSERT_EQ(expected, std::min<size_t>(2, sa) + 4);
+
+        FesiaParams p;
+        p.segment_bits = 8;  // the construction places bits per 8-bit segment
+        p.bitmap_scale = 2.0;
+        p.kernel_stride = stride;
+        FesiaSet fbig = FesiaSet::Build(big, p);
+        FesiaSet fsmall = FesiaSet::Build(small, p);
+        ASSERT_EQ(fbig.bitmap_bits(), 1024u);
+        ASSERT_EQ(fsmall.bitmap_bits(), 512u);
+
+        for (SimdLevel level : AvailableLevels()) {
+          EXPECT_EQ(IntersectCount(fbig, fsmall, level), expected)
+              << "stride=" << stride << " sa=" << sa
+              << " filler=" << filler << " level=" << SimdLevelName(level);
+          EXPECT_EQ(IntersectCountFused(fbig, fsmall, level), expected)
+              << "stride=" << stride << " sa=" << sa
+              << " filler=" << filler << " level=" << SimdLevelName(level);
+        }
+      }
+    }
   }
 }
 

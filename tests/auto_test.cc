@@ -46,11 +46,28 @@ TEST(AutoStrategyTest, AutoCountCorrectEitherWay) {
   }
 }
 
-TEST(AutoStrategyTest, EmptySetPicksHashHarmlessly) {
+TEST(AutoStrategyTest, EmptyInputsRouteToMergeNotHash) {
+  // An empty side used to compute a 0 skew ratio and route into the hash
+  // probe path; it must short-circuit instead (merge strategy, count 0).
   FesiaSet empty = FesiaSet::Build({});
   FesiaSet some = FesiaSet::Build(datagen::SortedUniform(1000, 10000, 8));
-  EXPECT_EQ(IntersectCountAuto(empty, some), 0u);
-  EXPECT_EQ(IntersectCountAuto(some, empty), 0u);
+  EXPECT_EQ(ChooseStrategy(empty, some), IntersectStrategy::kMerge);
+  EXPECT_EQ(ChooseStrategy(some, empty), IntersectStrategy::kMerge);
+  EXPECT_EQ(ChooseStrategy(empty, empty), IntersectStrategy::kMerge);
+}
+
+TEST(AutoStrategyTest, EmptyInputsCountZeroEveryCombination) {
+  FesiaSet empty_a = FesiaSet::Build({});
+  FesiaSet empty_b = FesiaSet::Build({});
+  FesiaSet some = FesiaSet::Build(datagen::SortedUniform(1000, 10000, 8));
+  for (SimdLevel level : testing::AvailableLevels()) {
+    EXPECT_EQ(IntersectCountAuto(empty_a, some, level), 0u)
+        << SimdLevelName(level);
+    EXPECT_EQ(IntersectCountAuto(some, empty_a, level), 0u)
+        << SimdLevelName(level);
+    EXPECT_EQ(IntersectCountAuto(empty_a, empty_b, level), 0u)
+        << SimdLevelName(level);
+  }
 }
 
 }  // namespace

@@ -73,6 +73,31 @@ TEST_P(BitmapStepTest, MatchedSegmentsWithWrappedBitmaps) {
   }
 }
 
+TEST_P(BitmapStepTest, MatchedSegmentsWithSubChunkSmallBitmap) {
+  // Tiny sets get bitmaps as small as one 64-bit word — narrower than one
+  // SSE/AVX2/AVX-512 chunk. Step 1 must see the wrapped small segments in
+  // every chunk lane (the SmallChunk tiling in intersect_impl.h), not the
+  // zero padding behind the real bitmap; a miscount here silently drops
+  // matches. Exercises small segment counts from 2 up across all ISAs.
+  FesiaParams p;
+  p.segment_bits = GetParam();
+  for (size_t n_small : {1u, 2u, 4u, 11u}) {
+    SetPair pair = PairWithSelectivity(n_small, 50000, 1.0, 29 + n_small);
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    ASSERT_LT(fa.bitmap_bits(), 512u) << "n_small=" << n_small;
+    uint64_t expected = ReferenceMatchedSegments(fa, fb);
+    ASSERT_GT(expected, 0u) << "n_small=" << n_small;
+    for (SimdLevel level : AvailableLevels()) {
+      IntersectBreakdown bd;
+      IntersectCountInstrumented(fa, fb, &bd, level);
+      ASSERT_EQ(bd.matched_segments, expected)
+          << "n_small=" << n_small << " level=" << SimdLevelName(level)
+          << " s=" << GetParam();
+    }
+  }
+}
+
 TEST_P(BitmapStepTest, MatchedSegmentsLowerBoundedByTrueMatches) {
   FesiaParams p;
   p.segment_bits = GetParam();

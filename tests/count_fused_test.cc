@@ -1,0 +1,216 @@
+// Count-only kernel family (cache-blocked fused AND+popcount): oracle
+// sweep pinning IntersectCountFused byte-identical to IntersectCount at
+// every ISA level, across segment widths, strides, skew ratios, bitmap
+// scales, and the tiny-small-set wrap cases the blocked sweep must bounce
+// to the interleaved path. Labeled "countpath" in ctest; scripts/check.sh
+// gates it under default, ASan, and TSan presets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "fesia/auto.h"
+#include "fesia/fesia.h"
+#include "fesia/backends.h"
+#include "test_util.h"
+
+namespace fesia {
+namespace {
+
+using ::fesia::datagen::PairWithSelectivity;
+using ::fesia::datagen::SetPair;
+using ::fesia::testing::AvailableLevels;
+
+// The scalar interleaved pipeline is the correctness root: every fused
+// result is compared against it AND against the same-level interleaved
+// count, so a divergence is attributable to either the fused sweep or the
+// backend in one glance.
+void ExpectFusedMatchesEverywhere(const FesiaSet& fa, const FesiaSet& fb,
+                                  const char* what) {
+  const size_t oracle = IntersectCount(fa, fb, SimdLevel::kScalar);
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(IntersectCount(fa, fb, level), oracle)
+        << what << " interleaved level=" << SimdLevelName(level);
+    EXPECT_EQ(IntersectCountFused(fa, fb, level), oracle)
+        << what << " fused level=" << SimdLevelName(level);
+    EXPECT_EQ(IntersectCountFused(fb, fa, level), oracle)
+        << what << " fused swapped level=" << SimdLevelName(level);
+  }
+}
+
+class CountFusedOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountFusedOracleTest, SkewAndSelectivitySweep) {
+  struct Shape {
+    size_t n1, n2;
+    double selectivity;
+  };
+  const Shape shapes[] = {
+      {100, 100, 0.5},     {1000, 1000, 0.03},  {1000, 1000, 1.0},
+      {5, 100000, 1.0},    {64, 20000, 0.25},   {3000, 50000, 0.01},
+      {20000, 20000, 0.1}, {777, 12000, 0.0},
+  };
+  uint64_t seed = 1000 + static_cast<uint64_t>(GetParam());
+  for (const Shape& sh : shapes) {
+    SetPair pair = PairWithSelectivity(sh.n1, sh.n2, sh.selectivity, ++seed);
+    FesiaParams p;
+    p.segment_bits = GetParam();
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    ASSERT_EQ(IntersectCount(fa, fb, SimdLevel::kScalar),
+              pair.intersection_size);
+    ExpectFusedMatchesEverywhere(fa, fb, "sweep");
+  }
+}
+
+TEST_P(CountFusedOracleTest, StrideAndScaleVariants) {
+  uint64_t seed = 2000 + static_cast<uint64_t>(GetParam());
+  SetPair pair = PairWithSelectivity(4000, 9000, 0.07, seed);
+  for (int stride : {1, 8}) {
+    for (double scale : {0.25, 2.0, 64.0}) {
+      FesiaParams p;
+      p.segment_bits = GetParam();
+      p.kernel_stride = stride;
+      p.bitmap_scale = scale;
+      FesiaSet fa = FesiaSet::Build(pair.a, p);
+      FesiaSet fb = FesiaSet::Build(pair.b, p);
+      ExpectFusedMatchesEverywhere(fa, fb, "stride/scale");
+    }
+  }
+}
+
+TEST_P(CountFusedOracleTest, TinySmallSetWrapCases) {
+  // Sub-chunk small bitmaps (as narrow as one 64-bit word): the fused path
+  // must detect them and fall back to the interleaved pipeline, whose
+  // SmallChunk tiling handles the wrap. Run under ASan these also prove
+  // the wrap never indexes past the small set's offsets.
+  for (size_t n_small : {1u, 2u, 3u, 8u}) {
+    SetPair pair =
+        PairWithSelectivity(n_small, 200000, 1.0, 31 * n_small + 7);
+    FesiaParams p;
+    p.segment_bits = GetParam();
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    ASSERT_LT(fa.bitmap_bits(), 512u) << "n_small=" << n_small;
+    ASSERT_EQ(IntersectCount(fa, fb, SimdLevel::kScalar),
+              pair.intersection_size);
+    ExpectFusedMatchesEverywhere(fa, fb, "tiny-wrap");
+  }
+  // Denser variant: bitmap_scale 2.0 floors the small bitmap at exactly one
+  // 64-bit word even at 20 elements, maximizing wrapped collisions.
+  for (size_t n_small : {5u, 20u}) {
+    SetPair pair =
+        PairWithSelectivity(n_small, 100000, 1.0, 41 * n_small + 3);
+    FesiaParams p;
+    p.segment_bits = GetParam();
+    p.bitmap_scale = 2.0;
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    ASSERT_EQ(fa.bitmap_bits(), 64u) << "n_small=" << n_small;
+    ExpectFusedMatchesEverywhere(fa, fb, "tiny-wrap-dense");
+  }
+  // Partial-overlap variant: wrapped false positives must be pruned, not
+  // merely counted consistently.
+  SetPair pair = PairWithSelectivity(6, 150000, 0.5, 99);
+  FesiaParams p;
+  p.segment_bits = GetParam();
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b, p);
+  ExpectFusedMatchesEverywhere(fa, fb, "tiny-wrap-partial");
+}
+
+TEST_P(CountFusedOracleTest, EmptyAndDegenerateInputs) {
+  FesiaParams p;
+  p.segment_bits = GetParam();
+  FesiaSet empty = FesiaSet::Build({}, p);
+  FesiaSet one = FesiaSet::Build(std::vector<uint32_t>{42}, p);
+  FesiaSet some = FesiaSet::Build(datagen::SortedUniform(5000, 100000, 5), p);
+  for (SimdLevel level : AvailableLevels()) {
+    EXPECT_EQ(IntersectCountFused(empty, some, level), 0u);
+    EXPECT_EQ(IntersectCountFused(some, empty, level), 0u);
+    EXPECT_EQ(IntersectCountFused(empty, empty, level), 0u);
+    EXPECT_EQ(IntersectCountFused(one, one, level), 1u);
+  }
+}
+
+TEST_P(CountFusedOracleTest, RangeSlicesSumToFullCount) {
+  // count_fused_range over any chunk-aligned partition must sum to the
+  // full count — the contract the parallel executor relies on.
+  SetPair pair = PairWithSelectivity(8000, 30000, 0.05, 17);
+  FesiaParams p;
+  p.segment_bits = GetParam();
+  FesiaSet fa = FesiaSet::Build(pair.a, p);
+  FesiaSet fb = FesiaSet::Build(pair.b, p);
+  const uint32_t total_segs = std::max(fa.num_segments(), fb.num_segments());
+  for (SimdLevel level : AvailableLevels()) {
+    const internal::Backend& backend = internal::GetBackendRaw(level);
+    const uint64_t full = backend.count_fused(fa, fb);
+    ASSERT_EQ(full, IntersectCount(fa, fb, SimdLevel::kScalar))
+        << SimdLevelName(level);
+    const uint32_t chunk =
+        internal::SegmentChunk(level, p.segment_bits);
+    for (uint32_t slices : {2u, 3u, 7u}) {
+      uint32_t per =
+          ((total_segs / chunk + slices - 1) / slices) * chunk;
+      if (per == 0) per = chunk;
+      uint64_t sum = 0;
+      for (uint32_t begin = 0; begin < total_segs; begin += per) {
+        sum += backend.count_fused_range(
+            fa, fb, begin, std::min(begin + per, total_segs));
+      }
+      EXPECT_EQ(sum, full)
+          << SimdLevelName(level) << " slices=" << slices;
+    }
+  }
+}
+
+TEST_P(CountFusedOracleTest, AdversarialCollisionShapes) {
+  // Monster single-segment runs (beyond every kernel table) and maximal
+  // false-positive pairs take the scalar-fallback dispatch inside the
+  // fused drain; counts must not move.
+  FesiaParams p;
+  p.segment_bits = GetParam();
+  p.bitmap_scale = 2.0;
+  Rng rng(7);
+  std::vector<uint32_t> a = testing::RandomSortedRun(600, 1u << 14, rng);
+  std::vector<uint32_t> b = testing::RandomSortedRun(500, 1u << 14, rng);
+  FesiaSet fa = FesiaSet::Build(a, p);
+  FesiaSet fb = FesiaSet::Build(b, p);
+  ExpectFusedMatchesEverywhere(fa, fb, "dense-collisions");
+}
+
+TEST_P(CountFusedOracleTest, ParallelAndAutoPathsAgree) {
+  // The parallel/cancellable wrappers and the auto dispatcher now route
+  // count traffic through the fused family; end-to-end counts must match
+  // the interleaved oracle for balanced and skewed pairs alike.
+  for (auto [n1, n2] : {std::pair<size_t, size_t>{12000, 12000},
+                        std::pair<size_t, size_t>{100, 40000}}) {
+    SetPair pair = PairWithSelectivity(n1, n2, 0.2, n1 ^ n2);
+    FesiaParams p;
+    p.segment_bits = GetParam();
+    FesiaSet fa = FesiaSet::Build(pair.a, p);
+    FesiaSet fb = FesiaSet::Build(pair.b, p);
+    EXPECT_EQ(IntersectCountAuto(fa, fb), pair.intersection_size);
+    for (size_t threads : {1, 2, 4}) {
+      EXPECT_EQ(IntersectCountParallel(fa, fb, threads),
+                pair.intersection_size)
+          << "threads=" << threads;
+    }
+    bool stopped = true;
+    CancelContext inert;
+    EXPECT_EQ(IntersectCountCancellable(fa, fb, inert, SimdLevel::kAuto,
+                                        &stopped),
+              pair.intersection_size);
+    EXPECT_FALSE(stopped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentWidths, CountFusedOracleTest,
+                         ::testing::Values(8, 16, 32),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "s" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace fesia

@@ -33,7 +33,7 @@ TEST_P(FesiaSetBuildTest, BasicShape) {
   FesiaSet set = FesiaSet::Build(v, p);
   EXPECT_EQ(set.size(), 1000u);
   EXPECT_TRUE(IsPow2(set.bitmap_bits()));
-  EXPECT_GE(set.bitmap_bits(), 512u);
+  EXPECT_GE(set.bitmap_bits(), 64u);
   EXPECT_EQ(set.segment_bits(), p.segment_bits);
   EXPECT_EQ(set.num_segments(),
             set.bitmap_bits() / static_cast<uint32_t>(p.segment_bits));
@@ -50,6 +50,22 @@ TEST_P(FesiaSetBuildTest, OffsetsMonotoneAndComplete) {
   // Total padded size >= n; equal when stride == 1.
   EXPECT_GE(set.reordered_size(), set.size());
   if (p.kernel_stride == 1) EXPECT_EQ(set.reordered_size(), set.size());
+}
+
+TEST_P(FesiaSetBuildTest, TinySetsGetSubVectorBitmaps) {
+  // The bitmap floor is one 64-bit word, not one 512-bit vector: a handful
+  // of elements must not pay for 512 bitmap bits. The intersection pipeline
+  // tiles such bitmaps across wider SIMD chunks (countpath wrap tests pin
+  // the behavior end to end).
+  FesiaParams p = Params();
+  for (size_t n : {1u, 2u, 5u}) {
+    FesiaSet set = FesiaSet::Build(datagen::SortedUniform(n, 1u << 20, 77 + n), p);
+    EXPECT_TRUE(IsPow2(set.bitmap_bits())) << "n=" << n;
+    EXPECT_GE(set.bitmap_bits(), 64u) << "n=" << n;
+    EXPECT_LT(set.bitmap_bits(), 512u) << "n=" << n;
+    EXPECT_EQ(set.num_segments(),
+              set.bitmap_bits() / static_cast<uint32_t>(p.segment_bits));
+  }
 }
 
 TEST_P(FesiaSetBuildTest, SegmentRunsAscendingAndHashConsistent) {

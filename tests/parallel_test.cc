@@ -297,9 +297,9 @@ TEST(ParallelCancelTest, MidFlightCancelStopsParallelCall) {
 
 // Builds a pair whose bitmaps land on exactly `segments` segments of 16
 // bits: bitmap_scale * n = segments * 16 is a power of two, so the
-// round-up in FesiaSet::Build keeps it bit-exact. `segments` must be >= 32
-// (Build floors every bitmap at one full 512-bit vector). Lets the
-// cancellation tests pin work sizes directly onto the poll-chunk boundary.
+// round-up in FesiaSet::Build keeps it bit-exact. `segments` must be >= 4
+// (Build floors every bitmap at one 64-bit word). Lets the cancellation
+// tests pin work sizes directly onto the poll-chunk boundary.
 std::pair<FesiaSet, FesiaSet> PairWithSegments(uint32_t segments,
                                                uint64_t seed,
                                                size_t* expected) {
@@ -369,9 +369,9 @@ TEST(ParallelCancelTest, ChunkBoundarySegmentCountsStayExact) {
 }
 
 TEST(ParallelCancelTest, PreCancelledStopsSmallestConstructibleJob) {
-  // The smallest constructible job (one 512-bit bitmap vector: exactly one
-  // poll chunk at AVX-512) must still observe the token: the poll happens
-  // before the first chunk, not only between chunks.
+  // A one-poll-chunk job (512 bitmap bits: exactly one poll chunk at
+  // AVX-512) must still observe the token: the poll happens before the
+  // first chunk, not only between chunks.
   for (SimdLevel level : AvailableLevels()) {
     uint32_t chunk = internal::SegmentChunk(level, 16);
     uint32_t segs = 32;
