@@ -51,6 +51,15 @@ for preset in default asan ubsan tsan; do
     echo "=== [$preset] live mutation (ctest -L mutation) ==="
     ctest --preset "$preset" -L mutation -j "$jobs"
   fi
+  # Resource-governance gate: memory budgets, chunked WAL replay, mutation
+  # backpressure, and pressure-aware query degradation by label. ASan
+  # covers the replay window and charge-rollback paths; TSan races the
+  # hard-cap storm (mutators vs. an in-flight flush) and the concurrent
+  # charge/uncharge accounting.
+  if [ "$preset" = default ] || [ "$preset" = asan ] || [ "$preset" = tsan ]; then
+    echo "=== [$preset] resource governance (ctest -L resource) ==="
+    ctest --preset "$preset" -L resource -j "$jobs"
+  fi
   # Count-path gate: the fused AND+popcount oracle sweep (byte-identical
   # counts vs. the interleaved pipeline, tiny-small-set wrap cases, range
   # slice sums) by label. ASan is load-bearing for the wrap regressions and

@@ -145,6 +145,18 @@ const char* QueryOutcomeName(QueryOutcome outcome) {
   return "unknown";
 }
 
+const char* QueryPriorityName(QueryPriority priority) {
+  switch (priority) {
+    case QueryPriority::kLow:
+      return "low";
+    case QueryPriority::kNormal:
+      return "normal";
+    case QueryPriority::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
 const FesiaSet& QueryEngine::TermSet(uint32_t term) const {
   FESIA_CHECK(term < term_sets_.size());
   return term_sets_[term];
@@ -334,8 +346,20 @@ std::vector<QueryResult> QueryEngine::RunBatch(
                           options.level > health.effective);
 
   const int max_attempts = std::max(options.retry.max_attempts, 1);
-  const ExecTier base_tier =
-      parallel_allowed ? ExecTier::kParallel : ExecTier::kSerial;
+
+  MemoryBudget* budget =
+      options.budget != nullptr ? options.budget : MemoryBudget::Unlimited();
+
+  // The batch's fixed scratch — result slots and latency book-keeping —
+  // is charged up front. A refusal does not fail the batch: it enters the
+  // same degraded mode as watermark pressure (serial O(1)-scratch tiers,
+  // low-priority queries shed), trading speed for admission.
+  ScopedCharge scratch(budget);
+  const bool scratch_refused =
+      !scratch
+           .Add(queries.size() * (sizeof(QueryResult) + sizeof(double)),
+                "batch scratch")
+           .ok();
 
   RunDynamic(queries.size(), options.num_threads, options.executor,
              [&](size_t i) {
@@ -369,6 +393,20 @@ std::vector<QueryResult> QueryEngine::RunBatch(
       return;
     }
 
+    // Pressure-aware admission: sampled per query (not once per batch) so
+    // a budget that crosses its watermark mid-batch starts degrading the
+    // remaining queries immediately. Low-priority work is shed before it
+    // touches the index; everything else keeps running but is pushed onto
+    // the O(1)-scratch serial tier below.
+    const bool pressured = scratch_refused || budget->under_pressure();
+    if (pressured && options.priority == QueryPriority::kLow) {
+      res.pressure_affected = true;
+      finish(QueryOutcome::kShed,
+             Status::Unavailable(
+                 "memory budget under pressure; low-priority query shed"));
+      return;
+    }
+
     if (!TryAdmit(inflight_, options.admission_capacity)) {
       finish(QueryOutcome::kShed,
              Status::Unavailable(
@@ -388,6 +426,16 @@ std::vector<QueryResult> QueryEngine::RunBatch(
 
     if (backend_clamped) res.downgraded = true;
     if (parallel_requested && !parallel_allowed) res.downgraded = true;
+    // The parallel tier's per-chunk scratch is proportional to list sizes;
+    // under pressure the query runs serial (for counts, the fused
+    // AND+popcount sweep) whose scratch is O(1).
+    if (pressured && parallel_allowed) {
+      res.downgraded = true;
+      res.pressure_affected = true;
+    }
+    const ExecTier base_tier = parallel_allowed && !pressured
+                                   ? ExecTier::kParallel
+                                   : ExecTier::kSerial;
 
     double backoff = options.retry.initial_backoff_seconds;
     Status last_error;
@@ -476,6 +524,10 @@ std::vector<QueryResult> QueryEngine::RunBatch(
       }
       if (res.attempts > 1) stats->retries += res.attempts - 1;
       if (res.downgraded) ++stats->downgrades;
+      if (res.pressure_affected) {
+        if (res.outcome == QueryOutcome::kShed) ++stats->pressure_shed;
+        if (res.downgraded) ++stats->pressure_downgrades;
+      }
       if (options.slow_query_seconds > 0 &&
           res.latency_seconds >= options.slow_query_seconds) {
         ++stats->slow_queries;

@@ -14,6 +14,7 @@
 #include "fesia/fesia.h"
 #include "index/inverted_index.h"
 #include "util/deadline.h"
+#include "util/memory_budget.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -29,6 +30,18 @@ enum class QueryOutcome : int {
 
 /// Stable lowercase name ("ok", "deadline-exceeded", "shed", "failed").
 const char* QueryOutcomeName(QueryOutcome outcome);
+
+/// Relative importance of a batch when the system is under memory
+/// pressure. Priorities only matter while BatchOptions::budget reports
+/// pressure; an unpressured system treats all three identically.
+enum class QueryPriority : int {
+  kLow = 0,     // shed first under pressure (analytics, prefetch, warmup)
+  kNormal = 1,  // degraded to O(1)-scratch serial paths under pressure
+  kHigh = 2,    // degraded like kNormal, never pressure-shed
+};
+
+/// Stable lowercase name ("low", "normal", "high").
+const char* QueryPriorityName(QueryPriority priority);
 
 /// Retry discipline for transient per-query failures (currently the
 /// injected-allocation fault; real transient causes plug into the same
@@ -90,6 +103,16 @@ struct BatchOptions {
   /// latency reaches slow_query_seconds. Must be thread-safe; keep it
   /// cheap (it runs inside the batch).
   std::function<void(const SlowQueryRecord&)> slow_query_hook;
+  /// Memory budget consulted for pressure-aware degradation (one rung of
+  /// the docs/ROBUSTNESS.md ladder): while the budget (or an ancestor) is
+  /// over its high watermark, kLow-priority queries are shed outright
+  /// (kShed, before touching the index) and everything else is forced off
+  /// the parallel tier onto the serial / count-fused paths whose scratch
+  /// is O(1) — degrading before rejecting. nullptr means
+  /// MemoryBudget::Unlimited(), which is never under pressure, so
+  /// existing callers see byte-identical behavior.
+  MemoryBudget* budget = nullptr;
+  QueryPriority priority = QueryPriority::kNormal;
 };
 
 /// Outcome of one query in a batch. `count`/`docs` are exact if and only
@@ -106,9 +129,12 @@ struct QueryResult {
   /// by the batch deadline).
   int attempts = 0;
   /// True when any degradation rung was taken: parallel tier refused,
-  /// backend quarantine clamped the SIMD level, or a retry stepped down a
-  /// tier.
+  /// backend quarantine clamped the SIMD level, a retry stepped down a
+  /// tier, or memory pressure forced the serial tier.
   bool downgraded = false;
+  /// True when memory pressure shed this query or forced it down a tier
+  /// (the pressure_* counters in BatchStats sum this flag).
+  bool pressure_affected = false;
   double latency_seconds = 0;
 
   bool ok() const { return outcome == QueryOutcome::kOk; }
@@ -139,6 +165,12 @@ struct BatchStats {
   size_t downgrades = 0;
   /// Queries at or above BatchOptions::slow_query_seconds.
   size_t slow_queries = 0;
+  /// Memory-pressure events (BatchOptions::budget over its high
+  /// watermark): low-priority queries shed (also counted in `shed`) and
+  /// queries forced onto the serial O(1)-scratch tier (also counted in
+  /// `downgrades`).
+  size_t pressure_shed = 0;
+  size_t pressure_downgrades = 0;
 };
 
 /// Executes multi-keyword AND queries. FESIA structures for every posting

@@ -62,6 +62,8 @@ index::BatchStats MergeBatchStats(std::span<const index::BatchStats> stats) {
     merged.retries += s.retries;
     merged.downgrades += s.downgrades;
     merged.slow_queries += s.slow_queries;
+    merged.pressure_shed += s.pressure_shed;
+    merged.pressure_downgrades += s.pressure_downgrades;
   }
   if (!merged.latency_seconds.empty()) {
     merged.latency_p50 = Quantile(merged.latency_seconds, 0.5);
@@ -160,6 +162,10 @@ std::vector<RoutedQueryResult> ShardRouter::Run(
       sub.retry = options.retry;
       sub.intra_query_threads = options.intra_query_threads;
       sub.slow_query_seconds = options.slow_query_seconds;
+      sub.budget = options.budget != nullptr
+                       ? options.budget
+                       : index_->shard_budget(live[li].shard);
+      sub.priority = options.priority;
       index::BatchStats* sub_stats = &per_shard[live[li].shard];
       const store::IndexManager::MutationView& view = live[li].view;
       shard_results[li] =

@@ -61,6 +61,14 @@ struct RouterOptions {
   index::RetryPolicy retry;
   size_t intra_query_threads = 1;
   double slow_query_seconds = 0;
+  /// Memory budget consulted by every shard sub-batch's admission (see
+  /// BatchOptions::budget). nullptr defaults each sub-batch to its shard's
+  /// own sub-budget (when the index was created with one), so pressure in
+  /// one shard degrades only that shard's sub-queries.
+  MemoryBudget* budget = nullptr;
+  /// Priority under memory pressure, forwarded to every shard sub-batch
+  /// (see BatchOptions::priority).
+  index::QueryPriority priority = index::QueryPriority::kNormal;
 };
 
 /// Gathered outcome of one query across all shards.

@@ -105,6 +105,17 @@ StatusOr<ShardedIndex> ShardedIndex::Create(const index::InvertedIndex* full,
     store::IndexManager::Options mgr_opts;
     mgr_opts.params = options.params;
     mgr_opts.format_version = options.format_version;
+    mgr_opts.mutation_soft_bytes = options.mutation_soft_bytes;
+    mgr_opts.mutation_hard_bytes = options.mutation_hard_bytes;
+    if (options.budget != nullptr || options.shard_budget_bytes > 0) {
+      // Each shard charges through a private child: a per-shard cap (when
+      // configured) plus roll-up into the shared parent budget.
+      shard.budget = std::make_unique<MemoryBudget>(
+          options.shard_budget_bytes > 0 ? options.shard_budget_bytes
+                                         : MemoryBudget::kNoLimit,
+          options.budget, ShardDirName(s));
+      mgr_opts.budget = shard.budget.get();
+    }
     shard.manager = std::make_unique<store::IndexManager>(
         shard.idx.get(), shard.store.get(), mgr_opts);
     ++usable;
@@ -279,6 +290,21 @@ size_t ShardedIndex::pending_mutations() const {
     }
   }
   return pending;
+}
+
+uint64_t ShardedIndex::pending_bytes() const {
+  uint64_t pending = 0;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->manager != nullptr) {
+      pending += shards_[s]->manager->pending_bytes();
+    }
+  }
+  return pending;
+}
+
+MemoryBudget* ShardedIndex::shard_budget(uint32_t shard) const {
+  FESIA_CHECK(shard < shards_.size());
+  return shards_[shard]->budget.get();
 }
 
 bool ShardedIndex::shard_quarantined(uint32_t shard) const {

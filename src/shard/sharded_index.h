@@ -46,6 +46,7 @@
 #include "shard/shard_map.h"
 #include "store/index_manager.h"
 #include "store/snapshot_store.h"
+#include "util/memory_budget.h"
 #include "util/shared_ptr_cell.h"
 
 namespace fesia::shard {
@@ -60,6 +61,20 @@ struct ShardedIndexOptions {
   size_t max_generations = 3;
   /// Format version stamped on saved generations.
   uint32_t format_version = 1;
+  /// Process/store-level memory budget the per-shard sub-budgets charge
+  /// into; nullptr means MemoryBudget::Unlimited() (no pressure, byte-
+  /// identical behavior). Must outlive the index.
+  MemoryBudget* budget = nullptr;
+  /// Hard cap of each shard's private sub-budget; 0 leaves the sub-budget
+  /// unlimited (charges still roll up into `budget`). One slow/bloated
+  /// shard then exhausts only its own allowance instead of starving the
+  /// siblings out of the shared parent.
+  uint64_t shard_budget_bytes = 0;
+  /// Mutation backpressure bounds forwarded to every per-shard
+  /// IndexManager (see IndexManager::Options::mutation_soft_bytes /
+  /// mutation_hard_bytes); 0 disables. Bounds apply per shard.
+  uint64_t mutation_soft_bytes = 0;
+  uint64_t mutation_hard_bytes = 0;
 };
 
 class ShardedIndex {
@@ -146,6 +161,14 @@ class ShardedIndex {
 
   /// Documents with unmerged mutations, summed across shards.
   size_t pending_mutations() const;
+  /// Overlay + open-WAL bytes with unmerged mutations, summed across
+  /// shards (see IndexManager::pending_bytes()).
+  uint64_t pending_bytes() const;
+
+  /// The shard's private sub-budget (child of
+  /// ShardedIndexOptions::budget); null when no budget governance was
+  /// configured or the shard has no store-backed manager.
+  MemoryBudget* shard_budget(uint32_t shard) const;
 
   /// True when the shard is not being routed to.
   bool shard_quarantined(uint32_t shard) const;
@@ -170,6 +193,9 @@ class ShardedIndex {
   struct Shard {
     std::unique_ptr<index::InvertedIndex> idx;
     std::unique_ptr<store::SnapshotStore> store;
+    /// Child of ShardedIndexOptions::budget; must outlive `manager`, which
+    /// holds a raw pointer to it.
+    std::unique_ptr<MemoryBudget> budget;
     std::unique_ptr<store::IndexManager> manager;
     /// Serving engine for manager-less shards (memory-only mode or a dead
     /// store); same publication discipline as IndexManager's pointer.

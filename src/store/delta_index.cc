@@ -17,11 +17,20 @@ constexpr uint32_t kMutableVersion = 1;
 
 }  // namespace
 
+uint64_t DeltaIndex::EntryBytes(const DeltaDoc& doc) {
+  // Deliberate estimate (backpressure signal, not an allocator audit): the
+  // term payload plus a constant for the map node, key, and DeltaDoc.
+  return 64 + doc.terms.size() * sizeof(uint32_t);
+}
+
 void DeltaIndex::Apply(const WalRecord& record) {
-  DeltaDoc& doc = docs_[record.doc];
+  auto [it, inserted] = docs_.try_emplace(record.doc);
+  DeltaDoc& doc = it->second;
+  if (!inserted) pending_bytes_ -= EntryBytes(doc);
   doc.tombstone = record.kind == WalRecord::Kind::kDelete;
   doc.terms = record.terms;
   doc.seq = record.seq;
+  pending_bytes_ += EntryBytes(doc);
   cache_.reset();
 }
 
@@ -29,6 +38,7 @@ void DeltaIndex::PruneThrough(uint64_t seq) {
   bool changed = false;
   for (auto it = docs_.begin(); it != docs_.end();) {
     if (it->second.seq <= seq) {
+      pending_bytes_ -= EntryBytes(it->second);
       it = docs_.erase(it);
       changed = true;
     } else {

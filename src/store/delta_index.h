@@ -63,8 +63,18 @@ class DeltaIndex {
   size_t size() const { return docs_.size(); }
   bool empty() const { return docs_.empty(); }
 
+  /// Estimated heap bytes the overlay holds: term payloads plus a
+  /// per-entry constant covering the map node, key, and DeltaDoc header
+  /// (tombstones count the constant alone). Maintained incrementally by
+  /// Apply/PruneThrough — this is the overlay half of the byte bound
+  /// mutation backpressure enforces, alongside the WAL's open_bytes().
+  uint64_t pending_bytes() const { return pending_bytes_; }
+
  private:
+  static uint64_t EntryBytes(const DeltaDoc& doc);
+
   DeltaSnapshot docs_;
+  uint64_t pending_bytes_ = 0;
   mutable std::shared_ptr<const DeltaSnapshot> cache_;
 };
 

@@ -11,14 +11,28 @@ namespace {
 
 /// Wraps a loaded engine so its shared_ptr also keeps the merged base
 /// index alive: readers that hold only the engine (the legacy engine()
-/// accessor) must never outlive the index it references.
+/// accessor) must never outlive the index it references. The engine's
+/// budget charge travels the same way — it releases when the last reader
+/// drops the engine, so after a hot swap the old generation's bytes stay
+/// charged exactly as long as they stay resident.
 std::shared_ptr<const index::QueryEngine> WrapEngineWithBase(
     index::QueryEngine&& engine,
-    std::shared_ptr<const index::InvertedIndex> base) {
+    std::shared_ptr<const index::InvertedIndex> base,
+    ScopedCharge charge = {}) {
   auto* raw = new index::QueryEngine(std::move(engine));
+  // shared_ptr deleters must be copyable; park the move-only charge behind
+  // a shared holder.
+  auto held = std::make_shared<ScopedCharge>(std::move(charge));
   return std::shared_ptr<const index::QueryEngine>(
-      raw,
-      [base = std::move(base)](const index::QueryEngine* e) { delete e; });
+      raw, [base = std::move(base), held = std::move(held)](
+               const index::QueryEngine* e) { delete e; });
+}
+
+/// Steady-state footprint estimate of an engine built over `idx`: posting
+/// elements plus FESIA bitmap/offset overhead, ~3 words per element. An
+/// estimate is enough — budgets govern trends, they don't audit malloc.
+uint64_t EngineFootprintBytes(const index::InvertedIndex& idx) {
+  return static_cast<uint64_t>(idx.total_postings()) * 12;
 }
 
 }  // namespace
@@ -62,13 +76,18 @@ void IndexManager::Publish(std::shared_ptr<const index::QueryEngine> next,
 
 Status IndexManager::Rebuild() {
   std::lock_guard<std::mutex> lock(mu_);
-  auto built = std::make_shared<index::QueryEngine>(idx_, options_.params);
+  // Admission before the build allocates: a refused charge leaves the
+  // incumbent serving and surfaces kResourceExhausted instead of an OOM.
+  ScopedCharge charge(Budget());
+  FESIA_RETURN_IF_ERROR(
+      charge.Add(EngineFootprintBytes(*idx_), "engine rebuild"));
+  index::QueryEngine built(idx_, options_.params);
   // An idx-rebuild serves the construction-time corpus: outstanding delta
   // entries keep overlaying it, but mutations already merged into a
   // generation (and pruned) are not part of it — reload the generation to
   // get those back.
-  Publish(std::move(built), 0, nullptr, /*applied_seq=*/0,
-          /*prune_delta=*/false);
+  Publish(WrapEngineWithBase(std::move(built), nullptr, std::move(charge)),
+          0, nullptr, /*applied_seq=*/0, /*prune_delta=*/false);
   return Status::Ok();
 }
 
@@ -110,6 +129,13 @@ Status IndexManager::LoadCurrentLocked() {
   uint64_t gen = 0;
   auto payload = snapshots_->ReadCurrent(&gen);
   if (!payload.ok()) return payload.status();
+  // The raw payload is charged for the load's duration; the decoded
+  // engine's footprint is charged separately and rides the published
+  // engine's lifetime. Any refusal aborts the load with the incumbent
+  // untouched — the same rollback contract as a validation failure.
+  ScopedCharge payload_charge(Budget());
+  FESIA_RETURN_IF_ERROR(
+      payload_charge.Add(payload->size(), "snapshot payload"));
 
   if (HasMutablePayloadMagic(*payload)) {
     // Merged (mutable-path) generation: the base index travels with it.
@@ -119,20 +145,28 @@ Status IndexManager::LoadCurrentLocked() {
     if (!base_or.ok()) return base_or.status();
     auto base = std::make_shared<const index::InvertedIndex>(
         *std::move(base_or));
+    ScopedCharge engine_charge(Budget());
+    FESIA_RETURN_IF_ERROR(
+        engine_charge.Add(EngineFootprintBytes(*base), "loaded engine"));
     auto loaded = index::QueryEngine::Load(base.get(),
                                            decoded->term_set_bytes);
     if (!loaded.ok()) return loaded.status();
     const uint64_t applied = decoded->applied_seq;
-    Publish(WrapEngineWithBase(*std::move(loaded), base), gen, base,
-            applied, /*prune_delta=*/true);
+    Publish(WrapEngineWithBase(*std::move(loaded), base,
+                               std::move(engine_charge)),
+            gen, base, applied, /*prune_delta=*/true);
     next_seq_ = std::max(next_seq_, applied + 1);
     return Status::Ok();
   }
 
+  ScopedCharge engine_charge(Budget());
+  FESIA_RETURN_IF_ERROR(
+      engine_charge.Add(EngineFootprintBytes(*idx_), "loaded engine"));
   auto loaded = index::QueryEngine::Load(idx_, *payload);
   if (!loaded.ok()) return loaded.status();
-  Publish(std::make_shared<index::QueryEngine>(*std::move(loaded)), gen,
-          nullptr, /*applied_seq=*/0, /*prune_delta=*/false);
+  Publish(WrapEngineWithBase(*std::move(loaded), nullptr,
+                             std::move(engine_charge)),
+          gen, nullptr, /*applied_seq=*/0, /*prune_delta=*/false);
   return Status::Ok();
 }
 
@@ -203,7 +237,10 @@ Status IndexManager::OpenMutationLog(WalReplayReport* report) {
   }
   std::vector<WalRecord> records;
   WalReplayReport rep;
-  auto wal = WriteAheadLog::Open(snapshots_->dir(), &records, &rep);
+  WalOpenOptions wal_opts;
+  wal_opts.budget = Budget();
+  auto wal = WriteAheadLog::Open(snapshots_->dir(), &records, &rep,
+                                 wal_opts);
   if (!wal.ok()) return wal.status();
   wal_ = std::make_unique<WriteAheadLog>(*std::move(wal));
   {
@@ -239,6 +276,9 @@ Status IndexManager::Upsert(uint32_t doc, std::vector<uint32_t> terms,
     return Status::FailedPrecondition(
         "mutation log not open: call OpenMutationLog first");
   }
+  // Backpressure before durability: a rejected mutation was never
+  // appended, so nothing acknowledged is ever dropped.
+  FESIA_RETURN_IF_ERROR(CheckMutationPressureLocked());
   WalRecord rec;
   rec.seq = next_seq_;
   rec.kind = WalRecord::Kind::kUpsert;
@@ -252,6 +292,12 @@ Status IndexManager::Upsert(uint32_t doc, std::vector<uint32_t> terms,
     std::lock_guard<std::mutex> vlock(view_mu_);
     delta_.Apply(rec);
   }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  // The pre-append gate only reacts to bytes already pending, so the
+  // accept that first crosses the soft bound must itself request the
+  // size-based flush — otherwise a lone over-bound mutation sits in the
+  // overlay until the next timer tick or mutation.
+  NotifySoftBoundLocked();
   if (seq != nullptr) *seq = rec.seq;
   return Status::Ok();
 }
@@ -265,6 +311,7 @@ Status IndexManager::Delete(uint32_t doc, uint64_t* seq) {
     return Status::FailedPrecondition(
         "mutation log not open: call OpenMutationLog first");
   }
+  FESIA_RETURN_IF_ERROR(CheckMutationPressureLocked());
   WalRecord rec;
   rec.seq = next_seq_;
   rec.kind = WalRecord::Kind::kDelete;
@@ -275,8 +322,59 @@ Status IndexManager::Delete(uint32_t doc, uint64_t* seq) {
     std::lock_guard<std::mutex> vlock(view_mu_);
     delta_.Apply(rec);
   }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  // The pre-append gate only reacts to bytes already pending, so the
+  // accept that first crosses the soft bound must itself request the
+  // size-based flush — otherwise a lone over-bound mutation sits in the
+  // overlay until the next timer tick or mutation.
+  NotifySoftBoundLocked();
   if (seq != nullptr) *seq = rec.seq;
   return Status::Ok();
+}
+
+uint64_t IndexManager::MutationBytesLocked() const {
+  uint64_t pending = 0;
+  {
+    std::lock_guard<std::mutex> vlock(view_mu_);
+    pending = delta_.pending_bytes();
+  }
+  return pending + (wal_ != nullptr ? wal_->open_bytes() : 0);
+}
+
+Status IndexManager::CheckMutationPressureLocked() {
+  const uint64_t soft = options_.mutation_soft_bytes;
+  const uint64_t hard = options_.mutation_hard_bytes;
+  if (soft == 0 && hard == 0) return Status::Ok();
+  const uint64_t total = MutationBytesLocked();
+  if (hard != 0 && total >= hard) {
+    if (flush_in_progress_) {
+      // The merge already draining the overlay is the only relief valve;
+      // piling more on while it runs is how the OOM killer gets involved.
+      // Nothing was appended, so the caller lost nothing acknowledged.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "mutation backpressure: overlay+wal at " + std::to_string(total) +
+          " bytes, hard cap " + std::to_string(hard) +
+          ", flush in flight; retry after it completes");
+    }
+    RequestFlush();
+    return Status::Ok();  // accepted; an urgent flush will drain the bytes
+  }
+  if (soft != 0 && total >= soft) RequestFlush();
+  return Status::Ok();
+}
+
+void IndexManager::NotifySoftBoundLocked() {
+  const uint64_t soft = options_.mutation_soft_bytes;
+  if (soft != 0 && MutationBytesLocked() >= soft) RequestFlush();
+}
+
+void IndexManager::RequestFlush() {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_requested_ = true;
+  }
+  flush_cv_.notify_all();
 }
 
 Status IndexManager::FlushDelta(uint64_t* generation) {
@@ -328,7 +426,16 @@ Status IndexManager::FlushDelta(uint64_t* generation) {
   // Phase 2 (off-lock; queries and new mutations keep flowing): build the
   // merged generation, then validate by decoding the encoded payload and
   // loading the round-tripped engine — what gets published is exactly what
-  // a reload of the committed bytes would serve.
+  // a reload of the committed bytes would serve. The candidate's footprint
+  // is charged before the merge materializes anything; a refusal rolls
+  // back to the incumbent exactly like a validation failure, and on
+  // success the charge rides the published engine.
+  ScopedCharge merge_charge(Budget());
+  if (Status cs = merge_charge.Add(EngineFootprintBytes(*frozen_base),
+                                   "flush candidate");
+      !cs.ok()) {
+    return fail(cs);
+  }
   std::vector<std::vector<uint32_t>> postings =
       ApplyDeltaToPostings(*frozen_base, *frozen);
   index::InvertedIndex merged = index::InvertedIndex::FromPostings(
@@ -351,7 +458,8 @@ Status IndexManager::FlushDelta(uint64_t* generation) {
   auto loaded = index::QueryEngine::Load(base.get(),
                                          decoded->term_set_bytes);
   if (!loaded.ok()) return fail(loaded.status());
-  auto next = WrapEngineWithBase(*std::move(loaded), base);
+  auto next =
+      WrapEngineWithBase(*std::move(loaded), base, std::move(merge_charge));
 
   // Phase 3 (under mu_): commit, publish, prune, and only then truncate.
   std::lock_guard<std::mutex> lock(mu_);
@@ -385,11 +493,21 @@ void IndexManager::StartAutoFlush(double interval_seconds) {
   flush_thread_ = std::thread([this, interval_seconds] {
     const auto interval = std::chrono::duration<double>(interval_seconds);
     std::unique_lock<std::mutex> lock(flush_mu_);
-    while (!flush_cv_.wait_for(lock, interval,
-                               [this] { return flush_stop_; })) {
+    while (true) {
+      // Wakes early when backpressure requests a size-based flush; the
+      // timer alone cannot bound overlay growth between ticks.
+      flush_cv_.wait_for(lock, interval, [this] {
+        return flush_stop_ || flush_requested_;
+      });
+      if (flush_stop_) break;
+      const bool size_triggered = flush_requested_;
+      flush_requested_ = false;
       lock.unlock();
       if (pending_mutations() > 0) {
-        (void)FlushDelta();  // failures show up in rollbacks(), retried
+        Status s = FlushDelta();  // failures show in rollbacks(), retried
+        if (s.ok() && size_triggered) {
+          size_flushes_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       lock.lock();
     }
@@ -442,8 +560,12 @@ std::vector<index::QueryResult> IndexManager::CountBatch(
     const index::BatchOptions& options, index::BatchStats* stats) const {
   MutationView v = AcquireView();
   if (v.engine == nullptr) return NotServingResults(queries.size(), stats);
+  // Batches that don't bring their own budget inherit the store's, so
+  // query admission sees the same pressure signal as the mutation path.
+  index::BatchOptions opts = options;
+  if (opts.budget == nullptr) opts.budget = Budget();
   std::vector<index::QueryResult> results =
-      v.engine->CountBatch(queries, options, stats);
+      v.engine->CountBatch(queries, opts, stats);
   if (v.delta != nullptr) {
     OverlayAdjustResults(*v.base, *v.delta, queries, /*materialize=*/false,
                          results);
@@ -456,8 +578,10 @@ std::vector<index::QueryResult> IndexManager::QueryBatch(
     const index::BatchOptions& options, index::BatchStats* stats) const {
   MutationView v = AcquireView();
   if (v.engine == nullptr) return NotServingResults(queries.size(), stats);
+  index::BatchOptions opts = options;
+  if (opts.budget == nullptr) opts.budget = Budget();
   std::vector<index::QueryResult> results =
-      v.engine->QueryBatch(queries, options, stats);
+      v.engine->QueryBatch(queries, opts, stats);
   if (v.delta != nullptr) {
     OverlayAdjustResults(*v.base, *v.delta, queries, /*materialize=*/true,
                          results);
@@ -468,6 +592,32 @@ std::vector<index::QueryResult> IndexManager::QueryBatch(
 size_t IndexManager::pending_mutations() const {
   std::lock_guard<std::mutex> vlock(view_mu_);
   return delta_.size();
+}
+
+uint64_t IndexManager::pending_bytes() const {
+  std::lock_guard<std::mutex> vlock(view_mu_);
+  return delta_.pending_bytes();
+}
+
+IndexManager::MutationStats IndexManager::mutation_stats() const {
+  MutationStats ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> vlock(view_mu_);
+    ms.pending_docs = delta_.size();
+    ms.pending_bytes = delta_.pending_bytes();
+  }
+  ms.wal_open_bytes = wal_ != nullptr ? wal_->open_bytes() : 0;
+  ms.accepted = accepted_.load(std::memory_order_relaxed);
+  ms.rejected = rejected_.load(std::memory_order_relaxed);
+  ms.size_triggered_flushes =
+      size_flushes_.load(std::memory_order_relaxed);
+  const uint64_t total = ms.pending_bytes + ms.wal_open_bytes;
+  ms.under_pressure =
+      (options_.mutation_soft_bytes != 0 &&
+       total >= options_.mutation_soft_bytes) ||
+      Budget()->under_pressure();
+  return ms;
 }
 
 }  // namespace fesia::store

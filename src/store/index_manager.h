@@ -49,6 +49,7 @@
 #include "store/delta_index.h"
 #include "store/snapshot_store.h"
 #include "store/wal.h"
+#include "util/memory_budget.h"
 #include "util/shared_ptr_cell.h"
 
 namespace fesia::store {
@@ -60,6 +61,44 @@ class IndexManager {
     FesiaParams params;
     /// Format version stamped on saved generations.
     uint32_t format_version = 1;
+    /// Budget charged for this manager's large allocations: snapshot
+    /// payloads during Reload/scrub, the WAL replay window, flush
+    /// candidates, and the serving engine's steady-state footprint (an
+    /// estimate held for the engine's lifetime — it releases when the last
+    /// reader drops the old engine after a hot swap). nullptr means
+    /// MemoryBudget::Unlimited(), which keeps every existing caller
+    /// byte-identical.
+    MemoryBudget* budget = nullptr;
+    /// Soft byte bound on overlay pending_bytes() + WAL open_bytes().
+    /// Crossing it requests an early size-based flush from the auto-flush
+    /// loop (complementing its time-based tick). 0 disables.
+    uint64_t mutation_soft_bytes = 0;
+    /// Hard byte bound on the same quantity. When crossed while a flush is
+    /// already in flight, Upsert/Delete soft-fail with kResourceExhausted
+    /// *before* the WAL append — nothing is acknowledged and then dropped.
+    /// When crossed with no flush running, the mutation is accepted and an
+    /// urgent flush is requested instead. 0 disables.
+    uint64_t mutation_hard_bytes = 0;
+  };
+
+  /// Live-mutation pressure counters (see docs/ROBUSTNESS.md, "Resource
+  /// governance and backpressure").
+  struct MutationStats {
+    /// Documents with unmerged mutations (== pending_mutations()).
+    size_t pending_docs = 0;
+    /// Estimated overlay bytes (DeltaIndex::pending_bytes()).
+    uint64_t pending_bytes = 0;
+    /// Bytes across live WAL segments (WriteAheadLog::open_bytes()).
+    uint64_t wal_open_bytes = 0;
+    /// Mutations acknowledged since OpenMutationLog (excludes replay).
+    uint64_t accepted = 0;
+    /// Mutations rejected with kResourceExhausted by the hard cap.
+    uint64_t rejected = 0;
+    /// Flushes the auto-flush loop ran because the soft/hard bound was
+    /// crossed (as opposed to its timer).
+    uint64_t size_triggered_flushes = 0;
+    /// True when the byte bound is crossed or the budget reports pressure.
+    bool under_pressure = false;
   };
 
   /// One consistent read view: the serving engine, the base index it was
@@ -134,7 +173,11 @@ class IndexManager {
   /// deduplicated internally). OK means the mutation is fsynced in the WAL
   /// and visible to subsequent queries. kInvalidArgument for a document or
   /// term outside the index's id space; kFailedPrecondition before
-  /// OpenMutationLog. *seq (when non-null) receives the assigned WAL seq.
+  /// OpenMutationLog; kResourceExhausted when the mutation byte bound's
+  /// hard cap is hit while a flush is in flight (checked before the
+  /// append, so a rejected mutation was never acknowledged — safe to
+  /// retry once the flush drains the overlay). *seq (when non-null)
+  /// receives the assigned WAL seq.
   Status Upsert(uint32_t doc, std::vector<uint32_t> terms,
                 uint64_t* seq = nullptr);
 
@@ -184,6 +227,15 @@ class IndexManager {
   /// Documents with unmerged mutations in the overlay.
   size_t pending_mutations() const;
 
+  /// Estimated bytes of unmerged mutations in the overlay (terms plus
+  /// tombstone/entry overhead) — the companion of pending_mutations(),
+  /// which counts documents only and so cannot drive a byte bound.
+  uint64_t pending_bytes() const;
+
+  /// Snapshot of the mutation-pressure state (cheap; takes both internal
+  /// locks briefly).
+  MutationStats mutation_stats() const;
+
   // --- Observers --------------------------------------------------------
 
   /// Acquires the serving engine (null before the first successful
@@ -218,6 +270,22 @@ class IndexManager {
   }
 
  private:
+  /// The configured budget, never null.
+  MemoryBudget* Budget() const {
+    return options_.budget != nullptr ? options_.budget
+                                      : MemoryBudget::Unlimited();
+  }
+  /// Overlay + WAL byte total. Caller holds mu_ (takes view_mu_ inside).
+  uint64_t MutationBytesLocked() const;
+  /// Admission decision for one mutation; caller holds mu_ with the WAL
+  /// open. Rejects (hard cap + flush in flight) or requests a size-based
+  /// flush; see Options::mutation_hard_bytes.
+  Status CheckMutationPressureLocked();
+  /// Requests a size-based flush when the just-accepted mutation pushed
+  /// the overlay+WAL total over the soft bound. Caller holds mu_.
+  void NotifySoftBoundLocked();
+  /// Wakes the auto-flush loop for an immediate size-based flush.
+  void RequestFlush();
   /// Loads + validates the store's current generation; publishes on
   /// success. Caller holds mu_.
   Status LoadCurrentLocked();
@@ -242,11 +310,15 @@ class IndexManager {
   std::atomic<uint64_t> scrub_cycles_{0};
   std::atomic<uint64_t> flushes_{0};
 
-  std::mutex mu_;  // serializes store mutations and publications
+  mutable std::mutex mu_;  // serializes store mutations and publications
   // Guarded by mu_:
   std::unique_ptr<WriteAheadLog> wal_;
   uint64_t next_seq_ = 1;
   bool flush_in_progress_ = false;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> size_flushes_{0};
 
   /// Guards the read view (engine + base + delta + applied seq) so a
   /// reader acquires all four consistently. Always taken after mu_ when
@@ -265,6 +337,10 @@ class IndexManager {
   std::mutex flush_mu_;
   std::condition_variable flush_cv_;
   bool flush_stop_ = false;
+  /// Set when the byte bound is crossed; the auto-flush loop consumes it
+  /// (flushing immediately instead of waiting out its interval) and counts
+  /// the run in size_triggered_flushes.
+  bool flush_requested_ = false;
   std::thread flush_thread_;
 };
 

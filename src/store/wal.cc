@@ -1,6 +1,7 @@
 #include "store/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -14,7 +15,6 @@
 #include "util/byte_io.h"
 #include "util/crc32c.h"
 #include "util/fault_injection.h"
-#include "util/file_io.h"
 
 namespace fesia::store {
 namespace {
@@ -148,6 +148,113 @@ Status ParseFrame(std::span<const uint8_t> buf, size_t* off,
   return Status::Ok();
 }
 
+// Streams one segment through a bounded window so replay memory is
+// O(chunk), not O(segment) — a legitimately large segment must not fail
+// open the way a whole-file read capped at kDefaultMaxReadFileBytes did.
+// The window holds bytes [window_off, window_off + buf.size()) of the
+// file; `pos` is the parse position inside it (always frame-aligned
+// between records).
+struct SegmentReader {
+  int fd = -1;
+  std::string path;
+  uint64_t file_size = 0;
+  uint64_t read_off = 0;    // next file offset to read
+  uint64_t window_off = 0;  // file offset of buf[0]
+  size_t pos = 0;           // parse position within buf
+  std::vector<uint8_t> buf;
+
+  ~SegmentReader() {
+    if (fd >= 0) ::close(fd);
+  }
+  SegmentReader() = default;
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+  size_t available() const { return buf.size() - pos; }
+  uint64_t unread() const { return file_size - read_off; }
+  /// File offset of the parse position — the truncation point when the
+  /// bytes from here on turn out to be a torn tail.
+  uint64_t file_pos() const { return window_off + pos; }
+
+  Status OpenFile(const std::string& p) {
+    path = p;
+    fd = ::open(p.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Status::IoError(ErrnoMessage("open", p));
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      return Status::IoError(ErrnoMessage("fstat", p));
+    }
+    file_size = static_cast<uint64_t>(st.st_size);
+    return Status::Ok();
+  }
+
+  /// Makes at least min(want, bytes left in the file) bytes available at
+  /// `pos`, compacting the consumed prefix first so the window never holds
+  /// retired frames. `want` above the chunk size grows the window for one
+  /// oversized frame (bounded by the frame-length cap the parser enforces).
+  Status FillTo(size_t want) {
+    if (available() >= want || unread() == 0) return Status::Ok();
+    if (pos > 0) {
+      std::memmove(buf.data(), buf.data() + pos, available());
+      buf.resize(available());
+      window_off += pos;
+      pos = 0;
+    }
+    uint64_t target64 = std::min<uint64_t>(want, buf.size() + unread());
+    size_t target = static_cast<size_t>(target64);
+    if (target > buf.size() &&
+        fault::ShouldFail(fault::FaultPoint::kAllocation)) {
+      return Status::ResourceExhausted("wal: replay buffer allocation failed "
+                                       "for " + path);
+    }
+    while (buf.size() < target) {
+      size_t old = buf.size();
+      buf.resize(target);
+      ssize_t n = ::read(fd, buf.data() + old, target - old);
+      if (n < 0) {
+        buf.resize(old);
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("read", path));
+      }
+      if (n == 0) {
+        // File shorter than fstat said (concurrent external truncation);
+        // treat the vanished suffix as unreadable rather than spinning.
+        buf.resize(old);
+        file_size = read_off;
+        break;
+      }
+      buf.resize(old + static_cast<size_t>(n));
+      read_off += static_cast<uint64_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  /// Copies everything from the parse position to end-of-file into a fresh
+  /// quarantine file, streaming in window-sized pieces (the suspect suffix
+  /// can be as large as the segment).
+  Status QuarantineSuffix(const std::string& qpath, size_t chunk) {
+    int qfd = ::open(qpath.c_str(),
+                     O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+    if (qfd < 0) return Status::IoError(ErrnoMessage("open", qpath));
+    Status s = Status::Ok();
+    while (true) {
+      if (available() == 0) {
+        buf.clear();
+        window_off = file_pos();
+        pos = 0;
+        s = FillTo(std::max<size_t>(chunk, 1));
+        if (!s.ok()) break;
+        if (available() == 0) break;  // end of file
+      }
+      s = WriteAllFd(qfd, buf.data() + pos, available(), qpath);
+      if (!s.ok()) break;
+      pos = buf.size();
+    }
+    ::close(qfd);
+    return s;
+  }
+};
+
 }  // namespace
 
 std::string WalReplayReport::ToString() const {
@@ -175,7 +282,8 @@ std::string WriteAheadLog::SegmentPath(uint64_t id) const {
 
 StatusOr<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
                                             std::vector<WalRecord>* records,
-                                            WalReplayReport* report) {
+                                            WalReplayReport* report,
+                                            const WalOpenOptions& options) {
   if (dir.empty()) return Status::InvalidArgument("wal: empty directory");
   std::error_code ec;
   fs::create_directories(dir, ec);
@@ -202,17 +310,54 @@ StatusOr<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
   rep.segments = ids.size();
   uint64_t prev_seq = 0;
 
+  // The replay window is the only buffer replay holds: charge its live size
+  // (never more than one chunk, or one oversized frame) and release it when
+  // Open returns. A budget smaller than the largest segment therefore still
+  // admits replay — the regression the chunked reader exists to fix.
+  const size_t chunk = std::max<size_t>(options.replay_chunk_bytes, 4096);
+  MemoryBudget* budget =
+      options.budget != nullptr ? options.budget : MemoryBudget::Unlimited();
+  ScopedCharge window_charge(budget);
+  auto ensure_charged = [&](uint64_t want) -> Status {
+    if (want <= window_charge.bytes()) return Status::Ok();
+    return window_charge.Add(want - window_charge.bytes(),
+                             "wal replay buffer");
+  };
+
   for (uint64_t id : ids) {
     const std::string path = wal.SegmentPath(id);
-    std::vector<uint8_t> buf;
-    FESIA_RETURN_IF_ERROR(ReadFileBytes(path, &buf));
+    SegmentReader sr;
+    FESIA_RETURN_IF_ERROR(sr.OpenFile(path));
+    FESIA_RETURN_IF_ERROR(
+        ensure_charged(std::min<uint64_t>(chunk, sr.file_size)));
 
-    size_t off = 0;
     uint64_t seg_max = 0;
-    while (off < buf.size()) {
+    uint64_t seg_bytes = sr.file_size;
+    while (true) {
+      FESIA_RETURN_IF_ERROR(sr.FillTo(std::max<size_t>(chunk, 8)));
+      if (sr.available() == 0) break;  // clean end of segment
+      // Pull the whole frame into the window before parsing whenever its
+      // length field is plausible, so "not yet buffered" can never be
+      // mistaken for "torn tail" — that mistake would truncate away
+      // acknowledged records.
+      if (sr.available() >= 8) {
+        uint32_t len = 0;
+        std::memcpy(&len, sr.buf.data() + sr.pos, 4);
+        if (len >= kMinPayloadBytes && len <= kMaxPayloadBytes) {
+          const size_t need = 8 + static_cast<size_t>(len);
+          if (need > sr.available()) {
+            FESIA_RETURN_IF_ERROR(ensure_charged(need));
+            FESIA_RETURN_IF_ERROR(sr.FillTo(need));
+          }
+        }
+      }
       WalRecord rec;
-      Status s = ParseFrame(buf, &off, prev_seq, &rec);
+      size_t off = sr.pos;
+      Status s = ParseFrame(std::span<const uint8_t>(sr.buf), &off, prev_seq,
+                            &rec);
       if (s.ok()) {
+        rep.replayed_bytes += off - sr.pos;
+        sr.pos = off;
         prev_seq = rec.seq;
         seg_max = rec.seq;
         ++rep.records;
@@ -220,23 +365,26 @@ StatusOr<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
         continue;
       }
       if (s.code() == StatusCode::kResourceExhausted) return s;
-      // Torn or corrupt from `off` on: copy the suspect suffix aside for
-      // the operator (never delete evidence), then cut the segment back to
-      // its last valid frame so future appends and replays see only good
-      // bytes.
-      const size_t suspect = buf.size() - off;
+      // Torn or corrupt from the parse position on: copy the suspect
+      // suffix aside for the operator (never delete evidence), then cut
+      // the segment back to its last valid frame so future appends and
+      // replays see only good bytes.
+      const uint64_t cut_at = sr.file_pos();
+      const uint64_t suspect = sr.file_size - cut_at;
       FESIA_RETURN_IF_ERROR(
-          WriteFileBytes(QuarantinePathFor(path), buf.data() + off, suspect));
-      fs::resize_file(path, off, ec);
+          sr.QuarantineSuffix(QuarantinePathFor(path), chunk));
+      fs::resize_file(path, cut_at, ec);
       if (ec) {
         return Status::IoError("wal: cannot truncate " + path + ": " +
                                ec.message());
       }
+      seg_bytes = cut_at;
       rep.torn_tail_bytes += suspect;
       ++rep.quarantined_segments;
       break;
     }
-    wal.sealed_.push_back(SealedSegment{id, seg_max});
+    wal.sealed_.push_back(SealedSegment{id, seg_max, seg_bytes});
+    wal.sealed_bytes_ += seg_bytes;
   }
 
   wal.last_seq_ = prev_seq;
@@ -257,6 +405,8 @@ WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
       fd_(other.fd_),
       active_max_seq_(other.active_max_seq_),
       last_seq_(other.last_seq_),
+      sealed_bytes_(other.sealed_bytes_),
+      active_bytes_(other.active_bytes_),
       poisoned_(other.poisoned_) {
   other.fd_ = -1;
 }
@@ -270,6 +420,8 @@ WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
     fd_ = other.fd_;
     active_max_seq_ = other.active_max_seq_;
     last_seq_ = other.last_seq_;
+    sealed_bytes_ = other.sealed_bytes_;
+    active_bytes_ = other.active_bytes_;
     poisoned_ = other.poisoned_;
     other.fd_ = -1;
   }
@@ -317,6 +469,7 @@ Status WriteAheadLog::Append(const WalRecord& record) {
     // Power loss mid-append: half the frame reaches the disk, durably.
     (void)WriteAllFd(fd_, frame.data(), frame.size() / 2, path);
     ::fsync(fd_);
+    active_bytes_ += frame.size() / 2;
     poisoned_ = true;
     return Status::IoError("wal: injected short write tore record " +
                            std::to_string(record.seq));
@@ -324,15 +477,20 @@ Status WriteAheadLog::Append(const WalRecord& record) {
 
   Status w = WriteAllFd(fd_, frame.data(), frame.size(), path);
   if (!w.ok()) {
+    // The tear's exact length is unknown; count the full frame so
+    // open_bytes() over-reports rather than under-reports the torn tail.
+    active_bytes_ += frame.size();
     poisoned_ = true;
     return w;
   }
   if (::fsync(fd_) != 0) {
+    active_bytes_ += frame.size();
     poisoned_ = true;
     return Status::IoError(ErrnoMessage("fsync", path));
   }
   last_seq_ = record.seq;
   active_max_seq_ = record.seq;
+  active_bytes_ += frame.size();
   return Status::Ok();
 }
 
@@ -340,9 +498,11 @@ void WriteAheadLog::SealActiveLocked() {
   if (fd_ < 0) return;
   ::close(fd_);
   fd_ = -1;
-  sealed_.push_back(SealedSegment{active_id_, active_max_seq_});
+  sealed_.push_back(SealedSegment{active_id_, active_max_seq_, active_bytes_});
+  sealed_bytes_ += active_bytes_;
   ++active_id_;
   active_max_seq_ = 0;
+  active_bytes_ = 0;
 }
 
 Status WriteAheadLog::Rotate() {
@@ -371,6 +531,7 @@ Status WriteAheadLog::DropThrough(uint64_t seq) {
       return Status::IoError("wal: cannot remove " + SegmentPath(it->id) +
                              ": " + ec.message());
     }
+    sealed_bytes_ -= it->bytes;
     it = sealed_.erase(it);
   }
   FsyncDirBestEffort(dir_);

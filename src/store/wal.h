@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "util/memory_budget.h"
 #include "util/status.h"
 
 namespace fesia::store {
@@ -49,6 +50,20 @@ struct WalRecord {
   std::vector<uint32_t> terms;
 };
 
+/// Replay tuning. Defaults reproduce the stock behavior with a modest
+/// fixed-size buffer; tests shrink the chunk to exercise refill seams and
+/// pass a small budget to prove replay memory stays O(chunk).
+struct WalOpenOptions {
+  /// Replay buffer size. Segments are streamed through a buffer of this
+  /// many bytes with frame-aligned resume, so open memory is O(chunk)
+  /// regardless of segment size (the buffer grows past the chunk only for
+  /// a single frame bigger than it, bounded by the frame-length cap).
+  size_t replay_chunk_bytes = size_t{4} << 20;
+  /// Budget charged for the replay buffer while Open() runs (released
+  /// before it returns). nullptr means MemoryBudget::Unlimited().
+  MemoryBudget* budget = nullptr;
+};
+
 /// What Open() found while replaying the log.
 struct WalReplayReport {
   /// Segment files present before replay.
@@ -57,6 +72,8 @@ struct WalReplayReport {
   size_t records = 0;
   /// Highest replayed seq; 0 when the log was empty.
   uint64_t last_seq = 0;
+  /// Bytes of valid frames replayed across all segments.
+  uint64_t replayed_bytes = 0;
   /// Bytes cut from torn or corrupt segment tails (copied aside first).
   size_t torn_tail_bytes = 0;
   /// Segments that had a suspect suffix quarantined.
@@ -80,7 +97,8 @@ class WriteAheadLog {
   /// corruption is repaired (quarantine + truncate), not fatal.
   static StatusOr<WriteAheadLog> Open(const std::string& dir,
                                       std::vector<WalRecord>* records = nullptr,
-                                      WalReplayReport* report = nullptr);
+                                      WalReplayReport* report = nullptr,
+                                      const WalOpenOptions& options = {});
 
   ~WriteAheadLog();
   WriteAheadLog(WriteAheadLog&& other) noexcept;
@@ -117,6 +135,11 @@ class WriteAheadLog {
   size_t num_segments() const {
     return sealed_.size() + (fd_ >= 0 ? 1 : 0);
   }
+  /// Bytes across every live segment (sealed + active), i.e. the disk the
+  /// log pins and the upper bound on what the next replay must stream.
+  /// Shrinks when DropThrough retires segments — the quantity mutation
+  /// backpressure bounds together with the overlay's pending_bytes().
+  uint64_t open_bytes() const { return sealed_bytes_ + active_bytes_; }
   const std::string& dir() const { return dir_; }
 
  private:
@@ -125,6 +148,7 @@ class WriteAheadLog {
   struct SealedSegment {
     uint64_t id = 0;
     uint64_t max_seq = 0;  // 0 when the segment holds no valid records
+    uint64_t bytes = 0;    // on-disk size (post-truncation for replayed ones)
   };
 
   std::string SegmentPath(uint64_t id) const;
@@ -138,6 +162,8 @@ class WriteAheadLog {
   int fd_ = -1;
   uint64_t active_max_seq_ = 0;
   uint64_t last_seq_ = 0;
+  uint64_t sealed_bytes_ = 0;  // sum of sealed_[i].bytes
+  uint64_t active_bytes_ = 0;  // bytes written to the active segment
   bool poisoned_ = false;
 };
 

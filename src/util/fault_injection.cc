@@ -69,6 +69,8 @@ const char* FaultPointName(FaultPoint point) {
       return "wal-append-short-write";
     case FaultPoint::kCrashBeforeWalTruncate:
       return "crash-before-wal-truncate";
+    case FaultPoint::kBudgetExhausted:
+      return "budget-exhausted";
     case FaultPoint::kNumPoints:
       break;
   }

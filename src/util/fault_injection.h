@@ -16,6 +16,7 @@
 //   FESIA_FAULTS=wal-append-short-write     tear the next WAL record append
 //   FESIA_FAULTS=crash-before-wal-truncate  crash after merge commit, before
 //                                           the WAL segments are dropped
+//   FESIA_FAULTS=budget-exhausted           fail the next MemoryBudget charge
 //
 // Syntax: name[:skip[:param]], comma-separated. `skip` is the number of
 // hits to let pass before firing (default 0 = fire immediately); `param` is
@@ -51,7 +52,10 @@ enum class FaultPoint : int {
                                 // the append is unacknowledged
   kCrashBeforeWalTruncate = 9,  // merge commit durable, sealed WAL segments
                                 // never dropped (replay must be idempotent)
-  kNumPoints = 10,
+  kBudgetExhausted = 10,        // MemoryBudget::TryCharge fails as if the
+                                // limit were hit — drives governance paths
+                                // without tuning a byte-exact budget
+  kNumPoints = 11,
 };
 
 /// Stable name used by the FESIA_FAULTS syntax ("alloc", ...).

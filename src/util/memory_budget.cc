@@ -1,0 +1,107 @@
+#include "util/memory_budget.h"
+
+#include <string>
+
+#include "util/fault_injection.h"
+
+namespace fesia {
+namespace {
+
+// Default watermarks as fractions of the limit: pressure raises at 7/8 and
+// clears at 1/2. The wide band keeps the flag from flapping around a burst.
+uint64_t DefaultHigh(uint64_t limit) {
+  return limit == MemoryBudget::kNoLimit ? MemoryBudget::kNoLimit
+                                         : limit - limit / 8;
+}
+uint64_t DefaultLow(uint64_t limit) {
+  return limit == MemoryBudget::kNoLimit ? MemoryBudget::kNoLimit : limit / 2;
+}
+
+std::string Describe(const MemoryBudget& b, uint64_t bytes, const char* what) {
+  std::string m = "memory budget";
+  if (!b.name().empty()) m += " '" + b.name() + "'";
+  m += " exhausted: charge of " + std::to_string(bytes) + " bytes";
+  if (what != nullptr) m += " for " + std::string(what);
+  m += " over limit " + std::to_string(b.limit_bytes()) + " (used " +
+       std::to_string(b.used()) + ")";
+  return m;
+}
+
+}  // namespace
+
+MemoryBudget::MemoryBudget(uint64_t limit_bytes, MemoryBudget* parent,
+                           std::string name)
+    : limit_(limit_bytes),
+      high_(DefaultHigh(limit_bytes)),
+      low_(DefaultLow(limit_bytes)),
+      parent_(parent),
+      name_(std::move(name)) {}
+
+MemoryBudget* MemoryBudget::Unlimited() {
+  static MemoryBudget* const budget = new MemoryBudget();
+  return budget;
+}
+
+Status MemoryBudget::TryCharge(uint64_t bytes, const char* what) {
+  if (fault::ShouldFail(fault::FaultPoint::kBudgetExhausted)) {
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        std::string("memory budget") +
+        (name_.empty() ? "" : " '" + name_ + "'") +
+        ": injected budget-exhausted fault" +
+        (what != nullptr ? std::string(" for ") + what : ""));
+  }
+  if (bytes == 0) return Status::Ok();
+  uint64_t after = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != kNoLimit && after > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(Describe(*this, bytes, what));
+  }
+  if (parent_ != nullptr) {
+    Status s = parent_->TryCharge(bytes, what);
+    if (!s.ok()) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  if (after >= high_) pressure_.store(true, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void MemoryBudget::Uncharge(uint64_t bytes) {
+  if (bytes == 0) return;
+  uint64_t before = used_.load(std::memory_order_relaxed);
+  uint64_t release = bytes;
+  // Clamp over-release (a caller bug) instead of wrapping the counter into
+  // the exabytes and wedging every future charge.
+  while (true) {
+    release = bytes < before ? bytes : before;
+    if (used_.compare_exchange_weak(before, before - release,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  uint64_t after = before - release;
+  if (after < low_ || low_ == kNoLimit) {
+    pressure_.store(false, std::memory_order_relaxed);
+  }
+  if (parent_ != nullptr) parent_->Uncharge(release);
+}
+
+bool MemoryBudget::under_pressure() const {
+  bool own = pressure_.load(std::memory_order_relaxed);
+  if (own) return true;
+  return parent_ != nullptr && parent_->under_pressure();
+}
+
+void MemoryBudget::set_watermarks(uint64_t high_bytes, uint64_t low_bytes) {
+  FESIA_CHECK(low_bytes <= high_bytes);
+  high_ = high_bytes;
+  low_ = low_bytes;
+  uint64_t now = used();
+  pressure_.store(now >= high_ && high_ != kNoLimit,
+                  std::memory_order_relaxed);
+}
+
+}  // namespace fesia

@@ -1,0 +1,174 @@
+// Hierarchical memory budgets — the resource-governance primitive behind
+// mutation backpressure and pressure-aware query degradation.
+//
+// A MemoryBudget is an atomic byte counter with an optional hard limit and
+// an optional parent. Charges propagate root-ward, so a tree of budgets
+// (process → store/shard → operation) enforces both the global cap and
+// per-shard sub-caps with one TryCharge call at the leaf: the call succeeds
+// only if every ancestor admits the bytes, and on any refusal the partial
+// charges are rolled back before kResourceExhausted is returned.
+//
+// Pressure is a sticky hysteresis band between two watermarks: crossing the
+// high watermark raises under_pressure(), which stays raised until usage
+// falls back below the low watermark. Serving code treats pressure as a
+// degradation signal (shed low-priority queries, prefer O(1)-scratch
+// paths, trigger early flushes) long before the hard limit rejects work.
+//
+// MemoryBudget::Unlimited() is a process-wide no-limit budget that still
+// counts bytes; APIs take a `MemoryBudget*` defaulting to it so existing
+// callers are untouched. All methods are thread-safe; TryCharge/Uncharge
+// are lock-free on the fast path.
+#ifndef FESIA_UTIL_MEMORY_BUDGET_H_
+#define FESIA_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace fesia {
+
+class MemoryBudget {
+ public:
+  /// Sentinel limit meaning "no hard cap" (charges always admitted here,
+  /// though a limited ancestor can still refuse them).
+  static constexpr uint64_t kNoLimit = UINT64_MAX;
+
+  /// No-limit root budget. Usage is still counted, so tests can assert the
+  /// charge/uncharge invariant even when nothing is capped.
+  MemoryBudget() = default;
+
+  /// Budget with a hard `limit_bytes` cap (kNoLimit = none) charging into
+  /// `parent` (nullptr = root). Watermarks default to 7/8 and 1/2 of the
+  /// limit; with no limit the pressure flag never raises locally (a
+  /// pressured ancestor still shows through under_pressure()). `name`
+  /// appears in rejection Status messages ("shard-3", "wal-replay", ...).
+  explicit MemoryBudget(uint64_t limit_bytes, MemoryBudget* parent = nullptr,
+                        std::string name = "");
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Process-wide shared unlimited budget — the default for every budget
+  /// parameter in the system, chosen so threading budgets through a layer
+  /// changes nothing for callers that never configure one.
+  static MemoryBudget* Unlimited();
+
+  /// Admits `bytes` against this budget and every ancestor, atomically per
+  /// level with rollback on refusal: after a non-OK return, usage at every
+  /// level is exactly what it was before the call. Refusals return
+  /// kResourceExhausted naming the exhausted budget. The budget-exhausted
+  /// fault point fires here (once per arming) so tests and operators can
+  /// force a refusal at a chosen call site regardless of the actual limit.
+  Status TryCharge(uint64_t bytes, const char* what = nullptr);
+
+  /// Returns bytes previously charged. Callers must uncharge exactly what
+  /// they charged (ScopedCharge automates this); over-release clamps to
+  /// zero rather than wrapping, but is a caller bug.
+  void Uncharge(uint64_t bytes);
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t limit_bytes() const { return limit_; }
+  bool unlimited() const { return limit_ == kNoLimit; }
+  const std::string& name() const { return name_; }
+  MemoryBudget* parent() const { return parent_; }
+
+  /// Charges refused (here, not by an ancestor) since construction —
+  /// includes fault-point firings.
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+
+  /// True while this budget (or any ancestor) sits inside the hysteresis
+  /// band: raised when usage crosses the high watermark, cleared only when
+  /// it falls back below the low watermark.
+  bool under_pressure() const;
+
+  /// Overrides the default watermarks (bytes, not fractions). Requires
+  /// low <= high. The pressure flag is re-derived from current usage.
+  void set_watermarks(uint64_t high_bytes, uint64_t low_bytes);
+
+  uint64_t high_watermark_bytes() const { return high_; }
+  uint64_t low_watermark_bytes() const { return low_; }
+
+ private:
+  const uint64_t limit_ = kNoLimit;
+  uint64_t high_ = kNoLimit;  // immutable after setup (set_watermarks is
+  uint64_t low_ = kNoLimit;   // a pre-concurrency configuration call)
+  MemoryBudget* const parent_ = nullptr;
+  const std::string name_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> rejections_{0};
+  std::atomic<bool> pressure_{false};
+};
+
+/// RAII ownership of charged bytes. Supports incremental growth (Add) so a
+/// streaming consumer — chunked WAL replay, a growing overlay — can keep
+/// its live charge equal to its live allocation; everything still charged
+/// at destruction is uncharged.
+class ScopedCharge {
+ public:
+  /// Inert guard (no budget); Add on it is an error-free no-op that
+  /// charges nothing. Useful as a default member.
+  ScopedCharge() = default;
+
+  /// Guard charging into `budget` (must outlive the guard). Starts empty.
+  explicit ScopedCharge(MemoryBudget* budget) : budget_(budget) {}
+
+  ~ScopedCharge() { Release(); }
+
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      Release();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  /// Charges `bytes` more; on refusal the guard's existing charge is
+  /// untouched (the caller decides whether to abort or degrade).
+  Status Add(uint64_t bytes, const char* what = nullptr) {
+    if (budget_ == nullptr || bytes == 0) return Status::Ok();
+    Status s = budget_->TryCharge(bytes, what);
+    if (s.ok()) bytes_ += bytes;
+    return s;
+  }
+
+  /// Returns `bytes` of the guard's charge early (e.g. a replay chunk
+  /// retired). Clamped to the held amount.
+  void Shrink(uint64_t bytes) {
+    if (budget_ == nullptr) return;
+    if (bytes > bytes_) bytes = bytes_;
+    budget_->Uncharge(bytes);
+    bytes_ -= bytes;
+  }
+
+  /// Uncharges everything held; the guard becomes empty but reusable.
+  void Release() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Uncharge(bytes_);
+    bytes_ = 0;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  MemoryBudget* budget() const { return budget_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_MEMORY_BUDGET_H_

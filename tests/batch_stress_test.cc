@@ -12,14 +12,20 @@
 //   - InFlightQueries() returns to zero (no leaked admission slots).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "index/inverted_index.h"
 #include "index/query_engine.h"
 #include "index/query_gen.h"
+#include "store/index_manager.h"
+#include "store/snapshot_store.h"
 #include "util/fault_injection.h"
+#include "util/memory_budget.h"
 #include "util/rng.h"
 
 namespace fesia::index {
@@ -170,6 +176,133 @@ TEST_F(BatchStressTest, FaultStormWithRetriesBalances) {
     }
     EXPECT_EQ(stats.retries, retries);
   }
+}
+
+// Bounded-budget soak: a mutation storm, an aggressive background merge
+// loop, and mixed-priority query batches all run against one small memory
+// budget whose pressure a background thread oscillates across the
+// watermarks. Nothing may crash or OOM; every refusal must be the
+// sanctioned kind (kResourceExhausted backpressure or a pressure shed);
+// and when the dust settles the budget must read exactly zero.
+TEST_F(BatchStressTest, BoundedBudgetMutateQuerySoak) {
+  const std::string dir = ::testing::TempDir() + "fesia_batch_stress.soak";
+  std::filesystem::remove_all(dir);
+  store::SnapshotStoreOptions sopts;
+  sopts.dir = dir;
+  auto store = store::SnapshotStore::Open(sopts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // Sized so the serving engine (~22 MiB of postings) fits comfortably,
+  // the oscillator's swing crosses the high watermark, and a merge
+  // candidate occasionally gets refused — which the auto-flush loop must
+  // absorb by retrying, not by crashing or losing mutations.
+  MemoryBudget budget(96ull << 20, nullptr, "soak");
+  {
+    store::IndexManager::Options mopts;
+    mopts.budget = &budget;
+    mopts.mutation_soft_bytes = 4 << 10;
+    mopts.mutation_hard_bytes = 64 << 10;
+    store::IndexManager mgr(&idx_, &*store, mopts);
+    ASSERT_TRUE(mgr.Rebuild().ok());
+    ASSERT_TRUE(mgr.OpenMutationLog().ok());
+    mgr.StartAutoFlush(0.001);
+
+    std::atomic<bool> stop{false};
+    std::thread oscillator([&] {
+      ScopedCharge swing(&budget);
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)swing.Add(72ull << 20);  // over the watermark (may refuse)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        swing.Release();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+
+    std::atomic<uint64_t> accepted{0}, backpressured{0}, bad_refusals{0};
+    std::thread mutator([&] {
+      Rng rng(0xB0D6E7u);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<uint32_t> terms;
+        for (size_t i = rng.Below(8) + 1; i > 0; --i) {
+          terms.push_back(static_cast<uint32_t>(rng.Below(idx_.num_terms())));
+        }
+        std::sort(terms.begin(), terms.end());
+        terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+        Status s = mgr.Upsert(
+            static_cast<uint32_t>(rng.Below(idx_.num_docs())),
+            std::move(terms));
+        if (s.ok()) {
+          ++accepted;
+        } else if (s.code() == StatusCode::kResourceExhausted) {
+          ++backpressured;
+        } else {
+          ++bad_refusals;
+        }
+      }
+    });
+
+    // Query storm under the oscillating budget: accounting must balance
+    // every iteration, and the only non-OK outcomes are pressure sheds
+    // (low priority under pressure) — never a crash or a failure.
+    for (int iter = 0; iter < 12; ++iter) {
+      BatchOptions opts;
+      opts.num_threads = 2;
+      opts.budget = &budget;
+      opts.priority =
+          iter % 3 == 0 ? QueryPriority::kLow : QueryPriority::kNormal;
+      BatchStats stats;
+      std::vector<QueryResult> results =
+          mgr.CountBatch(queries_, opts, &stats);
+      ASSERT_EQ(results.size(), queries_.size());
+      size_t ok = 0, shed = 0;
+      for (const QueryResult& r : results) {
+        if (r.outcome == QueryOutcome::kOk) {
+          ++ok;
+        } else {
+          ASSERT_EQ(r.outcome, QueryOutcome::kShed);
+          ASSERT_EQ(r.status.code(), StatusCode::kUnavailable);
+          ASSERT_TRUE(r.pressure_affected);
+          ++shed;
+        }
+      }
+      EXPECT_EQ(ok + shed, queries_.size());
+      EXPECT_EQ(stats.ok, ok);
+      EXPECT_EQ(stats.shed, shed);
+      EXPECT_EQ(stats.pressure_shed, shed);
+    }
+
+    stop.store(true, std::memory_order_relaxed);
+    oscillator.join();
+    mutator.join();
+    mgr.StopAutoFlush();
+    EXPECT_GT(accepted.load(), 0u);
+    EXPECT_EQ(bad_refusals.load(), 0u);
+
+    // Quiesced and unpressured, the overlay drains and degraded service
+    // ends: a low-priority batch is answered in full and byte-identical
+    // to a high-priority one over the same settled view.
+    while (!mgr.FlushDelta().ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(mgr.pending_mutations(), 0u);
+    EXPECT_EQ(mgr.pending_bytes(), 0u);
+    BatchOptions opts;
+    opts.num_threads = 2;
+    opts.budget = &budget;
+    opts.priority = QueryPriority::kLow;
+    std::vector<QueryResult> low = mgr.CountBatch(queries_, opts);
+    opts.priority = QueryPriority::kHigh;
+    std::vector<QueryResult> high = mgr.CountBatch(queries_, opts);
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      ASSERT_TRUE(low[i].ok());
+      ASSERT_TRUE(high[i].ok());
+      EXPECT_EQ(low[i].count, high[i].count);
+    }
+  }
+  // Engines, overlay entries, replay windows, merge candidates: every
+  // charge released with its owner.
+  EXPECT_EQ(budget.used(), 0u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,231 @@
+// Unit tests for the hierarchical MemoryBudget / ScopedCharge primitive:
+// charge/uncharge accounting, hard-limit refusals with ancestor rollback,
+// watermark hysteresis, RAII/move semantics, the budget-exhausted fault
+// point, and a concurrent charge storm that must balance to zero.
+#include "util/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/fault_injection.h"
+
+namespace fesia {
+namespace {
+
+TEST(MemoryBudgetTest, UnlimitedCountsButNeverRefuses) {
+  MemoryBudget b;
+  EXPECT_TRUE(b.unlimited());
+  EXPECT_EQ(b.used(), 0u);
+  EXPECT_TRUE(b.TryCharge(1ull << 40).ok());
+  EXPECT_EQ(b.used(), 1ull << 40);
+  EXPECT_FALSE(b.under_pressure());
+  b.Uncharge(1ull << 40);
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ZeroByteChargeIsFree) {
+  MemoryBudget b(100);
+  EXPECT_TRUE(b.TryCharge(0).ok());
+  EXPECT_EQ(b.used(), 0u);
+  EXPECT_EQ(b.rejections(), 0u);
+}
+
+TEST(MemoryBudgetTest, HardLimitRefusesAndRollsBack) {
+  MemoryBudget b(1000, nullptr, "store");
+  EXPECT_TRUE(b.TryCharge(900).ok());
+  Status s = b.TryCharge(200, "snapshot payload");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // Refusal message names the budget and the operation.
+  EXPECT_NE(s.ToString().find("store"), std::string::npos);
+  EXPECT_NE(s.ToString().find("snapshot payload"), std::string::npos);
+  // Usage is exactly what it was before the refused call.
+  EXPECT_EQ(b.used(), 900u);
+  EXPECT_EQ(b.rejections(), 1u);
+  // Exactly at the limit is admitted.
+  EXPECT_TRUE(b.TryCharge(100).ok());
+  EXPECT_EQ(b.used(), 1000u);
+}
+
+TEST(MemoryBudgetTest, ChargePropagatesToParent) {
+  MemoryBudget parent(10000, nullptr, "process");
+  MemoryBudget child(5000, &parent, "shard-0");
+  EXPECT_TRUE(child.TryCharge(3000).ok());
+  EXPECT_EQ(child.used(), 3000u);
+  EXPECT_EQ(parent.used(), 3000u);
+  child.Uncharge(3000);
+  EXPECT_EQ(child.used(), 0u);
+  EXPECT_EQ(parent.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ParentRefusalRollsBackChild) {
+  MemoryBudget parent(1000, nullptr, "process");
+  MemoryBudget a(MemoryBudget::kNoLimit, &parent, "shard-a");
+  MemoryBudget b(MemoryBudget::kNoLimit, &parent, "shard-b");
+  EXPECT_TRUE(a.TryCharge(800).ok());
+  // b's own (unlimited) budget admits, but the shared parent refuses; b's
+  // partial charge must be rolled back.
+  Status s = b.TryCharge(400);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(b.used(), 0u);
+  EXPECT_EQ(parent.used(), 800u);
+  // The parent, not b, counted the rejection.
+  EXPECT_EQ(b.rejections(), 0u);
+  EXPECT_EQ(parent.rejections(), 1u);
+}
+
+TEST(MemoryBudgetTest, ChildRefusalNeverTouchesParent) {
+  MemoryBudget parent(MemoryBudget::kNoLimit, nullptr, "process");
+  MemoryBudget child(100, &parent, "op");
+  EXPECT_EQ(child.TryCharge(200).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parent.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, PressureHysteresis) {
+  MemoryBudget b(1000);
+  // Defaults: high = limit - limit/8 = 875, low = limit/2 = 500.
+  EXPECT_EQ(b.high_watermark_bytes(), 875u);
+  EXPECT_EQ(b.low_watermark_bytes(), 500u);
+  EXPECT_TRUE(b.TryCharge(800).ok());
+  EXPECT_FALSE(b.under_pressure());
+  EXPECT_TRUE(b.TryCharge(100).ok());  // 900 >= 875: pressure raises
+  EXPECT_TRUE(b.under_pressure());
+  b.Uncharge(100);  // 800: inside the band, pressure is sticky
+  EXPECT_TRUE(b.under_pressure());
+  b.Uncharge(400);  // 400 < 500: pressure clears
+  EXPECT_FALSE(b.under_pressure());
+}
+
+TEST(MemoryBudgetTest, AncestorPressureShowsThrough) {
+  MemoryBudget parent(1000, nullptr, "process");
+  MemoryBudget child(MemoryBudget::kNoLimit, &parent, "shard");
+  EXPECT_FALSE(child.under_pressure());
+  EXPECT_TRUE(child.TryCharge(950).ok());
+  EXPECT_TRUE(parent.under_pressure());
+  EXPECT_TRUE(child.under_pressure());
+  child.Uncharge(950);
+  EXPECT_FALSE(child.under_pressure());
+}
+
+TEST(MemoryBudgetTest, SetWatermarksRederivesPressure) {
+  MemoryBudget b(1000);
+  EXPECT_TRUE(b.TryCharge(600).ok());
+  EXPECT_FALSE(b.under_pressure());
+  b.set_watermarks(/*high_bytes=*/500, /*low_bytes=*/200);
+  EXPECT_TRUE(b.under_pressure());
+  b.Uncharge(500);  // 100 < 200
+  EXPECT_FALSE(b.under_pressure());
+}
+
+TEST(MemoryBudgetTest, OverReleaseClampsToZero) {
+  MemoryBudget b(1000);
+  EXPECT_TRUE(b.TryCharge(10).ok());
+  b.Uncharge(1000);  // caller bug: must clamp, not wrap
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, UnlimitedSingletonIsStable) {
+  MemoryBudget* u = MemoryBudget::Unlimited();
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u, MemoryBudget::Unlimited());
+  EXPECT_TRUE(u->unlimited());
+  const uint64_t before = u->used();
+  EXPECT_TRUE(u->TryCharge(64).ok());
+  u->Uncharge(64);
+  EXPECT_EQ(u->used(), before);
+}
+
+TEST(MemoryBudgetTest, BudgetExhaustedFaultFiresOnce) {
+  MemoryBudget b(MemoryBudget::kNoLimit, nullptr, "faulted");
+  fault::ScopedFault f(fault::FaultPoint::kBudgetExhausted);
+  Status s = b.TryCharge(8);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(b.used(), 0u);
+  EXPECT_EQ(b.rejections(), 1u);
+  // Fired once, then disarmed: the next charge is admitted.
+  EXPECT_TRUE(b.TryCharge(8).ok());
+  EXPECT_EQ(b.used(), 8u);
+  b.Uncharge(8);
+}
+
+TEST(ScopedChargeTest, ReleasesOnDestruction) {
+  MemoryBudget b(1000);
+  {
+    ScopedCharge c(&b);
+    EXPECT_TRUE(c.Add(400).ok());
+    EXPECT_TRUE(c.Add(100).ok());
+    EXPECT_EQ(c.bytes(), 500u);
+    EXPECT_EQ(b.used(), 500u);
+  }
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(ScopedChargeTest, RefusedAddLeavesExistingCharge) {
+  MemoryBudget b(1000);
+  ScopedCharge c(&b);
+  EXPECT_TRUE(c.Add(900).ok());
+  EXPECT_EQ(c.Add(200).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(c.bytes(), 900u);
+  EXPECT_EQ(b.used(), 900u);
+}
+
+TEST(ScopedChargeTest, ShrinkReturnsBytesEarly) {
+  MemoryBudget b(1000);
+  ScopedCharge c(&b);
+  EXPECT_TRUE(c.Add(600).ok());
+  c.Shrink(200);
+  EXPECT_EQ(c.bytes(), 400u);
+  EXPECT_EQ(b.used(), 400u);
+  c.Shrink(10000);  // clamped to the held amount
+  EXPECT_EQ(c.bytes(), 0u);
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(ScopedChargeTest, MoveTransfersOwnership) {
+  MemoryBudget b(1000);
+  ScopedCharge outer;
+  {
+    ScopedCharge inner(&b);
+    EXPECT_TRUE(inner.Add(300).ok());
+    outer = std::move(inner);
+    EXPECT_EQ(inner.bytes(), 0u);  // NOLINT(bugprone-use-after-move)
+  }
+  // inner's destruction must not have released outer's bytes.
+  EXPECT_EQ(b.used(), 300u);
+  EXPECT_EQ(outer.bytes(), 300u);
+  outer.Release();
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(ScopedChargeTest, InertGuardIsNoOp) {
+  ScopedCharge c;
+  EXPECT_TRUE(c.Add(1 << 20).ok());
+  EXPECT_EQ(c.bytes(), 0u);
+  c.Shrink(5);
+  c.Release();
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargeStormBalances) {
+  MemoryBudget parent(MemoryBudget::kNoLimit, nullptr, "process");
+  MemoryBudget child(1 << 20, &parent, "shard");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&child, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t bytes = 64 + static_cast<uint64_t>((t * 31 + i) % 512);
+        if (child.TryCharge(bytes).ok()) child.Uncharge(bytes);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every successful charge was matched by an uncharge at both levels.
+  EXPECT_EQ(child.used(), 0u);
+  EXPECT_EQ(parent.used(), 0u);
+}
+
+}  // namespace
+}  // namespace fesia

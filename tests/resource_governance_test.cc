@@ -1,0 +1,700 @@
+// Resource governance end to end: bounded-memory WAL replay (chunked,
+// frame-aligned, budget-charged), overlay/WAL byte accounting, mutation
+// backpressure (early size-based flushes, hard-cap soft-failures that never
+// lose an acknowledged write), pressure-aware query degradation, per-shard
+// sub-budgets, and alloc/budget fault storms over Open/Flush/Reload.
+// docs/ROBUSTNESS.md, "Resource governance and backpressure".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_index.h"
+#include "store/delta_index.h"
+#include "store/index_manager.h"
+#include "store/snapshot_store.h"
+#include "store/wal.h"
+#include "util/fault_injection.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
+
+namespace fesia {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::fesia::index::InvertedIndex;
+using ::fesia::index::QueryResult;
+using ::fesia::store::DeltaIndex;
+using ::fesia::store::IndexManager;
+using ::fesia::store::SnapshotStore;
+using ::fesia::store::SnapshotStoreOptions;
+using ::fesia::store::WalOpenOptions;
+using ::fesia::store::WalRecord;
+using ::fesia::store::WalReplayReport;
+using ::fesia::store::WriteAheadLog;
+
+using Model = std::map<uint32_t, std::vector<uint32_t>>;
+
+Model ModelFromIndex(const InvertedIndex& idx) {
+  Model model;
+  for (uint32_t t = 0; t < idx.num_terms(); ++t) {
+    for (uint32_t d : idx.Postings(t)) model[d].push_back(t);
+  }
+  return model;
+}
+
+std::vector<std::vector<uint32_t>> PostingsFromModel(const Model& model,
+                                                     uint32_t num_terms) {
+  std::vector<std::vector<uint32_t>> postings(num_terms);
+  for (const auto& [doc, terms] : model) {
+    for (uint32_t t : terms) postings[t].push_back(doc);
+  }
+  return postings;
+}
+
+WalRecord UpsertRecord(uint64_t seq, uint32_t doc,
+                       std::vector<uint32_t> terms) {
+  WalRecord r;
+  r.seq = seq;
+  r.kind = WalRecord::Kind::kUpsert;
+  r.doc = doc;
+  r.terms = std::move(terms);
+  return r;
+}
+
+WalRecord DeleteRecord(uint64_t seq, uint32_t doc) {
+  WalRecord r;
+  r.seq = seq;
+  r.kind = WalRecord::Kind::kDelete;
+  r.doc = doc;
+  return r;
+}
+
+class ResourceGovernanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index::CorpusParams corpus;
+    corpus.num_docs = 2000;
+    corpus.num_terms = 60;
+    corpus.avg_terms_per_doc = 25.0;
+    corpus.seed = 17;
+    idx_ = InvertedIndex::BuildSynthetic(corpus);
+    model_ = ModelFromIndex(idx_);
+
+    dir_ = ::testing::TempDir() + "fesia_resource_test." +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+
+    auto terms = idx_.TermsWithPostingLength(20, 100000);
+    ASSERT_GE(terms.size(), 6u);
+    for (size_t i = 0; i + 2 < terms.size() && queries_.size() < 10; i += 3) {
+      queries_.push_back({terms[i], terms[i + 1]});
+      queries_.push_back({terms[i], terms[i + 1], terms[i + 2]});
+    }
+  }
+
+  void TearDown() override { fault::DisarmAll(); }
+
+  std::unique_ptr<SnapshotStore> OpenStore(const std::string& dir) {
+    SnapshotStoreOptions opts;
+    opts.dir = dir;
+    auto store = SnapshotStore::Open(opts);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    if (!store.ok()) return nullptr;
+    return std::make_unique<SnapshotStore>(*std::move(store));
+  }
+
+  void ExpectMatchesModel(const IndexManager& mgr, const Model& model,
+                          const std::string& context) {
+    InvertedIndex ref_idx = InvertedIndex::FromPostings(
+        idx_.num_docs(), PostingsFromModel(model, idx_.num_terms()));
+    index::QueryEngine ref(&ref_idx, FesiaParams{});
+    index::BatchOptions opts;
+    opts.num_threads = 1;
+    std::vector<QueryResult> expected = ref.CountBatch(queries_, opts);
+    std::vector<QueryResult> actual = mgr.CountBatch(queries_, opts);
+    ASSERT_EQ(actual.size(), expected.size()) << context;
+    for (size_t q = 0; q < expected.size(); ++q) {
+      ASSERT_TRUE(expected[q].ok()) << context << " query " << q;
+      ASSERT_TRUE(actual[q].ok()) << context << " query " << q;
+      EXPECT_EQ(actual[q].count, expected[q].count)
+          << context << " query " << q;
+    }
+  }
+
+  std::vector<uint32_t> RandomTerms(std::mt19937_64* rng) {
+    std::vector<uint32_t> terms;
+    const size_t n = (*rng)() % 11;
+    for (size_t i = 0; i < n; ++i) {
+      terms.push_back(static_cast<uint32_t>((*rng)() % idx_.num_terms()));
+    }
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    return terms;
+  }
+
+  // Fills `dir` with one WAL segment of `records` acknowledged upserts,
+  // each carrying `terms_per_record` terms. Returns the highest seq.
+  uint64_t WriteWalSegment(const std::string& dir, size_t records,
+                           size_t terms_per_record) {
+    auto wal = WriteAheadLog::Open(dir);
+    EXPECT_TRUE(wal.ok()) << wal.status().ToString();
+    if (!wal.ok()) return 0;
+    for (size_t i = 0; i < records; ++i) {
+      std::vector<uint32_t> terms;
+      terms.reserve(terms_per_record);
+      for (size_t t = 0; t < terms_per_record; ++t) {
+        terms.push_back(static_cast<uint32_t>(t));
+      }
+      EXPECT_TRUE(
+          wal->Append(UpsertRecord(i + 1, static_cast<uint32_t>(i % 1000),
+                                   std::move(terms)))
+              .ok());
+    }
+    return records;
+  }
+
+  InvertedIndex idx_;
+  Model model_;
+  std::string dir_;
+  std::vector<std::vector<uint32_t>> queries_;
+};
+
+// --- Chunked WAL replay (bugfix: whole-segment reads) ---------------------
+
+TEST_F(ResourceGovernanceTest, ChunkedReplayCrossesChunkBoundaries) {
+  // ~200 records x ~185-byte frames = ~37 KiB, replayed through a 4 KiB
+  // window: every frame-boundary-straddles-chunk-boundary case is hit.
+  const uint64_t last = WriteWalSegment(dir_, 200, 40);
+
+  std::vector<WalRecord> records;
+  WalReplayReport report;
+  WalOpenOptions opts;
+  opts.replay_chunk_bytes = 4096;
+  auto wal = WriteAheadLog::Open(dir_, &records, &report, opts);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_EQ(records.size(), 200u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i + 1);
+    EXPECT_EQ(records[i].terms.size(), 40u);
+  }
+  EXPECT_EQ(wal->last_seq(), last);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_GT(report.replayed_bytes, 4 * 4096u);  // genuinely multi-chunk
+  // The replayed segment stays live (sealed) until DropThrough retires it.
+  EXPECT_EQ(wal->open_bytes(), report.replayed_bytes);
+}
+
+TEST_F(ResourceGovernanceTest, ReplayOfSegmentLargerThanBudgetSucceeds) {
+  // Regression for the whole-segment read: the old path loaded each
+  // segment into one buffer, so replaying a segment charged its full size
+  // against the budget. Chunked replay must hold only the window.
+  WriteWalSegment(dir_, 600, 100);  // ~255 KiB segment
+
+  MemoryBudget budget(64 << 10, nullptr, "replay");  // << segment size
+  std::vector<WalRecord> records;
+  WalReplayReport report;
+  WalOpenOptions opts;
+  opts.replay_chunk_bytes = 16 << 10;
+  opts.budget = &budget;
+  auto wal = WriteAheadLog::Open(dir_, &records, &report, opts);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(records.size(), 600u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_GT(report.replayed_bytes, budget.limit_bytes());
+  // The replay window was returned in full.
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST_F(ResourceGovernanceTest, ReplayBudgetExhaustionFailsCleanly) {
+  WriteWalSegment(dir_, 40, 100);  // ~17 KiB segment
+
+  MemoryBudget budget(1024, nullptr, "tiny");  // below even one window
+  WalOpenOptions opts;
+  opts.budget = &budget;
+  auto wal = WriteAheadLog::Open(dir_, nullptr, nullptr, opts);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.used(), 0u);  // rolled back, not leaked
+
+  // The refusal must not have damaged the log: an adequate budget replays
+  // every record.
+  std::vector<WalRecord> records;
+  auto retry = WriteAheadLog::Open(dir_, &records);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(records.size(), 40u);
+}
+
+TEST_F(ResourceGovernanceTest, ChunkedReplayStillRepairsTornTail) {
+  WriteWalSegment(dir_, 120, 40);  // ~22 KiB
+
+  // Tear the segment mid-frame, a few chunks in.
+  std::string seg;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal.", 0) == 0) seg = entry.path().string();
+  }
+  ASSERT_FALSE(seg.empty());
+  const uintmax_t full = fs::file_size(seg);
+  fs::resize_file(seg, full - 70);  // cuts into the final frames
+
+  std::vector<WalRecord> records;
+  WalReplayReport report;
+  WalOpenOptions opts;
+  opts.replay_chunk_bytes = 4096;
+  auto wal = WriteAheadLog::Open(dir_, &records, &report, opts);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  // Everything before the tear survives, in order, nothing fabricated.
+  ASSERT_FALSE(records.empty());
+  ASSERT_LT(records.size(), 120u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i + 1);
+  }
+  EXPECT_GT(report.torn_tail_bytes, 0u);
+  EXPECT_EQ(report.quarantined_segments, 1u);
+
+  // Second open is clean: the repair truncated the tail for good.
+  std::vector<WalRecord> again;
+  WalReplayReport second;
+  auto reopened = WriteAheadLog::Open(dir_, &again, &second, opts);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(again.size(), records.size());
+  EXPECT_TRUE(second.clean()) << second.ToString();
+}
+
+// --- Overlay and manager byte accounting ----------------------------------
+
+TEST_F(ResourceGovernanceTest, DeltaOverlayPendingBytesTracksContent) {
+  DeltaIndex delta;
+  EXPECT_EQ(delta.pending_bytes(), 0u);
+  delta.Apply(UpsertRecord(1, 7, {1, 2, 3}));
+  const uint64_t three_terms = delta.pending_bytes();
+  EXPECT_GT(three_terms, 3 * sizeof(uint32_t));
+
+  // Overwriting a doc replaces its contribution, not accumulates it.
+  delta.Apply(UpsertRecord(2, 7, {1, 2, 3, 4, 5}));
+  const uint64_t five_terms = delta.pending_bytes();
+  EXPECT_EQ(five_terms, three_terms + 2 * sizeof(uint32_t));
+
+  // A tombstone still occupies its entry overhead.
+  delta.Apply(DeleteRecord(3, 9));
+  EXPECT_GT(delta.pending_bytes(), five_terms);
+
+  // Pruning merged entries returns their bytes.
+  delta.PruneThrough(2);
+  EXPECT_LT(delta.pending_bytes(), five_terms);
+  delta.PruneThrough(3);
+  EXPECT_EQ(delta.pending_bytes(), 0u);
+}
+
+TEST_F(ResourceGovernanceTest, MutationStatsReportDocsAndBytes) {
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager mgr(&idx_, store.get(), {});
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.OpenMutationLog().ok());
+
+  ASSERT_TRUE(mgr.Upsert(1, {0, 1, 2}).ok());
+  ASSERT_TRUE(mgr.Delete(2).ok());
+
+  IndexManager::MutationStats ms = mgr.mutation_stats();
+  EXPECT_EQ(ms.pending_docs, 2u);
+  EXPECT_GT(ms.pending_bytes, 0u);
+  EXPECT_GT(ms.wal_open_bytes, 0u);
+  EXPECT_EQ(ms.accepted, 2u);
+  EXPECT_EQ(ms.rejected, 0u);
+  EXPECT_EQ(mgr.pending_bytes(), ms.pending_bytes);
+
+  ASSERT_TRUE(mgr.FlushDelta().ok());
+  ms = mgr.mutation_stats();
+  EXPECT_EQ(ms.pending_docs, 0u);
+  EXPECT_EQ(ms.pending_bytes, 0u);
+  EXPECT_EQ(ms.wal_open_bytes, 0u);  // segments truncated post-commit
+}
+
+// --- Mutation backpressure ------------------------------------------------
+
+TEST_F(ResourceGovernanceTest, SoftBoundTriggersEarlySizeBasedFlush) {
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager::Options opts;
+  opts.mutation_soft_bytes = 1;  // any pending byte crosses the bound
+  IndexManager mgr(&idx_, store.get(), opts);
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.OpenMutationLog().ok());
+  // An interval so long that only a size-based request can flush.
+  mgr.StartAutoFlush(3600.0);
+
+  std::vector<uint64_t> seqs;
+  for (int round = 0; round < 3; ++round) {
+    uint64_t seq = 0;
+    ASSERT_TRUE(
+        mgr.Upsert(static_cast<uint32_t>(round), {1, 2, 3}, &seq).ok());
+    seqs.push_back(seq);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (mgr.pending_mutations() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(mgr.pending_mutations(), 0u) << "size-based flush never ran";
+  }
+  mgr.StopAutoFlush();
+
+  EXPECT_GE(mgr.mutation_stats().size_triggered_flushes, 3u);
+  // Seq stays monotonic across size-based flushes.
+  for (size_t i = 1; i < seqs.size(); ++i) EXPECT_GT(seqs[i], seqs[i - 1]);
+  ExpectMatchesModel(mgr, [&] {
+    Model m = model_;
+    for (int round = 0; round < 3; ++round) m[round] = {1, 2, 3};
+    return m;
+  }(), "after size-based flushes");
+}
+
+TEST_F(ResourceGovernanceTest, HardCapSoftFailsDuringFlushWithoutLosingAcks) {
+  auto store = OpenStore(dir_);
+  ASSERT_NE(store, nullptr);
+  IndexManager::Options opts;
+  opts.mutation_hard_bytes = 1;  // every byte crosses the hard cap
+  IndexManager mgr(&idx_, store.get(), opts);
+  ASSERT_TRUE(mgr.Rebuild().ok());
+  ASSERT_TRUE(mgr.OpenMutationLog().ok());
+
+  // A continuous flusher keeps a merge in flight; mutations landing inside
+  // a merge window must be rejected with kResourceExhausted *before* the
+  // WAL append, and everything acknowledged must survive.
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      mgr.FlushDelta();  // kFailedPrecondition/no-op races are fine
+    }
+  });
+
+  Model model = model_;
+  std::mt19937_64 rng(29);
+  uint64_t accepted = 0, rejected = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while ((rejected == 0 || accepted == 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const uint32_t doc = static_cast<uint32_t>(rng() % idx_.num_docs());
+    std::vector<uint32_t> terms = RandomTerms(&rng);
+    Status s = mgr.Upsert(doc, terms);
+    if (s.ok()) {
+      model[doc] = std::move(terms);
+      ++accepted;
+    } else {
+      // The only sanctioned refusal is the backpressure soft-failure.
+      ASSERT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+      ++rejected;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  flusher.join();
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u) << "no mutation ever landed inside a merge window";
+
+  IndexManager::MutationStats ms = mgr.mutation_stats();
+  EXPECT_EQ(ms.accepted, accepted);
+  EXPECT_EQ(ms.rejected, rejected);
+
+  // Drain the overlay and check the oracle: acked == served, exactly.
+  while (!mgr.FlushDelta().ok()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ExpectMatchesModel(mgr, model, "after backpressure storm");
+}
+
+// --- Pressure-aware query degradation -------------------------------------
+
+TEST_F(ResourceGovernanceTest, PressureShedsLowPriorityAndDegradesRest) {
+  index::QueryEngine engine(&idx_, FesiaParams{});
+  std::vector<size_t> serial;
+  serial.reserve(queries_.size());
+  for (const auto& q : queries_) serial.push_back(engine.CountFesia(q));
+
+  // Roomy enough that the batch's fixed scratch charge is always
+  // admitted — this test isolates the watermark path, not the refusal
+  // path (ScratchRefusalDegradesInsteadOfFailing covers that).
+  MemoryBudget budget(1 << 20, nullptr, "query");
+  ScopedCharge pressure(&budget);
+  // Default high watermark is limit - limit/8.
+  ASSERT_TRUE(pressure.Add((1 << 20) - (1 << 17) + 1).ok());
+  ASSERT_TRUE(budget.under_pressure());
+
+  index::BatchOptions opts;
+  opts.num_threads = 1;
+  opts.intra_query_threads = 4;  // requests the parallel tier
+  opts.budget = &budget;
+
+  // Low priority: shed outright, before touching the index.
+  opts.priority = index::QueryPriority::kLow;
+  index::BatchStats stats;
+  std::vector<QueryResult> low = engine.CountBatch(queries_, opts, &stats);
+  for (const QueryResult& r : low) {
+    EXPECT_EQ(r.outcome, index::QueryOutcome::kShed);
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(r.pressure_affected);
+    EXPECT_EQ(r.attempts, 0);
+  }
+  EXPECT_EQ(stats.pressure_shed, queries_.size());
+  EXPECT_EQ(stats.shed, queries_.size());
+
+  // Normal priority: answered, but forced off the parallel tier, and still
+  // byte-identical to the serial oracle.
+  opts.priority = index::QueryPriority::kNormal;
+  std::vector<QueryResult> normal = engine.CountBatch(queries_, opts, &stats);
+  for (size_t i = 0; i < normal.size(); ++i) {
+    ASSERT_TRUE(normal[i].ok());
+    EXPECT_EQ(normal[i].count, serial[i]);
+    EXPECT_TRUE(normal[i].downgraded);
+    EXPECT_TRUE(normal[i].pressure_affected);
+  }
+  EXPECT_EQ(stats.pressure_downgrades, queries_.size());
+  EXPECT_EQ(stats.pressure_shed, 0u);
+
+  // High priority is degraded the same way, never shed.
+  opts.priority = index::QueryPriority::kHigh;
+  std::vector<QueryResult> high = engine.CountBatch(queries_, opts, &stats);
+  for (size_t i = 0; i < high.size(); ++i) {
+    ASSERT_TRUE(high[i].ok());
+    EXPECT_EQ(high[i].count, serial[i]);
+  }
+  EXPECT_EQ(stats.shed, 0u);
+
+  // Pressure clears below the low watermark: low priority serves again,
+  // and nothing is marked pressure-affected.
+  pressure.Release();
+  ASSERT_FALSE(budget.under_pressure());
+  opts.priority = index::QueryPriority::kLow;
+  std::vector<QueryResult> after = engine.CountBatch(queries_, opts, &stats);
+  for (size_t i = 0; i < after.size(); ++i) {
+    ASSERT_TRUE(after[i].ok());
+    EXPECT_EQ(after[i].count, serial[i]);
+    EXPECT_FALSE(after[i].pressure_affected);
+  }
+  EXPECT_EQ(stats.pressure_shed, 0u);
+  EXPECT_EQ(stats.pressure_downgrades, 0u);
+}
+
+TEST_F(ResourceGovernanceTest, ScratchRefusalDegradesInsteadOfFailing) {
+  index::QueryEngine engine(&idx_, FesiaParams{});
+  std::vector<size_t> serial;
+  for (const auto& q : queries_) serial.push_back(engine.CountFesia(q));
+
+  // Far too small for the batch's fixed scratch, but never past a
+  // watermark: the refusal itself must flip the batch into degraded mode.
+  MemoryBudget budget(64, nullptr, "scratch");
+  index::BatchOptions opts;
+  opts.num_threads = 1;
+  opts.intra_query_threads = 4;
+  opts.budget = &budget;
+
+  index::BatchStats stats;
+  std::vector<QueryResult> normal = engine.CountBatch(queries_, opts, &stats);
+  for (size_t i = 0; i < normal.size(); ++i) {
+    ASSERT_TRUE(normal[i].ok());
+    EXPECT_EQ(normal[i].count, serial[i]);
+    EXPECT_TRUE(normal[i].pressure_affected);
+  }
+  EXPECT_EQ(stats.pressure_downgrades, queries_.size());
+
+  opts.priority = index::QueryPriority::kLow;
+  std::vector<QueryResult> low = engine.CountBatch(queries_, opts, &stats);
+  for (const QueryResult& r : low) {
+    EXPECT_EQ(r.outcome, index::QueryOutcome::kShed);
+  }
+  EXPECT_EQ(stats.pressure_shed, queries_.size());
+  // The refused charge left nothing behind.
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST_F(ResourceGovernanceTest, UnpressuredBudgetIsByteIdentical) {
+  index::QueryEngine engine(&idx_, FesiaParams{});
+  index::BatchOptions plain;
+  plain.num_threads = 1;
+  std::vector<QueryResult> expected = engine.CountBatch(queries_, plain);
+
+  MemoryBudget budget(1ull << 40, nullptr, "roomy");
+  index::BatchOptions governed = plain;
+  governed.budget = &budget;
+  governed.priority = index::QueryPriority::kLow;
+  std::vector<QueryResult> actual = engine.CountBatch(queries_, governed);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_TRUE(actual[i].ok());
+    EXPECT_EQ(actual[i].count, expected[i].count);
+    EXPECT_FALSE(actual[i].pressure_affected);
+  }
+}
+
+// --- Sharded governance ---------------------------------------------------
+
+TEST_F(ResourceGovernanceTest, PerShardSubBudgetsRollUpAndDrain) {
+  MemoryBudget parent(64ull << 20, nullptr, "process");
+  {
+    shard::ShardedIndexOptions sopts;
+    sopts.store_dir = dir_;
+    sopts.budget = &parent;
+    sopts.shard_budget_bytes = 32ull << 20;
+    auto sharded = shard::ShardedIndex::Create(
+        &idx_, shard::ShardMap::Hash(2), sopts);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    for (uint32_t s = 0; s < 2; ++s) {
+      MemoryBudget* sub = sharded->shard_budget(s);
+      ASSERT_NE(sub, nullptr);
+      EXPECT_EQ(sub->parent(), &parent);
+      EXPECT_EQ(sub->limit_bytes(), 32ull << 20);
+    }
+    ASSERT_TRUE(sharded->RebuildAll().ok());
+    // Engine footprints charged through the children into the parent.
+    EXPECT_GT(parent.used(), 0u);
+    ASSERT_TRUE(sharded->SaveAll().ok());
+    ASSERT_TRUE(sharded->OpenMutationLogs().ok());
+    ASSERT_TRUE(sharded->Upsert(3, {1, 2}).ok());
+    ASSERT_TRUE(sharded->Upsert(4, {5}).ok());
+    EXPECT_EQ(sharded->pending_mutations(), 2u);
+    EXPECT_GT(sharded->pending_bytes(), 0u);
+
+    // Routed queries degrade against the shared parent: push it over its
+    // high watermark and low-priority routed queries shed on every shard.
+    shard::ShardRouter router(&*sharded);
+    shard::RouterOptions ropts;
+    ropts.num_threads = 1;
+    ropts.priority = index::QueryPriority::kLow;
+    ScopedCharge squeeze(&parent);
+    ASSERT_TRUE(squeeze.Add(60ull << 20).ok());
+    ASSERT_TRUE(parent.under_pressure());
+    shard::ShardBatchStats stats;
+    auto routed = router.CountBatch(queries_, ropts, &stats);
+    for (const auto& r : routed) {
+      EXPECT_EQ(r.outcome, index::QueryOutcome::kShed);
+      EXPECT_EQ(r.shards_answered, 0u);
+    }
+    EXPECT_EQ(stats.merged.pressure_shed, 2 * queries_.size());
+
+    squeeze.Release();
+    ASSERT_FALSE(parent.under_pressure());
+    routed = router.CountBatch(queries_, ropts, &stats);
+    for (const auto& r : routed) EXPECT_TRUE(r.ok());
+    EXPECT_EQ(stats.merged.pressure_shed, 0u);
+  }
+  // Teardown invariant: every charge (engines, payloads, windows) was
+  // matched by a release once the index and its readers are gone.
+  EXPECT_EQ(parent.used(), 0u);
+}
+
+// --- Fault storms ---------------------------------------------------------
+
+// One governed lifecycle — reload, WAL open/replay, mutation storm, flush —
+// with `point` armed to fire after `skip` passing hits. Whatever failed
+// must fail cleanly; whatever was acknowledged must survive into a fresh
+// manager over the same store.
+class GovernanceFaultSweep : public ResourceGovernanceTest {
+ protected:
+  void RunSweep(fault::FaultPoint point) {
+    for (uint64_t skip : {0u, 1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u}) {
+      SCOPED_TRACE("skip=" + std::to_string(skip));
+      const std::string dir = dir_ + "/skip-" + std::to_string(skip);
+      MemoryBudget budget(MemoryBudget::kNoLimit, nullptr, "sweep");
+      Model model = model_;
+      {
+        auto store = OpenStore(dir);
+        ASSERT_NE(store, nullptr);
+        IndexManager::Options opts;
+        opts.budget = &budget;
+        IndexManager mgr(&idx_, store.get(), opts);
+        ASSERT_TRUE(mgr.Rebuild().ok());
+        ASSERT_TRUE(mgr.SaveSnapshot().ok());
+
+        fault::Arm(point, skip);
+        Status reloaded = mgr.Reload();
+        Status opened = mgr.OpenMutationLog();
+        if (opened.ok()) {
+          std::mt19937_64 rng(skip * 977 + 5);
+          for (int i = 0; i < 25; ++i) {
+            const uint32_t doc =
+                static_cast<uint32_t>(rng() % idx_.num_docs());
+            std::vector<uint32_t> terms = RandomTerms(&rng);
+            Status s = mgr.Upsert(doc, terms);
+            if (s.ok()) model[doc] = std::move(terms);
+          }
+          mgr.FlushDelta();  // may roll back; incumbent keeps serving
+        }
+        fault::DisarmAll();
+
+        // The incumbent (from the pre-fault Rebuild at worst) serves.
+        ASSERT_NE(mgr.engine(), nullptr);
+        ExpectMatchesModel(mgr, model, "incumbent after fault");
+        (void)reloaded;
+      }
+
+      // Zero acked-write loss: a fresh manager over the same store + WAL
+      // reconstructs exactly the acknowledged state.
+      auto store = OpenStore(dir);
+      ASSERT_NE(store, nullptr);
+      {
+        IndexManager fresh(&idx_, store.get(), {});
+        Status reloaded = fresh.Reload();
+        if (!reloaded.ok()) {
+          ASSERT_TRUE(fresh.Rebuild().ok());
+        }
+        ASSERT_TRUE(fresh.OpenMutationLog().ok());
+        ExpectMatchesModel(fresh, model, "fresh manager after fault");
+      }
+      // Whatever the fault interrupted, its charges were rolled back or
+      // released with the manager: nothing leaks into the budget.
+      EXPECT_EQ(budget.used(), 0u);
+    }
+  }
+};
+
+TEST_F(GovernanceFaultSweep, AllocationStorm) {
+  RunSweep(fault::FaultPoint::kAllocation);
+}
+
+TEST_F(GovernanceFaultSweep, BudgetExhaustedStorm) {
+  RunSweep(fault::FaultPoint::kBudgetExhausted);
+}
+
+TEST_F(ResourceGovernanceTest, BudgetChargesDrainToZeroAtTeardown) {
+  MemoryBudget budget(MemoryBudget::kNoLimit, nullptr, "lifecycle");
+  {
+    auto store = OpenStore(dir_);
+    ASSERT_NE(store, nullptr);
+    IndexManager::Options opts;
+    opts.budget = &budget;
+    IndexManager mgr(&idx_, store.get(), opts);
+    ASSERT_TRUE(mgr.Rebuild().ok());
+    EXPECT_GT(budget.used(), 0u);  // the serving engine's footprint
+    ASSERT_TRUE(mgr.SaveSnapshot().ok());
+    ASSERT_TRUE(mgr.Reload().ok());
+    ASSERT_TRUE(mgr.OpenMutationLog().ok());
+    ASSERT_TRUE(mgr.Upsert(1, {2, 3}).ok());
+    ASSERT_TRUE(mgr.FlushDelta().ok());
+    ExpectMatchesModel(mgr, [&] {
+      Model m = model_;
+      m[1] = {2, 3};
+      return m;
+    }(), "governed lifecycle");
+  }
+  // Engines, payload windows, and merge candidates all released.
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+}  // namespace
+}  // namespace fesia

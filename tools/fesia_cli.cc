@@ -23,8 +23,8 @@
 // serialized FesiaSet ("fesia" format, magic-tagged; auto-detected).
 //
 // Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt, 5 deadline exhaustion,
-// 6 unrecoverable store — the authoritative table lives in docs/API.md
-// ("Exit codes").
+// 6 unrecoverable store, 7 resource exhausted (memory budget) — the
+// authoritative table lives in docs/API.md ("Exit codes").
 #include <algorithm>
 #include <cerrno>
 #include <cstdint>
@@ -32,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,7 @@
 #include "store/wal.h"
 #include "util/cpu.h"
 #include "util/file_io.h"
+#include "util/memory_budget.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -63,6 +65,7 @@ constexpr int kExitIo = 3;
 constexpr int kExitCorrupt = 4;
 constexpr int kExitDeadline = 5;
 constexpr int kExitUnrecoverable = 6;
+constexpr int kExitResource = 7;
 
 int Usage() {
   std::fprintf(stderr, R"(usage: fesia_cli <command> [options]
@@ -83,6 +86,7 @@ commands:
   batch [--queries N] [--query-terms K] [--docs D] [--terms T] [--seed S]
         [--threads P] [--deadline-ms MS] [--batch-deadline-ms MS]
         [--capacity C] [--retries R] [--level L] [--shards N]
+        [--memory-budget BYTES]
       run N K-term AND queries against a synthetic Zipf corpus with the
       deadline/overload controls of the batch executor; prints outcome
       counters and latency percentiles. --shards N >= 1 routes the batch
@@ -94,14 +98,23 @@ commands:
       DIR/shard-NN/ (the shard map is pinned as DIR/SHARDMAP)
   mutate --dir DIR (--upsert DOC [--set-terms T1,T2,...] | --delete DOC)
          [--shards N] [--docs D] [--terms T] [--seed S]
+         [--memory-budget BYTES]
       durably append one mutation to the write-ahead log of the shard
       owning DOC (fsynced before the ack is printed); --upsert replaces
       DOC's term set wholesale, --delete tombstones it. The corpus flags
       must match the build
   flush --dir DIR [--shards N] [--docs D] [--terms T] [--seed S] [--keep K]
+        [--memory-budget BYTES]
       merge every shard's pending WAL/delta mutations into a new snapshot
-      generation and truncate its log (shards with none are a no-op); the
-      corpus flags must match the build
+      generation and truncate its log (shards with none are a no-op),
+      emitting one JSON line per shard with pending_docs/pending_bytes;
+      the corpus flags must match the build
+
+  --memory-budget BYTES (batch, mutate, flush; 0 = unlimited, suffixes
+      K/M/G accepted) caps the bytes the run may hold: mutations past the
+      cap are rejected with exit 7 after a flush is requested, and queries
+      degrade (low-priority shed, the rest forced onto O(1)-scratch
+      serial paths) while the budget is over its high watermark
   snapshot save --dir DIR --in FILE [--keep N]
       durably append FILE's bytes as a new store generation (atomic write
       + manifest commit; N generations retained, default 3)
@@ -118,7 +131,8 @@ commands:
 exit codes: 0 ok, 2 usage, 3 I/O failure or invalid input,
             4 corrupt snapshot,
             5 deadline exhaustion (no query in the batch completed),
-            6 unrecoverable snapshot store (see docs/API.md)
+            6 unrecoverable snapshot store,
+            7 resource exhausted: memory budget (see docs/API.md)
 )");
   return kExitUsage;
 }
@@ -205,6 +219,39 @@ bool ParseU32ListFlag(const std::map<std::string, std::string>& flags,
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+  return true;
+}
+
+// Byte-size flag (`--memory-budget 64M`): a non-negative integer with an
+// optional K/M/G binary suffix. 0 means "no budget".
+bool ParseSizeFlag(const std::map<std::string, std::string>& flags,
+                   const std::string& key, uint64_t def, uint64_t* out) {
+  auto it = flags.find(key);
+  if (it == flags.end()) {
+    *out = def;
+    return true;
+  }
+  const std::string& value = it->second;
+  const char* s = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  uint64_t mult = 1;
+  if (end != s && *end != '\0' && end[1] == '\0') {
+    switch (*end) {
+      case 'K': case 'k': mult = 1ull << 10; ++end; break;
+      case 'M': case 'm': mult = 1ull << 20; ++end; break;
+      case 'G': case 'g': mult = 1ull << 30; ++end; break;
+      default: break;
+    }
+  }
+  if (errno != 0 || end == s || *end != '\0' || value[0] == '-' ||
+      v > UINT64_MAX / mult) {
+    std::fprintf(stderr, "fesia_cli: --%s expects a byte count with an "
+                 "optional K/M/G suffix, got \"%s\"\n", key.c_str(), s);
+    return false;
+  }
+  *out = v * mult;
   return true;
 }
 
@@ -510,8 +557,10 @@ int RunShardedBatch(const fesia::index::InvertedIndex& idx,
                 ps.shed, ps.failed, ps.retries, ps.downgrades,
                 ps.latency_p95 * 1e3);
   }
-  std::printf("merged: retries %zu, downgrades %zu, sub-queries ok %zu of "
-              "%zu\n", stats.merged.retries, stats.merged.downgrades,
+  std::printf("merged: retries %zu, downgrades %zu, pressure-shed %zu, "
+              "pressure-downgrades %zu, sub-queries ok %zu of %zu\n",
+              stats.merged.retries, stats.merged.downgrades,
+              stats.merged.pressure_shed, stats.merged.pressure_downgrades,
               stats.merged.ok, stats.merged.latency_seconds.size());
   std::printf("latency ms: p50 %.3f, p95 %.3f, p99 %.3f, max %.3f\n",
               stats.latency_p50 * 1e3, stats.latency_p95 * 1e3,
@@ -526,7 +575,7 @@ int RunShardedBatch(const fesia::index::InvertedIndex& idx,
 
 int CmdBatch(const std::map<std::string, std::string>& flags) {
   uint64_t num_queries = 0, docs = 0, terms = 0, seed = 0, threads = 0;
-  uint64_t capacity = 0, shards = 0;
+  uint64_t capacity = 0, shards = 0, budget_bytes = 0;
   int query_terms = 0, retries = 0;
   double deadline_ms = 0, batch_deadline_ms = 0;
   SimdLevel level = SimdLevel::kAuto;
@@ -537,6 +586,7 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
       !ParseU64Flag(flags, "threads", 0, &threads) ||
       !ParseU64Flag(flags, "capacity", 0, &capacity) ||
       !ParseU64Flag(flags, "shards", 0, &shards) ||
+      !ParseSizeFlag(flags, "memory-budget", 0, &budget_bytes) ||
       !ParseIntFlag(flags, "query-terms", 2, &query_terms) ||
       !ParseIntFlag(flags, "retries", 1, &retries) ||
       !ParseDoubleFlag(flags, "deadline-ms", 0, &deadline_ms) ||
@@ -578,6 +628,14 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
     }
   }
 
+  // One run-scoped budget for both paths (0 keeps the nullptr default,
+  // i.e. MemoryBudget::Unlimited() and byte-identical results).
+  std::unique_ptr<fesia::MemoryBudget> budget;
+  if (budget_bytes > 0) {
+    budget = std::make_unique<fesia::MemoryBudget>(budget_bytes, nullptr,
+                                                   "cli-batch");
+  }
+
   if (shards > 0) {
     std::printf("corpus: %u docs, %u terms\n", idx.num_docs(),
                 idx.num_terms());
@@ -588,6 +646,7 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
     ropts.batch_deadline_seconds = batch_deadline_ms / 1000.0;
     ropts.admission_capacity = capacity;
     ropts.retry.max_attempts = retries;
+    ropts.budget = budget.get();
     return RunShardedBatch(idx, queries, static_cast<uint32_t>(shards),
                            ropts);
   }
@@ -603,6 +662,7 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   opts.batch_deadline_seconds = batch_deadline_ms / 1000.0;
   opts.admission_capacity = capacity;
   opts.retry.max_attempts = retries;
+  opts.budget = budget.get();
   fesia::index::BatchStats stats;
   std::vector<fesia::index::QueryResult> results =
       engine.CountBatch(queries, opts, &stats);
@@ -612,8 +672,9 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   std::printf("outcomes: ok %zu, deadline-exceeded %zu, shed %zu, "
               "failed %zu\n",
               stats.ok, stats.deadline_exceeded, stats.shed, stats.failed);
-  std::printf("resilience: retries %zu, downgrades %zu\n", stats.retries,
-              stats.downgrades);
+  std::printf("resilience: retries %zu, downgrades %zu, pressure-shed %zu, "
+              "pressure-downgrades %zu\n", stats.retries, stats.downgrades,
+              stats.pressure_shed, stats.pressure_downgrades);
   std::printf("latency ms: p50 %.3f, p95 %.3f, max %.3f\n",
               stats.latency_p50 * 1e3, stats.latency_p95 * 1e3,
               stats.latency_max * 1e3);
@@ -626,8 +687,8 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
 }
 
 // Store failures map onto the documented exit codes: an unrecoverable
-// store (nothing validates) is 6, validation failures are 4, everything
-// the OS refused is 3.
+// store (nothing validates) is 6, validation failures are 4, a memory
+// budget rejection is 7, everything the OS refused is 3.
 int StoreExitCode(const Status& s) {
   switch (s.code()) {
     case fesia::StatusCode::kDataLoss:
@@ -635,6 +696,8 @@ int StoreExitCode(const Status& s) {
     case fesia::StatusCode::kCorruption:
     case fesia::StatusCode::kFailedPrecondition:
       return kExitCorrupt;
+    case fesia::StatusCode::kResourceExhausted:
+      return kExitResource;
     default:
       return kExitIo;
   }
@@ -715,11 +778,13 @@ fesia::index::InvertedIndex RebuildCorpus(uint64_t docs, uint64_t terms,
 int CmdMutate(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "dir", "");
   uint64_t shards = 0, docs = 0, terms = 0, seed = 0, keep = 0;
+  uint64_t budget_bytes = 0;
   if (!ParseU64Flag(flags, "shards", 1, &shards) ||
       !ParseU64Flag(flags, "docs", 20000, &docs) ||
       !ParseU64Flag(flags, "terms", 500, &terms) ||
       !ParseU64Flag(flags, "seed", 1, &seed) ||
-      !ParseU64Flag(flags, "keep", 3, &keep)) {
+      !ParseU64Flag(flags, "keep", 3, &keep) ||
+      !ParseSizeFlag(flags, "memory-budget", 0, &budget_bytes)) {
     return kExitUsage;
   }
   if (dir.empty()) return Usage();
@@ -754,9 +819,19 @@ int CmdMutate(const std::map<std::string, std::string>& flags) {
   }
 
   fesia::index::InvertedIndex idx = RebuildCorpus(docs, terms, seed);
+  std::unique_ptr<fesia::MemoryBudget> budget;
   fesia::shard::ShardedIndexOptions sopts;
   sopts.store_dir = dir;
   sopts.max_generations = keep;
+  if (budget_bytes > 0) {
+    budget = std::make_unique<fesia::MemoryBudget>(budget_bytes, nullptr,
+                                                   "cli-mutate");
+    sopts.budget = budget.get();
+    // Backpressure bounds derived from the budget: request an early flush
+    // at half the cap, soft-fail (exit 7) at the cap while one is running.
+    sopts.mutation_soft_bytes = budget_bytes / 2;
+    sopts.mutation_hard_bytes = budget_bytes;
+  }
   auto sharded = fesia::shard::ShardedIndex::Create(
       &idx, fesia::shard::ShardMap::Hash(static_cast<uint32_t>(shards)),
       sopts);
@@ -799,19 +874,25 @@ int CmdMutate(const std::map<std::string, std::string>& flags) {
                 routed_shard, static_cast<unsigned long long>(doc),
                 static_cast<unsigned long long>(seq));
   }
-  std::printf("pending mutations in shard-%02u: %zu\n", routed_shard,
-              sharded->manager(routed_shard)->pending_mutations());
+  const fesia::store::IndexManager::MutationStats ms =
+      sharded->manager(routed_shard)->mutation_stats();
+  std::printf("pending in shard-%02u: %zu doc(s), %llu overlay byte(s), "
+              "%llu open wal byte(s)\n", routed_shard, ms.pending_docs,
+              static_cast<unsigned long long>(ms.pending_bytes),
+              static_cast<unsigned long long>(ms.wal_open_bytes));
   return kExitOk;
 }
 
 int CmdFlush(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "dir", "");
   uint64_t shards = 0, docs = 0, terms = 0, seed = 0, keep = 0;
+  uint64_t budget_bytes = 0;
   if (!ParseU64Flag(flags, "shards", 1, &shards) ||
       !ParseU64Flag(flags, "docs", 20000, &docs) ||
       !ParseU64Flag(flags, "terms", 500, &terms) ||
       !ParseU64Flag(flags, "seed", 1, &seed) ||
-      !ParseU64Flag(flags, "keep", 3, &keep)) {
+      !ParseU64Flag(flags, "keep", 3, &keep) ||
+      !ParseSizeFlag(flags, "memory-budget", 0, &budget_bytes)) {
     return kExitUsage;
   }
   if (dir.empty()) return Usage();
@@ -822,9 +903,15 @@ int CmdFlush(const std::map<std::string, std::string>& flags) {
   }
 
   fesia::index::InvertedIndex idx = RebuildCorpus(docs, terms, seed);
+  std::unique_ptr<fesia::MemoryBudget> budget;
   fesia::shard::ShardedIndexOptions sopts;
   sopts.store_dir = dir;
   sopts.max_generations = keep;
+  if (budget_bytes > 0) {
+    budget = std::make_unique<fesia::MemoryBudget>(budget_bytes, nullptr,
+                                                   "cli-flush");
+    sopts.budget = budget.get();
+  }
   auto sharded = fesia::shard::ShardedIndex::Create(
       &idx, fesia::shard::ShardMap::Hash(static_cast<uint32_t>(shards)),
       sopts);
@@ -861,8 +948,10 @@ int CmdFlush(const std::map<std::string, std::string>& flags) {
                    s, wal_report.ToString().c_str());
     }
     const size_t pending = sharded->manager(s)->pending_mutations();
+    const uint64_t pending_bytes = sharded->manager(s)->pending_bytes();
     if (pending == 0) {
-      std::printf("shard-%02u: no pending mutations\n", s);
+      std::printf("{\"event\":\"flush\",\"shard\":%u,\"pending_docs\":0,"
+                  "\"pending_bytes\":0,\"merged\":false}\n", s);
       continue;
     }
     uint64_t generation = 0;
@@ -873,8 +962,11 @@ int CmdFlush(const std::map<std::string, std::string>& flags) {
       worst = std::max(worst, StoreExitCode(flushed));
       continue;
     }
-    std::printf("shard-%02u: merged %zu mutation(s) into generation %llu\n",
-                s, pending, static_cast<unsigned long long>(generation));
+    std::printf("{\"event\":\"flush\",\"shard\":%u,\"pending_docs\":%zu,"
+                "\"pending_bytes\":%llu,\"merged\":true,"
+                "\"generation\":%llu}\n",
+                s, pending, static_cast<unsigned long long>(pending_bytes),
+                static_cast<unsigned long long>(generation));
     merged_total += pending;
   }
   std::printf("flushed %zu mutation(s) across %u shard(s) in %s\n",
@@ -944,10 +1036,13 @@ int RecoverOneStore(const std::string& dir, uint64_t keep, int shard) {
   if (shard >= 0) std::printf(",\"shard\":%d", shard);
   if (log.ok()) {
     std::printf(",\"ok\":true,\"segments\":%zu,\"records\":%zu,"
-                "\"last_seq\":%llu,\"torn_tail_bytes\":%zu,"
+                "\"last_seq\":%llu,\"replayed_bytes\":%llu,"
+                "\"open_bytes\":%llu,\"torn_tail_bytes\":%zu,"
                 "\"quarantined_segments\":%zu,\"clean\":%s}\n",
                 wal.segments, wal.records,
                 static_cast<unsigned long long>(wal.last_seq),
+                static_cast<unsigned long long>(wal.replayed_bytes),
+                static_cast<unsigned long long>(log->open_bytes()),
                 wal.torn_tail_bytes, wal.quarantined_segments,
                 wal.clean() ? "true" : "false");
   } else {
