@@ -6,7 +6,10 @@
 // query pays one gather. This prints where the fan-out overhead crosses
 // the smaller-per-shard-index win, and what sharding does to p99 (the
 // slowest shard is every query's critical path).
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -162,6 +165,96 @@ int main() {
         "\ndegraded rehearsal (1 of 4 shards quarantined): %zu of %zu "
         "queries answered as explicit 3/4 partials, %.0f q/s\n",
         partial, routed.size(), stats.queries_per_second);
+  }
+
+  // Replica-kill rehearsal: with 2 replicas per shard, losing one replica
+  // of every shard mid-stream must be invisible — the router fails over
+  // to the surviving replica, so completeness stays 100% and every count
+  // stays byte-identical to the healthy run. Reported: p99 healthy vs
+  // p99 during failover (the price of the rescue pass), plus the
+  // anti-entropy repair that brings the killed replicas back.
+  {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "fesia_bench_replica")
+            .string();
+    std::filesystem::remove_all(dir);
+    shard::ShardedIndexOptions sopts;
+    sopts.params = params;
+    sopts.store_dir = dir;
+    sopts.replication_factor = 2;
+    auto sharded =
+        shard::ShardedIndex::Create(&idx, shard::ShardMap::Hash(4), sopts);
+    if (!sharded.ok() || !sharded->RebuildAll().ok() ||
+        !sharded->SaveAll().ok()) {
+      std::printf("replica rehearsal: store build failed\n");
+      return 1;
+    }
+    shard::ShardRouter router(&*sharded);
+    shard::RouterOptions ropts;
+    ropts.num_threads = 8;
+
+    shard::ShardBatchStats healthy_stats;
+    auto healthy = router.CountBatch(queries, ropts, &healthy_stats);
+
+    // Kill the preferred replica of every shard while the batch is in
+    // flight: a helper thread quarantines them a moment after the stream
+    // starts, so early sub-batches run on the primary and late ones fail
+    // over. Whichever side of the kill a query lands on, its answer must
+    // not change.
+    std::thread killer([&sharded] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+        shard::ReplicaSet* rs = sharded->replica_set(s);
+        int preferred = rs->PreferredReplica();
+        if (preferred >= 0) {
+          rs->QuarantineReplica(static_cast<uint32_t>(preferred));
+        }
+      }
+    });
+    shard::ShardBatchStats failover_stats;
+    auto failover = router.CountBatch(queries, ropts, &failover_stats);
+    killer.join();
+
+    size_t incomplete = 0, diverged = 0;
+    for (size_t q = 0; q < failover.size(); ++q) {
+      if (!failover[q].complete()) ++incomplete;
+      if (!failover[q].ok() || failover[q].count != healthy[q].count) {
+        ++diverged;
+      }
+    }
+    std::printf(
+        "\nreplica-kill rehearsal (rf=2, preferred replica of all 4 shards "
+        "killed mid-stream):\n"
+        "  healthy:  p99 %.0f us, %.0f q/s\n"
+        "  failover: p99 %.0f us, %.0f q/s, %zu incomplete, %zu diverged "
+        "(both must be 0)\n",
+        healthy_stats.latency_p99 * 1e6, healthy_stats.queries_per_second,
+        failover_stats.latency_p99 * 1e6, failover_stats.queries_per_second,
+        incomplete, diverged);
+    if (incomplete != 0 || diverged != 0) {
+      std::filesystem::remove_all(dir);
+      return 1;
+    }
+
+    // Anti-entropy repair: re-sync and revive the killed replicas, then
+    // confirm the post-repair stream matches the healthy one again.
+    WallTimer repair_timer;
+    Status repaired = sharded->RepairOnce();
+    double repair_s = repair_timer.Seconds();
+    shard::ShardBatchStats repaired_stats;
+    auto after = router.CountBatch(queries, ropts, &repaired_stats);
+    size_t after_diverged = 0;
+    for (size_t q = 0; q < after.size(); ++q) {
+      if (!after[q].complete() || after[q].count != healthy[q].count) {
+        ++after_diverged;
+      }
+    }
+    std::printf(
+        "  repaired: %s in %.3f s, p99 %.0f us, %zu diverged (must be 0)\n",
+        repaired.ok() ? "all replicas re-synced" : repaired.ToString().c_str(),
+        repair_s, repaired_stats.latency_p99 * 1e6, after_diverged);
+    std::filesystem::remove_all(dir);
+    if (!repaired.ok() || after_diverged != 0) return 1;
   }
   return 0;
 }

@@ -51,6 +51,15 @@ for preset in default asan ubsan tsan; do
     echo "=== [$preset] live mutation (ctest -L mutation) ==="
     ctest --preset "$preset" -L mutation -j "$jobs"
   fi
+  # Replication gate: per-shard replica groups (fan-out ack policies,
+  # failover/hedged reads, the anti-entropy repair kill-point sweep, cold
+  # reopen convergence) by label. ASan covers the snapshot export/import
+  # and catch-up buffers; TSan races failover traffic against concurrent
+  # replica kills and repairs.
+  if [ "$preset" = default ] || [ "$preset" = asan ] || [ "$preset" = tsan ]; then
+    echo "=== [$preset] replication (ctest -L replica) ==="
+    ctest --preset "$preset" -L replica -j "$jobs"
+  fi
   # Resource-governance gate: memory budgets, chunked WAL replay, mutation
   # backpressure, and pressure-aware query degradation by label. ASan
   # covers the replay window and charge-rollback paths; TSan races the

@@ -1,0 +1,597 @@
+#include "shard/replica_set.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "util/check.h"
+#include "util/fault_injection.h"
+
+namespace fesia::shard {
+namespace {
+
+std::string ReplicaDirName(uint32_t replica) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "replica-%02u", replica);
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Open(
+    const index::InvertedIndex* idx, const ReplicaSetOptions& options) {
+  FESIA_CHECK(idx != nullptr);
+  FESIA_CHECK(options.replication_factor >= 1);
+  FESIA_CHECK(!options.dir.empty());
+
+  auto set = std::unique_ptr<ReplicaSet>(new ReplicaSet());
+  set->idx_ = idx;
+  set->options_ = options;
+
+  size_t usable = 0;
+  Status first_error;
+  for (uint32_t r = 0; r < options.replication_factor; ++r) {
+    auto replica = std::make_unique<Replica>();
+    store::SnapshotStoreOptions store_opts;
+    // Factor 1 keeps the store directly in the shard directory so
+    // unreplicated stores reopen byte-identically.
+    store_opts.dir = options.replication_factor == 1
+                         ? options.dir
+                         : options.dir + "/" + ReplicaDirName(r);
+    store_opts.max_generations = options.max_generations;
+    auto opened = store::SnapshotStore::Open(store_opts);
+    if (!opened.ok()) {
+      replica->SetStatus(opened.status());
+      replica->quarantined.store(true, std::memory_order_relaxed);
+      if (first_error.ok()) first_error = opened.status();
+      set->replicas_.push_back(std::move(replica));
+      continue;
+    }
+    replica->store =
+        std::make_unique<store::SnapshotStore>(*std::move(opened));
+    store::IndexManager::Options mgr_opts;
+    mgr_opts.params = options.params;
+    mgr_opts.format_version = options.format_version;
+    mgr_opts.budget = options.budget;
+    mgr_opts.mutation_soft_bytes = options.mutation_soft_bytes;
+    mgr_opts.mutation_hard_bytes = options.mutation_hard_bytes;
+    replica->manager = std::make_unique<store::IndexManager>(
+        idx, replica->store.get(), mgr_opts);
+    set->replicas_.push_back(std::move(replica));
+    ++usable;
+  }
+  if (usable == 0) {
+    return first_error.ok()
+               ? Status::IoError("no replica store could be opened")
+               : first_error;
+  }
+  return set;
+}
+
+ReplicaSet::~ReplicaSet() { StopRepair(); }
+
+store::IndexManager* ReplicaSet::manager(uint32_t replica) const {
+  FESIA_CHECK(replica < replicas_.size());
+  return replicas_[replica]->manager.get();
+}
+
+store::SnapshotStore* ReplicaSet::store(uint32_t replica) const {
+  FESIA_CHECK(replica < replicas_.size());
+  return replicas_[replica]->store.get();
+}
+
+Status ReplicaSet::Rebuild() {
+  Status first_error;
+  for (auto& rep : replicas_) {
+    if (rep->manager == nullptr) continue;
+    Status st = rep->manager->Rebuild();
+    rep->SetStatus(st);
+    if (st.ok()) {
+      rep->quarantined.store(false, std::memory_order_relaxed);
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  }
+  return first_error;
+}
+
+Status ReplicaSet::Save() {
+  Status first_error;
+  for (auto& rep : replicas_) {
+    if (rep->manager == nullptr) continue;
+    Status st = rep->manager->SaveSnapshot();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status ReplicaSet::Reload() {
+  Status first_error;
+  for (auto& rep : replicas_) {
+    if (rep->manager == nullptr) continue;
+    Status st = rep->manager->Reload();
+    rep->SetStatus(st);
+    if (st.ok()) {
+      rep->quarantined.store(false, std::memory_order_relaxed);
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  }
+  return first_error;
+}
+
+Status ReplicaSet::OpenMutationLogs(store::WalReplayReport* report) {
+  Status first_error;
+  store::WalReplayReport worst;
+  bool have_report = false;
+  for (auto& rep : replicas_) {
+    if (rep->manager == nullptr) continue;
+    store::WalReplayReport one;
+    Status st = rep->manager->OpenMutationLog(&one);
+    if (!st.ok()) {
+      if (first_error.ok()) first_error = st;
+      continue;
+    }
+    if (!have_report || (worst.clean() && !one.clean())) worst = one;
+    have_report = true;
+  }
+  if (report != nullptr) *report = worst;
+
+  // Cold-open sync point: the highest seq durable on any replica might
+  // have been acknowledged before the crash, so it is conservatively
+  // treated as acked. A replica that trails it is pulled from routing
+  // until repair catches it up — serving it would answer without
+  // potentially-acknowledged writes.
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t max_durable = 0;
+  for (auto& rep : replicas_) {
+    if (rep->manager == nullptr) continue;
+    max_durable = std::max(max_durable, rep->manager->durable_seq());
+  }
+  last_acked_ = std::max(last_acked_, max_durable);
+  next_seq_ = std::max(next_seq_, max_durable + 1);
+  if (replicas_.size() > 1) {
+    for (auto& rep : replicas_) {
+      if (rep->manager == nullptr) continue;
+      if (rep->manager->durable_seq() < max_durable &&
+          !rep->quarantined.load(std::memory_order_relaxed)) {
+        rep->SetStatus(Status::Unavailable(
+            "replica trails the acknowledged seq after cold open; "
+            "awaiting anti-entropy repair"));
+        rep->quarantined.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  return first_error;
+}
+
+Status ReplicaSet::ApplyMutation(store::WalRecord record, uint64_t* seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> targets;
+  uint64_t assigned = next_seq_;
+  for (uint32_t r = 0; r < replicas_.size(); ++r) {
+    Replica& rep = *replicas_[r];
+    if (rep.manager == nullptr) continue;
+    if (rep.quarantined.load(std::memory_order_relaxed)) continue;
+    targets.push_back(r);
+    // A replica revived by repair may hold seqs this set never assigned
+    // (e.g. catch-up from a peer opened earlier); never reuse one.
+    assigned = std::max(assigned, rep.manager->durable_seq() + 1);
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("no live replica can take writes");
+  }
+  record.seq = assigned;
+
+  size_t acks = 0;
+  Status first_failure;
+  for (uint32_t r : targets) {
+    Replica& rep = *replicas_[r];
+    Status st = rep.manager->ApplyReplicated(record);
+    if (st.ok()) {
+      ++acks;
+      continue;
+    }
+    if (acks == 0 && (st.code() == StatusCode::kFailedPrecondition ||
+                      st.code() == StatusCode::kInvalidArgument ||
+                      st.code() == StatusCode::kResourceExhausted)) {
+      // Deterministic or admission refusal before anything was appended:
+      // the mutation aborts whole — nothing durable anywhere, nothing
+      // acked, no replica diverged, the seq is never consumed.
+      return st;
+    }
+    // The replica missed a record its peers may acknowledge: serving it
+    // would answer stale, so it leaves routing until repair re-syncs it.
+    // With a single replica there is no peer to diverge from — the store
+    // keeps serving its incumbent engine, exactly as an unreplicated
+    // manager would after a failed append.
+    if (replicas_.size() > 1) {
+      rep.SetStatus(st);
+      rep.quarantined.store(true, std::memory_order_relaxed);
+    }
+    if (first_failure.ok()) first_failure = st;
+  }
+  if (acks == 0) return first_failure;
+  next_seq_ = record.seq + 1;
+
+  const size_t required =
+      options_.ack_policy == AckPolicy::kQuorum
+          ? static_cast<size_t>(replicas_.size()) / 2 + 1
+          : targets.size();
+  if (acks < required) {
+    // Durable on some replicas but not acknowledged: like a torn write,
+    // the caller must retry; repair converges the replicas either way.
+    if (!first_failure.ok()) return first_failure;
+    return Status::Unavailable(
+        "ack policy not satisfied: " + std::to_string(acks) + " of " +
+        std::to_string(required) + " required acknowledgements");
+  }
+  last_acked_ = record.seq;
+  if (seq != nullptr) *seq = record.seq;
+  return Status::Ok();
+}
+
+Status ReplicaSet::Upsert(uint32_t doc, std::vector<uint32_t> terms,
+                          uint64_t* seq) {
+  if (doc >= idx_->num_docs()) {
+    return Status::InvalidArgument("upsert: document id out of range");
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (uint32_t t : terms) {
+    if (t >= idx_->num_terms()) {
+      return Status::InvalidArgument("upsert: term id out of range");
+    }
+  }
+  store::WalRecord rec;
+  rec.kind = store::WalRecord::Kind::kUpsert;
+  rec.doc = doc;
+  rec.terms = std::move(terms);
+  return ApplyMutation(std::move(rec), seq);
+}
+
+Status ReplicaSet::Delete(uint32_t doc, uint64_t* seq) {
+  if (doc >= idx_->num_docs()) {
+    return Status::InvalidArgument("delete: document id out of range");
+  }
+  store::WalRecord rec;
+  rec.kind = store::WalRecord::Kind::kDelete;
+  rec.doc = doc;
+  return ApplyMutation(std::move(rec), seq);
+}
+
+Status ReplicaSet::Flush(uint64_t* generation) {
+  Status first_error;
+  for (auto& rep : replicas_) {
+    if (rep->manager == nullptr) continue;
+    if (rep->quarantined.load(std::memory_order_relaxed)) continue;
+    Status st = rep->manager->FlushDelta();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  if (generation != nullptr) {
+    const int pref = PreferredReplica();
+    *generation =
+        pref >= 0 ? replicas_[pref]->manager->serving_generation() : 0;
+  }
+  return first_error;
+}
+
+int ReplicaSet::PreferredReplica() const { return NextLiveReplica(-1); }
+
+int ReplicaSet::NextLiveReplica(int after) const {
+  for (uint32_t r = static_cast<uint32_t>(after + 1); r < replicas_.size();
+       ++r) {
+    const Replica& rep = *replicas_[r];
+    if (rep.quarantined.load(std::memory_order_relaxed)) continue;
+    if (rep.manager == nullptr) continue;
+    if (rep.manager->engine() == nullptr) continue;
+    return static_cast<int>(r);
+  }
+  return -1;
+}
+
+store::IndexManager::MutationView ReplicaSet::View(uint32_t replica) const {
+  FESIA_CHECK(replica < replicas_.size());
+  if (replicas_[replica]->manager == nullptr) return {};
+  return replicas_[replica]->manager->AcquireView();
+}
+
+store::IndexManager::MutationView ReplicaSet::PreferredView() const {
+  const int pref = PreferredReplica();
+  if (pref < 0) return {};
+  return View(static_cast<uint32_t>(pref));
+}
+
+bool ReplicaSet::replica_quarantined(uint32_t replica) const {
+  FESIA_CHECK(replica < replicas_.size());
+  return replicas_[replica]->quarantined.load(std::memory_order_relaxed);
+}
+
+void ReplicaSet::QuarantineReplica(uint32_t replica) {
+  FESIA_CHECK(replica < replicas_.size());
+  replicas_[replica]->quarantined.store(true, std::memory_order_relaxed);
+}
+
+void ReplicaSet::ReviveReplica(uint32_t replica) {
+  FESIA_CHECK(replica < replicas_.size());
+  replicas_[replica]->quarantined.store(false, std::memory_order_relaxed);
+}
+
+Status ReplicaSet::replica_status(uint32_t replica) const {
+  FESIA_CHECK(replica < replicas_.size());
+  const Replica& rep = *replicas_[replica];
+  std::lock_guard<std::mutex> lock(rep.status_mu);
+  return rep.status;
+}
+
+uint32_t ReplicaSet::serving_replicas() const {
+  uint32_t serving = 0;
+  for (int r = PreferredReplica(); r >= 0; r = NextLiveReplica(r)) {
+    ++serving;
+  }
+  return serving;
+}
+
+uint64_t ReplicaSet::last_acked_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_acked_;
+}
+
+uint64_t ReplicaSet::replica_durable_seq(uint32_t replica) const {
+  FESIA_CHECK(replica < replicas_.size());
+  if (replicas_[replica]->manager == nullptr) return 0;
+  return replicas_[replica]->manager->durable_seq();
+}
+
+bool ReplicaSet::NeedsRepair(uint32_t replica) const {
+  FESIA_CHECK(replica < replicas_.size());
+  const Replica& rep = *replicas_[replica];
+  if (rep.manager == nullptr) return false;  // needs store re-open, not repair
+  bool peer_serves = false;
+  for (uint32_t s = 0; s < replicas_.size(); ++s) {
+    if (s == replica) continue;
+    const Replica& peer = *replicas_[s];
+    if (peer.quarantined.load(std::memory_order_relaxed)) continue;
+    if (peer.manager == nullptr || peer.manager->engine() == nullptr) {
+      continue;
+    }
+    peer_serves = true;
+    break;
+  }
+  if (!peer_serves) return false;  // nothing to sync from
+  if (rep.quarantined.load(std::memory_order_relaxed)) return true;
+  if (rep.manager->engine() == nullptr) return true;
+  // Lag against the acknowledged stream (advanced only after a completed
+  // fan-out, so an in-flight mutation never reads as divergence).
+  return rep.manager->durable_seq() < last_acked_seq();
+}
+
+int ReplicaSet::HealthiestPeer(uint32_t exclude) const {
+  int best = -1;
+  uint64_t best_durable = 0;
+  bool best_serving = false;
+  for (uint32_t r = 0; r < replicas_.size(); ++r) {
+    if (r == exclude) continue;
+    const Replica& rep = *replicas_[r];
+    if (rep.manager == nullptr || rep.manager->engine() == nullptr) continue;
+    const bool serving = !rep.quarantined.load(std::memory_order_relaxed);
+    const uint64_t durable = rep.manager->durable_seq();
+    // Serving peers outrank quarantined ones (a quarantined source is the
+    // last resort when every replica failed); durable seq breaks ties.
+    if (best < 0 || (serving && !best_serving) ||
+        (serving == best_serving && durable > best_durable)) {
+      best = static_cast<int>(r);
+      best_durable = durable;
+      best_serving = serving;
+    }
+  }
+  return best;
+}
+
+Status ReplicaSet::CatchUpFromPeer(
+    store::IndexManager* target,
+    const store::IndexManager::MutationView& peer_view) {
+  if (peer_view.delta == nullptr) return Status::Ok();
+  const uint64_t durable = target->durable_seq();
+  std::vector<store::WalRecord> records;
+  records.reserve(peer_view.delta->size());
+  for (const auto& [doc, dd] : *peer_view.delta) {
+    if (dd.seq <= durable) continue;
+    store::WalRecord rec;
+    rec.seq = dd.seq;
+    rec.kind = dd.tombstone ? store::WalRecord::Kind::kDelete
+                            : store::WalRecord::Kind::kUpsert;
+    rec.doc = doc;
+    rec.terms = dd.terms;
+    records.push_back(std::move(rec));
+  }
+  // The peer's overlay is collapsed per document (last writer wins), so
+  // replaying its entries in seq order is equivalent to replaying the
+  // full log: superseded records are exactly the ones that no longer
+  // affect any query answer or rebuild.
+  std::sort(records.begin(), records.end(),
+            [](const store::WalRecord& a, const store::WalRecord& b) {
+              return a.seq < b.seq;
+            });
+  for (const store::WalRecord& rec : records) {
+    FESIA_RETURN_IF_ERROR(target->ApplyReplicated(rec));
+  }
+  return Status::Ok();
+}
+
+Status ReplicaSet::RepairReplica(uint32_t replica) {
+  FESIA_CHECK(replica < replicas_.size());
+  Replica& rep = *replicas_[replica];
+  if (rep.manager == nullptr) {
+    return Status::FailedPrecondition(
+        "replica store was unrecoverable at open; a process restart "
+        "re-runs store recovery");
+  }
+  auto fail = [&](Status s) {
+    rep.SetStatus(s);
+    repair_failures_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  };
+
+  const int src = HealthiestPeer(replica);
+  if (src < 0) {
+    return fail(
+        Status::Unavailable("no healthy peer replica to repair from"));
+  }
+  store::IndexManager* source = replicas_[src]->manager.get();
+  store::IndexManager* target = rep.manager.get();
+
+  if (fault::ShouldFail(fault::FaultPoint::kRepairCrashBeforeImport)) {
+    return fail(Status::IoError(
+        "injected fault: repair crashed before snapshot import"));
+  }
+
+  // The target may just need its own disk (e.g. quarantined by an
+  // operator with a healthy store); a failed local reload is not an
+  // error here — the peer copy below covers it.
+  if (target->engine() == nullptr) (void)target->Reload();
+
+  // Phase 1: snapshot copy. Re-attempted when the source flushes
+  // mid-repair (its delta prunes records the exported generation now
+  // carries, so the export must be refreshed).
+  store::IndexManager::MutationView source_view;
+  bool synced = false;
+  for (int attempt = 0; attempt < 4 && !synced; ++attempt) {
+    if (target->engine() == nullptr ||
+        target->applied_seq() < source->applied_seq()) {
+      // The source's serving state must exist as a committed generation
+      // to copy; persist it when the store does not reflect it.
+      if (source->serving_generation() == 0 ||
+          (replicas_[src]->store != nullptr &&
+           replicas_[src]->store->current_generation() !=
+               source->serving_generation())) {
+        Status st = source->SaveSnapshot();
+        if (!st.ok()) return fail(st);
+      }
+      uint32_t format_version = 0;
+      auto payload = source->ExportSnapshot(&format_version);
+      if (!payload.ok()) return fail(payload.status());
+      Status st = target->ImportSnapshot(*payload, format_version);
+      if (!st.ok()) return fail(st);
+    }
+    source_view = source->AcquireView();
+    // A source flush between export and view acquisition leaves records
+    // in (target applied, source applied] visible only in the newer
+    // generation; go around and import that instead.
+    synced = source_view.applied_seq <= target->applied_seq();
+  }
+  if (!synced) {
+    return fail(Status::Unavailable(
+        "source replica kept flushing mid-repair; backing off"));
+  }
+
+  if (fault::ShouldFail(fault::FaultPoint::kRepairCrashBeforeCatchup)) {
+    return fail(Status::IoError(
+        "injected fault: repair crashed before WAL catch-up"));
+  }
+
+  // Phase 2: bulk WAL catch-up off the mutation lock — queries and
+  // fan-out keep flowing while the seq gap replays.
+  if (Status st = CatchUpFromPeer(target, source_view); !st.ok()) {
+    return fail(st);
+  }
+
+  if (fault::ShouldFail(fault::FaultPoint::kRepairCrashBeforeRevive)) {
+    return fail(Status::IoError(
+        "injected fault: repair crashed before revive"));
+  }
+
+  // Phase 3: final catch-up and revive under the mutation lock, so no
+  // acknowledged write can land between the sync check and the revive —
+  // a revived replica is never behind the acked stream.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const store::IndexManager::MutationView fresh = source->AcquireView();
+    if (Status st = CatchUpFromPeer(target, fresh); !st.ok()) {
+      return fail(st);
+    }
+    uint64_t goal = fresh.applied_seq;
+    if (fresh.delta != nullptr) {
+      for (const auto& [doc, dd] : *fresh.delta) {
+        goal = std::max(goal, dd.seq);
+      }
+    }
+    if (target->durable_seq() < goal) {
+      // A concurrent source flush pruned part of the gap after the final
+      // export; the next cycle re-imports the newer generation.
+      return fail(Status::Unavailable(
+          "source replica advanced mid-repair; retrying next cycle"));
+    }
+    next_seq_ = std::max(next_seq_, target->durable_seq() + 1);
+    rep.SetStatus(Status::Ok());
+    rep.quarantined.store(false, std::memory_order_relaxed);
+  }
+  repairs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ReplicaSet::RepairOnce() {
+  Status first_error;
+  for (uint32_t r = 0; r < replicas_.size(); ++r) {
+    if (!NeedsRepair(r)) continue;
+    Status st = RepairReplica(r);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+void ReplicaSet::RepairLoop(double interval_seconds) {
+  const auto interval = std::chrono::duration<double>(interval_seconds);
+  std::unique_lock<std::mutex> lock(repair_mu_);
+  while (!repair_cv_.wait_for(lock, interval,
+                              [this] { return repair_stop_; })) {
+    lock.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    for (uint32_t r = 0; r < replicas_.size(); ++r) {
+      // Backoff state is only ever touched by this thread (StartRepair
+      // joins the previous loop before spawning a new one).
+      Replica& rep = *replicas_[r];
+      if (!NeedsRepair(r)) {
+        rep.backoff_seconds = 0;
+        continue;
+      }
+      if (now < rep.next_attempt) continue;
+      if (RepairReplica(r).ok()) {
+        rep.backoff_seconds = 0;
+      } else {
+        rep.backoff_seconds =
+            rep.backoff_seconds == 0
+                ? interval_seconds
+                : std::min(rep.backoff_seconds * 2,
+                           options_.repair_backoff_max_seconds);
+        rep.next_attempt =
+            now + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(rep.backoff_seconds));
+      }
+    }
+    lock.lock();
+  }
+}
+
+void ReplicaSet::StartRepair(double interval_seconds) {
+  StopRepair();
+  FESIA_CHECK(interval_seconds > 0);
+  {
+    std::lock_guard<std::mutex> lock(repair_mu_);
+    repair_stop_ = false;
+  }
+  repair_thread_ =
+      std::thread([this, interval_seconds] { RepairLoop(interval_seconds); });
+}
+
+void ReplicaSet::StopRepair() {
+  {
+    std::lock_guard<std::mutex> lock(repair_mu_);
+    repair_stop_ = true;
+  }
+  repair_cv_.notify_all();
+  if (repair_thread_.joinable()) repair_thread_.join();
+}
+
+}  // namespace fesia::shard

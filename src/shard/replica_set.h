@@ -1,0 +1,276 @@
+// Per-shard replication: a group of replica stores serving one shard
+// (docs/ROBUSTNESS.md, "Replication, failover, and repair").
+//
+// A ReplicaSet owns `replication_factor` full store replicas of a single
+// shard, each an IndexManager over its own SnapshotStore + WAL. With
+// replication_factor == 1 the replica lives directly in the shard
+// directory — byte-identical on disk and in behavior to the unreplicated
+// layout, so existing stores reopen unchanged. With factor >= 2 each
+// replica lives under `<dir>/replica-MM/` with its own generations,
+// manifest, and log.
+//
+// Mutations are sequenced once by the set and fanned out to every live
+// replica with the same seq (IndexManager::ApplyReplicated), durable
+// before acknowledged, under a configurable ack policy:
+//
+//   * kAll    — every live (non-quarantined) replica must acknowledge;
+//     a replica that fails mid-fan-out is quarantined as stale and the
+//     mutation reports the failure (it may still be durable on the
+//     replicas that acknowledged — repair reconciles them);
+//   * kQuorum — a majority of *all* replicas (floor(rf/2)+1) must
+//     acknowledge; failed replicas are quarantined and repaired in the
+//     background while writes keep flowing.
+//
+// Reads pick the preferred replica (lowest-index serving one) and the
+// ShardRouter fails over to the next live replica on failure; replicas
+// hold identical logical content, so failover answers are byte-identical.
+// A replica that misses an acknowledged write is pulled from read routing
+// (quarantined) rather than allowed to serve stale answers.
+//
+// Anti-entropy repair: RepairReplica re-syncs a lagging or quarantined
+// replica from the healthiest peer — snapshot copy through the
+// atomic-write protocol (ExportSnapshot/ImportSnapshot), then WAL
+// catch-up of the seq gap from the peer's delta overlay, then a final
+// catch-up under the mutation lock so no write can slip between sync and
+// revive. Every step is idempotent: a crash anywhere (the
+// repair-crash-before-* fault points) leaves the replica quarantined and
+// the next cycle completes the job with zero acked-mutation loss.
+// StartRepair runs the loop in the background with per-replica
+// exponential backoff.
+//
+// Thread safety: mutations and repair serialize on an internal mutex;
+// read-side accessors (PreferredReplica/View/replica_quarantined) are
+// safe from any thread under the same RCU discipline as IndexManager.
+#ifndef FESIA_SHARD_REPLICA_SET_H_
+#define FESIA_SHARD_REPLICA_SET_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "store/index_manager.h"
+#include "store/snapshot_store.h"
+#include "util/memory_budget.h"
+
+namespace fesia::shard {
+
+/// When a fanned-out mutation counts as acknowledged (see file comment).
+enum class AckPolicy {
+  kAll = 0,
+  kQuorum = 1,
+};
+
+struct ReplicaSetOptions {
+  /// Build parameters for every replica's engine.
+  FesiaParams params;
+  /// Shard store directory. Factor 1 stores directly here; factor >= 2
+  /// stores under `<dir>/replica-MM/`.
+  std::string dir;
+  /// Replica stores per shard; must be >= 1.
+  uint32_t replication_factor = 1;
+  AckPolicy ack_policy = AckPolicy::kAll;
+  /// Generations retained per replica store.
+  size_t max_generations = 3;
+  /// Format version stamped on saved generations.
+  uint32_t format_version = 1;
+  /// Budget every replica's manager charges into (typically the shard's
+  /// sub-budget); nullptr means MemoryBudget::Unlimited(). Must outlive
+  /// the set.
+  MemoryBudget* budget = nullptr;
+  /// Mutation backpressure bounds forwarded to every replica's manager;
+  /// 0 disables. Bounds apply per replica.
+  uint64_t mutation_soft_bytes = 0;
+  uint64_t mutation_hard_bytes = 0;
+  /// Ceiling of the repair loop's per-replica exponential backoff.
+  double repair_backoff_max_seconds = 30.0;
+};
+
+class ReplicaSet {
+ public:
+  /// Opens (and recovers) every replica store under `options.dir`. A
+  /// replica whose store is unrecoverable is quarantined with its error
+  /// retained in replica_status() — the set still serves as long as at
+  /// least one replica opened; only when every replica is unusable does
+  /// Open fail. `idx` (the shard's sub-index) must outlive the set.
+  static StatusOr<std::unique_ptr<ReplicaSet>> Open(
+      const index::InvertedIndex* idx, const ReplicaSetOptions& options);
+
+  ~ReplicaSet();
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  uint32_t num_replicas() const {
+    return static_cast<uint32_t>(replicas_.size());
+  }
+  /// Lifecycle manager of one replica; null when its store was
+  /// unrecoverable at Open.
+  store::IndexManager* manager(uint32_t replica) const;
+  /// The replica's snapshot store; null when unrecoverable at Open.
+  store::SnapshotStore* store(uint32_t replica) const;
+
+  // --- Lifecycle fan-out (first error, keeps going) ---------------------
+
+  /// Rebuilds every usable replica's engine from the shard sub-index and
+  /// clears its quarantine on success.
+  Status Rebuild();
+  /// Persists every serving replica's engine as a new generation of its
+  /// own store.
+  Status Save();
+  /// Hot-swaps every usable replica to its store's current generation;
+  /// clears the replica's quarantine on success.
+  Status Reload();
+  /// Opens (or recovers) every usable replica's write-ahead log. *report
+  /// (when non-null) receives the report of the dirtiest replay.
+  Status OpenMutationLogs(store::WalReplayReport* report = nullptr);
+
+  // --- Mutations (sequenced once, fanned out) ---------------------------
+
+  /// Durably records the mutation on the live replicas under the ack
+  /// policy; OK means it is acknowledged (fsynced everywhere the policy
+  /// requires) and visible to routed queries. A live replica that fails
+  /// the apply is quarantined as stale. kUnavailable when no replica can
+  /// take writes or the policy's ack count is not reached. *seq (when
+  /// non-null) receives the assigned seq.
+  Status Upsert(uint32_t doc, std::vector<uint32_t> terms,
+                uint64_t* seq = nullptr);
+  Status Delete(uint32_t doc, uint64_t* seq = nullptr);
+
+  /// Merges every serving replica's pending delta into a new generation
+  /// of its own store (first error, keeps going). *generation (when
+  /// non-null) receives the preferred replica's serving generation.
+  Status Flush(uint64_t* generation = nullptr);
+
+  // --- Reads ------------------------------------------------------------
+
+  /// Lowest-index serving replica (not quarantined, engine published), or
+  /// -1 when none serves. Deterministic preference keeps factor-1 reads
+  /// on the one replica and makes failover order predictable.
+  int PreferredReplica() const;
+  /// Next serving replica with index > `after`, or -1. Chain
+  /// PreferredReplica/NextLiveReplica to enumerate the failover order.
+  int NextLiveReplica(int after) const;
+  /// Consistent read view of one replica (see IndexManager::AcquireView).
+  store::IndexManager::MutationView View(uint32_t replica) const;
+  /// View of the preferred replica; an empty view when none serves.
+  store::IndexManager::MutationView PreferredView() const;
+
+  // --- Quarantine and status --------------------------------------------
+
+  bool replica_quarantined(uint32_t replica) const;
+  /// Pulls a replica out of read routing and mutation fan-out / returns
+  /// it. The engine (if any) is kept, so revival is instant.
+  void QuarantineReplica(uint32_t replica);
+  void ReviveReplica(uint32_t replica);
+  /// Last lifecycle status of the replica (the store-open error for
+  /// replicas quarantined at Open, the last repair error for replicas the
+  /// repair loop is still chasing).
+  Status replica_status(uint32_t replica) const;
+  /// Replicas that are neither quarantined nor engine-less.
+  uint32_t serving_replicas() const;
+
+  // --- Sync points ------------------------------------------------------
+
+  /// Highest seq this set acknowledged under its ack policy (0 before any
+  /// mutation; after a cold open, the highest seq durable on any replica
+  /// — conservatively treated as acked so repair converges everyone).
+  uint64_t last_acked_seq() const;
+  /// The replica's durable seq (see IndexManager::durable_seq); 0 for a
+  /// replica with no manager.
+  uint64_t replica_durable_seq(uint32_t replica) const;
+
+  // --- Anti-entropy repair ----------------------------------------------
+
+  /// True when the replica diverged from its healthiest peer: it is
+  /// quarantined, serves no engine while a peer does, or its durable seq
+  /// trails the maximum across serving replicas.
+  bool NeedsRepair(uint32_t replica) const;
+
+  /// Re-syncs one replica from the healthiest serving peer (see the file
+  /// comment for the protocol) and revives it. kFailedPrecondition for a
+  /// replica with no manager (store unrecoverable at Open — a process
+  /// restart re-runs store recovery); kUnavailable when no peer can act
+  /// as a source. Idempotent under crash-retry.
+  Status RepairReplica(uint32_t replica);
+
+  /// One repair sweep: RepairReplica on every replica needing it (first
+  /// error, keeps going; backoff is not consulted — this is the direct
+  /// entry point the background loop and operators share).
+  Status RepairOnce();
+
+  /// Starts/stops the background repair loop: every `interval_seconds` it
+  /// sweeps for diverged replicas and repairs them, backing off
+  /// per-replica exponentially (up to repair_backoff_max_seconds) on
+  /// repeated failures. Idempotent; the destructor stops it.
+  void StartRepair(double interval_seconds);
+  void StopRepair();
+
+  /// Replicas successfully re-synced and revived by RepairReplica.
+  uint64_t repairs() const {
+    return repairs_.load(std::memory_order_relaxed);
+  }
+  /// Failed repair attempts (visible backoff pressure).
+  uint64_t repair_failures() const {
+    return repair_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-replica state behind a unique_ptr so atomics and mutexes never
+  /// move.
+  struct Replica {
+    std::unique_ptr<store::SnapshotStore> store;
+    std::unique_ptr<store::IndexManager> manager;
+    std::atomic<bool> quarantined{false};
+    mutable std::mutex status_mu;
+    Status status;
+    /// Repair-loop backoff state; guarded by repair_mu_.
+    double backoff_seconds = 0;
+    std::chrono::steady_clock::time_point next_attempt{};
+
+    void SetStatus(Status s) {
+      std::lock_guard<std::mutex> lock(status_mu);
+      status = std::move(s);
+    }
+  };
+
+  ReplicaSet() = default;
+
+  /// Sequencing + fan-out shared by Upsert/Delete. Caller passes a
+  /// validated, normalized record body (seq assigned inside).
+  Status ApplyMutation(store::WalRecord record, uint64_t* seq);
+  /// Applies the catch-up suffix (peer delta records with seq above the
+  /// target's durable seq) to `target`.
+  Status CatchUpFromPeer(store::IndexManager* target,
+                         const store::IndexManager::MutationView& peer_view);
+  /// Serving replica with the highest durable seq, excluding `exclude`;
+  /// -1 when none.
+  int HealthiestPeer(uint32_t exclude) const;
+  void RepairLoop(double interval_seconds);
+
+  const index::InvertedIndex* idx_ = nullptr;
+  ReplicaSetOptions options_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+
+  /// Serializes mutation sequencing/fan-out and the repair commit step.
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 1;     // guarded by mu_
+  uint64_t last_acked_ = 0;   // guarded by mu_
+
+  std::atomic<uint64_t> repairs_{0};
+  std::atomic<uint64_t> repair_failures_{0};
+
+  std::mutex repair_mu_;
+  std::condition_variable repair_cv_;
+  bool repair_stop_ = false;
+  std::thread repair_thread_;
+};
+
+}  // namespace fesia::shard
+
+#endif  // FESIA_SHARD_REPLICA_SET_H_

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "util/check.h"
@@ -102,20 +106,34 @@ std::vector<RoutedQueryResult> ShardRouter::Run(
   WallTimer timer;
   const uint32_t total = index_->num_shards();
 
-  // Snapshot one consistent view per serving shard: the whole batch runs
-  // against one set of engine generations and delta snapshots even if
-  // shards hot-swap or take mutations mid-batch (the view's shared_ptrs
+  // Snapshot one consistent failover chain per serving shard: the
+  // preferred replica's view first, then every other live replica's, in
+  // failover order. The whole batch runs against one set of engine
+  // generations and delta snapshots even if shards hot-swap, take
+  // mutations, or quarantine replicas mid-batch (the views' shared_ptrs
   // keep each snapshot alive until the gather finishes).
   struct LiveShard {
     uint32_t shard;
-    store::IndexManager::MutationView view;
+    std::vector<store::IndexManager::MutationView> chain;
   };
   std::vector<LiveShard> live;
   live.reserve(total);
   for (uint32_t s = 0; s < total; ++s) {
     if (index_->shard_quarantined(s)) continue;
-    auto view = index_->View(s);
-    if (view.engine != nullptr) live.push_back({s, std::move(view)});
+    LiveShard ls;
+    ls.shard = s;
+    if (ReplicaSet* rs = index_->replica_set(s); rs != nullptr) {
+      for (int r = rs->PreferredReplica(); r >= 0; r = rs->NextLiveReplica(r)) {
+        auto view = rs->View(static_cast<uint32_t>(r));
+        if (view.engine != nullptr) ls.chain.push_back(std::move(view));
+      }
+    } else {
+      // Memory-only shards (and shards with no usable replica store)
+      // serve one replica-less view.
+      auto view = index_->View(s);
+      if (view.engine != nullptr) ls.chain.push_back(std::move(view));
+    }
+    if (!ls.chain.empty()) live.push_back(std::move(ls));
   }
   const uint32_t dead = total - static_cast<uint32_t>(live.size());
 
@@ -124,6 +142,9 @@ std::vector<RoutedQueryResult> ShardRouter::Run(
 
   std::vector<index::BatchStats> per_shard(total);
   std::vector<std::vector<index::QueryResult>> shard_results(live.size());
+  std::atomic<size_t> hedged_requests{0};
+  std::atomic<size_t> hedge_wins{0};
+  std::atomic<size_t> failover_queries{0};
 
   if (!live.empty()) {
     size_t width = options.num_threads != 0
@@ -145,7 +166,14 @@ std::vector<RoutedQueryResult> ShardRouter::Run(
             ? Deadline::After(options.batch_deadline_seconds)
             : Deadline::Infinite();
 
-    auto run_shard = [&](size_t li, size_t sub_threads) {
+    // One replica sub-batch: engine batch + delta overlay against a
+    // single view. Unmerged mutations overlay the shard's answers before
+    // the gather; deltas are routed by document, so per-shard adjustments
+    // stay disjoint and compose exactly like the base results do.
+    auto run_view = [&](uint32_t shard,
+                        const store::IndexManager::MutationView& view,
+                        std::span<const std::vector<uint32_t>> qs,
+                        size_t sub_threads, index::BatchStats* sub_stats) {
       index::BatchOptions sub;
       sub.num_threads = sub_threads;
       sub.level = options.level;
@@ -162,22 +190,114 @@ std::vector<RoutedQueryResult> ShardRouter::Run(
       sub.retry = options.retry;
       sub.intra_query_threads = options.intra_query_threads;
       sub.slow_query_seconds = options.slow_query_seconds;
-      sub.budget = options.budget != nullptr
-                       ? options.budget
-                       : index_->shard_budget(live[li].shard);
+      sub.budget = options.budget != nullptr ? options.budget
+                                             : index_->shard_budget(shard);
       sub.priority = options.priority;
-      index::BatchStats* sub_stats = &per_shard[live[li].shard];
-      const store::IndexManager::MutationView& view = live[li].view;
-      shard_results[li] =
-          materialize ? view.engine->QueryBatch(queries, sub, sub_stats)
-                      : view.engine->CountBatch(queries, sub, sub_stats);
-      // Unmerged mutations overlay this shard's answers before the gather;
-      // deltas are routed by document, so per-shard adjustments stay
-      // disjoint and compose exactly like the base results do.
+      std::vector<index::QueryResult> results =
+          materialize ? view.engine->QueryBatch(qs, sub, sub_stats)
+                      : view.engine->CountBatch(qs, sub, sub_stats);
       if (view.delta != nullptr) {
-        store::OverlayAdjustResults(*view.base, *view.delta, queries,
-                                    materialize, shard_results[li]);
+        store::OverlayAdjustResults(*view.base, *view.delta, qs, materialize,
+                                    results);
       }
+      return results;
+    };
+
+    auto run_shard = [&](size_t li, size_t sub_threads) {
+      const LiveShard& ls = live[li];
+      const auto& chain = ls.chain;
+      std::vector<index::QueryResult> results;
+      index::BatchStats win_stats;
+      size_t winner = 0;  // chain index that produced `results`
+
+      if (options.hedge_delay_seconds > 0 && chain.size() >= 2) {
+        // Hedged sub-batch: the primary runs on a helper thread; if it
+        // has not answered after the hedge delay the same sub-batch runs
+        // on the next live replica, and whichever finishes first wins.
+        // Content is identical either way — the hedge trades duplicated
+        // work for a bound on single-replica tail latency.
+        std::mutex mu;
+        std::condition_variable cv;
+        bool primary_done = false;
+        std::vector<index::QueryResult> primary_results;
+        index::BatchStats primary_stats;
+        std::thread primary([&] {
+          primary_results =
+              run_view(ls.shard, chain[0], queries, sub_threads,
+                       &primary_stats);
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            primary_done = true;
+          }
+          cv.notify_all();
+        });
+        bool issue_hedge = false;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait_for(
+              lock,
+              std::chrono::duration<double>(options.hedge_delay_seconds),
+              [&] { return primary_done; });
+          issue_hedge = !primary_done;
+        }
+        bool hedge_won = false;
+        std::vector<index::QueryResult> hedge_results;
+        index::BatchStats hedge_stats;
+        if (issue_hedge) {
+          hedged_requests.fetch_add(1, std::memory_order_relaxed);
+          hedge_results = run_view(ls.shard, chain[1], queries, sub_threads,
+                                   &hedge_stats);
+          std::lock_guard<std::mutex> lock(mu);
+          hedge_won = !primary_done;
+        }
+        primary.join();
+        if (hedge_won) {
+          hedge_wins.fetch_add(1, std::memory_order_relaxed);
+          results = std::move(hedge_results);
+          win_stats = std::move(hedge_stats);
+          winner = 1;
+        } else {
+          results = std::move(primary_results);
+          win_stats = std::move(primary_stats);
+        }
+      } else {
+        results =
+            run_view(ls.shard, chain[0], queries, sub_threads, &win_stats);
+      }
+
+      // Failover: re-ask the remaining live replicas for exactly the
+      // sub-queries the winning replica could not answer. Rescued answers
+      // are byte-identical to the primary's (replicas hold the same
+      // acknowledged content), so this recovers availability without
+      // changing any result.
+      if (options.replica_failover && chain.size() > 1) {
+        std::vector<size_t> failed;
+        for (size_t q = 0; q < results.size(); ++q) {
+          if (!results[q].ok()) failed.push_back(q);
+        }
+        for (size_t ci = 0; ci < chain.size() && !failed.empty(); ++ci) {
+          if (ci == winner) continue;
+          std::vector<std::vector<uint32_t>> subset;
+          subset.reserve(failed.size());
+          for (size_t q : failed) subset.push_back(queries[q]);
+          index::BatchStats retry_stats;
+          auto retried =
+              run_view(ls.shard, chain[ci], subset, 1, &retry_stats);
+          std::vector<size_t> still_failed;
+          for (size_t i = 0; i < failed.size(); ++i) {
+            if (retried[i].ok()) {
+              results[failed[i]] = std::move(retried[i]);
+              failover_queries.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              still_failed.push_back(failed[i]);
+            }
+          }
+          failed = std::move(still_failed);
+        }
+      }
+
+      per_shard[ls.shard] = std::move(win_stats);
+      shard_results[li] = std::move(results);
     };
 
     if (live.size() == 1) {
@@ -277,6 +397,10 @@ std::vector<RoutedQueryResult> ShardRouter::Run(
     stats->partial_queries = routed.size() - complete;
     stats->shards_total = total;
     stats->shards_serving = static_cast<uint32_t>(live.size());
+    stats->hedged_requests = hedged_requests.load(std::memory_order_relaxed);
+    stats->hedge_wins = hedge_wins.load(std::memory_order_relaxed);
+    stats->failover_queries =
+        failover_queries.load(std::memory_order_relaxed);
   }
   return routed;
 }

@@ -17,11 +17,24 @@
 //     parallel → serial-SIMD → scalar retry ladder, and admission control
 //     applies per shard engine.
 //
+// Replicated shards add two availability levers (see shard/replica_set.h):
+//
+//   * failover — each shard sub-batch runs against the preferred replica,
+//     and queries it could not answer are retried on the shard's next
+//     live replicas before the query is reported partial. Replicas hold
+//     identical logical content, so failover changes availability, never
+//     answers;
+//   * hedged requests — with hedge_delay_seconds > 0, a shard sub-batch
+//     still unanswered after the delay is duplicated on the next live
+//     replica and the first answer wins, bounding the tail latency a
+//     single slow replica can impose.
+//
 // Partial results are explicit, never silent: a query answered by only
 // some shards (a shard missed its deadline, was shed, failed, or is
-// quarantined/engine-less) carries shards_answered < shards_total, a
-// non-OK outcome, and the merged result of the shards that did answer.
-// Callers choose per query whether a partial answer is usable.
+// quarantined/engine-less — and, when replicated, exhausted every live
+// replica) carries shards_answered < shards_total, a non-OK outcome, and
+// the merged result of the shards that did answer. Callers choose per
+// query whether a partial answer is usable.
 #ifndef FESIA_SHARD_SHARD_ROUTER_H_
 #define FESIA_SHARD_SHARD_ROUTER_H_
 
@@ -69,6 +82,20 @@ struct RouterOptions {
   /// Priority under memory pressure, forwarded to every shard sub-batch
   /// (see BatchOptions::priority).
   index::QueryPriority priority = index::QueryPriority::kNormal;
+
+  /// Per-query failover across a shard's live replicas: sub-queries the
+  /// preferred replica could not answer (failed, shed, or past deadline)
+  /// are retried on the next live replicas before the query is reported
+  /// partial. On by default; no-op for unreplicated shards. Failover
+  /// retries run after the primary sub-batch, so a rescued query may
+  /// exceed its per-query deadline budget — availability is bought with
+  /// latency, explicitly.
+  bool replica_failover = true;
+  /// When > 0 and a shard has >= 2 live replicas, a shard sub-batch that
+  /// has not answered after this many seconds is duplicated on the next
+  /// live replica; the first answer wins and the loser is discarded.
+  /// 0 disables hedging.
+  double hedge_delay_seconds = 0;
 };
 
 /// Gathered outcome of one query across all shards.
@@ -125,6 +152,13 @@ struct ShardBatchStats {
   size_t partial_queries = 0;
   uint32_t shards_total = 0;
   uint32_t shards_serving = 0;
+
+  /// Replica-availability accounting (see RouterOptions). per_shard stats
+  /// cover each shard's winning sub-batch; hedge losers and failover
+  /// retries count only here.
+  size_t hedged_requests = 0;  ///< Shard sub-batches that issued a hedge.
+  size_t hedge_wins = 0;       ///< Hedges that answered before the primary.
+  size_t failover_queries = 0; ///< Sub-queries rescued by a backup replica.
 };
 
 /// Plans and executes query batches against a ShardedIndex. Stateless

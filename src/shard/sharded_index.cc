@@ -1,7 +1,9 @@
 #include "shard/sharded_index.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <string>
 #include <system_error>
 #include <utility>
 
@@ -17,6 +19,60 @@ std::string ShardDirName(uint32_t shard) {
   return buf;
 }
 
+/// Deterministic per-store jitter factor in [1.0, 1.5): spreads the
+/// maintenance ticks of shard×replica stores that were all started in the
+/// same call, so scrubs and flushes never line up into one I/O spike.
+double JitterFactor(uint32_t shard, uint32_t replica) {
+  uint32_t h = shard * 2654435761u + replica * 40503u + 0x9e3779b9u;
+  h ^= h >> 16;
+  h *= 0x45d9f3bu;
+  h ^= h >> 16;
+  return 1.0 + 0.5 * static_cast<double>(h % 997) / 997.0;
+}
+
+/// The replication factor is pinned to the store directory like the
+/// SHARDMAP: per-shard replica layouts are meaningless under any other
+/// factor, so a mismatched reopen is refused. Factor-1 stores carry no
+/// TOPOLOGY file — exactly the legacy unreplicated layout.
+constexpr char kTopologyPrefix[] = "replicas=";
+
+Status PinTopology(const std::string& store_dir, uint32_t factor) {
+  const std::string path = store_dir + "/TOPOLOGY";
+  if (std::filesystem::exists(path)) {
+    std::vector<uint8_t> bytes;
+    FESIA_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+    const std::string text(bytes.begin(), bytes.end());
+    uint32_t stored = 0;
+    if (text.rfind(kTopologyPrefix, 0) != 0 ||
+        std::sscanf(text.c_str() + sizeof(kTopologyPrefix) - 1, "%u",
+                    &stored) != 1 ||
+        stored < 1) {
+      return Status::Corruption("unparsable TOPOLOGY file at " + path);
+    }
+    if (stored != factor) {
+      return Status::FailedPrecondition(
+          "shard store " + store_dir + " was created with " +
+          std::to_string(stored) +
+          " replica(s) per shard; refusing to reopen with " +
+          std::to_string(factor));
+    }
+    return Status::Ok();
+  }
+  if (factor == 1) return Status::Ok();  // legacy layout, nothing to pin
+  // A store that already has unreplicated shard data must not be
+  // silently shadowed by empty replica-MM subdirectories.
+  if (std::filesystem::exists(store_dir + "/shard-00/MANIFEST")) {
+    return Status::FailedPrecondition(
+        "shard store " + store_dir +
+        " was created without replication; refusing to reopen with " +
+        std::to_string(factor) + " replicas per shard");
+  }
+  const std::string text =
+      std::string(kTopologyPrefix) + std::to_string(factor) + "\n";
+  return AtomicWriteFileBytes(
+      path, reinterpret_cast<const uint8_t*>(text.data()), text.size());
+}
+
 }  // namespace
 
 StatusOr<ShardedIndex> ShardedIndex::Create(const index::InvertedIndex* full,
@@ -24,6 +80,9 @@ StatusOr<ShardedIndex> ShardedIndex::Create(const index::InvertedIndex* full,
                                             const ShardedIndexOptions& options) {
   FESIA_CHECK(full != nullptr);
   FESIA_CHECK(map.num_shards() >= 1);
+  if (options.replication_factor < 1) {
+    return Status::InvalidArgument("replication_factor must be >= 1");
+  }
 
   ShardedIndex sharded;
   sharded.full_ = full;
@@ -55,10 +114,10 @@ StatusOr<ShardedIndex> ShardedIndex::Create(const index::InvertedIndex* full,
 
   if (options.store_dir.empty()) return sharded;  // memory-only
 
-  // Persistent mode: pin the partitioning to the directory before any
-  // shard store is touched. A mismatched SHARDMAP means the generations in
-  // shard-NN/ were written under a different partitioning — refusing is
-  // the only safe answer.
+  // Persistent mode: pin the partitioning (and the replica topology) to
+  // the directory before any shard store is touched. A mismatched
+  // SHARDMAP means the generations in shard-NN/ were written under a
+  // different partitioning — refusing is the only safe answer.
   std::error_code ec;
   std::filesystem::create_directories(options.store_dir, ec);
   if (ec) {
@@ -83,45 +142,54 @@ StatusOr<ShardedIndex> ShardedIndex::Create(const index::InvertedIndex* full,
     FESIA_RETURN_IF_ERROR(
         AtomicWriteFileBytes(map_path, map_bytes.data(), map_bytes.size()));
   }
+  FESIA_RETURN_IF_ERROR(
+      PinTopology(options.store_dir, options.replication_factor));
 
-  // Open (and recover) every shard store. An unrecoverable store
-  // quarantines only its shard: the error is retained and the remaining
-  // shards keep their independent lifecycles.
+  // Open (and recover) every shard's replica group. A shard whose every
+  // replica store is unrecoverable quarantines only that shard: the error
+  // is retained and the remaining shards keep their independent
+  // lifecycles.
   size_t usable = 0;
   Status first_error;
   for (uint32_t s = 0; s < num_shards; ++s) {
     Shard& shard = *sharded.shards_[s];
-    store::SnapshotStoreOptions store_opts;
-    store_opts.dir = options.store_dir + "/" + ShardDirName(s);
-    store_opts.max_generations = options.max_generations;
-    auto opened = store::SnapshotStore::Open(store_opts);
-    if (!opened.ok()) {
-      shard.SetStatus(opened.status());
-      shard.quarantined.store(true, std::memory_order_relaxed);
-      if (first_error.ok()) first_error = opened.status();
-      continue;
-    }
-    shard.store = std::make_unique<store::SnapshotStore>(*std::move(opened));
-    store::IndexManager::Options mgr_opts;
-    mgr_opts.params = options.params;
-    mgr_opts.format_version = options.format_version;
-    mgr_opts.mutation_soft_bytes = options.mutation_soft_bytes;
-    mgr_opts.mutation_hard_bytes = options.mutation_hard_bytes;
+    ReplicaSetOptions rs_opts;
+    rs_opts.params = options.params;
+    rs_opts.dir = options.store_dir + "/" + ShardDirName(s);
+    rs_opts.replication_factor = options.replication_factor;
+    rs_opts.ack_policy = options.ack_policy;
+    rs_opts.max_generations = options.max_generations;
+    rs_opts.format_version = options.format_version;
+    rs_opts.mutation_soft_bytes = options.mutation_soft_bytes;
+    rs_opts.mutation_hard_bytes = options.mutation_hard_bytes;
     if (options.budget != nullptr || options.shard_budget_bytes > 0) {
       // Each shard charges through a private child: a per-shard cap (when
-      // configured) plus roll-up into the shared parent budget.
+      // configured) plus roll-up into the shared parent budget. Replicas
+      // of one shard share the shard's allowance.
       shard.budget = std::make_unique<MemoryBudget>(
           options.shard_budget_bytes > 0 ? options.shard_budget_bytes
                                          : MemoryBudget::kNoLimit,
           options.budget, ShardDirName(s));
-      mgr_opts.budget = shard.budget.get();
+      rs_opts.budget = shard.budget.get();
     }
-    shard.manager = std::make_unique<store::IndexManager>(
-        shard.idx.get(), shard.store.get(), mgr_opts);
+    auto replicas = ReplicaSet::Open(shard.idx.get(), rs_opts);
+    if (!replicas.ok()) {
+      shard.SetStatus(replicas.status());
+      shard.quarantined.store(true, std::memory_order_relaxed);
+      if (first_error.ok()) first_error = replicas.status();
+      continue;
+    }
+    shard.replicas = *std::move(replicas);
     ++usable;
   }
   if (usable == 0 && !first_error.ok()) return first_error;
   return sharded;
+}
+
+ShardedIndex::~ShardedIndex() { StopReviveProbes(); }
+
+uint32_t ShardedIndex::replication_factor() const {
+  return options_.store_dir.empty() ? 1 : options_.replication_factor;
 }
 
 const index::InvertedIndex& ShardedIndex::shard_index(uint32_t shard) const {
@@ -129,26 +197,49 @@ const index::InvertedIndex& ShardedIndex::shard_index(uint32_t shard) const {
   return *shards_[shard]->idx;
 }
 
+store::IndexManager* ShardedIndex::PrimaryManager(uint32_t shard) const {
+  const Shard& s = *shards_[shard];
+  if (s.replicas == nullptr) return nullptr;
+  const int pref = s.replicas->PreferredReplica();
+  if (pref >= 0) return s.replicas->manager(static_cast<uint32_t>(pref));
+  for (uint32_t r = 0; r < s.replicas->num_replicas(); ++r) {
+    if (s.replicas->manager(r) != nullptr) return s.replicas->manager(r);
+  }
+  return nullptr;
+}
+
 store::IndexManager* ShardedIndex::manager(uint32_t shard) const {
   FESIA_CHECK(shard < shards_.size());
-  return shards_[shard]->manager.get();
+  return PrimaryManager(shard);
+}
+
+ReplicaSet* ShardedIndex::replica_set(uint32_t shard) const {
+  FESIA_CHECK(shard < shards_.size());
+  return shards_[shard]->replicas.get();
 }
 
 std::shared_ptr<const index::QueryEngine> ShardedIndex::engine(
     uint32_t shard) const {
   FESIA_CHECK(shard < shards_.size());
   const Shard& s = *shards_[shard];
-  if (s.manager != nullptr) return s.manager->engine();
+  if (s.replicas != nullptr) {
+    store::IndexManager* mgr = PrimaryManager(shard);
+    return mgr != nullptr ? mgr->engine() : nullptr;
+  }
   return s.local_engine.load();
 }
 
 Status ShardedIndex::RebuildShard(uint32_t shard) {
   FESIA_CHECK(shard < shards_.size());
   Shard& s = *shards_[shard];
-  if (s.manager != nullptr) {
-    Status st = s.manager->Rebuild();
+  if (s.replicas != nullptr) {
+    Status st = s.replicas->Rebuild();
     s.SetStatus(st);
-    if (st.ok()) s.quarantined.store(false, std::memory_order_relaxed);
+    // One dead replica degrades the group, not the shard: it serves as
+    // long as any replica does.
+    if (st.ok() || s.replicas->serving_replicas() > 0) {
+      s.quarantined.store(false, std::memory_order_relaxed);
+    }
     return st;
   }
   auto built = std::make_shared<index::QueryEngine>(s.idx.get(),
@@ -171,12 +262,17 @@ Status ShardedIndex::RebuildAll() {
 Status ShardedIndex::SaveShard(uint32_t shard, uint64_t* generation) {
   FESIA_CHECK(shard < shards_.size());
   Shard& s = *shards_[shard];
-  if (s.manager == nullptr) {
+  if (s.replicas == nullptr) {
     return Status::FailedPrecondition(
         "shard " + std::to_string(shard) +
         " has no snapshot store (memory-only or unrecoverable at open)");
   }
-  return s.manager->SaveSnapshot(generation);
+  Status st = s.replicas->Save();
+  if (generation != nullptr) {
+    store::IndexManager* mgr = PrimaryManager(shard);
+    *generation = mgr != nullptr ? mgr->serving_generation() : 0;
+  }
+  return st;
 }
 
 Status ShardedIndex::SaveAll() {
@@ -191,14 +287,16 @@ Status ShardedIndex::SaveAll() {
 Status ShardedIndex::ReloadShard(uint32_t shard) {
   FESIA_CHECK(shard < shards_.size());
   Shard& s = *shards_[shard];
-  if (s.manager == nullptr) {
+  if (s.replicas == nullptr) {
     return Status::FailedPrecondition(
         "shard " + std::to_string(shard) +
         " has no snapshot store (memory-only or unrecoverable at open)");
   }
-  Status st = s.manager->Reload();
+  Status st = s.replicas->Reload();
   s.SetStatus(st);
-  if (st.ok()) s.quarantined.store(false, std::memory_order_relaxed);
+  if (st.ok() || s.replicas->serving_replicas() > 0) {
+    s.quarantined.store(false, std::memory_order_relaxed);
+  }
   return st;
 }
 
@@ -206,12 +304,12 @@ Status ShardedIndex::OpenMutationLog(uint32_t shard,
                                      store::WalReplayReport* report) {
   FESIA_CHECK(shard < shards_.size());
   Shard& s = *shards_[shard];
-  if (s.manager == nullptr) {
+  if (s.replicas == nullptr) {
     return Status::FailedPrecondition(
         "shard " + std::to_string(shard) +
         " has no snapshot store (memory-only or unrecoverable at open)");
   }
-  return s.manager->OpenMutationLog(report);
+  return s.replicas->OpenMutationLogs(report);
 }
 
 Status ShardedIndex::OpenMutationLogs() {
@@ -228,44 +326,45 @@ Status ShardedIndex::Upsert(uint32_t doc, std::vector<uint32_t> terms,
   const uint32_t owner = map_.ShardOf(doc);
   if (shard != nullptr) *shard = owner;
   Shard& s = *shards_[owner];
-  if (s.manager == nullptr) {
+  if (s.replicas == nullptr) {
     return Status::FailedPrecondition(
         "shard " + std::to_string(owner) +
         " owning document " + std::to_string(doc) +
         " has no snapshot store (memory-only or unrecoverable at open)");
   }
-  return s.manager->Upsert(doc, std::move(terms), seq);
+  return s.replicas->Upsert(doc, std::move(terms), seq);
 }
 
 Status ShardedIndex::Delete(uint32_t doc, uint64_t* seq, uint32_t* shard) {
   const uint32_t owner = map_.ShardOf(doc);
   if (shard != nullptr) *shard = owner;
   Shard& s = *shards_[owner];
-  if (s.manager == nullptr) {
+  if (s.replicas == nullptr) {
     return Status::FailedPrecondition(
         "shard " + std::to_string(owner) +
         " owning document " + std::to_string(doc) +
         " has no snapshot store (memory-only or unrecoverable at open)");
   }
-  return s.manager->Delete(doc, seq);
+  return s.replicas->Delete(doc, seq);
 }
 
 Status ShardedIndex::FlushShard(uint32_t shard, uint64_t* generation) {
   FESIA_CHECK(shard < shards_.size());
   Shard& s = *shards_[shard];
-  if (s.manager == nullptr) {
+  if (s.replicas == nullptr) {
     return Status::FailedPrecondition(
         "shard " + std::to_string(shard) +
         " has no snapshot store (memory-only or unrecoverable at open)");
   }
-  return s.manager->FlushDelta(generation);
+  return s.replicas->Flush(generation);
 }
 
 Status ShardedIndex::FlushAll() {
   Status first_error;
   for (uint32_t s = 0; s < num_shards(); ++s) {
-    if (shards_[s]->manager == nullptr) continue;
-    if (shards_[s]->manager->pending_mutations() == 0) continue;
+    if (shards_[s]->replicas == nullptr) continue;
+    store::IndexManager* mgr = PrimaryManager(s);
+    if (mgr == nullptr || mgr->pending_mutations() == 0) continue;
     Status st = FlushShard(s);
     if (!st.ok() && first_error.ok()) first_error = st;
   }
@@ -275,7 +374,7 @@ Status ShardedIndex::FlushAll() {
 store::IndexManager::MutationView ShardedIndex::View(uint32_t shard) const {
   FESIA_CHECK(shard < shards_.size());
   const Shard& s = *shards_[shard];
-  if (s.manager != nullptr) return s.manager->AcquireView();
+  if (s.replicas != nullptr) return s.replicas->PreferredView();
   store::IndexManager::MutationView v;
   v.engine = s.local_engine.load();
   v.base = s.idx.get();
@@ -285,9 +384,8 @@ store::IndexManager::MutationView ShardedIndex::View(uint32_t shard) const {
 size_t ShardedIndex::pending_mutations() const {
   size_t pending = 0;
   for (uint32_t s = 0; s < num_shards(); ++s) {
-    if (shards_[s]->manager != nullptr) {
-      pending += shards_[s]->manager->pending_mutations();
-    }
+    store::IndexManager* mgr = PrimaryManager(s);
+    if (mgr != nullptr) pending += mgr->pending_mutations();
   }
   return pending;
 }
@@ -295,9 +393,8 @@ size_t ShardedIndex::pending_mutations() const {
 uint64_t ShardedIndex::pending_bytes() const {
   uint64_t pending = 0;
   for (uint32_t s = 0; s < num_shards(); ++s) {
-    if (shards_[s]->manager != nullptr) {
-      pending += shards_[s]->manager->pending_bytes();
-    }
+    store::IndexManager* mgr = PrimaryManager(s);
+    if (mgr != nullptr) pending += mgr->pending_bytes();
   }
   return pending;
 }
@@ -335,6 +432,159 @@ uint32_t ShardedIndex::serving_shards() const {
     if (!shard_quarantined(s) && engine(s) != nullptr) ++serving;
   }
   return serving;
+}
+
+Status ShardedIndex::RepairOnce() {
+  Status first_error;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->replicas == nullptr) continue;
+    Status st = shards_[s]->replicas->RepairOnce();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+void ShardedIndex::StartRepair(double interval_seconds) {
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->replicas != nullptr) {
+      shards_[s]->replicas->StartRepair(interval_seconds);
+    }
+  }
+}
+
+void ShardedIndex::StopRepair() {
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->replicas != nullptr) shards_[s]->replicas->StopRepair();
+  }
+}
+
+void ShardedIndex::ReviveProbeLoop(double interval_seconds) {
+  const auto interval = std::chrono::duration<double>(interval_seconds);
+  ReviveProbeState& st = *probe_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  while (!st.cv.wait_for(lock, interval, [&st] { return st.stop; })) {
+    lock.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      if (!shard_quarantined(s)) {
+        st.backoff_seconds[s] = 0;
+        continue;
+      }
+      if (now < st.next_attempt[s]) continue;
+      st.attempts.fetch_add(1, std::memory_order_relaxed);
+      bool revived = false;
+      if (engine(s) != nullptr) {
+        // The engine survived the quarantine (an operator pull or a
+        // transient failure): revival is instant.
+        ReviveShard(s);
+        revived = true;
+      } else if (shards_[s]->replicas != nullptr) {
+        // Engine lost: a reload from the shard's own stores both
+        // validates the disk state and clears the quarantine.
+        revived = ReloadShard(s).ok() || !shard_quarantined(s);
+      }
+      if (revived) {
+        st.revives.fetch_add(1, std::memory_order_relaxed);
+        st.backoff_seconds[s] = 0;
+      } else {
+        st.backoff_seconds[s] =
+            st.backoff_seconds[s] == 0
+                ? interval_seconds
+                : std::min(st.backoff_seconds[s] * 2, 30.0);
+        st.next_attempt[s] =
+            now + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(st.backoff_seconds[s]));
+      }
+    }
+    lock.lock();
+  }
+}
+
+void ShardedIndex::StartReviveProbes(double interval_seconds) {
+  StopReviveProbes();
+  FESIA_CHECK(interval_seconds > 0);
+  auto state = std::make_unique<ReviveProbeState>();
+  if (probe_ != nullptr) {
+    // Counters survive a restart of the loop.
+    state->attempts.store(probe_->attempts.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    state->revives.store(probe_->revives.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  state->backoff_seconds.assign(num_shards(), 0.0);
+  state->next_attempt.assign(num_shards(),
+                             std::chrono::steady_clock::time_point{});
+  probe_ = std::move(state);
+  probe_->thread = std::thread(
+      [this, interval_seconds] { ReviveProbeLoop(interval_seconds); });
+}
+
+void ShardedIndex::StopReviveProbes() {
+  if (probe_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(probe_->mu);
+    probe_->stop = true;
+  }
+  probe_->cv.notify_all();
+  if (probe_->thread.joinable()) probe_->thread.join();
+}
+
+uint64_t ShardedIndex::revive_probe_attempts() const {
+  return probe_ != nullptr
+             ? probe_->attempts.load(std::memory_order_relaxed)
+             : 0;
+}
+
+uint64_t ShardedIndex::auto_revives() const {
+  return probe_ != nullptr ? probe_->revives.load(std::memory_order_relaxed)
+                           : 0;
+}
+
+void ShardedIndex::StartScrubAll(double interval_seconds) {
+  FESIA_CHECK(interval_seconds > 0);
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->replicas == nullptr) continue;
+    ReplicaSet& rs = *shards_[s]->replicas;
+    for (uint32_t r = 0; r < rs.num_replicas(); ++r) {
+      if (rs.manager(r) != nullptr) {
+        rs.manager(r)->StartScrub(interval_seconds * JitterFactor(s, r));
+      }
+    }
+  }
+}
+
+void ShardedIndex::StopScrubAll() {
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->replicas == nullptr) continue;
+    ReplicaSet& rs = *shards_[s]->replicas;
+    for (uint32_t r = 0; r < rs.num_replicas(); ++r) {
+      if (rs.manager(r) != nullptr) rs.manager(r)->StopScrub();
+    }
+  }
+}
+
+void ShardedIndex::StartAutoFlushAll(double interval_seconds) {
+  FESIA_CHECK(interval_seconds > 0);
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->replicas == nullptr) continue;
+    ReplicaSet& rs = *shards_[s]->replicas;
+    for (uint32_t r = 0; r < rs.num_replicas(); ++r) {
+      if (rs.manager(r) != nullptr) {
+        rs.manager(r)->StartAutoFlush(interval_seconds * JitterFactor(s, r));
+      }
+    }
+  }
+}
+
+void ShardedIndex::StopAutoFlushAll() {
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (shards_[s]->replicas == nullptr) continue;
+    ReplicaSet& rs = *shards_[s]->replicas;
+    for (uint32_t r = 0; r < rs.num_replicas(); ++r) {
+      if (rs.manager(r) != nullptr) rs.manager(r)->StopAutoFlush();
+    }
+  }
 }
 
 }  // namespace fesia::shard

@@ -6,11 +6,15 @@
 // radius scale with 1/N instead of the whole corpus. Every shard owns its
 // own lifecycle:
 //
-//   * a per-shard SnapshotStore under `<store_dir>/shard-NN/` with its own
-//     generations, manifest, and crash recovery;
-//   * a per-shard IndexManager, so Rebuild/SaveSnapshot/Reload/rollback on
-//     one shard never stalls or disturbs the engines of the others (each
-//     manager serializes only its own mutations);
+//   * a per-shard ReplicaSet under `<store_dir>/shard-NN/` — one replica
+//     store with the unreplicated layout by default, or
+//     `replication_factor` full replicas (each an IndexManager over its
+//     own SnapshotStore + WAL) under `shard-NN/replica-MM/`, with
+//     fanned-out mutations, failover reads, and anti-entropy repair (see
+//     shard/replica_set.h);
+//   * per-shard lifecycle isolation, so Rebuild/SaveSnapshot/Reload/
+//     rollback on one shard never stalls or disturbs the engines of the
+//     others (each manager serializes only its own mutations);
 //   * a quarantine bit: a shard whose store is unrecoverable (or that an
 //     operator pulled) stops being routed to, and the ShardRouter reports
 //     queries as partial (`shards_answered < shards_total`) instead of
@@ -35,14 +39,18 @@
 #define FESIA_SHARD_SHARDED_INDEX_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "index/inverted_index.h"
 #include "index/query_engine.h"
+#include "shard/replica_set.h"
 #include "shard/shard_map.h"
 #include "store/index_manager.h"
 #include "store/snapshot_store.h"
@@ -57,6 +65,14 @@ struct ShardedIndexOptions {
   /// Root directory of the shard stores; empty builds a memory-only index
   /// (no SHARDMAP, no stores, persistence calls fail).
   std::string store_dir;
+  /// Replica stores per shard (see shard/replica_set.h). 1 keeps the
+  /// unreplicated on-disk layout and behavior byte-identical; >= 2 stores
+  /// replicas under `shard-NN/replica-MM/` and is pinned to the directory
+  /// through `<store_dir>/TOPOLOGY` (reopening with a different factor is
+  /// refused). Ignored in memory-only mode.
+  uint32_t replication_factor = 1;
+  /// Acknowledgement policy for fanned-out mutations (all/quorum).
+  AckPolicy ack_policy = AckPolicy::kAll;
   /// Generations retained per shard store.
   size_t max_generations = 3;
   /// Format version stamped on saved generations.
@@ -96,11 +112,18 @@ class ShardedIndex {
     return static_cast<uint32_t>(shards_.size());
   }
   const ShardMap& shard_map() const { return map_; }
+  /// Replica stores per shard (1 for memory-only indexes).
+  uint32_t replication_factor() const;
   /// The shard's private sub-index (global doc ids, full term-id space).
   const index::InvertedIndex& shard_index(uint32_t shard) const;
-  /// Lifecycle manager of one shard; null for memory-only indexes and for
-  /// shards whose store was unrecoverable at Create.
+  /// Lifecycle manager of the shard's preferred replica; null for
+  /// memory-only indexes and for shards whose stores were all
+  /// unrecoverable at Create. Replica-aware callers should use
+  /// replica_set() instead.
   store::IndexManager* manager(uint32_t shard) const;
+  /// The shard's replica group; null for memory-only indexes and shards
+  /// with no usable replica store.
+  ReplicaSet* replica_set(uint32_t shard) const;
 
   /// Serving engine of one shard (null before its first successful
   /// rebuild/reload). Same RCU contract as IndexManager::engine(): the
@@ -184,6 +207,41 @@ class ShardedIndex {
   /// can actually answer from.
   uint32_t serving_shards() const;
 
+  // --- Background robustness loops --------------------------------------
+  //
+  // All Start*/Stop* pairs are idempotent and stopped by the destructor.
+  // Stop every loop before moving the index: the loop threads hold a
+  // pointer to it.
+
+  /// One anti-entropy repair sweep across every shard's replica group
+  /// (ReplicaSet::RepairOnce; first error, keeps going).
+  Status RepairOnce();
+  /// Starts/stops the background repair loop on every replica group.
+  void StartRepair(double interval_seconds);
+  void StopRepair();
+
+  /// Starts/stops a background loop that probes quarantined shards every
+  /// `interval_seconds` and revives them automatically: instantly when
+  /// the shard still holds a serving engine, via ReloadShard otherwise,
+  /// with per-shard exponential backoff on repeated failures. Starting
+  /// the loop opts shard quarantine into automatic recovery — including
+  /// operator-initiated QuarantineShard calls.
+  void StartReviveProbes(double interval_seconds);
+  void StopReviveProbes();
+  /// Probe attempts on quarantined shards / successful automatic revives.
+  uint64_t revive_probe_attempts() const;
+  uint64_t auto_revives() const;
+
+  /// Fans IndexManager::StartScrub / StartAutoFlush across every replica
+  /// of every shard, jittering each replica's interval deterministically
+  /// (up to +50%) so the per-store maintenance ticks never align into a
+  /// synchronized I/O spike. No-ops in memory-only mode.
+  void StartScrubAll(double interval_seconds);
+  void StopScrubAll();
+  void StartAutoFlushAll(double interval_seconds);
+  void StopAutoFlushAll();
+
+  ~ShardedIndex();
   ShardedIndex(ShardedIndex&&) = default;
   ShardedIndex& operator=(ShardedIndex&&) = default;
 
@@ -192,13 +250,14 @@ class ShardedIndex {
   // never move.
   struct Shard {
     std::unique_ptr<index::InvertedIndex> idx;
-    std::unique_ptr<store::SnapshotStore> store;
-    /// Child of ShardedIndexOptions::budget; must outlive `manager`, which
-    /// holds a raw pointer to it.
+    /// Child of ShardedIndexOptions::budget; must outlive `replicas`,
+    /// whose managers hold a raw pointer to it.
     std::unique_ptr<MemoryBudget> budget;
-    std::unique_ptr<store::IndexManager> manager;
-    /// Serving engine for manager-less shards (memory-only mode or a dead
-    /// store); same publication discipline as IndexManager's pointer.
+    /// The shard's replica group (store + manager per replica); null in
+    /// memory-only mode and when every replica store was unrecoverable.
+    std::unique_ptr<ReplicaSet> replicas;
+    /// Serving engine for replica-less shards (memory-only mode or dead
+    /// stores); same publication discipline as IndexManager's pointer.
     SharedPtrCell<const index::QueryEngine> local_engine;
     std::atomic<bool> quarantined{false};
     std::mutex status_mu;
@@ -210,12 +269,32 @@ class ShardedIndex {
     }
   };
 
+  /// Revive-probe loop state; behind a unique_ptr so the index stays
+  /// movable (move only while the loop is stopped).
+  struct ReviveProbeState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stop = false;
+    std::thread thread;
+    std::atomic<uint64_t> attempts{0};
+    std::atomic<uint64_t> revives{0};
+    /// Only the probe thread touches the backoff state.
+    std::vector<double> backoff_seconds;
+    std::vector<std::chrono::steady_clock::time_point> next_attempt;
+  };
+
   ShardedIndex() = default;
+
+  /// Preferred replica's manager; falls back to the first replica with a
+  /// manager (so lifecycle calls still reach a fully-quarantined group).
+  store::IndexManager* PrimaryManager(uint32_t shard) const;
+  void ReviveProbeLoop(double interval_seconds);
 
   const index::InvertedIndex* full_ = nullptr;
   ShardMap map_;
   ShardedIndexOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ReviveProbeState> probe_;
 };
 
 }  // namespace fesia::shard

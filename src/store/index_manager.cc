@@ -332,6 +332,94 @@ Status IndexManager::Delete(uint32_t doc, uint64_t* seq) {
   return Status::Ok();
 }
 
+Status IndexManager::ApplyReplicated(const WalRecord& record) {
+  if (record.seq == 0) {
+    return Status::InvalidArgument("replicated record: seq must be >= 1");
+  }
+  if (record.doc >= idx_->num_docs()) {
+    return Status::InvalidArgument(
+        "replicated record: document id out of range");
+  }
+  for (size_t i = 0; i < record.terms.size(); ++i) {
+    if (record.terms[i] >= idx_->num_terms()) {
+      return Status::InvalidArgument(
+          "replicated record: term id out of range");
+    }
+    if (i > 0 && record.terms[i] <= record.terms[i - 1]) {
+      return Status::InvalidArgument(
+          "replicated record: terms must be strictly ascending");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "mutation log not open: call OpenMutationLog first");
+  }
+  {
+    std::lock_guard<std::mutex> vlock(view_mu_);
+    // Already durable here (merged into the base or acknowledged in the
+    // WAL): the peer is re-sending history, which repair retries do by
+    // design. Same seq means same record, so skipping is exact.
+    if (record.seq <= std::max(applied_seq_, wal_->last_seq())) {
+      return Status::Ok();
+    }
+  }
+  FESIA_RETURN_IF_ERROR(CheckMutationPressureLocked());
+  FESIA_RETURN_IF_ERROR(wal_->Append(record));
+  next_seq_ = std::max(next_seq_, record.seq + 1);
+  {
+    std::lock_guard<std::mutex> vlock(view_mu_);
+    delta_.Apply(record);
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  NotifySoftBoundLocked();
+  return Status::Ok();
+}
+
+uint64_t IndexManager::applied_seq() const {
+  std::lock_guard<std::mutex> vlock(view_mu_);
+  return applied_seq_;
+}
+
+uint64_t IndexManager::durable_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t wal_seq = wal_ != nullptr ? wal_->last_seq() : 0;
+  std::lock_guard<std::mutex> vlock(view_mu_);
+  return std::max(applied_seq_, wal_seq);
+}
+
+StatusOr<std::vector<uint8_t>> IndexManager::ExportSnapshot(
+    uint32_t* format_version, uint64_t* generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t gen = 0;
+  auto payload = snapshots_->ReadCurrent(&gen);
+  if (!payload.ok()) return payload.status();
+  if (format_version != nullptr) {
+    *format_version = snapshots_->generations().back().format_version;
+  }
+  if (generation != nullptr) *generation = gen;
+  return payload;
+}
+
+Status IndexManager::ImportSnapshot(std::span<const uint8_t> payload,
+                                    uint32_t format_version,
+                                    uint64_t* generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t gen = 0;
+  FESIA_RETURN_IF_ERROR(snapshots_->Save(payload, format_version, &gen));
+  // The just-committed bytes must validate and swap in exactly as a
+  // reload would serve them; a failure leaves the incumbent serving (the
+  // committed generation stays for the next Open/scrub to judge).
+  Status s = LoadCurrentLocked();
+  if (!s.ok()) {
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  if (generation != nullptr) *generation = gen;
+  return Status::Ok();
+}
+
 uint64_t IndexManager::MutationBytesLocked() const {
   uint64_t pending = 0;
   {

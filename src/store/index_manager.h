@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -184,6 +185,45 @@ class IndexManager {
   /// Durably records that `doc` is deleted (a tombstone). Same contract as
   /// Upsert.
   Status Delete(uint32_t doc, uint64_t* seq = nullptr);
+
+  // --- Replication support (shard/replica_set.h) ------------------------
+
+  /// Durably applies a mutation whose seq was assigned externally — the
+  /// replication fan-out and repair catch-up paths, where every replica of
+  /// a shard must record the same mutation under the same seq so
+  /// applied/durable seqs are comparable across peers. Idempotent: a
+  /// record at or below durable_seq() is already held and returns OK
+  /// without touching anything, which makes crash-retried repair safe.
+  /// Otherwise the contract matches Upsert/Delete: validated, admitted
+  /// through mutation backpressure, fsynced before visible.
+  Status ApplyReplicated(const WalRecord& record);
+
+  /// Highest WAL seq folded into the serving base (the view's applied
+  /// seq); 0 before any merged generation serves.
+  uint64_t applied_seq() const;
+
+  /// Highest seq durably held here: max of the applied seq and the WAL's
+  /// last acknowledged seq. The per-replica sync point anti-entropy repair
+  /// compares across peers.
+  uint64_t durable_seq() const;
+
+  /// Reads and fully validates the store's current committed generation
+  /// for replica re-sync; *format_version / *generation (when non-null)
+  /// receive the stored metadata. kDataLoss when the store holds no
+  /// generation — pair with SaveSnapshot() to persist the serving state
+  /// first.
+  StatusOr<std::vector<uint8_t>> ExportSnapshot(
+      uint32_t* format_version = nullptr,
+      uint64_t* generation = nullptr) const;
+
+  /// Commits `payload` (a peer's exported generation) as this store's next
+  /// generation via the atomic-write protocol, then loads, deep-validates,
+  /// and hot-swaps it exactly like Reload(). On failure the incumbent
+  /// keeps serving (rollbacks() increments). Mutations already folded into
+  /// the imported generation are pruned from the delta overlay.
+  Status ImportSnapshot(std::span<const uint8_t> payload,
+                        uint32_t format_version,
+                        uint64_t* generation = nullptr);
 
   /// Merges the pending delta into a new snapshot generation: freezes the
   /// overlay and rotates the WAL, builds and deep-validates the merged

@@ -71,6 +71,12 @@ const char* FaultPointName(FaultPoint point) {
       return "crash-before-wal-truncate";
     case FaultPoint::kBudgetExhausted:
       return "budget-exhausted";
+    case FaultPoint::kRepairCrashBeforeImport:
+      return "repair-crash-before-import";
+    case FaultPoint::kRepairCrashBeforeCatchup:
+      return "repair-crash-before-catchup";
+    case FaultPoint::kRepairCrashBeforeRevive:
+      return "repair-crash-before-revive";
     case FaultPoint::kNumPoints:
       break;
   }

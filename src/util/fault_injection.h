@@ -17,6 +17,12 @@
 //   FESIA_FAULTS=crash-before-wal-truncate  crash after merge commit, before
 //                                           the WAL segments are dropped
 //   FESIA_FAULTS=budget-exhausted           fail the next MemoryBudget charge
+//   FESIA_FAULTS=repair-crash-before-import  crash a replica repair before
+//                                            the snapshot copy
+//   FESIA_FAULTS=repair-crash-before-catchup crash after the snapshot
+//                                            import, before WAL catch-up
+//   FESIA_FAULTS=repair-crash-before-revive  crash after the re-sync,
+//                                            before the replica is revived
 //
 // Syntax: name[:skip[:param]], comma-separated. `skip` is the number of
 // hits to let pass before firing (default 0 = fire immediately); `param` is
@@ -55,7 +61,14 @@ enum class FaultPoint : int {
   kBudgetExhausted = 10,        // MemoryBudget::TryCharge fails as if the
                                 // limit were hit — drives governance paths
                                 // without tuning a byte-exact budget
-  kNumPoints = 11,
+  // Crash rehearsal for anti-entropy replica repair (shard/replica_set.h):
+  // each point abandons the repair attempt at one protocol step, leaving
+  // the target replica exactly as a crash there would — the next repair
+  // cycle must complete idempotently with zero acked-mutation loss.
+  kRepairCrashBeforeImport = 11,   // source chosen, no snapshot copied
+  kRepairCrashBeforeCatchup = 12,  // snapshot imported, WAL gap not replayed
+  kRepairCrashBeforeRevive = 13,   // replica fully synced, never revived
+  kNumPoints = 14,
 };
 
 /// Stable name used by the FESIA_FAULTS syntax ("alloc", ...).

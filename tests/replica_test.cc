@@ -1,0 +1,608 @@
+// Per-shard replication: factor-1 layout/behavior identity, TOPOLOGY
+// pinning, durable fan-out under ack policies, failover reads that stay
+// byte-identical when a replica is killed or corrupted mid-traffic,
+// hedged requests, anti-entropy repair (including the crash kill-point
+// sweep proving zero acked-mutation loss), cold-reopen convergence, and
+// the background revive-probe / jittered-maintenance loops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "index/query_gen.h"
+#include "shard/replica_set.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_index.h"
+#include "util/fault_injection.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace fesia {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::fesia::index::InvertedIndex;
+using ::fesia::index::QueryResult;
+using ::fesia::shard::AckPolicy;
+using ::fesia::shard::ReplicaSet;
+using ::fesia::shard::RoutedQueryResult;
+using ::fesia::shard::RouterOptions;
+using ::fesia::shard::ShardBatchStats;
+using ::fesia::shard::ShardedIndex;
+using ::fesia::shard::ShardedIndexOptions;
+using ::fesia::shard::ShardMap;
+using ::fesia::shard::ShardRouter;
+
+std::string NewReplicaDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "fesia_replica_test." + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+void FlipByteOnDisk(const std::string& path, size_t offset) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok()) << path;
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] ^= 0xFF;
+  ASSERT_TRUE(WriteFileBytes(path, bytes.data(), bytes.size()).ok());
+}
+
+// Two routed answers are byte-identical: same completeness, counts, docs.
+void ExpectIdentical(const std::vector<RoutedQueryResult>& got,
+                     const std::vector<RoutedQueryResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t q = 0; q < got.size(); ++q) {
+    EXPECT_TRUE(got[q].ok()) << q << ": " << got[q].status.message();
+    EXPECT_TRUE(got[q].complete()) << q;
+    EXPECT_EQ(got[q].count, want[q].count) << q;
+    EXPECT_EQ(got[q].docs, want[q].docs) << q;
+  }
+}
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index::CorpusParams corpus;
+    corpus.num_docs = 2000;
+    corpus.num_terms = 80;
+    corpus.avg_terms_per_doc = 25.0;
+    corpus.seed = 31;
+    idx_ = InvertedIndex::BuildSynthetic(corpus);
+    queries_ = index::LowSelectivityQueries(idx_, 2, 16, 100000, 8, 1.0, 5);
+    auto arity3 = index::LowSelectivityQueries(idx_, 3, 16, 100000, 4, 1.0, 6);
+    queries_.insert(queries_.end(), arity3.begin(), arity3.end());
+    ASSERT_GE(queries_.size(), 10u);
+  }
+
+  // Opens a persistent replicated index, rebuilds, saves, and opens the
+  // mutation logs of every shard.
+  ShardedIndex OpenServing(const std::string& dir, const ShardMap& map,
+                           uint32_t replicas,
+                           AckPolicy policy = AckPolicy::kAll) {
+    ShardedIndexOptions options;
+    options.params = params_;
+    options.store_dir = dir;
+    options.replication_factor = replicas;
+    options.ack_policy = policy;
+    auto sharded = ShardedIndex::Create(&idx_, map, options);
+    EXPECT_TRUE(sharded.ok()) << sharded.status().message();
+    EXPECT_TRUE(sharded->RebuildAll().ok());
+    EXPECT_TRUE(sharded->SaveAll().ok());
+    EXPECT_TRUE(sharded->OpenMutationLogs().ok());
+    return *std::move(sharded);
+  }
+
+  // A deterministic mutation burst: upserts across the doc space plus a
+  // few deletes, routed by the index's shard map.
+  void ApplyBurst(ShardedIndex* sharded, uint32_t salt) {
+    for (uint32_t i = 0; i < 40; ++i) {
+      const uint32_t doc = (i * 97 + salt * 13) % idx_.num_docs();
+      std::vector<uint32_t> terms = {i % idx_.num_terms(),
+                                     (i * 7 + salt) % idx_.num_terms(),
+                                     (i * 31 + 2) % idx_.num_terms()};
+      ASSERT_TRUE(sharded->Upsert(doc, terms).ok()) << i;
+    }
+    for (uint32_t i = 0; i < 8; ++i) {
+      const uint32_t doc = (i * 211 + salt * 7) % idx_.num_docs();
+      ASSERT_TRUE(sharded->Delete(doc).ok()) << i;
+    }
+  }
+
+  FesiaParams params_;
+  InvertedIndex idx_;
+  std::vector<index::Query> queries_;
+};
+
+// ---------------------------------------------------------------------------
+// Layout and topology pinning
+
+TEST_F(ReplicaTest, FactorOneKeepsLegacyLayout) {
+  const std::string dir = NewReplicaDir("legacy-layout");
+  {
+    ShardedIndex sharded = OpenServing(dir, ShardMap::Hash(2), 1);
+    EXPECT_EQ(sharded.replication_factor(), 1u);
+    ASSERT_NE(sharded.replica_set(0), nullptr);
+    EXPECT_EQ(sharded.replica_set(0)->num_replicas(), 1u);
+  }
+  // No TOPOLOGY marker, no replica-MM subdirectories: byte-identical to
+  // the unreplicated layout, so old stores and new factor-1 stores are
+  // interchangeable.
+  EXPECT_FALSE(fs::exists(dir + "/TOPOLOGY"));
+  EXPECT_TRUE(fs::exists(dir + "/shard-00/snap.000001"));
+  EXPECT_FALSE(fs::exists(dir + "/shard-00/replica-00"));
+}
+
+TEST_F(ReplicaTest, TopologyPinnedToDirectory) {
+  const std::string dir = NewReplicaDir("topology-pin");
+  {
+    ShardedIndex sharded = OpenServing(dir, ShardMap::Hash(2), 2);
+    EXPECT_EQ(sharded.replica_set(0)->num_replicas(), 2u);
+  }
+  EXPECT_TRUE(fs::exists(dir + "/TOPOLOGY"));
+  EXPECT_TRUE(fs::exists(dir + "/shard-00/replica-00/snap.000001"));
+  EXPECT_TRUE(fs::exists(dir + "/shard-00/replica-01/snap.000001"));
+
+  ShardedIndexOptions options;
+  options.params = params_;
+  options.store_dir = dir;
+  for (uint32_t wrong : {1u, 3u}) {
+    options.replication_factor = wrong;
+    auto reopened = ShardedIndex::Create(&idx_, ShardMap::Hash(2), options);
+    EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition)
+        << wrong;
+  }
+  options.replication_factor = 2;
+  EXPECT_TRUE(ShardedIndex::Create(&idx_, ShardMap::Hash(2), options).ok());
+}
+
+TEST_F(ReplicaTest, LegacyStoreRefusesReplicatedReopen) {
+  const std::string dir = NewReplicaDir("legacy-refuse");
+  { ShardedIndex sharded = OpenServing(dir, ShardMap::Hash(2), 1); }
+
+  ShardedIndexOptions options;
+  options.params = params_;
+  options.store_dir = dir;
+  options.replication_factor = 2;
+  auto reopened = ShardedIndex::Create(&idx_, ShardMap::Hash(2), options);
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicaTest, ZeroReplicationFactorRejected) {
+  ShardedIndexOptions options;
+  options.params = params_;
+  options.store_dir = NewReplicaDir("zero-rf");
+  options.replication_factor = 0;
+  auto sharded = ShardedIndex::Create(&idx_, ShardMap(), options);
+  EXPECT_EQ(sharded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out and ack policies
+
+TEST_F(ReplicaTest, FanOutKeepsReplicasInLockstep) {
+  const std::string dir = NewReplicaDir("fanout-lockstep");
+  ShardedIndex sharded = OpenServing(dir, ShardMap::Hash(2), 2);
+  ApplyBurst(&sharded, 1);
+
+  for (uint32_t s = 0; s < 2; ++s) {
+    ReplicaSet* rs = sharded.replica_set(s);
+    ASSERT_NE(rs, nullptr);
+    EXPECT_EQ(rs->serving_replicas(), 2u);
+    EXPECT_EQ(rs->replica_durable_seq(0), rs->replica_durable_seq(1)) << s;
+    EXPECT_EQ(rs->last_acked_seq(), rs->replica_durable_seq(0)) << s;
+  }
+
+  // Either replica alone answers identically: the content is replicated,
+  // not just the acknowledgement.
+  ShardRouter router(&sharded);
+  auto healthy = router.QueryBatch(queries_);
+  for (uint32_t victim : {0u, 1u}) {
+    for (uint32_t s = 0; s < 2; ++s) {
+      sharded.replica_set(s)->QuarantineReplica(victim);
+      EXPECT_EQ(sharded.replica_set(s)->serving_replicas(), 1u);
+    }
+    ExpectIdentical(router.QueryBatch(queries_), healthy);
+    for (uint32_t s = 0; s < 2; ++s) {
+      sharded.replica_set(s)->ReviveReplica(victim);
+    }
+  }
+}
+
+TEST_F(ReplicaTest, InvalidMutationAbortsWholeGroup) {
+  const std::string dir = NewReplicaDir("invalid-abort");
+  ShardedIndex sharded = OpenServing(dir, ShardMap(), 2);
+  ReplicaSet* rs = sharded.replica_set(0);
+  const uint64_t acked_before = rs->last_acked_seq();
+
+  EXPECT_EQ(sharded.Upsert(idx_.num_docs() + 1, {0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sharded.Upsert(0, {idx_.num_terms() + 1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sharded.Delete(idx_.num_docs() + 1).code(),
+            StatusCode::kInvalidArgument);
+
+  // Nothing durable, no seq consumed, no replica quarantined.
+  EXPECT_EQ(rs->last_acked_seq(), acked_before);
+  EXPECT_EQ(rs->serving_replicas(), 2u);
+  uint64_t seq = 0;
+  ASSERT_TRUE(sharded.Upsert(5, {1, 2}, &seq).ok());
+  EXPECT_EQ(seq, acked_before + 1);
+}
+
+TEST_F(ReplicaTest, QuorumTakesWritesThroughMinorityLoss) {
+  const std::string dir = NewReplicaDir("quorum");
+  ShardedIndex sharded =
+      OpenServing(dir, ShardMap(), 3, AckPolicy::kQuorum);
+  ReplicaSet* rs = sharded.replica_set(0);
+
+  // One replica down: 2-of-3 still acks.
+  rs->QuarantineReplica(2);
+  uint64_t seq = 0;
+  ASSERT_TRUE(sharded.Upsert(7, {3, 4}, &seq).ok());
+  EXPECT_EQ(rs->last_acked_seq(), seq);
+
+  // Two replicas down: the lone survivor cannot reach quorum — durable
+  // there, but explicitly unacknowledged to the caller.
+  rs->QuarantineReplica(1);
+  Status st = sharded.Upsert(9, {5});
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rs->last_acked_seq(), seq);
+
+  // Everyone down: no replica can take the write at all.
+  rs->QuarantineReplica(0);
+  EXPECT_EQ(sharded.Upsert(11, {6}).code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Failover reads
+
+TEST_F(ReplicaTest, ReplicaKillMidTrafficIsInvisible) {
+  const std::string dir = NewReplicaDir("kill-invisible");
+  ShardedIndex sharded = OpenServing(dir, ShardMap::Hash(2), 2);
+  ApplyBurst(&sharded, 2);
+  ShardRouter router(&sharded);
+  auto healthy = router.QueryBatch(queries_);
+
+  // Kill (quarantine) one replica per shard mid-traffic: every query must
+  // stay complete and byte-identical to the all-healthy answer.
+  for (uint32_t s = 0; s < 2; ++s) {
+    sharded.replica_set(s)->QuarantineReplica(s % 2);
+  }
+  ShardBatchStats stats;
+  auto degraded = router.QueryBatch(queries_, {}, &stats);
+  ExpectIdentical(degraded, healthy);
+  EXPECT_EQ(stats.complete_queries, queries_.size());
+  EXPECT_EQ(stats.partial_queries, 0u);
+}
+
+TEST_F(ReplicaTest, CorruptReplicaNeverPollutesAnswers) {
+  const std::string dir = NewReplicaDir("corrupt-replica");
+  ShardedIndex sharded = OpenServing(dir, ShardMap(), 2);
+  ApplyBurst(&sharded, 3);
+  ShardRouter router(&sharded);
+  auto healthy = router.QueryBatch(queries_);
+
+  // Rot replica 0's only generation on disk, then force a reload: the
+  // reload fails, the incumbent engine keeps serving (rollback), and
+  // every answer stays byte-identical.
+  FlipByteOnDisk(dir + "/shard-00/replica-00/snap.000001", 100);
+  EXPECT_FALSE(sharded.replica_set(0)->Reload().ok());
+  EXPECT_FALSE(sharded.replica_set(0)->replica_status(0).ok());
+  ExpectIdentical(router.QueryBatch(queries_), healthy);
+
+  // Repair re-syncs the damaged store from the healthy peer without
+  // operator intervention beyond the sweep call.
+  ASSERT_TRUE(sharded.replica_set(0)->RepairReplica(0).ok());
+  ExpectIdentical(router.QueryBatch(queries_), healthy);
+}
+
+TEST_F(ReplicaTest, HedgedRequestsStayGolden) {
+  const std::string dir = NewReplicaDir("hedged");
+  ShardedIndex sharded = OpenServing(dir, ShardMap::Hash(2), 2);
+  ApplyBurst(&sharded, 4);
+  ShardRouter router(&sharded);
+  auto healthy = router.QueryBatch(queries_);
+
+  RouterOptions hedge;
+  hedge.hedge_delay_seconds = 1e-9;  // hedge virtually every sub-batch
+  // A hedge is only issued when the primary has not answered within the
+  // delay, so a fast-enough primary legitimately yields zero hedges for
+  // one batch; repeat until at least one fires. Content must be golden
+  // on every round, hedged or not.
+  size_t hedged = 0, hedge_wins = 0;
+  for (int round = 0; round < 50 && hedged == 0; ++round) {
+    ShardBatchStats stats;
+    ExpectIdentical(router.QueryBatch(queries_, hedge, &stats), healthy);
+    hedged += stats.hedged_requests;
+    hedge_wins += stats.hedge_wins;
+  }
+  EXPECT_GE(hedged, 1u);
+  EXPECT_LE(hedge_wins, hedged);
+
+  // Failover disabled changes availability policy, never content.
+  RouterOptions no_failover;
+  no_failover.replica_failover = false;
+  ExpectIdentical(router.QueryBatch(queries_, no_failover), healthy);
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy repair
+
+TEST_F(ReplicaTest, RepairResyncsLaggingReplica) {
+  const std::string dir = NewReplicaDir("repair-lag");
+  ShardedIndex sharded = OpenServing(dir, ShardMap(), 2);
+  ShardRouter router(&sharded);
+  ApplyBurst(&sharded, 5);
+  auto healthy = router.QueryBatch(queries_);
+
+  // Replica 1 misses a burst while quarantined.
+  ReplicaSet* rs = sharded.replica_set(0);
+  rs->QuarantineReplica(1);
+  ApplyBurst(&sharded, 6);
+  auto advanced = router.QueryBatch(queries_);
+  EXPECT_LT(rs->replica_durable_seq(1), rs->last_acked_seq());
+  EXPECT_TRUE(rs->NeedsRepair(1));
+  EXPECT_FALSE(rs->NeedsRepair(0));
+
+  ASSERT_TRUE(sharded.RepairOnce().ok());
+  EXPECT_FALSE(rs->replica_quarantined(1));
+  EXPECT_EQ(rs->replica_durable_seq(1), rs->last_acked_seq());
+  EXPECT_EQ(rs->repairs(), 1u);
+
+  // The repaired replica serves the full acked history on its own.
+  rs->QuarantineReplica(0);
+  ExpectIdentical(router.QueryBatch(queries_), advanced);
+}
+
+TEST_F(ReplicaTest, RepairSurvivesSourceFlushMidStream) {
+  const std::string dir = NewReplicaDir("repair-flush-race");
+  ShardedIndex sharded = OpenServing(dir, ShardMap(), 2);
+  ShardRouter router(&sharded);
+  ReplicaSet* rs = sharded.replica_set(0);
+  rs->QuarantineReplica(1);
+  ApplyBurst(&sharded, 7);
+  // The healthy replica merges its delta before repair runs: the gap now
+  // lives in a newer generation, not the overlay, so the repair must copy
+  // the snapshot rather than relying on WAL catch-up alone.
+  ASSERT_TRUE(sharded.FlushShard(0).ok());
+  auto expect = router.QueryBatch(queries_);
+
+  ASSERT_TRUE(rs->RepairOnce().ok());
+  EXPECT_EQ(rs->serving_replicas(), 2u);
+  rs->QuarantineReplica(0);
+  ExpectIdentical(router.QueryBatch(queries_), expect);
+}
+
+TEST_F(ReplicaTest, RepairKillPointSweepLosesNoAckedMutation) {
+  // Crash the repair at every protocol step (plus the atomic-write crash
+  // points inside the snapshot import): each attempt must fail cleanly
+  // with the replica still quarantined, the next attempt must converge,
+  // and a cold reopen must serve every acknowledged mutation.
+  const fault::FaultPoint kill_points[] = {
+      fault::FaultPoint::kRepairCrashBeforeImport,
+      fault::FaultPoint::kRepairCrashBeforeCatchup,
+      fault::FaultPoint::kRepairCrashBeforeRevive,
+      fault::FaultPoint::kIoShortWrite,
+      fault::FaultPoint::kCrashBeforeRename,
+      fault::FaultPoint::kCrashAfterRename,
+  };
+  for (fault::FaultPoint point : kill_points) {
+    SCOPED_TRACE(fault::FaultPointName(point));
+    const std::string dir =
+        NewReplicaDir(std::string("kill-") + fault::FaultPointName(point));
+    std::vector<RoutedQueryResult> expect;
+    {
+      ShardedIndex sharded = OpenServing(dir, ShardMap(), 2);
+      ShardRouter router(&sharded);
+      ReplicaSet* rs = sharded.replica_set(0);
+      rs->QuarantineReplica(1);
+      ApplyBurst(&sharded, 8);
+      ASSERT_TRUE(sharded.FlushShard(0).ok());  // force a snapshot copy
+      expect = router.QueryBatch(queries_);
+
+      const uint64_t failures_before = rs->repair_failures();
+      {
+        fault::ScopedFault crash(point);
+        EXPECT_FALSE(rs->RepairReplica(1).ok());
+      }
+      EXPECT_TRUE(rs->replica_quarantined(1));
+      EXPECT_GT(rs->repair_failures(), failures_before);
+      EXPECT_FALSE(rs->replica_status(1).ok());
+      // Mid-repair debris never pollutes served answers.
+      ExpectIdentical(router.QueryBatch(queries_), expect);
+
+      // The next cycle completes idempotently over the debris.
+      ASSERT_TRUE(rs->RepairReplica(1).ok());
+      EXPECT_EQ(rs->serving_replicas(), 2u);
+      EXPECT_EQ(rs->replica_durable_seq(1), rs->last_acked_seq());
+      rs->QuarantineReplica(0);
+      ExpectIdentical(router.QueryBatch(queries_), expect);
+    }
+
+    // Cold reopen: both replicas recover every acknowledged mutation.
+    ShardedIndexOptions options;
+    options.params = params_;
+    options.store_dir = dir;
+    options.replication_factor = 2;
+    auto reopened = ShardedIndex::Create(&idx_, ShardMap(), options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+    ASSERT_TRUE(reopened->ReloadShard(0).ok());
+    ASSERT_TRUE(reopened->OpenMutationLogs().ok());
+    ShardRouter router(&*reopened);
+    for (uint32_t solo : {0u, 1u}) {
+      ReplicaSet* rs = reopened->replica_set(0);
+      if (rs->replica_quarantined(solo)) {
+        ASSERT_TRUE(rs->RepairReplica(solo).ok());
+      }
+      rs->QuarantineReplica(1 - solo);
+      ExpectIdentical(router.QueryBatch(queries_), expect);
+      rs->ReviveReplica(1 - solo);
+    }
+  }
+}
+
+TEST_F(ReplicaTest, ColdReopenQuarantinesTrailingReplicaUntilRepaired) {
+  const std::string dir = NewReplicaDir("cold-trailing");
+  std::vector<RoutedQueryResult> expect;
+  {
+    ShardedIndex sharded = OpenServing(dir, ShardMap(), 2);
+    ShardRouter router(&sharded);
+    ApplyBurst(&sharded, 9);
+    // Replica 1 goes dark; the group keeps acking on replica 0 alone.
+    sharded.replica_set(0)->QuarantineReplica(1);
+    ApplyBurst(&sharded, 10);
+    expect = router.QueryBatch(queries_);
+  }
+
+  ShardedIndexOptions options;
+  options.params = params_;
+  options.store_dir = dir;
+  options.replication_factor = 2;
+  auto reopened = ShardedIndex::Create(&idx_, ShardMap(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  ASSERT_TRUE(reopened->ReloadShard(0).ok());
+  ASSERT_TRUE(reopened->OpenMutationLogs().ok());
+  ReplicaSet* rs = reopened->replica_set(0);
+
+  // The trailing replica must not serve the acked stream it missed.
+  EXPECT_TRUE(rs->replica_quarantined(1));
+  EXPECT_EQ(rs->replica_status(1).code(), StatusCode::kUnavailable);
+  ShardRouter router(&*reopened);
+  ExpectIdentical(router.QueryBatch(queries_), expect);
+
+  // Repair converges it; then it serves the full history alone.
+  ASSERT_TRUE(reopened->RepairOnce().ok());
+  EXPECT_EQ(rs->serving_replicas(), 2u);
+  rs->QuarantineReplica(0);
+  ExpectIdentical(router.QueryBatch(queries_), expect);
+}
+
+TEST_F(ReplicaTest, BackgroundRepairLoopConvergesWithBackoff) {
+  const std::string dir = NewReplicaDir("repair-loop");
+  ShardedIndex sharded = OpenServing(dir, ShardMap(), 2);
+  ReplicaSet* rs = sharded.replica_set(0);
+  rs->QuarantineReplica(1);
+  ApplyBurst(&sharded, 11);
+
+  sharded.StartRepair(0.002);
+  for (int i = 0; i < 4000 && rs->serving_replicas() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sharded.StopRepair();
+  EXPECT_EQ(rs->serving_replicas(), 2u);
+  EXPECT_GE(rs->repairs(), 1u);
+  EXPECT_EQ(rs->replica_durable_seq(1), rs->last_acked_seq());
+}
+
+// ---------------------------------------------------------------------------
+// Background revive probes and jittered maintenance
+
+TEST_F(ReplicaTest, ReviveProbeAutoRevivesQuarantinedShard) {
+  const std::string dir = NewReplicaDir("revive-probe");
+  ShardedIndex sharded = OpenServing(dir, ShardMap::Hash(2), 1);
+  sharded.QuarantineShard(1);
+  EXPECT_EQ(sharded.serving_shards(), 1u);
+
+  sharded.StartReviveProbes(0.002);
+  for (int i = 0; i < 4000 && sharded.serving_shards() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sharded.StopReviveProbes();
+  EXPECT_EQ(sharded.serving_shards(), 2u);
+  EXPECT_GE(sharded.revive_probe_attempts(), 1u);
+  EXPECT_GE(sharded.auto_revives(), 1u);
+}
+
+TEST_F(ReplicaTest, JitteredMaintenanceDrainsAndScrubsEveryReplica) {
+  const std::string dir = NewReplicaDir("maintenance");
+  ShardedIndex sharded = OpenServing(dir, ShardMap::Hash(2), 2);
+  ApplyBurst(&sharded, 12);
+  EXPECT_GT(sharded.pending_mutations(), 0u);
+
+  sharded.StartScrubAll(0.002);
+  sharded.StartAutoFlushAll(0.002);
+  bool drained = false, scrubbed = false;
+  for (int i = 0; i < 4000 && !(drained && scrubbed); ++i) {
+    drained = sharded.pending_mutations() == 0;
+    scrubbed = true;
+    for (uint32_t s = 0; s < 2 && scrubbed; ++s) {
+      ReplicaSet* rs = sharded.replica_set(s);
+      for (uint32_t r = 0; r < rs->num_replicas(); ++r) {
+        scrubbed = scrubbed && rs->manager(r)->scrub_cycles() > 0;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sharded.StopScrubAll();
+  sharded.StopAutoFlushAll();
+  EXPECT_TRUE(drained);
+  EXPECT_TRUE(scrubbed);
+
+  // The flushes kept the replicas converged.
+  for (uint32_t s = 0; s < 2; ++s) {
+    ReplicaSet* rs = sharded.replica_set(s);
+    EXPECT_EQ(rs->replica_durable_seq(0), rs->replica_durable_seq(1)) << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover under concurrent kill/repair churn (TSan habitat)
+
+TEST_F(ReplicaTest, TrafficStaysExactUnderReplicaChurn) {
+  const std::string dir = NewReplicaDir("churn");
+  ShardedIndex sharded = OpenServing(dir, ShardMap::Hash(2), 2);
+  ApplyBurst(&sharded, 13);
+  ShardRouter router(&sharded);
+  auto expect = router.QueryBatch(queries_);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> batches_done{0};
+  std::atomic<size_t> anomalies{0};
+  constexpr int kReaders = 2;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto routed = router.QueryBatch(queries_);
+        for (size_t q = 0; q < routed.size(); ++q) {
+          if (!routed[q].ok() || routed[q].count != expect[q].count ||
+              routed[q].docs != expect[q].docs) {
+            anomalies.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        batches_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Kill, repair, and revive replicas round-robin while traffic flows.
+  for (int i = 0; i < 24; ++i) {
+    ReplicaSet* rs = sharded.replica_set(static_cast<uint32_t>(i) % 2);
+    const uint32_t victim = static_cast<uint32_t>(i / 2) % 2;
+    rs->QuarantineReplica(victim);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Status st = rs->RepairOnce();
+    ASSERT_TRUE(st.ok()) << st.message();
+  }
+  while (batches_done.load(std::memory_order_relaxed) < kReaders * 3u) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(anomalies.load(), 0u);
+  EXPECT_GT(batches_done.load(), 0u);
+}
+
+}  // namespace
+}  // namespace fesia

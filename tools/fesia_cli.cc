@@ -92,23 +92,32 @@ commands:
       counters and latency percentiles. --shards N >= 1 routes the batch
       through an N-way sharded index (scatter-gather, per-shard stats,
       explicit partial results)
-  build --dir DIR [--shards N] [--docs D] [--terms T] [--seed S] [--keep K]
+  build --dir DIR [--shards N] [--replicas R] [--ack all|quorum]
+        [--docs D] [--terms T] [--seed S] [--keep K]
       build a synthetic corpus, hash-partition it into N shards (default
       1), and persist one snapshot generation per shard under
-      DIR/shard-NN/ (the shard map is pinned as DIR/SHARDMAP)
+      DIR/shard-NN/ (the shard map is pinned as DIR/SHARDMAP). --replicas
+      R >= 2 keeps R full store replicas per shard under
+      DIR/shard-NN/replica-MM/ (pinned as DIR/TOPOLOGY); mutations are
+      fanned out durably under the --ack policy, reads fail over between
+      replicas, and anti-entropy repair re-syncs a damaged replica from
+      its healthy peer
   mutate --dir DIR (--upsert DOC [--set-terms T1,T2,...] | --delete DOC)
-         [--shards N] [--docs D] [--terms T] [--seed S]
-         [--memory-budget BYTES]
-      durably append one mutation to the write-ahead log of the shard
-      owning DOC (fsynced before the ack is printed); --upsert replaces
-      DOC's term set wholesale, --delete tombstones it. The corpus flags
-      must match the build
-  flush --dir DIR [--shards N] [--docs D] [--terms T] [--seed S] [--keep K]
+         [--shards N] [--replicas R] [--ack all|quorum]
+         [--docs D] [--terms T] [--seed S] [--memory-budget BYTES]
+      durably append one mutation to the write-ahead log of every live
+      replica of the shard owning DOC (fsynced everywhere the ack policy
+      requires before the ack is printed); --upsert replaces DOC's term
+      set wholesale, --delete tombstones it. The corpus and topology
+      flags must match the build
+  flush --dir DIR [--shards N] [--replicas R] [--ack all|quorum]
+        [--docs D] [--terms T] [--seed S] [--keep K]
         [--memory-budget BYTES]
-      merge every shard's pending WAL/delta mutations into a new snapshot
-      generation and truncate its log (shards with none are a no-op),
-      emitting one JSON line per shard with pending_docs/pending_bytes;
-      the corpus flags must match the build
+      merge every replica's pending WAL/delta mutations into a new
+      snapshot generation of its own store and truncate its log (stores
+      with none are a no-op), emitting one JSON line per shard with
+      pending_docs/pending_bytes; the corpus and topology flags must
+      match the build
 
   --memory-budget BYTES (batch, mutate, flush; 0 = unlimited, suffixes
       K/M/G accepted) caps the bytes the run may hold: mutations past the
@@ -120,13 +129,15 @@ commands:
       + manifest commit; N generations retained, default 3)
   snapshot load --dir DIR --out FILE
       validate and extract the store's current generation into FILE
-  snapshot recover --dir DIR [--shards N]
+  snapshot recover --dir DIR [--shards N] [--replicas R]
       open the store, quarantining whatever fails validation, and emit
       what recovery found as JSON (one line per event); also replays the
       store's write-ahead log, repairing torn tails (suspect bytes are
       quarantined, never deleted). exit 6 if no generation validates.
       --shards N recovers DIR/shard-NN stores instead, reporting the
-      worst shard's exit code
+      worst shard's exit code; with --replicas R >= 2 every
+      DIR/shard-NN/replica-MM store is recovered independently (a dead
+      replica degrades the exit code but never hides its peers)
 
 exit codes: 0 ok, 2 usage, 3 I/O failure or invalid input,
             4 corrupt snapshot,
@@ -708,14 +719,43 @@ int ReportStore(const Status& s) {
   return StoreExitCode(s);
 }
 
+// Parses the replication topology flags shared by build/mutate/flush:
+// --replicas R in [1, 8] and --ack all|quorum. The TOPOLOGY pin written
+// at build time makes a mismatched --replicas on a later command a
+// kFailedPrecondition (exit 4) rather than a silent divergence.
+bool ParseTopologyFlags(const std::map<std::string, std::string>& flags,
+                        uint32_t* replicas,
+                        fesia::shard::AckPolicy* policy) {
+  uint64_t r = 0;
+  if (!ParseU64Flag(flags, "replicas", 1, &r)) return false;
+  if (r == 0 || r > 8) {
+    std::fprintf(stderr, "fesia_cli: --replicas must be in [1, 8]\n");
+    return false;
+  }
+  *replicas = static_cast<uint32_t>(r);
+  const std::string ack = FlagOr(flags, "ack", "all");
+  if (ack == "all") {
+    *policy = fesia::shard::AckPolicy::kAll;
+  } else if (ack == "quorum") {
+    *policy = fesia::shard::AckPolicy::kQuorum;
+  } else {
+    std::fprintf(stderr, "fesia_cli: --ack must be \"all\" or \"quorum\"\n");
+    return false;
+  }
+  return true;
+}
+
 int CmdBuild(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "dir", "");
   uint64_t shards = 0, docs = 0, terms = 0, seed = 0, keep = 0;
+  uint32_t replicas = 1;
+  fesia::shard::AckPolicy ack = fesia::shard::AckPolicy::kAll;
   if (!ParseU64Flag(flags, "shards", 1, &shards) ||
       !ParseU64Flag(flags, "docs", 20000, &docs) ||
       !ParseU64Flag(flags, "terms", 500, &terms) ||
       !ParseU64Flag(flags, "seed", 1, &seed) ||
-      !ParseU64Flag(flags, "keep", 3, &keep)) {
+      !ParseU64Flag(flags, "keep", 3, &keep) ||
+      !ParseTopologyFlags(flags, &replicas, &ack)) {
     return kExitUsage;
   }
   if (dir.empty()) return Usage();
@@ -741,6 +781,8 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
   fesia::shard::ShardedIndexOptions sopts;
   sopts.store_dir = dir;
   sopts.max_generations = keep;
+  sopts.replication_factor = replicas;
+  sopts.ack_policy = ack;
   auto sharded = fesia::shard::ShardedIndex::Create(
       &idx, fesia::shard::ShardMap::Hash(static_cast<uint32_t>(shards)),
       sopts);
@@ -751,13 +793,18 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
     uint64_t generation = 0;
     Status saved = sharded->SaveShard(s, &generation);
     if (!saved.ok()) return ReportStore(saved);
-    std::printf("shard-%02u: saved generation %llu\n", s,
-                static_cast<unsigned long long>(generation));
+    if (replicas > 1) {
+      std::printf("shard-%02u: saved generation %llu on %u replica(s)\n", s,
+                  static_cast<unsigned long long>(generation), replicas);
+    } else {
+      std::printf("shard-%02u: saved generation %llu\n", s,
+                  static_cast<unsigned long long>(generation));
+    }
   }
-  std::printf("built %u shard(s) over %u docs / %u terms into %s in "
-              "%.3f s\n",
-              sharded->num_shards(), idx.num_docs(), idx.num_terms(),
-              dir.c_str(), timer.Seconds());
+  std::printf("built %u shard(s) x %u replica(s) over %u docs / %u terms "
+              "into %s in %.3f s\n",
+              sharded->num_shards(), replicas, idx.num_docs(),
+              idx.num_terms(), dir.c_str(), timer.Seconds());
   return kExitOk;
 }
 
@@ -779,12 +826,15 @@ int CmdMutate(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "dir", "");
   uint64_t shards = 0, docs = 0, terms = 0, seed = 0, keep = 0;
   uint64_t budget_bytes = 0;
+  uint32_t replicas = 1;
+  fesia::shard::AckPolicy ack = fesia::shard::AckPolicy::kAll;
   if (!ParseU64Flag(flags, "shards", 1, &shards) ||
       !ParseU64Flag(flags, "docs", 20000, &docs) ||
       !ParseU64Flag(flags, "terms", 500, &terms) ||
       !ParseU64Flag(flags, "seed", 1, &seed) ||
       !ParseU64Flag(flags, "keep", 3, &keep) ||
-      !ParseSizeFlag(flags, "memory-budget", 0, &budget_bytes)) {
+      !ParseSizeFlag(flags, "memory-budget", 0, &budget_bytes) ||
+      !ParseTopologyFlags(flags, &replicas, &ack)) {
     return kExitUsage;
   }
   if (dir.empty()) return Usage();
@@ -823,6 +873,8 @@ int CmdMutate(const std::map<std::string, std::string>& flags) {
   fesia::shard::ShardedIndexOptions sopts;
   sopts.store_dir = dir;
   sopts.max_generations = keep;
+  sopts.replication_factor = replicas;
+  sopts.ack_policy = ack;
   if (budget_bytes > 0) {
     budget = std::make_unique<fesia::MemoryBudget>(budget_bytes, nullptr,
                                                    "cli-mutate");
@@ -880,6 +932,15 @@ int CmdMutate(const std::map<std::string, std::string>& flags) {
               "%llu open wal byte(s)\n", routed_shard, ms.pending_docs,
               static_cast<unsigned long long>(ms.pending_bytes),
               static_cast<unsigned long long>(ms.wal_open_bytes));
+  if (replicas > 1) {
+    fesia::shard::ReplicaSet* rs = sharded->replica_set(routed_shard);
+    if (rs != nullptr) {
+      std::printf("replication in shard-%02u: %u/%u replica(s) serving, "
+                  "acked through seq %llu\n", routed_shard,
+                  rs->serving_replicas(), rs->num_replicas(),
+                  static_cast<unsigned long long>(rs->last_acked_seq()));
+    }
+  }
   return kExitOk;
 }
 
@@ -887,12 +948,15 @@ int CmdFlush(const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "dir", "");
   uint64_t shards = 0, docs = 0, terms = 0, seed = 0, keep = 0;
   uint64_t budget_bytes = 0;
+  uint32_t replicas = 1;
+  fesia::shard::AckPolicy ack = fesia::shard::AckPolicy::kAll;
   if (!ParseU64Flag(flags, "shards", 1, &shards) ||
       !ParseU64Flag(flags, "docs", 20000, &docs) ||
       !ParseU64Flag(flags, "terms", 500, &terms) ||
       !ParseU64Flag(flags, "seed", 1, &seed) ||
       !ParseU64Flag(flags, "keep", 3, &keep) ||
-      !ParseSizeFlag(flags, "memory-budget", 0, &budget_bytes)) {
+      !ParseSizeFlag(flags, "memory-budget", 0, &budget_bytes) ||
+      !ParseTopologyFlags(flags, &replicas, &ack)) {
     return kExitUsage;
   }
   if (dir.empty()) return Usage();
@@ -907,6 +971,8 @@ int CmdFlush(const std::map<std::string, std::string>& flags) {
   fesia::shard::ShardedIndexOptions sopts;
   sopts.store_dir = dir;
   sopts.max_generations = keep;
+  sopts.replication_factor = replicas;
+  sopts.ack_policy = ack;
   if (budget_bytes > 0) {
     budget = std::make_unique<fesia::MemoryBudget>(budget_bytes, nullptr,
                                                    "cli-flush");
@@ -979,9 +1045,10 @@ int CmdFlush(const std::map<std::string, std::string>& flags) {
 // stream `snapshot recover` into jq or a log pipeline. Human-oriented
 // errors stay on stderr.
 void PrintRecoveryEventsJson(const fesia::store::RecoveryReport& report,
-                             int shard) {
-  auto shard_field = [shard] {
+                             int shard, int replica) {
+  auto shard_field = [shard, replica] {
     if (shard >= 0) std::printf(",\"shard\":%d", shard);
+    if (replica >= 0) std::printf(",\"replica\":%d", replica);
   };
   for (uint64_t g : report.quarantined) {
     std::printf("{\"event\":\"quarantined\"");
@@ -1002,16 +1069,19 @@ void PrintRecoveryEventsJson(const fesia::store::RecoveryReport& report,
 }
 
 // Opens (and recovers) one store, emitting its JSON event lines; `shard`
-// >= 0 tags every line with the shard id. Returns the store's exit code.
-int RecoverOneStore(const std::string& dir, uint64_t keep, int shard) {
+// >= 0 tags every line with the shard id, `replica` >= 0 with the replica
+// id (replicated layouts only). Returns the store's exit code.
+int RecoverOneStore(const std::string& dir, uint64_t keep, int shard,
+                    int replica = -1) {
   fesia::store::SnapshotStoreOptions opts;
   opts.dir = dir;
   opts.max_generations = keep;
   fesia::store::RecoveryReport report;
   auto opened = fesia::store::SnapshotStore::Open(opts, &report);
-  PrintRecoveryEventsJson(report, shard);
+  PrintRecoveryEventsJson(report, shard, replica);
   std::printf("{\"event\":\"store\"");
   if (shard >= 0) std::printf(",\"shard\":%d", shard);
+  if (replica >= 0) std::printf(",\"replica\":%d", replica);
   int code = kExitOk;
   if (opened.ok()) {
     std::printf(",\"ok\":true,\"generations\":%zu,\"current\":%llu}\n",
@@ -1034,6 +1104,7 @@ int RecoverOneStore(const std::string& dir, uint64_t keep, int shard) {
   auto log = fesia::store::WriteAheadLog::Open(dir, nullptr, &wal);
   std::printf("{\"event\":\"wal\"");
   if (shard >= 0) std::printf(",\"shard\":%d", shard);
+  if (replica >= 0) std::printf(",\"replica\":%d", replica);
   if (log.ok()) {
     std::printf(",\"ok\":true,\"segments\":%zu,\"records\":%zu,"
                 "\"last_seq\":%llu,\"replayed_bytes\":%llu,"
@@ -1059,36 +1130,58 @@ int CmdSnapshot(const std::string& sub,
                 const std::map<std::string, std::string>& flags) {
   std::string dir = FlagOr(flags, "dir", "");
   if (dir.empty()) return Usage();
-  uint64_t keep = 0, shards = 0;
+  uint64_t keep = 0, shards = 0, replicas = 1;
   if (!ParseU64Flag(flags, "keep", 3, &keep) ||
-      !ParseU64Flag(flags, "shards", 0, &shards)) {
+      !ParseU64Flag(flags, "shards", 0, &shards) ||
+      !ParseU64Flag(flags, "replicas", 1, &replicas)) {
     return kExitUsage;
   }
   if (keep == 0) {
     std::fprintf(stderr, "fesia_cli: --keep must be positive\n");
     return kExitUsage;
   }
-  if (shards > 0 && sub != "recover") {
-    std::fprintf(stderr, "fesia_cli: --shards applies only to snapshot "
-                 "recover\n");
+  if ((shards > 0 || replicas > 1) && sub != "recover") {
+    std::fprintf(stderr, "fesia_cli: --shards and --replicas apply only to "
+                 "snapshot recover\n");
     return kExitUsage;
   }
   if (shards > 256) {
     std::fprintf(stderr, "fesia_cli: --shards must be at most 256\n");
     return kExitUsage;
   }
+  if (replicas == 0 || replicas > 8) {
+    std::fprintf(stderr, "fesia_cli: --replicas must be in [1, 8]\n");
+    return kExitUsage;
+  }
+  if (replicas > 1 && shards == 0) {
+    std::fprintf(stderr, "fesia_cli: --replicas requires --shards (the "
+                 "replicated layout is DIR/shard-NN/replica-MM)\n");
+    return kExitUsage;
+  }
   if (sub == "recover") {
     if (shards == 0) return RecoverOneStore(dir, keep, /*shard=*/-1);
-    // Sharded layout: recover every DIR/shard-NN store independently and
-    // report the worst exit code, so one dead shard is visible without
-    // hiding the healthy ones.
+    // Sharded layout: recover every DIR/shard-NN store (or, replicated,
+    // every DIR/shard-NN/replica-MM store) independently and report the
+    // worst exit code, so one dead store is visible without hiding the
+    // healthy ones.
     int worst = kExitOk;
     for (uint64_t s = 0; s < shards; ++s) {
-      char sub_dir[16];
+      char sub_dir[32];
       std::snprintf(sub_dir, sizeof(sub_dir), "shard-%02llu",
                     static_cast<unsigned long long>(s));
-      worst = std::max(worst, RecoverOneStore(dir + "/" + sub_dir, keep,
-                                              static_cast<int>(s)));
+      if (replicas == 1) {
+        worst = std::max(worst, RecoverOneStore(dir + "/" + sub_dir, keep,
+                                                static_cast<int>(s)));
+        continue;
+      }
+      for (uint64_t r = 0; r < replicas; ++r) {
+        char rep_dir[32];
+        std::snprintf(rep_dir, sizeof(rep_dir), "replica-%02llu",
+                      static_cast<unsigned long long>(r));
+        worst = std::max(
+            worst, RecoverOneStore(dir + "/" + sub_dir + "/" + rep_dir, keep,
+                                   static_cast<int>(s), static_cast<int>(r)));
+      }
     }
     return worst;
   }
