@@ -1,0 +1,308 @@
+// Closed-loop load generator for the network front door (src/serve/).
+//
+// Spins up an in-process epoll Server over a memory-resident sharded index,
+// then drives it through real loopback sockets: each client thread keeps
+// exactly one batch request in flight (send, block on the response line,
+// repeat), sampling term sets from a Zipf distribution so the hot head
+// repeats — the shape the epoch-invalidated result cache is built for.
+//
+// Reports per arm: achieved QPS, request-latency p50/p95/p99 against a p99
+// SLO, and the server-side cache hit rate. Arms cover cache-off vs cache-on
+// at two skews plus the docs-returning query op, so the JSON summary
+// (default BENCH_serve.json, overridable via argv[1]) tracks both raw
+// front-door throughput and the cache's skew sensitivity per PR.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/zipf.h"
+#include "index/inverted_index.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_index.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace fesia;
+using namespace fesia::bench;
+
+// p99 SLO the arms are judged against. Loopback with an in-process backend
+// should clear this with room; a regression that breaks it is a serve-path
+// problem, not a network one.
+constexpr double kSloP99Ms = 50.0;
+
+struct Arm {
+  const char* name;
+  serve::Op op;
+  double theta;     // Zipf skew of the term stream
+  bool use_cache;   // "cache":false on every request when off
+};
+
+struct ArmResult {
+  std::string name;
+  uint64_t requests = 0;
+  uint64_t queries = 0;
+  double wall_s = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double hit_rate = 0;  // server-side cache hits / (hits + misses)
+  double qps = 0;       // whole batches per second
+  double queries_per_s = 0;
+};
+
+/// Blocking loopback client: one request line out, one response line back.
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ok_ = fd_ >= 0 &&
+          ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    if (ok_) {
+      int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ok() const { return ok_; }
+
+  bool Roundtrip(const std::string& line) {
+    size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n =
+          ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    while (buf_.find('\n') == std::string::npos) {
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t nl = buf_.find('\n');
+    const bool ok = buf_.compare(0, 11, "{\"ok\":true,") == 0;
+    buf_.erase(0, nl + 1);
+    return ok;
+  }
+
+ private:
+  int fd_ = -1;
+  bool ok_ = false;
+  std::string buf_;
+};
+
+/// One Zipf-sampled batch request line. Term ids are the Zipf ranks
+/// directly: BuildSynthetic also assigns frequency by rank, so rank 0 is
+/// both the hottest query term and the longest posting list — the same
+/// head-heavy coupling a real inverted-index front door sees.
+std::string BuildLine(serve::Op op, const datagen::ZipfDistribution& zipf,
+                      Rng& rng, size_t batch, bool use_cache) {
+  std::string line = "{\"op\":";
+  line += op == serve::Op::kCount ? "\"count\"" : "\"query\"";
+  if (!use_cache) line += ",\"cache\":false";
+  line += ",\"queries\":[";
+  for (size_t q = 0; q < batch; ++q) {
+    if (q > 0) line += ',';
+    line += '[';
+    const size_t terms = 2 + rng.Next64() % 3;
+    for (size_t t = 0; t < terms; ++t) {
+      if (t > 0) line += ',';
+      line += std::to_string(zipf.Sample(rng));
+    }
+    line += ']';
+  }
+  line += "]}\n";
+  return line;
+}
+
+double PercentileMs(std::vector<double>& sorted_s, double p) {
+  if (sorted_s.empty()) return 0;
+  const size_t i = std::min(sorted_s.size() - 1,
+                            static_cast<size_t>(p * sorted_s.size()));
+  return sorted_s[i] * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  PrintBanner("Network front door — closed-loop socket load",
+              "line-JSON batches over loopback TCP; Zipf term streams make "
+              "the epoch-invalidated result cache earn its keep");
+
+  // Quick mode keeps the whole sweep in low single-digit seconds so
+  // scripts/check.sh can run it as a smoke test; FESIA_BENCH_FULL=1 scales
+  // the corpus and the per-client request count for real measurements.
+  const size_t kScale = ScaleParam(1, 8);
+  const size_t kClients = ScaleParam(3, 8);
+  const size_t kRequestsPerClient = 120 * kScale;
+  const size_t kBatch = 8;
+
+  index::CorpusParams cp;
+  cp.num_docs = 8000 * kScale;
+  cp.num_terms = 400;
+  cp.avg_terms_per_doc = 24;
+  cp.seed = 20260808;
+  index::InvertedIndex idx = index::InvertedIndex::BuildSynthetic(cp);
+
+  auto sharded = shard::ShardedIndex::Create(&idx, shard::ShardMap::Hash(2),
+                                             shard::ShardedIndexOptions{});
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "sharded create: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
+  shard::ShardedIndex index = std::move(sharded).value();
+  Status built = index.RebuildAll();
+  if (!built.ok()) {
+    std::fprintf(stderr, "rebuild: %s\n", built.ToString().c_str());
+    return 1;
+  }
+
+  serve::RouterBackend backend(&index, serve::RouterBackend::Options{});
+  serve::ResultCache::Options cache_options;
+  cache_options.max_bytes = 64u << 20;
+  serve::ResultCache cache(cache_options);
+  serve::ServerOptions server_options;
+  server_options.num_workers = 4;
+  server_options.cache = &cache;
+  serve::Server server(&backend, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  const Arm arms[] = {
+      {"count_uncached_z0.99", serve::Op::kCount, 0.99, false},
+      {"count_cached_z0.99", serve::Op::kCount, 0.99, true},
+      {"count_cached_z1.25", serve::Op::kCount, 1.25, true},
+      {"query_cached_z0.99", serve::Op::kQuery, 0.99, true},
+  };
+
+  std::vector<ArmResult> results;
+  TablePrinter table("front-door load (closed loop)");
+  table.SetHeader({"Arm", "QPS", "Queries/s", "p50 ms", "p99 ms",
+                   "SLO(" + Fmt(kSloP99Ms, 0) + "ms)", "Hit rate"});
+  for (const Arm& arm : arms) {
+    // A fresh cache per arm so hit rates aren't cross-contaminated by the
+    // previous arm's resident entries.
+    cache.Clear();
+    const serve::ServerStatsSnapshot before = server.stats();
+
+    std::vector<std::vector<double>> lat(kClients);
+    std::vector<std::thread> threads;
+    std::atomic<bool> failed{false};
+    WallTimer wall;
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        datagen::ZipfDistribution zipf(cp.num_terms, arm.theta);
+        Rng rng(0xC0FFEE + c * 977 + static_cast<uint64_t>(arm.theta * 100));
+        Client client(server.port());
+        if (!client.ok()) {
+          failed.store(true);
+          return;
+        }
+        lat[c].reserve(kRequestsPerClient);
+        for (size_t r = 0; r < kRequestsPerClient; ++r) {
+          const std::string line =
+              BuildLine(arm.op, zipf, rng, kBatch, arm.use_cache);
+          WallTimer t;
+          if (!client.Roundtrip(line)) {
+            failed.store(true);
+            return;
+          }
+          lat[c].push_back(t.Seconds());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double wall_s = wall.Seconds();
+    if (failed.load()) {
+      std::fprintf(stderr, "arm %s: a client failed mid-run\n", arm.name);
+      return 1;
+    }
+
+    const serve::ServerStatsSnapshot after = server.stats();
+    const uint64_t hits = after.cache_hits - before.cache_hits;
+    const uint64_t misses = after.cache_misses - before.cache_misses;
+
+    std::vector<double> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+
+    ArmResult r;
+    r.name = arm.name;
+    r.requests = all.size();
+    r.queries = all.size() * kBatch;
+    r.wall_s = wall_s;
+    r.p50_ms = PercentileMs(all, 0.50);
+    r.p95_ms = PercentileMs(all, 0.95);
+    r.p99_ms = PercentileMs(all, 0.99);
+    r.hit_rate = hits + misses ? static_cast<double>(hits) / (hits + misses)
+                               : 0.0;
+    r.qps = r.requests / wall_s;
+    r.queries_per_s = r.queries / wall_s;
+    results.push_back(r);
+    table.AddRow({r.name, Fmt(r.qps, 0), Fmt(r.queries_per_s, 0),
+                  Fmt(r.p50_ms, 3), Fmt(r.p99_ms, 3),
+                  r.p99_ms <= kSloP99Ms ? "met" : "MISSED",
+                  Fmt(100 * r.hit_rate, 1) + "%"});
+  }
+  table.Print();
+  server.Shutdown();
+
+  FILE* f = std::fopen(json_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"serve\",\n  \"clients\": %llu,\n"
+               "  \"batch\": %llu,\n  \"slo_p99_ms\": %.1f,\n"
+               "  \"results\": [\n",
+               static_cast<unsigned long long>(kClients),
+               static_cast<unsigned long long>(kBatch), kSloP99Ms);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ArmResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"arm\": \"%s\", \"requests\": %llu, \"wall_sec\": %.3f,\n"
+        "     \"qps\": %.1f, \"queries_per_sec\": %.1f,\n"
+        "     \"latency_p50_ms\": %.3f, \"latency_p95_ms\": %.3f, "
+        "\"latency_p99_ms\": %.3f,\n"
+        "     \"slo_met\": %s, \"cache_hit_rate\": %.4f}%s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.requests), r.wall_s,
+        r.qps, r.queries_per_s, r.p50_ms, r.p95_ms, r.p99_ms,
+        r.p99_ms <= kSloP99Ms ? "true" : "false", r.hit_rate,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path);
+  return 0;
+}

@@ -78,6 +78,23 @@ for preset in default asan ubsan tsan; do
     echo "=== [$preset] fused count path (ctest -L countpath) ==="
     ctest --preset "$preset" -L countpath -j "$jobs"
   fi
+  # Front-door gate: the serve suite (protocol fuzz corpus, result-cache
+  # epoch rules, live-socket e2e incl. slowloris/oversize/mid-batch
+  # disconnect, the cached-vs-uncached byte-identity oracle) by label.
+  # ASan covers the framing and response buffers; TSan is load-bearing for
+  # the epoll loop racing workers, shutdown, and hot-swap epoch bumps.
+  if [ "$preset" = default ] || [ "$preset" = asan ] || [ "$preset" = tsan ]; then
+    echo "=== [$preset] network front door (ctest -L serve) ==="
+    ctest --preset "$preset" -L serve -j "$jobs"
+  fi
+  # Closed-loop socket smoke: drive the server through real loopback
+  # connections at quick scale (seconds, not minutes). Default preset only
+  # — the sanitizer presets build with FESIA_BUILD_BENCHMARKS=OFF.
+  if [ "$preset" = default ]; then
+    echo "=== [$preset] serve load smoke (bench_serve, quick scale) ==="
+    timeout 300 "$bindir/bench/bench_serve" /tmp/BENCH_serve_smoke.json \
+      || { echo "bench_serve smoke failed under $preset"; exit 1; }
+  fi
 done
 
 echo "All presets passed."

@@ -1,0 +1,528 @@
+#include "serve/protocol.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstring>
+
+#include "util/json.h"
+
+namespace fesia::serve {
+namespace {
+
+constexpr size_t kMaxDepth = 8;
+
+/// True when `s` is well-formed UTF-8. The wire format is JSON, whose
+/// text is UTF-8 by specification; rejecting bad bytes up front keeps the
+/// parser's inner loops byte-oriented and makes the adversarial
+/// invalid-UTF-8 input a clean kInvalidArgument instead of a judgment
+/// call deep inside string handling.
+bool ValidUtf8(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    size_t len;
+    uint32_t cp;
+    if (c < 0x80) {
+      ++i;
+      continue;
+    } else if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      cp = c & 0x1F;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      cp = c & 0x0F;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      cp = c & 0x07;
+    } else {
+      return false;  // continuation or invalid lead byte
+    }
+    if (i + len > s.size()) return false;
+    for (size_t k = 1; k < len; ++k) {
+      const unsigned char cc = static_cast<unsigned char>(s[i + k]);
+      if ((cc & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (cc & 0x3F);
+    }
+    // Overlongs, surrogates, and out-of-range code points are invalid.
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000) || cp > 0x10FFFF ||
+        (cp >= 0xD800 && cp <= 0xDFFF)) {
+      return false;
+    }
+    i += len;
+  }
+  return true;
+}
+
+/// Cursor over one request line. All Parse* methods return false with
+/// `error` set on malformed input; none of them throw or read past end.
+struct Cursor {
+  std::string_view s;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const char* what) {
+    if (error.empty()) {
+      error = what;
+      error += " at byte ";
+      error += std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\r' || s[pos] == '\n')) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos >= s.size();
+  }
+
+  int Peek() {
+    SkipWs();
+    return pos < s.size() ? static_cast<unsigned char>(s[pos]) : -1;
+  }
+
+  bool Expect(char c, const char* what) {
+    SkipWs();
+    if (pos >= s.size() || s[pos] != c) return Fail(what);
+    ++pos;
+    return true;
+  }
+
+  bool ConsumeIf(char c) {
+    SkipWs();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit, const char* what) {
+    SkipWs();
+    if (s.substr(pos, lit.size()) != lit) return Fail(what);
+    pos += lit.size();
+    return true;
+  }
+
+  /// JSON string token -> decoded bytes (escapes resolved, \uXXXX encoded
+  /// as UTF-8 with surrogate pairs combined).
+  bool ParseString(std::string* out) {
+    if (!Expect('"', "expected string")) return false;
+    out->clear();
+    while (true) {
+      if (pos >= s.size()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(s[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos;
+        continue;
+      }
+      ++pos;  // backslash
+      if (pos >= s.size()) return Fail("truncated escape");
+      const char e = s[pos++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!ParseHex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (pos + 1 >= s.size() || s[pos] != '\\' || s[pos + 1] != 'u') {
+              return Fail("unpaired surrogate");
+            }
+            pos += 2;
+            uint32_t lo = 0;
+            if (!ParseHex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return Fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape");
+      }
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos + 4 > s.size()) return Fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (size_t k = 0; k < 4; ++k) {
+      const char c = s[pos + k];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Fail("invalid \\u escape");
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  /// JSON number -> double. Rejects non-finite results and malformed
+  /// tokens (from_chars enforces the grammar closely enough after a
+  /// leading-character check).
+  bool ParseNumber(double* out) {
+    SkipWs();
+    const size_t start = pos;
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    if (pos >= s.size() || s[pos] < '0' || s[pos] > '9') {
+      pos = start;
+      return Fail("expected number");
+    }
+    if (s[pos] == '0' && pos + 1 < s.size() && s[pos + 1] >= '0' &&
+        s[pos + 1] <= '9') {
+      pos = start;
+      return Fail("leading zero in number");  // JSON forbids 01
+    }
+    while (pos < s.size() &&
+           ((s[pos] >= '0' && s[pos] <= '9') || s[pos] == '.' ||
+            s[pos] == 'e' || s[pos] == 'E' || s[pos] == '+' ||
+            s[pos] == '-')) {
+      ++pos;
+    }
+    double v = 0;
+    const auto [end, ec] =
+        std::from_chars(s.data() + start, s.data() + pos, v);
+    if (ec != std::errc() || end != s.data() + pos || !std::isfinite(v)) {
+      pos = start;
+      return Fail("malformed number");
+    }
+    *out = v;
+    return true;
+  }
+
+  /// Non-negative integer token -> uint64 (no sign, fraction, exponent).
+  bool ParseUInt(uint64_t* out) {
+    SkipWs();
+    const size_t start = pos;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos;
+    if (pos == start) return Fail("expected unsigned integer");
+    if (s[start] == '0' && pos - start > 1) {
+      return Fail("leading zero in number");  // JSON forbids 01
+    }
+    if (pos < s.size() &&
+        (s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E')) {
+      return Fail("expected integer, got fraction/exponent");
+    }
+    const auto [end, ec] =
+        std::from_chars(s.data() + start, s.data() + pos, *out);
+    if (ec != std::errc() || end != s.data() + pos) {
+      return Fail("integer out of range");
+    }
+    return true;
+  }
+
+  bool ParseBool(bool* out) {
+    if (Peek() == 't') {
+      if (!ConsumeLiteral("true", "expected boolean")) return false;
+      *out = true;
+      return true;
+    }
+    if (Peek() == 'f') {
+      if (!ConsumeLiteral("false", "expected boolean")) return false;
+      *out = false;
+      return true;
+    }
+    return Fail("expected boolean");
+  }
+
+  /// Skips one arbitrary JSON value (unknown request keys), bounded by
+  /// kMaxDepth so crafted nesting cannot recurse unboundedly.
+  bool SkipValue(size_t depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    switch (Peek()) {
+      case '"': {
+        std::string scratch;
+        return ParseString(&scratch);
+      }
+      case '{': {
+        ++pos;
+        if (ConsumeIf('}')) return true;
+        while (true) {
+          std::string key;
+          if (!ParseString(&key)) return false;
+          if (!Expect(':', "expected ':'")) return false;
+          if (!SkipValue(depth + 1)) return false;
+          if (ConsumeIf(',')) continue;
+          return Expect('}', "expected '}' or ','");
+        }
+      }
+      case '[': {
+        ++pos;
+        if (ConsumeIf(']')) return true;
+        while (true) {
+          if (!SkipValue(depth + 1)) return false;
+          if (ConsumeIf(',')) continue;
+          return Expect(']', "expected ']' or ','");
+        }
+      }
+      case 't':
+        return ConsumeLiteral("true", "malformed literal");
+      case 'f':
+        return ConsumeLiteral("false", "malformed literal");
+      case 'n':
+        return ConsumeLiteral("null", "malformed literal");
+      default: {
+        double scratch;
+        return ParseNumber(&scratch);
+      }
+    }
+  }
+};
+
+bool ParsePriority(const std::string& name, index::QueryPriority* out) {
+  if (name == "low") *out = index::QueryPriority::kLow;
+  else if (name == "normal") *out = index::QueryPriority::kNormal;
+  else if (name == "high") *out = index::QueryPriority::kHigh;
+  else return false;
+  return true;
+}
+
+/// "queries":[[t1,t2,...],...] with both limits enforced during the scan,
+/// so an oversized batch fails before its memory is allocated.
+bool ParseQueries(Cursor& c, const ParseLimits& limits,
+                  std::vector<std::vector<uint32_t>>* out) {
+  if (!c.Expect('[', "expected query array")) return false;
+  out->clear();
+  if (c.ConsumeIf(']')) return true;
+  while (true) {
+    if (out->size() >= limits.max_queries) {
+      return c.Fail("too many queries in batch");
+    }
+    if (!c.Expect('[', "expected term array")) return false;
+    std::vector<uint32_t> terms;
+    if (!c.ConsumeIf(']')) {
+      while (true) {
+        if (terms.size() >= limits.max_terms_per_query) {
+          return c.Fail("too many terms in query");
+        }
+        uint64_t term;
+        if (!c.ParseUInt(&term)) return false;
+        if (term > UINT32_MAX) return c.Fail("term id out of range");
+        terms.push_back(static_cast<uint32_t>(term));
+        if (c.ConsumeIf(',')) continue;
+        if (!c.Expect(']', "expected ']' or ','")) return false;
+        break;
+      }
+    }
+    out->push_back(std::move(terms));
+    if (c.ConsumeIf(',')) continue;
+    return c.Expect(']', "expected ']' or ','");
+  }
+}
+
+void AppendStatsJson(std::string& out, const index::BatchStats& stats) {
+  out += "\"stats\":{\"wall_seconds\":";
+  AppendJsonDouble(out, stats.wall_seconds);
+  out += ",\"queries_per_second\":";
+  AppendJsonDouble(out, stats.queries_per_second);
+  out += ",\"latency_p50\":";
+  AppendJsonDouble(out, stats.latency_p50);
+  out += ",\"latency_p95\":";
+  AppendJsonDouble(out, stats.latency_p95);
+  out += ",\"latency_max\":";
+  AppendJsonDouble(out, stats.latency_max);
+  out += ",\"ok\":" + std::to_string(stats.ok);
+  out += ",\"deadline_exceeded\":" + std::to_string(stats.deadline_exceeded);
+  out += ",\"shed\":" + std::to_string(stats.shed);
+  out += ",\"failed\":" + std::to_string(stats.failed);
+  out += ",\"retries\":" + std::to_string(stats.retries);
+  out += ",\"downgrades\":" + std::to_string(stats.downgrades);
+  out += ",\"pressure_shed\":" + std::to_string(stats.pressure_shed);
+  out += ",\"pressure_downgrades\":" +
+         std::to_string(stats.pressure_downgrades);
+  out += '}';
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  return op == Op::kCount ? "count" : "query";
+}
+
+Status ParseRequest(std::string_view line, const ParseLimits& limits,
+                    Request* out) {
+  *out = Request();
+  if (!ValidUtf8(line)) {
+    return Status::InvalidArgument("request is not valid UTF-8");
+  }
+  Cursor c{line, 0, {}};
+  bool saw_op = false, saw_queries = false;
+  if (!c.Expect('{', "expected request object")) {
+    return Status::InvalidArgument(c.error);
+  }
+  if (!c.ConsumeIf('}')) {
+    while (true) {
+      std::string key;
+      if (!c.ParseString(&key) || !c.Expect(':', "expected ':'")) {
+        return Status::InvalidArgument(c.error);
+      }
+      bool field_ok = true;
+      if (key == "op") {
+        std::string name;
+        field_ok = c.ParseString(&name);
+        if (field_ok) {
+          if (name == "count") out->op = Op::kCount;
+          else if (name == "query") out->op = Op::kQuery;
+          else return Status::InvalidArgument(
+              "unknown op \"" + JsonEscape(name) + "\"");
+          saw_op = true;
+        }
+      } else if (key == "queries") {
+        field_ok = ParseQueries(c, limits, &out->queries);
+        saw_queries = field_ok;
+      } else if (key == "deadline_ms") {
+        double ms;
+        field_ok = c.ParseNumber(&ms);
+        if (field_ok && ms < 0) {
+          return Status::InvalidArgument("deadline_ms must be >= 0");
+        }
+        if (field_ok) out->query_deadline_seconds = ms / 1000.0;
+      } else if (key == "batch_deadline_ms") {
+        double ms;
+        field_ok = c.ParseNumber(&ms);
+        if (field_ok && ms < 0) {
+          return Status::InvalidArgument("batch_deadline_ms must be >= 0");
+        }
+        if (field_ok) out->batch_deadline_seconds = ms / 1000.0;
+      } else if (key == "priority") {
+        std::string name;
+        field_ok = c.ParseString(&name);
+        if (field_ok && !ParsePriority(name, &out->priority)) {
+          return Status::InvalidArgument(
+              "unknown priority \"" + JsonEscape(name) + "\"");
+        }
+      } else if (key == "cache") {
+        field_ok = c.ParseBool(&out->use_cache);
+      } else if (key == "id") {
+        field_ok = c.ParseUInt(&out->id);
+        if (field_ok) out->has_id = true;
+      } else {
+        field_ok = c.SkipValue(1);  // forward compatibility
+      }
+      if (!field_ok) return Status::InvalidArgument(c.error);
+      if (c.ConsumeIf(',')) continue;
+      if (!c.Expect('}', "expected '}' or ','")) {
+        return Status::InvalidArgument(c.error);
+      }
+      break;
+    }
+  }
+  if (!c.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after request object");
+  }
+  if (!saw_op) return Status::InvalidArgument("missing required key \"op\"");
+  if (!saw_queries) {
+    return Status::InvalidArgument("missing required key \"queries\"");
+  }
+  return Status::Ok();
+}
+
+std::string BuildResultJson(const WireResult& result, Op op) {
+  std::string out;
+  out.reserve(96 + result.docs.size() * 8);
+  out += "{\"outcome\":\"";
+  out += index::QueryOutcomeName(result.outcome);
+  out += '"';
+  if (result.code != StatusCode::kOk) {
+    out += ",\"code\":\"";
+    out += StatusCodeName(result.code);
+    out += '"';
+  }
+  out += ",\"count\":" + std::to_string(result.count);
+  if (op == Op::kQuery) {
+    out += ",\"docs\":[";
+    for (size_t i = 0; i < result.docs.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(result.docs[i]);
+    }
+    out += ']';
+  }
+  out += ",\"shards_answered\":" + std::to_string(result.shards_answered);
+  out += ",\"shards_total\":" + std::to_string(result.shards_total);
+  out += ",\"attempts\":" + std::to_string(result.attempts);
+  out += ",\"downgraded\":";
+  out += result.downgraded ? "true" : "false";
+  out += ",\"pressure_affected\":";
+  out += result.pressure_affected ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+std::string BuildResponseLine(const Request& request,
+                              std::span<const std::string> results,
+                              const index::BatchStats& stats,
+                              uint64_t cache_hits, uint64_t cache_misses) {
+  std::string out;
+  out += "{\"ok\":true";
+  if (request.has_id) out += ",\"id\":" + std::to_string(request.id);
+  out += ",\"op\":\"";
+  out += OpName(request.op);
+  out += "\",\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out += ',';
+    out += results[i];
+  }
+  out += "],";
+  AppendStatsJson(out, stats);
+  out += ",\"cache\":{\"hits\":" + std::to_string(cache_hits);
+  out += ",\"misses\":" + std::to_string(cache_misses);
+  out += "}}\n";
+  return out;
+}
+
+std::string BuildErrorLine(const Status& status, const Request* request) {
+  std::string out;
+  out += "{\"ok\":false";
+  if (request != nullptr && request->has_id) {
+    out += ",\"id\":" + std::to_string(request->id);
+  }
+  out += ",\"error\":{\"code\":\"";
+  out += StatusCodeName(status.code());
+  out += "\",\"message\":";
+  AppendJsonString(out, status.message());
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace fesia::serve

@@ -1,0 +1,119 @@
+// Line-oriented JSON protocol of the network front door (docs/API.md,
+// "Serving" — the authoritative grammar lives there).
+//
+// One request line = one batch:
+//
+//   {"op":"count","queries":[[t1,t2,...],...],"deadline_ms":50,
+//    "batch_deadline_ms":200,"priority":"high","cache":true,"id":7}
+//
+// One response line per request, in request order per connection:
+//
+//   {"ok":true,"id":7,"op":"count","results":[{...},...],
+//    "stats":{...},"cache":{"hits":H,"misses":M}}
+//   {"ok":false,"id":7,"error":{"code":"invalid-argument",
+//    "message":"..."}}
+//
+// The per-query objects in "results" mirror QueryResult /
+// RoutedQueryResult and contain only fields that are deterministic for a
+// given index content (outcome, code, count, docs, shard coverage,
+// attempts, downgraded, pressure_affected) — never latency — so the
+// result cache can replay them byte-identically and the oracle test can
+// compare cached and uncached runs as raw bytes. Latency and throughput
+// live in "stats", which is execution metadata and is never cached.
+//
+// The parser is hand-rolled, allocation-bounded, and adversarial-input
+// hardened (tests/serve_test.cc): depth-limited, size-limited via
+// ParseLimits, strict about types, and treats any malformed byte —
+// truncation, bad UTF-8 escapes, numbers out of range — as a
+// kInvalidArgument Status, never UB. Every emitted string goes through
+// util/json.h escaping and every number through locale-independent
+// formatting.
+#ifndef FESIA_SERVE_PROTOCOL_H_
+#define FESIA_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/query_engine.h"
+#include "util/status.h"
+
+namespace fesia::serve {
+
+enum class Op : uint8_t {
+  kCount = 0,  // counts only — the fused count kernels, no materialization
+  kQuery = 1,  // materialized ascending doc ids
+};
+
+/// Stable wire name ("count" / "query").
+const char* OpName(Op op);
+
+/// One parsed request line.
+struct Request {
+  Op op = Op::kCount;
+  std::vector<std::vector<uint32_t>> queries;
+  /// Per-query budget from "deadline_ms" (seconds; 0 = none).
+  double query_deadline_seconds = 0;
+  /// Whole-batch budget from "batch_deadline_ms" (seconds; 0 = none).
+  double batch_deadline_seconds = 0;
+  index::QueryPriority priority = index::QueryPriority::kNormal;
+  /// "cache":false opts the request out of the result cache (both lookup
+  /// and insert) — the oracle test's uncached arm.
+  bool use_cache = true;
+  bool has_id = false;
+  uint64_t id = 0;
+};
+
+/// Input bounds the parser enforces before any work is admitted.
+struct ParseLimits {
+  size_t max_queries = 4096;
+  size_t max_terms_per_query = 256;
+};
+
+/// Parses one request line (without the trailing newline). Unknown keys
+/// are skipped (forward compatibility); missing/ill-typed required keys,
+/// exceeded limits, malformed JSON, trailing garbage, and nesting beyond
+/// the protocol's fixed depth all return kInvalidArgument. When the line
+/// carried a parseable "id" before the error, *out keeps it so the error
+/// response can echo it.
+Status ParseRequest(std::string_view line, const ParseLimits& limits,
+                    Request* out);
+
+/// One query's deterministic wire result (see the file comment). The
+/// serve backend fills it from RoutedQueryResult.
+struct WireResult {
+  index::QueryOutcome outcome = index::QueryOutcome::kOk;
+  /// Status code explaining a non-ok outcome (kOk otherwise).
+  StatusCode code = StatusCode::kOk;
+  uint64_t count = 0;
+  /// Materialized docs (op == kQuery only).
+  std::vector<uint32_t> docs;
+  uint32_t shards_answered = 0;
+  uint32_t shards_total = 0;
+  int attempts = 0;
+  bool downgraded = false;
+  bool pressure_affected = false;
+};
+
+/// Serializes one WireResult as its response-line JSON object — the exact
+/// bytes the result cache stores and replays.
+std::string BuildResultJson(const WireResult& result, Op op);
+
+/// Builds the success response line (newline included): request id (when
+/// present), per-query result objects verbatim (cached bytes splice in
+/// unmodified), merged BatchStats, and this request's cache hit/miss
+/// split.
+std::string BuildResponseLine(const Request& request,
+                              std::span<const std::string> results,
+                              const index::BatchStats& stats,
+                              uint64_t cache_hits, uint64_t cache_misses);
+
+/// Builds the error response line (newline included). `id` echoes the
+/// request id when the line got far enough to carry one.
+std::string BuildErrorLine(const Status& status, const Request* request);
+
+}  // namespace fesia::serve
+
+#endif  // FESIA_SERVE_PROTOCOL_H_

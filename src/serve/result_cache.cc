@@ -1,0 +1,181 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fesia::serve {
+namespace {
+
+/// 64-bit FNV-1a — stable across platforms (std::hash<std::string> is
+/// not), so shard placement and tests behave identically everywhere.
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+size_t NumShards(const ResultCache::Options& options) {
+  return RoundUpPow2(std::max<size_t>(1, options.num_shards));
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const Options& options)
+    : shard_cap_(options.max_bytes == 0
+                     ? 0
+                     : std::max<uint64_t>(1, options.max_bytes /
+                                                 NumShards(options))) {
+  const size_t n = NumShards(options);
+  shard_mask_ = n - 1;
+  MemoryBudget* budget = options.budget != nullptr ? options.budget
+                                                   : MemoryBudget::Unlimited();
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->charge = ScopedCharge(budget);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ResultCache::~ResultCache() = default;
+
+std::string ResultCache::Key(uint8_t op, std::span<const uint32_t> terms) {
+  std::string key;
+  key.reserve(1 + terms.size() * sizeof(uint32_t));
+  key.push_back(static_cast<char>(op));
+  for (uint32_t t : terms) {
+    char buf[sizeof(uint32_t)];
+    std::memcpy(buf, &t, sizeof(t));  // host order: the key never leaves
+    key.append(buf, sizeof(buf));     // this process
+  }
+  return key;
+}
+
+uint64_t ResultCache::EntryBytes(const Entry& e) {
+  // Key + value payloads plus a flat estimate of the list node, map slot,
+  // and string headers. An estimate is fine: the budget is a governance
+  // bound, not an allocator.
+  return e.key.size() + e.value.size() + 96;
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[Fnv1a(key) & shard_mask_];
+}
+
+void ResultCache::EraseLocked(Shard& shard, std::list<Entry>::iterator it) {
+  const uint64_t bytes = EntryBytes(*it);
+  shard.index.erase(std::string_view(it->key));
+  shard.lru.erase(it);
+  shard.bytes -= bytes;
+  shard.charge.Shrink(bytes);
+}
+
+bool ResultCache::Lookup(const std::string& key, uint64_t epoch,
+                         std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto found = shard.index.find(std::string_view(key));
+  if (found == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  auto it = found->second;
+  if (it->epoch < epoch) {
+    // Computed before the world changed: evict on sight so the stale
+    // bytes can never be served again.
+    EraseLocked(shard, it);
+    ++shard.stale_evictions;
+    ++shard.misses;
+    return false;
+  }
+  if (it->epoch > epoch) {
+    // A racing request that began after this one already refreshed the
+    // entry. It is valid for the newer epoch, not provably for ours —
+    // miss, but keep it.
+    ++shard.misses;
+    return false;
+  }
+  // Touch: move to the MRU end.
+  shard.lru.splice(shard.lru.end(), shard.lru, it);
+  if (value != nullptr) *value = it->value;
+  ++shard.hits;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key, uint64_t epoch,
+                         std::string_view value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto found = shard.index.find(std::string_view(key));
+  if (found != shard.index.end()) {
+    if (found->second->epoch > epoch) return;  // newer entry wins
+    EraseLocked(shard, found->second);
+  }
+  Entry entry;
+  entry.key = key;
+  entry.epoch = epoch;
+  entry.value.assign(value.data(), value.size());
+  const uint64_t bytes = EntryBytes(entry);
+  if (shard_cap_ != 0 && bytes > shard_cap_) {
+    ++shard.insert_failures;  // larger than the whole sub-cache
+    return;
+  }
+  // Evict cold entries until the cap and the budget both admit the entry.
+  while (shard_cap_ != 0 && shard.bytes + bytes > shard_cap_ &&
+         !shard.lru.empty()) {
+    EraseLocked(shard, shard.lru.begin());
+    ++shard.lru_evictions;
+  }
+  while (!shard.charge.Add(bytes, "result cache").ok()) {
+    if (shard.lru.empty()) {
+      ++shard.insert_failures;  // budget refuses even an empty shard
+      return;
+    }
+    EraseLocked(shard, shard.lru.begin());
+    ++shard.lru_evictions;
+  }
+  shard.bytes += bytes;
+  auto it = shard.lru.insert(shard.lru.end(), std::move(entry));
+  shard.index.emplace(std::string_view(it->key), it);
+  ++shard.inserts;
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();
+    shard->lru.clear();
+    shard->charge.Shrink(shard->bytes);
+    shard->bytes = 0;
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.inserts += shard->inserts;
+    out.lru_evictions += shard->lru_evictions;
+    out.stale_evictions += shard->stale_evictions;
+    out.insert_failures += shard->insert_failures;
+    out.entries += shard->lru.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+}  // namespace fesia::serve

@@ -1,0 +1,143 @@
+// Epoch-invalidated query-result cache for the network front door
+// (docs/ROBUSTNESS.md, "Network front door"; docs/API.md, "Serving").
+//
+// Zipf-skewed query streams repeat their hot term sets constantly — the
+// workloads of the paper's Fig. 11/12 make the head of the distribution
+// enormously cacheable — so the server keeps a TermSet → serialized-result
+// LRU in front of the ShardRouter and answers repeats in O(1) before any
+// intersection runs.
+//
+// Layout is the sharded-LRU ("multilru") idiom: entries are hash-
+// partitioned across N independent sub-caches, each a mutex + intrusive
+// LRU list + hash map with its own byte cap, so concurrent server workers
+// contend only 1/N of the time and eviction is O(1) per entry. Bytes are
+// charged into a MemoryBudget (the same governance tree as everything
+// else): a refused charge evicts cold entries to make room and, if the
+// budget still refuses, the insert is dropped — the cache degrades to a
+// miss, never to an OOM.
+//
+// Correctness contract (the cache-epoch oracle in tests/serve_test.cc
+// enforces byte-identity with an uncached run):
+//
+//   * every entry is tagged with the backend's content_epoch() read
+//     *before* the result was computed;
+//   * mutations bump the epoch only *after* they are visible to queries
+//     (IndexManager / ReplicaSet / ShardedIndex content_epoch), so a
+//     result computed against pre-mutation data but inserted late carries
+//     the old epoch and self-invalidates;
+//   * Lookup(key, epoch) serves an entry only when its tag equals the
+//     caller's pre-read epoch. An older tag is stale — the entry is
+//     evicted on sight. A newer tag (a racing insert from a request that
+//     began after this one) is a plain miss: the entry is kept for the
+//     newer requests it is valid for.
+//
+// Over-invalidation (quarantine flips, failed reloads) costs only a miss.
+#ifndef FESIA_SERVE_RESULT_CACHE_H_
+#define FESIA_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/memory_budget.h"
+
+namespace fesia::serve {
+
+/// Aggregated counters across all cache shards (monotonic except
+/// `entries`/`bytes`, which are live gauges).
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  /// Entries displaced to make room (capacity pressure).
+  uint64_t lru_evictions = 0;
+  /// Entries discarded because their epoch predated a lookup's.
+  uint64_t stale_evictions = 0;
+  /// Inserts dropped because the byte cap or budget refused even after
+  /// eviction.
+  uint64_t insert_failures = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+};
+
+class ResultCache {
+ public:
+  struct Options {
+    /// Independent sub-caches (rounded up to a power of two, min 1).
+    size_t num_shards = 8;
+    /// Byte cap across all shards (split evenly); 0 means uncapped here —
+    /// the budget below still governs.
+    uint64_t max_bytes = 64u << 20;
+    /// Budget the cache's bytes charge into; nullptr means
+    /// MemoryBudget::Unlimited(). Must outlive the cache.
+    MemoryBudget* budget = nullptr;
+  };
+
+  explicit ResultCache(const Options& options);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Cache key for one query: the op discriminator and the term list
+  /// verbatim (no sorting or dedup — the executed query is the cached
+  /// query, which keeps cached bytes trivially identical to uncached).
+  static std::string Key(uint8_t op, std::span<const uint32_t> terms);
+
+  /// Serves `key` if present and tagged exactly `epoch` (see the file
+  /// comment for the stale/newer rules). On a hit the entry is touched
+  /// (moved to the shard's MRU end) and *value receives the cached bytes.
+  bool Lookup(const std::string& key, uint64_t epoch, std::string* value);
+
+  /// Inserts (or refreshes) `key` tagged `epoch`. An existing entry with a
+  /// newer tag is kept; otherwise the entry is replaced. Evicts from the
+  /// shard's LRU end until the byte cap and budget admit the entry; drops
+  /// the insert (insert_failures) when they never do.
+  void Insert(const std::string& key, uint64_t epoch, std::string_view value);
+
+  /// Drops every entry (test/operator hook; stats keep their counters).
+  void Clear();
+
+  ResultCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t epoch = 0;
+    std::string value;
+  };
+  /// One sub-cache: LRU list (front = LRU, back = MRU) + key index.
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    uint64_t bytes = 0;
+    /// Live charge mirroring `bytes` into the budget.
+    ScopedCharge charge;
+    // Monotonic counters (guarded by mu; summed in stats()).
+    uint64_t hits = 0, misses = 0, inserts = 0;
+    uint64_t lru_evictions = 0, stale_evictions = 0, insert_failures = 0;
+  };
+
+  /// Charged footprint of one entry (key + value + bookkeeping estimate).
+  static uint64_t EntryBytes(const Entry& e);
+
+  Shard& ShardFor(const std::string& key);
+  /// Unlinks *it from the shard, returning its bytes to the budget.
+  /// Caller holds shard.mu.
+  void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
+
+  const uint64_t shard_cap_;  // per-shard byte cap; 0 = uncapped
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
+};
+
+}  // namespace fesia::serve
+
+#endif  // FESIA_SERVE_RESULT_CACHE_H_

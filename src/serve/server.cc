@@ -1,0 +1,648 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fesia::serve {
+
+namespace {
+
+/// Flat per-connection bookkeeping charge (socket, epoll slot, structs).
+constexpr uint64_t kConnBaseBytes = 4096;
+/// recv scratch chunk.
+constexpr size_t kReadChunk = 16 * 1024;
+
+std::string ErrnoMessage(const char* what) {
+  std::string msg = what;
+  msg += ": ";
+  msg += std::strerror(errno);
+  return msg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RouterBackend
+
+RouterBackend::RouterBackend(const shard::ShardedIndex* index,
+                             const Options& options)
+    : index_(index), router_(index), options_(options) {
+  FESIA_CHECK(index != nullptr);
+}
+
+uint64_t RouterBackend::ContentEpoch() const {
+  return index_->content_epoch();
+}
+
+std::vector<WireResult> RouterBackend::Run(
+    Op op, std::span<const std::vector<uint32_t>> queries,
+    const BackendOptions& options, index::BatchStats* stats) {
+  shard::RouterOptions ropts;
+  ropts.num_threads = options_.num_threads;
+  ropts.admission_capacity = options_.admission_capacity;
+  ropts.retry = options_.retry;
+  ropts.budget = options_.budget;
+  ropts.replica_failover = options_.replica_failover;
+  ropts.hedge_delay_seconds = options_.hedge_delay_seconds;
+  ropts.query_deadline_seconds = options.query_deadline_seconds;
+  ropts.batch_deadline_seconds = options.batch_deadline_seconds;
+  ropts.cancel = options.cancel;
+  ropts.priority = options.priority;
+
+  shard::ShardBatchStats routed_stats;
+  std::vector<shard::RoutedQueryResult> routed =
+      op == Op::kCount ? router_.CountBatch(queries, ropts, &routed_stats)
+                       : router_.QueryBatch(queries, ropts, &routed_stats);
+
+  std::vector<WireResult> out(routed.size());
+  for (size_t i = 0; i < routed.size(); ++i) {
+    const shard::RoutedQueryResult& r = routed[i];
+    WireResult& w = out[i];
+    w.outcome = r.outcome;
+    w.code = r.status.code();
+    w.count = r.count;
+    w.docs = std::move(routed[i].docs);
+    w.shards_answered = r.shards_answered;
+    w.shards_total = r.shards_total;
+    w.attempts = r.attempts;
+    w.downgraded = r.downgraded;
+    w.pressure_affected = r.pressure_affected;
+  }
+  if (stats != nullptr) *stats = routed_stats.merged;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+/// All connection state is owned by the epoll thread; workers only ever
+/// see the connection id and a copy of the request's cancel token.
+struct Server::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  /// Unframed input bytes (at most one incomplete line after framing).
+  std::string inbuf;
+  /// Complete lines awaiting dispatch (one request in flight at a time
+  /// keeps responses in request order).
+  std::deque<std::string> pending_lines;
+  /// Response bytes not yet accepted by the socket.
+  std::string outbuf;
+  size_t out_pos = 0;
+  bool want_write = false;
+  bool in_flight = false;
+  CancellationToken inflight_cancel;
+  /// Error already queued: flush the outbuf, then close; read no more.
+  bool close_after_flush = false;
+  /// Live budget charge covering inbuf + pending lines + unwritten
+  /// outbuf + kConnBaseBytes.
+  ScopedCharge charge;
+};
+
+Server::Server(ServeBackend* backend, const ServerOptions& options)
+    : backend_(backend),
+      options_(options),
+      budget_(options.budget != nullptr ? options.budget
+                                        : MemoryBudget::Unlimited()) {
+  FESIA_CHECK(backend_ != nullptr);
+  if (options_.num_workers == 0) options_.num_workers = 1;
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::Unavailable(ErrnoMessage("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("invalid bind address \"" +
+                               options_.bind_address + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    Status err = Status::Unavailable(ErrnoMessage("bind/listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return err;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status err = Status::Unavailable(ErrnoMessage("epoll/eventfd"));
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return err;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  FESIA_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  FESIA_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  epoll_thread_ = std::thread([this] { EpollLoop(); });
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void Server::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the epoll thread; it cancels in-flight tokens and closes every
+  // socket before exiting.
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (epoll_thread_.joinable()) epoll_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.clear();
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+ServerStatsSnapshot Server::stats() const {
+  ServerStatsSnapshot s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.connections_refused =
+      connections_refused_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.oversized_lines = oversized_lines_.load(std::memory_order_relaxed);
+  s.budget_refusals = budget_refusals_.load(std::memory_order_relaxed);
+  s.cancelled_inflight =
+      cancelled_inflight_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Epoll thread
+
+void Server::EpollLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone: shutting down
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      auto found = fd_to_conn_.find(fd);
+      if (found == fd_to_conn_.end()) continue;  // closed earlier this wake
+      const uint64_t conn_id = found->second;
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        CloseConnection(conn_id, /*cancelled_by_peer=*/true);
+        continue;
+      }
+      if (ev & (EPOLLIN | EPOLLRDHUP)) {
+        auto it = conns_.find(conn_id);
+        if (it != conns_.end()) HandleReadable(*it->second);
+      }
+      if (ev & EPOLLOUT) {
+        auto it = conns_.find(conn_id);  // may have closed in the read path
+        if (it != conns_.end()) HandleWritable(*it->second);
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+  }
+  // Cancel everything in flight and drop every connection so workers
+  // drain fast and no fd leaks.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) CloseConnection(id, /*cancelled_by_peer=*/false);
+}
+
+void Server::AcceptPending() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing to accept
+    if (conns_.size() >= options_.max_connections) {
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->charge = ScopedCharge(budget_);
+    if (!conn->charge.Add(kConnBaseBytes, "serve connection").ok()) {
+      // No budget for even the bookkeeping: refuse outright. The error
+      // line is best-effort (the socket buffer almost always takes it).
+      budget_refusals_.fetch_add(1, std::memory_order_relaxed);
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      const std::string line = BuildErrorLine(
+          Status::ResourceExhausted("connection refused: memory budget"),
+          nullptr);
+      (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    fd_to_conn_[fd] = conn->id;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_open_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::HandleReadable(Connection& conn) {
+  if (conn.close_after_flush) {
+    // Already refusing: drain and discard so the peer's window opens for
+    // our error line, but frame nothing new.
+    char scratch[kReadChunk];
+    while (::read(conn.fd, scratch, sizeof(scratch)) > 0) {
+    }
+    return;
+  }
+  const uint64_t conn_id = conn.id;
+  while (true) {
+    char scratch[kReadChunk];
+    const ssize_t n = ::read(conn.fd, scratch, sizeof(scratch));
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+      if (!conn.charge
+               .Add(static_cast<uint64_t>(n), "serve connection input")
+               .ok()) {
+        budget_refusals_.fetch_add(1, std::memory_order_relaxed);
+        RefuseAndClose(conn, Status::ResourceExhausted(
+                                 "request buffer exceeds memory budget"));
+        return;
+      }
+      conn.inbuf.append(scratch, static_cast<size_t>(n));
+      FrameLines(conn);
+      // FrameLines can refuse (oversized line); stop touching the
+      // connection once it is in teardown.
+      if (conns_.find(conn_id) == conns_.end() || conn.close_after_flush) {
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConnection(conn_id, /*cancelled_by_peer=*/true);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn_id, /*cancelled_by_peer=*/true);
+    return;
+  }
+  DispatchNext(conn);
+}
+
+void Server::FrameLines(Connection& conn) {
+  size_t start = 0;
+  bool oversized = false;
+  while (true) {
+    const size_t nl = conn.inbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    if (nl - start + 1 > options_.max_line_bytes) {
+      // A complete-but-huge line is refused exactly like an unterminated
+      // one — the cap bounds the line, not the read.
+      oversized = true;
+      break;
+    }
+    size_t len = nl - start;
+    if (len > 0 && conn.inbuf[start + len - 1] == '\r') --len;
+    if (len > 0) {
+      // The line's bytes stay charged (moved from inbuf accounting to
+      // pending-line accounting — same pool, no Add/Shrink needed for the
+      // payload; only the framing bytes retire below).
+      conn.pending_lines.emplace_back(conn.inbuf, start, len);
+    }
+    start = nl + 1;
+  }
+  if (start > 0) {
+    // Retire the delimiter/CR/blank bytes that do not live on as pending
+    // payload: recompute the target charge from what is actually held.
+    // O(pending lines), fine at this scale.
+    conn.inbuf.erase(0, start);
+    uint64_t pending_payload = 0;
+    for (const std::string& l : conn.pending_lines) {
+      pending_payload += l.size();
+    }
+    // Total target charge: base + inbuf + pending + unwritten outbuf.
+    const uint64_t target = kConnBaseBytes + conn.inbuf.size() +
+                            pending_payload +
+                            (conn.outbuf.size() - conn.out_pos);
+    if (conn.charge.bytes() > target) {
+      conn.charge.Shrink(conn.charge.bytes() - target);
+    }
+  }
+  if (oversized || conn.inbuf.size() > options_.max_line_bytes) {
+    oversized_lines_.fetch_add(1, std::memory_order_relaxed);
+    RefuseAndClose(conn,
+                   Status::ResourceExhausted(
+                       "request line exceeds max_line_bytes (" +
+                       std::to_string(options_.max_line_bytes) + ")"));
+  }
+}
+
+void Server::DispatchNext(Connection& conn) {
+  if (conn.in_flight || conn.close_after_flush ||
+      conn.pending_lines.empty()) {
+    return;
+  }
+  Job job;
+  job.conn_id = conn.id;
+  job.line = std::move(conn.pending_lines.front());
+  conn.pending_lines.pop_front();
+  job.cancel = CancellationToken::Create();
+  conn.in_flight = true;
+  conn.inflight_cancel = job.cancel;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void Server::QueueResponse(Connection& conn, std::string response,
+                           bool close_after) {
+  if (!conn.charge.Add(response.size(), "serve connection output").ok()) {
+    // Cannot even buffer the response: tear the connection down (the
+    // client observes a close instead of a reply, exactly like a crashed
+    // peer — deterministic and budget-safe).
+    budget_refusals_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn.id, /*cancelled_by_peer=*/false);
+    return;
+  }
+  conn.outbuf += response;
+  if (close_after) conn.close_after_flush = true;
+  HandleWritable(conn);
+}
+
+void Server::HandleWritable(Connection& conn) {
+  const uint64_t conn_id = conn.id;
+  while (conn.out_pos < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_pos,
+               conn.outbuf.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn_id, /*cancelled_by_peer=*/true);
+    return;
+  }
+  if (conn.out_pos >= conn.outbuf.size()) {
+    // Fully flushed: compact and retire the output charge.
+    conn.charge.Shrink(conn.outbuf.size());
+    conn.outbuf.clear();
+    conn.out_pos = 0;
+    if (conn.want_write) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP;
+      ev.data.fd = conn.fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+      conn.want_write = false;
+    }
+    if (conn.close_after_flush) {
+      CloseConnection(conn_id, /*cancelled_by_peer=*/false);
+    }
+    return;
+  }
+  if (!conn.want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLOUT;
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.want_write = true;
+  }
+}
+
+void Server::RefuseAndClose(Connection& conn, const Status& error) {
+  // Drop queued work; the error response is the connection's last line.
+  conn.pending_lines.clear();
+  QueueResponse(conn, BuildErrorLine(error, nullptr), /*close_after=*/true);
+}
+
+void Server::CloseConnection(uint64_t conn_id, bool cancelled_by_peer) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  if (conn.in_flight) {
+    // The worker holds a copy of this token: the batch drains at its next
+    // cancellation poll instead of finishing work nobody will read.
+    conn.inflight_cancel.Cancel();
+    if (cancelled_by_peer) {
+      cancelled_inflight_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  fd_to_conn_.erase(conn.fd);
+  ::close(conn.fd);  // epoll deregisters closed fds automatically
+  conns_.erase(it);  // ScopedCharge returns every buffered byte
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (Completion& c : done) {
+    auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) continue;  // client left; response is moot
+    Connection& conn = *it->second;
+    conn.in_flight = false;
+    conn.inflight_cancel = CancellationToken();
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(conn, std::move(c.response), c.close_after);
+    // QueueResponse may close the connection on budget refusal.
+    auto again = conns_.find(c.conn_id);
+    if (again != conns_.end()) DispatchNext(*again->second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+
+void Server::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock, [this] {
+        return !jobs_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (jobs_.empty()) return;  // stopping
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    std::string response = Execute(job);
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(
+          Completion{job.conn_id, std::move(response), false});
+    }
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+std::string Server::Execute(const Job& job) {
+  Request request;
+  Status parsed = ParseRequest(job.line, options_.limits, &request);
+  if (!parsed.ok()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    return BuildErrorLine(parsed, &request);
+  }
+
+  BackendOptions bopts;
+  bopts.query_deadline_seconds = request.query_deadline_seconds;
+  bopts.batch_deadline_seconds = request.batch_deadline_seconds;
+  if (options_.max_deadline_seconds > 0) {
+    if (bopts.query_deadline_seconds > options_.max_deadline_seconds) {
+      bopts.query_deadline_seconds = options_.max_deadline_seconds;
+    }
+    if (bopts.batch_deadline_seconds > options_.max_deadline_seconds) {
+      bopts.batch_deadline_seconds = options_.max_deadline_seconds;
+    }
+  }
+  bopts.cancel = job.cancel;
+  bopts.priority = request.priority;
+
+  ResultCache* cache =
+      (options_.cache != nullptr && request.use_cache) ? options_.cache
+                                                       : nullptr;
+  const size_t q = request.queries.size();
+  std::vector<std::string> fragments(q);
+  index::BatchStats stats;
+  uint64_t hits = 0, misses = 0;
+
+  if (cache == nullptr) {
+    std::vector<WireResult> results =
+        backend_->Run(request.op, request.queries, bopts, &stats);
+    FESIA_CHECK(results.size() == q);
+    for (size_t i = 0; i < q; ++i) {
+      fragments[i] = BuildResultJson(results[i], request.op);
+    }
+    misses = q;
+  } else {
+    // Epoch before execution: a mutation that lands between here and the
+    // insert bumps past this value and the inserted entries are already
+    // stale — the cache can serve pre-mutation bytes only to requests
+    // that began before the mutation was acknowledged.
+    const uint64_t epoch = backend_->ContentEpoch();
+    std::vector<std::string> keys(q);
+    std::vector<size_t> miss_idx;
+    for (size_t i = 0; i < q; ++i) {
+      keys[i] = ResultCache::Key(static_cast<uint8_t>(request.op),
+                                 request.queries[i]);
+      if (cache->Lookup(keys[i], epoch, &fragments[i])) {
+        ++hits;
+      } else {
+        miss_idx.push_back(i);
+      }
+    }
+    misses = miss_idx.size();
+    if (!miss_idx.empty()) {
+      std::vector<std::vector<uint32_t>> miss_queries;
+      miss_queries.reserve(miss_idx.size());
+      for (size_t i : miss_idx) miss_queries.push_back(request.queries[i]);
+      std::vector<WireResult> results =
+          backend_->Run(request.op, miss_queries, bopts, &stats);
+      FESIA_CHECK(results.size() == miss_idx.size());
+      for (size_t k = 0; k < miss_idx.size(); ++k) {
+        const size_t i = miss_idx[k];
+        fragments[i] = BuildResultJson(results[k], request.op);
+        // Cache only complete, successful answers: partial or degraded
+        // outcomes depend on transient conditions, not index content.
+        if (results[k].outcome == index::QueryOutcome::kOk &&
+            results[k].shards_answered == results[k].shards_total) {
+          cache->Insert(keys[i], epoch, fragments[i]);
+        }
+      }
+    }
+  }
+
+  cache_hits_.fetch_add(hits, std::memory_order_relaxed);
+  cache_misses_.fetch_add(misses, std::memory_order_relaxed);
+  return BuildResponseLine(request, fragments, stats, hits, misses);
+}
+
+}  // namespace fesia::serve

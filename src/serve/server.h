@@ -1,0 +1,268 @@
+// The network front door: a minimal epoll-based TCP server exposing batch
+// count/query over the line-JSON protocol of serve/protocol.h
+// (docs/API.md "Serving"; docs/ROBUSTNESS.md "Network front door").
+//
+// Threading model — one epoll thread, N worker threads:
+//
+//   * the epoll thread (level-triggered, every fd non-blocking) owns the
+//     listen socket and all connection state: it accepts, reads request
+//     bytes into per-connection buffers, frames complete lines, and
+//     writes queued response bytes, never blocking on a slow peer
+//     (slowloris clients cost a buffer, not a thread);
+//   * workers pull framed request lines from a queue, parse, execute
+//     against the ServeBackend (consulting the ResultCache first), and
+//     hand the response line back to the epoll thread through an eventfd
+//     wakeup. One request is in flight per connection at a time; further
+//     pipelined lines queue in arrival order, so responses are always in
+//     request order per connection.
+//
+// Robustness contract (the adversarial suite in tests/serve_test.cc):
+//
+//   * connection buffers are charged into ServerOptions::budget; a line
+//     exceeding max_line_bytes or a refused charge gets a JSON error
+//     response and the connection is closed — framing cannot resync past
+//     an abandoned oversized line — and the server never OOMs on input;
+//   * a client that disconnects mid-batch has its in-flight request
+//     cancelled through the CancellationToken the epoll thread planted in
+//     the batch options (cancelled_inflight in the stats), so abandoned
+//     work drains at the executor's next cancellation poll;
+//   * request deadlines (deadline_ms / batch_deadline_ms) propagate into
+//     BatchOptions, clamped to max_deadline_seconds;
+//   * Shutdown() (and the destructor) cancels all in-flight work, closes
+//     every socket, and joins all threads.
+#ifndef FESIA_SERVE_SERVER_H_
+#define FESIA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "index/query_engine.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_index.h"
+#include "util/deadline.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
+
+namespace fesia::serve {
+
+/// Per-request execution options the server threads into its backend.
+struct BackendOptions {
+  double query_deadline_seconds = 0;
+  double batch_deadline_seconds = 0;
+  /// Cancelled by the epoll thread when the requesting client disconnects
+  /// (and by Shutdown), draining the batch early.
+  CancellationToken cancel;
+  index::QueryPriority priority = index::QueryPriority::kNormal;
+};
+
+/// What the server serves from. The two concrete backends wrap the
+/// ShardRouter (production) and a bare QueryEngine; tests implement mocks
+/// (e.g. a backend that blocks until cancelled) against the same
+/// interface.
+class ServeBackend {
+ public:
+  virtual ~ServeBackend() = default;
+
+  /// Content epoch for result-cache tagging (see serve/result_cache.h).
+  /// Must be read *before* Run so a concurrent mutation invalidates the
+  /// entry this request inserts.
+  virtual uint64_t ContentEpoch() const = 0;
+
+  /// Executes one batch. Returns one WireResult per query, index-aligned;
+  /// *stats (never null) receives the merged batch statistics.
+  virtual std::vector<WireResult> Run(
+      Op op, std::span<const std::vector<uint32_t>> queries,
+      const BackendOptions& options, index::BatchStats* stats) = 0;
+};
+
+/// Production backend: scatter-gather over a ShardedIndex via ShardRouter,
+/// with replica failover and all the router's degradation machinery.
+class RouterBackend : public ServeBackend {
+ public:
+  struct Options {
+    /// Forwarded into RouterOptions (see shard/shard_router.h).
+    size_t num_threads = 0;
+    size_t admission_capacity = 0;
+    index::RetryPolicy retry;
+    MemoryBudget* budget = nullptr;
+    bool replica_failover = true;
+    double hedge_delay_seconds = 0;
+  };
+
+  /// `index` must outlive the backend.
+  RouterBackend(const shard::ShardedIndex* index, const Options& options);
+
+  uint64_t ContentEpoch() const override;
+  std::vector<WireResult> Run(Op op,
+                              std::span<const std::vector<uint32_t>> queries,
+                              const BackendOptions& options,
+                              index::BatchStats* stats) override;
+
+ private:
+  const shard::ShardedIndex* index_;
+  shard::ShardRouter router_;
+  Options options_;
+};
+
+struct ServerOptions {
+  /// IPv4 address to bind (the front door is a backend service; loopback
+  /// by default).
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port — read the actual one from port().
+  uint16_t port = 0;
+  size_t num_workers = 4;
+  size_t max_connections = 1024;
+  /// Hard cap on one request line (newline included). Longer lines are
+  /// refused with a JSON error and the connection is closed.
+  size_t max_line_bytes = 1u << 20;
+  ParseLimits limits;
+  /// Ceiling on client-supplied deadlines; 0 leaves them unclamped.
+  double max_deadline_seconds = 60.0;
+  /// Budget connection input/output buffers are charged into; nullptr
+  /// means MemoryBudget::Unlimited(). Must outlive the server.
+  MemoryBudget* budget = nullptr;
+  /// Result cache consulted before the backend; nullptr disables caching
+  /// entirely (every request executes).
+  ResultCache* cache = nullptr;
+};
+
+/// Monotonic server counters (snapshot; see Server::stats()).
+struct ServerStatsSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  uint64_t connections_refused = 0;  ///< over max_connections or budget
+  uint64_t requests = 0;
+  uint64_t responses = 0;
+  uint64_t parse_errors = 0;
+  uint64_t oversized_lines = 0;
+  uint64_t budget_refusals = 0;
+  uint64_t cancelled_inflight = 0;  ///< requests cancelled by disconnect
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class Server {
+ public:
+  /// `backend` (and options.cache/budget when set) must outlive the
+  /// server.
+  Server(ServeBackend* backend, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the epoll + worker threads. A bind/listen
+  /// failure returns kUnavailable (the CLI maps it to exit code 8) and
+  /// leaves nothing running. kFailedPrecondition if already started.
+  Status Start();
+
+  /// Stops accepting, cancels all in-flight requests, closes every
+  /// connection, and joins all threads. Idempotent; the destructor calls
+  /// it.
+  void Shutdown();
+
+  /// The bound port (the ephemeral one when options.port was 0); 0 before
+  /// Start.
+  uint16_t port() const { return port_; }
+
+  ServerStatsSnapshot stats() const;
+
+ private:
+  struct Connection;
+  /// One framed request line queued for a worker.
+  struct Job {
+    uint64_t conn_id = 0;
+    std::string line;
+    CancellationToken cancel;
+  };
+  /// One finished response headed back to the epoll thread.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string response;
+    bool close_after = false;
+  };
+
+  void EpollLoop();
+  void WorkerLoop();
+
+  // --- epoll-thread helpers (only the epoll thread touches connection
+  // state after Start) -------------------------------------------------
+  void AcceptPending();
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  void CloseConnection(uint64_t conn_id, bool cancelled_by_peer);
+  /// Frames complete lines out of the connection's input buffer and
+  /// queues jobs (one in flight per connection; the rest pend).
+  void FrameLines(Connection& conn);
+  /// Dispatches the connection's next pending line if none is in flight.
+  void DispatchNext(Connection& conn);
+  void QueueResponse(Connection& conn, std::string response,
+                     bool close_after);
+  void DrainCompletions();
+  /// Refuses the connection's current request with a JSON error line and
+  /// closes it afterwards (oversized line / budget refusal).
+  void RefuseAndClose(Connection& conn, const Status& error);
+
+  /// Worker-side execution of one request line.
+  std::string Execute(const Job& job);
+
+  ServeBackend* backend_;
+  ServerOptions options_;
+  MemoryBudget* budget_;  // never null
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions + shutdown
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread epoll_thread_;
+  std::vector<std::thread> workers_;
+
+  // Worker job queue.
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+
+  // Completions headed back to the epoll thread (paired with wake_fd_).
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  // Connection table; epoll thread only.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<int, uint64_t> fd_to_conn_;
+  uint64_t next_conn_id_ = 1;
+
+  // Stats (atomics; any thread).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_open_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> oversized_lines_{0};
+  std::atomic<uint64_t> budget_refusals_{0};
+  std::atomic<uint64_t> cancelled_inflight_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+};
+
+}  // namespace fesia::serve
+
+#endif  // FESIA_SERVE_SERVER_H_

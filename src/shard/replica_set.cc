@@ -18,6 +18,20 @@ std::string ReplicaDirName(uint32_t replica) {
 
 }  // namespace
 
+void ReplicaSet::SetQuarantined(Replica& rep, bool q) {
+  if (rep.quarantined.exchange(q, std::memory_order_relaxed) != q) {
+    topology_epoch_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+uint64_t ReplicaSet::content_epoch() const {
+  uint64_t epoch = topology_epoch_.load(std::memory_order_acquire);
+  for (const auto& rep : replicas_) {
+    if (rep->manager != nullptr) epoch += rep->manager->content_epoch();
+  }
+  return epoch;
+}
+
 StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Open(
     const index::InvertedIndex* idx, const ReplicaSetOptions& options) {
   FESIA_CHECK(idx != nullptr);
@@ -42,7 +56,7 @@ StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Open(
     auto opened = store::SnapshotStore::Open(store_opts);
     if (!opened.ok()) {
       replica->SetStatus(opened.status());
-      replica->quarantined.store(true, std::memory_order_relaxed);
+      set->SetQuarantined(*replica, true);
       if (first_error.ok()) first_error = opened.status();
       set->replicas_.push_back(std::move(replica));
       continue;
@@ -87,7 +101,7 @@ Status ReplicaSet::Rebuild() {
     Status st = rep->manager->Rebuild();
     rep->SetStatus(st);
     if (st.ok()) {
-      rep->quarantined.store(false, std::memory_order_relaxed);
+      SetQuarantined(*rep, false);
     } else if (first_error.ok()) {
       first_error = st;
     }
@@ -112,7 +126,7 @@ Status ReplicaSet::Reload() {
     Status st = rep->manager->Reload();
     rep->SetStatus(st);
     if (st.ok()) {
-      rep->quarantined.store(false, std::memory_order_relaxed);
+      SetQuarantined(*rep, false);
     } else if (first_error.ok()) {
       first_error = st;
     }
@@ -158,7 +172,7 @@ Status ReplicaSet::OpenMutationLogs(store::WalReplayReport* report) {
         rep->SetStatus(Status::Unavailable(
             "replica trails the acknowledged seq after cold open; "
             "awaiting anti-entropy repair"));
-        rep->quarantined.store(true, std::memory_order_relaxed);
+        SetQuarantined(*rep, true);
       }
     }
   }
@@ -207,7 +221,7 @@ Status ReplicaSet::ApplyMutation(store::WalRecord record, uint64_t* seq) {
     // manager would after a failed append.
     if (replicas_.size() > 1) {
       rep.SetStatus(st);
-      rep.quarantined.store(true, std::memory_order_relaxed);
+      SetQuarantined(rep, true);
     }
     if (first_failure.ok()) first_failure = st;
   }
@@ -309,12 +323,12 @@ bool ReplicaSet::replica_quarantined(uint32_t replica) const {
 
 void ReplicaSet::QuarantineReplica(uint32_t replica) {
   FESIA_CHECK(replica < replicas_.size());
-  replicas_[replica]->quarantined.store(true, std::memory_order_relaxed);
+  SetQuarantined(*replicas_[replica], true);
 }
 
 void ReplicaSet::ReviveReplica(uint32_t replica) {
   FESIA_CHECK(replica < replicas_.size());
-  replicas_[replica]->quarantined.store(false, std::memory_order_relaxed);
+  SetQuarantined(*replicas_[replica], false);
 }
 
 Status ReplicaSet::replica_status(uint32_t replica) const {
@@ -524,7 +538,7 @@ Status ReplicaSet::RepairReplica(uint32_t replica) {
     }
     next_seq_ = std::max(next_seq_, target->durable_seq() + 1);
     rep.SetStatus(Status::Ok());
-    rep.quarantined.store(false, std::memory_order_relaxed);
+    SetQuarantined(rep, false);
   }
   repairs_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();

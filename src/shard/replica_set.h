@@ -211,6 +211,15 @@ class ReplicaSet {
   void StartRepair(double interval_seconds);
   void StopRepair();
 
+  /// Monotonic counter that advances whenever a routed read through this
+  /// set may answer differently: the sum of every replica manager's
+  /// content_epoch() (mutations, flush publishes, reloads, repair imports)
+  /// plus a topology term bumped on every quarantine/revive transition
+  /// (which moves reads onto a different replica). The serve-layer result
+  /// cache invalidates on any change; over-counting only costs a cache
+  /// miss, never a stale answer.
+  uint64_t content_epoch() const;
+
   /// Replicas successfully re-synced and revived by RepairReplica.
   uint64_t repairs() const {
     return repairs_.load(std::memory_order_relaxed);
@@ -251,6 +260,10 @@ class ReplicaSet {
   /// Serving replica with the highest durable seq, excluding `exclude`;
   /// -1 when none.
   int HealthiestPeer(uint32_t exclude) const;
+  /// Sets the replica's quarantine flag, bumping topology_epoch_ on an
+  /// actual transition so cached results keyed on content_epoch() are
+  /// invalidated whenever read routing changes.
+  void SetQuarantined(Replica& rep, bool q);
   void RepairLoop(double interval_seconds);
 
   const index::InvertedIndex* idx_ = nullptr;
@@ -264,6 +277,10 @@ class ReplicaSet {
 
   std::atomic<uint64_t> repairs_{0};
   std::atomic<uint64_t> repair_failures_{0};
+  /// Topology term of content_epoch(): bumped on every quarantine/revive
+  /// transition, including the quarantines Open and the mutation fan-out
+  /// impose and the revive at the end of a successful repair.
+  std::atomic<uint64_t> topology_epoch_{0};
 
   std::mutex repair_mu_;
   std::condition_variable repair_cv_;

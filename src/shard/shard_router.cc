@@ -334,6 +334,8 @@ std::vector<RoutedQueryResult> ShardRouter::Run(
       const index::QueryResult& r = sub[q];
       RoutedQueryResult& out = routed[q];
       out.latency_seconds = std::max(out.latency_seconds, r.latency_seconds);
+      out.attempts = std::max(out.attempts, r.attempts);
+      out.pressure_affected |= r.pressure_affected;
       if (r.ok()) {
         ++out.shards_answered;
         out.count += r.count;

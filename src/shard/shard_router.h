@@ -115,6 +115,12 @@ struct RoutedQueryResult {
   uint32_t shards_total = 0;
   /// True when any shard sub-query took a degradation rung.
   bool downgraded = false;
+  /// True when memory pressure shed or downgraded any shard sub-query
+  /// (see index::QueryResult::pressure_affected).
+  bool pressure_affected = false;
+  /// Attempts consumed by the slowest-retrying shard sub-query (max across
+  /// shards, counting failed sub-queries too); 0 when no shard ran it.
+  int attempts = 0;
   /// Slowest shard sub-query latency (the query's critical path).
   double latency_seconds = 0;
 

@@ -175,7 +175,7 @@ StatusOr<ShardedIndex> ShardedIndex::Create(const index::InvertedIndex* full,
     auto replicas = ReplicaSet::Open(shard.idx.get(), rs_opts);
     if (!replicas.ok()) {
       shard.SetStatus(replicas.status());
-      shard.quarantined.store(true, std::memory_order_relaxed);
+      shard.SetQuarantined(true);
       if (first_error.ok()) first_error = replicas.status();
       continue;
     }
@@ -238,15 +238,18 @@ Status ShardedIndex::RebuildShard(uint32_t shard) {
     // One dead replica degrades the group, not the shard: it serves as
     // long as any replica does.
     if (st.ok() || s.replicas->serving_replicas() > 0) {
-      s.quarantined.store(false, std::memory_order_relaxed);
+      s.SetQuarantined(false);
     }
     return st;
   }
   auto built = std::make_shared<index::QueryEngine>(s.idx.get(),
                                                     options_.params);
   s.local_engine.store(std::move(built));
+  // Epoch bump after the publish: cached results computed on the old
+  // engine now carry a stale epoch (see content_epoch()).
+  s.local_epoch.fetch_add(1, std::memory_order_release);
   s.SetStatus(Status::Ok());
-  s.quarantined.store(false, std::memory_order_relaxed);
+  s.SetQuarantined(false);
   return Status::Ok();
 }
 
@@ -295,7 +298,7 @@ Status ShardedIndex::ReloadShard(uint32_t shard) {
   Status st = s.replicas->Reload();
   s.SetStatus(st);
   if (st.ok() || s.replicas->serving_replicas() > 0) {
-    s.quarantined.store(false, std::memory_order_relaxed);
+    s.SetQuarantined(false);
   }
   return st;
 }
@@ -411,12 +414,12 @@ bool ShardedIndex::shard_quarantined(uint32_t shard) const {
 
 void ShardedIndex::QuarantineShard(uint32_t shard) {
   FESIA_CHECK(shard < shards_.size());
-  shards_[shard]->quarantined.store(true, std::memory_order_relaxed);
+  shards_[shard]->SetQuarantined(true);
 }
 
 void ShardedIndex::ReviveShard(uint32_t shard) {
   FESIA_CHECK(shard < shards_.size());
-  shards_[shard]->quarantined.store(false, std::memory_order_relaxed);
+  shards_[shard]->SetQuarantined(false);
 }
 
 Status ShardedIndex::shard_status(uint32_t shard) const {
@@ -432,6 +435,15 @@ uint32_t ShardedIndex::serving_shards() const {
     if (!shard_quarantined(s) && engine(s) != nullptr) ++serving;
   }
   return serving;
+}
+
+uint64_t ShardedIndex::content_epoch() const {
+  uint64_t epoch = 0;
+  for (const auto& s : shards_) {
+    epoch += s->local_epoch.load(std::memory_order_acquire);
+    if (s->replicas != nullptr) epoch += s->replicas->content_epoch();
+  }
+  return epoch;
 }
 
 Status ShardedIndex::RepairOnce() {

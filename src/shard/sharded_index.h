@@ -207,6 +207,15 @@ class ShardedIndex {
   /// can actually answer from.
   uint32_t serving_shards() const;
 
+  /// Monotonic counter that advances whenever a routed query's answer may
+  /// have changed anywhere in the index: the sum over shards of the
+  /// shard-local epoch (local-engine publishes, quarantine/revive) and
+  /// each replica group's content_epoch() (mutations, flush publishes,
+  /// reloads, repair). The serve-layer result cache (serve/result_cache.h)
+  /// reads this before executing a request and invalidates entries from
+  /// older epochs; over-counting costs only a miss, never a stale answer.
+  uint64_t content_epoch() const;
+
   // --- Background robustness loops --------------------------------------
   //
   // All Start*/Stop* pairs are idempotent and stopped by the destructor.
@@ -260,12 +269,22 @@ class ShardedIndex {
     /// stores); same publication discipline as IndexManager's pointer.
     SharedPtrCell<const index::QueryEngine> local_engine;
     std::atomic<bool> quarantined{false};
+    /// Shard-local term of ShardedIndex::content_epoch(): bumped after a
+    /// local-engine publish and on every quarantine/revive transition
+    /// (routing changes are content changes from the cache's view).
+    std::atomic<uint64_t> local_epoch{0};
     std::mutex status_mu;
     Status status;
 
     void SetStatus(Status s) {
       std::lock_guard<std::mutex> lock(status_mu);
       status = std::move(s);
+    }
+
+    void SetQuarantined(bool q) {
+      if (quarantined.exchange(q, std::memory_order_relaxed) != q) {
+        local_epoch.fetch_add(1, std::memory_order_release);
+      }
     }
   };
 

@@ -72,6 +72,10 @@ void IndexManager::Publish(std::shared_ptr<const index::QueryEngine> next,
   }
   engine_.store(std::move(next));
   swaps_.fetch_add(1, std::memory_order_relaxed);
+  // Epoch bump strictly after the new view is what queries see: a cached
+  // result computed before this point carries the pre-bump epoch and is
+  // invalidated, never served stale (see content_epoch()).
+  content_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 Status IndexManager::Rebuild() {
@@ -292,6 +296,7 @@ Status IndexManager::Upsert(uint32_t doc, std::vector<uint32_t> terms,
     std::lock_guard<std::mutex> vlock(view_mu_);
     delta_.Apply(rec);
   }
+  content_epoch_.fetch_add(1, std::memory_order_release);
   accepted_.fetch_add(1, std::memory_order_relaxed);
   // The pre-append gate only reacts to bytes already pending, so the
   // accept that first crosses the soft bound must itself request the
@@ -322,6 +327,7 @@ Status IndexManager::Delete(uint32_t doc, uint64_t* seq) {
     std::lock_guard<std::mutex> vlock(view_mu_);
     delta_.Apply(rec);
   }
+  content_epoch_.fetch_add(1, std::memory_order_release);
   accepted_.fetch_add(1, std::memory_order_relaxed);
   // The pre-append gate only reacts to bytes already pending, so the
   // accept that first crosses the soft bound must itself request the
@@ -372,6 +378,7 @@ Status IndexManager::ApplyReplicated(const WalRecord& record) {
     std::lock_guard<std::mutex> vlock(view_mu_);
     delta_.Apply(record);
   }
+  content_epoch_.fetch_add(1, std::memory_order_release);
   accepted_.fetch_add(1, std::memory_order_relaxed);
   NotifySoftBoundLocked();
   return Status::Ok();

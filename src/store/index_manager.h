@@ -293,6 +293,19 @@ class IndexManager {
     return serving_generation_.load(std::memory_order_relaxed);
   }
 
+  /// Monotonic counter bumped every time the answer to some query may have
+  /// changed: after each engine publication (Rebuild/Reload/FlushDelta/
+  /// scrub rollback/ImportSnapshot) and after each mutation becomes
+  /// visible (Upsert/Delete/ApplyReplicated). The serve-layer result cache
+  /// (serve/result_cache.h) keys its entries on this value; the bump
+  /// happens strictly *after* the new content is visible to queries, so a
+  /// result computed against the old content and inserted late carries the
+  /// old epoch and can never be served to a request that began after the
+  /// mutation was acknowledged.
+  uint64_t content_epoch() const {
+    return content_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Successful hot-swaps (Rebuild + Reload + flushes + scrub rollbacks).
   uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
   /// Reload/scrub/flush attempts that failed validation or commit and kept
@@ -345,6 +358,7 @@ class IndexManager {
   /// The RCU publication point: store on swap, copy in engine().
   SharedPtrCell<const index::QueryEngine> engine_;
   std::atomic<uint64_t> serving_generation_{0};
+  std::atomic<uint64_t> content_epoch_{0};
   std::atomic<uint64_t> swaps_{0};
   std::atomic<uint64_t> rollbacks_{0};
   std::atomic<uint64_t> scrub_cycles_{0};

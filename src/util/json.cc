@@ -1,0 +1,77 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+
+namespace fesia {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20 || c >= 0x80) {
+          // Control bytes must be escaped per RFC 8259; bytes >= 0x80 are
+          // escaped too because the input is not guaranteed to be valid
+          // UTF-8 (paths, OS error strings) and \u00XX keeps the output
+          // unconditionally valid ASCII JSON.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+        break;
+    }
+  }
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  AppendJsonEscaped(out, s);
+  out += '"';
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(out, s);
+  return out;
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonString(out, s);
+  return out;
+}
+
+void AppendJsonDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) {
+    out += "null";  // cannot happen with a 32-byte buffer; stay valid JSON
+    return;
+  }
+  out.append(buf, end);
+}
+
+std::string JsonDouble(double v) {
+  std::string out;
+  AppendJsonDouble(out, v);
+  return out;
+}
+
+}  // namespace fesia

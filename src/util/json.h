@@ -1,0 +1,53 @@
+// Minimal JSON emission helpers shared by every machine-readable line the
+// system prints: the CLI's `"event":...` lines (RecoveryReport, WAL
+// replay, flush) and the serve layer's line-JSON protocol
+// (serve/protocol.h).
+//
+// Two classes of bug these helpers exist to prevent:
+//
+//   * unescaped strings — a store path containing `"` or `\` printed with
+//     a raw %s emits invalid JSON. Every string field must go through
+//     JsonQuote/AppendJsonString, which escape quotes, backslashes, and
+//     control characters, and emit any non-ASCII byte as \u00XX so the
+//     output is plain-ASCII valid JSON no matter what bytes the input held
+//     (paths and error messages are not guaranteed to be UTF-8);
+//   * locale-dependent numbers — printf("%g") under a non-C LC_NUMERIC
+//     prints a decimal comma, which is not JSON. AppendJsonDouble formats
+//     via std::to_chars, which is locale-independent by specification, and
+//     always emits a JSON-parsable token (never "inf"/"nan" — those are
+//     clamped to null, the only JSON-representable choice).
+//
+// The golden-line tests in tests/serve_test.cc pin the exact output bytes.
+#ifndef FESIA_UTIL_JSON_H_
+#define FESIA_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace fesia {
+
+/// Appends the JSON escape of `s` (no surrounding quotes) to `out`:
+/// `"` -> `\"`, `\` -> `\\`, control characters and all bytes >= 0x80 as
+/// `\u00XX`. The result is always ASCII.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+/// Appends `s` as a complete JSON string literal (quotes included).
+void AppendJsonString(std::string& out, std::string_view s);
+
+/// JSON escape of `s` without quotes.
+std::string JsonEscape(std::string_view s);
+
+/// `s` as a complete JSON string literal (quotes included) — the form the
+/// printf-style emitters in fesia_cli splice into their format strings.
+std::string JsonQuote(std::string_view s);
+
+/// Appends a locale-independent JSON number token for `v` (shortest
+/// round-trip form via std::to_chars). Non-finite values append `null`.
+void AppendJsonDouble(std::string& out, double v);
+
+/// Locale-independent JSON number token for `v` (see AppendJsonDouble).
+std::string JsonDouble(double v);
+
+}  // namespace fesia
+
+#endif  // FESIA_UTIL_JSON_H_

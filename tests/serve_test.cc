@@ -1,0 +1,1126 @@
+// The network front door (docs/ROBUSTNESS.md, "Network front door"):
+// JSON escaping and golden response lines, the adversarial protocol
+// parser suite, the epoch-invalidated result cache (LRU/byte-cap/epoch
+// rules), end-to-end socket tests against a live epoll server (including
+// truncated, oversized, invalid-UTF-8, slowloris, and mid-batch
+// disconnect clients), and the cache-epoch oracle: cached responses must
+// be byte-identical to cache-disabled ones across randomized
+// serve/mutate/flush/repair interleavings. The concurrent client-vs-flush
+// tests are the TSan habitat for the serve path.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/query_engine.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
+#include "shard/shard_map.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_index.h"
+#include "util/json.h"
+#include "util/memory_budget.h"
+#include "util/status.h"
+
+namespace fesia {
+namespace {
+
+namespace fs = std::filesystem;
+
+using ::fesia::index::BatchStats;
+using ::fesia::index::InvertedIndex;
+using ::fesia::serve::BackendOptions;
+using ::fesia::serve::Op;
+using ::fesia::serve::ParseLimits;
+using ::fesia::serve::ParseRequest;
+using ::fesia::serve::Request;
+using ::fesia::serve::ResultCache;
+using ::fesia::serve::RouterBackend;
+using ::fesia::serve::ServeBackend;
+using ::fesia::serve::Server;
+using ::fesia::serve::ServerOptions;
+using ::fesia::serve::WireResult;
+
+// ---------------------------------------------------------------------------
+// JSON escaping (the CLI event-line bugfix) and golden response lines.
+
+TEST(JsonEscapeTest, EscapesControlQuotesAndNonAscii) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape("nl\n"), "nl\\n");
+  EXPECT_EQ(JsonEscape(std::string("nul\0!", 5)), "nul\\u0000!");
+  // Non-ASCII bytes become \u00XX so emitted lines are always pure ASCII
+  // regardless of the input encoding.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\\u00c3\\u00a9");
+  EXPECT_EQ(JsonQuote("x\"y"), "\"x\\\"y\"");
+}
+
+TEST(JsonEscapeTest, DoubleFormattingIsLocaleIndependent) {
+  std::string out;
+  AppendJsonDouble(out, 0.5);
+  EXPECT_EQ(out, "0.5");  // never "0,5", whatever the locale
+  out.clear();
+  AppendJsonDouble(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");  // non-finite is not valid JSON
+  out.clear();
+  AppendJsonDouble(out, std::nan(""));
+  EXPECT_EQ(out, "null");
+}
+
+TEST(ProtocolGoldenTest, ResultLineBytesArePinned) {
+  WireResult r;
+  r.outcome = index::QueryOutcome::kOk;
+  r.count = 42;
+  r.shards_answered = 2;
+  r.shards_total = 2;
+  r.attempts = 1;
+  EXPECT_EQ(serve::BuildResultJson(r, Op::kCount),
+            "{\"outcome\":\"ok\",\"count\":42,\"shards_answered\":2,"
+            "\"shards_total\":2,\"attempts\":1,\"downgraded\":false,"
+            "\"pressure_affected\":false}");
+
+  r.docs = {3, 7, 11};
+  r.count = 3;
+  EXPECT_EQ(serve::BuildResultJson(r, Op::kQuery),
+            "{\"outcome\":\"ok\",\"count\":3,\"docs\":[3,7,11],"
+            "\"shards_answered\":2,\"shards_total\":2,\"attempts\":1,"
+            "\"downgraded\":false,\"pressure_affected\":false}");
+
+  WireResult failed;
+  failed.outcome = index::QueryOutcome::kFailed;
+  failed.code = StatusCode::kUnavailable;
+  failed.shards_total = 2;
+  EXPECT_EQ(serve::BuildResultJson(failed, Op::kCount),
+            "{\"outcome\":\"failed\",\"code\":\"unavailable\",\"count\":0,"
+            "\"shards_answered\":0,\"shards_total\":2,\"attempts\":0,"
+            "\"downgraded\":false,\"pressure_affected\":false}");
+}
+
+TEST(ProtocolGoldenTest, ErrorLineEscapesMessageAndEchoesId) {
+  Request req;
+  req.has_id = true;
+  req.id = 9;
+  const std::string line = serve::BuildErrorLine(
+      Status::InvalidArgument("bad \"byte\"\n"), &req);
+  EXPECT_EQ(line,
+            "{\"ok\":false,\"id\":9,\"error\":{\"code\":\"invalid-argument\","
+            "\"message\":\"bad \\\"byte\\\"\\n\"}}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial parser suite.
+
+Status Parse(std::string_view line, Request* out,
+             ParseLimits limits = ParseLimits{}) {
+  return ParseRequest(line, limits, out);
+}
+
+TEST(ParseRequestTest, MinimalCountAndQuery) {
+  Request req;
+  ASSERT_TRUE(Parse(R"({"op":"count","queries":[[1,2],[3]]})", &req).ok());
+  EXPECT_EQ(req.op, Op::kCount);
+  ASSERT_EQ(req.queries.size(), 2u);
+  EXPECT_EQ(req.queries[0], (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(req.queries[1], (std::vector<uint32_t>{3}));
+  EXPECT_TRUE(req.use_cache);
+  EXPECT_FALSE(req.has_id);
+
+  ASSERT_TRUE(Parse(R"({"op":"query","queries":[[]]})", &req).ok());
+  EXPECT_EQ(req.op, Op::kQuery);
+  ASSERT_EQ(req.queries.size(), 1u);
+  EXPECT_TRUE(req.queries[0].empty());
+}
+
+TEST(ParseRequestTest, AllOptionsParse) {
+  Request req;
+  ASSERT_TRUE(Parse(R"({"op":"count","queries":[[1]],"deadline_ms":50,)"
+                    R"("batch_deadline_ms":200,"priority":"high",)"
+                    R"("cache":false,"id":77})",
+                    &req)
+                  .ok());
+  EXPECT_DOUBLE_EQ(req.query_deadline_seconds, 0.05);
+  EXPECT_DOUBLE_EQ(req.batch_deadline_seconds, 0.2);
+  EXPECT_EQ(req.priority, index::QueryPriority::kHigh);
+  EXPECT_FALSE(req.use_cache);
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id, 77u);
+}
+
+TEST(ParseRequestTest, UnknownKeysAreSkipped) {
+  Request req;
+  ASSERT_TRUE(Parse(R"({"op":"count","future":{"a":[1,{"b":null}]},)"
+                    R"("queries":[[1]],"note":"hi \u00e9"})",
+                    &req)
+                  .ok());
+  ASSERT_EQ(req.queries.size(), 1u);
+}
+
+TEST(ParseRequestTest, EveryTruncationFailsCleanly) {
+  const std::string full =
+      R"({"op":"count","queries":[[1,22,333]],"deadline_ms":5,"id":3})";
+  Request req;
+  ASSERT_TRUE(Parse(full, &req).ok());
+  // Every proper prefix must be rejected as invalid-argument — never a
+  // crash, never a false accept.
+  for (size_t n = 0; n < full.size(); ++n) {
+    Status s = Parse(full.substr(0, n), &req);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "prefix len " << n;
+  }
+}
+
+TEST(ParseRequestTest, MalformedInputsAreRejected) {
+  Request req;
+  const char* bad[] = {
+      "",
+      "garbage",
+      "[]",
+      "{}",                                       // missing op + queries
+      R"({"op":"count"})",                        // missing queries
+      R"({"queries":[[1]]})",                     // missing op
+      R"({"op":"sum","queries":[[1]]})",          // unknown op
+      R"({"op":"count","queries":5})",            // wrong type
+      R"({"op":"count","queries":[[1]]}x)",       // trailing bytes
+      R"({"op":"count","queries":[[1]],})",       // trailing comma
+      R"({"op":"count","queries":[[-1]]})",       // negative term
+      R"({"op":"count","queries":[[1.5]]})",      // fractional term
+      R"({"op":"count","queries":[[1e3]]})",      // exponent term
+      R"({"op":"count","queries":[[4294967296]]})",  // > UINT32_MAX
+      R"({"op":"count","queries":[[1]],"deadline_ms":-1})",
+      R"({"op":"count","queries":[[1]],"priority":"urgent"})",
+      R"({"op":"count","queries":[[1]],"id":1.5})",
+      R"({"op":"count","queries":[[1]],"cache":"yes"})",
+      R"({"op":"count","queries":[[1]],"x":01})",  // from_chars stops at 0
+  };
+  for (const char* line : bad) {
+    EXPECT_EQ(Parse(line, &req).code(), StatusCode::kInvalidArgument)
+        << line;
+  }
+}
+
+TEST(ParseRequestTest, DepthLimitStopsCraftedNesting) {
+  std::string line = R"({"op":"count","queries":[[1]],"deep":)";
+  for (int i = 0; i < 64; ++i) line += "[";
+  for (int i = 0; i < 64; ++i) line += "]";
+  line += "}";
+  Request req;
+  EXPECT_EQ(Parse(line, &req).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestTest, LimitsRejectOversizedBatches) {
+  ParseLimits limits;
+  limits.max_queries = 2;
+  limits.max_terms_per_query = 3;
+  Request req;
+  EXPECT_TRUE(Parse(R"({"op":"count","queries":[[1,2,3],[4]]})", &req,
+                    limits)
+                  .ok());
+  EXPECT_EQ(
+      Parse(R"({"op":"count","queries":[[1],[2],[3]]})", &req, limits).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      Parse(R"({"op":"count","queries":[[1,2,3,4]]})", &req, limits).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestTest, InvalidUtf8IsRejectedUpfront) {
+  Request req;
+  std::string line = R"({"op":"count","queries":[[1]],"note":"x)";
+  line += '\xff';
+  line += "\"}";
+  EXPECT_EQ(Parse(line, &req).code(), StatusCode::kInvalidArgument);
+  // Overlong encoding of '/' (C0 AF) and an unpaired surrogate byte
+  // sequence (ED A0 80) are invalid too.
+  std::string overlong = "{\"op\":\"count\",\"queries\":[[1]],\"n\":\"";
+  overlong += "\xc0\xaf\"}";
+  EXPECT_EQ(Parse(overlong, &req).code(), StatusCode::kInvalidArgument);
+  std::string surrogate = "{\"op\":\"count\",\"queries\":[[1]],\"n\":\"";
+  surrogate += "\xed\xa0\x80\"}";
+  EXPECT_EQ(Parse(surrogate, &req).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestTest, EscapeHandling) {
+  Request req;
+  // Valid surrogate pair and \u escapes in an unknown key's value.
+  EXPECT_TRUE(Parse(R"({"op":"count","queries":[[1]],)"
+                    R"("n":"\ud83d\ude00 \n \u0041"})",
+                    &req)
+                  .ok());
+  // Unpaired high surrogate escape.
+  EXPECT_EQ(Parse(R"({"op":"count","queries":[[1]],"n":"\ud83d"})", &req)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Lone low surrogate escape.
+  EXPECT_EQ(Parse(R"({"op":"count","queries":[[1]],"n":"\ude00"})", &req)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Invalid escape letter and truncated \u.
+  EXPECT_EQ(Parse(R"({"op":"count","queries":[[1]],"n":"\q"})", &req).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Parse(R"({"op":"count","queries":[[1]],"n":"\u00"})", &req)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Raw control character inside a string.
+  std::string ctl = "{\"op\":\"count\",\"queries\":[[1]],\"n\":\"a\x01b\"}";
+  EXPECT_EQ(Parse(ctl, &req).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestTest, IdSurvivesLaterParseError) {
+  Request req;
+  Status s = Parse(R"({"id":42,"op":"count","queries":[[1)", &req);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id, 42u);
+  const std::string line = serve::BuildErrorLine(s, &req);
+  EXPECT_NE(line.find("\"id\":42"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache.
+
+TEST(ResultCacheTest, HitMissAndEpochRules) {
+  ResultCache cache(ResultCache::Options{});
+  const std::string key = ResultCache::Key(0, std::vector<uint32_t>{1, 2});
+  std::string value;
+
+  EXPECT_FALSE(cache.Lookup(key, 5, &value));
+  cache.Insert(key, 5, "payload");
+  EXPECT_TRUE(cache.Lookup(key, 5, &value));
+  EXPECT_EQ(value, "payload");
+
+  // A newer request epoch means the world changed since the entry was
+  // computed: evict on sight.
+  EXPECT_FALSE(cache.Lookup(key, 6, &value));
+  EXPECT_FALSE(cache.Lookup(key, 6, &value));  // really gone
+  EXPECT_EQ(cache.stats().stale_evictions, 1u);
+
+  // An entry from a newer epoch is kept but is not a hit for an older
+  // request.
+  cache.Insert(key, 8, "newer");
+  EXPECT_FALSE(cache.Lookup(key, 7, &value));
+  EXPECT_TRUE(cache.Lookup(key, 8, &value));
+  EXPECT_EQ(value, "newer");
+
+  // Insert at an older epoch never downgrades an existing newer entry.
+  cache.Insert(key, 7, "older");
+  EXPECT_TRUE(cache.Lookup(key, 8, &value));
+  EXPECT_EQ(value, "newer");
+}
+
+TEST(ResultCacheTest, KeyDistinguishesOpAndTermOrder) {
+  const std::vector<uint32_t> terms{1, 2};
+  const std::vector<uint32_t> swapped{2, 1};
+  EXPECT_NE(ResultCache::Key(0, terms), ResultCache::Key(1, terms));
+  EXPECT_NE(ResultCache::Key(0, terms), ResultCache::Key(0, swapped));
+  EXPECT_EQ(ResultCache::Key(0, terms), ResultCache::Key(0, terms));
+}
+
+TEST(ResultCacheTest, LruEvictsColdEntriesUnderByteCap) {
+  ResultCache::Options options;
+  options.num_shards = 1;  // deterministic: one LRU list
+  options.max_bytes = 4 * 1024;
+  ResultCache cache(options);
+  const std::string big(256, 'x');
+  for (uint32_t i = 0; i < 64; ++i) {
+    cache.Insert(ResultCache::Key(0, std::vector<uint32_t>{i}), 1, big);
+  }
+  const serve::ResultCacheStats stats = cache.stats();
+  EXPECT_GT(stats.lru_evictions, 0u);
+  EXPECT_LE(stats.bytes, options.max_bytes);
+  EXPECT_LT(stats.entries, 64u);
+  // The most recently inserted key must still be resident.
+  std::string value;
+  EXPECT_TRUE(cache.Lookup(ResultCache::Key(0, std::vector<uint32_t>{63}), 1,
+                           &value));
+}
+
+TEST(ResultCacheTest, TouchOnHitProtectsHotEntries) {
+  ResultCache::Options options;
+  options.num_shards = 1;
+  options.max_bytes = 2 * 1024;
+  ResultCache cache(options);
+  const std::string big(256, 'x');
+  const std::string hot_key = ResultCache::Key(0, std::vector<uint32_t>{0});
+  cache.Insert(hot_key, 1, big);
+  std::string value;
+  for (uint32_t i = 1; i < 32; ++i) {
+    ASSERT_TRUE(cache.Lookup(hot_key, 1, &value)) << i;  // keep it MRU
+    cache.Insert(ResultCache::Key(0, std::vector<uint32_t>{i}), 1, big);
+  }
+  EXPECT_TRUE(cache.Lookup(hot_key, 1, &value));
+}
+
+TEST(ResultCacheTest, BudgetChargesAndReleasesBytes) {
+  MemoryBudget budget(1u << 20, nullptr, "cache-test");
+  {
+    ResultCache::Options options;
+    options.budget = &budget;
+    ResultCache cache(options);
+    cache.Insert(ResultCache::Key(0, std::vector<uint32_t>{1}), 1,
+                 std::string(512, 'v'));
+    EXPECT_GT(budget.used(), 0u);
+    cache.Clear();
+    EXPECT_EQ(budget.used(), 0u);
+    cache.Insert(ResultCache::Key(0, std::vector<uint32_t>{2}), 1, "v");
+    EXPECT_GT(budget.used(), 0u);
+  }
+  // Destruction returns every charged byte.
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(ResultCacheTest, ExhaustedBudgetRefusesInsertGracefully) {
+  MemoryBudget budget(64, nullptr, "tiny");  // smaller than any entry
+  ResultCache::Options options;
+  options.budget = &budget;
+  ResultCache cache(options);
+  cache.Insert(ResultCache::Key(0, std::vector<uint32_t>{1}), 1,
+               std::string(512, 'v'));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_GT(cache.stats().insert_failures, 0u);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTraffic) {
+  ResultCache::Options options;
+  options.max_bytes = 64 * 1024;
+  ResultCache cache(options);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &stop, t] {
+      std::mt19937 rng(t);
+      std::string value;
+      for (int i = 0; i < 2000 && !stop.load(); ++i) {
+        const uint32_t term = rng() % 64;
+        const uint64_t epoch = rng() % 4;
+        const std::string key =
+            ResultCache::Key(0, std::vector<uint32_t>{term});
+        if (rng() % 2 == 0) {
+          cache.Insert(key, epoch, "v" + std::to_string(term));
+        } else if (cache.Lookup(key, epoch, &value)) {
+          ASSERT_EQ(value, "v" + std::to_string(term));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const serve::ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u + stats.hits + stats.misses);
+}
+
+// ---------------------------------------------------------------------------
+// Socket test client.
+
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~TestClient() { Close(); }
+
+  bool connected() const { return connected_; }
+
+  bool SendRaw(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool SendLine(std::string line) {
+    line += '\n';
+    return SendRaw(line);
+  }
+
+  /// Blocking read of the next newline-terminated line (newline stripped).
+  /// Empty return means the peer closed first.
+  std::string ReadLine() {
+    while (true) {
+      const size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+std::string QueriesJson(const std::vector<std::vector<uint32_t>>& queries) {
+  std::string out = "[";
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (q > 0) out += ',';
+    out += '[';
+    for (size_t t = 0; t < queries[q].size(); ++t) {
+      if (t > 0) out += ',';
+      out += std::to_string(queries[q][t]);
+    }
+    out += ']';
+  }
+  out += ']';
+  return out;
+}
+
+/// The deterministic slice of a response line: the results array. The
+/// oracle compares these bytes between cached and uncached arms; "stats"
+/// (latency) is execution metadata and excluded by design.
+std::string ResultsSlice(const std::string& line) {
+  const size_t begin = line.find("\"results\":[");
+  const size_t end = line.find("],\"stats\":");
+  if (begin == std::string::npos || end == std::string::npos) return line;
+  return line.substr(begin, end + 1 - begin);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end server tests over a memory-only sharded index.
+
+InvertedIndex SmallCorpus(uint64_t seed = 7) {
+  index::CorpusParams cp;
+  cp.num_docs = 1500;
+  cp.num_terms = 120;
+  cp.avg_terms_per_doc = 20;
+  cp.seed = seed;
+  return InvertedIndex::BuildSynthetic(cp);
+}
+
+class ServeE2eTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = ServerOptions{},
+                   ResultCache* cache = nullptr) {
+    idx_ = std::make_unique<InvertedIndex>(SmallCorpus());
+    auto sharded = shard::ShardedIndex::Create(
+        idx_.get(), shard::ShardMap::Hash(2), shard::ShardedIndexOptions{});
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    sharded_ = std::make_unique<shard::ShardedIndex>(
+        std::move(sharded).value());
+    ASSERT_TRUE(sharded_->RebuildAll().ok());
+    backend_ =
+        std::make_unique<RouterBackend>(&*sharded_, RouterBackend::Options{});
+    options.cache = cache;
+    server_ = std::make_unique<Server>(backend_.get(), options);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  std::unique_ptr<InvertedIndex> idx_;
+  std::unique_ptr<shard::ShardedIndex> sharded_;
+  std::unique_ptr<RouterBackend> backend_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeE2eTest, CountsMatchDirectRouter) {
+  StartServer();
+  std::vector<std::vector<uint32_t>> queries;
+  std::mt19937 rng(11);
+  for (int q = 0; q < 16; ++q) {
+    std::vector<uint32_t> terms;
+    for (int t = 0; t < 2 + static_cast<int>(rng() % 3); ++t) {
+      terms.push_back(rng() % idx_->num_terms());
+    }
+    queries.push_back(std::move(terms));
+  }
+  shard::ShardRouter router(&*sharded_);
+  shard::ShardBatchStats stats;
+  std::vector<shard::RoutedQueryResult> expected =
+      router.CountBatch(queries, shard::RouterOptions{}, &stats);
+
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine("{\"op\":\"count\",\"queries\":" +
+                              QueriesJson(queries) + "}"));
+  const std::string line = client.ReadLine();
+  ASSERT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  for (const auto& r : expected) {
+    EXPECT_NE(line.find("\"count\":" + std::to_string(r.count)),
+              std::string::npos)
+        << "missing count " << r.count;
+  }
+  // Spot-check one exact fragment: query 0's full result object.
+  WireResult w;
+  w.outcome = expected[0].outcome;
+  w.count = expected[0].count;
+  w.shards_answered = expected[0].shards_answered;
+  w.shards_total = expected[0].shards_total;
+  w.attempts = expected[0].attempts;
+  w.downgraded = expected[0].downgraded;
+  w.pressure_affected = expected[0].pressure_affected;
+  EXPECT_NE(line.find(serve::BuildResultJson(w, Op::kCount)),
+            std::string::npos)
+      << line.substr(0, 256);
+}
+
+TEST_F(ServeE2eTest, QueryDocsMatchDirectRouter) {
+  StartServer();
+  const std::vector<std::vector<uint32_t>> queries = {{1, 2}, {5, 9, 13}};
+  shard::ShardRouter router(&*sharded_);
+  shard::ShardBatchStats stats;
+  std::vector<shard::RoutedQueryResult> expected =
+      router.QueryBatch(queries, shard::RouterOptions{}, &stats);
+
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.SendLine("{\"op\":\"query\",\"queries\":" +
+                              QueriesJson(queries) + "}"));
+  const std::string line = client.ReadLine();
+  ASSERT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  for (const auto& r : expected) {
+    std::string docs = "\"docs\":[";
+    for (size_t i = 0; i < r.docs.size(); ++i) {
+      if (i > 0) docs += ',';
+      docs += std::to_string(r.docs[i]);
+    }
+    docs += ']';
+    EXPECT_NE(line.find(docs), std::string::npos);
+  }
+}
+
+TEST_F(ServeE2eTest, PipelinedRequestsAnswerInOrder) {
+  StartServer();
+  TestClient client(server_->port());
+  std::string burst;
+  for (int i = 0; i < 5; ++i) {
+    burst += "{\"op\":\"count\",\"queries\":[[1]],\"id\":" +
+             std::to_string(100 + i) + "}\n";
+  }
+  ASSERT_TRUE(client.SendRaw(burst));
+  for (int i = 0; i < 5; ++i) {
+    const std::string line = client.ReadLine();
+    EXPECT_NE(line.find("\"id\":" + std::to_string(100 + i)),
+              std::string::npos)
+        << "response " << i << ": " << line.substr(0, 128);
+  }
+}
+
+TEST_F(ServeE2eTest, ParseErrorKeepsConnectionUsable) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.SendLine("not json"));
+  std::string line = client.ReadLine();
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line.find("invalid-argument"), std::string::npos);
+  // The connection survives a parse error; only resource violations close.
+  ASSERT_TRUE(client.SendLine(R"({"op":"count","queries":[[1]]})"));
+  line = client.ReadLine();
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(server_->stats().parse_errors, 1u);
+}
+
+TEST_F(ServeE2eTest, BlankAndCrlfLinesAreTolerated) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.SendRaw("\n\r\n"));
+  ASSERT_TRUE(client.SendRaw("{\"op\":\"count\",\"queries\":[[1]]}\r\n"));
+  const std::string line = client.ReadLine();
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+}
+
+TEST_F(ServeE2eTest, OversizedLineIsRefusedAndConnectionCloses) {
+  ServerOptions options;
+  options.max_line_bytes = 128;
+  StartServer(options);
+  TestClient client(server_->port());
+  // An unterminated flood past the cap...
+  std::string flood(512, 'a');
+  ASSERT_TRUE(client.SendRaw(flood));
+  std::string line = client.ReadLine();
+  EXPECT_NE(line.find("resource-exhausted"), std::string::npos) << line;
+  EXPECT_EQ(client.ReadLine(), "");  // ...then the server hangs up
+  EXPECT_EQ(server_->stats().oversized_lines, 1u);
+
+  // ...and a complete-but-huge line (newline included) equally.
+  TestClient client2(server_->port());
+  std::string huge = "{\"op\":\"count\",\"queries\":[[" +
+                     std::string(256, '1') + "]]}";
+  ASSERT_TRUE(client2.SendLine(huge));
+  line = client2.ReadLine();
+  EXPECT_NE(line.find("resource-exhausted"), std::string::npos) << line;
+  EXPECT_EQ(client2.ReadLine(), "");
+  EXPECT_EQ(server_->stats().oversized_lines, 2u);
+}
+
+TEST_F(ServeE2eTest, BudgetRefusalAnswersWithJsonErrorAndCloses) {
+  MemoryBudget budget(6 * 1024, nullptr, "serve-test");
+  ServerOptions options;
+  options.budget = &budget;
+  StartServer(options);
+  TestClient client(server_->port());
+  // 4 KiB connection base charge + a 4 KiB unterminated line cannot fit
+  // in 6 KiB: the charge is refused, the client gets a JSON error.
+  std::string flood(4096, 'b');
+  ASSERT_TRUE(client.SendRaw(flood));
+  const std::string line = client.ReadLine();
+  EXPECT_NE(line.find("resource-exhausted"), std::string::npos) << line;
+  EXPECT_EQ(client.ReadLine(), "");
+  EXPECT_GE(server_->stats().budget_refusals, 1u);
+  client.Close();
+  // Teardown returns every connection byte to the budget.
+  for (int i = 0; i < 100 && budget.used() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(budget.used(), 0u);
+  // The budget is a test-body local but the fixture destructor runs after
+  // it dies: shut down here, while every thread that charged it is still
+  // entitled to touch it.
+  server_.reset();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST_F(ServeE2eTest, RawInvalidUtf8LineIsRejected) {
+  StartServer();
+  TestClient client(server_->port());
+  std::string line = "{\"op\":\"count\",\"queries\":[[1]],\"n\":\"\xff\"}";
+  ASSERT_TRUE(client.SendLine(line));
+  const std::string resp = client.ReadLine();
+  EXPECT_NE(resp.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(resp.find("UTF-8"), std::string::npos) << resp;
+}
+
+TEST_F(ServeE2eTest, SlowlorisHalfWritesStillGetOneResponse) {
+  StartServer();
+  TestClient client(server_->port());
+  const std::string line = "{\"op\":\"count\",\"queries\":[[1,2]]}\n";
+  // Drip the request a few bytes at a time; the epoll thread buffers
+  // without blocking and answers exactly once at the newline.
+  for (size_t i = 0; i < line.size(); i += 5) {
+    ASSERT_TRUE(client.SendRaw(line.substr(i, 5)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::string resp = client.ReadLine();
+  EXPECT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  EXPECT_EQ(server_->stats().responses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Mock-backend tests: deadline propagation and disconnect cancellation.
+
+/// Scriptable backend: records the options of every Run, optionally
+/// blocking until its cancel token fires (the mid-batch disconnect test).
+class MockBackend : public ServeBackend {
+ public:
+  uint64_t ContentEpoch() const override { return epoch.load(); }
+
+  std::vector<WireResult> Run(Op, std::span<const std::vector<uint32_t>> qs,
+                              const BackendOptions& options,
+                              BatchStats* stats) override {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      last_query_deadline = options.query_deadline_seconds;
+      last_batch_deadline = options.batch_deadline_seconds;
+      last_priority = options.priority;
+    }
+    runs.fetch_add(1);
+    if (block_until_cancel.load()) {
+      const auto give_up =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (!options.cancel.cancelled() &&
+             std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      saw_cancel.store(options.cancel.cancelled());
+      unblocked.fetch_add(1);
+    }
+    if (stats != nullptr) *stats = BatchStats{};
+    std::vector<WireResult> out(qs.size());
+    for (size_t i = 0; i < qs.size(); ++i) {
+      out[i].count = qs[i].size();
+      out[i].shards_answered = 1;
+      out[i].shards_total = 1;
+      out[i].attempts = 1;
+    }
+    return out;
+  }
+
+  std::mutex mu;
+  double last_query_deadline = -1;
+  double last_batch_deadline = -1;
+  index::QueryPriority last_priority = index::QueryPriority::kNormal;
+  std::atomic<uint64_t> epoch{0};
+  std::atomic<int> runs{0};
+  std::atomic<bool> block_until_cancel{false};
+  std::atomic<bool> saw_cancel{false};
+  std::atomic<int> unblocked{0};
+};
+
+TEST(ServeMockTest, DeadlinesPropagateAndClampIntoBackendOptions) {
+  MockBackend backend;
+  ServerOptions options;
+  options.max_deadline_seconds = 1.0;
+  Server server(&backend, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.SendLine(
+      R"({"op":"count","queries":[[1]],"deadline_ms":50,)"
+      R"("batch_deadline_ms":200,"priority":"low"})"));
+  ASSERT_NE(client.ReadLine().find("\"ok\":true"), std::string::npos);
+  {
+    std::lock_guard<std::mutex> lock(backend.mu);
+    EXPECT_DOUBLE_EQ(backend.last_query_deadline, 0.05);
+    EXPECT_DOUBLE_EQ(backend.last_batch_deadline, 0.2);
+    EXPECT_EQ(backend.last_priority, index::QueryPriority::kLow);
+  }
+
+  // A deadline past the server's ceiling is clamped, not honored.
+  ASSERT_TRUE(client.SendLine(
+      R"({"op":"count","queries":[[1]],"deadline_ms":3600000})"));
+  ASSERT_NE(client.ReadLine().find("\"ok\":true"), std::string::npos);
+  {
+    std::lock_guard<std::mutex> lock(backend.mu);
+    EXPECT_DOUBLE_EQ(backend.last_query_deadline, 1.0);
+  }
+  server.Shutdown();
+}
+
+TEST(ServeMockTest, MidBatchDisconnectCancelsInflightWork) {
+  MockBackend backend;
+  backend.block_until_cancel.store(true);
+  Server server(&backend, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.SendLine(R"({"op":"count","queries":[[1]]})"));
+    // Wait until the worker is inside Run, then vanish mid-request.
+    for (int i = 0; i < 500 && backend.runs.load() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GT(backend.runs.load(), 0);
+    client.Close();
+  }
+  // The epoll thread notices the hangup and cancels the in-flight token;
+  // the blocked backend observes it and drains.
+  for (int i = 0; i < 2000 && backend.unblocked.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(backend.unblocked.load(), 1);
+  EXPECT_TRUE(backend.saw_cancel.load());
+  EXPECT_GE(server.stats().cancelled_inflight, 1u);
+  server.Shutdown();
+}
+
+TEST(ServeMockTest, ShutdownCancelsBlockedWork) {
+  MockBackend backend;
+  backend.block_until_cancel.store(true);
+  Server server(&backend, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.SendLine(R"({"op":"count","queries":[[1]]})"));
+  for (int i = 0; i < 500 && backend.runs.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT(backend.runs.load(), 0);
+  server.Shutdown();  // must not hang on the blocked worker
+  EXPECT_EQ(backend.unblocked.load(), 1);
+  EXPECT_TRUE(backend.saw_cancel.load());
+}
+
+TEST(ServeMockTest, BindFailureReturnsUnavailable) {
+  MockBackend backend;
+  Server first(&backend, ServerOptions{});
+  ASSERT_TRUE(first.Start().ok());
+  ServerOptions taken;
+  taken.port = first.port();
+  Server second(&backend, taken);
+  Status started = second.Start();
+  EXPECT_EQ(started.code(), StatusCode::kUnavailable);  // CLI exit 8
+  first.Shutdown();
+}
+
+TEST(ServeMockTest, InvalidBindAddressReturnsUnavailable) {
+  MockBackend backend;
+  ServerOptions options;
+  options.bind_address = "not-an-address";
+  Server server(&backend, options);
+  EXPECT_EQ(server.Start().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-epoch oracle over a store-backed sharded index.
+
+std::string OracleDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "fesia_serve_test." + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+class ServeOracleTest : public ::testing::Test {
+ protected:
+  void Start(const std::string& tag, uint32_t replicas = 1) {
+    idx_ = std::make_unique<InvertedIndex>(SmallCorpus(13));
+    dir_ = OracleDir(tag);
+    shard::ShardedIndexOptions sopts;
+    sopts.store_dir = dir_;
+    sopts.replication_factor = replicas;
+    auto sharded = shard::ShardedIndex::Create(idx_.get(),
+                                               shard::ShardMap::Hash(2), sopts);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    sharded_ = std::make_unique<shard::ShardedIndex>(
+        std::move(sharded).value());
+    ASSERT_TRUE(sharded_->RebuildAll().ok());
+    ASSERT_TRUE(sharded_->SaveAll().ok());
+    ASSERT_TRUE(sharded_->OpenMutationLogs().ok());
+    backend_ =
+        std::make_unique<RouterBackend>(&*sharded_, RouterBackend::Options{});
+    cache_ = std::make_unique<ResultCache>(ResultCache::Options{});
+    ServerOptions options;
+    options.cache = cache_.get();
+    server_ = std::make_unique<Server>(backend_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    sharded_.reset();
+    if (!dir_.empty()) fs::remove_all(dir_);
+  }
+
+  std::unique_ptr<InvertedIndex> idx_;
+  std::string dir_;
+  std::unique_ptr<shard::ShardedIndex> sharded_;
+  std::unique_ptr<RouterBackend> backend_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeOracleTest, CachedResponsesAreByteIdenticalToUncached) {
+  Start("oracle");
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  // A small pool of query batches replayed Zipf-style: low indices recur
+  // often, so the cache sees real hits between mutations.
+  std::vector<std::vector<std::vector<uint32_t>>> pool;
+  std::mt19937 rng(29);
+  for (int i = 0; i < 8; ++i) {
+    std::vector<std::vector<uint32_t>> batch;
+    for (int q = 0; q < 3; ++q) {
+      std::vector<uint32_t> terms;
+      for (int t = 0; t < 2; ++t) terms.push_back(rng() % idx_->num_terms());
+      batch.push_back(std::move(terms));
+    }
+    pool.push_back(std::move(batch));
+  }
+  auto pick = [&rng, &pool]() -> const std::vector<std::vector<uint32_t>>& {
+    // Crude Zipf: halve the index range with probability 1/2 repeatedly.
+    size_t i = rng() % pool.size();
+    while (i > 0 && rng() % 2 == 0) i /= 2;
+    return pool[i];
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const int action = rng() % 8;
+    if (action < 4) {
+      // Serve: the cached arm and the cache-disabled arm must agree to
+      // the byte on the results array, whatever happened before.
+      const auto& batch = pick();
+      const std::string op = (rng() % 2 == 0) ? "count" : "query";
+      ASSERT_TRUE(client.SendLine("{\"op\":\"" + op + "\",\"queries\":" +
+                                  QueriesJson(batch) + "}"));
+      const std::string cached = client.ReadLine();
+      ASSERT_TRUE(client.SendLine("{\"op\":\"" + op + "\",\"queries\":" +
+                                  QueriesJson(batch) +
+                                  ",\"cache\":false}"));
+      const std::string uncached = client.ReadLine();
+      ASSERT_NE(cached.find("\"ok\":true"), std::string::npos) << cached;
+      ASSERT_NE(uncached.find("\"ok\":true"), std::string::npos) << uncached;
+      EXPECT_EQ(ResultsSlice(cached), ResultsSlice(uncached))
+          << "diverged at step " << step;
+    } else if (action < 6) {
+      const uint32_t doc = rng() % idx_->num_docs();
+      std::vector<uint32_t> terms;
+      for (int t = 0; t < 3; ++t) terms.push_back(rng() % idx_->num_terms());
+      std::sort(terms.begin(), terms.end());
+      terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+      ASSERT_TRUE(sharded_->Upsert(doc, terms).ok());
+    } else if (action < 7) {
+      ASSERT_TRUE(sharded_->Delete(rng() % idx_->num_docs()).ok());
+    } else {
+      const uint32_t shard = rng() % sharded_->num_shards();
+      Status flushed = sharded_->FlushShard(shard);
+      ASSERT_TRUE(flushed.ok()) << flushed.ToString();
+    }
+  }
+  // Zipf replay must have produced real cache traffic, and hits.
+  EXPECT_GT(cache_->stats().hits, 0u);
+  EXPECT_GT(server_->stats().cache_hits, 0u);
+}
+
+TEST_F(ServeOracleTest, MutationInvalidatesCachedResult) {
+  Start("invalidate");
+  TestClient client(server_->port());
+
+  // Pin a query whose result we can change deterministically: a fresh
+  // doc upserted with exactly terms {3, 4}.
+  const std::string req = R"({"op":"query","queries":[[3,4]]})";
+  ASSERT_TRUE(client.SendLine(req));
+  const std::string before = client.ReadLine();
+  ASSERT_TRUE(client.SendLine(req));
+  const std::string warm = client.ReadLine();
+  EXPECT_EQ(ResultsSlice(before), ResultsSlice(warm));  // served from cache
+
+  ASSERT_TRUE(sharded_->Upsert(idx_->num_docs() - 1, {3, 4}).ok());
+
+  ASSERT_TRUE(client.SendLine(req));
+  const std::string after = client.ReadLine();
+  // The upserted doc must appear: a stale cached reply would miss it.
+  EXPECT_NE(ResultsSlice(after), ResultsSlice(before));
+  EXPECT_NE(after.find(std::to_string(idx_->num_docs() - 1)),
+            std::string::npos)
+      << after;
+
+  // And the cached arm agrees with the uncached arm post-mutation.
+  ASSERT_TRUE(client.SendLine(
+      R"({"op":"query","queries":[[3,4]],"cache":false})"));
+  const std::string uncached = client.ReadLine();
+  ASSERT_TRUE(client.SendLine(req));
+  const std::string cached = client.ReadLine();
+  EXPECT_EQ(ResultsSlice(cached), ResultsSlice(uncached));
+}
+
+TEST_F(ServeOracleTest, EpochBumpsOnEveryMutationClass) {
+  Start("epochs");
+  const uint64_t e0 = sharded_->content_epoch();
+  ASSERT_TRUE(sharded_->Upsert(1, {1, 2}).ok());
+  const uint64_t e1 = sharded_->content_epoch();
+  EXPECT_GT(e1, e0);
+  ASSERT_TRUE(sharded_->Delete(1).ok());
+  const uint64_t e2 = sharded_->content_epoch();
+  EXPECT_GT(e2, e1);
+  ASSERT_TRUE(sharded_->FlushAll().ok());
+  const uint64_t e3 = sharded_->content_epoch();
+  EXPECT_GT(e3, e2);
+  sharded_->QuarantineShard(0);
+  const uint64_t e4 = sharded_->content_epoch();
+  EXPECT_NE(e4, e3);
+  sharded_->ReviveShard(0);
+  EXPECT_NE(sharded_->content_epoch(), e4);
+}
+
+TEST_F(ServeOracleTest, ReplicaRepairReviveBumpsEpoch) {
+  Start("repair", /*replicas=*/2);
+  shard::ReplicaSet* rs = sharded_->replica_set(0);
+  ASSERT_NE(rs, nullptr);
+
+  const uint64_t e0 = sharded_->content_epoch();
+  rs->QuarantineReplica(1);
+  const uint64_t e1 = sharded_->content_epoch();
+  EXPECT_NE(e1, e0);  // topology changed: cached results must not survive
+
+  // Mutations land on the surviving replica; repair catches the lagging
+  // one up and revives it — another visible content transition.
+  for (uint32_t doc = 0; doc < 6; ++doc) {
+    Status applied = sharded_->Upsert(doc, {1, 2, 3});
+    ASSERT_TRUE(applied.ok()) << applied.ToString();
+  }
+  const uint64_t e2 = sharded_->content_epoch();
+  Status repaired = rs->RepairOnce();
+  ASSERT_TRUE(repaired.ok()) << repaired.ToString();
+  EXPECT_FALSE(rs->replica_quarantined(1));
+  EXPECT_NE(sharded_->content_epoch(), e2);
+}
+
+// The TSan habitat: concurrent socket clients against live mutations and
+// flushes. Correctness here is "no data race, no torn response": every
+// response parses, and cached/uncached arms agree whenever the client
+// pins them around no intervening mutation.
+TEST_F(ServeOracleTest, ConcurrentClientsVersusMutationsAndFlushes) {
+  Start("tsan");
+  std::atomic<bool> stop{false};
+
+  std::thread mutator([this, &stop] {
+    std::mt19937 rng(101);
+    for (int i = 0; i < 60 && !stop.load(); ++i) {
+      const uint32_t doc = rng() % idx_->num_docs();
+      if (i % 10 == 9) {
+        (void)sharded_->FlushShard(rng() % sharded_->num_shards());
+      } else if (i % 3 == 0) {
+        (void)sharded_->Delete(doc);
+      } else {
+        (void)sharded_->Upsert(
+            doc, {static_cast<uint32_t>(rng() % idx_->num_terms()),
+                  static_cast<uint32_t>(rng() % idx_->num_terms())});
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([this, c, &failures] {
+      TestClient client(server_->port());
+      if (!client.connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::mt19937 rng(300 + c);
+      for (int i = 0; i < 40; ++i) {
+        std::vector<std::vector<uint32_t>> batch{
+            {static_cast<uint32_t>(rng() % idx_->num_terms()),
+             static_cast<uint32_t>(rng() % idx_->num_terms())}};
+        const bool use_cache = rng() % 2 == 0;
+        std::string line = "{\"op\":\"count\",\"queries\":" +
+                           QueriesJson(batch);
+        if (!use_cache) line += ",\"cache\":false";
+        line += "}";
+        if (!client.SendLine(line)) {
+          failures.fetch_add(1);
+          return;
+        }
+        const std::string resp = client.ReadLine();
+        if (resp.find("\"ok\":true") == std::string::npos) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true);
+  mutator.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = server_->stats();
+  EXPECT_EQ(stats.responses, stats.requests);
+}
+
+}  // namespace
+}  // namespace fesia

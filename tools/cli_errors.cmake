@@ -1,7 +1,7 @@
 # Smoke test of fesia_cli's error discipline: each failure class must map
 # to its documented exit code (2 usage, 3 I/O or invalid input, 4 corrupt,
-# 5 deadline exhaustion, 6 unrecoverable store) with a stderr message, and
-# must never crash.
+# 5 deadline exhaustion, 6 unrecoverable store, 8 bind failure) with a
+# stderr message, and must never crash.
 file(MAKE_DIRECTORY ${WORK_DIR})
 
 function(expect_rc expected_rc label)
@@ -201,5 +201,16 @@ require_contains("batch-sharded" "shard-03: ok 8")
 expect_rc_env("query-delay:0:20000" 5 "batch-sharded-deadline-exhaustion"
               batch --queries 1 --docs 4000 --terms 100 --shards 2
               --deadline-ms 5)
+
+# --- Network front door -------------------------------------------------
+# Usage errors -> 2; a serve that cannot bind/listen -> 8 (the process
+# exits before it would start reading stdin, so no input plumbing needed).
+expect_rc(2 "serve-bad-port" serve --port notaport)
+expect_rc(2 "serve-port-out-of-range" serve --port 70000)
+expect_rc(2 "serve-too-many-shards" serve --port 0 --shards 300)
+expect_rc(8 "serve-unparseable-bind" serve --port 0 --bind 999.0.0.1
+          --docs 500 --terms 20)
+expect_rc(8 "serve-unroutable-bind" serve --port 0 --bind 203.0.113.7
+          --docs 500 --terms 20)
 
 message(STATUS "cli error-path smoke ok")

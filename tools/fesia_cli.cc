@@ -18,15 +18,23 @@
 //              generational SnapshotStore (atomic writes + manifest);
 //              recover emits machine-readable JSON, one line per event,
 //              including each store's write-ahead-log replay
+//   serve      network front door: epoll TCP server answering batch
+//              count/query over the line-JSON protocol (docs/API.md,
+//              "Serving"), with an epoch-invalidated result cache;
+//              serves a synthetic corpus or a store built by `build`
 //
 // Set files hold raw little-endian uint32 values ("raw" format) or a
 // serialized FesiaSet ("fesia" format, magic-tagged; auto-detected).
 //
 // Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt, 5 deadline exhaustion,
-// 6 unrecoverable store, 7 resource exhausted (memory budget) — the
-// authoritative table lives in docs/API.md ("Exit codes").
+// 6 unrecoverable store, 7 resource exhausted (memory budget), 8 bind
+// failure (serve) — the authoritative table lives in docs/API.md
+// ("Exit codes").
+#include <poll.h>
+
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +49,8 @@
 #include "fesia/fesia.h"
 #include "index/inverted_index.h"
 #include "index/query_engine.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
 #include "shard/shard_map.h"
 #include "shard/shard_router.h"
 #include "shard/sharded_index.h"
@@ -48,6 +58,7 @@
 #include "store/wal.h"
 #include "util/cpu.h"
 #include "util/file_io.h"
+#include "util/json.h"
 #include "util/memory_budget.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -66,6 +77,7 @@ constexpr int kExitCorrupt = 4;
 constexpr int kExitDeadline = 5;
 constexpr int kExitUnrecoverable = 6;
 constexpr int kExitResource = 7;
+constexpr int kExitBind = 8;
 
 int Usage() {
   std::fprintf(stderr, R"(usage: fesia_cli <command> [options]
@@ -124,6 +136,22 @@ commands:
       cap are rejected with exit 7 after a flush is requested, and queries
       degrade (low-priority shed, the rest forced onto O(1)-scratch
       serial paths) while the budget is over its high watermark
+  serve [--port P] [--bind ADDR] [--dir DIR] [--shards N] [--replicas R]
+        [--ack all|quorum] [--docs D] [--terms T] [--seed S] [--keep K]
+        [--workers W] [--max-connections C] [--max-line-bytes B]
+        [--memory-budget BYTES] [--cache-bytes BYTES]
+        [--max-deadline-ms MS] [--threads P] [--capacity C] [--retries R]
+      start the network front door: an epoll TCP server answering batch
+      count/query requests over the line-JSON protocol (docs/API.md,
+      "Serving"). Without --dir it serves the synthetic corpus in memory;
+      with --dir it reloads the shards `build` persisted (replaying each
+      shard's WAL) and rebuilds any shard whose store is empty. --port 0
+      (the default) binds an ephemeral port; the actual one is announced
+      on stdout as {"event":"serving","port":N,...} once the server is
+      ready. Results are cached in an epoch-invalidated LRU capped at
+      --cache-bytes (0 disables). Runs until stdin closes or
+      SIGINT/SIGTERM, then prints {"event":"served",...} totals.
+      exit 8 if the address cannot be bound
   snapshot save --dir DIR --in FILE [--keep N]
       durably append FILE's bytes as a new store generation (atomic write
       + manifest commit; N generations retained, default 3)
@@ -143,7 +171,8 @@ exit codes: 0 ok, 2 usage, 3 I/O failure or invalid input,
             4 corrupt snapshot,
             5 deadline exhaustion (no query in the batch completed),
             6 unrecoverable snapshot store,
-            7 resource exhausted: memory budget (see docs/API.md)
+            7 resource exhausted: memory budget,
+            8 bind failure: serve could not bind/listen (see docs/API.md)
 )");
   return kExitUsage;
 }
@@ -1028,10 +1057,11 @@ int CmdFlush(const std::map<std::string, std::string>& flags) {
       worst = std::max(worst, StoreExitCode(flushed));
       continue;
     }
-    std::printf("{\"event\":\"flush\",\"shard\":%u,\"pending_docs\":%zu,"
+    std::printf("{\"event\":\"flush\",\"shard\":%u,\"pending_docs\":%llu,"
                 "\"pending_bytes\":%llu,\"merged\":true,"
                 "\"generation\":%llu}\n",
-                s, pending, static_cast<unsigned long long>(pending_bytes),
+                s, static_cast<unsigned long long>(pending),
+                static_cast<unsigned long long>(pending_bytes),
                 static_cast<unsigned long long>(generation));
     merged_total += pending;
   }
@@ -1045,27 +1075,34 @@ int CmdFlush(const std::map<std::string, std::string>& flags) {
 // stream `snapshot recover` into jq or a log pipeline. Human-oriented
 // errors stay on stderr.
 void PrintRecoveryEventsJson(const fesia::store::RecoveryReport& report,
-                             int shard, int replica) {
-  auto shard_field = [shard, replica] {
+                             const std::string& dir, int shard, int replica) {
+  // The store path goes through JsonQuote: a dir containing `"`, `\`, or
+  // non-ASCII bytes must still emit one valid JSON object per line.
+  // `dir` is always the LAST field: cli_errors.cmake pins the line shapes
+  // by prefix ({"event":"store","shard":1,"ok":true...), and the quoted
+  // path is the one variable-width field.
+  const std::string dir_json = fesia::JsonQuote(dir);
+  auto common_fields = [&] {
     if (shard >= 0) std::printf(",\"shard\":%d", shard);
     if (replica >= 0) std::printf(",\"replica\":%d", replica);
   };
   for (uint64_t g : report.quarantined) {
     std::printf("{\"event\":\"quarantined\"");
-    shard_field();
-    std::printf(",\"generation\":%llu}\n",
-                static_cast<unsigned long long>(g));
+    common_fields();
+    std::printf(",\"generation\":%llu,\"dir\":%s}\n",
+                static_cast<unsigned long long>(g), dir_json.c_str());
   }
   std::printf("{\"event\":\"resumed\"");
-  shard_field();
+  common_fields();
   std::printf(",\"generation\":%llu,\"manifest_missing\":%s,"
-              "\"manifest_corrupt\":%s,\"temp_files_removed\":%zu,"
-              "\"missing_files\":%zu,\"clean\":%s}\n",
+              "\"manifest_corrupt\":%s,\"temp_files_removed\":%llu,"
+              "\"missing_files\":%llu,\"clean\":%s,\"dir\":%s}\n",
               static_cast<unsigned long long>(report.recovered_generation),
               report.manifest_missing ? "true" : "false",
               report.manifest_corrupt ? "true" : "false",
-              report.temp_files_removed, report.missing_files,
-              report.clean() ? "true" : "false");
+              static_cast<unsigned long long>(report.temp_files_removed),
+              static_cast<unsigned long long>(report.missing_files),
+              report.clean() ? "true" : "false", dir_json.c_str());
 }
 
 // Opens (and recovers) one store, emitting its JSON event lines; `shard`
@@ -1078,19 +1115,24 @@ int RecoverOneStore(const std::string& dir, uint64_t keep, int shard,
   opts.max_generations = keep;
   fesia::store::RecoveryReport report;
   auto opened = fesia::store::SnapshotStore::Open(opts, &report);
-  PrintRecoveryEventsJson(report, shard, replica);
+  PrintRecoveryEventsJson(report, dir, shard, replica);
+  const std::string dir_json = fesia::JsonQuote(dir);
   std::printf("{\"event\":\"store\"");
   if (shard >= 0) std::printf(",\"shard\":%d", shard);
   if (replica >= 0) std::printf(",\"replica\":%d", replica);
   int code = kExitOk;
   if (opened.ok()) {
-    std::printf(",\"ok\":true,\"generations\":%zu,\"current\":%llu}\n",
-                opened->num_generations(),
+    std::printf(",\"ok\":true,\"generations\":%llu,\"current\":%llu,"
+                "\"dir\":%s}\n",
+                static_cast<unsigned long long>(opened->num_generations()),
                 static_cast<unsigned long long>(
-                    opened->current_generation()));
+                    opened->current_generation()),
+                dir_json.c_str());
   } else {
-    std::printf(",\"ok\":false,\"code\":\"%s\"}\n",
-                fesia::StatusCodeName(opened.status().code()));
+    std::printf(",\"ok\":false,\"code\":%s,\"dir\":%s}\n",
+                fesia::JsonQuote(
+                    fesia::StatusCodeName(opened.status().code())).c_str(),
+                dir_json.c_str());
     std::fprintf(stderr, "fesia_cli: %s\n",
                  opened.status().ToString().c_str());
     code = StoreExitCode(opened.status());
@@ -1106,19 +1148,23 @@ int RecoverOneStore(const std::string& dir, uint64_t keep, int shard,
   if (shard >= 0) std::printf(",\"shard\":%d", shard);
   if (replica >= 0) std::printf(",\"replica\":%d", replica);
   if (log.ok()) {
-    std::printf(",\"ok\":true,\"segments\":%zu,\"records\":%zu,"
+    std::printf(",\"ok\":true,\"segments\":%llu,\"records\":%llu,"
                 "\"last_seq\":%llu,\"replayed_bytes\":%llu,"
-                "\"open_bytes\":%llu,\"torn_tail_bytes\":%zu,"
-                "\"quarantined_segments\":%zu,\"clean\":%s}\n",
-                wal.segments, wal.records,
+                "\"open_bytes\":%llu,\"torn_tail_bytes\":%llu,"
+                "\"quarantined_segments\":%llu,\"clean\":%s,\"dir\":%s}\n",
+                static_cast<unsigned long long>(wal.segments),
+                static_cast<unsigned long long>(wal.records),
                 static_cast<unsigned long long>(wal.last_seq),
                 static_cast<unsigned long long>(wal.replayed_bytes),
                 static_cast<unsigned long long>(log->open_bytes()),
-                wal.torn_tail_bytes, wal.quarantined_segments,
-                wal.clean() ? "true" : "false");
+                static_cast<unsigned long long>(wal.torn_tail_bytes),
+                static_cast<unsigned long long>(wal.quarantined_segments),
+                wal.clean() ? "true" : "false", dir_json.c_str());
   } else {
-    std::printf(",\"ok\":false,\"code\":\"%s\"}\n",
-                fesia::StatusCodeName(log.status().code()));
+    std::printf(",\"ok\":false,\"code\":%s,\"dir\":%s}\n",
+                fesia::JsonQuote(
+                    fesia::StatusCodeName(log.status().code())).c_str(),
+                dir_json.c_str());
     std::fprintf(stderr, "fesia_cli: %s\n",
                  log.status().ToString().c_str());
     code = std::max(code, kExitIo);
@@ -1228,6 +1274,177 @@ int CmdSnapshot(const std::string& sub,
 
 }  // namespace
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+// The network front door (docs/ROBUSTNESS.md, "Network front door"):
+// builds or reloads a sharded index, then serves batch count/query over
+// TCP until stdin closes or a signal arrives. Bind failure is exit 8 so
+// scripts can tell "port taken" from "store broken".
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  std::string dir = FlagOr(flags, "dir", "");
+  std::string bind = FlagOr(flags, "bind", "127.0.0.1");
+  uint64_t port = 0, shards = 0, docs = 0, terms = 0, seed = 0, keep = 0;
+  uint64_t workers = 0, max_conns = 0, max_line = 0, threads = 0;
+  uint64_t capacity = 0, budget_bytes = 0, cache_bytes = 0;
+  int retries = 0;
+  double max_deadline_ms = 0;
+  uint32_t replicas = 1;
+  fesia::shard::AckPolicy ack = fesia::shard::AckPolicy::kAll;
+  if (!ParseU64Flag(flags, "port", 0, &port) ||
+      !ParseU64Flag(flags, "shards", 1, &shards) ||
+      !ParseU64Flag(flags, "docs", 20000, &docs) ||
+      !ParseU64Flag(flags, "terms", 500, &terms) ||
+      !ParseU64Flag(flags, "seed", 1, &seed) ||
+      !ParseU64Flag(flags, "keep", 3, &keep) ||
+      !ParseU64Flag(flags, "workers", 4, &workers) ||
+      !ParseU64Flag(flags, "max-connections", 1024, &max_conns) ||
+      !ParseSizeFlag(flags, "max-line-bytes", 1u << 20, &max_line) ||
+      !ParseU64Flag(flags, "threads", 0, &threads) ||
+      !ParseU64Flag(flags, "capacity", 0, &capacity) ||
+      !ParseIntFlag(flags, "retries", 1, &retries) ||
+      !ParseSizeFlag(flags, "memory-budget", 0, &budget_bytes) ||
+      !ParseSizeFlag(flags, "cache-bytes", 64u << 20, &cache_bytes) ||
+      !ParseDoubleFlag(flags, "max-deadline-ms", 60000, &max_deadline_ms) ||
+      !ParseTopologyFlags(flags, &replicas, &ack)) {
+    return kExitUsage;
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "fesia_cli: --port must be in [0, 65535]\n");
+    return kExitUsage;
+  }
+  if (shards == 0 || shards > 256 || docs == 0 || terms == 0 || keep == 0 ||
+      workers == 0 || max_conns == 0 || max_line == 0 || retries <= 0 ||
+      max_deadline_ms < 0) {
+    std::fprintf(stderr, "fesia_cli: --shards must be in [1, 256]; --docs, "
+                 "--terms, --keep, --workers, --max-connections, "
+                 "--max-line-bytes, and --retries must be positive\n");
+    return kExitUsage;
+  }
+
+  fesia::index::InvertedIndex idx = RebuildCorpus(docs, terms, seed);
+  std::unique_ptr<fesia::MemoryBudget> budget;
+  fesia::shard::ShardedIndexOptions sopts;
+  if (budget_bytes > 0) {
+    budget = std::make_unique<fesia::MemoryBudget>(budget_bytes, nullptr,
+                                                   "cli-serve");
+    sopts.budget = budget.get();
+  }
+  if (!dir.empty()) {
+    sopts.store_dir = dir;
+    sopts.max_generations = keep;
+    sopts.replication_factor = replicas;
+    sopts.ack_policy = ack;
+  }
+  auto sharded = fesia::shard::ShardedIndex::Create(
+      &idx, fesia::shard::ShardMap::Hash(static_cast<uint32_t>(shards)),
+      sopts);
+  if (!sharded.ok()) return ReportStore(sharded.status());
+
+  if (dir.empty()) {
+    Status built = sharded->RebuildAll();
+    if (!built.ok()) return ReportStore(built);
+  } else {
+    // Serve what `build` persisted; a shard whose store is still empty
+    // (kDataLoss) is rebuilt from the corpus instead of failing startup.
+    for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+      Status reloaded = sharded->ReloadShard(s);
+      if (reloaded.ok()) continue;
+      if (reloaded.code() != fesia::StatusCode::kDataLoss) {
+        return ReportStore(reloaded);
+      }
+      Status rebuilt = sharded->RebuildShard(s);
+      if (!rebuilt.ok()) return ReportStore(rebuilt);
+    }
+    // Replay pending WALs so mutations appended since the last flush are
+    // visible to queries.
+    Status logs = sharded->OpenMutationLogs();
+    if (!logs.ok()) return ReportStore(logs);
+  }
+
+  fesia::serve::RouterBackend::Options bopts;
+  bopts.num_threads = threads;
+  bopts.admission_capacity = capacity;
+  bopts.retry.max_attempts = retries;
+  bopts.budget = budget.get();
+  fesia::serve::RouterBackend backend(&*sharded, bopts);
+
+  std::unique_ptr<fesia::serve::ResultCache> cache;
+  if (cache_bytes > 0) {
+    fesia::serve::ResultCache::Options copts;
+    copts.max_bytes = cache_bytes;
+    copts.budget = budget.get();
+    cache = std::make_unique<fesia::serve::ResultCache>(copts);
+  }
+
+  fesia::serve::ServerOptions server_opts;
+  server_opts.bind_address = bind;
+  server_opts.port = static_cast<uint16_t>(port);
+  server_opts.num_workers = workers;
+  server_opts.max_connections = max_conns;
+  server_opts.max_line_bytes = max_line;
+  server_opts.max_deadline_seconds = max_deadline_ms / 1000.0;
+  server_opts.budget = budget.get();
+  server_opts.cache = cache.get();
+  fesia::serve::Server server(&backend, server_opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "fesia_cli: %s\n", started.ToString().c_str());
+    return kExitBind;
+  }
+
+  // Machine-readable readiness line: harnesses parse the ephemeral port
+  // from here. Flushed so a pipe reader sees it immediately.
+  std::printf("{\"event\":\"serving\",\"port\":%u,\"bind\":%s,"
+              "\"shards\":%u,\"workers\":%llu,\"cache_bytes\":%llu}\n",
+              server.port(), fesia::JsonQuote(bind).c_str(),
+              sharded->num_shards(),
+              static_cast<unsigned long long>(workers),
+              static_cast<unsigned long long>(cache_bytes));
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  // Park until the operator says stop: stdin EOF (pipe harnesses) or a
+  // signal (interactive ^C / service managers).
+  while (g_serve_stop == 0) {
+    pollfd pfd{};
+    pfd.fd = 0;
+    pfd.events = POLLIN;
+    const int n = ::poll(&pfd, 1, 200);
+    if (n < 0 && errno != EINTR) break;
+    if (n > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+      char buf[4096];
+      const ssize_t r = ::read(0, buf, sizeof(buf));
+      if (r <= 0) break;  // EOF: shut down
+    }
+  }
+
+  server.Shutdown();
+  const fesia::serve::ServerStatsSnapshot stats = server.stats();
+  std::printf("{\"event\":\"served\",\"connections\":%llu,"
+              "\"requests\":%llu,\"responses\":%llu,\"parse_errors\":%llu,"
+              "\"oversized_lines\":%llu,\"budget_refusals\":%llu,"
+              "\"cancelled_inflight\":%llu,\"cache_hits\":%llu,"
+              "\"cache_misses\":%llu,\"bytes_in\":%llu,"
+              "\"bytes_out\":%llu}\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(stats.parse_errors),
+              static_cast<unsigned long long>(stats.oversized_lines),
+              static_cast<unsigned long long>(stats.budget_refusals),
+              static_cast<unsigned long long>(stats.cancelled_inflight),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.bytes_in),
+              static_cast<unsigned long long>(stats.bytes_out));
+  return kExitOk;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
@@ -1241,6 +1458,7 @@ int main(int argc, char** argv) {
   if (cmd == "build") return CmdBuild(flags);
   if (cmd == "mutate") return CmdMutate(flags);
   if (cmd == "flush") return CmdFlush(flags);
+  if (cmd == "serve") return CmdServe(flags);
   if (cmd == "snapshot") {
     if (argc < 3) return Usage();
     return CmdSnapshot(argv[2], ParseFlags(argc, argv, 3));
